@@ -1,0 +1,61 @@
+// Ablation: batched assign_order claims in KronoGraph (§3.2).
+//
+// "While a straightforward implementation of KronoGraph would query Kronos once per vertex or
+// edge during a query, these costs may be avoided with judicious use of batching" — this
+// bench compares one assign_order per traversal hop (batched) against one per vertex.
+// The gap widens when every Kronos call pays a network round trip, so both configurations are
+// also run with a simulated RTT.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/latency.h"
+#include "src/client/local.h"
+#include "src/graphstore/kronograph.h"
+#include "src/workload/graph_gen.h"
+#include "src/workload/workloads.h"
+
+using namespace kronos;
+
+namespace {
+
+constexpr int kClients = 16;
+
+void Run(const char* label, bool batch, uint64_t rtt_us, const GeneratedGraph& graph,
+         uint64_t duration_us) {
+  LocalKronos local;
+  LatencyKronos kronos(local, rtt_us);
+  KronoGraph::Options opts;
+  opts.batch_claims = batch;
+  KronoGraph store(kronos, opts);
+  for (const auto& [u, v] : graph.edges) {
+    (void)store.AddEdge(u, v);
+  }
+  GraphMixWorkload workload(graph.num_vertices, 0.95, 3);
+  LoadResult result = RunClosedLoop(kClients, duration_us, 29, [&](int, Rng& rng) {
+    const GraphOp op = workload.Next(rng);
+    if (op.kind == GraphOp::Kind::kRecommend) {
+      return store.RecommendFriend(op.a).ok();
+    }
+    return store.AddEdge(op.a, op.b).ok();
+  });
+  const auto stats = store.graph_stats();
+  std::printf("%-28s %10.0f %14llu\n", label, result.Throughput(),
+              (unsigned long long)stats.order_calls);
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablation", "KronoGraph claim batching (one assign_order per hop vs per vertex)");
+  const GeneratedGraph graph = TwitterLikeScaled(bench::ScaledU64(2000), 41);
+  const uint64_t duration_us = bench::ScaledU64(2'000'000);
+  std::printf("graph: %llu vertices, %zu edges; %d clients, 95/5 mix\n\n",
+              (unsigned long long)graph.num_vertices, graph.edges.size(), kClients);
+  std::printf("%-28s %10s %14s\n", "config", "ops/s", "order calls");
+
+  Run("batched, in-process", true, 0, graph, duration_us);
+  Run("per-vertex, in-process", false, 0, graph, duration_us);
+  Run("batched, 100us RTT", true, 100, graph, duration_us);
+  Run("per-vertex, 100us RTT", false, 100, graph, duration_us);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: the Briggs–Torczon visited set (§2.2's uninitialized-memory trick) vs. the naive
+// alternatives it replaces — a std::vector<bool> cleared per traversal (the Ω(|V|)
+// initialization the paper avoids) and a std::unordered_set (the dynamic-allocation
+// alternative).
+//
+// The workload models one BFS visited-set lifecycle: clear, insert k members of a universe of
+// size N, with membership probes. The sparse set's advantage grows with N/k — exactly the
+// regime of ordering queries on a large event graph that touch a small region.
+#include <benchmark/benchmark.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/sparse_set.h"
+
+namespace kronos {
+namespace {
+
+constexpr uint64_t kUniverse = 1 << 20;  // 1M-vertex event graph
+
+void BM_SparseSetTraversal(benchmark::State& state) {
+  const uint64_t touched = static_cast<uint64_t>(state.range(0));
+  SparseSet visited(kUniverse);
+  Rng rng(1);
+  for (auto _ : state) {
+    visited.Clear();  // O(1)
+    for (uint64_t i = 0; i < touched; ++i) {
+      const uint64_t v = rng.Uniform(kUniverse);
+      benchmark::DoNotOptimize(visited.Insert(v));
+      benchmark::DoNotOptimize(visited.Contains(v ^ 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * touched);
+}
+BENCHMARK(BM_SparseSetTraversal)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_VectorBoolTraversal(benchmark::State& state) {
+  const uint64_t touched = static_cast<uint64_t>(state.range(0));
+  std::vector<bool> visited(kUniverse, false);
+  Rng rng(1);
+  for (auto _ : state) {
+    std::fill(visited.begin(), visited.end(), false);  // Ω(|V|) per traversal
+    for (uint64_t i = 0; i < touched; ++i) {
+      const uint64_t v = rng.Uniform(kUniverse);
+      visited[v] = true;
+      benchmark::DoNotOptimize(visited[v ^ 1]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * touched);
+}
+BENCHMARK(BM_VectorBoolTraversal)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_UnorderedSetTraversal(benchmark::State& state) {
+  const uint64_t touched = static_cast<uint64_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    std::unordered_set<uint64_t> visited;  // allocates during traversal
+    for (uint64_t i = 0; i < touched; ++i) {
+      const uint64_t v = rng.Uniform(kUniverse);
+      benchmark::DoNotOptimize(visited.insert(v));
+      benchmark::DoNotOptimize(visited.count(v ^ 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * touched);
+}
+BENCHMARK(BM_UnorderedSetTraversal)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace kronos
+
+BENCHMARK_MAIN();

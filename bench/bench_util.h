@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every bench prints a self-describing table mirroring the corresponding paper figure. Scale
+// can be reduced for smoke runs with KRONOS_BENCH_SCALE (e.g. 0.1), which shortens durations
+// and shrinks preloaded datasets proportionally.
+#ifndef KRONOS_BENCH_BENCH_UTIL_H_
+#define KRONOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+namespace bench {
+
+inline double Scale() {
+  const char* env = std::getenv("KRONOS_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double s = std::atof(env);
+  return s > 0 ? s : 1.0;
+}
+
+inline uint64_t ScaledU64(uint64_t base) {
+  const double s = Scale();
+  const double v = static_cast<double>(base) * s;
+  return v < 1.0 ? 1 : static_cast<uint64_t>(v);
+}
+
+inline void Header(const char* figure, const char* description) {
+  SetLogLevel(LogLevel::kWarning);  // keep reconfiguration chatter out of the tables
+  std::printf("==============================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  if (Scale() != 1.0) {
+    std::printf("(KRONOS_BENCH_SCALE=%.3g: durations/sizes scaled down)\n", Scale());
+  }
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace kronos
+
+#endif  // KRONOS_BENCH_BENCH_UTIL_H_

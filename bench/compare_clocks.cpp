@@ -1,0 +1,79 @@
+// §1 quantified: how accurately do Lamport timestamps, vector clocks, and the Kronos event
+// dependency graph capture the application's TRUE dependencies?
+//
+// One simulated message-passing execution is stamped by all three mechanisms. Ground truth is
+// the dependency set the application itself declares. Reported per mechanism: false-positive
+// rate (spurious order between truly concurrent actions — §1's "false positives" from blanket
+// message/program ordering), false-negative rate (missed true order — §1's "false negatives"
+// from external channels), and per-event metadata cost.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/local.h"
+#include "src/clocks/causality_sim.h"
+
+using namespace kronos;
+
+namespace {
+
+void Report(const char* name, const MechanismScore& s, double bytes_per_event) {
+  std::printf("%-14s %10llu %12.1f%% %12.1f%% %14.1f\n", name,
+              (unsigned long long)s.pairs, 100.0 * s.FalsePositiveRate(),
+              100.0 * s.FalseNegativeRate(), bytes_per_event);
+}
+
+void RunScenario(const char* label, const CausalitySimOptions& opts, uint64_t samples) {
+  LocalKronos kronos;
+  SimulatedExecution exec = SimulateCausality(opts, kronos);
+  double kronos_bytes = 0;
+  {
+    // Kronos cost: the event dependency graph's edges, 8 bytes each (§4.2), amortized.
+    uint64_t edges = kronos.graph().live_edges();
+    kronos_bytes = static_cast<double>(edges) * 8.0 / static_cast<double>(opts.actions);
+  }
+  std::printf("--- %s (%u processes, %llu actions) ---\n", label, opts.processes,
+              (unsigned long long)opts.actions);
+  std::printf("%-14s %10s %13s %13s %14s\n", "mechanism", "pairs", "false pos",
+              "false neg", "bytes/event");
+  Report("lamport", ScoreMechanism(exec, Mechanism::kLamport, kronos, samples, 101),
+         sizeof(LamportStamp));
+  Report("vector-clock", ScoreMechanism(exec, Mechanism::kVectorClock, kronos, samples, 101),
+         static_cast<double>(opts.processes) * sizeof(uint64_t));
+  Report("kronos", ScoreMechanism(exec, Mechanism::kKronos, kronos, samples, 101),
+         kronos_bytes);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Clock comparison", "dependence-tracking accuracy of Lamport / vector clocks "
+                                    "/ Kronos (the §1 motivation, quantified)");
+  const uint64_t actions = bench::ScaledU64(4000);
+  const uint64_t samples = bench::ScaledU64(20000);
+
+  CausalitySimOptions chatty;
+  chatty.actions = actions;
+  chatty.p_semantic_message = 0.3;  // most traffic is incidental
+  chatty.p_external_dep = 0.0;
+  chatty.seed = 1;
+  RunScenario("chatty system, no external channels", chatty, samples);
+
+  CausalitySimOptions external;
+  external.actions = actions;
+  external.p_semantic_message = 0.5;
+  external.p_external_dep = 0.1;  // some dependencies cross external channels
+  external.seed = 2;
+  RunScenario("with external-channel dependencies", external, samples);
+
+  CausalitySimOptions wide;
+  wide.processes = 64;
+  wide.actions = actions;
+  wide.seed = 3;
+  RunScenario("64 processes (vector clock stamp growth)", wide, samples);
+
+  std::printf("expected: lamport orders everything (100%% FP on concurrent pairs); vector\n"
+              "clocks over-order via incidental traffic and miss external channels entirely;\n"
+              "kronos is exact in all scenarios with ~8 bytes per declared dependency.\n");
+  return 0;
+}

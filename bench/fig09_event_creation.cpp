@@ -1,0 +1,54 @@
+// Figure 9: CDF of event-creation latency.
+//
+// Paper setup: client and server co-located; 10,000 timed sequential create_event calls on a
+// server that has already absorbed a large number of events. Paper result: majority of
+// creations complete in 44 us, 99% under 57 us (their numbers include the local RPC stack;
+// ours measure the engine itself — the shape to reproduce is a tight, flat CDF: creation cost
+// is constant and does not grow with the number of existing events).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/local.h"
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+
+using namespace kronos;
+
+int main() {
+  bench::Header("Figure 9", "event creation latency CDF (sequential create_event calls)");
+  LocalKronos kronos;
+
+  // Preload so the timed section runs against a populated graph (scaled from the paper's
+  // 100M-event run).
+  const uint64_t preload = bench::ScaledU64(10'000'000);
+  for (uint64_t i = 0; i < preload; ++i) {
+    (void)kronos.CreateEvent();
+  }
+  std::printf("preloaded %llu events (%.2f GB approx resident)\n",
+              (unsigned long long)preload, kronos.ApproxMemoryBytes() / 1073741824.0);
+
+  constexpr int kTimed = 10000;
+  Histogram latency;
+  for (int i = 0; i < kTimed; ++i) {
+    const uint64_t start = MonotonicNanos();
+    (void)kronos.CreateEvent();
+    latency.Record(MonotonicNanos() - start);
+  }
+
+  std::printf("\n%12s %10s\n", "latency(ns)", "CDF(%)");
+  double last_printed = -5.0;
+  for (const auto& [value, fraction] : latency.Cdf()) {
+    if (fraction * 100.0 - last_printed >= 5.0 ||
+        (fraction >= 0.99 && last_printed < 99.0) || fraction == 1.0) {
+      std::printf("%12llu %9.2f%%\n", (unsigned long long)value, fraction * 100.0);
+      last_printed = fraction * 100.0;
+      if (fraction == 1.0) {
+        break;
+      }
+    }
+  }
+  std::printf("\nsummary: %s\n", latency.Summary().c_str());
+  std::printf("paper: p50=44us, p99<57us end-to-end via Python bindings; the engine-side\n"
+              "shape (flat, constant-time creation independent of graph size) is the target\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 11: strict garbage collection time vs number of events collected.
+//
+// Worst case by construction: a fixed-length happens-before path where only the head holds a
+// reference, so releasing that single reference collects the entire path in one release_ref
+// call. Paper result: collection time grows linearly in the number of events collected
+// (~28 ms for 262,144 events on their hardware).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/client/local.h"
+#include "src/common/clock.h"
+
+using namespace kronos;
+
+int main() {
+  bench::Header("Figure 11", "strict GC: time to collect a released happens-before path");
+  std::printf("%16s %16s %14s\n", "collected", "time(ms)", "ns/event");
+  for (uint64_t len = 4096; len <= bench::ScaledU64(262144); len *= 2) {
+    LocalKronos kronos;
+    EventGraph& g = kronos.graph();
+    std::vector<EventId> chain;
+    chain.reserve(len);
+    for (uint64_t i = 0; i < len; ++i) {
+      chain.push_back(g.CreateEvent());
+      if (i > 0) {
+        KRONOS_CHECK_OK(
+            g.AssignOrder(std::vector<AssignSpec>{{chain[i - 1], chain[i], Constraint::kMust}})
+                .status());
+        KRONOS_CHECK_OK(g.ReleaseRef(chain[i]).status());  // only the head stays referenced
+      }
+    }
+    const uint64_t start = MonotonicNanos();
+    Result<uint64_t> collected = g.ReleaseRef(chain[0]);
+    const uint64_t elapsed = MonotonicNanos() - start;
+    KRONOS_CHECK_OK(collected.status());
+    KRONOS_CHECK(*collected == len) << "expected the whole path to collect";
+    std::printf("%16llu %16.3f %14.1f\n", (unsigned long long)len, elapsed / 1e6,
+                static_cast<double>(elapsed) / static_cast<double>(len));
+  }
+  std::printf("\npaper: linear growth, ~28 ms at 262,144 collected events; the ns/event\n"
+              "column staying flat is the linearity evidence\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 13: throughput timeline of a 2-fault-tolerant (3-replica) Kronos cluster across a
+// replica failure and a replacement join.
+//
+// Paper timeline: 90 s run; the middle chain server is killed at t=30 s and a new server
+// joins at t=60 s. The system recovers quickly and stays available throughout. We run a
+// scaled timeline (default 30 s: kill at 10 s, re-add at 20 s) and print per-second aggregate
+// throughput of mixed create/assign/query traffic.
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/server/cluster.h"
+#include "src/workload/workloads.h"
+
+using namespace kronos;
+
+int main() {
+  bench::Header("Figure 13", "throughput timeline across replica failure and re-join "
+                             "(3-replica chain)");
+  const uint64_t seconds = std::max<uint64_t>(bench::ScaledU64(30), 9);
+  const uint64_t kill_at = seconds / 3;
+  const uint64_t readd_at = 2 * seconds / 3;
+
+  KronosCluster::Options opts;
+  opts.replicas = 3;
+  opts.coordinator.failure_timeout_us = 400'000;
+  opts.coordinator.check_interval_us = 100'000;
+  opts.replica.heartbeat_interval_us = 100'000;
+  // Gigabit-Ethernet-like delivery latency: bounds client throughput to a realistic level (so
+  // the log the replacement replica must pull stays proportionate to the paper's) and routes
+  // all traffic through the delayed-delivery path.
+  opts.network.min_latency_us = 50;
+  opts.network.max_latency_us = 150;
+  KronosCluster cluster(opts);
+
+  constexpr int kClients = 16;
+  std::vector<std::unique_ptr<KronosClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    KronosClient::Options copts;
+    copts.call_timeout_us = 500'000;
+    copts.retry_backoff_us = 20'000;
+    clients.push_back(cluster.MakeClient("c" + std::to_string(c), copts));
+  }
+
+  std::vector<std::atomic<uint64_t>> ops(kClients);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      Rng rng(c);
+      std::vector<EventId> recent;
+      while (!stop.load(std::memory_order_relaxed)) {
+        bool ok = false;
+        const uint64_t dice = rng.Uniform(100);
+        if (dice < 40 || recent.size() < 2) {
+          Result<EventId> e = clients[c]->CreateEvent();
+          ok = e.ok();
+          if (ok) {
+            recent.push_back(*e);
+            if (recent.size() > 64) {
+              recent.erase(recent.begin());
+            }
+          }
+        } else if (dice < 70) {
+          const EventId e1 = recent[rng.Uniform(recent.size())];
+          const EventId e2 = recent[rng.Uniform(recent.size())];
+          ok = e1 == e2 ||
+               clients[c]->AssignOrder({{e1, e2, Constraint::kPrefer}}).status().code() !=
+                   StatusCode::kUnavailable;
+        } else {
+          const EventId e1 = recent[rng.Uniform(recent.size())];
+          const EventId e2 = recent[rng.Uniform(recent.size())];
+          ok = e1 == e2 || clients[c]->QueryOrder({{e1, e2}}).ok();
+        }
+        if (ok) {
+          ops[c].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::printf("%8s %16s %10s %s\n", "time(s)", "throughput(op/s)", "replicas", "event");
+  uint64_t prev = 0;
+  for (uint64_t sec = 1; sec <= seconds; ++sec) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    const char* event = "";
+    if (sec == kill_at) {
+      cluster.KillReplica(1);
+      event = "<- middle replica killed";
+    } else if (sec == readd_at) {
+      cluster.AddReplica("replacement");
+      event = "<- replacement added at tail";
+    }
+    uint64_t now = 0;
+    for (int c = 0; c < kClients; ++c) {
+      now += ops[c].load(std::memory_order_relaxed);
+    }
+    std::printf("%8llu %16llu %10zu %s\n", (unsigned long long)sec,
+                (unsigned long long)(now - prev),
+                cluster.coordinator().GetConfig().chain.size(), event);
+    prev = now;
+  }
+  stop.store(true);
+  for (auto& t : workers) {
+    t.join();
+  }
+  std::printf("\npaper: brief dip at the kill, recovery within seconds, full 2-fault\n"
+              "tolerance restored after the join; availability maintained throughout\n");
+  return 0;
+}

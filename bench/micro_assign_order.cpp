@@ -1,0 +1,120 @@
+// §4.2 microbenchmarks (google-benchmark): dependency creation, event creation, query cost as
+// a function of path depth, and reference-count operations.
+//
+// Paper numbers: dependency creation without traversal ~49-50 us end-to-end across 1M events
+// (including the cost of creating the events); event creation constant-time. The engine-side
+// costs here are what those end-to-end numbers bound from below.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/core/event_graph.h"
+
+namespace kronos {
+namespace {
+
+void BM_CreateEvent(benchmark::State& state) {
+  EventGraph g;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.CreateEvent());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateEvent);
+
+// Dependency creation with no traversal: chain tip extension (the fresh successor has no
+// outgoing edges, so the contradiction BFS touches one vertex).
+void BM_AssignOrderChainExtend(benchmark::State& state) {
+  EventGraph g;
+  EventId prev = g.CreateEvent();
+  for (auto _ : state) {
+    const EventId next = g.CreateEvent();
+    auto r = g.AssignOrder(std::vector<AssignSpec>{{prev, next, Constraint::kMust}});
+    benchmark::DoNotOptimize(r);
+    prev = next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssignOrderChainExtend);
+
+// Batched dependency creation: amortizes per-call overhead across the batch.
+void BM_AssignOrderBatch(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  EventGraph g;
+  EventId prev = g.CreateEvent();
+  for (auto _ : state) {
+    std::vector<AssignSpec> specs;
+    specs.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      const EventId next = g.CreateEvent();
+      specs.push_back({prev, next, Constraint::kPrefer});
+      prev = next;
+    }
+    auto r = g.AssignOrder(specs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_AssignOrderBatch)->Arg(8)->Arg(64)->Arg(512);
+
+// query_order over a chain: cost proportional to traversal depth (the BFS from the earlier
+// event walks the chain).
+void BM_QueryOrderChainDepth(benchmark::State& state) {
+  const uint64_t depth = static_cast<uint64_t>(state.range(0));
+  EventGraph g;
+  std::vector<EventId> chain;
+  chain.push_back(g.CreateEvent());
+  for (uint64_t i = 0; i < depth; ++i) {
+    chain.push_back(g.CreateEvent());
+    (void)g.AssignOrder(
+        std::vector<AssignSpec>{{chain[i], chain[i + 1], Constraint::kMust}});
+  }
+  const std::vector<EventPair> pair{{chain.front(), chain.back()}};
+  for (auto _ : state) {
+    auto r = g.QueryOrder(pair);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryOrderChainDepth)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+// query_order answering kConcurrent on disjoint events: two trivial BFS runs.
+void BM_QueryOrderConcurrent(benchmark::State& state) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const std::vector<EventPair> pair{{a, b}};
+  for (auto _ : state) {
+    auto r = g.QueryOrder(pair);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryOrderConcurrent);
+
+void BM_AcquireReleaseRef(benchmark::State& state) {
+  EventGraph g;
+  const EventId e = g.CreateEvent();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.AcquireRef(e));
+    benchmark::DoNotOptimize(g.ReleaseRef(e));
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_AcquireReleaseRef);
+
+// Create + immediately collect: the slot-recycling fast path.
+void BM_CreateRelease(benchmark::State& state) {
+  EventGraph g;
+  for (auto _ : state) {
+    const EventId e = g.CreateEvent();
+    benchmark::DoNotOptimize(g.ReleaseRef(e));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateRelease);
+
+}  // namespace
+}  // namespace kronos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// A fault-tolerant Kronos deployment (§2.4): a 3-replica chain on the simulated network, with
+// a live replica kill, transparent failover, and a replacement joining at the tail.
+#include <cstdio>
+
+#include "src/server/cluster.h"
+
+using namespace kronos;
+
+int main() {
+  KronosCluster::Options opts;
+  opts.replicas = 3;
+  opts.coordinator.failure_timeout_us = 300'000;
+  opts.coordinator.check_interval_us = 50'000;
+  opts.replica.heartbeat_interval_us = 50'000;
+  KronosCluster cluster(opts);
+  auto client = cluster.MakeClient("demo-client");
+
+  std::printf("=== 3-replica chain-replicated Kronos ===\n");
+  const EventId a = *client->CreateEvent();
+  const EventId b = *client->CreateEvent();
+  (void)client->AssignOrder({{a, b, Constraint::kMust}});
+  std::printf("created A=%llu, B=%llu; assigned A->B through the chain head\n",
+              (unsigned long long)a, (unsigned long long)b);
+
+  cluster.WaitForConvergence(2'000'000);
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    std::printf("replica %zu: last_applied=%llu live_events=%llu %s%s\n", i,
+                (unsigned long long)cluster.replica(i).last_applied(),
+                (unsigned long long)cluster.replica(i).live_events(),
+                cluster.replica(i).IsHead() ? "[head]" : "",
+                cluster.replica(i).IsTail() ? "[tail]" : "");
+  }
+
+  std::printf("\n=== killing the middle replica ===\n");
+  cluster.KillReplica(1);
+  const EventId c = *client->CreateEvent();
+  auto r = client->AssignOrder({{b, c, Constraint::kMust}});
+  std::printf("while reconfiguring, AssignOrder(B->C): %s\n", r.status().ToString().c_str());
+  auto q = client->QueryOrder({{a, c}});
+  std::printf("order(A, C) across the survivor chain: %s (transitive, still intact)\n",
+              std::string(OrderName((*q)[0])).c_str());
+
+  std::printf("\n=== admitting a replacement at the tail ===\n");
+  const size_t fresh = cluster.AddReplica("replacement");
+  for (int i = 0; i < 200 && cluster.replica(fresh).last_applied() < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::printf("replacement caught up: last_applied=%llu live_events=%llu\n",
+              (unsigned long long)cluster.replica(fresh).last_applied(),
+              (unsigned long long)cluster.replica(fresh).live_events());
+  std::printf("chain size now: %zu (2-fault tolerant again)\n",
+              cluster.coordinator().GetConfig().chain.size());
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "src/apps/catocs.h"
+
+namespace kronos {
+
+// ---------------------------------------------------------------------------- shop floor ---
+
+Result<MachineCommand> ControlUnit::Issue(bool start) {
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  if (last_command_ != kInvalidEvent) {
+    Result<AssignOutcome> r = kronos_.AssignOrderOne(last_command_, *e, Constraint::kMust);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  last_command_ = *e;
+  return MachineCommand{start, *e};
+}
+
+Result<MachineCommand> ControlUnit::IssueAfter(bool start, EventId after) {
+  Result<MachineCommand> cmd = Issue(start);
+  if (!cmd.ok()) {
+    return cmd;
+  }
+  Result<AssignOutcome> r = kronos_.AssignOrderOne(after, cmd->event, Constraint::kMust);
+  if (!r.ok()) {
+    return r.status();
+  }
+  return cmd;
+}
+
+Result<bool> ShopFloorMachine::Deliver(const MachineCommand& command) {
+  if (last_applied_ != kInvalidEvent) {
+    Result<Order> order = kronos_.QueryOrderOne(last_applied_, command.event);
+    if (!order.ok()) {
+      return order.status();
+    }
+    if (*order == Order::kAfter) {
+      // The network delivered an old command after a newer one was already applied; applying
+      // it would run the machine against its controllers' intent. Discard.
+      ++discarded_stale_;
+      return false;
+    }
+    if (*order == Order::kConcurrent) {
+      // No constraint exists yet: late-bind one so this decision is final and every other
+      // observer agrees with it (monotonicity makes the chosen order incontrovertible).
+      Result<AssignOutcome> r =
+          kronos_.AssignOrderOne(last_applied_, command.event, Constraint::kPrefer);
+      if (!r.ok()) {
+        return r.status();
+      }
+      if (*r == AssignOutcome::kReversed) {
+        ++discarded_stale_;
+        return false;
+      }
+    }
+  }
+  last_applied_ = command.event;
+  running_ = command.start;
+  ++applied_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------- fire alarm ---
+
+Result<FireMessage> FireAlarm::ReportFire(FireId id) {
+  if (fire_events_.count(id) > 0) {
+    return Status(InvalidArgument("fire already reported"));
+  }
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  fire_events_[id] = *e;
+  return FireMessage{id, false, *e};
+}
+
+Result<FireMessage> FireAlarm::ReportFireOut(FireId id) {
+  auto it = fire_events_.find(id);
+  if (it == fire_events_.end()) {
+    return Status(NotFound("no such fire"));
+  }
+  if (out_events_.count(id) > 0) {
+    return Status(InvalidArgument("fire already out"));
+  }
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  // "The system records in Kronos a happens-before relationship between each pair of 'fire'
+  // and 'fire out' events."
+  Result<AssignOutcome> r = kronos_.AssignOrderOne(it->second, *e, Constraint::kMust);
+  if (!r.ok()) {
+    return r.status();
+  }
+  out_events_[id] = *e;
+  return FireMessage{id, true, *e};
+}
+
+std::optional<EventId> FireAlarm::FireEventOf(FireId id) const {
+  auto it = fire_events_.find(id);
+  if (it == fire_events_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Status Extinguisher::Deliver(const FireMessage& msg) {
+  if (msg.out) {
+    seen_out_[msg.fire] = msg.event;
+  } else {
+    seen_fire_[msg.fire] = msg.event;
+  }
+  return OkStatus();
+}
+
+std::set<FireId> Extinguisher::Burning() const {
+  // A fire burns if we saw it start and saw no extinguishing event for it. Because a "fire
+  // out" message names its fire and is ordered after it, delivery order is irrelevant: a
+  // delayed "fire out" can only ever extinguish its own fire, never a later one (the CATOCS
+  // failure was one "fire out" appearing to answer multiple fires).
+  std::set<FireId> burning;
+  for (const auto& [id, event] : seen_fire_) {
+    auto out = seen_out_.find(id);
+    if (out == seen_out_.end()) {
+      burning.insert(id);
+      continue;
+    }
+    // Sanity: the extinguish event must be ordered after the fire event.
+    Result<Order> order = kronos_.QueryOrderOne(event, out->second);
+    if (order.ok() && *order != Order::kBefore) {
+      burning.insert(id);  // mismatched pair: treat as still burning (fail safe)
+    }
+  }
+  // An "out" whose "fire" message is still in flight extinguishes nothing else: ignored here,
+  // matched when the fire message arrives.
+  return burning;
+}
+
+// ----------------------------------------------------------------------------- fail-safe ---
+
+Result<MachineCommand> FailSafe::React(const FireMessage& msg) {
+  if (!msg.out) {
+    // Stop, ordered after the fire: anyone consulting Kronos sees fire -> stop.
+    return unit_.IssueAfter(false, msg.event);
+  }
+  // Restart, ordered after the fire-out.
+  return unit_.IssueAfter(true, msg.event);
+}
+
+}  // namespace kronos

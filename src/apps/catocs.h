@@ -1,0 +1,137 @@
+// The Cheriton–Skeen (CATOCS) control examples from §3.4, built on Kronos.
+//
+// Three cooperating pieces:
+//   * ShopFloorMachine — receives "start"/"stop" commands from multiple control units through
+//     a channel that does not preserve order. Each command is a Kronos event; control units
+//     chain their own commands with must edges. The machine applies a command only if it is
+//     ordered after the last command it applied, so late-arriving stale commands can never
+//     regress the machine ("allowing the machines to 'start' processing when they should
+//     'stop', or vice-versa" is exactly what this prevents).
+//   * FireAlarm — sensors raise fire / fire-out signals; each pair is connected by a must edge
+//     ("The system records in Kronos a happens-before relationship between each pair"). An
+//     extinguisher receiving the messages in ANY order can compute which fires still burn.
+//   * FailSafe — couples the two without modifying either: on "fire" it issues a machine
+//     "stop" ordered after the fire event; on "fire out" it issues a "start" ordered after the
+//     fire-out event (§3.4's kill-switch, built purely from the event dependency graph).
+#ifndef KRONOS_APPS_CATOCS_H_
+#define KRONOS_APPS_CATOCS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/client/api.h"
+
+namespace kronos {
+
+// ---------------------------------------------------------------------------- shop floor ---
+
+struct MachineCommand {
+  bool start = false;  // true = start processing, false = stop
+  EventId event = kInvalidEvent;
+};
+
+// A control unit issues commands; consecutive commands from one unit are chained with must
+// edges, so their relative order is fixed no matter how the messages are delivered.
+class ControlUnit {
+ public:
+  explicit ControlUnit(KronosApi& kronos) : kronos_(kronos) {}
+
+  Result<MachineCommand> Start() { return Issue(true); }
+  Result<MachineCommand> Stop() { return Issue(false); }
+
+  // Issues a command ordered after a foreign event (used by the fail-safe to order its "stop"
+  // after a "fire").
+  Result<MachineCommand> IssueAfter(bool start, EventId after);
+
+ private:
+  Result<MachineCommand> Issue(bool start);
+
+  KronosApi& kronos_;
+  EventId last_command_ = kInvalidEvent;
+};
+
+class ShopFloorMachine {
+ public:
+  explicit ShopFloorMachine(KronosApi& kronos) : kronos_(kronos) {}
+
+  // Delivers one command (in any network order). Returns whether the command was applied
+  // (ordered after everything applied so far) or discarded as stale.
+  Result<bool> Deliver(const MachineCommand& command);
+
+  bool running() const { return running_; }
+  uint64_t applied() const { return applied_; }
+  uint64_t discarded_stale() const { return discarded_stale_; }
+
+ private:
+  KronosApi& kronos_;
+  bool running_ = false;
+  EventId last_applied_ = kInvalidEvent;
+  uint64_t applied_ = 0;
+  uint64_t discarded_stale_ = 0;
+};
+
+// ---------------------------------------------------------------------------- fire alarm ---
+
+using FireId = uint64_t;
+
+struct FireMessage {
+  FireId fire = 0;
+  bool out = false;  // false = "fire", true = "fire out"
+  EventId event = kInvalidEvent;
+};
+
+// The sensing side: creates the event pairs with their must edges.
+class FireAlarm {
+ public:
+  explicit FireAlarm(KronosApi& kronos) : kronos_(kronos) {}
+
+  Result<FireMessage> ReportFire(FireId id);
+  // Requires the fire to have been reported; orders the fire-out after the fire.
+  Result<FireMessage> ReportFireOut(FireId id);
+
+  std::optional<EventId> FireEventOf(FireId id) const;
+
+ private:
+  KronosApi& kronos_;
+  std::map<FireId, EventId> fire_events_;
+  std::map<FireId, EventId> out_events_;
+};
+
+// The receiving side: consumes messages in arbitrary order and always knows what burns.
+class Extinguisher {
+ public:
+  explicit Extinguisher(KronosApi& kronos) : kronos_(kronos) {}
+
+  Status Deliver(const FireMessage& msg);
+
+  // Fires for which a "fire" was seen and no "fire out" ordered after it was seen.
+  std::set<FireId> Burning() const;
+
+ private:
+  KronosApi& kronos_;
+  std::map<FireId, EventId> seen_fire_;
+  std::map<FireId, EventId> seen_out_;
+};
+
+// ----------------------------------------------------------------------------- fail-safe ---
+
+// Couples the fire alarm to a machine's control unit through the event dependency graph only.
+class FailSafe {
+ public:
+  FailSafe(KronosApi& kronos, ControlUnit& unit) : kronos_(kronos), unit_(unit) {}
+
+  // On "fire": issue a stop ordered after the fire event. On "fire out": issue a start ordered
+  // after the fire-out event. Returns the command to route to the machine.
+  Result<MachineCommand> React(const FireMessage& msg);
+
+ private:
+  KronosApi& kronos_;
+  ControlUnit& unit_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_APPS_CATOCS_H_

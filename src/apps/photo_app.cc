@@ -1,0 +1,236 @@
+#include "src/apps/photo_app.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+// ---------------------------------------------------------------------------- AclStore -----
+
+Result<AclStore::AclWrite> AclStore::MakeWrite(AlbumId album, std::set<uint64_t> allowed) {
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  EventId previous;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AlbumState& state = albums_[album];
+    previous = state.chain_tail;
+    state.chain_tail = *e;
+  }
+  if (previous != kInvalidEvent) {
+    // ACL writes to one album form a chain: their relative order is fixed at creation time,
+    // no matter when (or in what order) stores apply them.
+    Result<AssignOutcome> r = kronos_.AssignOrderOne(previous, *e, Constraint::kMust);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  return AclWrite{album, std::move(allowed), *e};
+}
+
+Status AclStore::Deliver(const AclWrite& write) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AlbumState& state = albums_[write.album];
+  // Insert at the write's timeline position. Writes are chained, so pairwise orders are always
+  // defined; a linear scan from the back finds the spot (§3.2's "inserts the update into its
+  // sorted position within the list").
+  size_t pos = state.applied.size();
+  while (pos > 0) {
+    Result<Order> order = kronos_.QueryOrderOne(state.applied[pos - 1].event, write.event);
+    if (!order.ok()) {
+      return order.status();
+    }
+    if (*order == Order::kBefore) {
+      break;
+    }
+    --pos;
+  }
+  state.applied.insert(state.applied.begin() + static_cast<ptrdiff_t>(pos), write);
+  return OkStatus();
+}
+
+Result<std::set<uint64_t>> AclStore::ReadRequiring(AlbumId album, EventId required_event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = albums_.find(album);
+  if (required_event == kInvalidEvent) {
+    return Status(NotFound("album has no ACL"));
+  }
+  if (it == albums_.end()) {
+    return Status(Unavailable("ACL dependency not yet applied"));
+  }
+  // The answer is the newest applied write that is not ordered after the required one — and
+  // the required write itself must be present, or the answer could be stale (the Fig. 1 race).
+  const std::vector<AclWrite>& applied = it->second.applied;
+  for (size_t i = applied.size(); i > 0; --i) {
+    const AclWrite& w = applied[i - 1];
+    if (w.event == required_event) {
+      return w.allowed;
+    }
+    Result<Order> order = kronos_.QueryOrderOne(w.event, required_event);
+    if (!order.ok()) {
+      return order.status();
+    }
+    if (*order == Order::kBefore) {
+      // We walked past the required position without finding the required write applied.
+      break;
+    }
+  }
+  return Status(Unavailable("ACL dependency not yet applied"));
+}
+
+Result<std::set<uint64_t>> AclStore::ReadLatestApplied(AlbumId album) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = albums_.find(album);
+  if (it == albums_.end() || it->second.applied.empty()) {
+    return Status(NotFound("no ACL applied"));
+  }
+  return it->second.applied.back().allowed;
+}
+
+// ---------------------------------------------------------------------------- BlobStore ----
+
+void BlobStore::Put(PhotoId photo, std::string bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_[photo] = std::move(bytes);
+}
+
+Result<std::string> BlobStore::Get(PhotoId photo) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blobs_.find(photo);
+  if (it == blobs_.end()) {
+    return Status(NotFound("no such photo"));
+  }
+  return it->second;
+}
+
+size_t BlobStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.size();
+}
+
+// ---------------------------------------------------------------------------- PhotoApp -----
+
+PhotoApp::PhotoApp(KronosApi& kronos)
+    : kronos_(kronos), acls_(kronos), graph_(kronos) {}
+
+Result<AclStore::AclWrite> PhotoApp::SetAlbumAcl(AlbumId album, std::set<uint64_t> allowed,
+                                                 bool deliver) {
+  Result<AclStore::AclWrite> write = acls_.MakeWrite(album, std::move(allowed));
+  if (!write.ok()) {
+    return write;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    album_acl_tail_[album] = write->event;
+  }
+  if (deliver) {
+    KRONOS_RETURN_IF_ERROR(acls_.Deliver(*write));
+  }
+  return write;
+}
+
+Result<PhotoId> PhotoApp::UploadPhoto(uint64_t user, AlbumId album, std::string bytes) {
+  (void)user;
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  // The upload is published under the album's current ACL write; the app records that
+  // dependency on the photo and orders the upload after it (B after A in Fig. 1).
+  EventId acl_dep;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = album_acl_tail_.find(album);
+    acl_dep = it == album_acl_tail_.end() ? kInvalidEvent : it->second;
+  }
+  if (acl_dep != kInvalidEvent) {
+    Result<AssignOutcome> r = kronos_.AssignOrderOne(acl_dep, *e, Constraint::kMust);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const PhotoId photo = next_photo_++;
+  blobs_.Put(photo, std::move(bytes));
+  photos_[photo] = PhotoMeta{album, *e, acl_dep, kInvalidEvent};
+  return photo;
+}
+
+Status PhotoApp::TagUser(uint64_t actor, PhotoId photo, uint64_t tagged) {
+  EventId upload_event;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = photos_.find(photo);
+    if (it == photos_.end()) {
+      return NotFound("no such photo");
+    }
+    upload_event = it->second.upload_event;
+  }
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  // The tag follows the upload (B's internal order), linking the like's causal chain.
+  Result<AssignOutcome> r = kronos_.AssignOrderOne(upload_event, *e, Constraint::kMust);
+  if (!r.ok()) {
+    return r.status();
+  }
+  KRONOS_RETURN_IF_ERROR(graph_.AddEdge(tagged, kPhotoVertexBase + photo));
+  std::lock_guard<std::mutex> lock(mutex_);
+  photos_[photo].last_tag_event = *e;
+  (void)actor;
+  return OkStatus();
+}
+
+Result<bool> PhotoApp::Like(uint64_t user, PhotoId photo) {
+  PhotoMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = photos_.find(photo);
+    if (it == photos_.end()) {
+      return Status(NotFound("no such photo"));
+    }
+    meta = it->second;
+  }
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  // C is ordered after the event that made the photo visible to Bob (the tag, else the
+  // upload) — so A -> B -> C holds in Kronos before the ACL store is ever consulted.
+  const EventId cause =
+      meta.last_tag_event != kInvalidEvent ? meta.last_tag_event : meta.upload_event;
+  Result<AssignOutcome> chained = kronos_.AssignOrderOne(cause, *e, Constraint::kMust);
+  if (!chained.ok()) {
+    return chained.status();
+  }
+  // The ACL check names the exact write the photo was published under. A store that has not
+  // applied it answers kUnavailable — never the older, possibly more permissive ACL.
+  Result<std::set<uint64_t>> acl = acls_.ReadRequiring(meta.album, meta.acl_dependency);
+  if (!acl.ok()) {
+    return acl.status();
+  }
+  if (acl->count(user) == 0) {
+    return false;  // denied
+  }
+  KRONOS_RETURN_IF_ERROR(graph_.AddEdge(user, kPhotoVertexBase + photo));
+  return true;
+}
+
+Result<std::vector<uint64_t>> PhotoApp::LikesOf(PhotoId photo) {
+  Result<std::vector<VertexId>> neighbors = graph_.Neighbors(kPhotoVertexBase + photo);
+  if (!neighbors.ok()) {
+    if (neighbors.status().code() == StatusCode::kNotFound) {
+      return std::vector<uint64_t>{};  // photo has no tags/likes yet
+    }
+    return neighbors.status();
+  }
+  std::vector<uint64_t> users(neighbors->begin(), neighbors->end());
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+}  // namespace kronos

@@ -1,0 +1,145 @@
+// The Fig. 1 application: a photo-sharing social network composed from three independent
+// subsystems — an ACL key-value store, a photo blob store (file-system stand-in), and a graph
+// store for tags and likes — all sharing one Kronos timeline.
+//
+// The failure the paper opens with: Alice restricts her album's ACL (A), uploads and tags a
+// photo of Bob (B), and Bob likes it (C). The components process different subsets of
+// {A, B, C}; "in the absence of order, it is possible for the ACLs setup by Alice in the first
+// step to be improperly retrieved in the third step, potentially exposing her photos to an
+// unintended audience." Kronos carries the transitive dependency A -> B -> C into the ACL
+// store, which never saw B.
+//
+// Mechanics here: every ACL write is a Kronos event chained per album (must); every photo
+// records the ACL event it was published under; tags chain after uploads; a like's ACL check
+// names the ACL event its causal chain references and the store refuses to answer from any
+// state that does not include it (kUnavailable = "dependency not yet applied", retry after
+// delivery) — stale answers are structurally impossible, no matter the delivery order.
+#ifndef KRONOS_APPS_PHOTO_APP_H_
+#define KRONOS_APPS_PHOTO_APP_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/client/api.h"
+#include "src/graphstore/kronograph.h"
+
+namespace kronos {
+
+using AlbumId = uint64_t;
+using PhotoId = uint64_t;
+
+// ---------------------------------------------------------------- ACL store (KV stand-in) ---
+
+// A replicated-in-spirit ACL store: writes are events chained per album and may be DELIVERED
+// in any order (the test/demo plays the adversary); reads name the ACL event they causally
+// require.
+class AclStore {
+ public:
+  struct AclWrite {
+    AlbumId album = 0;
+    std::set<uint64_t> allowed;  // user ids
+    EventId event = kInvalidEvent;
+  };
+
+  explicit AclStore(KronosApi& kronos) : kronos_(kronos) {}
+
+  // Creates (but does not apply) an ACL write, ordered after the album's previous ACL event.
+  Result<AclWrite> MakeWrite(AlbumId album, std::set<uint64_t> allowed);
+
+  // Applies a delivered write; out-of-order deliveries are inserted at their timeline position
+  // (version list sorted by Kronos order).
+  Status Deliver(const AclWrite& write);
+
+  // Reads the ACL visible at `required_event`'s position in the timeline. Fails with
+  // kUnavailable when that write has not been delivered yet — the caller defers, it NEVER gets
+  // a stale answer. required_event == kInvalidEvent means "no ACL dependency" (album open).
+  Result<std::set<uint64_t>> ReadRequiring(AlbumId album, EventId required_event);
+
+  // The naive read a Kronos-less store would do: whatever is applied right now. Used by the
+  // demo to show the exposure the paper warns about.
+  Result<std::set<uint64_t>> ReadLatestApplied(AlbumId album);
+
+ private:
+  struct AlbumState {
+    EventId chain_tail = kInvalidEvent;               // last CREATED write for the album
+    std::vector<AclWrite> applied;                    // delivered writes, in Kronos order
+  };
+
+  KronosApi& kronos_;
+  std::mutex mutex_;
+  std::map<AlbumId, AlbumState> albums_;
+};
+
+// -------------------------------------------------------------- blob store (FS stand-in) ---
+
+class BlobStore {
+ public:
+  void Put(PhotoId photo, std::string bytes);
+  Result<std::string> Get(PhotoId photo) const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<PhotoId, std::string> blobs_;
+};
+
+// --------------------------------------------------------------------------- the app ------
+
+class PhotoApp {
+ public:
+  explicit PhotoApp(KronosApi& kronos);
+
+  // Alice restricts an album to `allowed` viewers. Returns the ACL write; by default it is
+  // applied immediately, but the caller may take delivery into its own hands (deliver = false)
+  // to exercise the race.
+  Result<AclStore::AclWrite> SetAlbumAcl(AlbumId album, std::set<uint64_t> allowed,
+                                         bool deliver = true);
+
+  // Uploads a photo into an album: blob write + an event ordered after the album's ACL write
+  // (the app records which ACL version the photo was published under).
+  Result<PhotoId> UploadPhoto(uint64_t user, AlbumId album, std::string bytes);
+
+  // Tags a user in a photo: graph-store edge + an event ordered after the upload.
+  Status TagUser(uint64_t actor, PhotoId photo, uint64_t tagged);
+
+  // Bob likes a photo. The ACL check requires the exact ACL event the photo's causal chain
+  // references. Outcomes: true = like recorded; false = denied by ACL; kUnavailable = the ACL
+  // dependency has not reached the store yet (retry after delivery); never a stale answer.
+  Result<bool> Like(uint64_t user, PhotoId photo);
+
+  AclStore& acl_store() { return acls_; }
+  BlobStore& blob_store() { return blobs_; }
+  KronoGraph& social_graph() { return graph_; }
+
+  // Who liked the photo (via the graph store).
+  Result<std::vector<uint64_t>> LikesOf(PhotoId photo);
+
+ private:
+  struct PhotoMeta {
+    AlbumId album = 0;
+    EventId upload_event = kInvalidEvent;
+    EventId acl_dependency = kInvalidEvent;  // the ACL write the upload was published under
+    EventId last_tag_event = kInvalidEvent;
+  };
+
+  KronosApi& kronos_;
+  AclStore acls_;
+  BlobStore blobs_;
+  KronoGraph graph_;
+
+  std::mutex mutex_;
+  std::map<PhotoId, PhotoMeta> photos_;
+  std::map<AlbumId, EventId> album_acl_tail_;  // latest ACL write CREATED per album
+  PhotoId next_photo_ = 1;
+  // Graph-store vertex ids: users as-is; photos offset into their own range.
+  static constexpr VertexId kPhotoVertexBase = 1ull << 40;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_APPS_PHOTO_APP_H_

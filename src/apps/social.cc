@@ -1,0 +1,155 @@
+#include "src/apps/social.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+SocialNetwork::SocialNetwork(KronosApi& kronos) : kronos_(kronos) {}
+
+void SocialNetwork::AddFriendship(UserId a, UserId b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  friends_[a].insert(b);
+  friends_[b].insert(a);
+}
+
+std::vector<UserId> SocialNetwork::FriendsOf(UserId user) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<UserId> out{user};  // own timeline included
+  auto it = friends_.find(user);
+  if (it != friends_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+Result<MessageId> SocialNetwork::Post(UserId user, std::string text) {
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const MessageId id = next_message_id_++;
+  messages_[id] = TimelineMessage{id, user, std::move(text), *e, std::nullopt};
+  timelines_[user].push_back(id);
+  auto it = friends_.find(user);
+  if (it != friends_.end()) {
+    for (const UserId f : it->second) {
+      timelines_[f].push_back(id);
+    }
+  }
+  return id;
+}
+
+Result<MessageId> SocialNetwork::Reply(UserId user, std::string text, MessageId in_reply_to) {
+  EventId parent_event;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = messages_.find(in_reply_to);
+    if (it == messages_.end()) {
+      return Status(NotFound("no such message"));
+    }
+    parent_event = it->second.event;
+  }
+  Result<EventId> e = kronos_.CreateEvent();
+  if (!e.ok()) {
+    return e.status();
+  }
+  // Fig. 5: kronos.assign_order([(in_reply_to, '->', e, 'must')]).
+  Result<std::vector<AssignOutcome>> r =
+      kronos_.AssignOrder({{parent_event, *e, Constraint::kMust}});
+  if (!r.ok()) {
+    return r.status();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const MessageId id = next_message_id_++;
+  messages_[id] = TimelineMessage{id, user, std::move(text), *e, in_reply_to};
+  timelines_[user].push_back(id);
+  auto it = friends_.find(user);
+  if (it != friends_.end()) {
+    for (const UserId f : it->second) {
+      timelines_[f].push_back(id);
+    }
+  }
+  return id;
+}
+
+std::vector<TimelineMessage> TopologicalSortByOrders(
+    std::vector<TimelineMessage> messages,
+    const std::vector<std::pair<std::pair<size_t, size_t>, Order>>& orders) {
+  const size_t n = messages.size();
+  std::vector<std::vector<size_t>> succ(n);
+  std::vector<size_t> indegree(n, 0);
+  for (const auto& [pair, order] : orders) {
+    const auto [i, j] = pair;
+    if (order == Order::kBefore) {
+      succ[i].push_back(j);
+      ++indegree[j];
+    } else if (order == Order::kAfter) {
+      succ[j].push_back(i);
+      ++indegree[i];
+    }
+  }
+  // Kahn's algorithm, preferring the lowest arrival index among ready messages so unordered
+  // messages keep their arrival order (Fig. 5: "The remaining messages will be unaffected by
+  // the sort").
+  std::vector<TimelineMessage> out;
+  out.reserve(n);
+  std::vector<bool> emitted(n, false);
+  for (size_t emitted_count = 0; emitted_count < n; ++emitted_count) {
+    size_t pick = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (!emitted[i] && indegree[i] == 0) {
+        pick = i;
+        break;
+      }
+    }
+    KRONOS_CHECK(pick < n) << "cycle in message order (coherency violation)";
+    emitted[pick] = true;
+    out.push_back(messages[pick]);
+    for (const size_t j : succ[pick]) {
+      --indegree[j];
+    }
+  }
+  return out;
+}
+
+Result<std::vector<TimelineMessage>> SocialNetwork::RenderTimeline(UserId user) {
+  std::vector<TimelineMessage> messages;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = timelines_.find(user);
+    if (it != timelines_.end()) {
+      messages.reserve(it->second.size());
+      for (const MessageId id : it->second) {
+        messages.push_back(messages_.at(id));
+      }
+    }
+  }
+  if (messages.size() < 2) {
+    return messages;
+  }
+  // message_pairs = all_pairs([m.id for m in messages]) — one batched query_order call.
+  std::vector<EventPair> pairs;
+  std::vector<std::pair<size_t, size_t>> index_pairs;
+  pairs.reserve(messages.size() * (messages.size() - 1) / 2);
+  for (size_t i = 0; i < messages.size(); ++i) {
+    for (size_t j = i + 1; j < messages.size(); ++j) {
+      pairs.push_back({messages[i].event, messages[j].event});
+      index_pairs.push_back({i, j});
+    }
+  }
+  Result<std::vector<Order>> orders = kronos_.QueryOrder(std::move(pairs));
+  if (!orders.ok()) {
+    return orders.status();
+  }
+  std::vector<std::pair<std::pair<size_t, size_t>, Order>> relation;
+  relation.reserve(index_pairs.size());
+  for (size_t k = 0; k < index_pairs.size(); ++k) {
+    relation.push_back({index_pairs[k], (*orders)[k]});
+  }
+  return TopologicalSortByOrders(std::move(messages), relation);
+}
+
+}  // namespace kronos

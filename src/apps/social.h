@@ -1,0 +1,69 @@
+// SocialNetwork: the §3.1 timeline application (paper Fig. 5, pseudocode reproduced in C++).
+//
+// Posts appear on timelines in processing (arrival) order; replies are ordered after the
+// message they answer via assign_order(must). Rendering queries Kronos for the partial order
+// over the timeline's messages and topologically sorts them, leaving unordered messages in
+// arrival order — "the timeline should never show a reply earlier in the timeline than the
+// message to which it is replying", with no total order imposed on unrelated activity.
+#ifndef KRONOS_APPS_SOCIAL_H_
+#define KRONOS_APPS_SOCIAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/client/api.h"
+
+namespace kronos {
+
+using UserId = uint64_t;
+using MessageId = uint64_t;
+
+struct TimelineMessage {
+  MessageId id = 0;
+  UserId author = 0;
+  std::string text;
+  EventId event = kInvalidEvent;
+  std::optional<MessageId> in_reply_to;
+};
+
+class SocialNetwork {
+ public:
+  explicit SocialNetwork(KronosApi& kronos);
+
+  // Friendship is symmetric; users always "follow" themselves.
+  void AddFriendship(UserId a, UserId b);
+
+  // post_message from Fig. 5: creates an event and enqueues on every friend's timeline.
+  Result<MessageId> Post(UserId user, std::string text);
+
+  // reply_to_message: additionally assign_order(in_reply_to -> e, must).
+  Result<MessageId> Reply(UserId user, std::string text, MessageId in_reply_to);
+
+  // render_timeline: all-pairs query_order + topological sort, stable by arrival.
+  Result<std::vector<TimelineMessage>> RenderTimeline(UserId user);
+
+ private:
+  std::vector<UserId> FriendsOf(UserId user);
+
+  KronosApi& kronos_;
+  std::mutex mutex_;
+  std::unordered_map<UserId, std::unordered_set<UserId>> friends_;
+  std::unordered_map<UserId, std::vector<MessageId>> timelines_;  // arrival order
+  std::unordered_map<MessageId, TimelineMessage> messages_;
+  MessageId next_message_id_ = 1;
+};
+
+// Topologically sorts `messages` (in arrival order) subject to `orders`, where orders[i] is
+// the relation for pair (i, j) as produced by all-pairs enumeration — exposed for tests.
+std::vector<TimelineMessage> TopologicalSortByOrders(
+    std::vector<TimelineMessage> messages,
+    const std::vector<std::pair<std::pair<size_t, size_t>, Order>>& orders);
+
+}  // namespace kronos
+
+#endif  // KRONOS_APPS_SOCIAL_H_

@@ -1,0 +1,83 @@
+#include "src/chain/control.h"
+
+namespace kronos {
+
+std::vector<uint8_t> SerializeControl(const ControlMessage& msg) {
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(msg.type));
+  w.WriteVarint(msg.epoch);
+  w.WriteU32(msg.node);
+  w.WriteVarint(msg.seq);
+  w.WriteVarint(msg.chain.size());
+  for (const NodeId n : msg.chain) {
+    w.WriteU32(n);
+  }
+  w.WriteVarint(msg.blob.size());
+  w.WriteBytes(msg.blob);
+  return w.TakeBuffer();
+}
+
+Result<ControlMessage> ParseControl(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  ControlMessage msg;
+  uint8_t type = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(type));
+  if (type < static_cast<uint8_t>(ControlType::kHeartbeat) ||
+      type > static_cast<uint8_t>(ControlType::kSnapshot)) {
+    return Status(InvalidArgument("bad control type"));
+  }
+  msg.type = static_cast<ControlType>(type);
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(msg.epoch));
+  KRONOS_RETURN_IF_ERROR(r.ReadU32(msg.node));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(msg.seq));
+  uint64_t n = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+  if (n * 4 > r.remaining()) {
+    return Status(InvalidArgument("chain length exceeds payload"));
+  }
+  msg.chain.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    NodeId id = 0;
+    KRONOS_RETURN_IF_ERROR(r.ReadU32(id));
+    msg.chain.push_back(id);
+  }
+  uint64_t blob_len = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(blob_len));
+  if (blob_len != r.remaining()) {
+    return Status(InvalidArgument("control blob length mismatch"));
+  }
+  msg.blob.resize(blob_len);
+  KRONOS_RETURN_IF_ERROR(r.ReadBytes(msg.blob));
+  if (!r.AtEnd()) {
+    return Status(InvalidArgument("trailing bytes after control message"));
+  }
+  return msg;
+}
+
+std::vector<uint8_t> SerializeLogEntry(const LogEntry& entry) {
+  BufferWriter w;
+  w.WriteVarint(entry.seq);
+  w.WriteU32(entry.client);
+  w.WriteVarint(entry.client_request_id);
+  w.WriteVarint(entry.command.size());
+  w.WriteBytes(entry.command);
+  return w.TakeBuffer();
+}
+
+Result<LogEntry> ParseLogEntry(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  LogEntry entry;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.seq));
+  KRONOS_RETURN_IF_ERROR(r.ReadU32(entry.client));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.client_request_id));
+  uint64_t len = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(len));
+  if (len != r.remaining()) {
+    return Status(InvalidArgument("log entry command length mismatch"));
+  }
+  entry.command.resize(len);
+  KRONOS_RETURN_IF_ERROR(r.ReadBytes(entry.command));
+  return entry;
+}
+
+}  // namespace kronos

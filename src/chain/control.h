@@ -1,0 +1,96 @@
+// Control-plane messages for chain replication: configuration, heartbeats, and resync.
+//
+// The coordinator (a ZooKeeper/Chubby stand-in, §2.4) owns the chain configuration. Replicas
+// heartbeat to it; on failure it cuts the failed replica out, bumps the epoch, and broadcasts
+// the new configuration. Replicas use kResendRequest toward their predecessor to close any log
+// gap after a reconfiguration — the same mechanism serves a brand-new tail joining with an
+// empty log (full state transfer).
+#ifndef KRONOS_CHAIN_CONTROL_H_
+#define KRONOS_CHAIN_CONTROL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/sim_network.h"
+#include "src/wire/buffer.h"
+
+namespace kronos {
+
+// An epoch-stamped chain layout: chain.front() is the head, chain.back() the tail.
+struct ChainConfig {
+  uint64_t epoch = 0;
+  std::vector<NodeId> chain;
+
+  bool Contains(NodeId node) const {
+    for (const NodeId n : chain) {
+      if (n == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+  NodeId head() const { return chain.empty() ? kInvalidNode : chain.front(); }
+  NodeId tail() const { return chain.empty() ? kInvalidNode : chain.back(); }
+
+  friend bool operator==(const ChainConfig&, const ChainConfig&) = default;
+};
+
+enum class ControlType : uint8_t {
+  kHeartbeat = 1,      // replica -> coordinator: node = sender
+  kGetConfig = 2,      // client/replica -> coordinator (request); answered with kConfig
+  kConfig = 3,         // coordinator -> anyone: epoch + chain
+  kResendRequest = 4,  // successor -> predecessor: seq = first missing log index
+  kSnapshot = 5,       // predecessor -> successor: seq = covered-through index, blob = state
+};
+
+struct ControlMessage {
+  ControlType type = ControlType::kHeartbeat;
+  uint64_t epoch = 0;
+  NodeId node = kInvalidNode;
+  uint64_t seq = 0;
+  std::vector<NodeId> chain;
+  std::vector<uint8_t> blob;  // kSnapshot: a serialized KronosStateMachine
+
+  static ControlMessage Heartbeat(NodeId node) {
+    return ControlMessage{.type = ControlType::kHeartbeat, .node = node};
+  }
+  static ControlMessage GetConfig() { return ControlMessage{.type = ControlType::kGetConfig}; }
+  static ControlMessage Config(const ChainConfig& cfg) {
+    return ControlMessage{.type = ControlType::kConfig, .epoch = cfg.epoch, .chain = cfg.chain};
+  }
+  static ControlMessage ResendRequest(uint64_t from_seq, NodeId requester) {
+    return ControlMessage{
+        .type = ControlType::kResendRequest, .node = requester, .seq = from_seq};
+  }
+  static ControlMessage Snapshot(uint64_t covered_through, std::vector<uint8_t> blob) {
+    ControlMessage msg;
+    msg.type = ControlType::kSnapshot;
+    msg.seq = covered_through;
+    msg.blob = std::move(blob);
+    return msg;
+  }
+
+  ChainConfig ToConfig() const { return ChainConfig{epoch, chain}; }
+};
+
+std::vector<uint8_t> SerializeControl(const ControlMessage& msg);
+Result<ControlMessage> ParseControl(std::span<const uint8_t> bytes);
+
+// A replicated log entry: one update command plus enough routing state for whichever replica
+// is tail at commit time to reply to the originating client.
+struct LogEntry {
+  uint64_t seq = 0;
+  NodeId client = kInvalidNode;
+  uint64_t client_request_id = 0;
+  std::vector<uint8_t> command;  // serialized Command
+
+  friend bool operator==(const LogEntry&, const LogEntry&) = default;
+};
+
+std::vector<uint8_t> SerializeLogEntry(const LogEntry& entry);
+Result<LogEntry> ParseLogEntry(std::span<const uint8_t> bytes);
+
+}  // namespace kronos
+
+#endif  // KRONOS_CHAIN_CONTROL_H_

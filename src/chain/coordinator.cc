@@ -1,0 +1,128 @@
+#include "src/chain/coordinator.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace kronos {
+
+ChainCoordinator::ChainCoordinator(SimNetwork& net, Options options)
+    : net_(net), options_(options), endpoint_(net, "coordinator") {}
+
+ChainCoordinator::~ChainCoordinator() { Stop(); }
+
+void ChainCoordinator::Start(std::vector<NodeId> initial_chain) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_.epoch = 0;
+    config_.chain = std::move(initial_chain);
+    const uint64_t now = MonotonicMicros();
+    for (const NodeId n : config_.chain) {
+      last_heartbeat_us_[n] = now;
+    }
+    CommitConfigLocked();  // epoch 1
+  }
+  endpoint_.Start([this](NodeId from, const Envelope& env) { HandleMessage(from, env); });
+  if (options_.check_interval_us > 0) {
+    detector_ = std::thread([this] { DetectorLoop(); });
+  }
+}
+
+void ChainCoordinator::HandleMessage(NodeId from, const Envelope& env) {
+  Result<ControlMessage> msg = ParseControl(env.payload);
+  if (!msg.ok()) {
+    KLOG(Warning) << "coordinator: malformed control message from " << from;
+    return;
+  }
+  switch (msg->type) {
+    case ControlType::kHeartbeat: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last_heartbeat_us_[msg->node] = MonotonicMicros();
+      break;
+    }
+    case ControlType::kGetConfig: {
+      ChainConfig cfg;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cfg = config_;
+      }
+      (void)endpoint_.Reply(from, env.id, SerializeControl(ControlMessage::Config(cfg)));
+      break;
+    }
+    default:
+      KLOG(Warning) << "coordinator: unexpected control type";
+  }
+}
+
+void ChainCoordinator::CommitConfigLocked() {
+  ++config_.epoch;
+  reconfigurations_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<uint8_t> payload = SerializeControl(ControlMessage::Config(config_));
+  for (const NodeId n : config_.chain) {
+    (void)endpoint_.SendOneWay(n, MessageKind::kControl, 0, payload);
+  }
+  KLOG(Info) << "coordinator: committed epoch " << config_.epoch << " with "
+             << config_.chain.size() << " replicas";
+}
+
+void ChainCoordinator::DetectorLoop() {
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.check_interval_us));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t now = MonotonicMicros();
+    std::vector<NodeId> alive;
+    bool changed = false;
+    for (const NodeId n : config_.chain) {
+      const uint64_t last = last_heartbeat_us_[n];
+      if (now - last > options_.failure_timeout_us) {
+        KLOG(Info) << "coordinator: replica " << n << " failed (no heartbeat for "
+                   << (now - last) << " us)";
+        changed = true;
+      } else {
+        alive.push_back(n);
+      }
+    }
+    if (changed && !alive.empty()) {
+      config_.chain = std::move(alive);
+      CommitConfigLocked();
+    }
+  }
+}
+
+void ChainCoordinator::AddReplica(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.Contains(node)) {
+    return;
+  }
+  config_.chain.push_back(node);
+  last_heartbeat_us_[node] = MonotonicMicros();
+  CommitConfigLocked();
+}
+
+void ChainCoordinator::RemoveReplica(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find(config_.chain.begin(), config_.chain.end(), node);
+  if (it == config_.chain.end()) {
+    return;
+  }
+  config_.chain.erase(it);
+  CommitConfigLocked();
+}
+
+ChainConfig ChainCoordinator::GetConfig() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+void ChainCoordinator::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  if (detector_.joinable()) {
+    detector_.join();
+  }
+  endpoint_.Stop();
+}
+
+}  // namespace kronos

@@ -1,0 +1,79 @@
+// ChainCoordinator: the coordination service that manages chain membership (§2.4).
+//
+// The paper delegates reconfiguration to an external coordination service (ZooKeeper / Chubby);
+// this is that component, scoped to exactly what Kronos needs: serve the current ChainConfig,
+// collect heartbeats, evict replicas that stop heartbeating, and admit new replicas at the
+// tail. Every configuration change bumps the epoch and is broadcast to all members.
+#ifndef KRONOS_CHAIN_COORDINATOR_H_
+#define KRONOS_CHAIN_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chain/control.h"
+#include "src/net/rpc.h"
+
+namespace kronos {
+
+struct ChainCoordinatorOptions {
+  // A replica missing heartbeats for this long is declared failed.
+  uint64_t failure_timeout_us = 500'000;
+  // How often the detector thread scans for stale heartbeats. Zero disables detection
+  // (membership changes then only happen via AddReplica/RemoveReplica).
+  uint64_t check_interval_us = 100'000;
+};
+
+class ChainCoordinator {
+ public:
+  using Options = ChainCoordinatorOptions;
+
+  ChainCoordinator(SimNetwork& net, Options options = {});
+  ~ChainCoordinator();
+
+  ChainCoordinator(const ChainCoordinator&) = delete;
+  ChainCoordinator& operator=(const ChainCoordinator&) = delete;
+
+  NodeId id() const { return endpoint_.id(); }
+
+  // Installs the initial chain (epoch 1) and starts serving. Replicas must already exist as
+  // network nodes.
+  void Start(std::vector<NodeId> initial_chain);
+
+  // Appends a replica at the tail, bumps the epoch, and broadcasts. The new tail pulls state
+  // from its predecessor via the resync protocol.
+  void AddReplica(NodeId node);
+
+  // Administratively removes a replica (same path failure detection uses).
+  void RemoveReplica(NodeId node);
+
+  ChainConfig GetConfig() const;
+  uint64_t reconfigurations() const { return reconfigurations_.load(); }
+
+  void Stop();
+
+ private:
+  void HandleMessage(NodeId from, const Envelope& env);
+  void DetectorLoop();
+  // Must hold mutex_. Bumps epoch and broadcasts the new configuration.
+  void CommitConfigLocked();
+
+  SimNetwork& net_;
+  Options options_;
+  RpcEndpoint endpoint_;
+
+  mutable std::mutex mutex_;
+  ChainConfig config_;
+  std::unordered_map<NodeId, uint64_t> last_heartbeat_us_;
+
+  std::thread detector_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> reconfigurations_{0};
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CHAIN_COORDINATOR_H_

@@ -1,0 +1,392 @@
+#include "src/chain/replica.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/wire/snapshot.h"
+
+namespace kronos {
+
+ChainReplica::ChainReplica(SimNetwork& net, NodeId coordinator, std::string name, Options options)
+    : net_(net),
+      coordinator_(coordinator),
+      options_(options),
+      endpoint_(net, std::move(name)),
+      sm_(std::make_unique<KronosStateMachine>()) {}
+
+ChainReplica::~ChainReplica() { Stop(); }
+
+void ChainReplica::Start() {
+  endpoint_.Start([this](NodeId from, const Envelope& env) { HandleMessage(from, env); });
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void ChainReplica::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.join();
+  }
+  endpoint_.Stop();
+}
+
+void ChainReplica::HandleMessage(NodeId from, const Envelope& env) {
+  switch (env.kind) {
+    case MessageKind::kRequest:
+      HandleClientRequest(from, env);
+      break;
+    case MessageKind::kChainPropagate:
+      HandlePropagate(env);
+      break;
+    case MessageKind::kChainAck:
+      HandleAck(env.id);
+      break;
+    case MessageKind::kControl:
+      HandleControl(env);
+      break;
+    default:
+      KLOG(Warning) << "replica " << id() << ": unexpected message kind";
+  }
+}
+
+void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
+  Result<Command> cmd = ParseCommand(env.payload);
+  if (!cmd.ok()) {
+    CommandResult bad;
+    bad.status = cmd.status();
+    (void)endpoint_.Reply(from, env.id, SerializeCommandResult(bad));
+    return;
+  }
+  if (cmd->read_only() && options_.simulated_query_service_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_query_service_us));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cmd->read_only()) {
+    // §2.5: any replica may answer queries from its (possibly stale) copy of the graph. The
+    // client re-validates kConcurrent verdicts against the tail.
+    const CommandResult result = sm_->Apply(*cmd);
+    ++stats_.queries_served;
+    (void)endpoint_.Reply(from, env.id, SerializeCommandResult(result));
+    return;
+  }
+  if (!IsHeadLocked()) {
+    CommandResult wrong;
+    wrong.status = WrongRole("updates must go to the chain head");
+    ++stats_.wrong_role;
+    (void)endpoint_.Reply(from, env.id, SerializeCommandResult(wrong));
+    return;
+  }
+  LogEntry entry;
+  entry.seq = last_applied_ + 1;
+  entry.client = from;
+  entry.client_request_id = env.id;
+  entry.command = env.payload;
+  ApplyEntryLocked(std::move(entry));
+}
+
+void ChainReplica::ApplyEntryLocked(LogEntry entry) {
+  KRONOS_CHECK(entry.seq == last_applied_ + 1) << "out-of-order apply";
+  Result<Command> cmd = ParseCommand(entry.command);
+  CommandResult result;
+  if (cmd.ok()) {
+    result = sm_->Apply(*cmd);
+  } else {
+    result.status = cmd.status();
+  }
+  last_applied_ = entry.seq;
+  ++stats_.applied;
+  log_.push_back(entry);
+  results_.push_back(SerializeCommandResult(result));
+  MaybeTruncateLogLocked();
+
+  if (IsTailLocked()) {
+    // Commit point: the tail answers the client and acknowledges upstream (cumulative).
+    (void)endpoint_.Reply(entry.client, entry.client_request_id, results_.back());
+    acked_ = last_applied_;
+    const NodeId pred = PredecessorLocked();
+    if (pred != kInvalidNode) {
+      (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
+    }
+  } else {
+    const NodeId succ = SuccessorLocked();
+    if (succ != kInvalidNode) {
+      (void)endpoint_.SendOneWay(succ, MessageKind::kChainPropagate, entry.seq,
+                                 SerializeLogEntry(entry));
+    }
+  }
+}
+
+void ChainReplica::HandlePropagate(const Envelope& env) {
+  Result<LogEntry> entry = ParseLogEntry(env.payload);
+  if (!entry.ok()) {
+    KLOG(Warning) << "replica " << id() << ": malformed log entry";
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entry->seq <= last_applied_) {
+    // Duplicate from a resync; re-ack so the sender can advance its watermark.
+    ++stats_.duplicates;
+    if (IsTailLocked()) {
+      const NodeId pred = PredecessorLocked();
+      if (pred != kInvalidNode) {
+        (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
+      }
+    }
+    return;
+  }
+  if (entry->seq > last_applied_ + 1) {
+    ++stats_.staged;
+    staging_.emplace(entry->seq, *std::move(entry));
+    return;
+  }
+  ApplyEntryLocked(*std::move(entry));
+  DrainStagingLocked();
+}
+
+void ChainReplica::DrainStagingLocked() {
+  while (true) {
+    auto it = staging_.find(last_applied_ + 1);
+    if (it == staging_.end()) {
+      // Drop anything that became stale (shouldn't happen, but keeps the map bounded).
+      staging_.erase(staging_.begin(), staging_.lower_bound(last_applied_ + 1));
+      return;
+    }
+    LogEntry entry = std::move(it->second);
+    staging_.erase(it);
+    ApplyEntryLocked(std::move(entry));
+  }
+}
+
+void ChainReplica::HandleAck(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seq <= acked_) {
+    return;
+  }
+  acked_ = std::min(seq, last_applied_);
+  if (!IsHeadLocked()) {
+    const NodeId pred = PredecessorLocked();
+    if (pred != kInvalidNode) {
+      (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
+    }
+  }
+}
+
+void ChainReplica::HandleControl(const Envelope& env) {
+  Result<ControlMessage> msg = ParseControl(env.payload);
+  if (!msg.ok()) {
+    KLOG(Warning) << "replica " << id() << ": malformed control message";
+    return;
+  }
+  switch (msg->type) {
+    case ControlType::kConfig: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (msg->epoch > config_.epoch) {
+        AdoptConfigLocked(msg->ToConfig());
+      }
+      break;
+    }
+    case ControlType::kResendRequest: {
+      // Close the requester's log gap. Short gaps are streamed as ordinary propagates (the
+      // requester stages/applies them in order); a gap that spans more than the snapshot
+      // threshold — or reaches below our truncated log prefix — is served as one snapshot of
+      // the whole state machine (§2.4's state transfer for a joining tail). The log slice is
+      // copied under the lock but streamed WITHOUT it, so a long transfer does not stall this
+      // replica's own pipeline; entries appended meanwhile reach the requester through the
+      // normal propagate path and are stitched in by its staging buffer.
+      const NodeId requester = msg->node;
+      std::vector<LogEntry> slice;
+      std::vector<uint8_t> snapshot;
+      uint64_t covered = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (msg->seq > last_applied_) {
+          break;  // nothing to send
+        }
+        const uint64_t span = last_applied_ - msg->seq + 1;
+        if (msg->seq < log_start_seq_ || span > options_.snapshot_resync_threshold) {
+          snapshot = SerializeSnapshot(*sm_);
+          covered = last_applied_;
+          ++stats_.snapshots_sent;
+        } else {
+          slice.assign(log_.begin() + static_cast<ptrdiff_t>(msg->seq - log_start_seq_),
+                       log_.end());
+        }
+      }
+      if (!snapshot.empty()) {
+        (void)endpoint_.SendOneWay(
+            requester, MessageKind::kControl, 0,
+            SerializeControl(ControlMessage::Snapshot(covered, std::move(snapshot))));
+        break;
+      }
+      for (const LogEntry& entry : slice) {
+        (void)endpoint_.SendOneWay(requester, MessageKind::kChainPropagate, entry.seq,
+                                   SerializeLogEntry(entry));
+      }
+      break;
+    }
+    case ControlType::kSnapshot: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      InstallSnapshotLocked(msg->seq, msg->blob);
+      break;
+    }
+    default:
+      KLOG(Warning) << "replica " << id() << ": unexpected control type";
+  }
+}
+
+void ChainReplica::InstallSnapshotLocked(uint64_t covered_through,
+                                         const std::vector<uint8_t>& blob) {
+  if (covered_through <= last_applied_) {
+    return;  // stale snapshot: we already have everything it covers
+  }
+  auto fresh = std::make_unique<KronosStateMachine>();
+  Status restored = RestoreSnapshot(blob, *fresh);
+  if (!restored.ok()) {
+    KLOG(Warning) << "replica " << id() << ": snapshot rejected: " << restored.ToString();
+    return;
+  }
+  sm_ = std::move(fresh);
+  last_applied_ = covered_through;
+  acked_ = covered_through;
+  log_.clear();
+  results_.clear();
+  log_start_seq_ = covered_through + 1;
+  staging_.erase(staging_.begin(), staging_.upper_bound(covered_through));
+  ++stats_.snapshots_installed;
+  KLOG(Info) << "replica " << id() << ": installed snapshot through seq " << covered_through;
+  DrainStagingLocked();
+}
+
+void ChainReplica::MaybeTruncateLogLocked() {
+  if (options_.max_log_entries == 0 || log_.size() <= options_.max_log_entries) {
+    return;
+  }
+  // Only acknowledged entries may be dropped: unacked ones may still need re-reply or resend.
+  const uint64_t over = log_.size() - options_.max_log_entries;
+  const uint64_t acked_prefix = acked_ >= log_start_seq_ ? acked_ - log_start_seq_ + 1 : 0;
+  const uint64_t drop = std::min<uint64_t>(over, acked_prefix);
+  if (drop == 0) {
+    return;
+  }
+  log_.erase(log_.begin(), log_.begin() + static_cast<ptrdiff_t>(drop));
+  results_.erase(results_.begin(), results_.begin() + static_cast<ptrdiff_t>(drop));
+  log_start_seq_ += drop;
+  stats_.log_truncations += drop;
+}
+
+void ChainReplica::AdoptConfigLocked(const ChainConfig& cfg) {
+  config_ = cfg;
+  KLOG(Info) << "replica " << id() << ": adopted epoch " << cfg.epoch << " ("
+             << cfg.chain.size() << " replicas)"
+             << (IsHeadLocked() ? " [head]" : "") << (IsTailLocked() ? " [tail]" : "");
+  if (!config_.Contains(id())) {
+    return;  // evicted; stay passive
+  }
+  const NodeId pred = PredecessorLocked();
+  if (pred != kInvalidNode) {
+    // Close any log gap against the new predecessor; a fresh replica pulls the full history.
+    (void)endpoint_.SendOneWay(
+        pred, MessageKind::kControl, 0,
+        SerializeControl(ControlMessage::ResendRequest(last_applied_ + 1, id())));
+  }
+  if (IsTailLocked()) {
+    // The old tail may have died before replying for entries in (acked_, last_applied_].
+    // Re-reply with the result recorded at apply time (determinism makes it identical to what
+    // the old tail computed); duplicate replies are dropped by the client runtime. Entries
+    // below a truncated/snapshotted prefix cannot be re-replied (clients retry on timeout).
+    for (uint64_t seq = std::max(acked_ + 1, log_start_seq_); seq <= last_applied_; ++seq) {
+      const LogEntry& entry = log_[seq - log_start_seq_];
+      (void)endpoint_.Reply(entry.client, entry.client_request_id,
+                            results_[seq - log_start_seq_]);
+    }
+    acked_ = last_applied_;
+    if (pred != kInvalidNode) {
+      (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
+    }
+  }
+}
+
+NodeId ChainReplica::PredecessorLocked() const {
+  for (size_t i = 0; i < config_.chain.size(); ++i) {
+    if (config_.chain[i] == id()) {
+      return i == 0 ? kInvalidNode : config_.chain[i - 1];
+    }
+  }
+  return kInvalidNode;
+}
+
+NodeId ChainReplica::SuccessorLocked() const {
+  for (size_t i = 0; i < config_.chain.size(); ++i) {
+    if (config_.chain[i] == id()) {
+      return i + 1 == config_.chain.size() ? kInvalidNode : config_.chain[i + 1];
+    }
+  }
+  return kInvalidNode;
+}
+
+void ChainReplica::HeartbeatLoop() {
+  uint64_t beats = 0;
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    (void)endpoint_.SendOneWay(coordinator_, MessageKind::kControl, 0,
+                               SerializeControl(ControlMessage::Heartbeat(id())));
+    ++beats;
+    if (options_.config_poll_every > 0 && beats % options_.config_poll_every == 0) {
+      Result<Envelope> reply = endpoint_.Call(
+          coordinator_, SerializeControl(ControlMessage::GetConfig()),
+          options_.heartbeat_interval_us);
+      if (reply.ok()) {
+        Result<ControlMessage> msg = ParseControl(reply->payload);
+        if (msg.ok() && msg->type == ControlType::kConfig) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (msg->epoch > config_.epoch) {
+            AdoptConfigLocked(msg->ToConfig());
+          }
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.heartbeat_interval_us));
+  }
+}
+
+ChainConfig ChainReplica::config() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+bool ChainReplica::IsHead() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return IsHeadLocked();
+}
+
+bool ChainReplica::IsTail() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return IsTailLocked();
+}
+
+uint64_t ChainReplica::last_applied() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_applied_;
+}
+
+uint64_t ChainReplica::acked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return acked_;
+}
+
+ChainReplica::ReplicaStats ChainReplica::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+EventGraph::Stats ChainReplica::graph_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sm_->graph().stats();
+}
+
+uint64_t ChainReplica::live_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sm_->graph().live_events();
+}
+
+}  // namespace kronos

@@ -1,0 +1,137 @@
+// ChainReplica: one replica of the Kronos state machine under chain replication (§2.4–2.5).
+//
+// Update commands enter at the head, which assigns a sequence number, applies the command to
+// its local state machine, and propagates the log entry down the chain. Each replica applies
+// entries in strict sequence order (out-of-order arrivals are staged), so every replica's
+// EventGraph stays byte-identical — the determinism the paper calls out as what makes each API
+// call "directly correspond to a state transition in the replicated state machine". The tail
+// applies, replies to the originating client, and sends a cumulative ack upstream; updates
+// pipeline down the chain at line rate with no fan-out/fan-in.
+//
+// Read-only query_order commands are answered by whichever replica the client contacted —
+// §2.5's stale reads. The *client* is responsible for re-validating answers containing
+// kConcurrent at the tail (see KronosClient), mirroring how monotonicity makes ordered answers
+// from stale replicas final.
+//
+// Reconfiguration: on receiving a new ChainConfig, a replica asks its (possibly new)
+// predecessor to resend everything after its last applied entry; a freshly added tail with an
+// empty log receives the full history through the same path (state transfer == resync from
+// seq 1). A replica that becomes tail re-replies to clients for every entry not yet known to
+// be acked, because the failed old tail may have died before replying; duplicate replies are
+// discarded by the client runtime (stale correlation ids).
+#ifndef KRONOS_CHAIN_REPLICA_H_
+#define KRONOS_CHAIN_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chain/control.h"
+#include <memory>
+
+#include "src/core/state_machine.h"
+#include "src/net/rpc.h"
+
+namespace kronos {
+
+struct ChainReplicaOptions {
+  uint64_t heartbeat_interval_us = 100'000;
+  // A resync spanning more than this many entries is served as one snapshot instead of a log
+  // replay (fresh tails with empty logs take this path).
+  uint64_t snapshot_resync_threshold = 8192;
+  // When > 0, acknowledged log prefixes are dropped once the log exceeds this many entries;
+  // resyncs below the truncation point fall back to snapshots.
+  uint64_t max_log_entries = 0;
+  // Every Nth heartbeat the replica also pulls the configuration from the coordinator, which
+  // heals missed config broadcasts.
+  uint64_t config_poll_every = 5;
+  // Simulated per-query service time. Each replica serves queries serially from its receive
+  // thread, so this sets a 1/service_time capacity per replica — the knob that lets the
+  // Fig. 8 scaling experiment model N independent servers on a single-core host (sleeping
+  // threads overlap; spinning ones would not).
+  uint64_t simulated_query_service_us = 0;
+};
+
+class ChainReplica {
+ public:
+  using Options = ChainReplicaOptions;
+
+  struct ReplicaStats {
+    uint64_t applied = 0;           // log entries applied
+    uint64_t queries_served = 0;    // read-only commands answered locally
+    uint64_t staged = 0;            // entries that arrived out of order
+    uint64_t duplicates = 0;        // resent entries already applied
+    uint64_t wrong_role = 0;        // updates rejected because this replica is not head
+    uint64_t snapshots_sent = 0;
+    uint64_t snapshots_installed = 0;
+    uint64_t log_truncations = 0;   // entries dropped from the log prefix
+  };
+
+  ChainReplica(SimNetwork& net, NodeId coordinator, std::string name, Options options = {});
+  ~ChainReplica();
+
+  ChainReplica(const ChainReplica&) = delete;
+  ChainReplica& operator=(const ChainReplica&) = delete;
+
+  NodeId id() const { return endpoint_.id(); }
+
+  void Start();
+  void Stop();
+
+  // --- introspection (thread-safe snapshots) ---------------------------------------------------
+
+  ChainConfig config() const;
+  bool IsHead() const;
+  bool IsTail() const;
+  uint64_t last_applied() const;
+  uint64_t acked() const;
+  ReplicaStats stats() const;
+  EventGraph::Stats graph_stats() const;
+  uint64_t live_events() const;
+
+ private:
+  void HandleMessage(NodeId from, const Envelope& env);
+  void HandleClientRequest(NodeId from, const Envelope& env);
+  void HandlePropagate(const Envelope& env);
+  void HandleAck(uint64_t seq);
+  void HandleControl(const Envelope& env);
+  void HeartbeatLoop();
+
+  // All Locked methods require mutex_.
+  void AdoptConfigLocked(const ChainConfig& cfg);
+  void ApplyEntryLocked(LogEntry entry);
+  void MaybeTruncateLogLocked();
+  void InstallSnapshotLocked(uint64_t covered_through, const std::vector<uint8_t>& blob);
+  void DrainStagingLocked();
+  bool IsHeadLocked() const { return config_.head() == id(); }
+  bool IsTailLocked() const { return config_.tail() == id(); }
+  NodeId PredecessorLocked() const;
+  NodeId SuccessorLocked() const;
+
+  SimNetwork& net_;
+  NodeId coordinator_;
+  Options options_;
+  RpcEndpoint endpoint_;
+
+  mutable std::mutex mutex_;
+  ChainConfig config_;
+  std::unique_ptr<KronosStateMachine> sm_;  // unique_ptr so a snapshot install can swap it
+  std::vector<LogEntry> log_;  // log_[i] has seq log_start_seq_ + i
+  std::vector<std::vector<uint8_t>> results_;  // serialized CommandResult per log entry
+  uint64_t log_start_seq_ = 1;
+  uint64_t last_applied_ = 0;
+  uint64_t acked_ = 0;
+  std::map<uint64_t, LogEntry> staging_;  // out-of-order entries awaiting their turn
+  ReplicaStats stats_;
+
+  std::thread heartbeat_thread_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CHAIN_REPLICA_H_

@@ -1,0 +1,61 @@
+// KronosApi: the abstract client-facing interface to the event ordering service (Table 1).
+//
+// Two bindings implement it:
+//   * LocalKronos   — in-process engine behind a mutex (zero network overhead; used by the
+//                     microbenchmarks and by applications embedding Kronos directly);
+//   * KronosClient  — RPC binding to a chain-replicated Kronos cluster.
+// Applications (KronoGraph, the transactional KV store, the CATOCS examples) program against
+// this interface and run unchanged on either binding.
+#ifndef KRONOS_CLIENT_API_H_
+#define KRONOS_CLIENT_API_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/types.h"
+
+namespace kronos {
+
+class KronosApi {
+ public:
+  virtual ~KronosApi() = default;
+
+  // Creates a new event (with one reference held by the creator) and returns its id.
+  virtual Result<EventId> CreateEvent() = 0;
+
+  virtual Status AcquireRef(EventId e) = 0;
+
+  // Returns the number of events garbage-collected by this release.
+  virtual Result<uint64_t> ReleaseRef(EventId e) = 0;
+
+  // Batched query_order: one Order per input pair.
+  virtual Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) = 0;
+
+  // Batched atomic assign_order with must/prefer semantics; kOrderViolation aborts the batch.
+  virtual Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) = 0;
+
+  // --- conveniences shared by both bindings ---------------------------------------------------
+
+  // Single-pair query.
+  Result<Order> QueryOrderOne(EventId e1, EventId e2) {
+    Result<std::vector<Order>> r = QueryOrder({{e1, e2}});
+    if (!r.ok()) {
+      return r.status();
+    }
+    return (*r)[0];
+  }
+
+  // Single-pair assign.
+  Result<AssignOutcome> AssignOrderOne(EventId e1, EventId e2, Constraint c) {
+    Result<std::vector<AssignOutcome>> r = AssignOrder({{e1, e2, c}});
+    if (!r.ok()) {
+      return r.status();
+    }
+    return (*r)[0];
+  }
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CLIENT_API_H_

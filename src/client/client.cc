@@ -1,0 +1,278 @@
+#include "src/client/client.h"
+
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+KronosClient::KronosClient(SimNetwork& net, NodeId coordinator, std::string name, Options options)
+    : net_(net),
+      coordinator_(coordinator),
+      options_(options),
+      endpoint_(net, std::move(name)),
+      rng_(options.seed) {
+  if (options_.use_order_cache) {
+    cache_ = std::make_unique<OrderCache>(
+        OrderCache::Options{.capacity = options_.cache_capacity, .transitive_prefill = true});
+  }
+  // Clients receive only responses; no handler needed beyond the endpoint's correlation table.
+  endpoint_.Start(nullptr);
+}
+
+KronosClient::~KronosClient() { endpoint_.Stop(); }
+
+Status KronosClient::RefreshConfig() {
+  Result<Envelope> reply = endpoint_.Call(coordinator_, SerializeControl(ControlMessage::GetConfig()),
+                                          options_.call_timeout_us);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  Result<ControlMessage> msg = ParseControl(reply->payload);
+  if (!msg.ok() || msg->type != ControlType::kConfig) {
+    return InvalidArgument("bad config reply");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.config_refreshes;
+  if (msg->epoch > config_.epoch) {
+    config_ = msg->ToConfig();
+  }
+  return OkStatus();
+}
+
+NodeId KronosClient::PickReadReplica() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.chain.empty()) {
+    return kInvalidNode;
+  }
+  switch (options_.read_policy) {
+    case ReadPolicy::kTail:
+      return config_.tail();
+    case ReadPolicy::kHead:
+      return config_.head();
+    case ReadPolicy::kRoundRobin:
+      return config_.chain[rr_counter_++ % config_.chain.size()];
+    case ReadPolicy::kRandom:
+      return config_.chain[rng_.Uniform(config_.chain.size())];
+  }
+  return config_.tail();
+}
+
+Result<CommandResult> KronosClient::CallNode(NodeId node, const Command& cmd) {
+  if (node == kInvalidNode) {
+    return Status(Unavailable("no replica available"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls_sent;
+  }
+  Result<Envelope> reply = endpoint_.Call(node, SerializeCommand(cmd), options_.call_timeout_us);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->payload.empty()) {
+    return Status(Unavailable("endpoint shut down"));
+  }
+  return ParseCommandResult(reply->payload);
+}
+
+Result<CommandResult> KronosClient::ExecuteUpdate(const Command& cmd) {
+  Status last = Unavailable("never attempted");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    NodeId head;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      head = config_.head();
+    }
+    if (head == kInvalidNode) {
+      (void)RefreshConfig();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        head = config_.head();
+      }
+      if (head == kInvalidNode) {
+        last = Unavailable("no chain configuration");
+        std::this_thread::sleep_for(std::chrono::microseconds(options_.retry_backoff_us));
+        continue;
+      }
+    }
+    Result<CommandResult> result = CallNode(head, cmd);
+    if (result.ok() && result->status.code() != StatusCode::kWrongRole) {
+      return result;
+    }
+    last = result.ok() ? result->status : result.status();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
+    }
+    (void)RefreshConfig();
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.retry_backoff_us));
+  }
+  return last;
+}
+
+Result<CommandResult> KronosClient::ExecuteQuery(const Command& cmd) {
+  Status last = Unavailable("never attempted");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    NodeId replica = PickReadReplica();
+    if (replica == kInvalidNode) {
+      (void)RefreshConfig();
+      replica = PickReadReplica();
+      if (replica == kInvalidNode) {
+        last = Unavailable("no chain configuration");
+        std::this_thread::sleep_for(std::chrono::microseconds(options_.retry_backoff_us));
+        continue;
+      }
+    }
+    Result<CommandResult> result = CallNode(replica, cmd);
+    if (result.ok() && result->ok()) {
+      NodeId tail;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tail = config_.tail();
+      }
+      // §2.5: ordered answers from a stale replica are final; concurrent ones must be checked
+      // against an up-to-date copy (the tail).
+      if (result->HasConcurrent() && replica != tail && tail != kInvalidNode) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.tail_revalidations;
+        }
+        Result<CommandResult> validated = CallNode(tail, cmd);
+        if (validated.ok() && validated->ok()) {
+          return validated;
+        }
+        // Tail unreachable mid-reconfiguration: fall through to retry loop.
+        last = validated.ok() ? validated->status : validated.status();
+      } else {
+        return result;
+      }
+    } else if (result.ok()) {
+      // Definite semantic error (NotFound, InvalidArgument...) — not retryable.
+      return result;
+    } else {
+      last = result.status();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
+    }
+    (void)RefreshConfig();
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.retry_backoff_us));
+  }
+  return last;
+}
+
+Result<EventId> KronosClient::CreateEvent() {
+  Result<CommandResult> r = ExecuteUpdate(Command::MakeCreateEvent());
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (!r->ok()) {
+    return r->status;
+  }
+  return r->event;
+}
+
+Status KronosClient::AcquireRef(EventId e) {
+  Result<CommandResult> r = ExecuteUpdate(Command::MakeAcquireRef(e));
+  if (!r.ok()) {
+    return r.status();
+  }
+  return r->status;
+}
+
+Result<uint64_t> KronosClient::ReleaseRef(EventId e) {
+  Result<CommandResult> r = ExecuteUpdate(Command::MakeReleaseRef(e));
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (!r->ok()) {
+    return r->status;
+  }
+  return r->collected;
+}
+
+Result<std::vector<Order>> KronosClient::QueryOrder(std::vector<EventPair> pairs) {
+  // Serve what we can from the client-side order cache; only cache misses hit the service.
+  std::vector<Order> answers(pairs.size(), Order::kConcurrent);
+  std::vector<size_t> miss_index;
+  std::vector<EventPair> misses;
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      std::optional<Order> hit = cache_->Lookup(pairs[i].e1, pairs[i].e2);
+      if (hit.has_value()) {
+        answers[i] = *hit;
+        ++stats_.cache_hits;
+      } else {
+        miss_index.push_back(i);
+        misses.push_back(pairs[i]);
+        ++stats_.cache_misses;
+      }
+    }
+    if (misses.empty()) {
+      return answers;
+    }
+  } else {
+    miss_index.resize(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      miss_index[i] = i;
+    }
+    misses = pairs;
+  }
+
+  Result<CommandResult> r = ExecuteQuery(Command::MakeQueryOrder(std::move(misses)));
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (!r->ok()) {
+    return r->status;
+  }
+  if (r->orders.size() != miss_index.size()) {
+    return Status(Internal("order count mismatch"));
+  }
+  for (size_t i = 0; i < miss_index.size(); ++i) {
+    answers[miss_index[i]] = r->orders[i];
+  }
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < miss_index.size(); ++i) {
+      const EventPair& p = pairs[miss_index[i]];
+      cache_->Insert(p.e1, p.e2, r->orders[i]);
+    }
+  }
+  return answers;
+}
+
+Result<std::vector<AssignOutcome>> KronosClient::AssignOrder(std::vector<AssignSpec> specs) {
+  std::vector<AssignSpec> copy = specs;
+  Result<CommandResult> r = ExecuteUpdate(Command::MakeAssignOrder(std::move(copy)));
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (!r->ok()) {
+    return r->status;
+  }
+  if (cache_) {
+    // Every acknowledged assignment is a final order; feed the cache.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < specs.size() && i < r->outcomes.size(); ++i) {
+      const bool reversed = r->outcomes[i] == AssignOutcome::kReversed;
+      cache_->Insert(specs[i].e1, specs[i].e2, reversed ? Order::kAfter : Order::kBefore);
+    }
+  }
+  return r->outcomes;
+}
+
+KronosClient::ClientStats KronosClient::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ChainConfig KronosClient::config() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+}  // namespace kronos

@@ -1,0 +1,102 @@
+// KronosClient: the RPC binding of the Kronos API against a chain-replicated cluster.
+//
+// Routing rules (§2.4–2.5):
+//   * updates (create/acquire/release/assign) go to the chain head; the reply comes from the
+//     tail at commit time;
+//   * query_order may be served by ANY replica chosen by the read policy — replicas may be
+//     stale, but monotonicity makes every ordered answer final;
+//   * an answer containing kConcurrent from a non-tail replica is re-validated at the tail,
+//     because a stale replica can report "concurrent" for a pair the head has since ordered.
+//
+// On timeout or wrong-role errors the client refreshes the configuration from the coordinator
+// and retries — this is what rides out the reconfiguration window in the Fig. 13 fault
+// experiment.
+//
+// Optionally the client keeps a pairwise order cache (with transitive prefill), trimming
+// round-trips for repeat queries exactly as KronoGraph's shard servers do (§3.2).
+#ifndef KRONOS_CLIENT_CLIENT_H_
+#define KRONOS_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/chain/control.h"
+#include "src/client/api.h"
+#include "src/common/random.h"
+#include "src/core/command.h"
+#include "src/core/order_cache.h"
+#include "src/net/rpc.h"
+
+namespace kronos {
+
+enum class ClientReadPolicy : uint8_t {
+  kTail = 0,        // always read from the tail (always up to date)
+  kHead = 1,        // always read from the head
+  kRoundRobin = 2,  // spread reads over all replicas (the Fig. 8 scaling mode)
+  kRandom = 3,
+};
+
+struct KronosClientOptions {
+  uint64_t call_timeout_us = 1'000'000;
+  int max_attempts = 10;
+  uint64_t retry_backoff_us = 50'000;
+  ClientReadPolicy read_policy = ClientReadPolicy::kRoundRobin;
+  bool use_order_cache = false;
+  size_t cache_capacity = 1 << 16;
+  uint64_t seed = 1;
+};
+
+class KronosClient : public KronosApi {
+ public:
+  using ReadPolicy = ClientReadPolicy;
+  using Options = KronosClientOptions;
+
+  struct ClientStats {
+    uint64_t calls_sent = 0;
+    uint64_t retries = 0;
+    uint64_t config_refreshes = 0;
+    uint64_t tail_revalidations = 0;  // concurrent verdicts re-checked at the tail
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+  };
+
+  KronosClient(SimNetwork& net, NodeId coordinator, std::string name, Options options = {});
+  ~KronosClient() override;
+
+  Result<EventId> CreateEvent() override;
+  Status AcquireRef(EventId e) override;
+  Result<uint64_t> ReleaseRef(EventId e) override;
+  Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override;
+  Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override;
+
+  ClientStats stats() const;
+  ChainConfig config() const;
+
+ private:
+  // Sends an update command to the head with retry/refresh; returns the committed result.
+  Result<CommandResult> ExecuteUpdate(const Command& cmd);
+  // Sends a query to the policy-chosen replica, revalidating kConcurrent at the tail.
+  Result<CommandResult> ExecuteQuery(const Command& cmd);
+  // One RPC to a specific node.
+  Result<CommandResult> CallNode(NodeId node, const Command& cmd);
+  Status RefreshConfig();
+  NodeId PickReadReplica();
+
+  SimNetwork& net_;
+  NodeId coordinator_;
+  Options options_;
+  RpcEndpoint endpoint_;
+
+  mutable std::mutex mutex_;
+  ChainConfig config_;
+  Rng rng_;
+  uint64_t rr_counter_ = 0;
+  std::unique_ptr<OrderCache> cache_;
+  ClientStats stats_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CLIENT_CLIENT_H_

@@ -1,0 +1,60 @@
+// LocalKronos: in-process binding of the Kronos API.
+//
+// A thread-safe facade over one EventGraph. This is the deployment used by the §4.2
+// microbenchmarks ("the client and server are co-located on the same machine") and by
+// applications that embed the ordering engine directly.
+#ifndef KRONOS_CLIENT_LOCAL_H_
+#define KRONOS_CLIENT_LOCAL_H_
+
+#include <mutex>
+
+#include "src/client/api.h"
+#include "src/core/event_graph.h"
+
+namespace kronos {
+
+class LocalKronos : public KronosApi {
+ public:
+  LocalKronos() = default;
+
+  Result<EventId> CreateEvent() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return graph_.CreateEvent();
+  }
+
+  Status AcquireRef(EventId e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return graph_.AcquireRef(e);
+  }
+
+  Result<uint64_t> ReleaseRef(EventId e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return graph_.ReleaseRef(e);
+  }
+
+  Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return graph_.QueryOrder(pairs);
+  }
+
+  Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return graph_.AssignOrder(specs);
+  }
+
+  // Engine introspection for benchmarks and tests. The reference is only safe to use while no
+  // other thread mutates the graph.
+  EventGraph& graph() { return graph_; }
+  uint64_t ApproxMemoryBytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return graph_.ApproxMemoryBytes();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  EventGraph graph_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CLIENT_LOCAL_H_

@@ -1,0 +1,96 @@
+#include "src/client/tcp_client.h"
+
+#include "src/wire/codec.h"
+
+namespace kronos {
+
+Result<std::unique_ptr<TcpKronos>> TcpKronos::Connect(uint16_t port) {
+  Result<std::unique_ptr<TcpConnection>> conn = TcpConnect(port);
+  if (!conn.ok()) {
+    return conn.status();
+  }
+  return std::unique_ptr<TcpKronos>(new TcpKronos(*std::move(conn)));
+}
+
+void TcpKronos::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (conn_) {
+    conn_->Close();
+  }
+}
+
+Result<CommandResult> TcpKronos::Execute(const Command& cmd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!conn_ || conn_->closed()) {
+    return Status(Unavailable("not connected"));
+  }
+  const uint64_t id = next_id_++;
+  Envelope request{MessageKind::kRequest, id, SerializeCommand(cmd)};
+  KRONOS_RETURN_IF_ERROR(conn_->SendFrame(SerializeEnvelope(request)));
+  Result<std::vector<uint8_t>> frame = conn_->RecvFrame();
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  Result<Envelope> env = ParseEnvelope(*frame);
+  if (!env.ok()) {
+    return env.status();
+  }
+  if (env->kind != MessageKind::kResponse || env->id != id) {
+    return Status(Internal("response correlation mismatch"));
+  }
+  return ParseCommandResult(env->payload);
+}
+
+Result<EventId> TcpKronos::CreateEvent() {
+  Result<CommandResult> r = Execute(Command::MakeCreateEvent());
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (!r->ok()) {
+    return r->status;
+  }
+  return r->event;
+}
+
+Status TcpKronos::AcquireRef(EventId e) {
+  Result<CommandResult> r = Execute(Command::MakeAcquireRef(e));
+  if (!r.ok()) {
+    return r.status();
+  }
+  return r->status;
+}
+
+Result<uint64_t> TcpKronos::ReleaseRef(EventId e) {
+  Result<CommandResult> r = Execute(Command::MakeReleaseRef(e));
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (!r->ok()) {
+    return r->status;
+  }
+  return r->collected;
+}
+
+Result<std::vector<Order>> TcpKronos::QueryOrder(std::vector<EventPair> pairs) {
+  Result<CommandResult> r = Execute(Command::MakeQueryOrder(std::move(pairs)));
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (!r->ok()) {
+    return r->status;
+  }
+  return std::move(r->orders);
+}
+
+Result<std::vector<AssignOutcome>> TcpKronos::AssignOrder(std::vector<AssignSpec> specs) {
+  Result<CommandResult> r = Execute(Command::MakeAssignOrder(std::move(specs)));
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (!r->ok()) {
+    return r->status;
+  }
+  return std::move(r->outcomes);
+}
+
+}  // namespace kronos

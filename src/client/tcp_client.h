@@ -1,0 +1,44 @@
+// TcpKronos: the Kronos API over a real TCP connection to a KronosDaemon.
+//
+// One connection, one outstanding request at a time (callers get pipelining by opening more
+// clients — the daemon serves each connection on its own thread). Request/response matching
+// is by envelope correlation id as a sanity check on the framing.
+#ifndef KRONOS_CLIENT_TCP_CLIENT_H_
+#define KRONOS_CLIENT_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/client/api.h"
+#include "src/core/command.h"
+#include "src/net/tcp.h"
+
+namespace kronos {
+
+class TcpKronos : public KronosApi {
+ public:
+  // Connects to a daemon on 127.0.0.1:port.
+  static Result<std::unique_ptr<TcpKronos>> Connect(uint16_t port);
+
+  Result<EventId> CreateEvent() override;
+  Status AcquireRef(EventId e) override;
+  Result<uint64_t> ReleaseRef(EventId e) override;
+  Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override;
+  Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override;
+
+  void Close();
+
+ private:
+  explicit TcpKronos(std::unique_ptr<TcpConnection> conn) : conn_(std::move(conn)) {}
+
+  Result<CommandResult> Execute(const Command& cmd);
+
+  std::mutex mutex_;
+  std::unique_ptr<TcpConnection> conn_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CLIENT_TCP_CLIENT_H_

@@ -1,0 +1,187 @@
+#include "src/clocks/causality_sim.h"
+
+#include <deque>
+
+#include "src/common/logging.h"
+#include "src/common/sparse_set.h"
+
+namespace kronos {
+
+SimulatedExecution SimulateCausality(const CausalitySimOptions& options, KronosApi& kronos) {
+  KRONOS_CHECK(options.processes >= 2);
+  Rng rng(options.seed);
+  SimulatedExecution exec;
+  exec.actions_.reserve(options.actions);
+
+  struct PendingMessage {
+    uint32_t src_action;
+    LamportStamp lamport;
+    VectorStamp vector;
+    bool semantic;
+  };
+
+  std::vector<LamportClock> lamport;
+  std::vector<VectorClock> vclock;
+  std::vector<std::deque<PendingMessage>> inbox(options.processes);
+  std::vector<int64_t> last_action(options.processes, -1);
+  for (uint32_t p = 0; p < options.processes; ++p) {
+    lamport.emplace_back(p);
+    vclock.emplace_back(p, options.processes);
+  }
+
+  for (uint64_t step = 0; step < options.actions; ++step) {
+    const uint32_t p = static_cast<uint32_t>(rng.Uniform(options.processes));
+    SimulatedAction action;
+    action.process = p;
+
+    // Consume pending messages first (a receive-then-act step). The clocks merge EVERY
+    // consumed message; only semantic ones are true dependencies.
+    while (!inbox[p].empty() && rng.Bernoulli(0.7)) {
+      PendingMessage msg = std::move(inbox[p].front());
+      inbox[p].pop_front();
+      (void)lamport[p].Receive(msg.lamport);
+      (void)vclock[p].Receive(msg.vector);
+      if (msg.semantic) {
+        action.true_deps.push_back(msg.src_action);
+      }
+    }
+
+    // Program-order dependency (only sometimes a real one — that gap is the blanket-ordering
+    // false-positive source for both clocks).
+    if (last_action[p] >= 0 && rng.Bernoulli(options.p_program_dep)) {
+      action.true_deps.push_back(static_cast<uint32_t>(last_action[p]));
+    }
+
+    // External-channel dependency: true, declared to Kronos, invisible to the clocks.
+    if (!exec.actions_.empty() && rng.Bernoulli(options.p_external_dep)) {
+      const uint32_t target = static_cast<uint32_t>(rng.Uniform(exec.actions_.size()));
+      if (exec.actions_[target].process != p) {
+        action.true_deps.push_back(target);
+      }
+    }
+
+    // Stamp the action.
+    action.lamport = lamport[p].Tick();
+    action.vector = vclock[p].Tick();
+    Result<EventId> e = kronos.CreateEvent();
+    KRONOS_CHECK(e.ok()) << e.status().ToString();
+    action.kronos_event = *e;
+    if (!action.true_deps.empty()) {
+      std::vector<AssignSpec> specs;
+      for (const uint32_t dep : action.true_deps) {
+        specs.push_back({exec.actions_[dep].kronos_event, action.kronos_event,
+                         Constraint::kMust});
+      }
+      Result<std::vector<AssignOutcome>> r = kronos.AssignOrder(std::move(specs));
+      KRONOS_CHECK(r.ok()) << r.status().ToString();  // deps point backwards: always coherent
+    }
+
+    const uint32_t index = static_cast<uint32_t>(exec.actions_.size());
+    exec.actions_.push_back(std::move(action));
+    last_action[p] = index;
+
+    // Possibly send a message (carrying the post-action clock state).
+    if (rng.Bernoulli(options.p_send)) {
+      uint32_t dst = static_cast<uint32_t>(rng.Uniform(options.processes));
+      if (dst == p) {
+        dst = (dst + 1) % options.processes;
+      }
+      inbox[dst].push_back(PendingMessage{index, lamport[p].PrepareSend(),
+                                          vclock[p].PrepareSend(),
+                                          rng.Bernoulli(options.p_semantic_message)});
+    }
+  }
+  return exec;
+}
+
+bool SimulatedExecution::TrulyBefore(uint32_t i, uint32_t j) const {
+  if (i >= j) {
+    return false;  // dependencies always point backwards
+  }
+  // Reverse DFS from j through true_deps, pruning indices below i.
+  std::vector<uint32_t> stack{j};
+  SparseSet seen(actions_.size());
+  while (!stack.empty()) {
+    const uint32_t cur = stack.back();
+    stack.pop_back();
+    for (const uint32_t dep : actions_[cur].true_deps) {
+      if (dep == i) {
+        return true;
+      }
+      if (dep > i && seen.Insert(dep)) {
+        stack.push_back(dep);
+      }
+    }
+  }
+  return false;
+}
+
+Order SimulatedExecution::TrueOrder(uint32_t i, uint32_t j) const {
+  if (TrulyBefore(i, j)) {
+    return Order::kBefore;
+  }
+  if (TrulyBefore(j, i)) {
+    return Order::kAfter;
+  }
+  return Order::kConcurrent;
+}
+
+Order SimulatedExecution::LamportOrder(uint32_t i, uint32_t j) const {
+  // Lamport timestamps define a total order; used as a dependence oracle they order
+  // everything.
+  return LamportBefore(actions_[i].lamport, actions_[j].lamport) ? Order::kBefore
+                                                                 : Order::kAfter;
+}
+
+Order SimulatedExecution::VectorOrder(uint32_t i, uint32_t j) const {
+  return VectorStamp::Compare(actions_[i].vector, actions_[j].vector);
+}
+
+MechanismScore ScoreMechanism(const SimulatedExecution& exec, Mechanism mechanism,
+                              KronosApi& kronos, uint64_t samples, uint64_t seed) {
+  Rng rng(seed);
+  MechanismScore score;
+  const uint64_t n = exec.actions().size();
+  KRONOS_CHECK(n >= 2);
+  for (uint64_t s = 0; s < samples; ++s) {
+    const uint32_t i = static_cast<uint32_t>(rng.Uniform(n));
+    uint32_t j = static_cast<uint32_t>(rng.Uniform(n));
+    if (i == j) {
+      continue;
+    }
+    const Order truth = exec.TrueOrder(i, j);
+    Order verdict;
+    switch (mechanism) {
+      case Mechanism::kLamport:
+        verdict = exec.LamportOrder(i, j);
+        break;
+      case Mechanism::kVectorClock:
+        verdict = exec.VectorOrder(i, j);
+        break;
+      case Mechanism::kKronos: {
+        Result<Order> r = kronos.QueryOrderOne(exec.actions()[i].kronos_event,
+                                               exec.actions()[j].kronos_event);
+        KRONOS_CHECK(r.ok()) << r.status().ToString();
+        verdict = *r;
+        break;
+      }
+    }
+    ++score.pairs;
+    const bool truly_ordered = truth != Order::kConcurrent;
+    if (truly_ordered) {
+      ++score.truly_ordered;
+      if (verdict == Order::kConcurrent) {
+        ++score.false_negatives;
+      } else if (verdict != truth) {
+        // Ordered the wrong way round: a miss of the true order AND a spurious reverse order.
+        ++score.false_negatives;
+        ++score.false_positives;
+      }
+    } else if (verdict != Order::kConcurrent) {
+      ++score.false_positives;
+    }
+  }
+  return score;
+}
+
+}  // namespace kronos

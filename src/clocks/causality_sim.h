@@ -1,0 +1,98 @@
+// A message-passing execution simulator for comparing causality-tracking mechanisms.
+//
+// P processes each perform a sequence of application actions. An action may consume pending
+// messages (merging clock state — ALL consumed messages, whether or not they carried a real
+// dependency, exactly as deployed clock implementations do), may truly depend on the previous
+// action of its process, and may send a message to another process. Some true dependencies are
+// formed over an EXTERNAL channel the clocks never observe (§1: "it will miss any dependencies
+// that are formed over external channels").
+//
+// Every action is stamped three ways — Lamport, vector clock, and a Kronos event whose TRUE
+// dependencies the application declares with assign_order — and the ground-truth dependency
+// DAG is kept alongside, so each mechanism's ordering verdicts can be scored for false
+// positives (reported order between truly concurrent actions) and false negatives (missed
+// true order).
+#ifndef KRONOS_CLOCKS_CAUSALITY_SIM_H_
+#define KRONOS_CLOCKS_CAUSALITY_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/client/api.h"
+#include "src/clocks/logical_clocks.h"
+#include "src/common/random.h"
+
+namespace kronos {
+
+struct CausalitySimOptions {
+  uint32_t processes = 8;
+  uint64_t actions = 2000;
+  // Probability an action sends a message to a random other process.
+  double p_send = 0.5;
+  // Probability a sent message carries a TRUE dependency (vs incidental traffic like gossip,
+  // metrics, or piggybacked acks — the §1 false-positive source).
+  double p_semantic_message = 0.4;
+  // Probability an action truly depends on its process's previous action.
+  double p_program_dep = 0.3;
+  // Probability an action truly depends on a random earlier action via an external channel
+  // invisible to the clocks (the §1 false-negative source).
+  double p_external_dep = 0.05;
+  uint64_t seed = 1;
+};
+
+struct SimulatedAction {
+  uint32_t process = 0;
+  LamportStamp lamport;
+  VectorStamp vector;
+  EventId kronos_event = kInvalidEvent;
+  std::vector<uint32_t> true_deps;  // indices of actions this one truly depends on
+};
+
+class SimulatedExecution {
+ public:
+  const std::vector<SimulatedAction>& actions() const { return actions_; }
+
+  // Ground truth: is actions()[i] truly ordered before actions()[j] (transitively)?
+  bool TrulyBefore(uint32_t i, uint32_t j) const;
+
+  Order TrueOrder(uint32_t i, uint32_t j) const;
+
+  // Verdicts of the three mechanisms for the pair (i, j).
+  Order LamportOrder(uint32_t i, uint32_t j) const;
+  Order VectorOrder(uint32_t i, uint32_t j) const;
+
+ private:
+  friend SimulatedExecution SimulateCausality(const CausalitySimOptions&, KronosApi&);
+  std::vector<SimulatedAction> actions_;
+};
+
+// Runs the simulation, declaring every true dependency to `kronos` (one event per action).
+SimulatedExecution SimulateCausality(const CausalitySimOptions& options, KronosApi& kronos);
+
+// Scores one mechanism against ground truth over `samples` random pairs.
+struct MechanismScore {
+  uint64_t pairs = 0;
+  uint64_t truly_ordered = 0;
+  uint64_t false_positives = 0;  // mechanism orders a truly concurrent pair
+  uint64_t false_negatives = 0;  // mechanism misses a true order
+
+  double FalsePositiveRate() const {
+    const uint64_t concurrent = pairs - truly_ordered;
+    return concurrent == 0 ? 0.0
+                           : static_cast<double>(false_positives) / static_cast<double>(concurrent);
+  }
+  double FalseNegativeRate() const {
+    return truly_ordered == 0
+               ? 0.0
+               : static_cast<double>(false_negatives) / static_cast<double>(truly_ordered);
+  }
+};
+
+enum class Mechanism : uint8_t { kLamport, kVectorClock, kKronos };
+
+MechanismScore ScoreMechanism(const SimulatedExecution& exec, Mechanism mechanism,
+                              KronosApi& kronos, uint64_t samples, uint64_t seed);
+
+}  // namespace kronos
+
+#endif  // KRONOS_CLOCKS_CAUSALITY_SIM_H_

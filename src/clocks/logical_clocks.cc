@@ -1,0 +1,68 @@
+#include "src/clocks/logical_clocks.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+bool LamportBefore(const LamportStamp& a, const LamportStamp& b) {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  return a.process < b.process;
+}
+
+LamportStamp LamportClock::Tick() {
+  ++time_;
+  return LamportStamp{time_, process_};
+}
+
+LamportStamp LamportClock::Receive(const LamportStamp& incoming) {
+  time_ = std::max(time_, incoming.time);
+  return Tick();
+}
+
+Order VectorStamp::Compare(const VectorStamp& a, const VectorStamp& b) {
+  KRONOS_CHECK(a.components_.size() == b.components_.size());
+  bool a_le_b = true;
+  bool b_le_a = true;
+  for (size_t i = 0; i < a.components_.size(); ++i) {
+    if (a.components_[i] > b.components_[i]) {
+      a_le_b = false;
+    }
+    if (b.components_[i] > a.components_[i]) {
+      b_le_a = false;
+    }
+  }
+  if (a_le_b && b_le_a) {
+    return Order::kConcurrent;  // equal stamps: same knowledge, no order
+  }
+  if (a_le_b) {
+    return Order::kBefore;
+  }
+  if (b_le_a) {
+    return Order::kAfter;
+  }
+  return Order::kConcurrent;
+}
+
+VectorClock::VectorClock(uint32_t process, uint32_t num_processes)
+    : process_(process), components_(num_processes, 0) {
+  KRONOS_CHECK(process < num_processes);
+}
+
+VectorStamp VectorClock::Tick() {
+  ++components_[process_];
+  return VectorStamp(components_);
+}
+
+VectorStamp VectorClock::Receive(const VectorStamp& incoming) {
+  KRONOS_CHECK(incoming.components_.size() == components_.size());
+  for (size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = std::max(components_[i], incoming.components_[i]);
+  }
+  return Tick();
+}
+
+}  // namespace kronos

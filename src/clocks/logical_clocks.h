@@ -1,0 +1,104 @@
+// Classical causality-capturing baselines: Lamport timestamps and vector clocks.
+//
+// These implement the mechanisms Kronos argues against in §1/§5. Both observe a message-
+// passing execution (local events, sends, receives) and answer ordering queries:
+//
+//   * Lamport timestamps give a total order consistent with happens-before. They cannot
+//     express concurrency at all — every pair of events is ordered — so using them to infer
+//     dependence produces false positives on every truly concurrent pair.
+//   * Vector clocks characterize message-level happens-before exactly — but the message level
+//     is the wrong level: "many vector clock implementations will establish a happens-before
+//     relationship between every message sent out and all messages received previously by the
+//     same process, even if those messages did not play a causal role" (false positives
+//     against SEMANTIC dependence), and any dependency formed over an external channel the
+//     clock never saw is missed entirely (false negatives).
+//
+// The comparison harness (bench/compare_clocks) runs one execution through both clocks, a
+// Kronos event graph fed with the application's true dependencies, and a ground-truth model,
+// then scores each mechanism's precision.
+#ifndef KRONOS_CLOCKS_LOGICAL_CLOCKS_H_
+#define KRONOS_CLOCKS_LOGICAL_CLOCKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace kronos {
+
+// ------------------------------------------------------------------------ Lamport clock ----
+
+struct LamportStamp {
+  uint64_t time = 0;
+  uint32_t process = 0;  // tie-break for the total order
+
+  friend bool operator==(const LamportStamp&, const LamportStamp&) = default;
+};
+
+// Lamport's total order: time, then process id.
+bool LamportBefore(const LamportStamp& a, const LamportStamp& b);
+
+class LamportClock {
+ public:
+  explicit LamportClock(uint32_t process) : process_(process) {}
+
+  // A local event: advances the clock and stamps the event.
+  LamportStamp Tick();
+
+  // Stamp to attach to an outgoing message (counts as an event).
+  LamportStamp PrepareSend() { return Tick(); }
+
+  // Merges an incoming message's stamp; returns the stamp of the receive event.
+  LamportStamp Receive(const LamportStamp& incoming);
+
+  uint64_t time() const { return time_; }
+
+ private:
+  uint32_t process_;
+  uint64_t time_ = 0;
+};
+
+// ------------------------------------------------------------------------- vector clock ----
+
+class VectorStamp {
+ public:
+  VectorStamp() = default;
+  explicit VectorStamp(std::vector<uint64_t> components)
+      : components_(std::move(components)) {}
+
+  const std::vector<uint64_t>& components() const { return components_; }
+
+  // The happens-before relation: a < b iff a <= b componentwise and a != b. Incomparable
+  // stamps are concurrent.
+  static Order Compare(const VectorStamp& a, const VectorStamp& b);
+
+ private:
+  friend class VectorClock;
+  std::vector<uint64_t> components_;
+};
+
+class VectorClock {
+ public:
+  VectorClock(uint32_t process, uint32_t num_processes);
+
+  // A local event.
+  VectorStamp Tick();
+
+  // Stamp for an outgoing message.
+  VectorStamp PrepareSend() { return Tick(); }
+
+  // Merge an incoming stamp (componentwise max), then tick for the receive event.
+  VectorStamp Receive(const VectorStamp& incoming);
+
+  // Bytes a stamp occupies on the wire — the §5 space trade-off ("in the worst case, vector
+  // clocks require as many entries as parallel processes").
+  size_t StampBytes() const { return components_.size() * sizeof(uint64_t); }
+
+ private:
+  uint32_t process_;
+  std::vector<uint64_t> components_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CLOCKS_LOGICAL_CLOCKS_H_

@@ -1,0 +1,40 @@
+// Time utilities: a monotonic microsecond clock and a stopwatch for latency measurement.
+#ifndef KRONOS_COMMON_CLOCK_H_
+#define KRONOS_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace kronos {
+
+// Microseconds from an arbitrary monotonic epoch.
+inline uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Nanoseconds from an arbitrary monotonic epoch.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNanos()) {}
+
+  void Reset() { start_ = MonotonicNanos(); }
+
+  uint64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
+  uint64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_CLOCK_H_

@@ -1,0 +1,44 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace kronos {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xffffffffu; }
+
+uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> data) {
+  const auto& table = Table();
+  for (const uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xffffffffu; }
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Finish(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace kronos

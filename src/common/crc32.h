@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for write-ahead-log record integrity.
+#ifndef KRONOS_COMMON_CRC32_H_
+#define KRONOS_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+namespace kronos {
+
+// One-shot CRC of a byte span.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental form: crc = Crc32Update(crc, chunk) starting from Crc32Init().
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> data);
+uint32_t Crc32Finish(uint32_t crc);
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_CRC32_H_

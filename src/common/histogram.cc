@@ -1,0 +1,137 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+Histogram::Histogram() : buckets_(static_cast<size_t>(kBucketGroups) * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int group = msb - kSubBucketBits + 1;
+  const int sub = static_cast<int>(value >> (msb - kSubBucketBits)) - kSubBuckets;
+  int index = (group + 1) * kSubBuckets + sub;
+  const int last = kBucketGroups * kSubBuckets - 1;
+  return std::min(index, last);
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < 2 * kSubBuckets) {
+    // Index band [kSubBuckets, 2*kSubBuckets) is never produced by BucketIndex; treating the
+    // whole prefix as identity keeps the function total.
+    return static_cast<uint64_t>(index);
+  }
+  // Inverse of BucketIndex: group g covers values whose msb is g + kSubBucketBits - 1, bucketed
+  // in kSubBuckets linear steps of width 2^(g-1).
+  const int group = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets;
+  const int shift = group - 1;
+  return ((static_cast<uint64_t>(sub) + kSubBuckets + 1) << shift) - 1;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  buckets_[static_cast<size_t>(BucketIndex(value))] += count;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * count;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  KRONOS_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+uint64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+uint64_t Histogram::max() const { return count_ == 0 ? 0 : max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Clamp the bucket bound to the observed extrema for tighter reporting.
+      return std::clamp(BucketUpperBound(static_cast<int>(i)), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<uint64_t, double>> Histogram::Cdf() const {
+  std::vector<std::pair<uint64_t, double>> out;
+  if (count_ == 0) {
+    return out;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    seen += buckets_[i];
+    const uint64_t bound = std::clamp(BucketUpperBound(static_cast<int>(i)), min_, max_);
+    out.emplace_back(bound, static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p90=%llu p99=%llu p999=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.90)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(Percentile(0.999)),
+                static_cast<unsigned long long>(max()));
+  return std::string(buf);
+}
+
+}  // namespace kronos

@@ -1,0 +1,59 @@
+// Latency/throughput recording for the benchmark harnesses.
+//
+// Histogram uses logarithmic bucketing with linear sub-buckets (HdrHistogram-style): ~1%
+// relative error across a [1, 2^40] value range, constant memory, O(1) record. Percentile and
+// CDF queries drive the Fig. 9 latency CDF and the error bars in Fig. 8.
+#ifndef KRONOS_COMMON_HISTOGRAM_H_
+#define KRONOS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kronos {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  // Merges another histogram's counts into this one (per-thread recording then merge).
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const;
+  uint64_t max() const;
+  double mean() const;
+
+  // Value at quantile q in [0, 1]; returns an upper bound of the containing bucket.
+  uint64_t Percentile(double q) const;
+
+  // (value, cumulative fraction) points suitable for plotting a CDF; at most one point per
+  // non-empty bucket.
+  std::vector<std::pair<uint64_t, double>> Cdf() const;
+
+  void Reset();
+
+  // Compact human-readable summary: count/mean/p50/p90/p99/p999/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per power of two.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketGroups = 40;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,77 @@
+// Minimal logging and assertion macros for the Kronos libraries.
+//
+// KLOG(level) streams a timestamped line to stderr. KRONOS_CHECK aborts on violated invariants;
+// it is used for programmer errors, never for data-dependent conditions (those return Status).
+#ifndef KRONOS_COMMON_LOGGING_H_
+#define KRONOS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace kronos {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Minimum level that is emitted; default kInfo. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+// Accumulates one log line and emits it (and aborts for kFatal) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Lets a streaming expression appear in the false branch of a void ?: — operator& binds looser
+// than operator<<, so the whole chained statement is evaluated first, then discarded.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+}  // namespace kronos
+
+#define KLOG(level)                                                                      \
+  (static_cast<int>(::kronos::LogLevel::k##level) < static_cast<int>(::kronos::GetLogLevel())) \
+      ? (void)0                                                                          \
+      : ::kronos::log_internal::Voidify() &                                              \
+            ::kronos::log_internal::LogMessage(::kronos::LogLevel::k##level, __FILE__,   \
+                                               __LINE__)                                 \
+                .stream()
+
+#define KRONOS_CHECK(cond)                                                                \
+  if (!(cond))                                                                            \
+  ::kronos::log_internal::LogMessage(::kronos::LogLevel::kFatal, __FILE__, __LINE__)      \
+      .stream()                                                                           \
+      << "Check failed: " #cond " "
+
+#define KRONOS_CHECK_OK(expr)                                                             \
+  do {                                                                                    \
+    ::kronos::Status _st = (expr);                                                        \
+    if (!_st.ok()) {                                                                      \
+      ::kronos::log_internal::LogMessage(::kronos::LogLevel::kFatal, __FILE__, __LINE__)  \
+              .stream()                                                                   \
+          << "Status not OK: " << _st.ToString();                                         \
+    }                                                                                     \
+  } while (0)
+
+#endif  // KRONOS_COMMON_LOGGING_H_

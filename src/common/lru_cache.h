@@ -1,0 +1,96 @@
+// A fixed-capacity LRU cache, used by KronoGraph shard servers and the Kronos client to cache
+// pairwise event orders (§3.2). Not thread-safe; callers shard or lock externally.
+#ifndef KRONOS_COMMON_LRU_CACHE_H_
+#define KRONOS_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) { KRONOS_CHECK(capacity > 0); }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Returns the value for key and marks it most-recently-used.
+  std::optional<V> Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  // Peeks without updating recency (useful in tests).
+  std::optional<V> Peek(const K& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    return it->second->second;
+  }
+
+  bool Contains(const K& key) const { return map_.find(key) != map_.end(); }
+
+  // Inserts or overwrites; evicts the least-recently-used entry when full.
+  void Put(const K& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() == capacity_) {
+      auto& lru = order_.back();
+      map_.erase(lru.first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  void Erase(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return;
+    }
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<K, V>;
+
+  size_t capacity_;
+  std::list<Entry> order_;
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_LRU_CACHE_H_

@@ -1,0 +1,107 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: expands a single seed into well-distributed state words.
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  s0_ = SplitMix64(sm);
+  s1_ = SplitMix64(sm);
+  if (s0_ == 0 && s1_ == 0) {
+    s0_ = 1;
+  }
+}
+
+uint64_t Rng::Next() {
+  // xoroshiro128++
+  const uint64_t s0 = s0_;
+  uint64_t s1 = s1_;
+  const uint64_t result = Rotl(s0 + s1, 17) + s0;
+  s1 ^= s0;
+  s0_ = Rotl(s0, 49) ^ s1 ^ (s1 << 21);
+  s1_ = Rotl(s1, 28);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  KRONOS_CHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  KRONOS_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  KRONOS_CHECK(n > 0);
+  KRONOS_CHECK(theta >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfSampler::H(double x) const {
+  if (theta_ == 1.0) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (theta_ == 1.0) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) {
+  if (theta_ == 0.0) {
+    return rng.Uniform(n_);
+  }
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    const double k = std::floor(x + 0.5);
+    if (k - x <= s_) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+    if (u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace kronos

@@ -1,0 +1,71 @@
+// Deterministic PRNG utilities for workload generation and tests.
+//
+// Xoroshiro128++ core with helpers for uniform ints/doubles, bounded sampling without modulo
+// bias, shuffles, and a Zipf sampler (used to skew key/account selection in benchmarks).
+#ifndef KRONOS_COMMON_RANDOM_H_
+#define KRONOS_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kronos {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform in [0, bound); bound must be > 0. Uses Lemire's unbiased multiply-shift rejection.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipf-distributed sampler over {0, ..., n-1} with exponent theta (theta=0 is uniform).
+// Uses the rejection-inversion method of Hörmann & Derflinger, O(1) per sample after O(1) setup.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_RANDOM_H_

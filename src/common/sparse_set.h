@@ -1,0 +1,76 @@
+// Briggs–Torczon sparse set: the uninitialized-memory visited set from Kronos §2.2.
+//
+// A member i is in the set iff sparse[i] < size && dense[sparse[i]] == i. Insertion writes two
+// words; clearing resets a single counter, so a BFS over k vertices costs O(k) regardless of the
+// universe size. The dense array additionally doubles as an iteration order (insertion order),
+// which the engine exploits to enumerate exactly the vertices a traversal touched.
+//
+// Memory read from `sparse_` may be logically uninitialized; the containment test is correct
+// regardless of its contents (the dual-indexing check filters garbage). To keep the class free
+// of MSan/valgrind noise the backing stores are value-initialized on growth, which preserves the
+// O(1)-clear property that matters.
+#ifndef KRONOS_COMMON_SPARSE_SET_H_
+#define KRONOS_COMMON_SPARSE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+class SparseSet {
+ public:
+  SparseSet() = default;
+  explicit SparseSet(uint64_t universe) { Reserve(universe); }
+
+  // Grows the universe to at least `universe` members. Existing membership is preserved.
+  void Reserve(uint64_t universe) {
+    if (universe > sparse_.size()) {
+      sparse_.resize(universe, 0);
+      dense_.resize(universe, 0);
+    }
+  }
+
+  uint64_t universe_size() const { return sparse_.size(); }
+
+  // Number of members currently in the set.
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Contains(uint64_t i) const {
+    return i < sparse_.size() && sparse_[i] < size_ && dense_[sparse_[i]] == i;
+  }
+
+  // Inserts i; returns false if it was already present. i must be within the universe.
+  bool Insert(uint64_t i) {
+    KRONOS_CHECK(i < sparse_.size()) << "SparseSet::Insert out of range: " << i;
+    if (Contains(i)) {
+      return false;
+    }
+    sparse_[i] = size_;
+    dense_[size_] = i;
+    ++size_;
+    return true;
+  }
+
+  // O(1): subsequent Contains() calls see an empty set.
+  void Clear() { size_ = 0; }
+
+  // Members in insertion order; valid until the next Insert/Clear/Reserve.
+  const uint64_t* begin() const { return dense_.data(); }
+  const uint64_t* end() const { return dense_.data() + size_; }
+  uint64_t operator[](uint64_t pos) const {
+    KRONOS_CHECK(pos < size_);
+    return dense_[pos];
+  }
+
+ private:
+  std::vector<uint64_t> sparse_;
+  std::vector<uint64_t> dense_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_SPARSE_SET_H_

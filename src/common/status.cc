@@ -1,0 +1,40 @@
+#include "src/common/status.h"
+
+namespace kronos {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kOrderViolation:
+      return "ORDER_VIOLATION";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kWrongRole:
+      return "WRONG_ROLE";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kExhausted:
+      return "EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace kronos

@@ -1,0 +1,143 @@
+// Status and Result<T>: exception-free error propagation for the Kronos libraries.
+//
+// Library code returns Status (or Result<T> when a value accompanies success) instead of
+// throwing. StatusCode values mirror the error surface of the Kronos API: order violations,
+// missing events, transport failures, and so on.
+#ifndef KRONOS_COMMON_STATUS_H_
+#define KRONOS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace kronos {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // The requested order contradicts the existing event dependency graph (a `must` edge would
+  // create a cycle). The assign_order batch was aborted without side effects.
+  kOrderViolation = 1,
+  // An event id named in the request is not present in the graph (never created, or collected).
+  kNotFound = 2,
+  // Malformed request: duplicate pairs, self-edges, bad enum values, empty batch, etc.
+  kInvalidArgument = 3,
+  // Transport-level failure: endpoint unreachable, timeout, connection reset.
+  kUnavailable = 4,
+  // Request timed out waiting for a response.
+  kTimeout = 5,
+  // Internal invariant violation; indicates a bug.
+  kInternal = 6,
+  // Operation not permitted in the current role/state (e.g. update sent to a non-head replica).
+  kWrongRole = 7,
+  // Transactional abort (txkv layer): conflict detected, retry.
+  kAborted = 8,
+  // Resource exhausted (queue full, too many inflight requests).
+  kExhausted = 9,
+};
+
+// Human-readable name for a code ("OK", "ORDER_VIOLATION", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap, value-semantic status: a code plus an optional message. The OK status carries no
+// allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ORDER_VIOLATION: would create cycle" or "OK".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status OrderViolation(std::string msg = "") {
+  return Status(StatusCode::kOrderViolation, std::move(msg));
+}
+inline Status NotFound(std::string msg = "") {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status InvalidArgument(std::string msg = "") {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status Unavailable(std::string msg = "") {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status Timeout(std::string msg = "") { return Status(StatusCode::kTimeout, std::move(msg)); }
+inline Status Internal(std::string msg = "") {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status WrongRole(std::string msg = "") {
+  return Status(StatusCode::kWrongRole, std::move(msg));
+}
+inline Status Aborted(std::string msg = "") { return Status(StatusCode::kAborted, std::move(msg)); }
+inline Status Exhausted(std::string msg = "") {
+  return Status(StatusCode::kExhausted, std::move(msg));
+}
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status)                          // NOLINT(google-explicit-constructor)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(value_);
+  }
+
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace kronos
+
+// Propagate a non-OK status to the caller.
+#define KRONOS_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::kronos::Status _st = (expr);            \
+    if (!_st.ok()) {                          \
+      return _st;                             \
+    }                                         \
+  } while (0)
+
+#endif  // KRONOS_COMMON_STATUS_H_

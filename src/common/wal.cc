@@ -1,0 +1,145 @@
+#include "src/common/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/crc32.h"
+
+namespace kronos {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Returns bytes actually read (stops early only at EOF/error).
+size_t ReadUpTo(int fd, uint8_t* out, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, out + got, len - got);
+    if (n <= 0) {
+      break;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return got;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+Status WriteAheadLog::Open(const std::string& path,
+                           const std::function<void(std::span<const uint8_t>)>& record_fn) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Errno("open");
+  }
+  // Replay the valid prefix.
+  uint64_t valid_bytes = 0;
+  while (true) {
+    uint8_t header[8];
+    const size_t header_bytes = ReadUpTo(fd, header, sizeof(header));
+    if (header_bytes == 0) {
+      break;  // clean EOF at a record boundary (or empty file)
+    }
+    if (header_bytes < sizeof(header)) {
+      tail_was_torn_ = true;  // torn mid-header
+      break;
+    }
+    const uint32_t len = LoadU32(header);
+    const uint32_t crc = LoadU32(header + 4);
+    if (len > kMaxRecordBytes) {
+      tail_was_torn_ = true;
+      break;
+    }
+    std::vector<uint8_t> payload(len);
+    if (ReadUpTo(fd, payload.data(), len) < len) {
+      tail_was_torn_ = true;  // torn mid-payload
+      break;
+    }
+    if (Crc32(payload) != crc) {
+      tail_was_torn_ = true;
+      break;
+    }
+    if (record_fn) {
+      record_fn(payload);
+    }
+    ++records_replayed_;
+    valid_bytes += sizeof(header) + len;
+  }
+  // Truncate any torn tail and position for append.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    ::close(fd);
+    return Errno("ftruncate");
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Errno("lseek");
+  }
+  fd_ = fd;
+  return OkStatus();
+}
+
+Status WriteAheadLog::Append(std::span<const uint8_t> payload) {
+  if (fd_ < 0) {
+    return Unavailable("wal not open");
+  }
+  if (payload.size() > kMaxRecordBytes) {
+    return InvalidArgument("record too large");
+  }
+  std::vector<uint8_t> record(8 + payload.size());
+  StoreU32(record.data(), static_cast<uint32_t>(payload.size()));
+  StoreU32(record.data() + 4, Crc32(payload));
+  std::memcpy(record.data() + 8, payload.data(), payload.size());
+  size_t sent = 0;
+  while (sent < record.size()) {
+    const ssize_t n = ::write(fd_, record.data() + sent, record.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  ++records_appended_;
+  return OkStatus();
+}
+
+Status WriteAheadLog::Sync() {
+  if (fd_ < 0) {
+    return Unavailable("wal not open");
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Errno("fdatasync");
+  }
+  return OkStatus();
+}
+
+void WriteAheadLog::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace kronos

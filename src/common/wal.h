@@ -1,0 +1,54 @@
+// WriteAheadLog: a crash-tolerant, record-oriented append log.
+//
+// Record format: u32 payload length (LE), u32 CRC-32 of the payload, payload bytes. Replay
+// stops cleanly at the first torn or corrupt record (the classic crash-in-mid-append case) and
+// reports how many bytes of valid prefix it consumed, so the writer can truncate the tail and
+// resume appending.
+#ifndef KRONOS_COMMON_WAL_H_
+#define KRONOS_COMMON_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kronos {
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Replays any existing valid prefix of `path` through `record_fn`, truncates a torn tail,
+  // and opens the file for appending. Creates the file if absent.
+  Status Open(const std::string& path,
+              const std::function<void(std::span<const uint8_t>)>& record_fn);
+
+  // Appends one record (buffered in the kernel; see Sync).
+  Status Append(std::span<const uint8_t> payload);
+
+  // fdatasync: makes all appended records durable.
+  Status Sync();
+
+  void Close();
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t records_replayed() const { return records_replayed_; }
+  bool tail_was_torn() const { return tail_was_torn_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t records_appended_ = 0;
+  uint64_t records_replayed_ = 0;
+  bool tail_was_torn_ = false;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_WAL_H_

@@ -1,0 +1,73 @@
+// Command / CommandResult: the deterministic state-machine interface over EventGraph.
+//
+// §2.4: "Because the Kronos API is entirely deterministic, each API call directly corresponds
+// to a state transition in the replicated state machine." Every client call is encoded as a
+// Command; replicas apply identical command sequences and necessarily produce identical
+// results. Serialization of these structs lives in src/wire.
+#ifndef KRONOS_CORE_COMMAND_H_
+#define KRONOS_CORE_COMMAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/types.h"
+
+namespace kronos {
+
+enum class CommandType : uint8_t {
+  kCreateEvent = 0,
+  kAcquireRef = 1,
+  kReleaseRef = 2,
+  kQueryOrder = 3,
+  kAssignOrder = 4,
+};
+
+struct Command {
+  CommandType type = CommandType::kCreateEvent;
+  EventId event = kInvalidEvent;   // acquire_ref / release_ref
+  std::vector<EventPair> pairs;    // query_order
+  std::vector<AssignSpec> specs;   // assign_order
+
+  static Command MakeCreateEvent() { return Command{.type = CommandType::kCreateEvent}; }
+  static Command MakeAcquireRef(EventId e) {
+    return Command{.type = CommandType::kAcquireRef, .event = e};
+  }
+  static Command MakeReleaseRef(EventId e) {
+    return Command{.type = CommandType::kReleaseRef, .event = e};
+  }
+  static Command MakeQueryOrder(std::vector<EventPair> pairs) {
+    return Command{.type = CommandType::kQueryOrder, .pairs = std::move(pairs)};
+  }
+  static Command MakeAssignOrder(std::vector<AssignSpec> specs) {
+    return Command{.type = CommandType::kAssignOrder, .specs = std::move(specs)};
+  }
+
+  // Read-only commands do not modify the graph and may be served by stale replicas (§2.5).
+  bool read_only() const { return type == CommandType::kQueryOrder; }
+};
+
+struct CommandResult {
+  Status status;
+  EventId event = kInvalidEvent;         // create_event
+  uint64_t collected = 0;                // release_ref: events garbage collected
+  std::vector<Order> orders;             // query_order
+  std::vector<AssignOutcome> outcomes;   // assign_order
+
+  bool ok() const { return status.ok(); }
+
+  // §2.5: an answer containing any kConcurrent verdict must be validated against an up-to-date
+  // replica; fully ordered answers from stale replicas are final by monotonicity.
+  bool HasConcurrent() const {
+    for (const Order o : orders) {
+      if (o == Order::kConcurrent) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CORE_COMMAND_H_

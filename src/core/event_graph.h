@@ -1,0 +1,171 @@
+// EventGraph: the event dependency graph at the heart of Kronos (paper §2).
+//
+// Vertices are events; a directed edge u -> v records that u happens-before v. The graph
+// maintains two invariants:
+//   * coherency    — the graph is always acyclic, so a legal timeline exists (§2.1);
+//   * monotonicity — once an order between two events is established (a path exists), it is
+//                    never retracted; the public interface exposes no edge removal (§2.1).
+//
+// The implementation follows the paper's §2.2 performance notes: all memory needed for
+// traversal is preallocated at vertex-creation time as two arrays (the Briggs–Torczon sparse
+// set), so a BFS costs O(vertices actually visited) with zero allocation, and garbage
+// collection (§2.3) is a strict topological collection driven by reference counts.
+//
+// EventGraph is deliberately single-threaded and fully deterministic: it is the state machine
+// that chain replication (src/chain) replicates. Callers that need concurrency wrap it in a
+// server (src/server) that serializes commands.
+#ifndef KRONOS_CORE_EVENT_GRAPH_H_
+#define KRONOS_CORE_EVENT_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include <memory>
+
+#include "src/common/sparse_set.h"
+#include "src/common/status.h"
+#include "src/core/order_cache.h"
+#include "src/core/types.h"
+
+namespace kronos {
+
+class EventGraph {
+ public:
+  struct Stats {
+    uint64_t live_events = 0;        // vertices currently in the graph
+    uint64_t live_edges = 0;         // edges currently in the graph
+    uint64_t total_created = 0;      // events ever created
+    uint64_t total_collected = 0;    // events ever garbage collected
+    uint64_t traversals = 0;         // BFS runs performed
+    uint64_t vertices_visited = 0;   // total vertices touched by all BFS runs
+    uint64_t assign_aborts = 0;      // assign_order batches aborted by a must violation
+    uint64_t prefer_reversals = 0;   // prefer pairs answered with kReversed
+    uint64_t cache_hits = 0;         // query pairs answered from the internal order cache
+  };
+
+  EventGraph() = default;
+
+  EventGraph(const EventGraph&) = delete;
+  EventGraph& operator=(const EventGraph&) = delete;
+
+  // --- Table 1 API ---------------------------------------------------------------------------
+
+  // Creates a new event with reference count 1 (the creator's handle) and returns its id.
+  EventId CreateEvent();
+
+  // Increments the reference count on e.
+  Status AcquireRef(EventId e);
+
+  // Decrements the reference count on e. If the count reaches zero this triggers strict
+  // garbage collection (§2.3); the returned value is the number of events collected by this
+  // call (possibly zero if e is pinned by a live predecessor).
+  Result<uint64_t> ReleaseRef(EventId e);
+
+  // For each pair (e1, e2) reports kBefore, kAfter or kConcurrent. Fails with kNotFound if any
+  // named event is absent; no partial results are returned.
+  Result<std::vector<Order>> QueryOrder(std::span<const EventPair> pairs);
+
+  // Atomically applies a batch of ordering requests. All kMust pairs are validated and applied
+  // before any kPrefer pair (§2.2). If a kMust pair contradicts the existing graph the whole
+  // batch aborts with kOrderViolation and no side effects. kPrefer pairs never abort: a
+  // contradicted prefer is reported as kReversed.
+  Result<std::vector<AssignOutcome>> AssignOrder(std::span<const AssignSpec> specs);
+
+  // --- Introspection -------------------------------------------------------------------------
+
+  bool Contains(EventId e) const { return FindSlot(e) != kNoSlot; }
+
+  // Reference count of e, or kNotFound.
+  Result<uint32_t> RefCount(EventId e) const;
+
+  // Number of happens-before edges leaving e (direct successors), or kNotFound.
+  Result<uint32_t> OutDegree(EventId e) const;
+
+  uint64_t live_events() const { return stats_.live_events; }
+  uint64_t live_edges() const { return stats_.live_edges; }
+  const Stats& stats() const { return stats_; }
+
+  // §2.5: "Kronos can maintain an internal cache of traversal results ... to improve traversal
+  // efficiency." Enables an LRU cache of ordered query answers (monotonicity makes them final;
+  // kConcurrent is never cached). Purely an accelerator: results are identical with or without
+  // it, so replicas may enable it independently without breaking determinism of outputs.
+  void EnableQueryCache(size_t capacity);
+
+  // Approximate heap bytes retained by the graph, computed from container capacities. Includes
+  // vertex storage, adjacency lists, the preallocated traversal arrays, and the id map. Drives
+  // the Fig. 10 memory experiment; array-doubling steps are visible in this value.
+  uint64_t ApproxMemoryBytes() const;
+
+  // --- Snapshots (state transfer & persistence) ------------------------------------------------
+
+  struct SnapshotVertex {
+    EventId id = kInvalidEvent;
+    uint32_t refcount = 0;
+    std::vector<EventId> successors;
+  };
+
+  // The next id CreateEvent would hand out (monotonic; part of the replicated state).
+  EventId next_id() const { return next_id_; }
+
+  // Dumps every live vertex in ascending-id order (deterministic across replicas).
+  std::vector<SnapshotVertex> ExportSnapshot() const;
+
+  // Rebuilds the graph from a snapshot. Only valid on an empty graph; validates referential
+  // integrity (successors must exist, ids below next_id) but trusts acyclicity — snapshots
+  // come from a replica that maintained the coherency invariant.
+  Status ImportSnapshot(EventId next_id, const std::vector<SnapshotVertex>& vertices);
+
+  // A deterministic topological order over all live events (ids ascending among ready
+  // vertices). This is the §3.3 observation made executable: "any topological sort of the
+  // event dependency graph will yield a schedule ... equivalent to the actual execution".
+  std::vector<EventId> TopologicalOrder() const;
+
+ private:
+  using Slot = uint32_t;
+  static constexpr Slot kNoSlot = UINT32_MAX;
+
+  struct Vertex {
+    EventId id = kInvalidEvent;  // kInvalidEvent marks a free slot
+    uint32_t refcount = 0;
+    uint32_t indegree = 0;
+    std::vector<Slot> out;  // direct successors (happens-after this event)
+  };
+
+  Slot FindSlot(EventId e) const;
+  Slot AllocateSlot(EventId id);
+
+  // True iff a directed path from -> to exists. Runs BFS over out-edges using the preallocated
+  // visited set; counts into stats_.
+  bool Reachable(Slot from, Slot to);
+
+  // Adds edge u -> v, assuming acyclicity was already validated. Returns false if the direct
+  // edge already existed.
+  bool AddEdge(Slot u, Slot v);
+
+  // Removes a direct edge u -> v added earlier in an aborted batch (internal rollback only;
+  // never exposed — monotonicity applies to acknowledged state).
+  void RemoveEdge(Slot u, Slot v);
+
+  // Collects `start` if eligible and cascades topologically; returns events collected.
+  uint64_t CollectFrom(Slot start);
+
+  std::vector<Vertex> vertices_;
+  std::vector<Slot> free_slots_;
+  std::unordered_map<EventId, Slot> id_to_slot_;
+  EventId next_id_ = 1;
+
+  // Preallocated traversal state (§2.2): visited set + BFS frontier queue. Sized with the
+  // vertex array; never allocated during traversal.
+  SparseSet visited_;
+  std::vector<Slot> frontier_;
+
+  std::unique_ptr<OrderCache> query_cache_;  // null unless EnableQueryCache was called
+
+  Stats stats_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CORE_EVENT_GRAPH_H_

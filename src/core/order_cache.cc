@@ -1,0 +1,114 @@
+#include "src/core/order_cache.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+OrderCache::OrderCache(Options options)
+    : options_(options), cache_(options.capacity == 0 ? 1 : options.capacity) {}
+
+std::optional<Order> OrderCache::Lookup(EventId e1, EventId e2) {
+  const PairKey key = MakeKey(e1, e2);
+  std::optional<Order> cached = cache_.Get(key);
+  if (!cached.has_value()) {
+    return std::nullopt;
+  }
+  // Stored order is relative to the normalized (a, b); flip if the caller asked (b, a).
+  if (e1 == key.a) {
+    return cached;
+  }
+  return *cached == Order::kBefore ? Order::kAfter : Order::kBefore;
+}
+
+std::optional<bool> OrderCache::CachedBefore(EventId x, EventId y) {
+  const PairKey key = MakeKey(x, y);
+  std::optional<Order> cached = cache_.Peek(key);
+  if (!cached.has_value()) {
+    return std::nullopt;
+  }
+  const bool a_before_b = (*cached == Order::kBefore);
+  return (x == key.a) ? a_before_b : !a_before_b;
+}
+
+void OrderCache::InsertRaw(EventId before, EventId after) {
+  const PairKey key = MakeKey(before, after);
+  const Order stored = (before == key.a) ? Order::kBefore : Order::kAfter;
+  if (!cache_.Contains(key)) {
+    auto bound_push = [&](EventId from, EventId to) {
+      std::vector<EventId>& vec = index_[from];
+      if (std::find(vec.begin(), vec.end(), to) == vec.end()) {
+        if (vec.size() >= options_.prefill_fanout) {
+          // Lazily drop entries whose pair has been evicted from the LRU.
+          std::erase_if(vec, [&](EventId other) { return !cache_.Contains(MakeKey(from, other)); });
+        }
+        if (vec.size() < options_.prefill_fanout) {
+          vec.push_back(to);
+        }
+      }
+    };
+    bound_push(before, after);
+    bound_push(after, before);
+  }
+  cache_.Put(key, stored);
+}
+
+void OrderCache::Insert(EventId e1, EventId e2, Order order) {
+  if (order == Order::kConcurrent) {
+    return;  // Concurrency is not stable under monotonic refinement; never cache it.
+  }
+  const EventId before = (order == Order::kBefore) ? e1 : e2;
+  const EventId after = (order == Order::kBefore) ? e2 : e1;
+  InsertRaw(before, after);
+  if (options_.transitive_prefill) {
+    Prefill(before, after);
+  }
+}
+
+void OrderCache::Prefill(EventId before, EventId after) {
+  // u -> v learned. For cached v -> w infer u -> w; for cached w -> u infer w -> v.
+  auto it = index_.find(after);
+  if (it != index_.end()) {
+    // Copy: InsertRaw mutates the index.
+    const std::vector<EventId> neighbours = it->second;
+    for (const EventId w : neighbours) {
+      if (w == before) {
+        continue;
+      }
+      std::optional<bool> v_before_w = CachedBefore(after, w);
+      if (v_before_w.has_value() && *v_before_w) {
+        const PairKey key = MakeKey(before, w);
+        if (!cache_.Contains(key)) {
+          InsertRaw(before, w);
+          ++prefills_;
+        }
+      }
+    }
+  }
+  it = index_.find(before);
+  if (it != index_.end()) {
+    const std::vector<EventId> neighbours = it->second;
+    for (const EventId w : neighbours) {
+      if (w == after) {
+        continue;
+      }
+      std::optional<bool> w_before_u = CachedBefore(w, before);
+      if (w_before_u.has_value() && *w_before_u) {
+        const PairKey key = MakeKey(w, after);
+        if (!cache_.Contains(key)) {
+          InsertRaw(w, after);
+          ++prefills_;
+        }
+      }
+    }
+  }
+}
+
+void OrderCache::Clear() {
+  cache_.Clear();
+  index_.clear();
+  prefills_ = 0;
+}
+
+}  // namespace kronos

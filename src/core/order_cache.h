@@ -1,0 +1,87 @@
+// OrderCache: an LRU cache of pairwise event orders with transitive prefill (paper §3.2).
+//
+// The monotonicity invariant makes ordered answers (kBefore / kAfter) valid forever, so they
+// may be cached indefinitely and shared freely. kConcurrent answers can be invalidated by any
+// later assign_order and are therefore never cached.
+//
+// Transitive prefill: when the cache learns u -> v and already knows v -> w, it infers and
+// stores u -> w without a service call. Prefill work is bounded by capping the per-event index
+// fan-out.
+#ifndef KRONOS_CORE_ORDER_CACHE_H_
+#define KRONOS_CORE_ORDER_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/lru_cache.h"
+#include "src/core/types.h"
+
+namespace kronos {
+
+class OrderCache {
+ public:
+  struct Options {
+    size_t capacity = 1 << 16;
+    bool transitive_prefill = true;
+    // Maximum number of cached neighbours examined per endpoint during prefill.
+    size_t prefill_fanout = 16;
+  };
+
+  explicit OrderCache(Options options);
+  explicit OrderCache(size_t capacity) : OrderCache(Options{.capacity = capacity}) {}
+
+  // Returns the cached order of (e1, e2) if known. Never returns kConcurrent.
+  std::optional<Order> Lookup(EventId e1, EventId e2);
+
+  // Records an order learned from the service. kConcurrent is ignored (not cacheable).
+  void Insert(EventId e1, EventId e2, Order order);
+
+  size_t size() const { return cache_.size(); }
+  uint64_t hits() const { return cache_.hits(); }
+  uint64_t misses() const { return cache_.misses(); }
+  uint64_t prefills() const { return prefills_; }
+
+  void Clear();
+
+ private:
+  struct PairKey {
+    EventId a;  // always the smaller id
+    EventId b;
+
+    friend bool operator==(const PairKey&, const PairKey&) = default;
+  };
+
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      uint64_t h = k.a * 0x9e3779b97f4a7c15ull;
+      h ^= k.b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  static PairKey MakeKey(EventId e1, EventId e2) {
+    return e1 < e2 ? PairKey{e1, e2} : PairKey{e2, e1};
+  }
+
+  // Inserts without prefill (used by prefill itself to avoid recursion).
+  void InsertRaw(EventId before, EventId after);
+
+  // Looks up the directed relation between x and y: true if x -> y cached, false if y -> x
+  // cached, nullopt otherwise.
+  std::optional<bool> CachedBefore(EventId x, EventId y);
+
+  void Prefill(EventId before, EventId after);
+
+  Options options_;
+  // Value is the order of (key.a, key.b) in normalized form; only kBefore/kAfter stored.
+  LruCache<PairKey, Order, PairKeyHash> cache_;
+  // For each event, a bounded list of events it has cached pairs with (lazily cleaned).
+  std::unordered_map<EventId, std::vector<EventId>> index_;
+  uint64_t prefills_ = 0;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CORE_ORDER_CACHE_H_

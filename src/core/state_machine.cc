@@ -1,0 +1,50 @@
+#include "src/core/state_machine.h"
+
+namespace kronos {
+
+CommandResult KronosStateMachine::Apply(const Command& command) {
+  CommandResult result;
+  switch (command.type) {
+    case CommandType::kCreateEvent: {
+      result.event = graph_.CreateEvent();
+      break;
+    }
+    case CommandType::kAcquireRef: {
+      result.status = graph_.AcquireRef(command.event);
+      break;
+    }
+    case CommandType::kReleaseRef: {
+      Result<uint64_t> collected = graph_.ReleaseRef(command.event);
+      if (collected.ok()) {
+        result.collected = *collected;
+      } else {
+        result.status = collected.status();
+      }
+      break;
+    }
+    case CommandType::kQueryOrder: {
+      Result<std::vector<Order>> orders = graph_.QueryOrder(command.pairs);
+      if (orders.ok()) {
+        result.orders = *std::move(orders);
+      } else {
+        result.status = orders.status();
+      }
+      break;
+    }
+    case CommandType::kAssignOrder: {
+      Result<std::vector<AssignOutcome>> outcomes = graph_.AssignOrder(command.specs);
+      if (outcomes.ok()) {
+        result.outcomes = *std::move(outcomes);
+      } else {
+        result.status = outcomes.status();
+      }
+      break;
+    }
+  }
+  if (!command.read_only()) {
+    ++applied_updates_;
+  }
+  return result;
+}
+
+}  // namespace kronos

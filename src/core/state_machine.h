@@ -1,0 +1,43 @@
+// KronosStateMachine: applies Commands to an EventGraph, producing CommandResults.
+//
+// This is the unit that chain replication replicates. Apply() is deterministic: given the same
+// starting state and the same command sequence, every replica computes identical results
+// (including the ids returned by create_event, which come from a monotonic counter inside
+// EventGraph).
+#ifndef KRONOS_CORE_STATE_MACHINE_H_
+#define KRONOS_CORE_STATE_MACHINE_H_
+
+#include <cstdint>
+
+#include "src/core/command.h"
+#include "src/core/event_graph.h"
+
+namespace kronos {
+
+class KronosStateMachine {
+ public:
+  KronosStateMachine() = default;
+
+  KronosStateMachine(const KronosStateMachine&) = delete;
+  KronosStateMachine& operator=(const KronosStateMachine&) = delete;
+
+  // Applies one command and returns its result. Not thread-safe; callers serialize.
+  CommandResult Apply(const Command& command);
+
+  // Number of state-mutating commands applied (the replication log index of the last update).
+  uint64_t applied_updates() const { return applied_updates_; }
+
+  // Used by snapshot restore to adopt the snapshotted replication position.
+  void set_applied_updates(uint64_t applied) { applied_updates_ = applied; }
+
+  const EventGraph& graph() const { return graph_; }
+  EventGraph& graph() { return graph_; }
+
+ private:
+  EventGraph graph_;
+  uint64_t applied_updates_ = 0;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CORE_STATE_MACHINE_H_

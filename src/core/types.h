@@ -1,0 +1,67 @@
+// Core vocabulary types for the Kronos event ordering service (paper §2.1–2.2, Table 1).
+#ifndef KRONOS_CORE_TYPES_H_
+#define KRONOS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kronos {
+
+// Globally unique event identifier handed out by create_event. Identifiers are never reused,
+// even after the event is garbage collected.
+using EventId = uint64_t;
+
+// Zero is reserved: no real event carries it, and it marks free vertex slots internally.
+inline constexpr EventId kInvalidEvent = 0;
+
+// The answer to a query_order call for the pair (e1, e2).
+enum class Order : uint8_t {
+  kBefore = 0,      // e1 happens-before e2.
+  kAfter = 1,       // e2 happens-before e1.
+  kConcurrent = 2,  // No path exists in either direction.
+};
+
+std::string_view OrderName(Order order);
+
+// Constraint mode for one assign_order pair (paper §2.2, "Dependency Creation").
+enum class Constraint : uint8_t {
+  // Hard constraint: if it contradicts the existing graph, the entire batch aborts with no
+  // side effects and the client learns the true order.
+  kMust = 0,
+  // Soft constraint: on contradiction the service keeps the pre-existing (reversed) order and
+  // reports the reversal to the client.
+  kPrefer = 1,
+};
+
+std::string_view ConstraintName(Constraint c);
+
+// A pair of events submitted to query_order.
+struct EventPair {
+  EventId e1 = kInvalidEvent;
+  EventId e2 = kInvalidEvent;
+
+  friend bool operator==(const EventPair&, const EventPair&) = default;
+};
+
+// One entry of an assign_order batch: "e1 happens-before e2" with the given constraint mode.
+// (The paper's API takes an explicit direction token; clients normalize to this form.)
+struct AssignSpec {
+  EventId e1 = kInvalidEvent;
+  EventId e2 = kInvalidEvent;
+  Constraint constraint = Constraint::kMust;
+
+  friend bool operator==(const AssignSpec&, const AssignSpec&) = default;
+};
+
+// Per-pair outcome of a successful assign_order batch.
+enum class AssignOutcome : uint8_t {
+  kCreated = 0,      // A new happens-before edge was recorded (possibly transitively redundant).
+  kPreexisting = 1,  // The exact direct edge already existed.
+  kReversed = 2,     // prefer only: the opposite order already held and was kept.
+};
+
+std::string_view AssignOutcomeName(AssignOutcome o);
+
+}  // namespace kronos
+
+#endif  // KRONOS_CORE_TYPES_H_

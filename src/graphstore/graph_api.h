@@ -1,0 +1,53 @@
+// GraphStore: the common interface for the Fig. 6 online graph-store experiment.
+//
+// Both stores hold an undirected friendship graph, support online mutation, and answer a
+// friend-recommendation query (the paper's workload: "for a given input, the algorithm will
+// return the user with the most number of friends in common") with full isolation from
+// concurrent writes. LockGraph provides isolation with reader/writer locks (Titan stand-in);
+// KronoGraph provides it with Kronos event ordering and versioned adjacency (§3.2).
+#ifndef KRONOS_GRAPHSTORE_GRAPH_API_H_
+#define KRONOS_GRAPHSTORE_GRAPH_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kronos {
+
+using VertexId = uint64_t;
+inline constexpr VertexId kNoVertex = UINT64_MAX;
+
+struct Recommendation {
+  VertexId who = kNoVertex;    // best non-friend candidate (kNoVertex if none)
+  uint32_t mutual_friends = 0;
+
+  friend bool operator==(const Recommendation&, const Recommendation&) = default;
+};
+
+class GraphStore {
+ public:
+  virtual ~GraphStore() = default;
+
+  // Vertices are created implicitly by AddEdge; AddVertex exists for isolated vertices.
+  virtual Status AddVertex(VertexId v) = 0;
+
+  // Adds / removes the undirected edge {u, v}. Adding an existing edge and removing a missing
+  // one are idempotent successes (consistent with online social-graph semantics).
+  virtual Status AddEdge(VertexId u, VertexId v) = 0;
+  virtual Status RemoveEdge(VertexId u, VertexId v) = 0;
+
+  // The neighbor set of v under the store's isolation guarantee.
+  virtual Result<std::vector<VertexId>> Neighbors(VertexId v) = 0;
+
+  // Friend recommendation: the non-neighbor (two hops away) sharing the most friends with v.
+  // The whole 2-hop traversal observes one consistent snapshot.
+  virtual Result<Recommendation> RecommendFriend(VertexId v) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_GRAPHSTORE_GRAPH_API_H_

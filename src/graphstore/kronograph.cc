@@ -1,0 +1,506 @@
+#include "src/graphstore/kronograph.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+KronoGraph::KronoGraph(KronosApi& kronos, Options options)
+    : kronos_(kronos), options_(options) {
+  KRONOS_CHECK(options_.shards > 0);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.use_order_cache) {
+    cache_ = std::make_unique<OrderCache>(OrderCache::Options{
+        .capacity = options_.cache_capacity,
+        .transitive_prefill = options_.transitive_prefill});
+  }
+}
+
+KronoGraph::VertexRec& KronoGraph::RecordLocked(Shard& shard, VertexId v) {
+  auto& slot = shard.vertices[v];
+  if (!slot) {
+    slot = std::make_unique<VertexRec>();
+  }
+  return *slot;
+}
+
+Status KronoGraph::AddVertex(VertexId v) {
+  Shard& shard = ShardOf(v);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  RecordLocked(shard, v);
+  return OkStatus();
+}
+
+Result<KronoGraph::Claim> KronoGraph::ClaimVertex(VertexId v, EventId e, Constraint constraint,
+                                                  bool is_write) {
+  Shard& shard = ShardOf(v);
+  for (int attempt = 0; attempt < options_.max_claim_attempts; ++attempt) {
+    EventId observed;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      observed = RecordLocked(shard, v).last_event;
+    }
+    bool reversed = false;
+    if (observed != kInvalidEvent && observed != e) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.order_calls;
+      }
+      Result<AssignOutcome> r = kronos_.AssignOrderOne(observed, e, constraint);
+      if (!r.ok()) {
+        return r.status();  // must violation (or service error): caller aborts/retries
+      }
+      reversed = (*r == AssignOutcome::kReversed);
+      if (cache_) {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        cache_->Insert(observed, e, reversed ? Order::kAfter : Order::kBefore);
+      }
+    }
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    VertexRec& rec = RecordLocked(shard, v);
+    if (rec.last_event != observed) {
+      continue;  // chain tail moved; re-order against the new tail
+    }
+    if (reversed) {
+      // The query is placed before the current tail: no publication. Its snapshot is every
+      // write turn granted so far, filtered per entry once those writes have applied.
+      return Claim{.reversed = true, .is_write = false, .writes_before = rec.writes_granted};
+    }
+    rec.last_event = e;
+    Claim claim{.reversed = false, .is_write = is_write, .writes_before = rec.writes_granted};
+    if (is_write) {
+      ++rec.writes_granted;
+    }
+    // Reference turnover: the stored pointer holds one reference; the displaced pointer's
+    // reference is dropped. Done under the shard mutex so a racing displacement cannot release
+    // our reference before we acquire it.
+    Status acq = kronos_.AcquireRef(e);
+    KRONOS_CHECK(acq.ok()) << "acquire_ref failed: " << acq.ToString();
+    if (observed != kInvalidEvent) {
+      (void)kronos_.ReleaseRef(observed);
+    }
+    return claim;
+  }
+  return Status(Aborted("chain tail kept moving"));
+}
+
+Status KronoGraph::ClaimMany(const std::vector<VertexId>& vs, EventId e, Constraint constraint,
+                             bool is_write, std::unordered_map<VertexId, Claim>& claims) {
+  std::vector<VertexId> todo;
+  for (const VertexId v : vs) {
+    if (claims.count(v) == 0) {
+      todo.push_back(v);
+    }
+  }
+  if (todo.empty()) {
+    return OkStatus();
+  }
+  if (options_.batch_claims && todo.size() > 1) {
+    // Optimistic batched pass: observe every tail, order all of them in ONE assign_order call
+    // (§3.2's batching optimization), then publish per vertex where the tail is unchanged.
+    std::vector<EventId> observed(todo.size(), kInvalidEvent);
+    std::vector<AssignSpec> specs;
+    std::vector<size_t> spec_owner;
+    for (size_t i = 0; i < todo.size(); ++i) {
+      Shard& shard = ShardOf(todo[i]);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      observed[i] = RecordLocked(shard, todo[i]).last_event;
+      if (observed[i] != kInvalidEvent && observed[i] != e) {
+        specs.push_back({observed[i], e, constraint});
+        spec_owner.push_back(i);
+      }
+    }
+    std::vector<AssignOutcome> outcomes;
+    if (!specs.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.order_calls;
+      }
+      Result<std::vector<AssignOutcome>> r = kronos_.AssignOrder(specs);
+      if (!r.ok()) {
+        return r.status();  // must violation aborts the whole batch atomically
+      }
+      outcomes = *std::move(r);
+      if (cache_) {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        for (size_t s = 0; s < specs.size(); ++s) {
+          const bool reversed = outcomes[s] == AssignOutcome::kReversed;
+          cache_->Insert(specs[s].e1, e, reversed ? Order::kAfter : Order::kBefore);
+        }
+      }
+    }
+    std::vector<bool> reversed_flag(todo.size(), false);
+    for (size_t s = 0; s < specs.size(); ++s) {
+      reversed_flag[spec_owner[s]] = (outcomes[s] == AssignOutcome::kReversed);
+    }
+    // Publication pass; vertices whose tail moved fall back to the per-vertex loop below.
+    for (size_t i = 0; i < todo.size(); ++i) {
+      Shard& shard = ShardOf(todo[i]);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      VertexRec& rec = RecordLocked(shard, todo[i]);
+      if (rec.last_event != observed[i]) {
+        continue;  // raced; resolved by the fallback
+      }
+      if (reversed_flag[i]) {
+        claims.emplace(todo[i], Claim{.reversed = true,
+                                      .is_write = false,
+                                      .writes_before = rec.writes_granted});
+        continue;
+      }
+      rec.last_event = e;
+      Claim claim{.reversed = false, .is_write = is_write,
+                  .writes_before = rec.writes_granted};
+      if (is_write) {
+        ++rec.writes_granted;
+      }
+      Status acq = kronos_.AcquireRef(e);
+      KRONOS_CHECK(acq.ok()) << "acquire_ref failed: " << acq.ToString();
+      if (observed[i] != kInvalidEvent) {
+        (void)kronos_.ReleaseRef(observed[i]);
+      }
+      claims.emplace(todo[i], claim);
+    }
+  }
+  // Per-vertex path (fallback for races, and the whole story with batching disabled).
+  for (const VertexId v : todo) {
+    if (claims.count(v) > 0) {
+      continue;
+    }
+    Result<Claim> c = ClaimVertex(v, e, constraint, is_write);
+    if (!c.ok()) {
+      return c.status();
+    }
+    claims.emplace(v, *c);
+  }
+  return OkStatus();
+}
+
+void KronoGraph::WaitWritesApplied(Shard& shard, VertexRec& rec, uint64_t writes) {
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  shard.cv.wait(lock, [&] { return rec.writes_applied >= writes; });
+}
+
+void KronoGraph::ApplyWriteTurn(Shard& shard, VertexRec& rec, const Claim& claim, AdjOp op) {
+  KRONOS_CHECK(claim.is_write && !claim.reversed);
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait(lock, [&] { return rec.writes_applied == claim.writes_before; });
+    rec.history.push_back(op);  // history.size() stays equal to writes_applied + 1
+    ++rec.writes_applied;
+  }
+  shard.cv.notify_all();
+}
+
+Result<bool> KronoGraph::ResolveOrderedBefore(EventId event, EventId e) {
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::optional<Order> cached = cache_->Lookup(event, e);
+    if (cached.has_value()) {
+      return *cached == Order::kBefore;
+    }
+  }
+  // Late binding (§2.2/§2.5): prefer the entry before the query; Kronos keeps whatever order
+  // already exists and otherwise commits the preferred one — either way the pair leaves
+  // ordered, and the answer is final and cacheable.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.order_calls;
+    ++stats_.pairs_resolved;
+  }
+  Result<AssignOutcome> r = kronos_.AssignOrderOne(event, e, Constraint::kPrefer);
+  if (!r.ok()) {
+    return r.status();
+  }
+  const bool before = *r != AssignOutcome::kReversed;
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_->Insert(event, e, before ? Order::kBefore : Order::kAfter);
+  }
+  return before;
+}
+
+Result<size_t> KronoGraph::VisibleBoundary(const std::vector<AdjOp>& history, EventId e) {
+  // History entries are totally ordered among themselves (each was ordered against the chain
+  // tail when applied), so "ordered before e" is monotone along the list and the visible set
+  // is a prefix. A reversed query usually lost the race only to the last few writes, so scan
+  // backwards from the tail first; fall back to binary search if the boundary is deep.
+  size_t lo = 0;               // entries [0, lo) are visible
+  size_t hi = history.size();  // entries [hi, n) are invisible
+  for (int back = 0; back < 8 && lo < hi; ++back) {
+    Result<bool> before = ResolveOrderedBefore(history[hi - 1].event, e);
+    if (!before.ok()) {
+      return before.status();
+    }
+    if (*before) {
+      return hi;  // everything up to and including hi-1 is visible
+    }
+    --hi;
+  }
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    Result<bool> before = ResolveOrderedBefore(history[mid].event, e);
+    if (!before.ok()) {
+      return before.status();
+    }
+    if (*before) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Result<std::unordered_set<VertexId>> KronoGraph::ReadNeighbors(VertexId v, EventId e,
+                                                               const Claim& claim) {
+  Shard& shard = ShardOf(v);
+  VertexRec* rec;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    rec = &RecordLocked(shard, v);
+  }
+  // Either way, this read's snapshot is the first `writes_before` history entries — writes
+  // apply in turn order, so that prefix is exactly the writes ordered before this operation.
+  WaitWritesApplied(shard, *rec, claim.writes_before);
+  std::vector<AdjOp> history;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    history.assign(rec->history.begin(),
+                   rec->history.begin() + static_cast<ptrdiff_t>(claim.writes_before));
+  }
+
+  auto fold = [](const std::vector<AdjOp>& ops) {
+    std::unordered_set<VertexId> out;
+    for (const AdjOp& op : ops) {
+      if (op.neighbor == kNoVertex) {
+        continue;  // no-op turn from an aborted update
+      }
+      if (op.add) {
+        out.insert(op.neighbor);
+      } else {
+        out.erase(op.neighbor);
+      }
+    }
+    return out;
+  };
+
+  if (!claim.reversed) {
+    // Normal claim: every write in the prefix is ordered before this operation — fully
+    // visible, no per-entry resolution.
+    return fold(history);
+  }
+
+  // Reversed (§3.2 "older version"): the prefix contains writes that may be ordered after
+  // the query; keep exactly the entries ordered before the query event — a prefix of the
+  // chain-ordered history, found by binary search.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.query_reversals;
+  }
+  if (options_.prefix_boundary) {
+    Result<size_t> boundary = VisibleBoundary(history, e);
+    if (!boundary.ok()) {
+      return boundary.status();
+    }
+    history.resize(*boundary);
+    return fold(history);
+  }
+  // Per-entry mode (ablation): resolve every entry's order against the query individually,
+  // leaning on the order cache + transitive prefill exactly as §3.2 describes.
+  std::vector<AdjOp> visible_ops;
+  visible_ops.reserve(history.size());
+  for (const AdjOp& op : history) {
+    Result<bool> before = ResolveOrderedBefore(op.event, e);
+    if (!before.ok()) {
+      return before.status();
+    }
+    if (*before) {
+      visible_ops.push_back(op);
+    }
+  }
+  return fold(visible_ops);
+}
+
+Status KronoGraph::ApplyEdgeOp(VertexId u, VertexId v, bool add) {
+  if (u == v) {
+    return InvalidArgument("self-edge");
+  }
+  Status last = Aborted("no attempt");
+  for (int retry = 0; retry < options_.max_update_retries; ++retry) {
+    Result<EventId> event = kronos_.CreateEvent();
+    if (!event.ok()) {
+      return event.status();
+    }
+    const EventId e = *event;
+    std::unordered_map<VertexId, Claim> claims;
+    const std::vector<VertexId> endpoints =
+        u < v ? std::vector<VertexId>{u, v} : std::vector<VertexId>{v, u};
+    Status claimed = ClaimMany(endpoints, e, Constraint::kMust, /*is_write=*/true, claims);
+    if (!claimed.ok()) {
+      // Must violation: two updates raced to opposite orders across shards. Any write turn
+      // already granted must still turn over — append a no-op entry (real event id: it sits
+      // in the vertex chain and visibility probes must be able to name it) so the per-vertex
+      // history/turn invariant holds — then retry afresh (§3.2 abort). The creator reference
+      // is kept whenever a no-op entry was left behind.
+      bool left_entry = false;
+      for (const VertexId w : endpoints) {
+        auto it = claims.find(w);
+        if (it != claims.end() && it->second.is_write) {
+          Shard& shard = ShardOf(w);
+          VertexRec* rec;
+          {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            rec = &RecordLocked(shard, w);
+          }
+          ApplyWriteTurn(shard, *rec, it->second,
+                         AdjOp{.neighbor = kNoVertex, .add = true, .event = e});
+          left_entry = true;
+        }
+      }
+      if (!left_entry) {
+        (void)kronos_.ReleaseRef(e);
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.update_aborts;
+      }
+      last = claimed;
+      continue;
+    }
+    // Execution: append the modification at each endpoint at its write turn. The creator
+    // reference is retained for the lifetime of the history entries — visibility resolution
+    // must be able to name this event indefinitely.
+    for (const VertexId w : endpoints) {
+      const Claim& claim = claims.at(w);
+      KRONOS_CHECK(!claim.reversed) << "must-claims cannot reverse";
+      Shard& shard = ShardOf(w);
+      VertexRec* rec;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        rec = &RecordLocked(shard, w);
+      }
+      ApplyWriteTurn(shard, *rec, claim,
+                     AdjOp{.neighbor = w == u ? v : u, .add = add, .event = e});
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.updates;
+    }
+    return OkStatus();
+  }
+  return last;
+}
+
+Status KronoGraph::AddEdge(VertexId u, VertexId v) { return ApplyEdgeOp(u, v, true); }
+
+Status KronoGraph::RemoveEdge(VertexId u, VertexId v) { return ApplyEdgeOp(u, v, false); }
+
+Result<std::vector<VertexId>> KronoGraph::Neighbors(VertexId v) {
+  {
+    Shard& shard = ShardOf(v);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.vertices.find(v) == shard.vertices.end()) {
+      return Status(NotFound("no such vertex"));
+    }
+  }
+  Result<EventId> event = kronos_.CreateEvent();
+  if (!event.ok()) {
+    return event.status();
+  }
+  const EventId e = *event;
+  Result<Claim> claim = ClaimVertex(v, e, Constraint::kPrefer, /*is_write=*/false);
+  if (!claim.ok()) {
+    (void)kronos_.ReleaseRef(e);
+    return claim.status();
+  }
+  Result<std::unordered_set<VertexId>> neighbors = ReadNeighbors(v, e, *claim);
+  (void)kronos_.ReleaseRef(e);
+  if (!neighbors.ok()) {
+    return neighbors.status();
+  }
+  return std::vector<VertexId>(neighbors->begin(), neighbors->end());
+}
+
+Result<Recommendation> KronoGraph::RecommendFriend(VertexId v) {
+  {
+    Shard& shard = ShardOf(v);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.vertices.find(v) == shard.vertices.end()) {
+      return Status(NotFound("no such vertex"));
+    }
+  }
+  Result<EventId> event = kronos_.CreateEvent();
+  if (!event.ok()) {
+    return event.status();
+  }
+  const EventId e = *event;
+  std::unordered_map<VertexId, Claim> claims;
+
+  // Hop 1: order against the home vertex and read its neighbor set.
+  Status claimed = ClaimMany({v}, e, Constraint::kPrefer, /*is_write=*/false, claims);
+  if (!claimed.ok()) {
+    (void)kronos_.ReleaseRef(e);
+    return claimed;
+  }
+  Result<std::unordered_set<VertexId>> friends_r = ReadNeighbors(v, e, claims.at(v));
+  if (!friends_r.ok()) {
+    (void)kronos_.ReleaseRef(e);
+    return friends_r.status();
+  }
+  const std::unordered_set<VertexId> friends = *std::move(friends_r);
+
+  // Hop 2: one batched claim for every friend ("optimistically selects the events for vertices
+  // and edges ... that could be traversed by the query"), then fold mutual-friend counts.
+  std::vector<VertexId> hop(friends.begin(), friends.end());
+  std::sort(hop.begin(), hop.end());  // deterministic claim order
+  claimed = ClaimMany(hop, e, Constraint::kPrefer, /*is_write=*/false, claims);
+  if (!claimed.ok()) {
+    (void)kronos_.ReleaseRef(e);
+    return claimed;
+  }
+  std::unordered_map<VertexId, uint32_t> mutual;
+  for (const VertexId f : hop) {
+    Result<std::unordered_set<VertexId>> fn = ReadNeighbors(f, e, claims.at(f));
+    if (!fn.ok()) {
+      (void)kronos_.ReleaseRef(e);
+      return fn.status();
+    }
+    for (const VertexId w : *fn) {
+      if (w == v || friends.count(w) > 0) {
+        continue;
+      }
+      ++mutual[w];
+    }
+  }
+  (void)kronos_.ReleaseRef(e);
+  Recommendation best;
+  for (const auto& [w, count] : mutual) {
+    if (count > best.mutual_friends || (count == best.mutual_friends && w < best.who)) {
+      best = Recommendation{w, count};
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+  }
+  return best;
+}
+
+KronoGraph::GraphStats KronoGraph::graph_stats() const {
+  GraphStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    out.cache_hits = cache_->hits();
+    out.cache_misses = cache_->misses();
+  }
+  return out;
+}
+
+}  // namespace kronos

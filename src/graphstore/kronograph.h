@@ -1,0 +1,172 @@
+// KronoGraph: a sharded, strongly consistent online graph store ordered by Kronos (paper §3.2).
+//
+// Every update and every query maps to one Kronos event. Each vertex carries:
+//   * a version history — the list of adjacency modifications with their event ids, kept in
+//     event order ("vertices and edges contain a list of modifications and their associated
+//     event identifiers, sorted by the relative order of events");
+//   * a conflict-chain tail (last_event) — the event of the last operation that touched the
+//     vertex; new operations are ordered against it via assign_order;
+//   * a ticket pair (next/applied) — publication in the chain grants a ticket, and physical
+//     application happens in ticket order. Ticket order equals event order per vertex, and the
+//     coherency invariant makes cross-vertex waits acyclic, so there are no deadlocks and no
+//     deadlock detector.
+//
+// Updates claim their (two) endpoints with must constraints in one batch; a violation — two
+// updates racing to opposite orders across shards — aborts the attempt without effect and the
+// update retries under a fresh event (§3.2's "Should the assign order call fail...").
+//
+// Queries claim the vertices they traverse with prefer constraints and never block writers and
+// never restart:
+//   * normal outcome — the query is ordered after the vertex tail; at its ticket turn the
+//     whole history is visible (everything before it has physically applied);
+//   * REVERSED outcome — previously established constraints place the query before the
+//     current tail; the query takes no ticket and instead reads an OLDER VERSION of the vertex
+//     ("the shard server can construct an older version of the graph that omits all updates
+//     that happen after the query"), resolving per-entry visibility through the order cache
+//     and late-binding assign_order calls for still-concurrent pairs.
+//
+// Batching and caching follow §3.2: one batched assign_order per traversal hop, plus an LRU
+// pairwise order cache with transitive prefill. Both are switchable for the ablation benches.
+#ifndef KRONOS_GRAPHSTORE_KRONOGRAPH_H_
+#define KRONOS_GRAPHSTORE_KRONOGRAPH_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/client/api.h"
+#include "src/core/order_cache.h"
+#include "src/graphstore/graph_api.h"
+
+namespace kronos {
+
+struct KronoGraphOptions {
+  size_t shards = 16;
+  // §3.2 optimizations (ablation toggles).
+  bool batch_claims = true;
+  bool use_order_cache = true;
+  bool transitive_prefill = true;
+  // Resolve a reversed read's visible set as a chain prefix via O(log n) probes. When false,
+  // every history entry is resolved individually (the paper's per-pair mechanism, where the
+  // order cache and its transitive prefill carry the load).
+  bool prefix_boundary = true;
+  size_t cache_capacity = 1 << 16;
+  // Bounds for the optimistic chain-tail CAS and whole-operation retry loops.
+  int max_claim_attempts = 64;
+  int max_update_retries = 32;
+};
+
+class KronoGraph : public GraphStore {
+ public:
+  using Options = KronoGraphOptions;
+
+  struct GraphStats {
+    uint64_t updates = 0;
+    uint64_t queries = 0;
+    uint64_t update_aborts = 0;      // must violations that caused an update retry
+    uint64_t query_reversals = 0;    // vertices read through the older-version path
+    uint64_t order_calls = 0;        // assign_order batches sent to Kronos
+    uint64_t pairs_resolved = 0;     // per-entry visibility pairs resolved via Kronos
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+  };
+
+  // The KronosApi must outlive the store.
+  explicit KronoGraph(KronosApi& kronos, Options options = {});
+
+  Status AddVertex(VertexId v) override;
+  Status AddEdge(VertexId u, VertexId v) override;
+  Status RemoveEdge(VertexId u, VertexId v) override;
+  Result<std::vector<VertexId>> Neighbors(VertexId v) override;
+  Result<Recommendation> RecommendFriend(VertexId v) override;
+  std::string name() const override { return "kronograph"; }
+
+  GraphStats graph_stats() const;
+
+ private:
+  struct AdjOp {
+    VertexId neighbor = kNoVertex;
+    bool add = true;
+    EventId event = kInvalidEvent;
+  };
+
+  struct VertexRec {
+    std::vector<AdjOp> history;          // modification list, one entry per applied write turn
+    EventId last_event = kInvalidEvent;  // conflict-chain tail (holds one Kronos reference)
+    // Write-turn machinery. Claims record how many WRITE turns precede them; writes apply in
+    // turn order, and readers wait only for the writes before them — reads never block reads
+    // (queries commute; only the query-vs-update order matters). history.size() always equals
+    // writes_applied, so "the first writes_before entries" is exactly a claim's snapshot.
+    uint64_t writes_granted = 0;
+    uint64_t writes_applied = 0;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;  // signalled on any applied_tick advance in this shard
+    std::unordered_map<VertexId, std::unique_ptr<VertexRec>> vertices;
+  };
+
+  // The outcome of ordering an operation event against one vertex.
+  struct Claim {
+    bool reversed = false;
+    bool is_write = false;
+    // Number of write turns that precede this operation on the vertex. A write applies at
+    // exactly this turn; a read proceeds once this many writes have applied; a REVERSED read
+    // snapshots this many entries and then filters per entry.
+    uint64_t writes_before = 0;
+  };
+
+  Shard& ShardOf(VertexId v) { return *shards_[static_cast<size_t>(v) % shards_.size()]; }
+  // Creates the record if absent. Requires the shard mutex.
+  VertexRec& RecordLocked(Shard& shard, VertexId v);
+
+  // Orders e against v's chain tail with the given constraint and, unless reversed, publishes
+  // e as the new tail and records its position among the vertex's write turns.
+  Result<Claim> ClaimVertex(VertexId v, EventId e, Constraint constraint, bool is_write);
+
+  // Batched claim for a whole traversal hop (one assign_order for every unclaimed vertex),
+  // falling back to per-vertex claims where the optimistic pass raced. With batching disabled
+  // this simply loops ClaimVertex.
+  Status ClaimMany(const std::vector<VertexId>& vs, EventId e, Constraint constraint,
+                   bool is_write, std::unordered_map<VertexId, Claim>& claims);
+
+  // Blocks until `writes` write turns have applied on the vertex.
+  void WaitWritesApplied(Shard& shard, VertexRec& rec, uint64_t writes);
+  // Appends one history entry at this write's turn (kNoVertex = aborted no-op) and releases
+  // the turn.
+  void ApplyWriteTurn(Shard& shard, VertexRec& rec, const Claim& claim, AdjOp op);
+
+  // Reads v's neighbor set as of event e under the given claim (normal: full history at our
+  // turn; reversed: older version via per-entry visibility).
+  Result<std::unordered_set<VertexId>> ReadNeighbors(VertexId v, EventId e, const Claim& claim);
+
+  // Resolves whether `event` is ordered before `e`, using the cache then one late-binding
+  // assign_order probe.
+  Result<bool> ResolveOrderedBefore(EventId event, EventId e);
+
+  // A vertex's history is chain-ordered, so the entries visible to event e form a PREFIX
+  // (§3.2: updates ordered strictly later than the query "can easily be masked"). Returns the
+  // boundary index via O(log n) order probes.
+  Result<size_t> VisibleBoundary(const std::vector<AdjOp>& history, EventId e);
+
+  // One update (add or remove) of edge {u, v}: order with must, apply at ticket turns.
+  Status ApplyEdgeOp(VertexId u, VertexId v, bool add);
+
+  KronosApi& kronos_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex cache_mutex_;
+  std::unique_ptr<OrderCache> cache_;
+
+  mutable std::mutex stats_mutex_;
+  GraphStats stats_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_GRAPHSTORE_KRONOGRAPH_H_

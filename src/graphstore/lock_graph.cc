@@ -1,0 +1,163 @@
+#include "src/graphstore/lock_graph.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+LockGraph::LockGraph(Options options) : options_(options) {
+  KRONOS_CHECK(options_.shards > 0);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void LockGraph::Delay() const {
+  if (options_.simulated_lock_rtt_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_lock_rtt_us));
+  }
+}
+
+bool LockGraph::TraversalLocks::LockShardOf(VertexId v) {
+  const size_t shard = graph_.ShardOf(v);
+  if (held_.count(shard) > 0) {
+    return true;
+  }
+  graph_.Delay();  // lock-manager round trip, successful or not
+  if (graph_.shards_[shard]->mutex.try_lock_shared_for(
+          std::chrono::microseconds(graph_.options_.lock_timeout_us))) {
+    held_.insert(shard);
+    return true;
+  }
+  return false;
+}
+
+void LockGraph::TraversalLocks::ReleaseAll() {
+  for (const size_t shard : held_) {
+    graph_.shards_[shard]->mutex.unlock_shared();
+  }
+  held_.clear();
+}
+
+Status LockGraph::AddVertex(VertexId v) {
+  Shard& shard = *shards_[ShardOf(v)];
+  std::unique_lock<std::shared_timed_mutex> lock(shard.mutex);
+  shard.adjacency.try_emplace(v);
+  return OkStatus();
+}
+
+Status LockGraph::AddEdge(VertexId u, VertexId v) {
+  if (u == v) {
+    return InvalidArgument("self-edge");
+  }
+  const size_t su = ShardOf(u);
+  const size_t sv = ShardOf(v);
+  // Exclusive locks in sorted shard order: writers cannot deadlock each other.
+  Delay();
+  std::unique_lock<std::shared_timed_mutex> first(shards_[std::min(su, sv)]->mutex);
+  std::unique_lock<std::shared_timed_mutex> second;
+  if (su != sv) {
+    Delay();
+    second = std::unique_lock<std::shared_timed_mutex>(shards_[std::max(su, sv)]->mutex);
+  }
+  shards_[su]->adjacency[u].insert(v);
+  shards_[sv]->adjacency[v].insert(u);
+  return OkStatus();
+}
+
+Status LockGraph::RemoveEdge(VertexId u, VertexId v) {
+  if (u == v) {
+    return InvalidArgument("self-edge");
+  }
+  const size_t su = ShardOf(u);
+  const size_t sv = ShardOf(v);
+  Delay();
+  std::unique_lock<std::shared_timed_mutex> first(shards_[std::min(su, sv)]->mutex);
+  std::unique_lock<std::shared_timed_mutex> second;
+  if (su != sv) {
+    Delay();
+    second = std::unique_lock<std::shared_timed_mutex>(shards_[std::max(su, sv)]->mutex);
+  }
+  auto it = shards_[su]->adjacency.find(u);
+  if (it != shards_[su]->adjacency.end()) {
+    it->second.erase(v);
+  }
+  it = shards_[sv]->adjacency.find(v);
+  if (it != shards_[sv]->adjacency.end()) {
+    it->second.erase(u);
+  }
+  return OkStatus();
+}
+
+Result<std::vector<VertexId>> LockGraph::Neighbors(VertexId v) {
+  Shard& shard = *shards_[ShardOf(v)];
+  Delay();
+  std::shared_lock<std::shared_timed_mutex> lock(shard.mutex);
+  auto it = shard.adjacency.find(v);
+  if (it == shard.adjacency.end()) {
+    return Status(NotFound("no such vertex"));
+  }
+  return std::vector<VertexId>(it->second.begin(), it->second.end());
+}
+
+Result<Recommendation> LockGraph::RecommendFriend(VertexId v) {
+  for (int attempt = 0; attempt < options_.max_query_restarts; ++attempt) {
+    TraversalLocks locks(*this);
+    if (!locks.LockShardOf(v)) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.query_restarts;
+      continue;
+    }
+    Shard& home = *shards_[ShardOf(v)];
+    auto it = home.adjacency.find(v);
+    if (it == home.adjacency.end()) {
+      return Status(NotFound("no such vertex"));
+    }
+    const std::unordered_set<VertexId> friends = it->second;  // copy under lock
+
+    // 2-hop expansion under incrementally acquired shared locks (held to the end: isolation).
+    bool restart = false;
+    std::unordered_map<VertexId, uint32_t> mutual;
+    for (const VertexId f : friends) {
+      if (!locks.LockShardOf(f)) {
+        restart = true;
+        break;
+      }
+      const Shard& fshard = *shards_[ShardOf(f)];
+      auto fit = fshard.adjacency.find(f);
+      if (fit == fshard.adjacency.end()) {
+        continue;
+      }
+      for (const VertexId w : fit->second) {
+        if (w == v || friends.count(w) > 0) {
+          continue;
+        }
+        ++mutual[w];
+      }
+    }
+    if (restart) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.query_restarts;
+      continue;
+    }
+    Recommendation best;
+    for (const auto& [w, count] : mutual) {
+      if (count > best.mutual_friends ||
+          (count == best.mutual_friends && w < best.who)) {
+        best = Recommendation{w, count};
+      }
+    }
+    return best;
+  }
+  return Status(Aborted("query restart budget exhausted"));
+}
+
+LockGraph::LockStats LockGraph::lock_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace kronos

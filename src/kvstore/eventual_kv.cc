@@ -1,0 +1,84 @@
+#include "src/kvstore/eventual_kv.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace kronos {
+
+EventualKv::EventualKv(Options options) : options_(options), rng_(options.seed) {
+  KRONOS_CHECK(options_.replicas > 0);
+  for (size_t i = 0; i < options_.replicas; ++i) {
+    replicas_.push_back(std::make_unique<Replica>());
+  }
+  replicator_ = std::thread([this] { ReplicatorLoop(); });
+}
+
+EventualKv::~EventualKv() {
+  queue_.Close();
+  if (replicator_.joinable()) {
+    replicator_.join();
+  }
+}
+
+void EventualKv::Put(const std::string& key, std::string value) {
+  const uint64_t stamp = stamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    Replica& primary = *replicas_[0];
+    std::lock_guard<std::mutex> lock(primary.mutex);
+    auto& entry = primary.map[key];
+    if (stamp > entry.second) {
+      entry = {value, stamp};
+    }
+  }
+  const uint64_t apply_at = MonotonicMicros() + options_.replication_delay_us;
+  for (size_t r = 1; r < replicas_.size(); ++r) {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    queue_.Push(ReplicationJob{r, key, value, stamp, apply_at});
+  }
+}
+
+void EventualKv::ReplicatorLoop() {
+  while (auto job = queue_.Pop()) {
+    const uint64_t now = MonotonicMicros();
+    if (job->apply_at_us > now) {
+      std::this_thread::sleep_for(std::chrono::microseconds(job->apply_at_us - now));
+    }
+    Replica& replica = *replicas_[job->replica];
+    {
+      std::lock_guard<std::mutex> lock(replica.mutex);
+      auto& entry = replica.map[job->key];
+      if (job->stamp > entry.second) {  // last-write-wins by primary stamp
+        entry = {std::move(job->value), job->stamp};
+      }
+    }
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Result<std::string> EventualKv::Get(const std::string& key) {
+  size_t replica;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    replica = rng_.Uniform(replicas_.size());
+  }
+  return GetFromReplica(key, replica);
+}
+
+Result<std::string> EventualKv::GetFromReplica(const std::string& key, size_t replica) {
+  KRONOS_CHECK(replica < replicas_.size());
+  Replica& r = *replicas_[replica];
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.map.find(key);
+  if (it == r.map.end()) {
+    return Status(NotFound("key absent"));
+  }
+  return it->second.first;
+}
+
+void EventualKv::Quiesce() {
+  while (inflight_.load(std::memory_order_relaxed) > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace kronos

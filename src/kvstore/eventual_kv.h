@@ -1,0 +1,83 @@
+// EventualKv: an eventually consistent replicated key-value store (MongoDB stand-in for the
+// Fig. 7 "put-and-pray" baseline).
+//
+// Writes acknowledge after hitting the primary and replicate asynchronously, with last-write-
+// wins resolution by primary write timestamp. Reads may be served by any replica and can
+// therefore observe stale data — exactly the weak guarantee the paper contrasts with the
+// Kronos-backed transactional store. No multi-key atomicity of any kind.
+#ifndef KRONOS_KVSTORE_EVENTUAL_KV_H_
+#define KRONOS_KVSTORE_EVENTUAL_KV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/queue.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace kronos {
+
+struct EventualKvOptions {
+  size_t replicas = 3;
+  // Replication lag applied to each async copy.
+  uint64_t replication_delay_us = 1000;
+  uint64_t seed = 1;
+};
+
+class EventualKv {
+ public:
+  using Options = EventualKvOptions;
+
+  explicit EventualKv(Options options = {});
+  ~EventualKv();
+
+  EventualKv(const EventualKv&) = delete;
+  EventualKv& operator=(const EventualKv&) = delete;
+
+  // Acknowledges after the primary write; secondaries catch up asynchronously.
+  void Put(const std::string& key, std::string value);
+
+  // Reads from a random replica (possibly stale). replica = 0 forces the primary.
+  Result<std::string> Get(const std::string& key);
+  Result<std::string> GetFromReplica(const std::string& key, size_t replica);
+
+  size_t replica_count() const { return replicas_.size(); }
+
+  // Blocks until all queued replication work has drained (test helper).
+  void Quiesce();
+
+ private:
+  struct Replica {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::pair<std::string, uint64_t>> map;  // value, stamp
+  };
+
+  struct ReplicationJob {
+    size_t replica;
+    std::string key;
+    std::string value;
+    uint64_t stamp;
+    uint64_t apply_at_us;
+  };
+
+  void ReplicatorLoop();
+
+  Options options_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  BlockingQueue<ReplicationJob> queue_;
+  std::atomic<uint64_t> stamp_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::thread replicator_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_KVSTORE_EVENTUAL_KV_H_

@@ -1,0 +1,87 @@
+#include "src/kvstore/sharded_kv.h"
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+ShardedKv::ShardedKv(size_t shards) {
+  KRONOS_CHECK(shards > 0);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ShardedKv::ShardOf(const std::string& key) const {
+  return std::hash<std::string>{}(key) % shards_.size();
+}
+
+ShardedKv::Shard& ShardedKv::ShardFor(const std::string& key) const {
+  return *shards_[ShardOf(key)];
+}
+
+Result<VersionedValue> ShardedKv::Get(const std::string& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    return Status(NotFound("key absent"));
+  }
+  return it->second;
+}
+
+uint64_t ShardedKv::Put(const std::string& key, std::string value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  VersionedValue& vv = shard.map[key];
+  vv.value = std::move(value);
+  return ++vv.version;
+}
+
+Result<uint64_t> ShardedKv::CompareAndPut(const std::string& key, uint64_t expected_version,
+                                          std::string value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  const uint64_t current = (it == shard.map.end()) ? 0 : it->second.version;
+  if (current != expected_version) {
+    return Status(Aborted("version mismatch"));
+  }
+  VersionedValue& vv = shard.map[key];
+  vv.value = std::move(value);
+  return ++vv.version;
+}
+
+Status ShardedKv::Delete(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.erase(key) == 0) {
+    return NotFound("key absent");
+  }
+  return OkStatus();
+}
+
+Status ShardedKv::CompareAndDelete(const std::string& key, uint64_t expected_version) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    return expected_version == 0 ? OkStatus() : Aborted("version mismatch");
+  }
+  if (it->second.version != expected_version) {
+    return Aborted("version mismatch");
+  }
+  shard.map.erase(it);
+  return OkStatus();
+}
+
+size_t ShardedKv::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace kronos

@@ -1,0 +1,68 @@
+// ShardedKv: a sharded, per-key linearizable key-value store (HyperDex stand-in, §4.1.2).
+//
+// Values carry a monotonically increasing per-key version; CompareAndPut gives layered systems
+// (the Percolator-style locking store) an atomic primitive equivalent to HyperDex's
+// conditional put. Each shard is guarded by its own mutex, so operations on keys in different
+// shards proceed in parallel.
+#ifndef KRONOS_KVSTORE_SHARDED_KV_H_
+#define KRONOS_KVSTORE_SHARDED_KV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kronos {
+
+struct VersionedValue {
+  std::string value;
+  uint64_t version = 0;  // starts at 1 on first put
+
+  friend bool operator==(const VersionedValue&, const VersionedValue&) = default;
+};
+
+class ShardedKv {
+ public:
+  explicit ShardedKv(size_t shards = 16);
+
+  // Returns the value and its version; kNotFound if absent.
+  Result<VersionedValue> Get(const std::string& key) const;
+
+  // Unconditional write; returns the new version.
+  uint64_t Put(const std::string& key, std::string value);
+
+  // Writes only if the key's current version equals expected_version (0 = key must not
+  // exist). Returns the new version, or kAborted on mismatch.
+  Result<uint64_t> CompareAndPut(const std::string& key, uint64_t expected_version,
+                                 std::string value);
+
+  // Removes the key; kNotFound if absent.
+  Status Delete(const std::string& key);
+
+  // Deletes only if the current version matches; kAborted on mismatch.
+  Status CompareAndDelete(const std::string& key, uint64_t expected_version);
+
+  size_t size() const;
+  size_t shard_count() const { return shards_.size(); }
+
+  // The shard a key routes to (exposed so layered stores can sort lock acquisition).
+  size_t ShardOf(const std::string& key) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, VersionedValue> map;
+  };
+
+  Shard& ShardFor(const std::string& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_KVSTORE_SHARDED_KV_H_

@@ -1,0 +1,121 @@
+#include "src/net/rpc.h"
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+RpcEndpoint::RpcEndpoint(SimNetwork& net, std::string name)
+    : net_(net), id_(net.CreateNode(std::move(name))) {}
+
+RpcEndpoint::~RpcEndpoint() { Stop(); }
+
+void RpcEndpoint::Start(Handler handler) {
+  KRONOS_CHECK(!rx_thread_.joinable()) << "Start() called twice";
+  handler_ = std::move(handler);
+  rx_thread_ = std::thread([this] { ReceiveLoop(); });
+}
+
+void RpcEndpoint::ReceiveLoop() {
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    std::optional<NetMessage> msg = net_.ReceiveFor(id_, 50000);
+    if (!msg.has_value()) {
+      if (net_.IsShutdown()) {
+        break;
+      }
+      continue;  // timeout poll so Stop() is honoured even on an idle network
+    }
+    Result<Envelope> env = ParseEnvelope(msg->bytes);
+    if (!env.ok()) {
+      KLOG(Warning) << "endpoint " << id_ << ": dropping malformed envelope: "
+                    << env.status().ToString();
+      continue;
+    }
+    if (env->kind == MessageKind::kResponse) {
+      std::lock_guard<std::mutex> lock(calls_mutex_);
+      auto it = calls_.find(env->id);
+      if (it != calls_.end()) {
+        PendingCall* call = it->second;
+        {
+          std::lock_guard<std::mutex> call_lock(call->mutex);
+          call->response = *std::move(env);
+          call->done = true;
+        }
+        call->cv.notify_one();
+        calls_.erase(it);
+      }
+      // Responses to expired calls are dropped silently — the caller already timed out.
+      continue;
+    }
+    if (handler_) {
+      handler_(msg->from, *env);
+    }
+  }
+}
+
+Result<Envelope> RpcEndpoint::Call(NodeId to, std::vector<uint8_t> payload, uint64_t timeout_us) {
+  const uint64_t call_id = next_call_id_.fetch_add(1, std::memory_order_relaxed);
+  PendingCall pending;
+  {
+    std::lock_guard<std::mutex> lock(calls_mutex_);
+    calls_[call_id] = &pending;
+  }
+  Envelope request{MessageKind::kRequest, call_id, std::move(payload)};
+  Status sent = net_.Send(id_, to, SerializeEnvelope(request));
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(calls_mutex_);
+    calls_.erase(call_id);
+    return sent;
+  }
+
+  std::unique_lock<std::mutex> call_lock(pending.mutex);
+  const bool ok = pending.cv.wait_for(call_lock, std::chrono::microseconds(timeout_us),
+                                      [&] { return pending.done; });
+  if (!ok) {
+    // Deregister before returning so a late response cannot touch a dead stack frame. Lock
+    // order is always calls_mutex_ -> pending.mutex (matching the receive thread), so drop the
+    // call lock before taking the table lock.
+    call_lock.unlock();
+    {
+      std::lock_guard<std::mutex> lock(calls_mutex_);
+      calls_.erase(call_id);
+    }
+    call_lock.lock();
+    // The receive thread may have resolved the call between the timeout and the erase.
+    if (!pending.done) {
+      return Status(Timeout("rpc call timed out"));
+    }
+  }
+  return std::move(pending.response);
+}
+
+Status RpcEndpoint::Reply(NodeId to, uint64_t request_id, std::vector<uint8_t> payload) {
+  Envelope response{MessageKind::kResponse, request_id, std::move(payload)};
+  return net_.Send(id_, to, SerializeEnvelope(response));
+}
+
+Status RpcEndpoint::SendOneWay(NodeId to, MessageKind kind, uint64_t id,
+                               std::vector<uint8_t> payload) {
+  Envelope env{kind, id, std::move(payload)};
+  return net_.Send(id_, to, SerializeEnvelope(env));
+}
+
+void RpcEndpoint::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  if (rx_thread_.joinable()) {
+    rx_thread_.join();
+  }
+  // Fail any calls still waiting (their waiters are unblocked with done=false remaining —
+  // resolve them with an unavailable response instead so waits terminate).
+  std::lock_guard<std::mutex> lock(calls_mutex_);
+  for (auto& [id, call] : calls_) {
+    std::lock_guard<std::mutex> call_lock(call->mutex);
+    call->done = true;
+    call->response = Envelope{MessageKind::kResponse, id, {}};
+    call->cv.notify_one();
+  }
+  calls_.clear();
+}
+
+}  // namespace kronos

@@ -1,0 +1,79 @@
+// RpcEndpoint: request/response and one-way messaging over SimNetwork.
+//
+// Each endpoint owns one network node and a receive thread. Incoming kResponse envelopes
+// resolve the matching in-flight Call(); every other kind is dispatched to the registered
+// handler on the receive thread. Handlers therefore must not block on their own endpoint's
+// traffic — long-lived protocols (like chain replication) are written event-style, with
+// pending-work tables instead of blocking waits. This is what lets the chain pipeline updates
+// at line rate (§2.4).
+#ifndef KRONOS_NET_RPC_H_
+#define KRONOS_NET_RPC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/net/sim_network.h"
+#include "src/wire/codec.h"
+
+namespace kronos {
+
+class RpcEndpoint {
+ public:
+  // Handler for non-response envelopes. Runs on the receive thread.
+  using Handler = std::function<void(NodeId from, const Envelope& env)>;
+
+  RpcEndpoint(SimNetwork& net, std::string name);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Installs the handler and starts the receive thread. Must be called exactly once before any
+  // traffic is expected.
+  void Start(Handler handler);
+
+  // Sends a kRequest and blocks for the matching kResponse. Returns kTimeout if no response
+  // arrives in time (e.g. the server is down); the caller decides whether to retry elsewhere.
+  Result<Envelope> Call(NodeId to, std::vector<uint8_t> payload, uint64_t timeout_us);
+
+  // Replies to a request previously received by the handler.
+  Status Reply(NodeId to, uint64_t request_id, std::vector<uint8_t> payload);
+
+  // Fire-and-forget send of any envelope kind.
+  Status SendOneWay(NodeId to, MessageKind kind, uint64_t id, std::vector<uint8_t> payload);
+
+  // Stops the receive thread and fails all in-flight calls.
+  void Stop();
+
+ private:
+  struct PendingCall {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Envelope response;
+  };
+
+  void ReceiveLoop();
+
+  SimNetwork& net_;
+  NodeId id_;
+  Handler handler_;
+  std::thread rx_thread_;
+  std::atomic<bool> stopped_{false};
+
+  std::mutex calls_mutex_;
+  std::unordered_map<uint64_t, PendingCall*> calls_;
+  std::atomic<uint64_t> next_call_id_{1};
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_NET_RPC_H_

@@ -1,0 +1,197 @@
+#include "src/net/sim_network.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace kronos {
+
+SimNetwork::SimNetwork(Options options) : options_(options), rng_(options.seed) {
+  const bool needs_delay_thread =
+      options_.min_latency_us > 0 || options_.max_latency_us > 0;
+  if (needs_delay_thread) {
+    delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+  }
+}
+
+SimNetwork::~SimNetwork() { Shutdown(); }
+
+NodeId SimNetwork::CreateNode(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_.push_back(std::make_unique<Node>());
+  nodes_.back()->name = std::move(name);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& SimNetwork::NodeName(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  KRONOS_CHECK(node < nodes_.size());
+  return nodes_[node]->name;
+}
+
+size_t SimNetwork::node_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.size();
+}
+
+bool SimNetwork::LinkCutLocked(NodeId a, NodeId b) const {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return cut_links_.count({a, b}) > 0;
+}
+
+Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> bytes) {
+  uint64_t delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (from >= nodes_.size() || to >= nodes_.size()) {
+      return InvalidArgument("send: unknown node");
+    }
+    stats_.sent.fetch_add(1, std::memory_order_relaxed);
+    if (nodes_[from]->down.load(std::memory_order_relaxed) ||
+        nodes_[to]->down.load(std::memory_order_relaxed)) {
+      stats_.dropped_down.fetch_add(1, std::memory_order_relaxed);
+      return OkStatus();  // datagram semantics: loss is silent
+    }
+    if (LinkCutLocked(from, to)) {
+      stats_.dropped_cut.fetch_add(1, std::memory_order_relaxed);
+      return OkStatus();
+    }
+    if (options_.drop_probability > 0 && rng_.Bernoulli(options_.drop_probability)) {
+      stats_.dropped_random.fetch_add(1, std::memory_order_relaxed);
+      return OkStatus();
+    }
+    if (options_.max_latency_us > 0) {
+      delay_us = options_.min_latency_us +
+                 rng_.Uniform(options_.max_latency_us - options_.min_latency_us + 1);
+    }
+  }
+
+  NetMessage msg{from, to, std::move(bytes)};
+  if (delay_us == 0 && !delivery_thread_.joinable()) {
+    // Zero-latency fast path: deliver inline on the sender's thread.
+    Deliver(std::move(msg));
+    return OkStatus();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return Unavailable("network shut down");
+    }
+    heap_.push(InFlight{MonotonicMicros() + delay_us, next_seq_++, std::move(msg)});
+  }
+  heap_cv_.notify_one();
+  return OkStatus();
+}
+
+void SimNetwork::Deliver(NetMessage msg) {
+  Node* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (msg.to >= nodes_.size()) {
+      return;
+    }
+    node = nodes_[msg.to].get();
+    if (node->down.load(std::memory_order_relaxed) ||
+        (msg.from < nodes_.size() && nodes_[msg.from]->down.load(std::memory_order_relaxed))) {
+      stats_.dropped_down.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (LinkCutLocked(msg.from, msg.to)) {
+      stats_.dropped_cut.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  if (node->inbox.Push(std::move(msg))) {
+    stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SimNetwork::DeliveryLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    if (heap_.empty()) {
+      heap_cv_.wait(lock, [&] { return shutdown_ || !heap_.empty(); });
+      continue;
+    }
+    const uint64_t now = MonotonicMicros();
+    const InFlight& top = heap_.top();
+    if (top.deliver_at_us > now) {
+      heap_cv_.wait_for(lock, std::chrono::microseconds(top.deliver_at_us - now));
+      continue;
+    }
+    NetMessage msg = std::move(const_cast<InFlight&>(top).msg);
+    heap_.pop();
+    lock.unlock();
+    Deliver(std::move(msg));
+    lock.lock();
+  }
+}
+
+std::optional<NetMessage> SimNetwork::Receive(NodeId node) {
+  Node* n = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KRONOS_CHECK(node < nodes_.size());
+    n = nodes_[node].get();
+  }
+  return n->inbox.Pop();
+}
+
+std::optional<NetMessage> SimNetwork::ReceiveFor(NodeId node, uint64_t timeout_us) {
+  Node* n = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KRONOS_CHECK(node < nodes_.size());
+    n = nodes_[node].get();
+  }
+  return n->inbox.PopFor(timeout_us);
+}
+
+void SimNetwork::SetNodeDown(NodeId node, bool down) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  KRONOS_CHECK(node < nodes_.size());
+  nodes_[node]->down.store(down, std::memory_order_relaxed);
+}
+
+bool SimNetwork::IsDown(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  KRONOS_CHECK(node < nodes_.size());
+  return nodes_[node]->down.load(std::memory_order_relaxed);
+}
+
+void SimNetwork::CutLink(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (a > b) {
+    std::swap(a, b);
+  }
+  cut_links_.insert({a, b});
+}
+
+void SimNetwork::HealLink(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (a > b) {
+    std::swap(a, b);
+  }
+  cut_links_.erase({a, b});
+}
+
+void SimNetwork::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  heap_cv_.notify_all();
+  if (delivery_thread_.joinable()) {
+    delivery_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& node : nodes_) {
+    node->inbox.Close();
+  }
+}
+
+}  // namespace kronos

@@ -1,0 +1,147 @@
+// SimNetwork: the message-passing substrate standing in for the paper's gigabit-Ethernet
+// cluster (see DESIGN.md, substitutions).
+//
+// Nodes are endpoints with unbounded inboxes. Send() enqueues a datagram for the destination,
+// optionally delayed by a configurable latency distribution (a dedicated delivery thread holds
+// in-flight messages in a timing heap). Failure injection — dead nodes and cut links — models
+// the fault scenarios of §4.3: messages to/from a down node are dropped at both send and
+// delivery time, exactly as a crashed process neither sends nor receives.
+//
+// The abstraction is intentionally datagram-like (unreliable, unordered across links, ordered
+// per link): that is the weakest substrate chain replication must survive, so the replication
+// code paths exercised here match a real deployment's.
+#ifndef KRONOS_NET_SIM_NETWORK_H_
+#define KRONOS_NET_SIM_NETWORK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/queue.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace kronos {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+struct NetMessage {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::vector<uint8_t> bytes;
+};
+
+// (Defined at namespace scope so it can serve as a defaulted constructor argument; GCC rejects
+// that for nested classes with default member initializers.)
+struct SimNetworkOptions {
+  // One-way delivery delay sampled uniformly from [min, max]. Zero/zero delivers inline on
+  // the sender's thread (fast path used by throughput benchmarks).
+  uint64_t min_latency_us = 0;
+  uint64_t max_latency_us = 0;
+  // Probability that any given message is silently lost.
+  double drop_probability = 0.0;
+  uint64_t seed = 1;
+};
+
+class SimNetwork {
+ public:
+  using Options = SimNetworkOptions;
+
+  struct Stats {
+    std::atomic<uint64_t> sent{0};
+    std::atomic<uint64_t> delivered{0};
+    std::atomic<uint64_t> dropped_random{0};
+    std::atomic<uint64_t> dropped_down{0};
+    std::atomic<uint64_t> dropped_cut{0};
+  };
+
+  explicit SimNetwork(Options options = {});
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // Registers a new endpoint and returns its address.
+  NodeId CreateNode(std::string name);
+
+  const std::string& NodeName(NodeId node) const;
+  size_t node_count() const;
+
+  // Queues bytes for delivery. Fails only on invalid addresses; loss is silent (datagram
+  // semantics) and visible in stats().
+  Status Send(NodeId from, NodeId to, std::vector<uint8_t> bytes);
+
+  // Blocks until a message arrives for `node` or the network shuts down.
+  std::optional<NetMessage> Receive(NodeId node);
+
+  // Blocks up to timeout_us; nullopt on timeout/shutdown.
+  std::optional<NetMessage> ReceiveFor(NodeId node, uint64_t timeout_us);
+
+  // --- failure injection ---------------------------------------------------------------------
+
+  // A down node neither sends nor receives; messages already in flight to it are dropped at
+  // delivery time.
+  void SetNodeDown(NodeId node, bool down);
+  bool IsDown(NodeId node) const;
+
+  // Cuts (or heals) the bidirectional link between a and b.
+  void CutLink(NodeId a, NodeId b);
+  void HealLink(NodeId a, NodeId b);
+
+  const Stats& stats() const { return stats_; }
+
+  // Stops delivery and unblocks all receivers.
+  void Shutdown();
+
+  bool IsShutdown() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+  }
+
+ private:
+  struct InFlight {
+    uint64_t deliver_at_us;
+    uint64_t seq;  // tie-break preserves send order for equal timestamps
+    NetMessage msg;
+
+    bool operator>(const InFlight& other) const {
+      return std::tie(deliver_at_us, seq) > std::tie(other.deliver_at_us, other.seq);
+    }
+  };
+
+  struct Node {
+    std::string name;
+    BlockingQueue<NetMessage> inbox;
+    std::atomic<bool> down{false};
+  };
+
+  bool LinkCutLocked(NodeId a, NodeId b) const;
+  void DeliveryLoop();
+  void Deliver(NetMessage msg);
+
+  Options options_;
+  mutable std::mutex mutex_;  // guards nodes_ vector growth, links, rng, heap
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
+  Rng rng_;
+
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> heap_;
+  std::condition_variable heap_cv_;
+  uint64_t next_seq_ = 0;
+  bool shutdown_ = false;
+  std::thread delivery_thread_;
+
+  Stats stats_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_NET_SIM_NETWORK_H_

@@ -1,0 +1,175 @@
+#include "src/net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kronos {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+void TcpConnection::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+Status TcpConnection::WriteAll(const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const int fd = fd_.load();
+    if (fd < 0) {
+      return Unavailable("connection closed");
+    }
+    // MSG_NOSIGNAL: a peer reset must become a Status, not a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status TcpConnection::ReadAll(uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const int fd = fd_.load();
+    if (fd < 0) {
+      return Unavailable("connection closed");
+    }
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return Unavailable(got == 0 ? "peer closed" : "peer closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status TcpConnection::SendFrame(const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return InvalidArgument("frame too large");
+  }
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  uint8_t header[4];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  header[0] = static_cast<uint8_t>(len);
+  header[1] = static_cast<uint8_t>(len >> 8);
+  header[2] = static_cast<uint8_t>(len >> 16);
+  header[3] = static_cast<uint8_t>(len >> 24);
+  KRONOS_RETURN_IF_ERROR(WriteAll(header, sizeof(header)));
+  return WriteAll(payload.data(), payload.size());
+}
+
+Result<std::vector<uint8_t>> TcpConnection::RecvFrame() {
+  uint8_t header[4];
+  KRONOS_RETURN_IF_ERROR(ReadAll(header, sizeof(header)));
+  const uint32_t len = static_cast<uint32_t>(header[0]) |
+                       (static_cast<uint32_t>(header[1]) << 8) |
+                       (static_cast<uint32_t>(header[2]) << 16) |
+                       (static_cast<uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    return Status(InvalidArgument("announced frame exceeds limit"));
+  }
+  std::vector<uint8_t> payload(len);
+  KRONOS_RETURN_IF_ERROR(ReadAll(payload.data(), len));
+  return payload;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Status TcpListener::Listen(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_.store(fd);
+  return OkStatus();
+}
+
+Result<std::unique_ptr<TcpConnection>> TcpListener::Accept() {
+  const int fd = fd_.load();
+  if (fd < 0) {
+    return Status(Unavailable("listener closed"));
+  }
+  const int conn = ::accept(fd, nullptr, nullptr);
+  if (conn < 0) {
+    return Status(Unavailable("accept interrupted (listener closed?)"));
+  }
+  const int one = 1;
+  (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpConnection>(conn);
+}
+
+void TcpListener::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+Result<std::unique_ptr<TcpConnection>> TcpConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpConnection>(fd);
+}
+
+}  // namespace kronos

@@ -1,0 +1,85 @@
+// Real TCP transport: framed connections over POSIX sockets.
+//
+// The simulated network (sim_network.h) drives the multi-node experiments; this transport is
+// what a production deployment uses — the original Kronos ran as a network daemon. Frames are
+// length-prefixed (u32 little-endian, bounded) envelope payloads; TcpConnection handles
+// partial reads/writes and surfaces peer resets as Status instead of signals (SIGPIPE is
+// suppressed per send).
+#ifndef KRONOS_NET_TCP_H_
+#define KRONOS_NET_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kronos {
+
+// Maximum frame payload; larger announced lengths are treated as protocol corruption.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// A connected, message-framed TCP stream. Thread-compatible: callers serialize sends and
+// receives independently (one writer, one reader is fine).
+class TcpConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Writes one length-prefixed frame.
+  Status SendFrame(const std::vector<uint8_t>& payload);
+
+  // Reads one frame; kUnavailable on clean EOF, kInvalidArgument on protocol corruption.
+  Result<std::vector<uint8_t>> RecvFrame();
+
+  // Shuts the socket down, unblocking a concurrent RecvFrame.
+  void Close();
+
+  bool closed() const { return fd_.load() < 0; }
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t len);
+  Status ReadAll(uint8_t* data, size_t len);
+
+  std::atomic<int> fd_;
+  std::mutex send_mutex_;
+};
+
+// A listening socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds and listens; port 0 picks an ephemeral port (see port() afterwards).
+  Status Listen(uint16_t port);
+
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; kUnavailable once Close()d.
+  Result<std::unique_ptr<TcpConnection>> Accept();
+
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:port.
+Result<std::unique_ptr<TcpConnection>> TcpConnect(uint16_t port);
+
+}  // namespace kronos
+
+#endif  // KRONOS_NET_TCP_H_

@@ -1,0 +1,95 @@
+#include "src/server/cluster.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace kronos {
+
+KronosCluster::KronosCluster(Options options) : options_(options) {
+  net_ = std::make_unique<SimNetwork>(options_.network);
+  coordinator_ = std::make_unique<ChainCoordinator>(*net_, options_.coordinator);
+  std::vector<NodeId> chain;
+  for (size_t i = 0; i < options_.replicas; ++i) {
+    replicas_.push_back(std::make_unique<ChainReplica>(
+        *net_, coordinator_->id(), "replica-" + std::to_string(i), options_.replica));
+    killed_.push_back(false);
+    chain.push_back(replicas_.back()->id());
+  }
+  coordinator_->Start(std::move(chain));
+  for (auto& replica : replicas_) {
+    replica->Start();
+  }
+  // Wait for every replica to learn the initial configuration before handing out clients.
+  const uint64_t deadline = MonotonicMicros() + 5'000'000;
+  for (auto& replica : replicas_) {
+    while (replica->config().epoch == 0 && MonotonicMicros() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+KronosCluster::~KronosCluster() { Shutdown(); }
+
+std::unique_ptr<KronosClient> KronosCluster::MakeClient(std::string name,
+                                                        KronosClient::Options options) {
+  return std::make_unique<KronosClient>(*net_, coordinator_->id(), std::move(name), options);
+}
+
+void KronosCluster::KillReplica(size_t i) {
+  KRONOS_CHECK(i < replicas_.size());
+  killed_[i] = true;
+  net_->SetNodeDown(replicas_[i]->id(), true);
+  KLOG(Info) << "cluster: killed replica " << replicas_[i]->id();
+}
+
+size_t KronosCluster::AddReplica(std::string name) {
+  replicas_.push_back(std::make_unique<ChainReplica>(*net_, coordinator_->id(), std::move(name),
+                                                     options_.replica));
+  killed_.push_back(false);
+  replicas_.back()->Start();
+  coordinator_->AddReplica(replicas_.back()->id());
+  return replicas_.size() - 1;
+}
+
+bool KronosCluster::WaitForConvergence(uint64_t timeout_us) {
+  const uint64_t deadline = MonotonicMicros() + timeout_us;
+  while (MonotonicMicros() < deadline) {
+    const ChainConfig cfg = coordinator_->GetConfig();
+    uint64_t head_applied = 0;
+    bool all_equal = true;
+    bool first = true;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (killed_[i] || !cfg.Contains(replicas_[i]->id())) {
+        continue;
+      }
+      const uint64_t applied = replicas_[i]->last_applied();
+      if (first) {
+        head_applied = applied;
+        first = false;
+      } else if (applied != head_applied) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (!first && all_equal) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+void KronosCluster::Shutdown() {
+  if (!net_) {
+    return;
+  }
+  for (auto& replica : replicas_) {
+    replica->Stop();
+  }
+  if (coordinator_) {
+    coordinator_->Stop();
+  }
+  net_->Shutdown();
+}
+
+}  // namespace kronos

@@ -1,0 +1,67 @@
+// KronosCluster: a one-call deployment harness wiring a coordinator and N chain replicas on a
+// SimNetwork. Used by the integration tests, every distributed benchmark (Figs. 8 and 13), and
+// the examples.
+#ifndef KRONOS_SERVER_CLUSTER_H_
+#define KRONOS_SERVER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chain/coordinator.h"
+#include "src/chain/replica.h"
+#include "src/client/client.h"
+#include "src/net/sim_network.h"
+
+namespace kronos {
+
+struct KronosClusterOptions {
+  size_t replicas = 3;
+  SimNetworkOptions network;
+  ChainCoordinatorOptions coordinator;
+  ChainReplicaOptions replica;
+};
+
+class KronosCluster {
+ public:
+  using Options = KronosClusterOptions;
+
+  explicit KronosCluster(Options options = {});
+  ~KronosCluster();
+
+  KronosCluster(const KronosCluster&) = delete;
+  KronosCluster& operator=(const KronosCluster&) = delete;
+
+  SimNetwork& network() { return *net_; }
+  ChainCoordinator& coordinator() { return *coordinator_; }
+  size_t replica_count() const { return replicas_.size(); }
+  ChainReplica& replica(size_t i) { return *replicas_[i]; }
+
+  // Creates a connected client. The client object is owned by the caller.
+  std::unique_ptr<KronosClient> MakeClient(std::string name, KronosClient::Options options = {});
+
+  // Fault injection used by the Fig. 13 experiment: kills replica i (drops its traffic); the
+  // coordinator evicts it once heartbeats stop.
+  void KillReplica(size_t i);
+
+  // Spawns a brand-new replica process and admits it at the tail; it pulls state from its
+  // predecessor. Returns its index.
+  size_t AddReplica(std::string name);
+
+  // Blocks until every live replica has applied every update the head has accepted (test/bench
+  // synchronization helper). Returns false on timeout.
+  bool WaitForConvergence(uint64_t timeout_us);
+
+  void Shutdown();
+
+ private:
+  Options options_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<ChainCoordinator> coordinator_;
+  std::vector<std::unique_ptr<ChainReplica>> replicas_;
+  std::vector<bool> killed_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_SERVER_CLUSTER_H_

@@ -1,0 +1,132 @@
+#include "src/server/daemon.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/wire/codec.h"
+
+namespace kronos {
+
+KronosDaemon::~KronosDaemon() { Stop(); }
+
+Status KronosDaemon::Start(uint16_t port, const std::string& wal_path) {
+  if (!wal_path.empty()) {
+    // Recover: replay every logged update into the state machine before serving.
+    Status opened = wal_.Open(wal_path, [this](std::span<const uint8_t> record) {
+      Result<Command> cmd = ParseCommand(record);
+      if (cmd.ok()) {
+        (void)sm_.Apply(*cmd);
+        ++commands_recovered_;
+      } else {
+        KLOG(Warning) << "kronosd: skipping unparseable WAL record";
+      }
+    });
+    KRONOS_RETURN_IF_ERROR(opened);
+    if (wal_.tail_was_torn()) {
+      KLOG(Warning) << "kronosd: WAL had a torn tail (crash mid-append); truncated";
+    }
+    persistent_ = true;
+    KLOG(Info) << "kronosd: recovered " << commands_recovered_ << " commands from " << wal_path;
+  }
+  KRONOS_RETURN_IF_ERROR(listener_.Listen(port));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  KLOG(Info) << "kronosd: serving on 127.0.0.1:" << listener_.port();
+  return OkStatus();
+}
+
+void KronosDaemon::AcceptLoop() {
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    Result<std::unique_ptr<TcpConnection>> conn = listener_.Accept();
+    if (!conn.ok()) {
+      return;  // listener closed
+    }
+    connections_served_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<TcpConnection> shared = std::move(*conn);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    if (stopped_.load()) {
+      return;
+    }
+    live_conns_.push_back(shared);
+    conn_threads_.emplace_back([this, shared] { ServeConnection(shared); });
+  }
+}
+
+void KronosDaemon::ServeConnection(const std::shared_ptr<TcpConnection>& conn) {
+  // Close the socket when this serving thread exits for ANY reason (protocol error, peer
+  // hangup, daemon stop): the connection object stays registered in live_conns_ until Stop(),
+  // so without this a dropped client would block forever on its next read.
+  struct Closer {
+    TcpConnection* conn;
+    ~Closer() { conn->Close(); }
+  } closer{conn.get()};
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    Result<std::vector<uint8_t>> frame = conn->RecvFrame();
+    if (!frame.ok()) {
+      return;  // peer hung up or protocol error: drop the connection
+    }
+    Result<Envelope> env = ParseEnvelope(*frame);
+    if (!env.ok() || env->kind != MessageKind::kRequest) {
+      KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
+      return;
+    }
+    Result<Command> cmd = ParseCommand(env->payload);
+    CommandResult result;
+    if (cmd.ok()) {
+      std::lock_guard<std::mutex> lock(sm_mutex_);
+      if (persistent_ && !cmd->read_only()) {
+        // Write-ahead: the update is durable before its effects are observable.
+        Status logged = wal_.Append(env->payload);
+        if (logged.ok()) {
+          logged = wal_.Sync();
+        }
+        if (!logged.ok()) {
+          result.status = logged;
+          Envelope err{MessageKind::kResponse, env->id, SerializeCommandResult(result)};
+          if (!conn->SendFrame(SerializeEnvelope(err)).ok()) {
+            return;
+          }
+          continue;
+        }
+      }
+      result = sm_.Apply(*cmd);
+      commands_served_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      result.status = cmd.status();
+    }
+    Envelope reply{MessageKind::kResponse, env->id, SerializeCommandResult(result)};
+    if (!conn->SendFrame(SerializeEnvelope(reply)).ok()) {
+      return;
+    }
+  }
+}
+
+uint64_t KronosDaemon::live_events() const {
+  std::lock_guard<std::mutex> lock(sm_mutex_);
+  return sm_.graph().live_events();
+}
+
+void KronosDaemon::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : live_conns_) {
+      conn->Close();
+    }
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  conn_threads_.clear();
+  live_conns_.clear();
+}
+
+}  // namespace kronos

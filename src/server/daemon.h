@@ -1,0 +1,72 @@
+// KronosDaemon: a standalone single-node Kronos server over real TCP.
+//
+// This is the deployment the original system shipped as `kronosd`: clients connect over TCP,
+// send framed Command envelopes, and receive framed CommandResults. The daemon serializes all
+// commands through one state machine (the engine is single-threaded by design; replication is
+// what scales reads, see src/chain). One thread per connection keeps the implementation
+// obvious; the framing protocol is shared with everything else via src/wire.
+#ifndef KRONOS_SERVER_DAEMON_H_
+#define KRONOS_SERVER_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/wal.h"
+#include "src/core/state_machine.h"
+#include "src/net/tcp.h"
+
+namespace kronos {
+
+class KronosDaemon {
+ public:
+  KronosDaemon() = default;
+  ~KronosDaemon();
+
+  KronosDaemon(const KronosDaemon&) = delete;
+  KronosDaemon& operator=(const KronosDaemon&) = delete;
+
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts serving. When wal_path is non-empty the
+  // daemon is persistent: any existing log is replayed into the state machine before serving,
+  // and every update command is appended (write-ahead) before it is applied.
+  Status Start(uint16_t port, const std::string& wal_path = "");
+
+  uint16_t port() const { return listener_.port(); }
+
+  uint64_t connections_served() const { return connections_served_.load(); }
+  uint64_t commands_served() const { return commands_served_.load(); }
+  uint64_t commands_recovered() const { return commands_recovered_; }
+
+  // Engine introspection (safe to call while serving; takes the command lock).
+  uint64_t live_events() const;
+
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(const std::shared_ptr<TcpConnection>& conn);
+
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex sm_mutex_;
+  KronosStateMachine sm_;
+  WriteAheadLog wal_;
+  bool persistent_ = false;
+  uint64_t commands_recovered_ = 0;
+
+  std::mutex conns_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::shared_ptr<TcpConnection>> live_conns_;
+
+  std::atomic<uint64_t> connections_served_{0};
+  std::atomic<uint64_t> commands_served_{0};
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_SERVER_DAEMON_H_

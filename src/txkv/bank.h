@@ -1,0 +1,53 @@
+// BankStore: the common interface for the Fig. 7 banking experiment.
+//
+// Three implementations, mirroring the paper's three systems:
+//   * PutAndPrayBank — non-atomic writes on an eventually consistent store (MongoDB stand-in);
+//     fast, but transfers can interleave and lose money.
+//   * LockingBank    — Percolator-style lock records on a linearizable KV store; fully
+//     serializable via two-phase locking.
+//   * KronosBank     — serializable via Kronos event ordering instead of locks (§3.3):
+//     conflicting transactions are ordered through the event dependency graph; disjoint
+//     transactions stay concurrent and never coordinate.
+#ifndef KRONOS_TXKV_BANK_H_
+#define KRONOS_TXKV_BANK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace kronos {
+
+class BankStore {
+ public:
+  struct BankStats {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;       // kAborted returned to the caller (retryable conflicts)
+    uint64_t lock_waits = 0;   // lock acquisition retries (locking implementation)
+    uint64_t order_calls = 0;  // Kronos assign_order calls issued (Kronos implementation)
+  };
+
+  virtual ~BankStore() = default;
+
+  // Creates (or resets) an account with the given balance.
+  virtual void CreateAccount(uint64_t account, int64_t balance) = 0;
+
+  // Reads a balance (weakest read the implementation offers).
+  virtual Result<int64_t> GetBalance(uint64_t account) = 0;
+
+  // Atomically moves amount between accounts (as atomically as the implementation can).
+  // Returns kAborted for retryable conflicts. Balances may go negative; the experiment's
+  // invariant is conservation of total money, not overdraft protection.
+  virtual Status Transfer(uint64_t from, uint64_t to, int64_t amount) = 0;
+
+  virtual BankStats stats() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Key helpers shared by the KV-backed implementations.
+inline std::string AccountKey(uint64_t account) { return "acct:" + std::to_string(account); }
+inline std::string LockKey(uint64_t account) { return "lock:" + std::to_string(account); }
+
+}  // namespace kronos
+
+#endif  // KRONOS_TXKV_BANK_H_

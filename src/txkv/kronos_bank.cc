@@ -1,0 +1,228 @@
+#include "src/txkv/kronos_bank.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+KronosBank::KronosBank(KronosApi& kronos, Options options)
+    : kronos_(kronos), options_(options) {}
+
+void KronosBank::CreateAccount(uint64_t account, int64_t balance) {
+  std::lock_guard<std::mutex> lock(accounts_mutex_);
+  auto& slot = accounts_[account];
+  if (!slot) {
+    slot = std::make_unique<Account>();
+  }
+  std::lock_guard<std::mutex> acct_lock(slot->mutex);
+  slot->balance = balance;
+}
+
+KronosBank::Account* KronosBank::FindAccount(uint64_t account) {
+  std::lock_guard<std::mutex> lock(accounts_mutex_);
+  auto it = accounts_.find(account);
+  return it == accounts_.end() ? nullptr : it->second.get();
+}
+
+Result<int64_t> KronosBank::GetBalance(uint64_t account) {
+  Account* acct = FindAccount(account);
+  if (acct == nullptr) {
+    return Status(NotFound("no such account"));
+  }
+  std::lock_guard<std::mutex> lock(acct->mutex);
+  return acct->balance;
+}
+
+void KronosBank::Delay() const {
+  if (options_.simulated_store_rtt_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_store_rtt_us));
+  }
+}
+
+uint64_t KronosBank::TryPublish(Account& acct, EventId observed, EventId e) {
+  std::lock_guard<std::mutex> lock(acct.mutex);
+  if (acct.last_event != observed) {
+    return 0;  // chain tail moved underneath us
+  }
+  // Publish: e becomes the chain tail and claims the next ticket. Pointer references: one
+  // acquired for the stored pointer, one released for the displaced pointer. Done under
+  // acct.mutex so a racing displacement cannot release our reference before we acquire it.
+  acct.last_event = e;
+  const uint64_t tick = ++acct.next_tick;
+  Status acq = kronos_.AcquireRef(e);
+  KRONOS_CHECK(acq.ok()) << "acquire_ref on a live event failed: " << acq.ToString();
+  if (observed != kInvalidEvent) {
+    (void)kronos_.ReleaseRef(observed);
+  }
+  return tick;
+}
+
+Result<uint64_t> KronosBank::ClaimTicket(Account& acct, EventId e) {
+  for (int attempt = 0; attempt < options_.max_order_attempts; ++attempt) {
+    EventId observed;
+    {
+      std::lock_guard<std::mutex> lock(acct.mutex);
+      observed = acct.last_event;
+    }
+    if (observed != kInvalidEvent) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.order_calls;
+      }
+      Result<AssignOutcome> r = kronos_.AssignOrderOne(observed, e, Constraint::kMust);
+      if (!r.ok()) {
+        // kOrderViolation: a racing transaction was ordered after us on another account; the
+        // paper's semantics are to abort the transaction without effect.
+        return r.status();
+      }
+    }
+    const uint64_t tick = TryPublish(acct, observed, e);
+    if (tick != 0) {
+      return tick;
+    }
+    // Chain tail moved; re-order against the new tail.
+  }
+  return Status(Aborted("conflict chain tail kept moving; transaction retry advised"));
+}
+
+Status KronosBank::TryClaimBoth(Account& first, Account& second, EventId e, uint64_t& tick1,
+                                uint64_t& tick2) {
+  EventId observed1, observed2;
+  {
+    std::lock_guard<std::mutex> lock(first.mutex);
+    observed1 = first.last_event;
+  }
+  {
+    std::lock_guard<std::mutex> lock(second.mutex);
+    observed2 = second.last_event;
+  }
+  std::vector<AssignSpec> specs;
+  if (observed1 != kInvalidEvent) {
+    specs.push_back({observed1, e, Constraint::kMust});
+  }
+  if (observed2 != kInvalidEvent && observed2 != observed1) {
+    specs.push_back({observed2, e, Constraint::kMust});
+  }
+  if (!specs.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.order_calls;
+    }
+    Result<std::vector<AssignOutcome>> r = kronos_.AssignOrder(std::move(specs));
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  tick1 = TryPublish(first, observed1, e);
+  tick2 = TryPublish(second, observed2, e);
+  return OkStatus();
+}
+
+void KronosBank::WaitTurn(Account& acct, uint64_t tick) {
+  std::unique_lock<std::mutex> lock(acct.mutex);
+  acct.cv.wait(lock, [&] { return acct.applied_tick == tick - 1; });
+}
+
+void KronosBank::CompleteTurn(Account& acct, uint64_t tick) {
+  {
+    std::lock_guard<std::mutex> lock(acct.mutex);
+    KRONOS_CHECK(acct.applied_tick == tick - 1);
+    acct.applied_tick = tick;
+  }
+  acct.cv.notify_all();
+}
+
+Status KronosBank::Transfer(uint64_t from, uint64_t to, int64_t amount) {
+  if (from == to) {
+    return InvalidArgument("self-transfer");
+  }
+  Account* from_acct = FindAccount(from);
+  Account* to_acct = FindAccount(to);
+  if (from_acct == nullptr || to_acct == nullptr) {
+    return NotFound("no such account");
+  }
+
+  Result<EventId> event = kronos_.CreateEvent();
+  if (!event.ok()) {
+    return event.status();
+  }
+  const EventId e = *event;
+
+  // Claim conflict-chain tickets in sorted account order (the order only bounds the CAS races;
+  // deadlock freedom comes from the acyclicity of the event graph).
+  Account* first = from < to ? from_acct : to_acct;
+  Account* second = from < to ? to_acct : from_acct;
+
+  uint64_t tick1 = 0;
+  uint64_t tick2 = 0;
+  if (options_.batch_orders) {
+    // Fast path: both chain-tail constraints in ONE batched assign_order (§2.2).
+    Status both = TryClaimBoth(*first, *second, e, tick1, tick2);
+    if (!both.ok()) {
+      (void)kronos_.ReleaseRef(e);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.aborts;
+      return Aborted("ordering failed: " + both.ToString());
+    }
+  }
+  if (tick1 == 0) {
+    Result<uint64_t> t = ClaimTicket(*first, e);
+    if (!t.ok()) {
+      if (tick2 != 0) {
+        WaitTurn(*second, tick2);
+        CompleteTurn(*second, tick2);  // apply nothing
+      }
+      (void)kronos_.ReleaseRef(e);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.aborts;
+      return Aborted("ordering failed: " + t.status().ToString());
+    }
+    tick1 = *t;
+  }
+  if (tick2 == 0) {
+    Result<uint64_t> t = ClaimTicket(*second, e);
+    if (!t.ok()) {
+      // The first ticket was granted and must still turn over, or later tickets wait forever.
+      WaitTurn(*first, tick1);
+      CompleteTurn(*first, tick1);  // apply nothing
+      (void)kronos_.ReleaseRef(e);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.aborts;
+      return Aborted("ordering failed: " + t.status().ToString());
+    }
+    tick2 = *t;
+  }
+
+  // Execution phase: wait for all per-account predecessors, then apply. While this transaction
+  // holds an unapplied ticket on an account, every later transaction on that account is
+  // waiting behind it, so the balances read here are exactly the serialization predecessors'.
+  WaitTurn(*first, tick1);
+  WaitTurn(*second, tick2);
+  Delay();  // remote write of the debit
+  {
+    std::lock_guard<std::mutex> lock(from_acct->mutex);
+    from_acct->balance -= amount;
+  }
+  Delay();  // remote write of the credit
+  {
+    std::lock_guard<std::mutex> lock(to_acct->mutex);
+    to_acct->balance += amount;
+  }
+  CompleteTurn(*first, tick1);
+  CompleteTurn(*second, tick2);
+
+  (void)kronos_.ReleaseRef(e);  // creator reference; the chain pointers keep e alive
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.commits;
+  }
+  return OkStatus();
+}
+
+BankStore::BankStats KronosBank::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace kronos

@@ -1,0 +1,107 @@
+// KronosBank: serializable transactions ordered by Kronos instead of locks (paper §3.3).
+//
+// Design, following the paper: each transaction maps to one Kronos event. For every account it
+// touches, the transaction must be ordered after the last transaction that touched that
+// account ("a server ... issues an assign_order call specifying that the transaction must be
+// ordered after the last transaction which read or wrote each key"). The event dependency
+// graph thus carries exactly the conflict edges; disjoint transactions remain concurrent and
+// never coordinate. Should an assign_order call fail — two transactions raced to opposite
+// orders on different accounts — the transaction aborts without effect and the caller retries.
+//
+// Mechanically, each account holds:
+//   * last_event — the tail of the account's conflict chain in the event dependency graph;
+//     updated by an optimistic compare-and-swap (re-ordering against the new tail on failure);
+//   * a ticket counter — publication in the conflict chain grants a per-account ticket, and
+//     balances are applied strictly in ticket order. Ticket order equals event order per
+//     account (the chain is linear), and the coherency invariant guarantees the cross-account
+//     wait-for relation is acyclic, so ticket waits cannot deadlock — this is where Kronos'
+//     cycle detection replaces a deadlock detector.
+//
+// Reference management mirrors §2.3: the transaction holds the creator reference until it
+// finishes; each stored last_event pointer holds one reference, released when the pointer is
+// replaced. Retired chain tails are then garbage collected by Kronos while every edge that can
+// still affect a cycle check survives (predecessors pin successors).
+#ifndef KRONOS_TXKV_KRONOS_BANK_H_
+#define KRONOS_TXKV_KRONOS_BANK_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/client/api.h"
+#include "src/txkv/bank.h"
+
+namespace kronos {
+
+struct KronosBankOptions {
+  // Bound on the CAS loop re-ordering against a moving chain tail.
+  int max_order_attempts = 32;
+  // Order both accounts' chain-tail constraints in a single batched assign_order call (§2.2's
+  // atomic batches); per-account calls remain the fallback when the optimistic pass races.
+  bool batch_orders = true;
+  // Simulated round trip to the remote data store, charged per balance write (the paper's
+  // store keeps its data in HyperDex).
+  uint64_t simulated_store_rtt_us = 0;
+};
+
+class KronosBank : public BankStore {
+ public:
+  using Options = KronosBankOptions;
+
+  // The KronosApi (LocalKronos or KronosClient) must outlive the bank.
+  explicit KronosBank(KronosApi& kronos, Options options = {});
+
+  void CreateAccount(uint64_t account, int64_t balance) override;
+  Result<int64_t> GetBalance(uint64_t account) override;
+  Status Transfer(uint64_t from, uint64_t to, int64_t amount) override;
+  BankStats stats() const override;
+  std::string name() const override { return "kronos"; }
+
+ private:
+  struct Account {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int64_t balance = 0;
+    EventId last_event = kInvalidEvent;  // tail of this account's conflict chain
+    uint64_t next_tick = 0;              // last ticket granted
+    uint64_t applied_tick = 0;           // all tickets <= this have applied (or skipped)
+  };
+
+  Account* FindAccount(uint64_t account);
+
+  // Orders event e after the account's chain tail and claims a ticket. Returns the ticket, or
+  // kOrderViolation / kAborted on failure.
+  Result<uint64_t> ClaimTicket(Account& acct, EventId e);
+
+  // Optimistic batched ordering of both accounts in one assign_order call. On success fills
+  // both tickets and returns OK; vertices that raced are left unticketed (tick 0) for the
+  // caller to claim individually. kOrderViolation aborts.
+  Status TryClaimBoth(Account& first, Account& second, EventId e, uint64_t& tick1,
+                      uint64_t& tick2);
+
+  // Publishes e as acct's chain tail and grants a ticket iff the tail still equals observed.
+  // Handles the pointer reference turnover. Returns the ticket or 0.
+  uint64_t TryPublish(Account& acct, EventId observed, EventId e);
+
+  void Delay() const;
+
+  // Blocks until every ticket before `tick` has applied.
+  void WaitTurn(Account& acct, uint64_t tick);
+
+  // Marks `tick` applied and wakes waiters.
+  void CompleteTurn(Account& acct, uint64_t tick);
+
+  KronosApi& kronos_;
+  Options options_;
+
+  mutable std::mutex accounts_mutex_;
+  std::unordered_map<uint64_t, std::unique_ptr<Account>> accounts_;
+
+  mutable std::mutex stats_mutex_;
+  BankStats stats_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_TXKV_KRONOS_BANK_H_

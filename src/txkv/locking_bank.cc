@@ -1,0 +1,112 @@
+#include "src/txkv/locking_bank.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace kronos {
+
+namespace {
+
+int64_t ParseBalance(const std::string& s) { return std::strtoll(s.c_str(), nullptr, 10); }
+
+}  // namespace
+
+LockingBank::LockingBank(Options options) : options_(options), store_(options.shards),
+                                            rng_(options.seed) {}
+
+void LockingBank::CreateAccount(uint64_t account, int64_t balance) {
+  store_.Put(AccountKey(account), std::to_string(balance));
+}
+
+Result<int64_t> LockingBank::GetBalance(uint64_t account) {
+  Result<VersionedValue> v = store_.Get(AccountKey(account));
+  if (!v.ok()) {
+    return v.status();
+  }
+  return ParseBalance(v->value);
+}
+
+void LockingBank::Delay() const {
+  if (options_.simulated_store_rtt_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_store_rtt_us));
+  }
+}
+
+Status LockingBank::Lock(uint64_t account) {
+  for (int attempt = 0; attempt < options_.max_lock_attempts; ++attempt) {
+    // Create-if-absent: version 0 means "no lock record exists". Every attempt is a store
+    // round trip, like Percolator's conditional writes against Bigtable.
+    Delay();
+    Result<uint64_t> r = store_.CompareAndPut(LockKey(account), 0, "held");
+    if (r.ok()) {
+      return OkStatus();
+    }
+    uint64_t jitter;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.lock_waits;
+      jitter = rng_.Uniform(options_.backoff_base_us + 1);
+    }
+    const uint64_t backoff =
+        options_.backoff_base_us * (1ull << std::min(attempt, 6)) + jitter;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+  }
+  return Aborted("lock acquisition budget exhausted");
+}
+
+void LockingBank::Unlock(uint64_t account) {
+  Delay();
+  (void)store_.Delete(LockKey(account));
+}
+
+Status LockingBank::Transfer(uint64_t from, uint64_t to, int64_t amount) {
+  // Deadlock freedom: acquire lock records in sorted account order.
+  const uint64_t first = std::min(from, to);
+  const uint64_t second = std::max(from, to);
+
+  Status lock1 = Lock(first);
+  if (!lock1.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.aborts;
+    return lock1;
+  }
+  Status lock2 = Lock(second);
+  if (!lock2.ok()) {
+    Unlock(first);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.aborts;
+    return lock2;
+  }
+
+  Delay();
+  Result<VersionedValue> from_v = store_.Get(AccountKey(from));
+  Delay();
+  Result<VersionedValue> to_v = store_.Get(AccountKey(to));
+  Status result = OkStatus();
+  if (!from_v.ok()) {
+    result = from_v.status();
+  } else if (!to_v.ok()) {
+    result = to_v.status();
+  } else {
+    Delay();
+    store_.Put(AccountKey(from), std::to_string(ParseBalance(from_v->value) - amount));
+    Delay();
+    store_.Put(AccountKey(to), std::to_string(ParseBalance(to_v->value) + amount));
+  }
+  Unlock(second);
+  Unlock(first);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (result.ok()) {
+      ++stats_.commits;
+    }
+  }
+  return result;
+}
+
+BankStore::BankStats LockingBank::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace kronos

@@ -1,0 +1,60 @@
+#include "src/txkv/put_and_pray.h"
+
+namespace kronos {
+
+namespace {
+
+int64_t ParseBalance(const std::string& s) { return std::strtoll(s.c_str(), nullptr, 10); }
+
+}  // namespace
+
+PutAndPrayBank::PutAndPrayBank(Options options) : options_(options), store_(options.store) {}
+
+void PutAndPrayBank::Delay() const {
+  if (options_.simulated_store_rtt_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.simulated_store_rtt_us));
+  }
+}
+
+void PutAndPrayBank::CreateAccount(uint64_t account, int64_t balance) {
+  store_.Put(AccountKey(account), std::to_string(balance));
+}
+
+Result<int64_t> PutAndPrayBank::GetBalance(uint64_t account) {
+  Result<std::string> v = store_.Get(AccountKey(account));
+  if (!v.ok()) {
+    return v.status();
+  }
+  return ParseBalance(*v);
+}
+
+Status PutAndPrayBank::Transfer(uint64_t from, uint64_t to, int64_t amount) {
+  // Two independent read-modify-write cycles: no atomicity, no isolation, no coordination.
+  Delay();
+  Result<std::string> from_v = store_.Get(AccountKey(from));
+  if (!from_v.ok()) {
+    return from_v.status();
+  }
+  Delay();
+  Result<std::string> to_v = store_.Get(AccountKey(to));
+  if (!to_v.ok()) {
+    return to_v.status();
+  }
+  Delay();
+  store_.Put(AccountKey(from), std::to_string(ParseBalance(*from_v) - amount));
+  Delay();
+  store_.Put(AccountKey(to), std::to_string(ParseBalance(*to_v) + amount));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.commits;
+  }
+  return OkStatus();
+}
+
+BankStore::BankStats PutAndPrayBank::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace kronos

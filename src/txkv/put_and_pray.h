@@ -1,0 +1,51 @@
+// PutAndPrayBank: transfers as two independent writes to an eventually consistent store.
+//
+// This is the paper's MongoDB baseline: maximum throughput, no atomicity, no isolation.
+// Concurrent transfers on the same account race read-modify-write cycles and lose or invent
+// money; the Fig. 7 harness measures both its throughput advantage and (as an extension) its
+// conservation-invariant violations.
+#ifndef KRONOS_TXKV_PUT_AND_PRAY_H_
+#define KRONOS_TXKV_PUT_AND_PRAY_H_
+
+#include <mutex>
+
+#include "src/kvstore/eventual_kv.h"
+#include "src/txkv/bank.h"
+
+namespace kronos {
+
+struct PutAndPrayOptions {
+  EventualKvOptions store;
+  // Simulated round trip to the remote store, charged per read and per write.
+  uint64_t simulated_store_rtt_us = 0;
+};
+
+class PutAndPrayBank : public BankStore {
+ public:
+  using Options = PutAndPrayOptions;
+
+  explicit PutAndPrayBank(Options options = {});
+  explicit PutAndPrayBank(EventualKv::Options store_options)
+      : PutAndPrayBank(Options{.store = store_options, .simulated_store_rtt_us = 0}) {}
+
+  void CreateAccount(uint64_t account, int64_t balance) override;
+  Result<int64_t> GetBalance(uint64_t account) override;
+  Status Transfer(uint64_t from, uint64_t to, int64_t amount) override;
+  BankStats stats() const override;
+  std::string name() const override { return "put-and-pray"; }
+
+  // Direct store access for inspection.
+  EventualKv& store() { return store_; }
+
+ private:
+  void Delay() const;
+
+  Options options_;
+  EventualKv store_;
+  mutable std::mutex stats_mutex_;
+  BankStats stats_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_TXKV_PUT_AND_PRAY_H_

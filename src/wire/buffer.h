@@ -1,0 +1,142 @@
+// BufferWriter / BufferReader: the byte-level serialization substrate.
+//
+// Fixed-width integers are little-endian; varints use LEB128. The reader is bounds-checked and
+// reports malformed input through Status rather than crashing, because it parses bytes that
+// crossed the (simulated) network.
+#ifndef KRONOS_WIRE_BUFFER_H_
+#define KRONOS_WIRE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kronos {
+
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+
+  void WriteU16(uint16_t v) { WriteLittleEndian(v, 2); }
+  void WriteU32(uint32_t v) { WriteLittleEndian(v, 4); }
+  void WriteU64(uint64_t v) { WriteLittleEndian(v, 8); }
+
+  // LEB128 varint: 1 byte for values < 128, up to 10 bytes for the full u64 range.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void WriteBytes(std::span<const uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  // Length-prefixed string.
+  void WriteString(std::string_view s) {
+    WriteVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void WriteLittleEndian(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status ReadU8(uint8_t& out) {
+    if (remaining() < 1) {
+      return InvalidArgument("buffer underflow: u8");
+    }
+    out = data_[pos_++];
+    return OkStatus();
+  }
+
+  Status ReadU16(uint16_t& out) { return ReadLittleEndian(out, 2); }
+  Status ReadU32(uint32_t& out) { return ReadLittleEndian(out, 4); }
+  Status ReadU64(uint64_t& out) { return ReadLittleEndian(out, 8); }
+
+  Status ReadVarint(uint64_t& out) {
+    out = 0;
+    int shift = 0;
+    while (true) {
+      if (remaining() < 1) {
+        return InvalidArgument("buffer underflow: varint");
+      }
+      if (shift >= 64) {
+        return InvalidArgument("varint too long");
+      }
+      const uint8_t byte = data_[pos_++];
+      out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        return OkStatus();
+      }
+      shift += 7;
+    }
+  }
+
+  Status ReadString(std::string& out) {
+    uint64_t len = 0;
+    KRONOS_RETURN_IF_ERROR(ReadVarint(len));
+    if (remaining() < len) {
+      return InvalidArgument("buffer underflow: string");
+    }
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return OkStatus();
+  }
+
+  Status ReadBytes(std::span<uint8_t> out) {
+    if (remaining() < out.size()) {
+      return InvalidArgument("buffer underflow: bytes");
+    }
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+    return OkStatus();
+  }
+
+ private:
+  template <typename T>
+  Status ReadLittleEndian(T& out, int bytes) {
+    if (remaining() < static_cast<size_t>(bytes)) {
+      return InvalidArgument("buffer underflow: fixed int");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += bytes;
+    out = static_cast<T>(v);
+    return OkStatus();
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_WIRE_BUFFER_H_

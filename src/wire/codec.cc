@@ -1,0 +1,246 @@
+#include "src/wire/codec.h"
+
+namespace kronos {
+
+namespace {
+
+Status DecodeStatusFields(BufferReader& r, Status& out) {
+  uint8_t code = 0;
+  std::string message;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(code));
+  KRONOS_RETURN_IF_ERROR(r.ReadString(message));
+  if (code > static_cast<uint8_t>(StatusCode::kExhausted)) {
+    return InvalidArgument("bad status code on wire");
+  }
+  out = Status(static_cast<StatusCode>(code), std::move(message));
+  return OkStatus();
+}
+
+void EncodeStatusFields(const Status& s, BufferWriter& w) {
+  w.WriteU8(static_cast<uint8_t>(s.code()));
+  w.WriteString(s.message());
+}
+
+}  // namespace
+
+void EncodeCommand(const Command& cmd, BufferWriter& w) {
+  w.WriteU8(kWireVersion);
+  w.WriteU8(static_cast<uint8_t>(cmd.type));
+  switch (cmd.type) {
+    case CommandType::kCreateEvent:
+      break;
+    case CommandType::kAcquireRef:
+    case CommandType::kReleaseRef:
+      w.WriteVarint(cmd.event);
+      break;
+    case CommandType::kQueryOrder:
+      w.WriteVarint(cmd.pairs.size());
+      for (const EventPair& p : cmd.pairs) {
+        w.WriteVarint(p.e1);
+        w.WriteVarint(p.e2);
+      }
+      break;
+    case CommandType::kAssignOrder:
+      w.WriteVarint(cmd.specs.size());
+      for (const AssignSpec& s : cmd.specs) {
+        w.WriteVarint(s.e1);
+        w.WriteVarint(s.e2);
+        w.WriteU8(static_cast<uint8_t>(s.constraint));
+      }
+      break;
+  }
+}
+
+Status DecodeCommand(BufferReader& r, Command& out) {
+  uint8_t version = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
+  if (version != kWireVersion) {
+    return InvalidArgument("unsupported wire version");
+  }
+  uint8_t type = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(type));
+  if (type > static_cast<uint8_t>(CommandType::kAssignOrder)) {
+    return InvalidArgument("bad command type on wire");
+  }
+  out = Command{};
+  out.type = static_cast<CommandType>(type);
+  switch (out.type) {
+    case CommandType::kCreateEvent:
+      break;
+    case CommandType::kAcquireRef:
+    case CommandType::kReleaseRef: {
+      uint64_t e = 0;
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(e));
+      out.event = e;
+      break;
+    }
+    case CommandType::kQueryOrder: {
+      uint64_t n = 0;
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+      if (n > r.remaining()) {  // each pair needs >= 2 bytes; cheap bomb guard
+        return InvalidArgument("query_order count exceeds payload");
+      }
+      out.pairs.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        EventPair p;
+        KRONOS_RETURN_IF_ERROR(r.ReadVarint(p.e1));
+        KRONOS_RETURN_IF_ERROR(r.ReadVarint(p.e2));
+        out.pairs.push_back(p);
+      }
+      break;
+    }
+    case CommandType::kAssignOrder: {
+      uint64_t n = 0;
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+      if (n > r.remaining()) {
+        return InvalidArgument("assign_order count exceeds payload");
+      }
+      out.specs.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        AssignSpec s;
+        uint8_t c = 0;
+        KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.e1));
+        KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.e2));
+        KRONOS_RETURN_IF_ERROR(r.ReadU8(c));
+        if (c > static_cast<uint8_t>(Constraint::kPrefer)) {
+          return InvalidArgument("bad constraint on wire");
+        }
+        s.constraint = static_cast<Constraint>(c);
+        out.specs.push_back(s);
+      }
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+void EncodeCommandResult(const CommandResult& result, BufferWriter& w) {
+  w.WriteU8(kWireVersion);
+  EncodeStatusFields(result.status, w);
+  w.WriteVarint(result.event);
+  w.WriteVarint(result.collected);
+  w.WriteVarint(result.orders.size());
+  for (const Order o : result.orders) {
+    w.WriteU8(static_cast<uint8_t>(o));
+  }
+  w.WriteVarint(result.outcomes.size());
+  for (const AssignOutcome o : result.outcomes) {
+    w.WriteU8(static_cast<uint8_t>(o));
+  }
+}
+
+Status DecodeCommandResult(BufferReader& r, CommandResult& out) {
+  uint8_t version = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
+  if (version != kWireVersion) {
+    return InvalidArgument("unsupported wire version");
+  }
+  out = CommandResult{};
+  KRONOS_RETURN_IF_ERROR(DecodeStatusFields(r, out.status));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(out.event));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(out.collected));
+  uint64_t n = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+  if (n > r.remaining()) {
+    return InvalidArgument("orders count exceeds payload");
+  }
+  out.orders.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t o = 0;
+    KRONOS_RETURN_IF_ERROR(r.ReadU8(o));
+    if (o > static_cast<uint8_t>(Order::kConcurrent)) {
+      return InvalidArgument("bad order on wire");
+    }
+    out.orders.push_back(static_cast<Order>(o));
+  }
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+  if (n > r.remaining()) {
+    return InvalidArgument("outcomes count exceeds payload");
+  }
+  out.outcomes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t o = 0;
+    KRONOS_RETURN_IF_ERROR(r.ReadU8(o));
+    if (o > static_cast<uint8_t>(AssignOutcome::kReversed)) {
+      return InvalidArgument("bad outcome on wire");
+    }
+    out.outcomes.push_back(static_cast<AssignOutcome>(o));
+  }
+  return OkStatus();
+}
+
+std::vector<uint8_t> SerializeCommand(const Command& cmd) {
+  BufferWriter w;
+  EncodeCommand(cmd, w);
+  return w.TakeBuffer();
+}
+
+Result<Command> ParseCommand(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  Command cmd;
+  Status st = DecodeCommand(r, cmd);
+  if (!st.ok()) {
+    return st;
+  }
+  if (!r.AtEnd()) {
+    return Status(InvalidArgument("trailing bytes after command"));
+  }
+  return cmd;
+}
+
+std::vector<uint8_t> SerializeCommandResult(const CommandResult& result) {
+  BufferWriter w;
+  EncodeCommandResult(result, w);
+  return w.TakeBuffer();
+}
+
+Result<CommandResult> ParseCommandResult(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  CommandResult result;
+  Status st = DecodeCommandResult(r, result);
+  if (!st.ok()) {
+    return st;
+  }
+  if (!r.AtEnd()) {
+    return Status(InvalidArgument("trailing bytes after result"));
+  }
+  return result;
+}
+
+std::vector<uint8_t> SerializeEnvelope(const Envelope& env) {
+  BufferWriter w;
+  w.WriteU8(kWireVersion);
+  w.WriteU8(static_cast<uint8_t>(env.kind));
+  w.WriteVarint(env.id);
+  w.WriteVarint(env.payload.size());
+  w.WriteBytes(env.payload);
+  return w.TakeBuffer();
+}
+
+Result<Envelope> ParseEnvelope(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  uint8_t version = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
+  if (version != kWireVersion) {
+    return Status(InvalidArgument("unsupported wire version"));
+  }
+  uint8_t kind = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(kind));
+  if (kind < static_cast<uint8_t>(MessageKind::kRequest) ||
+      kind > static_cast<uint8_t>(MessageKind::kControl)) {
+    return Status(InvalidArgument("bad message kind on wire"));
+  }
+  Envelope env;
+  env.kind = static_cast<MessageKind>(kind);
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(env.id));
+  uint64_t len = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(len));
+  if (len != r.remaining()) {
+    return Status(InvalidArgument("envelope payload length mismatch"));
+  }
+  env.payload.resize(len);
+  KRONOS_RETURN_IF_ERROR(r.ReadBytes(env.payload));
+  return env;
+}
+
+}  // namespace kronos

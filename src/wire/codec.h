@@ -1,0 +1,55 @@
+// Codecs for the Kronos protocol messages: Command, CommandResult, and the RPC envelope.
+//
+// The wire format is versioned by a single magic/version byte so that decode failures from
+// corrupted or foreign traffic surface as InvalidArgument instead of undefined behaviour.
+#ifndef KRONOS_WIRE_CODEC_H_
+#define KRONOS_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/command.h"
+#include "src/wire/buffer.h"
+
+namespace kronos {
+
+inline constexpr uint8_t kWireVersion = 1;
+
+// --- Command / CommandResult -------------------------------------------------------------------
+
+void EncodeCommand(const Command& cmd, BufferWriter& w);
+Status DecodeCommand(BufferReader& r, Command& out);
+
+void EncodeCommandResult(const CommandResult& result, BufferWriter& w);
+Status DecodeCommandResult(BufferReader& r, CommandResult& out);
+
+// Convenience whole-buffer forms.
+std::vector<uint8_t> SerializeCommand(const Command& cmd);
+Result<Command> ParseCommand(std::span<const uint8_t> bytes);
+std::vector<uint8_t> SerializeCommandResult(const CommandResult& result);
+Result<CommandResult> ParseCommandResult(std::span<const uint8_t> bytes);
+
+// --- RPC envelope --------------------------------------------------------------------------------
+
+// Message kinds that travel between clients, servers, chain replicas, and the coordinator.
+enum class MessageKind : uint8_t {
+  kRequest = 1,        // client -> server: envelope { id, Command }
+  kResponse = 2,       // server -> client: envelope { id, CommandResult }
+  kChainPropagate = 3, // head/mid -> next replica: { seq, Command }
+  kChainAck = 4,       // tail -> ... -> head: { seq }
+  kControl = 5,        // coordinator <-> replicas: configuration / heartbeat payload
+};
+
+struct Envelope {
+  MessageKind kind = MessageKind::kRequest;
+  uint64_t id = 0;                 // correlation id (requests) or sequence number (chain)
+  std::vector<uint8_t> payload;    // kind-specific body
+};
+
+std::vector<uint8_t> SerializeEnvelope(const Envelope& env);
+Result<Envelope> ParseEnvelope(std::span<const uint8_t> bytes);
+
+}  // namespace kronos
+
+#endif  // KRONOS_WIRE_CODEC_H_

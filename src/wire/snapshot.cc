@@ -1,0 +1,78 @@
+#include "src/wire/snapshot.h"
+
+#include "src/wire/buffer.h"
+
+namespace kronos {
+
+namespace {
+constexpr uint8_t kSnapshotVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> SerializeSnapshot(const KronosStateMachine& sm) {
+  BufferWriter w;
+  w.WriteU8(kSnapshotVersion);
+  w.WriteVarint(sm.applied_updates());
+  const EventGraph& g = sm.graph();
+  w.WriteVarint(g.next_id());
+  const std::vector<EventGraph::SnapshotVertex> vertices = g.ExportSnapshot();
+  w.WriteVarint(vertices.size());
+  for (const auto& v : vertices) {
+    w.WriteVarint(v.id);
+    w.WriteVarint(v.refcount);
+    w.WriteVarint(v.successors.size());
+    for (const EventId succ : v.successors) {
+      w.WriteVarint(succ);
+    }
+  }
+  return w.TakeBuffer();
+}
+
+Status RestoreSnapshot(std::span<const uint8_t> bytes, KronosStateMachine& sm) {
+  BufferReader r(bytes);
+  uint8_t version = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
+  if (version != kSnapshotVersion) {
+    return InvalidArgument("unsupported snapshot version");
+  }
+  uint64_t applied = 0;
+  uint64_t next_id = 0;
+  uint64_t count = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(applied));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(next_id));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(count));
+  if (count > r.remaining()) {  // >= 1 byte per vertex: cheap bomb guard
+    return InvalidArgument("snapshot vertex count exceeds payload");
+  }
+  std::vector<EventGraph::SnapshotVertex> vertices;
+  vertices.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    EventGraph::SnapshotVertex v;
+    uint64_t refcount = 0;
+    uint64_t nsucc = 0;
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(v.id));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(refcount));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(nsucc));
+    if (refcount > UINT32_MAX) {
+      return InvalidArgument("snapshot refcount overflow");
+    }
+    if (nsucc > r.remaining()) {
+      return InvalidArgument("snapshot successor count exceeds payload");
+    }
+    v.refcount = static_cast<uint32_t>(refcount);
+    v.successors.reserve(nsucc);
+    for (uint64_t s = 0; s < nsucc; ++s) {
+      EventId succ = kInvalidEvent;
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(succ));
+      v.successors.push_back(succ);
+    }
+    vertices.push_back(std::move(v));
+  }
+  if (!r.AtEnd()) {
+    return InvalidArgument("trailing bytes after snapshot");
+  }
+  KRONOS_RETURN_IF_ERROR(sm.graph().ImportSnapshot(next_id, vertices));
+  sm.set_applied_updates(applied);
+  return OkStatus();
+}
+
+}  // namespace kronos

@@ -1,0 +1,27 @@
+// Snapshot codec: serializes an entire Kronos state machine (event dependency graph +
+// replication position) for chain state transfer and persistence.
+//
+// Format: version byte, applied_updates, next_id, vertex count, then per vertex:
+// id, refcount, successor count, successor ids. All varint-encoded; bounds-checked on parse.
+#ifndef KRONOS_WIRE_SNAPSHOT_H_
+#define KRONOS_WIRE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/state_machine.h"
+
+namespace kronos {
+
+// Serializes the machine's full state. Deterministic: identical replicas produce identical
+// bytes (vertices and successor lists are emitted in ascending id order).
+std::vector<uint8_t> SerializeSnapshot(const KronosStateMachine& sm);
+
+// Restores into a fresh state machine. Fails without side effects on malformed input... the
+// target must be empty (never applied a command).
+Status RestoreSnapshot(std::span<const uint8_t> bytes, KronosStateMachine& sm);
+
+}  // namespace kronos
+
+#endif  // KRONOS_WIRE_SNAPSHOT_H_

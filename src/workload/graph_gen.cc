@@ -1,0 +1,103 @@
+#include "src/workload/graph_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace kronos {
+
+namespace {
+
+// Packs an undirected pair into a dedup key (low 32 | high 32).
+uint64_t EdgeKey(uint64_t a, uint64_t b) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return (a << 32) | b;
+}
+
+}  // namespace
+
+GeneratedGraph ErdosRenyi(uint64_t n, uint64_t m, uint64_t seed) {
+  KRONOS_CHECK(n >= 2);
+  const uint64_t max_edges = n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  GeneratedGraph g;
+  g.num_vertices = n;
+  g.edges.reserve(m);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  while (g.edges.size() < m) {
+    const uint64_t a = rng.Uniform(n);
+    const uint64_t b = rng.Uniform(n);
+    if (a == b) {
+      continue;
+    }
+    if (seen.insert(EdgeKey(a, b)).second) {
+      g.edges.emplace_back(std::min(a, b), std::max(a, b));
+    }
+  }
+  return g;
+}
+
+GeneratedGraph FixedAverageDegree(uint64_t n, double avg_degree, uint64_t seed) {
+  const uint64_t m = static_cast<uint64_t>(static_cast<double>(n) * avg_degree / 2.0);
+  return ErdosRenyi(n, m, seed);
+}
+
+GeneratedGraph BarabasiAlbert(uint64_t n, uint64_t m, uint64_t seed) {
+  KRONOS_CHECK(n > m);
+  KRONOS_CHECK(m >= 1);
+  GeneratedGraph g;
+  g.num_vertices = n;
+  g.edges.reserve((n - m) * m);
+  Rng rng(seed);
+
+  // Repeated-endpoint list: sampling an entry uniformly samples vertices proportionally to
+  // degree (the standard BA construction).
+  std::vector<uint64_t> endpoints;
+  endpoints.reserve(2 * (n - m) * m + m);
+
+  // Seed clique-ish core: a path over the first m+1 vertices.
+  std::unordered_set<uint64_t> dedup;
+  for (uint64_t v = 1; v <= m; ++v) {
+    g.edges.emplace_back(v - 1, v);
+    dedup.insert(EdgeKey(v - 1, v));
+    endpoints.push_back(v - 1);
+    endpoints.push_back(v);
+  }
+  for (uint64_t v = m + 1; v < n; ++v) {
+    std::unordered_set<uint64_t> targets;
+    int guard = 0;
+    while (targets.size() < m && guard < 1000) {
+      const uint64_t t = endpoints[rng.Uniform(endpoints.size())];
+      ++guard;
+      if (t == v || dedup.count(EdgeKey(v, t)) > 0) {
+        continue;
+      }
+      targets.insert(t);
+    }
+    for (const uint64_t t : targets) {
+      g.edges.emplace_back(std::min(v, t), std::max(v, t));
+      dedup.insert(EdgeKey(v, t));
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+GeneratedGraph TwitterLike(uint64_t seed) {
+  // 81,306 vertices with m=22 gives ~1.79M edges — the scale of the McAuley–Leskovec Twitter
+  // ego-network subset used in §4.1.1.
+  return BarabasiAlbert(81306, 22, seed);
+}
+
+GeneratedGraph TwitterLikeScaled(uint64_t n, uint64_t seed) {
+  return BarabasiAlbert(n, std::min<uint64_t>(22, n / 4 + 1), seed);
+}
+
+}  // namespace kronos

@@ -1,0 +1,50 @@
+// Synthetic graph generators for the evaluation workloads.
+//
+//   * Erdős–Rényi G(n, m): the §4.2 "Impact of Graph Structure" sweep (Fig. 12) and the Fig. 8
+//     preloaded event graph (10,000 vertices / 50,000 edges).
+//   * Fixed-average-degree random graphs: Fig. 6's "dense" (deg≈100) and "sparse" (deg≈10)
+//     friendship graphs — G(n, m = n*deg/2).
+//   * Barabási–Albert preferential attachment: the Twitter ego-network stand-in (heavy-tailed
+//     degrees; 81,306 vertices / ~1.77M edges at m=22) — see DESIGN.md substitutions.
+#ifndef KRONOS_WORKLOAD_GRAPH_GEN_H_
+#define KRONOS_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kronos {
+
+struct GeneratedGraph {
+  uint64_t num_vertices = 0;
+  // Undirected when used as a friendship graph; oriented low->high (thus acyclic) when loaded
+  // into an event dependency graph.
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+
+  double AverageDegree() const {
+    return num_vertices == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(edges.size()) / static_cast<double>(num_vertices);
+  }
+};
+
+// G(n, m): exactly m distinct edges sampled uniformly (no self-loops, no duplicates).
+// m is clamped to the number of possible edges.
+GeneratedGraph ErdosRenyi(uint64_t n, uint64_t m, uint64_t seed);
+
+// Random graph with the given average degree: G(n, n*avg_degree/2).
+GeneratedGraph FixedAverageDegree(uint64_t n, double avg_degree, uint64_t seed);
+
+// Barabási–Albert: each new vertex attaches to `m` existing vertices chosen proportionally to
+// degree. Produces a heavy-tailed degree distribution like real social graphs.
+GeneratedGraph BarabasiAlbert(uint64_t n, uint64_t m, uint64_t seed);
+
+// The Twitter stand-in with the paper's published scale: 81,306 vertices, ~1.77M edges.
+GeneratedGraph TwitterLike(uint64_t seed);
+
+// A scaled-down Twitter-like graph for quick runs: same shape, custom size.
+GeneratedGraph TwitterLikeScaled(uint64_t n, uint64_t seed);
+
+}  // namespace kronos
+
+#endif  // KRONOS_WORKLOAD_GRAPH_GEN_H_

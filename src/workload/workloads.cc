@@ -1,0 +1,90 @@
+#include "src/workload/workloads.h"
+
+#include <mutex>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+
+BankWorkload::BankWorkload(uint64_t accounts, double zipf_theta, uint64_t seed)
+    : accounts_(accounts), zipf_(accounts, zipf_theta) {
+  KRONOS_CHECK(accounts >= 2);
+}
+
+TransferOp BankWorkload::Next(Rng& rng) {
+  TransferOp op;
+  op.from = zipf_.Sample(rng);
+  op.to = zipf_.Sample(rng);
+  while (op.to == op.from) {
+    op.to = (op.to + 1 + rng.Uniform(accounts_ - 1)) % accounts_;
+  }
+  op.amount = static_cast<int64_t>(1 + rng.Uniform(100));
+  return op;
+}
+
+GraphMixWorkload::GraphMixWorkload(uint64_t vertices, double read_fraction, uint64_t seed)
+    : vertices_(vertices), read_fraction_(read_fraction), next_new_vertex_(vertices) {}
+
+GraphOp GraphMixWorkload::Next(Rng& rng) {
+  GraphOp op;
+  if (rng.NextDouble() < read_fraction_) {
+    op.kind = GraphOp::Kind::kRecommend;
+    op.a = rng.Uniform(vertices_);
+    return op;
+  }
+  // 5% writes split between new friendships and new individuals (§4.1.1: "introduced new
+  // individuals or friendships to the graph").
+  if (rng.Bernoulli(0.5)) {
+    op.kind = GraphOp::Kind::kAddEdge;
+    op.a = rng.Uniform(vertices_);
+    op.b = rng.Uniform(vertices_);
+    if (op.b == op.a) {
+      op.b = (op.b + 1) % vertices_;
+    }
+  } else {
+    op.kind = GraphOp::Kind::kAddVertexEdge;
+    op.a = next_new_vertex_.fetch_add(1, std::memory_order_relaxed);
+    op.b = rng.Uniform(vertices_);
+  }
+  return op;
+}
+
+LoadResult RunClosedLoop(int threads, uint64_t duration_us, uint64_t seed,
+                         const std::function<bool(int, Rng&)>& op) {
+  LoadResult result;
+  std::mutex merge_mutex;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  const uint64_t start = MonotonicMicros();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(seed * 7919 + static_cast<uint64_t>(t));
+      Histogram local;
+      uint64_t completed = 0;
+      uint64_t failed = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t op_start = MonotonicMicros();
+        const bool ok = op(t, rng);
+        local.Record(MonotonicMicros() - op_start);
+        if (ok) {
+          ++completed;
+        } else {
+          ++failed;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      result.completed += completed;
+      result.failed += failed;
+      result.latency_us.Merge(local);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(duration_us));
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  result.seconds = static_cast<double>(MonotonicMicros() - start) * 1e-6;
+  return result;
+}
+
+}  // namespace kronos

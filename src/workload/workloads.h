@@ -1,0 +1,79 @@
+// Workload drivers for the evaluation benchmarks: op mixes, account selection, and a
+// fixed-duration multi-threaded load loop with latency/throughput capture.
+#ifndef KRONOS_WORKLOAD_WORKLOADS_H_
+#define KRONOS_WORKLOAD_WORKLOADS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+
+namespace kronos {
+
+// A banking transfer request (Fig. 7).
+struct TransferOp {
+  uint64_t from = 0;
+  uint64_t to = 0;
+  int64_t amount = 0;
+};
+
+// Draws transfers over `accounts` accounts; theta > 0 skews account popularity (contention).
+class BankWorkload {
+ public:
+  BankWorkload(uint64_t accounts, double zipf_theta, uint64_t seed);
+
+  TransferOp Next(Rng& rng);
+
+  uint64_t accounts() const { return accounts_; }
+
+ private:
+  uint64_t accounts_;
+  ZipfSampler zipf_;
+};
+
+// The Fig. 6 mixed workload: a friend recommendation `read_fraction` of the time, a graph
+// mutation otherwise (the paper uses 95% / 5%).
+struct GraphOp {
+  enum class Kind : uint8_t { kRecommend, kAddEdge, kAddVertexEdge } kind = Kind::kRecommend;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+class GraphMixWorkload {
+ public:
+  GraphMixWorkload(uint64_t vertices, double read_fraction, uint64_t seed);
+
+  GraphOp Next(Rng& rng);
+
+ private:
+  uint64_t vertices_;
+  double read_fraction_;
+  std::atomic<uint64_t> next_new_vertex_;
+};
+
+// Runs `threads` workers calling `op(thread_index, rng)` in a closed loop for `duration_us`,
+// returning aggregate throughput and a merged latency histogram. `op` returns true if the
+// operation counts as completed (false = aborted/retried).
+struct LoadResult {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  double seconds = 0;
+  Histogram latency_us;
+
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(completed) / seconds : 0.0;
+  }
+};
+
+LoadResult RunClosedLoop(int threads, uint64_t duration_us, uint64_t seed,
+                         const std::function<bool(int, Rng&)>& op);
+
+}  // namespace kronos
+
+#endif  // KRONOS_WORKLOAD_WORKLOADS_H_

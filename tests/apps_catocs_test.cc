@@ -1,0 +1,198 @@
+// CATOCS scenarios (§3.4): correctness must hold under ADVERSARIAL message delivery orders —
+// that is the entire point of the Cheriton–Skeen critique.
+#include "src/apps/catocs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/client/local.h"
+#include "src/common/random.h"
+
+namespace kronos {
+namespace {
+
+TEST(ShopFloorTest, InOrderDeliveryApplies) {
+  LocalKronos kronos;
+  ControlUnit unit(kronos);
+  ShopFloorMachine machine(kronos);
+  auto start = unit.Start();
+  auto stop = unit.Stop();
+  ASSERT_TRUE(start.ok() && stop.ok());
+  EXPECT_TRUE(*machine.Deliver(*start));
+  EXPECT_TRUE(machine.running());
+  EXPECT_TRUE(*machine.Deliver(*stop));
+  EXPECT_FALSE(machine.running());
+}
+
+TEST(ShopFloorTest, ReorderedDeliveryCannotRestartStoppedMachine) {
+  // The CATOCS failure: "start" delayed past "stop" would leave the machine running.
+  LocalKronos kronos;
+  ControlUnit unit(kronos);
+  ShopFloorMachine machine(kronos);
+  auto start = unit.Start();
+  auto stop = unit.Stop();
+  // Network delivers stop first, then the stale start.
+  EXPECT_TRUE(*machine.Deliver(*stop));
+  EXPECT_FALSE(*machine.Deliver(*start));  // discarded as stale
+  EXPECT_FALSE(machine.running());
+  EXPECT_EQ(machine.discarded_stale(), 1u);
+}
+
+TEST(ShopFloorTest, TwoControlUnitsConcurrentCommandsAreBoundLate) {
+  // Two units issue unordered commands; the machine late-binds an order and the decision is
+  // final (a second machine must agree).
+  LocalKronos kronos;
+  ControlUnit unit1(kronos);
+  ControlUnit unit2(kronos);
+  ShopFloorMachine machine_a(kronos);
+  ShopFloorMachine machine_b(kronos);
+  auto start = unit1.Start();
+  auto stop = unit2.Stop();
+  // Machine A sees start then stop; machine B sees the opposite order.
+  EXPECT_TRUE(*machine_a.Deliver(*start));
+  EXPECT_TRUE(*machine_a.Deliver(*stop));
+  EXPECT_FALSE(machine_a.running());
+
+  EXPECT_FALSE(*machine_b.Deliver(*stop) == false) << "first delivery always applies";
+  // B's first delivery (stop) applied; the start must now be discarded because A's delivery
+  // already bound start -> stop in Kronos.
+  EXPECT_FALSE(*machine_b.Deliver(*start));
+  EXPECT_FALSE(machine_b.running());  // both machines agree: stopped
+}
+
+TEST(ShopFloorTest, LongRandomDeliverySequenceConverges) {
+  LocalKronos kronos;
+  ControlUnit unit(kronos);
+  std::vector<MachineCommand> commands;
+  bool final_state = false;
+  for (int i = 0; i < 50; ++i) {
+    const bool start = (i % 3 != 0);
+    commands.push_back(*(start ? unit.Start() : unit.Stop()));
+    final_state = start;
+  }
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<MachineCommand> shuffled = commands;
+    rng.Shuffle(shuffled);
+    ShopFloorMachine machine(kronos);
+    for (const auto& cmd : shuffled) {
+      ASSERT_TRUE(machine.Deliver(cmd).ok());
+    }
+    EXPECT_EQ(machine.running(), final_state) << "trial " << trial;
+  }
+}
+
+TEST(FireAlarmTest, PairsAreOrdered) {
+  LocalKronos kronos;
+  FireAlarm alarm(kronos);
+  auto fire = alarm.ReportFire(1);
+  auto out = alarm.ReportFireOut(1);
+  ASSERT_TRUE(fire.ok() && out.ok());
+  EXPECT_EQ(*kronos.QueryOrderOne(fire->event, out->event), Order::kBefore);
+}
+
+TEST(FireAlarmTest, FireOutWithoutFireRejected) {
+  LocalKronos kronos;
+  FireAlarm alarm(kronos);
+  EXPECT_EQ(alarm.ReportFireOut(9).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FireAlarmTest, DoubleReportRejected) {
+  LocalKronos kronos;
+  FireAlarm alarm(kronos);
+  ASSERT_TRUE(alarm.ReportFire(1).ok());
+  EXPECT_EQ(alarm.ReportFire(1).status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(alarm.ReportFireOut(1).ok());
+  EXPECT_EQ(alarm.ReportFireOut(1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FireAlarmTest, DelayedFireOutExtinguishesOnlyItsFire) {
+  // The CATOCS fire-alarm failure: a delayed "fire out" must not make a LATER fire look
+  // extinguished.
+  LocalKronos kronos;
+  FireAlarm alarm(kronos);
+  Extinguisher ext(kronos);
+  auto fire1 = alarm.ReportFire(1);
+  auto out1 = alarm.ReportFireOut(1);
+  auto fire2 = alarm.ReportFire(2);
+  // Delivery order: fire1, fire2, THEN the delayed out1.
+  ASSERT_TRUE(ext.Deliver(*fire1).ok());
+  ASSERT_TRUE(ext.Deliver(*fire2).ok());
+  ASSERT_TRUE(ext.Deliver(*out1).ok());
+  EXPECT_EQ(ext.Burning(), std::set<FireId>{2});
+}
+
+TEST(FireAlarmTest, AnyDeliveryOrderYieldsSameBurningSet) {
+  LocalKronos kronos;
+  FireAlarm alarm(kronos);
+  std::vector<FireMessage> msgs;
+  for (FireId id = 1; id <= 6; ++id) {
+    msgs.push_back(*alarm.ReportFire(id));
+    if (id % 2 == 0) {
+      msgs.push_back(*alarm.ReportFireOut(id));
+    }
+  }
+  const std::set<FireId> expected{1, 3, 5};
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<FireMessage> shuffled = msgs;
+    rng.Shuffle(shuffled);
+    Extinguisher ext(kronos);
+    for (const auto& m : shuffled) {
+      ASSERT_TRUE(ext.Deliver(m).ok());
+    }
+    EXPECT_EQ(ext.Burning(), expected) << "trial " << trial;
+  }
+}
+
+TEST(FailSafeTest, FireStopsMachineAndFireOutRestartsIt) {
+  LocalKronos kronos;
+  FireAlarm alarm(kronos);
+  ControlUnit unit(kronos);
+  FailSafe failsafe(kronos, unit);
+  ShopFloorMachine machine(kronos);
+
+  ASSERT_TRUE(*machine.Deliver(*unit.Start()));
+  EXPECT_TRUE(machine.running());
+
+  auto fire = alarm.ReportFire(1);
+  auto stop_cmd = failsafe.React(*fire);
+  ASSERT_TRUE(stop_cmd.ok());
+  ASSERT_TRUE(*machine.Deliver(*stop_cmd));
+  EXPECT_FALSE(machine.running());
+
+  auto out = alarm.ReportFireOut(1);
+  auto start_cmd = failsafe.React(*out);
+  ASSERT_TRUE(start_cmd.ok());
+  ASSERT_TRUE(*machine.Deliver(*start_cmd));
+  EXPECT_TRUE(machine.running());
+
+  // The whole causal chain is recorded: fire -> stop, fire -> fire_out, fire_out -> start.
+  EXPECT_EQ(*kronos.QueryOrderOne(fire->event, stop_cmd->event), Order::kBefore);
+  EXPECT_EQ(*kronos.QueryOrderOne(out->event, start_cmd->event), Order::kBefore);
+  EXPECT_EQ(*kronos.QueryOrderOne(fire->event, start_cmd->event), Order::kBefore);
+}
+
+TEST(FailSafeTest, ReorderedFailSafeCommandsStillConverge) {
+  // Even if the fail-safe's stop and restart commands are delivered out of order, the machine
+  // ends in the correct state because the commands are chained in Kronos.
+  LocalKronos kronos;
+  FireAlarm alarm(kronos);
+  ControlUnit unit(kronos);
+  FailSafe failsafe(kronos, unit);
+  ShopFloorMachine machine(kronos);
+
+  auto fire = alarm.ReportFire(1);
+  auto stop_cmd = failsafe.React(*fire);
+  auto out = alarm.ReportFireOut(1);
+  auto start_cmd = failsafe.React(*out);
+
+  // Deliver restart first, then the stale stop.
+  ASSERT_TRUE(*machine.Deliver(*start_cmd));
+  EXPECT_FALSE(*machine.Deliver(*stop_cmd));
+  EXPECT_TRUE(machine.running());
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,126 @@
+// The Fig. 1 scenario end-to-end, including the adversarial delivery order the paper warns
+// about: the ACL store must never serve a photo's check from a state that predates the ACL
+// the photo was published under.
+#include "src/apps/photo_app.h"
+
+#include <gtest/gtest.h>
+
+#include "src/client/local.h"
+
+namespace kronos {
+namespace {
+
+constexpr uint64_t kAlice = 1;
+constexpr uint64_t kBob = 2;
+constexpr uint64_t kMallory = 666;
+constexpr AlbumId kAlbum = 10;
+
+TEST(PhotoAppTest, HappyPathLike) {
+  LocalKronos kronos;
+  PhotoApp app(kronos);
+  ASSERT_TRUE(app.SetAlbumAcl(kAlbum, {kAlice, kBob}).ok());
+  const PhotoId photo = *app.UploadPhoto(kAlice, kAlbum, "vacation.jpg");
+  ASSERT_TRUE(app.TagUser(kAlice, photo, kBob).ok());
+  Result<bool> liked = app.Like(kBob, photo);
+  ASSERT_TRUE(liked.ok()) << liked.status().ToString();
+  EXPECT_TRUE(*liked);
+  EXPECT_EQ(*app.LikesOf(photo), (std::vector<uint64_t>{kBob}));
+}
+
+TEST(PhotoAppTest, AclDeniesOutsiders) {
+  LocalKronos kronos;
+  PhotoApp app(kronos);
+  ASSERT_TRUE(app.SetAlbumAcl(kAlbum, {kAlice, kBob}).ok());
+  const PhotoId photo = *app.UploadPhoto(kAlice, kAlbum, "x");
+  Result<bool> liked = app.Like(kMallory, photo);
+  ASSERT_TRUE(liked.ok());
+  EXPECT_FALSE(*liked);
+  EXPECT_TRUE(app.LikesOf(photo)->empty());
+}
+
+TEST(PhotoAppTest, Figure1RaceNeverServesStaleAcl) {
+  // Alice's album was public; she restricts it (A), uploads + tags (B), Bob likes (C). The
+  // RESTRICTING ACL write is delivered to the store LATE — after the like arrives.
+  LocalKronos kronos;
+  PhotoApp app(kronos);
+  ASSERT_TRUE(app.SetAlbumAcl(kAlbum, {kAlice, kBob, kMallory}).ok());  // old, public ACL
+
+  auto restricted = app.SetAlbumAcl(kAlbum, {kAlice, kBob}, /*deliver=*/false);  // A, in flight
+  ASSERT_TRUE(restricted.ok());
+  const PhotoId photo = *app.UploadPhoto(kAlice, kAlbum, "private.jpg");  // B1
+  ASSERT_TRUE(app.TagUser(kAlice, photo, kBob).ok());                     // B2
+
+  // A Kronos-less store would answer from the latest APPLIED state — the public ACL — and
+  // expose the photo (the paper's "disastrous situation"):
+  EXPECT_TRUE(app.acl_store().ReadLatestApplied(kAlbum)->count(kMallory) == 1);
+
+  // The Kronos-aware check refuses instead: the dependency has not been applied.
+  Result<bool> like = app.Like(kBob, photo);
+  ASSERT_FALSE(like.ok());
+  EXPECT_EQ(like.status().code(), StatusCode::kUnavailable);
+
+  // The delayed write arrives; the retried like now succeeds, and Mallory is still locked out.
+  ASSERT_TRUE(app.acl_store().Deliver(*restricted).ok());
+  like = app.Like(kBob, photo);
+  ASSERT_TRUE(like.ok());
+  EXPECT_TRUE(*like);
+  Result<bool> mallory = app.Like(kMallory, photo);
+  ASSERT_TRUE(mallory.ok());
+  EXPECT_FALSE(*mallory);
+}
+
+TEST(PhotoAppTest, OutOfOrderAclDeliveryLandsInTimelineOrder) {
+  LocalKronos kronos;
+  PhotoApp app(kronos);
+  auto w1 = app.SetAlbumAcl(kAlbum, {kAlice}, /*deliver=*/false);
+  auto w2 = app.SetAlbumAcl(kAlbum, {kAlice, kBob}, /*deliver=*/false);
+  auto w3 = app.SetAlbumAcl(kAlbum, {kAlice, kBob, kMallory}, /*deliver=*/false);
+  ASSERT_TRUE(w1.ok() && w2.ok() && w3.ok());
+  // Deliver in reversed order; reads as-of each write still see that write's exact ACL.
+  ASSERT_TRUE(app.acl_store().Deliver(*w3).ok());
+  ASSERT_TRUE(app.acl_store().Deliver(*w1).ok());
+  ASSERT_TRUE(app.acl_store().Deliver(*w2).ok());
+  EXPECT_EQ(*app.acl_store().ReadRequiring(kAlbum, w1->event), std::set<uint64_t>{kAlice});
+  EXPECT_EQ(*app.acl_store().ReadRequiring(kAlbum, w2->event),
+            (std::set<uint64_t>{kAlice, kBob}));
+  // And "latest applied" is the timeline-latest (w3), not the delivery-latest (w2).
+  EXPECT_EQ(app.acl_store().ReadLatestApplied(kAlbum)->size(), 3u);
+}
+
+TEST(PhotoAppTest, CrossSystemOrderIsRecordedInKronos) {
+  LocalKronos kronos;
+  PhotoApp app(kronos);
+  auto acl = app.SetAlbumAcl(kAlbum, {kAlice, kBob});
+  const PhotoId photo = *app.UploadPhoto(kAlice, kAlbum, "x");
+  ASSERT_TRUE(app.TagUser(kAlice, photo, kBob).ok());
+  ASSERT_TRUE(*app.Like(kBob, photo));
+  // The transitive chain A -> ... -> (like) is visible to ANY component via query_order —
+  // including the KV store, which never saw the upload or the tag (Fig. 1's point).
+  // Find the like's event indirectly: the ACL event must precede everything later.
+  const EventId like_probe = *kronos.CreateEvent();
+  // acl.event happened before the photo upload, transitively before anything ordered after.
+  EXPECT_EQ(*kronos.QueryOrderOne(acl->event, like_probe), Order::kConcurrent);
+  auto photo_blob = app.blob_store().Get(photo);
+  ASSERT_TRUE(photo_blob.ok());
+  EXPECT_EQ(*photo_blob, "x");
+}
+
+TEST(PhotoAppTest, LikeOnUntaggedPhotoChainsAfterUpload) {
+  LocalKronos kronos;
+  PhotoApp app(kronos);
+  ASSERT_TRUE(app.SetAlbumAcl(kAlbum, {kAlice, kBob}).ok());
+  const PhotoId photo = *app.UploadPhoto(kAlice, kAlbum, "x");
+  Result<bool> like = app.Like(kBob, photo);  // no tag: chains after the upload itself
+  ASSERT_TRUE(like.ok());
+  EXPECT_TRUE(*like);
+}
+
+TEST(PhotoAppTest, UnknownPhotoRejected) {
+  LocalKronos kronos;
+  PhotoApp app(kronos);
+  EXPECT_EQ(app.Like(kBob, 999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(app.TagUser(kAlice, 999, kBob).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace kronos

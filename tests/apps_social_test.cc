@@ -1,0 +1,159 @@
+#include "src/apps/social.h"
+
+#include <gtest/gtest.h>
+
+#include "src/client/local.h"
+#include "src/common/random.h"
+
+namespace kronos {
+namespace {
+
+std::vector<MessageId> Ids(const std::vector<TimelineMessage>& msgs) {
+  std::vector<MessageId> out;
+  for (const auto& m : msgs) {
+    out.push_back(m.id);
+  }
+  return out;
+}
+
+size_t IndexOf(const std::vector<TimelineMessage>& msgs, MessageId id) {
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    if (msgs[i].id == id) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+TEST(SocialTest, EmptyTimeline) {
+  LocalKronos kronos;
+  SocialNetwork sn(kronos);
+  auto tl = sn.RenderTimeline(1);
+  ASSERT_TRUE(tl.ok());
+  EXPECT_TRUE(tl->empty());
+}
+
+TEST(SocialTest, PostsAppearOnFriendsTimelines) {
+  LocalKronos kronos;
+  SocialNetwork sn(kronos);
+  sn.AddFriendship(1, 2);
+  const MessageId m = *sn.Post(1, "hello");
+  auto tl2 = sn.RenderTimeline(2);
+  ASSERT_TRUE(tl2.ok());
+  EXPECT_EQ(Ids(*tl2), std::vector<MessageId>{m});
+  // Non-friends see nothing.
+  auto tl3 = sn.RenderTimeline(3);
+  ASSERT_TRUE(tl3.ok());
+  EXPECT_TRUE(tl3->empty());
+}
+
+TEST(SocialTest, UnrelatedPostsKeepArrivalOrder) {
+  LocalKronos kronos;
+  SocialNetwork sn(kronos);
+  sn.AddFriendship(1, 2);
+  sn.AddFriendship(1, 3);
+  const MessageId a = *sn.Post(2, "from 2");
+  const MessageId b = *sn.Post(3, "from 3");
+  auto tl = sn.RenderTimeline(1);
+  ASSERT_TRUE(tl.ok());
+  EXPECT_EQ(Ids(*tl), (std::vector<MessageId>{a, b}));
+}
+
+TEST(SocialTest, ReplyNeverPrecedesParent) {
+  LocalKronos kronos;
+  SocialNetwork sn(kronos);
+  sn.AddFriendship(1, 2);
+  const MessageId post = *sn.Post(1, "original");
+  const MessageId reply = *sn.Reply(2, "reply", post);
+  auto tl = sn.RenderTimeline(1);
+  ASSERT_TRUE(tl.ok());
+  EXPECT_LT(IndexOf(*tl, post), IndexOf(*tl, reply));
+}
+
+TEST(SocialTest, ReplyToMissingMessageFails) {
+  LocalKronos kronos;
+  SocialNetwork sn(kronos);
+  EXPECT_EQ(sn.Reply(1, "?", 999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SocialTest, DeepReplyChainRendersInOrder) {
+  LocalKronos kronos;
+  SocialNetwork sn(kronos);
+  sn.AddFriendship(1, 2);
+  MessageId parent = *sn.Post(1, "root");
+  std::vector<MessageId> chain{parent};
+  for (int i = 0; i < 10; ++i) {
+    parent = *sn.Reply(i % 2 == 0 ? 2 : 1, "reply " + std::to_string(i), parent);
+    chain.push_back(parent);
+  }
+  auto tl = sn.RenderTimeline(1);
+  ASSERT_TRUE(tl.ok());
+  for (size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LT(IndexOf(*tl, chain[i - 1]), IndexOf(*tl, chain[i]));
+  }
+}
+
+TEST(SocialTest, InterleavedConversationsOnlyConstrainWithinThread) {
+  LocalKronos kronos;
+  SocialNetwork sn(kronos);
+  sn.AddFriendship(1, 2);
+  sn.AddFriendship(1, 3);
+  const MessageId t1 = *sn.Post(2, "thread1");
+  const MessageId t2 = *sn.Post(3, "thread2");
+  const MessageId r1 = *sn.Reply(1, "re: thread1", t1);
+  const MessageId r2 = *sn.Reply(1, "re: thread2", t2);
+  auto tl = sn.RenderTimeline(1);
+  ASSERT_TRUE(tl.ok());
+  EXPECT_LT(IndexOf(*tl, t1), IndexOf(*tl, r1));
+  EXPECT_LT(IndexOf(*tl, t2), IndexOf(*tl, r2));
+  // Unrelated posts stay in arrival order.
+  EXPECT_LT(IndexOf(*tl, t1), IndexOf(*tl, t2));
+}
+
+TEST(SocialTest, RandomizedThreadsRespectAllReplyEdges) {
+  LocalKronos kronos;
+  SocialNetwork sn(kronos);
+  for (UserId u = 1; u <= 5; ++u) {
+    sn.AddFriendship(0, u);
+  }
+  Rng rng(77);
+  std::vector<MessageId> all;
+  std::vector<std::pair<MessageId, MessageId>> reply_edges;
+  for (int i = 0; i < 60; ++i) {
+    const UserId author = 1 + rng.Uniform(5);
+    if (all.empty() || rng.Bernoulli(0.4)) {
+      all.push_back(*sn.Post(author, "p"));
+    } else {
+      const MessageId parent = all[rng.Uniform(all.size())];
+      const MessageId reply = *sn.Reply(author, "r", parent);
+      reply_edges.push_back({parent, reply});
+      all.push_back(reply);
+    }
+  }
+  auto tl = sn.RenderTimeline(0);
+  ASSERT_TRUE(tl.ok());
+  ASSERT_EQ(tl->size(), all.size());
+  for (const auto& [parent, reply] : reply_edges) {
+    EXPECT_LT(IndexOf(*tl, parent), IndexOf(*tl, reply));
+  }
+}
+
+TEST(TopoSortTest, StableWithoutConstraints) {
+  std::vector<TimelineMessage> msgs(3);
+  msgs[0].id = 10;
+  msgs[1].id = 20;
+  msgs[2].id = 30;
+  auto sorted = TopologicalSortByOrders(msgs, {});
+  EXPECT_EQ(Ids(sorted), (std::vector<MessageId>{10, 20, 30}));
+}
+
+TEST(TopoSortTest, RespectsAfterRelation) {
+  std::vector<TimelineMessage> msgs(2);
+  msgs[0].id = 10;  // arrived first but ordered after
+  msgs[1].id = 20;
+  auto sorted = TopologicalSortByOrders(msgs, {{{0, 1}, Order::kAfter}});
+  EXPECT_EQ(Ids(sorted), (std::vector<MessageId>{20, 10}));
+}
+
+}  // namespace
+}  // namespace kronos

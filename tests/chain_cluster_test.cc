@@ -1,0 +1,354 @@
+// Integration tests: client -> chain-replicated Kronos cluster, including failure handling.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/server/cluster.h"
+
+namespace kronos {
+namespace {
+
+KronosCluster::Options FastClusterOptions(size_t replicas) {
+  KronosCluster::Options opts;
+  opts.replicas = replicas;
+  opts.coordinator.failure_timeout_us = 200'000;
+  opts.coordinator.check_interval_us = 50'000;
+  opts.replica.heartbeat_interval_us = 30'000;
+  return opts;
+}
+
+KronosClient::Options FastClientOptions() {
+  KronosClient::Options opts;
+  opts.call_timeout_us = 300'000;
+  opts.retry_backoff_us = 20'000;
+  return opts;
+}
+
+TEST(ClusterTest, SingleReplicaEndToEnd) {
+  KronosCluster cluster(FastClusterOptions(1));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+
+  Result<EventId> a = client->CreateEvent();
+  Result<EventId> b = client->CreateEvent();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+
+  auto outcomes = client->AssignOrder({{*a, *b, Constraint::kMust}});
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  EXPECT_EQ((*outcomes)[0], AssignOutcome::kCreated);
+
+  auto orders = client->QueryOrder({{*a, *b}});
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ((*orders)[0], Order::kBefore);
+}
+
+TEST(ClusterTest, ThreeReplicaChainCommitsEverywhere) {
+  KronosCluster cluster(FastClusterOptions(3));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+
+  const EventId a = *client->CreateEvent();
+  const EventId b = *client->CreateEvent();
+  const EventId c = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{a, b, Constraint::kMust}, {b, c, Constraint::kMust}}).ok());
+
+  ASSERT_TRUE(cluster.WaitForConvergence(2'000'000));
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    EXPECT_EQ(cluster.replica(i).live_events(), 3u) << "replica " << i;
+    EXPECT_EQ(cluster.replica(i).last_applied(), 4u) << "replica " << i;
+  }
+}
+
+TEST(ClusterTest, MustViolationPropagatesToClient) {
+  KronosCluster cluster(FastClusterOptions(2));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+  const EventId a = *client->CreateEvent();
+  const EventId b = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{a, b, Constraint::kMust}}).ok());
+  auto r = client->AssignOrder({{b, a, Constraint::kMust}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOrderViolation);
+}
+
+TEST(ClusterTest, StaleReadsFromAllReplicas) {
+  KronosCluster cluster(FastClusterOptions(3));
+  KronosClient::Options copts = FastClientOptions();
+  copts.read_policy = KronosClient::ReadPolicy::kRoundRobin;
+  auto client = cluster.MakeClient("c", copts);
+
+  const EventId a = *client->CreateEvent();
+  const EventId b = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{a, b, Constraint::kMust}}).ok());
+  ASSERT_TRUE(cluster.WaitForConvergence(2'000'000));
+
+  // Round-robin spreads queries over replicas; the answer must be identical everywhere.
+  for (int i = 0; i < 9; ++i) {
+    auto orders = client->QueryOrder({{a, b}});
+    ASSERT_TRUE(orders.ok());
+    EXPECT_EQ((*orders)[0], Order::kBefore);
+  }
+  uint64_t served = 0;
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    served += cluster.replica(i).stats().queries_served;
+  }
+  EXPECT_GE(served, 9u);
+  // More than one replica participated.
+  int participating = 0;
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    participating += cluster.replica(i).stats().queries_served > 0 ? 1 : 0;
+  }
+  EXPECT_GT(participating, 1);
+}
+
+TEST(ClusterTest, ConcurrentVerdictRevalidatedAtTail) {
+  KronosCluster cluster(FastClusterOptions(3));
+  KronosClient::Options copts = FastClientOptions();
+  copts.read_policy = KronosClient::ReadPolicy::kHead;  // force non-tail reads
+  auto client = cluster.MakeClient("c", copts);
+  const EventId a = *client->CreateEvent();
+  const EventId b = *client->CreateEvent();
+  auto orders = client->QueryOrder({{a, b}});
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ((*orders)[0], Order::kConcurrent);
+  EXPECT_GE(client->stats().tail_revalidations, 1u);
+}
+
+TEST(ClusterTest, ReferenceCountingAndGcAcrossChain) {
+  KronosCluster cluster(FastClusterOptions(2));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+  const EventId a = *client->CreateEvent();
+  const EventId b = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{a, b, Constraint::kMust}}).ok());
+  ASSERT_TRUE(client->AcquireRef(a).ok());
+  EXPECT_EQ(*client->ReleaseRef(a), 0u);  // still one ref
+  EXPECT_EQ(*client->ReleaseRef(b), 0u);  // pinned by a
+  EXPECT_EQ(*client->ReleaseRef(a), 2u);  // collects a and b
+  ASSERT_TRUE(cluster.WaitForConvergence(2'000'000));
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    EXPECT_EQ(cluster.replica(i).live_events(), 0u);
+  }
+}
+
+TEST(ClusterTest, ManyConcurrentClients) {
+  KronosCluster cluster(FastClusterOptions(3));
+  constexpr int kClients = 8;
+  constexpr int kOpsEach = 30;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = cluster.MakeClient("c" + std::to_string(c), FastClientOptions());
+      EventId prev = kInvalidEvent;
+      for (int i = 0; i < kOpsEach; ++i) {
+        Result<EventId> e = client->CreateEvent();
+        if (!e.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (prev != kInvalidEvent) {
+          auto r = client->AssignOrder({{prev, *e, Constraint::kMust}});
+          if (!r.ok()) {
+            failures.fetch_add(1);
+          }
+          auto q = client->QueryOrder({{prev, *e}});
+          if (!q.ok() || (*q)[0] != Order::kBefore) {
+            failures.fetch_add(1);
+          }
+        }
+        prev = *e;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(cluster.WaitForConvergence(5'000'000));
+  // Every client's per-session chain is intact on every replica.
+  EXPECT_EQ(cluster.replica(0).live_events(), kClients * kOpsEach);
+}
+
+TEST(ClusterTest, MiddleReplicaFailureIsTransparent) {
+  KronosCluster cluster(FastClusterOptions(3));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+
+  const EventId a = *client->CreateEvent();
+  const EventId b = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{a, b, Constraint::kMust}}).ok());
+
+  cluster.KillReplica(1);  // the middle of the 3-chain
+
+  // Operations continue to succeed (retries ride out the reconfiguration window).
+  const EventId c = *client->CreateEvent();
+  auto r = client->AssignOrder({{b, c, Constraint::kMust}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto q = client->QueryOrder({{a, c}});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)[0], Order::kBefore);
+
+  // Eventually the coordinator reconfigures down to two replicas.
+  const uint64_t deadline = MonotonicMicros() + 3'000'000;
+  while (cluster.coordinator().GetConfig().chain.size() != 2 && MonotonicMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(cluster.coordinator().GetConfig().chain.size(), 2u);
+}
+
+TEST(ClusterTest, TailFailureRepliesStillArrive) {
+  KronosCluster cluster(FastClusterOptions(3));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+  const EventId a = *client->CreateEvent();
+  cluster.KillReplica(2);  // tail
+  const EventId b = *client->CreateEvent();  // must still commit (after reconfig)
+  auto r = client->AssignOrder({{a, b, Constraint::kMust}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(ClusterTest, HeadFailurePromotesSuccessor) {
+  KronosCluster cluster(FastClusterOptions(3));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+  const EventId a = *client->CreateEvent();
+  cluster.KillReplica(0);  // head
+  const EventId b = *client->CreateEvent();
+  auto r = client->AssignOrder({{a, b, Constraint::kMust}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto q = client->QueryOrder({{a, b}});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)[0], Order::kBefore);
+}
+
+TEST(ClusterTest, NewReplicaJoinsAndCatchesUp) {
+  KronosCluster cluster(FastClusterOptions(2));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(*client->CreateEvent());
+  }
+  for (size_t i = 1; i < ids.size(); ++i) {
+    ASSERT_TRUE(client->AssignOrder({{ids[i - 1], ids[i], Constraint::kMust}}).ok());
+  }
+
+  const size_t joined = cluster.AddReplica("late-joiner");
+  // The new tail pulls the full history from its predecessor.
+  const uint64_t deadline = MonotonicMicros() + 5'000'000;
+  while (cluster.replica(joined).last_applied() < 99 && MonotonicMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(cluster.replica(joined).last_applied(), 99u);
+  EXPECT_EQ(cluster.replica(joined).live_events(), 50u);
+
+  // And participates in commits thereafter.
+  const EventId z = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{ids.back(), z, Constraint::kMust}}).ok());
+  ASSERT_TRUE(cluster.WaitForConvergence(3'000'000));
+  EXPECT_EQ(cluster.replica(joined).live_events(), 51u);
+}
+
+TEST(ClusterTest, KillAndReaddRestoresFaultTolerance) {
+  // The Fig. 13 scenario end-to-end: kill the middle server, keep operating, add a fresh
+  // server, and verify the chain is back to 3 replicas with full state.
+  KronosCluster cluster(FastClusterOptions(3));
+  auto client = cluster.MakeClient("c", FastClientOptions());
+  const EventId a = *client->CreateEvent();
+  cluster.KillReplica(1);
+  const EventId b = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{a, b, Constraint::kMust}}).ok());
+
+  const uint64_t deadline = MonotonicMicros() + 3'000'000;
+  while (cluster.coordinator().GetConfig().chain.size() != 2 && MonotonicMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(cluster.coordinator().GetConfig().chain.size(), 2u);
+
+  const size_t fresh = cluster.AddReplica("replacement");
+  const uint64_t deadline2 = MonotonicMicros() + 5'000'000;
+  while (cluster.replica(fresh).last_applied() < 3 && MonotonicMicros() < deadline2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(cluster.coordinator().GetConfig().chain.size(), 3u);
+  EXPECT_EQ(cluster.replica(fresh).live_events(), 2u);
+  auto q = client->QueryOrder({{a, b}});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)[0], Order::kBefore);
+}
+
+TEST(ClusterTest, FreshJoinerInstallsSnapshotWhenLogIsLong) {
+  KronosCluster::Options opts = FastClusterOptions(2);
+  opts.replica.snapshot_resync_threshold = 16;  // force the snapshot path for the joiner
+  KronosCluster cluster(opts);
+  auto client = cluster.MakeClient("c", FastClientOptions());
+  std::vector<EventId> ids;
+  for (int i = 0; i < 60; ++i) {
+    ids.push_back(*client->CreateEvent());
+    if (i > 0) {
+      ASSERT_TRUE(client->AssignOrder({{ids[i - 1], ids[i], Constraint::kMust}}).ok());
+    }
+  }
+
+  const size_t joined = cluster.AddReplica("snapshot-joiner");
+  const uint64_t deadline = MonotonicMicros() + 5'000'000;
+  while (cluster.replica(joined).last_applied() < 119 && MonotonicMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(cluster.replica(joined).last_applied(), 119u);
+  EXPECT_EQ(cluster.replica(joined).live_events(), 60u);
+  EXPECT_EQ(cluster.replica(joined).stats().snapshots_installed, 1u);
+  // The graph state transferred exactly: orders answer identically via the new tail.
+  auto q = client->QueryOrder({{ids.front(), ids.back()}});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)[0], Order::kBefore);
+  // And new commits flow through the extended chain.
+  const EventId z = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{ids.back(), z, Constraint::kMust}}).ok());
+  ASSERT_TRUE(cluster.WaitForConvergence(3'000'000));
+  EXPECT_EQ(cluster.replica(joined).live_events(), 61u);
+}
+
+TEST(ClusterTest, LogTruncationKeepsChainCorrect) {
+  KronosCluster::Options opts = FastClusterOptions(2);
+  opts.replica.max_log_entries = 32;  // aggressive truncation
+  opts.replica.snapshot_resync_threshold = 16;
+  KronosCluster cluster(opts);
+  auto client = cluster.MakeClient("c", FastClientOptions());
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(*client->CreateEvent());
+  }
+  ASSERT_TRUE(cluster.WaitForConvergence(5'000'000));
+  EXPECT_GT(cluster.replica(0).stats().log_truncations, 0u);
+
+  // A fresh joiner can still be brought up (snapshot path, since the prefix is gone).
+  const size_t joined = cluster.AddReplica("post-truncation-joiner");
+  const uint64_t deadline = MonotonicMicros() + 5'000'000;
+  while (cluster.replica(joined).last_applied() < 200 && MonotonicMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(cluster.replica(joined).live_events(), 200u);
+  EXPECT_GE(cluster.replica(joined).stats().snapshots_installed, 1u);
+  auto q = client->QueryOrder({{ids[0], ids[1]}});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)[0], Order::kConcurrent);
+}
+
+TEST(ClusterTest, ClientCacheServesRepeatQueries) {
+  KronosCluster cluster(FastClusterOptions(2));
+  KronosClient::Options copts = FastClientOptions();
+  copts.use_order_cache = true;
+  auto client = cluster.MakeClient("c", copts);
+  const EventId a = *client->CreateEvent();
+  const EventId b = *client->CreateEvent();
+  ASSERT_TRUE(client->AssignOrder({{a, b, Constraint::kMust}}).ok());
+  ASSERT_TRUE(client->QueryOrder({{a, b}}).ok());
+  const uint64_t calls_before = client->stats().calls_sent;
+  for (int i = 0; i < 10; ++i) {
+    auto orders = client->QueryOrder({{a, b}});
+    ASSERT_TRUE(orders.ok());
+    EXPECT_EQ((*orders)[0], Order::kBefore);
+  }
+  EXPECT_EQ(client->stats().calls_sent, calls_before);  // all served from cache
+  EXPECT_GE(client->stats().cache_hits, 10u);
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,105 @@
+#include "src/chain/control.h"
+
+#include <gtest/gtest.h>
+
+namespace kronos {
+namespace {
+
+TEST(ChainConfigTest, HeadAndTail) {
+  ChainConfig cfg{3, {10, 11, 12}};
+  EXPECT_EQ(cfg.head(), 10u);
+  EXPECT_EQ(cfg.tail(), 12u);
+  EXPECT_TRUE(cfg.Contains(11));
+  EXPECT_FALSE(cfg.Contains(13));
+}
+
+TEST(ChainConfigTest, EmptyChain) {
+  ChainConfig cfg;
+  EXPECT_EQ(cfg.head(), kInvalidNode);
+  EXPECT_EQ(cfg.tail(), kInvalidNode);
+  EXPECT_FALSE(cfg.Contains(0));
+}
+
+TEST(ControlCodecTest, HeartbeatRoundTrip) {
+  const ControlMessage msg = ControlMessage::Heartbeat(7);
+  auto parsed = ParseControl(SerializeControl(msg));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, ControlType::kHeartbeat);
+  EXPECT_EQ(parsed->node, 7u);
+}
+
+TEST(ControlCodecTest, ConfigRoundTrip) {
+  const ChainConfig cfg{42, {1, 2, 3, 4}};
+  auto parsed = ParseControl(SerializeControl(ControlMessage::Config(cfg)));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, ControlType::kConfig);
+  EXPECT_EQ(parsed->ToConfig(), cfg);
+}
+
+TEST(ControlCodecTest, ResendRequestRoundTrip) {
+  auto parsed = ParseControl(SerializeControl(ControlMessage::ResendRequest(101, 5)));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, ControlType::kResendRequest);
+  EXPECT_EQ(parsed->seq, 101u);
+  EXPECT_EQ(parsed->node, 5u);
+}
+
+TEST(ControlCodecTest, GetConfigRoundTrip) {
+  auto parsed = ParseControl(SerializeControl(ControlMessage::GetConfig()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, ControlType::kGetConfig);
+}
+
+TEST(ControlCodecTest, RejectsBadType) {
+  std::vector<uint8_t> bytes = SerializeControl(ControlMessage::GetConfig());
+  bytes[0] = 99;
+  EXPECT_FALSE(ParseControl(bytes).ok());
+}
+
+TEST(ControlCodecTest, RejectsTruncation) {
+  std::vector<uint8_t> bytes = SerializeControl(ControlMessage::Config(ChainConfig{1, {1, 2}}));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> t(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(ParseControl(t).ok()) << cut;
+  }
+}
+
+TEST(ControlCodecTest, RejectsChainLengthBomb) {
+  BufferWriter w;
+  w.WriteU8(static_cast<uint8_t>(ControlType::kConfig));
+  w.WriteVarint(1);
+  w.WriteU32(0);
+  w.WriteVarint(0);
+  w.WriteVarint(1u << 30);  // claims a billion chain members
+  EXPECT_FALSE(ParseControl(w.buffer()).ok());
+}
+
+TEST(LogEntryCodecTest, RoundTrip) {
+  LogEntry entry;
+  entry.seq = 99;
+  entry.client = 3;
+  entry.client_request_id = 777;
+  entry.command = {1, 2, 3, 4, 5};
+  auto parsed = ParseLogEntry(SerializeLogEntry(entry));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, entry);
+}
+
+TEST(LogEntryCodecTest, EmptyCommandRoundTrip) {
+  LogEntry entry;
+  entry.seq = 1;
+  auto parsed = ParseLogEntry(SerializeLogEntry(entry));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, entry);
+}
+
+TEST(LogEntryCodecTest, RejectsLengthMismatch) {
+  LogEntry entry;
+  entry.command = {1, 2, 3};
+  std::vector<uint8_t> bytes = SerializeLogEntry(entry);
+  bytes.push_back(0);
+  EXPECT_FALSE(ParseLogEntry(bytes).ok());
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,148 @@
+// Property tests for the replicated deployment: the §2.1 invariants must hold ACROSS replica
+// failures and reconfigurations — every ordered answer any client ever received stays true
+// after arbitrary kills, promotions, and a replacement join.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/server/cluster.h"
+
+namespace kronos {
+namespace {
+
+KronosCluster::Options PropClusterOptions() {
+  KronosCluster::Options opts;
+  opts.replicas = 3;
+  opts.coordinator.failure_timeout_us = 200'000;
+  opts.coordinator.check_interval_us = 50'000;
+  opts.replica.heartbeat_interval_us = 30'000;
+  return opts;
+}
+
+KronosClient::Options PropClientOptions() {
+  KronosClient::Options opts;
+  opts.call_timeout_us = 300'000;
+  opts.retry_backoff_us = 20'000;
+  return opts;
+}
+
+TEST(ChainPropertyTest, MonotonicityHoldsAcrossFailover) {
+  KronosCluster cluster(PropClusterOptions());
+
+  // Phase 1: concurrent clients build ordering state and remember every ordered answer.
+  constexpr int kClients = 4;
+  std::vector<std::vector<std::pair<EventPair, Order>>> promises(kClients);
+  std::vector<std::vector<EventId>> created(kClients);
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = cluster.MakeClient("p" + std::to_string(c), PropClientOptions());
+      Rng rng(c + 1);
+      for (int i = 0; i < 40; ++i) {
+        Result<EventId> e = client->CreateEvent();
+        if (!e.ok()) {
+          failed.store(true);
+          return;
+        }
+        created[c].push_back(*e);
+        if (created[c].size() >= 2 && rng.Bernoulli(0.7)) {
+          const EventId e1 = created[c][rng.Uniform(created[c].size())];
+          const EventId e2 = created[c][rng.Uniform(created[c].size())];
+          if (e1 != e2) {
+            (void)client->AssignOrder({{e1, e2, Constraint::kPrefer}});
+          }
+        }
+        if (created[c].size() >= 2) {
+          const EventId e1 = created[c][rng.Uniform(created[c].size())];
+          const EventId e2 = created[c][rng.Uniform(created[c].size())];
+          if (e1 != e2) {
+            auto q = client->QueryOrder({{e1, e2}});
+            if (q.ok() && (*q)[0] != Order::kConcurrent) {
+              promises[c].push_back({{e1, e2}, (*q)[0]});
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  ASSERT_FALSE(failed.load());
+
+  // Phase 2: kill the head, wait for reconfiguration, add a replacement.
+  cluster.KillReplica(0);
+  const uint64_t deadline = MonotonicMicros() + 3'000'000;
+  while (cluster.coordinator().GetConfig().chain.size() != 2 && MonotonicMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(cluster.coordinator().GetConfig().chain.size(), 2u);
+  cluster.AddReplica("replacement");
+
+  // Phase 3: every promise still holds, queried through a fresh client over the new chain.
+  auto verifier = cluster.MakeClient("verifier", PropClientOptions());
+  size_t checked = 0;
+  for (int c = 0; c < kClients; ++c) {
+    for (const auto& [pair, order] : promises[c]) {
+      auto q = verifier->QueryOrder({pair});
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      EXPECT_EQ((*q)[0], order) << "order retracted across failover";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  // And the survivors plus the replacement converge to identical state.
+  ASSERT_TRUE(cluster.WaitForConvergence(10'000'000));
+}
+
+TEST(ChainPropertyTest, ReplicasStayByteIdenticalUnderLoad) {
+  // Drive mixed traffic, then compare replica state machines via their engine counters (the
+  // snapshot-equality test lives in core; here we check the replicated deployment converges).
+  KronosCluster::Options opts = PropClusterOptions();
+  opts.coordinator.check_interval_us = 0;  // no failures in this test
+  KronosCluster cluster(opts);
+  std::vector<std::thread> workers;
+  for (int c = 0; c < 3; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = cluster.MakeClient("w" + std::to_string(c), PropClientOptions());
+      Rng rng(c + 7);
+      std::vector<EventId> mine;
+      for (int i = 0; i < 60; ++i) {
+        Result<EventId> e = client->CreateEvent();
+        ASSERT_TRUE(e.ok());
+        mine.push_back(*e);
+        if (mine.size() >= 2) {
+          const EventId e1 = mine[rng.Uniform(mine.size())];
+          const EventId e2 = mine[rng.Uniform(mine.size())];
+          if (e1 != e2) {
+            (void)client->AssignOrder(
+                {{e1, e2, rng.Bernoulli(0.5) ? Constraint::kMust : Constraint::kPrefer}});
+          }
+        }
+        if (rng.Bernoulli(0.2) && !mine.empty()) {
+          (void)client->ReleaseRef(mine[rng.Uniform(mine.size())]);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  ASSERT_TRUE(cluster.WaitForConvergence(10'000'000));
+  const auto s0 = cluster.replica(0).graph_stats();
+  for (size_t i = 1; i < cluster.replica_count(); ++i) {
+    const auto si = cluster.replica(i).graph_stats();
+    EXPECT_EQ(si.live_events, s0.live_events) << "replica " << i;
+    EXPECT_EQ(si.live_edges, s0.live_edges) << "replica " << i;
+    EXPECT_EQ(si.total_created, s0.total_created) << "replica " << i;
+    EXPECT_EQ(si.total_collected, s0.total_collected) << "replica " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,102 @@
+// Tests for the client-side bindings: LocalKronos, the KronosApi conveniences, and the
+// LatencyKronos adapter.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/client/latency.h"
+#include "src/client/local.h"
+#include "src/common/clock.h"
+
+namespace kronos {
+namespace {
+
+TEST(LocalKronosTest, FullApiRoundTrip) {
+  LocalKronos kronos;
+  const EventId a = *kronos.CreateEvent();
+  const EventId b = *kronos.CreateEvent();
+  ASSERT_TRUE(kronos.AcquireRef(a).ok());
+  auto outcomes = kronos.AssignOrder({{a, b, Constraint::kMust}});
+  ASSERT_TRUE(outcomes.ok());
+  auto orders = kronos.QueryOrder({{a, b}});
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ((*orders)[0], Order::kBefore);
+  EXPECT_EQ(*kronos.ReleaseRef(a), 0u);
+}
+
+TEST(LocalKronosTest, ConvenienceWrappers) {
+  LocalKronos kronos;
+  const EventId a = *kronos.CreateEvent();
+  const EventId b = *kronos.CreateEvent();
+  EXPECT_EQ(*kronos.QueryOrderOne(a, b), Order::kConcurrent);
+  EXPECT_EQ(*kronos.AssignOrderOne(a, b, Constraint::kPrefer), AssignOutcome::kCreated);
+  EXPECT_EQ(*kronos.QueryOrderOne(a, b), Order::kBefore);
+  EXPECT_EQ(*kronos.QueryOrderOne(b, a), Order::kAfter);
+}
+
+TEST(LocalKronosTest, ErrorsPropagate) {
+  LocalKronos kronos;
+  EXPECT_EQ(kronos.QueryOrderOne(1, 2).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(kronos.AssignOrderOne(1, 2, Constraint::kMust).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LocalKronosTest, ThreadSafeUnderConcurrentMutation) {
+  LocalKronos kronos;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      EventId prev = *kronos.CreateEvent();
+      for (int i = 0; i < 200; ++i) {
+        const EventId next = *kronos.CreateEvent();
+        ASSERT_TRUE(kronos.AssignOrder({{prev, next, Constraint::kMust}}).ok());
+        ASSERT_EQ(*kronos.QueryOrderOne(prev, next), Order::kBefore);
+        prev = next;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(kronos.graph().live_events(), 8u * 201u);
+  EXPECT_EQ(kronos.graph().live_edges(), 8u * 200u);
+}
+
+TEST(LatencyKronosTest, DelaysOrderingCalls) {
+  LocalKronos local;
+  LatencyKronos kronos(local, 20'000);
+  const uint64_t start = MonotonicMicros();
+  ASSERT_TRUE(kronos.CreateEvent().ok());
+  EXPECT_GE(MonotonicMicros() - start, 15'000u);
+}
+
+TEST(LatencyKronosTest, RefOpsUndelayedByDefault) {
+  LocalKronos local;
+  LatencyKronos kronos(local, 50'000);
+  const EventId e = *local.CreateEvent();
+  const uint64_t start = MonotonicMicros();
+  ASSERT_TRUE(kronos.AcquireRef(e).ok());
+  ASSERT_TRUE(kronos.ReleaseRef(e).ok());
+  EXPECT_LT(MonotonicMicros() - start, 40'000u);
+}
+
+TEST(LatencyKronosTest, DelayRefOpsFlag) {
+  LocalKronos local;
+  LatencyKronos kronos(local, 20'000, /*delay_ref_ops=*/true);
+  const EventId e = *local.CreateEvent();
+  const uint64_t start = MonotonicMicros();
+  ASSERT_TRUE(kronos.AcquireRef(e).ok());
+  EXPECT_GE(MonotonicMicros() - start, 15'000u);
+}
+
+TEST(LatencyKronosTest, SemanticsAreTransparent) {
+  LocalKronos local;
+  LatencyKronos kronos(local, 100);
+  const EventId a = *kronos.CreateEvent();
+  const EventId b = *kronos.CreateEvent();
+  ASSERT_TRUE(kronos.AssignOrder({{a, b, Constraint::kMust}}).ok());
+  EXPECT_EQ(*local.QueryOrderOne(a, b), Order::kBefore);  // visible through the inner binding
+}
+
+}  // namespace
+}  // namespace kronos

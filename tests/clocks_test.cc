@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/client/local.h"
+#include "src/clocks/causality_sim.h"
+#include "src/clocks/logical_clocks.h"
+
+namespace kronos {
+namespace {
+
+TEST(LamportClockTest, TicksIncrease) {
+  LamportClock c(0);
+  const LamportStamp a = c.Tick();
+  const LamportStamp b = c.Tick();
+  EXPECT_TRUE(LamportBefore(a, b));
+  EXPECT_FALSE(LamportBefore(b, a));
+}
+
+TEST(LamportClockTest, ReceiveAdvancesPastSender) {
+  LamportClock sender(0);
+  LamportClock receiver(1);
+  for (int i = 0; i < 10; ++i) {
+    sender.Tick();
+  }
+  const LamportStamp sent = sender.PrepareSend();
+  const LamportStamp received = receiver.Receive(sent);
+  EXPECT_TRUE(LamportBefore(sent, received));
+}
+
+TEST(LamportClockTest, TotalOrderTieBreaksByProcess) {
+  const LamportStamp a{5, 0};
+  const LamportStamp b{5, 1};
+  EXPECT_TRUE(LamportBefore(a, b));
+  EXPECT_FALSE(LamportBefore(b, a));
+}
+
+TEST(VectorClockTest, LocalEventsOrderedWithinProcess) {
+  VectorClock c(0, 3);
+  const VectorStamp a = c.Tick();
+  const VectorStamp b = c.Tick();
+  EXPECT_EQ(VectorStamp::Compare(a, b), Order::kBefore);
+  EXPECT_EQ(VectorStamp::Compare(b, a), Order::kAfter);
+}
+
+TEST(VectorClockTest, IndependentProcessesAreConcurrent) {
+  VectorClock c0(0, 2);
+  VectorClock c1(1, 2);
+  const VectorStamp a = c0.Tick();
+  const VectorStamp b = c1.Tick();
+  EXPECT_EQ(VectorStamp::Compare(a, b), Order::kConcurrent);
+}
+
+TEST(VectorClockTest, MessageEstablishesOrder) {
+  VectorClock c0(0, 2);
+  VectorClock c1(1, 2);
+  const VectorStamp sent = c0.PrepareSend();
+  const VectorStamp received = c1.Receive(sent);
+  EXPECT_EQ(VectorStamp::Compare(sent, received), Order::kBefore);
+  // And transitively: a later event at process 1 is after an earlier event at process 0.
+  const VectorStamp later = c1.Tick();
+  EXPECT_EQ(VectorStamp::Compare(sent, later), Order::kBefore);
+}
+
+TEST(VectorClockTest, StampBytesGrowWithProcesses) {
+  EXPECT_EQ(VectorClock(0, 4).StampBytes(), 32u);
+  EXPECT_EQ(VectorClock(0, 64).StampBytes(), 512u);
+}
+
+TEST(CausalitySimTest, KronosIsExact) {
+  LocalKronos kronos;
+  CausalitySimOptions opts;
+  opts.actions = 800;
+  opts.seed = 3;
+  SimulatedExecution exec = SimulateCausality(opts, kronos);
+  MechanismScore score = ScoreMechanism(exec, Mechanism::kKronos, kronos, 4000, 11);
+  EXPECT_EQ(score.false_positives, 0u);
+  EXPECT_EQ(score.false_negatives, 0u);
+  EXPECT_GT(score.truly_ordered, 0u);
+}
+
+TEST(CausalitySimTest, LamportOrdersEverything) {
+  LocalKronos kronos;
+  CausalitySimOptions opts;
+  opts.actions = 500;
+  opts.seed = 5;
+  SimulatedExecution exec = SimulateCausality(opts, kronos);
+  MechanismScore score = ScoreMechanism(exec, Mechanism::kLamport, kronos, 4000, 13);
+  // Every truly concurrent pair gets a spurious order.
+  EXPECT_GT(score.false_positives, 0u);
+  EXPECT_GT(score.FalsePositiveRate(), 0.9);
+}
+
+TEST(CausalitySimTest, VectorClockHasFalsePositivesFromIncidentalTraffic) {
+  LocalKronos kronos;
+  CausalitySimOptions opts;
+  opts.actions = 1000;
+  opts.p_external_dep = 0.0;        // isolate the false-positive effect
+  opts.p_semantic_message = 0.2;    // most messages are incidental
+  opts.seed = 7;
+  SimulatedExecution exec = SimulateCausality(opts, kronos);
+  MechanismScore score = ScoreMechanism(exec, Mechanism::kVectorClock, kronos, 4000, 17);
+  EXPECT_GT(score.false_positives, 0u);
+  EXPECT_EQ(score.false_negatives, 0u);  // no external channels: vclock can't miss an order
+}
+
+TEST(CausalitySimTest, VectorClockMissesExternalChannels) {
+  LocalKronos kronos;
+  CausalitySimOptions opts;
+  opts.actions = 1000;
+  opts.p_send = 0.0;             // no messages at all
+  opts.p_program_dep = 0.0;      // and no program-order deps
+  opts.p_external_dep = 0.3;     // only external-channel dependencies
+  opts.seed = 9;
+  SimulatedExecution exec = SimulateCausality(opts, kronos);
+  MechanismScore score = ScoreMechanism(exec, Mechanism::kVectorClock, kronos, 4000, 19);
+  EXPECT_GT(score.false_negatives, 0u);
+  EXPECT_GT(score.FalseNegativeRate(), 0.9);  // it sees none of them
+  // Kronos sees them all.
+  MechanismScore kscore = ScoreMechanism(exec, Mechanism::kKronos, kronos, 4000, 19);
+  EXPECT_EQ(kscore.false_negatives, 0u);
+}
+
+TEST(CausalitySimTest, TruthIsAntisymmetricAndTransitive) {
+  LocalKronos kronos;
+  CausalitySimOptions opts;
+  opts.actions = 300;
+  opts.seed = 21;
+  SimulatedExecution exec = SimulateCausality(opts, kronos);
+  const uint32_t n = static_cast<uint32_t>(exec.actions().size());
+  for (uint32_t i = 0; i < n; i += 7) {
+    for (uint32_t j = i + 1; j < n; j += 11) {
+      ASSERT_FALSE(exec.TrulyBefore(i, j) && exec.TrulyBefore(j, i));
+      if (exec.TrulyBefore(i, j)) {
+        for (uint32_t k = j + 1; k < n; k += 13) {
+          if (exec.TrulyBefore(j, k)) {
+            ASSERT_TRUE(exec.TrulyBefore(i, k));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,102 @@
+#include "src/common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kronos {
+namespace {
+
+TEST(LruCacheTest, MissOnEmpty) {
+  LruCache<int, std::string> c(4);
+  EXPECT_FALSE(c.Get(1).has_value());
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache<int, std::string> c(4);
+  c.Put(1, "one");
+  auto v = c.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(LruCacheTest, OverwriteUpdatesValue) {
+  LruCache<int, int> c(4);
+  c.Put(1, 10);
+  c.Put(1, 20);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(*c.Get(1), 20);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> c(2);
+  c.Put(1, 1);
+  c.Put(2, 2);
+  c.Put(3, 3);  // evicts 1
+  EXPECT_FALSE(c.Get(1).has_value());
+  EXPECT_TRUE(c.Get(2).has_value());
+  EXPECT_TRUE(c.Get(3).has_value());
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<int, int> c(2);
+  c.Put(1, 1);
+  c.Put(2, 2);
+  EXPECT_TRUE(c.Get(1).has_value());  // 1 is now MRU
+  c.Put(3, 3);                        // evicts 2, not 1
+  EXPECT_TRUE(c.Get(1).has_value());
+  EXPECT_FALSE(c.Get(2).has_value());
+}
+
+TEST(LruCacheTest, PeekDoesNotRefreshRecency) {
+  LruCache<int, int> c(2);
+  c.Put(1, 1);
+  c.Put(2, 2);
+  EXPECT_TRUE(c.Peek(1).has_value());  // no recency update
+  c.Put(3, 3);                         // evicts 1
+  EXPECT_FALSE(c.Get(1).has_value());
+}
+
+TEST(LruCacheTest, EraseRemovesEntry) {
+  LruCache<int, int> c(4);
+  c.Put(1, 1);
+  c.Erase(1);
+  EXPECT_FALSE(c.Contains(1));
+  EXPECT_EQ(c.size(), 0u);
+  c.Erase(99);  // erasing a missing key is a no-op
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache<int, int> c(4);
+  c.Put(1, 1);
+  c.Put(2, 2);
+  c.Clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.Contains(1));
+}
+
+TEST(LruCacheTest, CapacityOneWorks) {
+  LruCache<int, int> c(1);
+  c.Put(1, 1);
+  c.Put(2, 2);
+  EXPECT_FALSE(c.Contains(1));
+  EXPECT_EQ(*c.Get(2), 2);
+}
+
+TEST(LruCacheTest, StaysWithinCapacityUnderChurn) {
+  LruCache<int, int> c(8);
+  for (int i = 0; i < 1000; ++i) {
+    c.Put(i, i);
+    EXPECT_LE(c.size(), 8u);
+  }
+  // The 8 most recent keys survive.
+  for (int i = 992; i < 1000; ++i) {
+    EXPECT_TRUE(c.Contains(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace kronos

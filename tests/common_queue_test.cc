@@ -1,0 +1,94 @@
+#include "src/common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace kronos {
+namespace {
+
+TEST(BlockingQueueTest, PushPopSingleThread) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BlockingQueueTest, TryPopOnEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseUnblocksPop) {
+  BlockingQueue<int> q;
+  std::thread t([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  q.Close();
+  t.join();
+}
+
+TEST(BlockingQueueTest, PushAfterCloseFails) {
+  BlockingQueue<int> q;
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueueTest, DrainsRemainingAfterClose) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 2500;
+  std::atomic<int> total{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        total.fetch_add(*v);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kItemsEach; ++i) {
+        EXPECT_TRUE(q.Push(1));
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), kProducers * kItemsEach);
+}
+
+TEST(BlockingQueueTest, MoveOnlyItems) {
+  BlockingQueue<std::unique_ptr<int>> q;
+  q.Push(std::make_unique<int>(5));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace kronos

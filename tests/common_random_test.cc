@@ -1,0 +1,141 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace kronos {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) {
+    counts[rng.Uniform(8)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);  // expected 10000, generous tolerance
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) {
+    heads += rng.Bernoulli(0.3);
+  }
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(23);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 1000);
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(29);
+  ZipfSampler zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsSmallRanks) {
+  Rng rng(31);
+  ZipfSampler zipf(1000, 0.99);
+  int rank0 = 0;
+  int tail = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t s = zipf.Sample(rng);
+    rank0 += (s == 0);
+    tail += (s >= 500);
+  }
+  EXPECT_GT(rank0, tail);  // the single hottest key beats the whole upper half
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  Rng rng(37);
+  ZipfSampler mild(1000, 0.5);
+  ZipfSampler heavy(1000, 1.2);
+  int mild0 = 0;
+  int heavy0 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    mild0 += (mild.Sample(rng) == 0);
+    heavy0 += (heavy.Sample(rng) == 0);
+  }
+  EXPECT_GT(heavy0, mild0 * 2);
+}
+
+}  // namespace
+}  // namespace kronos

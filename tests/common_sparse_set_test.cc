@@ -1,0 +1,106 @@
+#include "src/common/sparse_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/random.h"
+
+namespace kronos {
+namespace {
+
+TEST(SparseSetTest, StartsEmpty) {
+  SparseSet s(16);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_FALSE(s.Contains(i));
+  }
+}
+
+TEST(SparseSetTest, InsertAndContains) {
+  SparseSet s(8);
+  EXPECT_TRUE(s.Insert(3));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SparseSetTest, DoubleInsertReturnsFalse) {
+  SparseSet s(8);
+  EXPECT_TRUE(s.Insert(5));
+  EXPECT_FALSE(s.Insert(5));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SparseSetTest, ClearIsConstantTimeAndComplete) {
+  SparseSet s(64);
+  for (uint64_t i = 0; i < 64; i += 2) {
+    s.Insert(i);
+  }
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_FALSE(s.Contains(i));
+  }
+}
+
+TEST(SparseSetTest, ReuseAfterClearDoesNotSeeStaleMembers) {
+  // The Briggs–Torczon trick leaves stale data in the arrays; the dual-index check must filter
+  // it after Clear().
+  SparseSet s(8);
+  s.Insert(1);
+  s.Insert(2);
+  s.Clear();
+  s.Insert(2);
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(1));
+}
+
+TEST(SparseSetTest, IterationInInsertionOrder) {
+  SparseSet s(16);
+  s.Insert(9);
+  s.Insert(1);
+  s.Insert(4);
+  std::vector<uint64_t> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<uint64_t>{9, 1, 4}));
+  EXPECT_EQ(s[0], 9u);
+  EXPECT_EQ(s[2], 4u);
+}
+
+TEST(SparseSetTest, ReserveGrowsPreservingMembership) {
+  SparseSet s(4);
+  s.Insert(2);
+  s.Reserve(1024);
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(512));
+  EXPECT_TRUE(s.Insert(512));
+  EXPECT_EQ(s.universe_size(), 1024u);
+}
+
+TEST(SparseSetTest, ContainsOutOfUniverseIsFalse) {
+  SparseSet s(4);
+  EXPECT_FALSE(s.Contains(100));
+}
+
+TEST(SparseSetTest, MatchesStdSetUnderRandomOps) {
+  // Property check: SparseSet must agree with std::set across random insert/clear sequences.
+  Rng rng(1234);
+  SparseSet s(256);
+  std::set<uint64_t> ref;
+  for (int step = 0; step < 10000; ++step) {
+    if (rng.Uniform(100) < 3) {
+      s.Clear();
+      ref.clear();
+      continue;
+    }
+    const uint64_t x = rng.Uniform(256);
+    EXPECT_EQ(s.Insert(x), ref.insert(x).second);
+    EXPECT_EQ(s.size(), ref.size());
+    const uint64_t probe = rng.Uniform(256);
+    EXPECT_EQ(s.Contains(probe), ref.count(probe) == 1);
+  }
+}
+
+}  // namespace
+}  // namespace kronos

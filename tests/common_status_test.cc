@@ -1,0 +1,75 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace kronos {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  Status s = OrderViolation("would create cycle");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOrderViolation);
+  EXPECT_EQ(s.message(), "would create cycle");
+  EXPECT_EQ(s.ToString(), "ORDER_VIOLATION: would create cycle");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(NotFound("a"), NotFound("b"));
+  EXPECT_FALSE(NotFound() == Timeout());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status(NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = *std::move(r);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("kronos");
+  EXPECT_EQ(r->size(), 6u);
+}
+
+Status FailThenPropagate() {
+  KRONOS_RETURN_IF_ERROR(Unavailable("down"));
+  return Internal("unreached");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  Status s = FailThenPropagate();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,145 @@
+#include "src/common/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/crc32.h"
+
+namespace kronos {
+namespace {
+
+std::string TempWalPath(const char* name) {
+  return ::testing::TempDir() + "/kronos_wal_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> b) { return std::vector<uint8_t>(b); }
+
+TEST(Crc32Test, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (the canonical check value).
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s), 9)),
+            0xcbf43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, std::span<const uint8_t>(data.data(), 300));
+  crc = Crc32Update(crc, std::span<const uint8_t>(data.data() + 300, 700));
+  EXPECT_EQ(Crc32Finish(crc), Crc32(data));
+}
+
+TEST(WalTest, AppendAndReplay) {
+  const std::string path = TempWalPath("basic");
+  std::remove(path.c_str());
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    ASSERT_TRUE(wal.Append(Bytes({1, 2, 3})).ok());
+    ASSERT_TRUE(wal.Append(Bytes({})).ok());
+    ASSERT_TRUE(wal.Append(Bytes({9})).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  WriteAheadLog wal;
+  std::vector<std::vector<uint8_t>> records;
+  ASSERT_TRUE(wal.Open(path, [&](std::span<const uint8_t> r) {
+                    records.emplace_back(r.begin(), r.end());
+                  })
+                  .ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], Bytes({1, 2, 3}));
+  EXPECT_TRUE(records[1].empty());
+  EXPECT_EQ(records[2], Bytes({9}));
+  EXPECT_EQ(wal.records_replayed(), 3u);
+  EXPECT_FALSE(wal.tail_was_torn());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, AppendsResumeAfterReplay) {
+  const std::string path = TempWalPath("resume");
+  std::remove(path.c_str());
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    ASSERT_TRUE(wal.Append(Bytes({1})).ok());
+  }
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    ASSERT_TRUE(wal.Append(Bytes({2})).ok());
+  }
+  WriteAheadLog wal;
+  int count = 0;
+  ASSERT_TRUE(wal.Open(path, [&](std::span<const uint8_t>) { ++count; }).ok());
+  EXPECT_EQ(count, 2);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornTailIsTruncatedAndRecovers) {
+  const std::string path = TempWalPath("torn");
+  std::remove(path.c_str());
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    ASSERT_TRUE(wal.Append(Bytes({1, 1, 1})).ok());
+  }
+  // Simulate a crash mid-append: a partial header at the end.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.put(0x03);
+    f.put(0x00);
+  }
+  WriteAheadLog wal;
+  int count = 0;
+  ASSERT_TRUE(wal.Open(path, [&](std::span<const uint8_t>) { ++count; }).ok());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(wal.tail_was_torn());
+  // Appending continues from the truncated point.
+  ASSERT_TRUE(wal.Append(Bytes({2, 2})).ok());
+  wal.Close();
+  WriteAheadLog again;
+  count = 0;
+  ASSERT_TRUE(again.Open(path, [&](std::span<const uint8_t>) { ++count; }).ok());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(again.tail_was_torn());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, CorruptPayloadStopsReplayAtBoundary) {
+  const std::string path = TempWalPath("corrupt");
+  std::remove(path.c_str());
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    ASSERT_TRUE(wal.Append(Bytes({5, 5})).ok());
+    ASSERT_TRUE(wal.Append(Bytes({6, 6})).ok());
+  }
+  // Flip a byte inside the second record's payload.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(0xff));
+  }
+  WriteAheadLog wal;
+  std::vector<std::vector<uint8_t>> records;
+  ASSERT_TRUE(wal.Open(path, [&](std::span<const uint8_t> r) {
+                    records.emplace_back(r.begin(), r.end());
+                  })
+                  .ok());
+  ASSERT_EQ(records.size(), 1u);  // the corrupted record and everything after is dropped
+  EXPECT_EQ(records[0], Bytes({5, 5}));
+  EXPECT_TRUE(wal.tail_was_torn());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kronos

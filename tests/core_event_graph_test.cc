@@ -1,0 +1,371 @@
+#include "src/core/event_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace kronos {
+namespace {
+
+std::vector<Order> MustQuery(EventGraph& g, std::vector<EventPair> pairs) {
+  auto r = g.QueryOrder(pairs);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+std::vector<AssignOutcome> MustAssign(EventGraph& g, std::vector<AssignSpec> specs) {
+  auto r = g.AssignOrder(specs);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(EventGraphTest, CreateReturnsUniqueIds) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  EXPECT_NE(a, kInvalidEvent);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.live_events(), 2u);
+  EXPECT_TRUE(g.Contains(a));
+  EXPECT_TRUE(g.Contains(b));
+}
+
+TEST(EventGraphTest, FreshEventsAreConcurrent) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kConcurrent);
+}
+
+TEST(EventGraphTest, AssignThenQueryBothDirections) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  auto outcomes = MustAssign(g, {{a, b, Constraint::kMust}});
+  EXPECT_EQ(outcomes[0], AssignOutcome::kCreated);
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kBefore);
+  EXPECT_EQ(MustQuery(g, {{b, a}})[0], Order::kAfter);
+}
+
+TEST(EventGraphTest, TransitivityAcrossChain) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  MustAssign(g, {{b, c, Constraint::kMust}});
+  // A -> B -> C implies A -> C even though no direct edge exists (Fig. 1's A ~> C at the KV
+  // store despite it never seeing B).
+  EXPECT_EQ(MustQuery(g, {{a, c}})[0], Order::kBefore);
+  EXPECT_EQ(g.live_edges(), 2u);
+}
+
+TEST(EventGraphTest, MustCycleIsRejected) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}, {b, c, Constraint::kMust}});
+  // Fig. 2 step 3: C -> A is prohibited once A -> B -> C is established.
+  auto r = g.AssignOrder(std::vector<AssignSpec>{{c, a, Constraint::kMust}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOrderViolation);
+  // And the graph is unchanged.
+  EXPECT_EQ(MustQuery(g, {{a, c}})[0], Order::kBefore);
+  EXPECT_EQ(g.live_edges(), 2u);
+}
+
+TEST(EventGraphTest, DirectSelfCycleRejected) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  auto r = g.AssignOrder(std::vector<AssignSpec>{{b, a, Constraint::kMust}});
+  EXPECT_EQ(r.status().code(), StatusCode::kOrderViolation);
+}
+
+TEST(EventGraphTest, PreferReversalReportsTrueOrder) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  auto outcomes = MustAssign(g, {{b, a, Constraint::kPrefer}});
+  EXPECT_EQ(outcomes[0], AssignOutcome::kReversed);
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kBefore);
+  EXPECT_EQ(g.stats().prefer_reversals, 1u);
+}
+
+TEST(EventGraphTest, PreferAppliedWhenUnconstrained) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  auto outcomes = MustAssign(g, {{a, b, Constraint::kPrefer}});
+  EXPECT_EQ(outcomes[0], AssignOutcome::kCreated);
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kBefore);
+}
+
+TEST(EventGraphTest, DuplicateDirectEdgeIsPreexisting) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  EXPECT_EQ(MustAssign(g, {{a, b, Constraint::kMust}})[0], AssignOutcome::kPreexisting);
+  EXPECT_EQ(g.live_edges(), 1u);
+}
+
+TEST(EventGraphTest, TransitivelyRedundantAssignAddsDirectEdge) {
+  // §4.2 policy: no transitive-redundancy traversal on assign; the direct edge is recorded
+  // (8 bytes) rather than paying a BFS over the predecessor's future cone.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}, {b, c, Constraint::kMust}});
+  auto outcomes = MustAssign(g, {{a, c, Constraint::kMust}});
+  EXPECT_EQ(outcomes[0], AssignOutcome::kCreated);
+  EXPECT_EQ(g.live_edges(), 3u);
+  // Semantics are unchanged: the order was and remains a -> c, and the reverse still aborts.
+  EXPECT_EQ(MustQuery(g, {{a, c}})[0], Order::kBefore);
+  EXPECT_EQ(g.AssignOrder(std::vector<AssignSpec>{{c, a, Constraint::kMust}}).status().code(),
+            StatusCode::kOrderViolation);
+}
+
+TEST(EventGraphTest, MustAppliedBeforePreferInOneBatch) {
+  // §2.2: a prefer edge is never established ahead of a must, so a must can never abort
+  // because of a prefer listed earlier in the same batch.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  auto outcomes = MustAssign(g, {{b, a, Constraint::kPrefer}, {a, b, Constraint::kMust}});
+  EXPECT_EQ(outcomes[1], AssignOutcome::kCreated);   // must wins
+  EXPECT_EQ(outcomes[0], AssignOutcome::kReversed);  // prefer sees the must's edge
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kBefore);
+}
+
+TEST(EventGraphTest, FailedMustBatchHasNoSideEffects) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  const EventId d = g.CreateEvent();
+  MustAssign(g, {{c, d, Constraint::kMust}});
+  // First pair is satisfiable, second contradicts c -> d: the whole batch must roll back,
+  // including the a -> b edge (test-and-set batch semantics).
+  auto r = g.AssignOrder(
+      std::vector<AssignSpec>{{a, b, Constraint::kMust}, {d, c, Constraint::kMust}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOrderViolation);
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kConcurrent);
+  EXPECT_EQ(g.live_edges(), 1u);
+  EXPECT_EQ(g.stats().assign_aborts, 1u);
+}
+
+TEST(EventGraphTest, FailedBatchRollsBackPrecedingPrefersToo) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{b, c, Constraint::kMust}});
+  auto r = g.AssignOrder(
+      std::vector<AssignSpec>{{a, b, Constraint::kPrefer}, {c, b, Constraint::kMust}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kConcurrent);
+}
+
+TEST(EventGraphTest, ConditionalBatchMustsActAsTest) {
+  // A mixed batch where the must holds acts like test-and-set: the prefers apply atomically.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  auto outcomes = MustAssign(
+      g, {{a, b, Constraint::kMust}, {b, c, Constraint::kPrefer}, {a, c, Constraint::kPrefer}});
+  EXPECT_EQ(outcomes[0], AssignOutcome::kPreexisting);  // exact duplicate of the existing edge
+  EXPECT_EQ(outcomes[1], AssignOutcome::kCreated);
+  EXPECT_EQ(outcomes[2], AssignOutcome::kCreated);  // direct edge, transitively implied
+}
+
+TEST(EventGraphTest, PreferOrderWithinBatchGivesEarlierPairsPriority) {
+  // Two contradictory prefers in one batch: the first one wins, the second reverses.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  auto outcomes = MustAssign(g, {{a, b, Constraint::kPrefer}, {b, a, Constraint::kPrefer}});
+  EXPECT_EQ(outcomes[0], AssignOutcome::kCreated);
+  EXPECT_EQ(outcomes[1], AssignOutcome::kReversed);
+}
+
+TEST(EventGraphTest, UnknownEventsRejected) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  auto q = g.QueryOrder(std::vector<EventPair>{{a, 9999}});
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+  auto s = g.AssignOrder(std::vector<AssignSpec>{{9999, a, Constraint::kMust}});
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.AcquireRef(9999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.ReleaseRef(9999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(EventGraphTest, SelfPairsRejected) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  EXPECT_EQ(g.QueryOrder(std::vector<EventPair>{{a, a}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AssignOrder(std::vector<AssignSpec>{{a, a, Constraint::kMust}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EventGraphTest, EmptyBatchesSucceedTrivially) {
+  EventGraph g;
+  EXPECT_TRUE(g.QueryOrder({}).ok());
+  EXPECT_TRUE(g.AssignOrder({}).ok());
+}
+
+TEST(EventGraphTest, QueryBatchReturnsPerPairAnswers) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  auto orders = MustQuery(g, {{a, b}, {b, a}, {a, c}});
+  EXPECT_EQ(orders[0], Order::kBefore);
+  EXPECT_EQ(orders[1], Order::kAfter);
+  EXPECT_EQ(orders[2], Order::kConcurrent);
+}
+
+TEST(EventGraphTest, DiamondIsCoherent) {
+  // a -> b, a -> c, b -> d, c -> d: b and c stay concurrent; a precedes d.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  const EventId d = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust},
+                 {a, c, Constraint::kMust},
+                 {b, d, Constraint::kMust},
+                 {c, d, Constraint::kMust}});
+  EXPECT_EQ(MustQuery(g, {{b, c}})[0], Order::kConcurrent);
+  EXPECT_EQ(MustQuery(g, {{a, d}})[0], Order::kBefore);
+  // d -> a would close the diamond into a cycle.
+  EXPECT_EQ(g.AssignOrder(std::vector<AssignSpec>{{d, a, Constraint::kMust}}).status().code(),
+            StatusCode::kOrderViolation);
+}
+
+TEST(EventGraphTest, RefCountTracking) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  EXPECT_EQ(*g.RefCount(a), 1u);  // creator's handle
+  EXPECT_TRUE(g.AcquireRef(a).ok());
+  EXPECT_EQ(*g.RefCount(a), 2u);
+  EXPECT_TRUE(g.ReleaseRef(a).ok());
+  EXPECT_EQ(*g.RefCount(a), 1u);
+}
+
+TEST(EventGraphTest, OutDegreeCountsDirectSuccessors) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}, {a, c, Constraint::kMust}});
+  EXPECT_EQ(*g.OutDegree(a), 2u);
+  EXPECT_EQ(*g.OutDegree(b), 0u);
+}
+
+TEST(EventGraphTest, StatsCountTraversals) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const uint64_t before = g.stats().traversals;
+  MustQuery(g, {{a, b}});
+  EXPECT_GT(g.stats().traversals, before);
+}
+
+TEST(EventGraphTest, QueryCacheServesOrderedAnswers) {
+  EventGraph g;
+  g.EnableQueryCache(64);
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kBefore);  // miss, fills cache
+  const uint64_t traversals = g.stats().traversals;
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kBefore);  // hit
+  EXPECT_EQ(MustQuery(g, {{b, a}})[0], Order::kAfter);   // hit (flipped)
+  EXPECT_EQ(g.stats().traversals, traversals);           // no BFS ran
+  EXPECT_EQ(g.stats().cache_hits, 2u);
+}
+
+TEST(EventGraphTest, QueryCacheNeverCachesConcurrent) {
+  EventGraph g;
+  g.EnableQueryCache(64);
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kConcurrent);
+  // The pair becomes ordered later; the cache must not have pinned "concurrent".
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  EXPECT_EQ(MustQuery(g, {{a, b}})[0], Order::kBefore);
+}
+
+TEST(EventGraphTest, QueryCacheAgreesWithUncachedTwin) {
+  Rng rng(444);
+  EventGraph cached;
+  cached.EnableQueryCache(256);
+  EventGraph plain;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(cached.CreateEvent());
+    plain.CreateEvent();
+  }
+  for (int step = 0; step < 1500; ++step) {
+    const EventId e1 = ids[rng.Uniform(ids.size())];
+    const EventId e2 = ids[rng.Uniform(ids.size())];
+    if (e1 == e2) {
+      continue;
+    }
+    if (rng.Bernoulli(0.4)) {
+      auto a = cached.AssignOrder(std::vector<AssignSpec>{{e1, e2, Constraint::kPrefer}});
+      auto b = plain.AssignOrder(std::vector<AssignSpec>{{e1, e2, Constraint::kPrefer}});
+      ASSERT_EQ(a.ok(), b.ok());
+    } else {
+      auto a = cached.QueryOrder(std::vector<EventPair>{{e1, e2}});
+      auto b = plain.QueryOrder(std::vector<EventPair>{{e1, e2}});
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ((*a)[0], (*b)[0]) << "cache changed an answer";
+    }
+  }
+  EXPECT_GT(cached.stats().cache_hits, 0u);
+}
+
+TEST(EventGraphTest, MemoryGrowsWithEvents) {
+  EventGraph g;
+  const uint64_t empty = g.ApproxMemoryBytes();
+  for (int i = 0; i < 10000; ++i) {
+    g.CreateEvent();
+  }
+  EXPECT_GT(g.ApproxMemoryBytes(), empty);
+  EXPECT_GT(g.ApproxMemoryBytes(), 10000u * sizeof(uint64_t));
+}
+
+TEST(EventGraphTest, LongChainOrdersEndpoints) {
+  EventGraph g;
+  std::vector<EventId> chain;
+  for (int i = 0; i < 1000; ++i) {
+    chain.push_back(g.CreateEvent());
+  }
+  for (size_t i = 1; i < chain.size(); ++i) {
+    MustAssign(g, {{chain[i - 1], chain[i], Constraint::kMust}});
+  }
+  EXPECT_EQ(MustQuery(g, {{chain.front(), chain.back()}})[0], Order::kBefore);
+  EXPECT_EQ(MustQuery(g, {{chain.back(), chain.front()}})[0], Order::kAfter);
+  // Closing the loop is rejected.
+  EXPECT_EQ(g.AssignOrder(std::vector<AssignSpec>{{chain.back(), chain.front(),
+                                                   Constraint::kMust}})
+                .status()
+                .code(),
+            StatusCode::kOrderViolation);
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,194 @@
+// Garbage collection tests (paper §2.3 and Fig. 4).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/event_graph.h"
+
+namespace kronos {
+namespace {
+
+void Link(EventGraph& g, EventId u, EventId v) {
+  auto r = g.AssignOrder(std::vector<AssignSpec>{{u, v, Constraint::kMust}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(GcTest, UnreferencedIsolatedEventIsCollected) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  auto collected = g.ReleaseRef(a);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(*collected, 1u);
+  EXPECT_FALSE(g.Contains(a));
+  EXPECT_EQ(g.live_events(), 0u);
+}
+
+TEST(GcTest, ReferencedEventSurvives) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  ASSERT_TRUE(g.AcquireRef(a).ok());
+  EXPECT_EQ(*g.ReleaseRef(a), 0u);
+  EXPECT_TRUE(g.Contains(a));
+}
+
+TEST(GcTest, SuccessorPinnedByLivePredecessor) {
+  // Fig. 4: a zero-ref event stays while a live predecessor can still reach it, preserving
+  // transitive happens-before relationships.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  Link(g, a, b);
+  EXPECT_EQ(*g.ReleaseRef(b), 0u);  // b: refcount 0, but pinned by a
+  EXPECT_TRUE(g.Contains(b));
+  // Releasing a collects both, in topological order.
+  EXPECT_EQ(*g.ReleaseRef(a), 2u);
+  EXPECT_FALSE(g.Contains(a));
+  EXPECT_FALSE(g.Contains(b));
+}
+
+TEST(GcTest, Figure4Scenario) {
+  // A(ref=1) -> B -> C, A -> D(ref=0), E(ref=1) isolated. B, C, D survive with zero refs.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  const EventId d = g.CreateEvent();
+  const EventId e = g.CreateEvent();
+  Link(g, a, b);
+  Link(g, b, c);
+  Link(g, a, d);
+  ASSERT_EQ(*g.ReleaseRef(b), 0u);
+  ASSERT_EQ(*g.ReleaseRef(c), 0u);
+  ASSERT_EQ(*g.ReleaseRef(d), 0u);
+  EXPECT_EQ(g.live_events(), 5u);
+  // "Once A's reference count goes to 0, A, B, C, and D will be collected immediately."
+  EXPECT_EQ(*g.ReleaseRef(a), 4u);
+  EXPECT_EQ(g.live_events(), 1u);
+  EXPECT_TRUE(g.Contains(e));
+}
+
+TEST(GcTest, DiamondCollectedOnce) {
+  // a -> b, a -> c, b -> d, c -> d. d has indegree 2; it must be collected exactly once and
+  // only after both b and c.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  const EventId d = g.CreateEvent();
+  Link(g, a, b);
+  Link(g, a, c);
+  Link(g, b, d);
+  Link(g, c, d);
+  for (EventId e : {b, c, d}) {
+    ASSERT_EQ(*g.ReleaseRef(e), 0u);
+  }
+  EXPECT_EQ(*g.ReleaseRef(a), 4u);
+  EXPECT_EQ(g.live_events(), 0u);
+  EXPECT_EQ(g.live_edges(), 0u);
+}
+
+TEST(GcTest, MidChainReferenceSplitsCollection) {
+  // a -> b -> c with an extra ref on b: releasing a collects only a; b pins c.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  Link(g, a, b);
+  Link(g, b, c);
+  ASSERT_EQ(*g.ReleaseRef(c), 0u);
+  EXPECT_EQ(*g.ReleaseRef(a), 1u);
+  EXPECT_FALSE(g.Contains(a));
+  EXPECT_TRUE(g.Contains(b));
+  EXPECT_TRUE(g.Contains(c));
+  // Orders among survivors still hold.
+  auto orders = g.QueryOrder(std::vector<EventPair>{{b, c}});
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ((*orders)[0], Order::kBefore);
+  // Now release b: b and c go together.
+  EXPECT_EQ(*g.ReleaseRef(b), 2u);
+  EXPECT_EQ(g.live_events(), 0u);
+}
+
+TEST(GcTest, CollectedEventIdsAreNotReused) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  ASSERT_EQ(*g.ReleaseRef(a), 1u);
+  const EventId b = g.CreateEvent();
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(g.Contains(a));
+}
+
+TEST(GcTest, CollectedEventIsNotFoundByApiCalls) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  ASSERT_EQ(*g.ReleaseRef(a), 1u);
+  EXPECT_EQ(g.QueryOrder(std::vector<EventPair>{{a, b}}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.AcquireRef(a).code(), StatusCode::kNotFound);
+}
+
+TEST(GcTest, DoubleReleaseIsInvalid) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  Link(g, b, a);  // pin a via b so the slot is not collected
+  ASSERT_EQ(*g.ReleaseRef(a), 0u);
+  EXPECT_EQ(g.ReleaseRef(a).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GcTest, LongChainCollectsInOneCall) {
+  // The Fig. 11 shape: fixed-length path where releasing the head's reference collects the
+  // whole path in a single release_ref call.
+  EventGraph g;
+  constexpr int kLen = 4096;
+  std::vector<EventId> chain;
+  chain.reserve(kLen);
+  for (int i = 0; i < kLen; ++i) {
+    chain.push_back(g.CreateEvent());
+  }
+  for (int i = 1; i < kLen; ++i) {
+    Link(g, chain[i - 1], chain[i]);
+    ASSERT_EQ(*g.ReleaseRef(chain[i]), 0u);
+  }
+  EXPECT_EQ(g.live_events(), kLen);
+  EXPECT_EQ(*g.ReleaseRef(chain[0]), static_cast<uint64_t>(kLen));
+  EXPECT_EQ(g.live_events(), 0u);
+  EXPECT_EQ(g.live_edges(), 0u);
+  EXPECT_EQ(g.stats().total_collected, static_cast<uint64_t>(kLen));
+}
+
+TEST(GcTest, SlotsAreReusedAfterCollection) {
+  // Memory remains proportional to live events: creating and collecting repeatedly must not
+  // grow the vertex array without bound.
+  EventGraph g;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      const EventId e = g.CreateEvent();
+      ASSERT_EQ(*g.ReleaseRef(e), 1u);
+    }
+  }
+  const uint64_t bytes = g.ApproxMemoryBytes();
+  EXPECT_LT(bytes, 1u << 20);  // far below what 3000 permanently-retained vertices would need
+  EXPECT_EQ(g.live_events(), 0u);
+  EXPECT_EQ(g.stats().total_created, 3000u);
+  EXPECT_EQ(g.stats().total_collected, 3000u);
+}
+
+TEST(GcTest, EdgesIntoSurvivorsDecrementedCorrectly) {
+  // x -> s and y -> s, where s holds a ref. Collect x, then y; s must survive both and its
+  // indegree bookkeeping must allow its later collection.
+  EventGraph g;
+  const EventId x = g.CreateEvent();
+  const EventId y = g.CreateEvent();
+  const EventId s = g.CreateEvent();
+  Link(g, x, s);
+  Link(g, y, s);
+  ASSERT_EQ(*g.ReleaseRef(x), 1u);
+  ASSERT_EQ(*g.ReleaseRef(y), 1u);
+  EXPECT_TRUE(g.Contains(s));
+  EXPECT_EQ(*g.ReleaseRef(s), 1u);
+  EXPECT_EQ(g.live_events(), 0u);
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,107 @@
+#include "src/core/order_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace kronos {
+namespace {
+
+TEST(OrderCacheTest, MissOnEmpty) {
+  OrderCache c(16);
+  EXPECT_FALSE(c.Lookup(1, 2).has_value());
+}
+
+TEST(OrderCacheTest, InsertAndLookupBothDirections) {
+  OrderCache c(16);
+  c.Insert(1, 2, Order::kBefore);
+  EXPECT_EQ(c.Lookup(1, 2), Order::kBefore);
+  EXPECT_EQ(c.Lookup(2, 1), Order::kAfter);
+}
+
+TEST(OrderCacheTest, InsertAfterNormalizes) {
+  OrderCache c(16);
+  c.Insert(5, 3, Order::kAfter);  // 3 happens-before 5
+  EXPECT_EQ(c.Lookup(3, 5), Order::kBefore);
+  EXPECT_EQ(c.Lookup(5, 3), Order::kAfter);
+}
+
+TEST(OrderCacheTest, ConcurrentIsNeverCached) {
+  // kConcurrent can be invalidated by any later assign_order; monotonicity only protects
+  // ordered answers.
+  OrderCache c(16);
+  c.Insert(1, 2, Order::kConcurrent);
+  EXPECT_FALSE(c.Lookup(1, 2).has_value());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(OrderCacheTest, TransitivePrefillForward) {
+  // Learn v -> w, then u -> v: the cache infers u -> w (§3.2's u ~> w example).
+  OrderCache c(64);
+  c.Insert(2, 3, Order::kBefore);  // v -> w
+  c.Insert(1, 2, Order::kBefore);  // u -> v
+  EXPECT_EQ(c.Lookup(1, 3), Order::kBefore);
+  EXPECT_GE(c.prefills(), 1u);
+}
+
+TEST(OrderCacheTest, TransitivePrefillBackward) {
+  // Learn w -> u, then u -> v: infers w -> v.
+  OrderCache c(64);
+  c.Insert(9, 1, Order::kBefore);  // w -> u
+  c.Insert(1, 2, Order::kBefore);  // u -> v
+  EXPECT_EQ(c.Lookup(9, 2), Order::kBefore);
+}
+
+TEST(OrderCacheTest, NoFalsePrefill) {
+  // u -> v and w -> v gives no relation between u and w.
+  OrderCache c(64);
+  c.Insert(1, 2, Order::kBefore);
+  c.Insert(3, 2, Order::kBefore);
+  EXPECT_FALSE(c.Lookup(1, 3).has_value());
+}
+
+TEST(OrderCacheTest, PrefillDisabled) {
+  OrderCache c(OrderCache::Options{.capacity = 64, .transitive_prefill = false});
+  c.Insert(2, 3, Order::kBefore);
+  c.Insert(1, 2, Order::kBefore);
+  EXPECT_FALSE(c.Lookup(1, 3).has_value());
+  EXPECT_EQ(c.prefills(), 0u);
+}
+
+TEST(OrderCacheTest, EvictionBoundsSize) {
+  OrderCache c(OrderCache::Options{.capacity = 8, .transitive_prefill = false});
+  for (EventId e = 1; e <= 100; ++e) {
+    c.Insert(e, e + 1000, Order::kBefore);
+  }
+  EXPECT_LE(c.size(), 8u);
+}
+
+TEST(OrderCacheTest, HitAndMissCounters) {
+  OrderCache c(16);
+  c.Insert(1, 2, Order::kBefore);
+  c.Lookup(1, 2);
+  c.Lookup(7, 8);
+  EXPECT_GE(c.hits(), 1u);
+  EXPECT_GE(c.misses(), 1u);
+}
+
+TEST(OrderCacheTest, ClearEmpties) {
+  OrderCache c(16);
+  c.Insert(1, 2, Order::kBefore);
+  c.Clear();
+  EXPECT_FALSE(c.Lookup(1, 2).has_value());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(OrderCacheTest, ChainPrefillBuildsClosureIncrementally) {
+  // Inserting a chain head-to-tail lets prefill derive many transitive facts without service
+  // calls.
+  OrderCache c(1024);
+  for (EventId e = 5; e >= 2; --e) {
+    c.Insert(e, e + 1, Order::kBefore);
+  }
+  c.Insert(1, 2, Order::kBefore);
+  // 1 -> 3 is inferable in one hop from (1->2) + (2->3).
+  EXPECT_EQ(c.Lookup(1, 3), Order::kBefore);
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,287 @@
+// Property-based tests for the EventGraph invariants (paper §2.1): coherency, monotonicity,
+// transitivity, and GC safety, checked against a naive reference model across randomized
+// operation sequences and seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/event_graph.h"
+#include "src/core/order_cache.h"
+
+namespace kronos {
+namespace {
+
+// A deliberately naive reference model: explicit edge set + DFS reachability.
+class ReferenceModel {
+ public:
+  void AddEvent(EventId e) { adj_[e]; }
+
+  void AddEdge(EventId u, EventId v) { adj_[u].insert(v); }
+
+  bool Reachable(EventId from, EventId to) const {
+    if (from == to) {
+      return true;
+    }
+    std::set<EventId> seen;
+    std::vector<EventId> stack{from};
+    while (!stack.empty()) {
+      const EventId u = stack.back();
+      stack.pop_back();
+      if (!seen.insert(u).second) {
+        continue;
+      }
+      auto it = adj_.find(u);
+      if (it == adj_.end()) {
+        continue;
+      }
+      for (const EventId w : it->second) {
+        if (w == to) {
+          return true;
+        }
+        stack.push_back(w);
+      }
+    }
+    return false;
+  }
+
+  Order Query(EventId e1, EventId e2) const {
+    if (Reachable(e1, e2)) {
+      return Order::kBefore;
+    }
+    if (Reachable(e2, e1)) {
+      return Order::kAfter;
+    }
+    return Order::kConcurrent;
+  }
+
+ private:
+  std::map<EventId, std::set<EventId>> adj_;
+};
+
+class EventGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The engine must agree with the reference model on every query, across random interleavings
+// of creates, musts, prefers, and queries.
+TEST_P(EventGraphPropertyTest, AgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  EventGraph g;
+  ReferenceModel ref;
+  std::vector<EventId> ids;
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 25 || ids.size() < 2) {
+      const EventId e = g.CreateEvent();
+      ids.push_back(e);
+      ref.AddEvent(e);
+      continue;
+    }
+    const EventId e1 = ids[rng.Uniform(ids.size())];
+    const EventId e2 = ids[rng.Uniform(ids.size())];
+    if (e1 == e2) {
+      continue;
+    }
+    if (dice < 60) {
+      const Constraint c = rng.Bernoulli(0.5) ? Constraint::kMust : Constraint::kPrefer;
+      auto r = g.AssignOrder(std::vector<AssignSpec>{{e1, e2, c}});
+      const bool contradicts = ref.Reachable(e2, e1);
+      if (c == Constraint::kMust && contradicts) {
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.status().code(), StatusCode::kOrderViolation);
+      } else {
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        if (contradicts) {
+          EXPECT_EQ((*r)[0], AssignOutcome::kReversed);
+        } else {
+          ref.AddEdge(e1, e2);
+          EXPECT_NE((*r)[0], AssignOutcome::kReversed);
+        }
+      }
+    } else {
+      auto r = g.QueryOrder(std::vector<EventPair>{{e1, e2}});
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ((*r)[0], ref.Query(e1, e2)) << "e1=" << e1 << " e2=" << e2;
+    }
+  }
+}
+
+// Monotonicity: record every ordered answer ever returned; they must all still hold at the
+// end, after arbitrary further refinement.
+TEST_P(EventGraphPropertyTest, OrderedAnswersAreForever) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  EventGraph g;
+  std::vector<EventId> ids;
+  std::vector<std::pair<EventPair, Order>> promises;
+
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 25 || ids.size() < 2) {
+      ids.push_back(g.CreateEvent());
+      continue;
+    }
+    const EventId e1 = ids[rng.Uniform(ids.size())];
+    const EventId e2 = ids[rng.Uniform(ids.size())];
+    if (e1 == e2) {
+      continue;
+    }
+    if (dice < 65) {
+      (void)g.AssignOrder(std::vector<AssignSpec>{
+          {e1, e2, rng.Bernoulli(0.3) ? Constraint::kMust : Constraint::kPrefer}});
+    } else {
+      auto r = g.QueryOrder(std::vector<EventPair>{{e1, e2}});
+      ASSERT_TRUE(r.ok());
+      if ((*r)[0] != Order::kConcurrent) {
+        promises.push_back({{e1, e2}, (*r)[0]});
+      }
+    }
+  }
+  for (const auto& [pair, order] : promises) {
+    auto r = g.QueryOrder(std::vector<EventPair>{pair});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], order) << "a previously returned order was retracted";
+  }
+}
+
+// Coherency/antisymmetry and transitivity over all live pairs at the end of a random run.
+TEST_P(EventGraphPropertyTest, TimelineIsCoherent) {
+  Rng rng(GetParam() ^ 0x5eed);
+  EventGraph g;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(g.CreateEvent());
+  }
+  for (int step = 0; step < 400; ++step) {
+    const EventId e1 = ids[rng.Uniform(ids.size())];
+    const EventId e2 = ids[rng.Uniform(ids.size())];
+    if (e1 == e2) {
+      continue;
+    }
+    (void)g.AssignOrder(std::vector<AssignSpec>{
+        {e1, e2, rng.Bernoulli(0.5) ? Constraint::kMust : Constraint::kPrefer}});
+  }
+
+  const size_t n = ids.size();
+  std::vector<std::vector<Order>> rel(n, std::vector<Order>(n, Order::kConcurrent));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      auto r = g.QueryOrder(std::vector<EventPair>{{ids[i], ids[j]}});
+      ASSERT_TRUE(r.ok());
+      rel[i][j] = (*r)[0];
+      rel[j][i] = (*r)[0] == Order::kBefore   ? Order::kAfter
+                  : (*r)[0] == Order::kAfter  ? Order::kBefore
+                                              : Order::kConcurrent;
+    }
+  }
+  // Antisymmetry is structural above; check transitivity: i<j and j<k implies i<k.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j || rel[i][j] != Order::kBefore) {
+        continue;
+      }
+      for (size_t k = 0; k < n; ++k) {
+        if (k == i || k == j || rel[j][k] != Order::kBefore) {
+          continue;
+        }
+        EXPECT_EQ(rel[i][k], Order::kBefore)
+            << ids[i] << "<" << ids[j] << "<" << ids[k] << " but no " << ids[i] << "<" << ids[k];
+      }
+    }
+  }
+}
+
+// GC safety: after random releases, every surviving pair's order matches what a never-collect
+// twin graph reports, and no event reachable from a referenced event is collected.
+TEST_P(EventGraphPropertyTest, GcPreservesSurvivorOrders) {
+  Rng rng(GetParam() ^ 0xfeed);
+  EventGraph g;
+  EventGraph twin;  // same ops, but never releases references
+  std::vector<EventId> ids;
+  std::set<EventId> released;
+
+  for (int step = 0; step < 1500; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 25 || ids.size() < 2) {
+      const EventId e = g.CreateEvent();
+      const EventId te = twin.CreateEvent();
+      ASSERT_EQ(e, te);  // determinism keeps ids aligned
+      ids.push_back(e);
+      continue;
+    }
+    if (dice < 40) {
+      const EventId e = ids[rng.Uniform(ids.size())];
+      if (released.insert(e).second) {
+        ASSERT_TRUE(g.ReleaseRef(e).ok());
+      }
+      continue;
+    }
+    const EventId e1 = ids[rng.Uniform(ids.size())];
+    const EventId e2 = ids[rng.Uniform(ids.size())];
+    if (e1 == e2 || !g.Contains(e1) || !g.Contains(e2)) {
+      continue;
+    }
+    auto r = g.AssignOrder(std::vector<AssignSpec>{{e1, e2, Constraint::kPrefer}});
+    ASSERT_TRUE(r.ok());
+    auto rt = twin.AssignOrder(std::vector<AssignSpec>{{e1, e2, Constraint::kPrefer}});
+    ASSERT_TRUE(rt.ok());
+  }
+
+  // Survivors must order identically in both graphs.
+  std::vector<EventId> live;
+  for (const EventId e : ids) {
+    if (g.Contains(e)) {
+      live.push_back(e);
+    }
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    for (size_t j = i + 1; j < std::min(live.size(), i + 20); ++j) {
+      auto a = g.QueryOrder(std::vector<EventPair>{{live[i], live[j]}});
+      auto b = twin.QueryOrder(std::vector<EventPair>{{live[i], live[j]}});
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ((*a)[0], (*b)[0]);
+    }
+  }
+  // Pinning: every event still referenced must be alive, and so must everything it reaches.
+  for (const EventId e : ids) {
+    if (released.count(e) == 0) {
+      EXPECT_TRUE(g.Contains(e)) << "referenced event was collected";
+    }
+  }
+}
+
+// The order cache, fed only from engine answers, must never contradict the engine.
+TEST_P(EventGraphPropertyTest, OrderCacheNeverContradictsEngine) {
+  Rng rng(GetParam() ^ 0xcace);
+  EventGraph g;
+  OrderCache cache(OrderCache::Options{.capacity = 512, .transitive_prefill = true});
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(g.CreateEvent());
+  }
+  for (int step = 0; step < 2000; ++step) {
+    const EventId e1 = ids[rng.Uniform(ids.size())];
+    const EventId e2 = ids[rng.Uniform(ids.size())];
+    if (e1 == e2) {
+      continue;
+    }
+    if (rng.Bernoulli(0.4)) {
+      (void)g.AssignOrder(std::vector<AssignSpec>{{e1, e2, Constraint::kPrefer}});
+    } else {
+      std::optional<Order> cached = cache.Lookup(e1, e2);
+      auto r = g.QueryOrder(std::vector<EventPair>{{e1, e2}});
+      ASSERT_TRUE(r.ok());
+      if (cached.has_value()) {
+        EXPECT_EQ(*cached, (*r)[0]) << "cache contradicts engine";
+      }
+      cache.Insert(e1, e2, (*r)[0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventGraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,162 @@
+// Snapshot export/import, the snapshot wire codec, and the topological timeline helper.
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/event_graph.h"
+#include "src/core/state_machine.h"
+#include "src/wire/snapshot.h"
+
+namespace kronos {
+namespace {
+
+TEST(SnapshotTest, EmptyGraphRoundTrip) {
+  KronosStateMachine a;
+  KronosStateMachine b;
+  ASSERT_TRUE(RestoreSnapshot(SerializeSnapshot(a), b).ok());
+  EXPECT_EQ(b.graph().live_events(), 0u);
+  EXPECT_EQ(b.applied_updates(), 0u);
+}
+
+TEST(SnapshotTest, PreservesGraphAndBehaviour) {
+  KronosStateMachine a;
+  const EventId e1 = a.Apply(Command::MakeCreateEvent()).event;
+  const EventId e2 = a.Apply(Command::MakeCreateEvent()).event;
+  const EventId e3 = a.Apply(Command::MakeCreateEvent()).event;
+  a.Apply(Command::MakeAssignOrder({{e1, e2, Constraint::kMust}}));
+  a.Apply(Command::MakeAssignOrder({{e2, e3, Constraint::kMust}}));
+  a.Apply(Command::MakeAcquireRef(e1));
+
+  KronosStateMachine b;
+  ASSERT_TRUE(RestoreSnapshot(SerializeSnapshot(a), b).ok());
+  EXPECT_EQ(b.graph().live_events(), 3u);
+  EXPECT_EQ(b.graph().live_edges(), 2u);
+  EXPECT_EQ(b.applied_updates(), a.applied_updates());
+
+  // Orders, refcounts, and — critically — the id counter behave identically afterwards.
+  CommandResult q = b.Apply(Command::MakeQueryOrder({{e1, e3}}));
+  EXPECT_EQ(q.orders[0], Order::kBefore);
+  EXPECT_EQ(*b.graph().RefCount(e1), 2u);
+  EXPECT_EQ(a.Apply(Command::MakeCreateEvent()).event,
+            b.Apply(Command::MakeCreateEvent()).event);
+}
+
+TEST(SnapshotTest, IdenticalReplicasProduceIdenticalBytes) {
+  Rng rng(5);
+  KronosStateMachine a;
+  KronosStateMachine b;
+  std::vector<EventId> ids;
+  for (int step = 0; step < 500; ++step) {
+    Command cmd;
+    if (rng.Uniform(100) < 40 || ids.size() < 2) {
+      cmd = Command::MakeCreateEvent();
+    } else {
+      const EventId e1 = ids[rng.Uniform(ids.size())];
+      const EventId e2 = ids[rng.Uniform(ids.size())];
+      if (e1 == e2) {
+        continue;
+      }
+      cmd = Command::MakeAssignOrder({{e1, e2, Constraint::kPrefer}});
+    }
+    CommandResult r = a.Apply(cmd);
+    b.Apply(cmd);
+    if (cmd.type == CommandType::kCreateEvent) {
+      ids.push_back(r.event);
+    }
+  }
+  EXPECT_EQ(SerializeSnapshot(a), SerializeSnapshot(b));
+}
+
+TEST(SnapshotTest, RestoreRejectsNonEmptyTarget) {
+  KronosStateMachine a;
+  a.Apply(Command::MakeCreateEvent());
+  KronosStateMachine b;
+  b.Apply(Command::MakeCreateEvent());
+  EXPECT_FALSE(RestoreSnapshot(SerializeSnapshot(a), b).ok());
+}
+
+TEST(SnapshotTest, RejectsCorruptBytes) {
+  KronosStateMachine a;
+  a.Apply(Command::MakeCreateEvent());
+  std::vector<uint8_t> bytes = SerializeSnapshot(a);
+  for (size_t cut = 1; cut < bytes.size(); ++cut) {
+    KronosStateMachine b;
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(RestoreSnapshot(truncated, b).ok()) << cut;
+  }
+}
+
+TEST(SnapshotTest, RejectsDanglingEdge) {
+  EventGraph g;
+  std::vector<EventGraph::SnapshotVertex> vertices;
+  vertices.push_back({.id = 1, .refcount = 1, .successors = {99}});
+  EXPECT_FALSE(g.ImportSnapshot(100, vertices).ok());
+}
+
+TEST(SnapshotTest, GcStillWorksAfterRestore) {
+  KronosStateMachine a;
+  const EventId e1 = a.Apply(Command::MakeCreateEvent()).event;
+  const EventId e2 = a.Apply(Command::MakeCreateEvent()).event;
+  a.Apply(Command::MakeAssignOrder({{e1, e2, Constraint::kMust}}));
+  a.Apply(Command::MakeReleaseRef(e2));  // pinned by e1
+
+  KronosStateMachine b;
+  ASSERT_TRUE(RestoreSnapshot(SerializeSnapshot(a), b).ok());
+  CommandResult r = b.Apply(Command::MakeReleaseRef(e1));
+  EXPECT_EQ(r.collected, 2u);  // e1 and the pinned e2 collect together, as in the original
+  EXPECT_EQ(b.graph().live_events(), 0u);
+}
+
+TEST(TopologicalOrderTest, EmptyGraph) {
+  EventGraph g;
+  EXPECT_TRUE(g.TopologicalOrder().empty());
+}
+
+TEST(TopologicalOrderTest, RespectsAllEdges) {
+  Rng rng(9);
+  EventGraph g;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 60; ++i) {
+    ids.push_back(g.CreateEvent());
+  }
+  for (int i = 0; i < 300; ++i) {
+    const EventId a = ids[rng.Uniform(ids.size())];
+    const EventId b = ids[rng.Uniform(ids.size())];
+    if (a != b) {
+      (void)g.AssignOrder(std::vector<AssignSpec>{{a, b, Constraint::kPrefer}});
+    }
+  }
+  const std::vector<EventId> order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), ids.size());
+  std::unordered_map<EventId, size_t> position;
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = i;
+  }
+  // Every established order must be respected by the timeline (§3.3: any topological sort is
+  // an equivalent schedule).
+  for (const EventId a : ids) {
+    for (const EventId b : ids) {
+      if (a >= b) {
+        continue;
+      }
+      auto r = g.QueryOrder(std::vector<EventPair>{{a, b}});
+      ASSERT_TRUE(r.ok());
+      if ((*r)[0] == Order::kBefore) {
+        EXPECT_LT(position[a], position[b]);
+      } else if ((*r)[0] == Order::kAfter) {
+        EXPECT_LT(position[b], position[a]);
+      }
+    }
+  }
+}
+
+TEST(TopologicalOrderTest, UnconstrainedEventsKeepCreationOrder) {
+  EventGraph g;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(g.CreateEvent());
+  }
+  EXPECT_EQ(g.TopologicalOrder(), ids);
+}
+
+}  // namespace
+}  // namespace kronos

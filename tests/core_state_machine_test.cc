@@ -1,0 +1,134 @@
+#include "src/core/state_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace kronos {
+namespace {
+
+TEST(StateMachineTest, CreateEventReturnsId) {
+  KronosStateMachine sm;
+  CommandResult r = sm.Apply(Command::MakeCreateEvent());
+  EXPECT_TRUE(r.ok());
+  EXPECT_NE(r.event, kInvalidEvent);
+}
+
+TEST(StateMachineTest, FullApiRoundTrip) {
+  KronosStateMachine sm;
+  const EventId a = sm.Apply(Command::MakeCreateEvent()).event;
+  const EventId b = sm.Apply(Command::MakeCreateEvent()).event;
+
+  CommandResult assign =
+      sm.Apply(Command::MakeAssignOrder({{a, b, Constraint::kMust}}));
+  ASSERT_TRUE(assign.ok());
+  EXPECT_EQ(assign.outcomes[0], AssignOutcome::kCreated);
+
+  CommandResult query = sm.Apply(Command::MakeQueryOrder({{a, b}}));
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.orders[0], Order::kBefore);
+
+  EXPECT_TRUE(sm.Apply(Command::MakeAcquireRef(a)).ok());
+  CommandResult release = sm.Apply(Command::MakeReleaseRef(a));
+  EXPECT_TRUE(release.ok());
+  EXPECT_EQ(release.collected, 0u);
+}
+
+TEST(StateMachineTest, ErrorsSurfaceInResult) {
+  KronosStateMachine sm;
+  CommandResult r = sm.Apply(Command::MakeAcquireRef(424242));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+}
+
+TEST(StateMachineTest, ReadOnlyClassification) {
+  EXPECT_TRUE(Command::MakeQueryOrder({}).read_only());
+  EXPECT_FALSE(Command::MakeCreateEvent().read_only());
+  EXPECT_FALSE(Command::MakeAcquireRef(1).read_only());
+  EXPECT_FALSE(Command::MakeReleaseRef(1).read_only());
+  EXPECT_FALSE(Command::MakeAssignOrder({}).read_only());
+}
+
+TEST(StateMachineTest, AppliedUpdatesCountsOnlyMutations) {
+  KronosStateMachine sm;
+  const EventId a = sm.Apply(Command::MakeCreateEvent()).event;
+  const EventId b = sm.Apply(Command::MakeCreateEvent()).event;
+  EXPECT_EQ(sm.applied_updates(), 2u);
+  sm.Apply(Command::MakeQueryOrder({{a, b}}));
+  EXPECT_EQ(sm.applied_updates(), 2u);  // queries don't advance the update log
+  sm.Apply(Command::MakeAssignOrder({{a, b, Constraint::kPrefer}}));
+  EXPECT_EQ(sm.applied_updates(), 3u);
+}
+
+TEST(StateMachineTest, HasConcurrentDetection) {
+  KronosStateMachine sm;
+  const EventId a = sm.Apply(Command::MakeCreateEvent()).event;
+  const EventId b = sm.Apply(Command::MakeCreateEvent()).event;
+  CommandResult q = sm.Apply(Command::MakeQueryOrder({{a, b}}));
+  EXPECT_TRUE(q.HasConcurrent());
+  sm.Apply(Command::MakeAssignOrder({{a, b, Constraint::kMust}}));
+  q = sm.Apply(Command::MakeQueryOrder({{a, b}}));
+  EXPECT_FALSE(q.HasConcurrent());
+}
+
+// Determinism is the property chain replication relies on (§2.4): two state machines fed the
+// same command stream produce byte-identical results.
+TEST(StateMachineTest, DeterministicReplay) {
+  Rng rng(99);
+  std::vector<Command> log;
+  std::vector<EventId> ids;
+
+  KronosStateMachine primary;
+  for (int i = 0; i < 2000; ++i) {
+    Command cmd;
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 30 || ids.size() < 2) {
+      cmd = Command::MakeCreateEvent();
+    } else if (dice < 60) {
+      const EventId e1 = ids[rng.Uniform(ids.size())];
+      const EventId e2 = ids[rng.Uniform(ids.size())];
+      if (e1 == e2) {
+        continue;
+      }
+      cmd = Command::MakeAssignOrder(
+          {{e1, e2, rng.Bernoulli(0.5) ? Constraint::kMust : Constraint::kPrefer}});
+    } else if (dice < 80) {
+      const EventId e1 = ids[rng.Uniform(ids.size())];
+      const EventId e2 = ids[rng.Uniform(ids.size())];
+      if (e1 == e2) {
+        continue;
+      }
+      cmd = Command::MakeQueryOrder({{e1, e2}});
+    } else if (dice < 90) {
+      cmd = Command::MakeAcquireRef(ids[rng.Uniform(ids.size())]);
+    } else {
+      cmd = Command::MakeReleaseRef(ids[rng.Uniform(ids.size())]);
+    }
+    log.push_back(cmd);
+    CommandResult r = primary.Apply(cmd);
+    if (cmd.type == CommandType::kCreateEvent) {
+      ids.push_back(r.event);
+    }
+  }
+
+  // Replay the identical log on a fresh replica and compare every result.
+  KronosStateMachine replica;
+  KronosStateMachine primary2;
+  for (const Command& cmd : log) {
+    CommandResult a = primary2.Apply(cmd);
+    CommandResult b = replica.Apply(cmd);
+    EXPECT_EQ(a.status.code(), b.status.code());
+    EXPECT_EQ(a.event, b.event);
+    EXPECT_EQ(a.collected, b.collected);
+    EXPECT_EQ(a.orders, b.orders);
+    EXPECT_EQ(a.outcomes, b.outcomes);
+  }
+  EXPECT_EQ(primary2.graph().live_events(), replica.graph().live_events());
+  EXPECT_EQ(primary2.graph().live_edges(), replica.graph().live_edges());
+  EXPECT_EQ(primary2.applied_updates(), replica.applied_updates());
+}
+
+}  // namespace
+}  // namespace kronos

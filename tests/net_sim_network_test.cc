@@ -1,0 +1,192 @@
+#include "src/net/sim_network.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/clock.h"
+
+namespace kronos {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> b) { return std::vector<uint8_t>(b); }
+
+TEST(SimNetworkTest, ZeroLatencyDelivery) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  ASSERT_TRUE(net.Send(a, b, Bytes({1, 2, 3})).ok());
+  auto msg = net.ReceiveFor(b, 100000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, a);
+  EXPECT_EQ(msg->to, b);
+  EXPECT_EQ(msg->bytes, Bytes({1, 2, 3}));
+}
+
+TEST(SimNetworkTest, SendToUnknownNodeFails) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  EXPECT_FALSE(net.Send(a, 999, {}).ok());
+  EXPECT_FALSE(net.Send(999, a, {}).ok());
+}
+
+TEST(SimNetworkTest, ReceiveTimesOut) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  const uint64_t start = MonotonicMicros();
+  EXPECT_FALSE(net.ReceiveFor(a, 20000).has_value());
+  EXPECT_GE(MonotonicMicros() - start, 15000u);
+}
+
+TEST(SimNetworkTest, PerLinkFifoOrderAtZeroLatency) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  for (uint8_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(net.Send(a, b, Bytes({i})).ok());
+  }
+  for (uint8_t i = 0; i < 100; ++i) {
+    auto msg = net.ReceiveFor(b, 100000);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->bytes[0], i);
+  }
+}
+
+TEST(SimNetworkTest, LatencyDelaysDelivery) {
+  SimNetwork net(SimNetwork::Options{.min_latency_us = 20000, .max_latency_us = 20000});
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  const uint64_t start = MonotonicMicros();
+  ASSERT_TRUE(net.Send(a, b, Bytes({7})).ok());
+  auto msg = net.ReceiveFor(b, 1000000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_GE(MonotonicMicros() - start, 15000u);
+}
+
+TEST(SimNetworkTest, LatencyPreservesSendOrderForEqualDelay) {
+  SimNetwork net(SimNetwork::Options{.min_latency_us = 5000, .max_latency_us = 5000});
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  for (uint8_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(net.Send(a, b, Bytes({i})).ok());
+  }
+  for (uint8_t i = 0; i < 20; ++i) {
+    auto msg = net.ReceiveFor(b, 1000000);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->bytes[0], i);
+  }
+}
+
+TEST(SimNetworkTest, DownNodeDropsTraffic) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  net.SetNodeDown(b, true);
+  ASSERT_TRUE(net.Send(a, b, Bytes({1})).ok());  // silently dropped
+  EXPECT_FALSE(net.ReceiveFor(b, 10000).has_value());
+  EXPECT_EQ(net.stats().dropped_down.load(), 1u);
+
+  net.SetNodeDown(b, false);
+  ASSERT_TRUE(net.Send(a, b, Bytes({2})).ok());
+  auto msg = net.ReceiveFor(b, 100000);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->bytes[0], 2);
+}
+
+TEST(SimNetworkTest, DownSenderDropsTraffic) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  net.SetNodeDown(a, true);
+  ASSERT_TRUE(net.Send(a, b, Bytes({1})).ok());
+  EXPECT_FALSE(net.ReceiveFor(b, 10000).has_value());
+}
+
+TEST(SimNetworkTest, CutLinkDropsBothDirections) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  const NodeId c = net.CreateNode("c");
+  net.CutLink(a, b);
+  ASSERT_TRUE(net.Send(a, b, Bytes({1})).ok());
+  ASSERT_TRUE(net.Send(b, a, Bytes({2})).ok());
+  EXPECT_FALSE(net.ReceiveFor(b, 10000).has_value());
+  EXPECT_FALSE(net.ReceiveFor(a, 10000).has_value());
+  EXPECT_EQ(net.stats().dropped_cut.load(), 2u);
+  // Unrelated links are unaffected.
+  ASSERT_TRUE(net.Send(a, c, Bytes({3})).ok());
+  EXPECT_TRUE(net.ReceiveFor(c, 100000).has_value());
+  // Healing restores the link.
+  net.HealLink(a, b);
+  ASSERT_TRUE(net.Send(a, b, Bytes({4})).ok());
+  EXPECT_TRUE(net.ReceiveFor(b, 100000).has_value());
+}
+
+TEST(SimNetworkTest, RandomDropProbability) {
+  SimNetwork net(SimNetwork::Options{.drop_probability = 0.5, .seed = 7});
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(net.Send(a, b, Bytes({1})).ok());
+  }
+  const uint64_t dropped = net.stats().dropped_random.load();
+  EXPECT_GT(dropped, 350u);
+  EXPECT_LT(dropped, 650u);
+  EXPECT_EQ(net.stats().delivered.load(), 1000 - dropped);
+}
+
+TEST(SimNetworkTest, ShutdownUnblocksReceivers) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  std::thread t([&] { EXPECT_FALSE(net.Receive(a).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  net.Shutdown();
+  t.join();
+  EXPECT_TRUE(net.IsShutdown());
+}
+
+TEST(SimNetworkTest, StatsCountSentAndDelivered) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(net.Send(a, b, Bytes({1})).ok());
+  }
+  EXPECT_EQ(net.stats().sent.load(), 10u);
+  EXPECT_EQ(net.stats().delivered.load(), 10u);
+}
+
+TEST(SimNetworkTest, NodeNamesAreKept) {
+  SimNetwork net;
+  const NodeId a = net.CreateNode("alpha");
+  EXPECT_EQ(net.NodeName(a), "alpha");
+  EXPECT_EQ(net.node_count(), 1u);
+}
+
+TEST(SimNetworkTest, ConcurrentSendersAllDeliver) {
+  SimNetwork net;
+  const NodeId dst = net.CreateNode("dst");
+  std::vector<NodeId> senders;
+  for (int i = 0; i < 8; ++i) {
+    senders.push_back(net.CreateNode("s" + std::to_string(i)));
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      for (int k = 0; k < 500; ++k) {
+        ASSERT_TRUE(net.Send(senders[i], dst, Bytes({static_cast<uint8_t>(i)})).ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  int received = 0;
+  while (net.ReceiveFor(dst, 10000).has_value()) {
+    ++received;
+  }
+  EXPECT_EQ(received, 4000);
+}
+
+}  // namespace
+}  // namespace kronos

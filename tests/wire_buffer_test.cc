@@ -1,0 +1,148 @@
+#include "src/wire/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace kronos {
+namespace {
+
+TEST(BufferTest, RoundTripFixedWidths) {
+  BufferWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0xbeef);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefull);
+
+  BufferReader r(w.buffer());
+  uint8_t a;
+  uint16_t b;
+  uint32_t c;
+  uint64_t d;
+  ASSERT_TRUE(r.ReadU8(a).ok());
+  ASSERT_TRUE(r.ReadU16(b).ok());
+  ASSERT_TRUE(r.ReadU32(c).ok());
+  ASSERT_TRUE(r.ReadU64(d).ok());
+  EXPECT_EQ(a, 0xab);
+  EXPECT_EQ(b, 0xbeef);
+  EXPECT_EQ(c, 0xdeadbeefu);
+  EXPECT_EQ(d, 0x0123456789abcdefull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, LittleEndianLayout) {
+  BufferWriter w;
+  w.WriteU32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(BufferTest, VarintSmallValuesAreOneByte) {
+  BufferWriter w;
+  w.WriteVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.WriteVarint(128);
+  EXPECT_EQ(w.size(), 3u);  // second varint takes 2 bytes
+}
+
+TEST(BufferTest, VarintRoundTripBoundaries) {
+  const uint64_t values[] = {0,      1,        127,        128,       16383, 16384,
+                             (1ull << 32) - 1, 1ull << 32, UINT64_MAX};
+  BufferWriter w;
+  for (uint64_t v : values) {
+    w.WriteVarint(v);
+  }
+  BufferReader r(w.buffer());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.ReadVarint(got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, VarintRandomRoundTrip) {
+  Rng rng(3);
+  BufferWriter w;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix magnitudes so every byte-length is exercised.
+    const uint64_t v = rng.Next() >> rng.Uniform(64);
+    values.push_back(v);
+    w.WriteVarint(v);
+  }
+  BufferReader r(w.buffer());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.ReadVarint(got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(BufferTest, StringRoundTrip) {
+  BufferWriter w;
+  w.WriteString("");
+  w.WriteString("kronos");
+  w.WriteString(std::string(1000, 'x'));
+  BufferReader r(w.buffer());
+  std::string a, b, c;
+  ASSERT_TRUE(r.ReadString(a).ok());
+  ASSERT_TRUE(r.ReadString(b).ok());
+  ASSERT_TRUE(r.ReadString(c).ok());
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, "kronos");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(BufferTest, UnderflowIsReported) {
+  BufferWriter w;
+  w.WriteU8(1);
+  BufferReader r(w.buffer());
+  uint64_t v;
+  EXPECT_EQ(r.ReadU64(v).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BufferTest, TruncatedVarintIsReported) {
+  const uint8_t bytes[] = {0x80, 0x80};  // continuation bits with no terminator
+  BufferReader r(bytes);
+  uint64_t v;
+  EXPECT_EQ(r.ReadVarint(v).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BufferTest, OverlongVarintIsReported) {
+  const uint8_t bytes[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  BufferReader r(bytes);
+  uint64_t v;
+  EXPECT_EQ(r.ReadVarint(v).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BufferTest, TruncatedStringIsReported) {
+  BufferWriter w;
+  w.WriteVarint(100);  // claims 100 bytes follow
+  w.WriteU8('x');
+  BufferReader r(w.buffer());
+  std::string s;
+  EXPECT_EQ(r.ReadString(s).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BufferTest, ReadBytesExact) {
+  BufferWriter w;
+  const uint8_t payload[] = {1, 2, 3, 4};
+  w.WriteBytes(payload);
+  BufferReader r(w.buffer());
+  uint8_t out[4] = {};
+  ASSERT_TRUE(r.ReadBytes(out).ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(BufferTest, TakeBufferMovesContents) {
+  BufferWriter w;
+  w.WriteU32(7);
+  std::vector<uint8_t> taken = w.TakeBuffer();
+  EXPECT_EQ(taken.size(), 4u);
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,207 @@
+#include "src/wire/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace kronos {
+namespace {
+
+void ExpectCommandsEqual(const Command& a, const Command& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.event, b.event);
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.specs, b.specs);
+}
+
+TEST(CodecTest, CreateEventRoundTrip) {
+  const Command cmd = Command::MakeCreateEvent();
+  auto parsed = ParseCommand(SerializeCommand(cmd));
+  ASSERT_TRUE(parsed.ok());
+  ExpectCommandsEqual(cmd, *parsed);
+}
+
+TEST(CodecTest, RefCommandsRoundTrip) {
+  for (const Command& cmd :
+       {Command::MakeAcquireRef(0xdeadbeefcafeull), Command::MakeReleaseRef(42)}) {
+    auto parsed = ParseCommand(SerializeCommand(cmd));
+    ASSERT_TRUE(parsed.ok());
+    ExpectCommandsEqual(cmd, *parsed);
+  }
+}
+
+TEST(CodecTest, QueryOrderRoundTrip) {
+  const Command cmd = Command::MakeQueryOrder({{1, 2}, {300, 4000}, {UINT64_MAX, 1}});
+  auto parsed = ParseCommand(SerializeCommand(cmd));
+  ASSERT_TRUE(parsed.ok());
+  ExpectCommandsEqual(cmd, *parsed);
+}
+
+TEST(CodecTest, AssignOrderRoundTrip) {
+  const Command cmd = Command::MakeAssignOrder(
+      {{1, 2, Constraint::kMust}, {7, 9, Constraint::kPrefer}});
+  auto parsed = ParseCommand(SerializeCommand(cmd));
+  ASSERT_TRUE(parsed.ok());
+  ExpectCommandsEqual(cmd, *parsed);
+}
+
+TEST(CodecTest, EmptyBatchesRoundTrip) {
+  for (const Command& cmd : {Command::MakeQueryOrder({}), Command::MakeAssignOrder({})}) {
+    auto parsed = ParseCommand(SerializeCommand(cmd));
+    ASSERT_TRUE(parsed.ok());
+    ExpectCommandsEqual(cmd, *parsed);
+  }
+}
+
+TEST(CodecTest, CommandResultRoundTrip) {
+  CommandResult res;
+  res.status = OrderViolation("cycle");
+  res.event = 99;
+  res.collected = 12345;
+  res.orders = {Order::kBefore, Order::kConcurrent, Order::kAfter};
+  res.outcomes = {AssignOutcome::kCreated, AssignOutcome::kReversed};
+  auto parsed = ParseCommandResult(SerializeCommandResult(res));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status.code(), StatusCode::kOrderViolation);
+  EXPECT_EQ(parsed->status.message(), "cycle");
+  EXPECT_EQ(parsed->event, 99u);
+  EXPECT_EQ(parsed->collected, 12345u);
+  EXPECT_EQ(parsed->orders, res.orders);
+  EXPECT_EQ(parsed->outcomes, res.outcomes);
+}
+
+TEST(CodecTest, OkResultRoundTrip) {
+  CommandResult res;
+  res.event = 1;
+  auto parsed = ParseCommandResult(SerializeCommandResult(res));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->ok());
+}
+
+TEST(CodecTest, RejectsBadVersion) {
+  std::vector<uint8_t> bytes = SerializeCommand(Command::MakeCreateEvent());
+  bytes[0] = 99;
+  EXPECT_EQ(ParseCommand(bytes).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, RejectsBadCommandType) {
+  std::vector<uint8_t> bytes = SerializeCommand(Command::MakeCreateEvent());
+  bytes[1] = 200;
+  EXPECT_EQ(ParseCommand(bytes).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, RejectsTrailingGarbage) {
+  std::vector<uint8_t> bytes = SerializeCommand(Command::MakeCreateEvent());
+  bytes.push_back(0);
+  EXPECT_EQ(ParseCommand(bytes).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, RejectsTruncation) {
+  const Command cmd = Command::MakeQueryOrder({{1, 2}, {3, 4}});
+  std::vector<uint8_t> bytes = SerializeCommand(cmd);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(ParseCommand(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, RejectsCountBomb) {
+  // A tiny payload claiming millions of pairs must be rejected before allocation.
+  BufferWriter w;
+  w.WriteU8(kWireVersion);
+  w.WriteU8(static_cast<uint8_t>(CommandType::kQueryOrder));
+  w.WriteVarint(1u << 30);
+  EXPECT_FALSE(ParseCommand(w.buffer()).ok());
+}
+
+TEST(CodecTest, EnvelopeRoundTrip) {
+  Envelope env;
+  env.kind = MessageKind::kChainPropagate;
+  env.id = 777;
+  env.payload = SerializeCommand(Command::MakeAcquireRef(5));
+  auto parsed = ParseEnvelope(SerializeEnvelope(env));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, MessageKind::kChainPropagate);
+  EXPECT_EQ(parsed->id, 777u);
+  EXPECT_EQ(parsed->payload, env.payload);
+}
+
+TEST(CodecTest, EnvelopeEmptyPayload) {
+  Envelope env;
+  env.kind = MessageKind::kChainAck;
+  env.id = 3;
+  auto parsed = ParseEnvelope(SerializeEnvelope(env));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(CodecTest, EnvelopeRejectsLengthMismatch) {
+  Envelope env;
+  env.kind = MessageKind::kRequest;
+  env.payload = {1, 2, 3};
+  std::vector<uint8_t> bytes = SerializeEnvelope(env);
+  bytes.pop_back();
+  EXPECT_FALSE(ParseEnvelope(bytes).ok());
+}
+
+TEST(CodecTest, EnvelopeRejectsBadKind) {
+  Envelope env;
+  std::vector<uint8_t> bytes = SerializeEnvelope(env);
+  bytes[1] = 0;
+  EXPECT_FALSE(ParseEnvelope(bytes).ok());
+}
+
+TEST(CodecTest, FuzzedBytesNeverCrash) {
+  // Random byte strings must either parse or fail cleanly — never crash or hang.
+  Rng rng(1337);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::vector<uint8_t> bytes(rng.Uniform(64));
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.Uniform(256));
+    }
+    (void)ParseCommand(bytes);
+    (void)ParseCommandResult(bytes);
+    (void)ParseEnvelope(bytes);
+  }
+}
+
+TEST(CodecTest, RandomCommandsRoundTrip) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 1000; ++iter) {
+    Command cmd;
+    switch (rng.Uniform(5)) {
+      case 0:
+        cmd = Command::MakeCreateEvent();
+        break;
+      case 1:
+        cmd = Command::MakeAcquireRef(rng.Next());
+        break;
+      case 2:
+        cmd = Command::MakeReleaseRef(rng.Next());
+        break;
+      case 3: {
+        std::vector<EventPair> pairs(rng.Uniform(10));
+        for (auto& p : pairs) {
+          p = {rng.Next(), rng.Next()};
+        }
+        cmd = Command::MakeQueryOrder(std::move(pairs));
+        break;
+      }
+      default: {
+        std::vector<AssignSpec> specs(rng.Uniform(10));
+        for (auto& s : specs) {
+          s = {rng.Next(), rng.Next(),
+               rng.Bernoulli(0.5) ? Constraint::kMust : Constraint::kPrefer};
+        }
+        cmd = Command::MakeAssignOrder(std::move(specs));
+        break;
+      }
+    }
+    auto parsed = ParseCommand(SerializeCommand(cmd));
+    ASSERT_TRUE(parsed.ok());
+    ExpectCommandsEqual(cmd, *parsed);
+  }
+}
+
+}  // namespace
+}  // namespace kronos

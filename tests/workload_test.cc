@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/graph_gen.h"
+#include "src/workload/workloads.h"
+
+namespace kronos {
+namespace {
+
+TEST(GraphGenTest, ErdosRenyiExactEdgeCount) {
+  GeneratedGraph g = ErdosRenyi(100, 500, 1);
+  EXPECT_EQ(g.num_vertices, 100u);
+  EXPECT_EQ(g.edges.size(), 500u);
+}
+
+TEST(GraphGenTest, ErdosRenyiNoDuplicatesNoSelfLoops) {
+  GeneratedGraph g = ErdosRenyi(50, 400, 2);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const auto& [a, b] : g.edges) {
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, b);  // normalized orientation (acyclic when used as a DAG)
+    EXPECT_LT(b, 50u);
+    EXPECT_TRUE(seen.insert({a, b}).second) << a << "," << b;
+  }
+}
+
+TEST(GraphGenTest, ErdosRenyiClampsToCompleteGraph) {
+  GeneratedGraph g = ErdosRenyi(5, 1000000, 3);
+  EXPECT_EQ(g.edges.size(), 10u);  // C(5,2)
+}
+
+TEST(GraphGenTest, ErdosRenyiDeterministicBySeed) {
+  GeneratedGraph a = ErdosRenyi(100, 300, 7);
+  GeneratedGraph b = ErdosRenyi(100, 300, 7);
+  EXPECT_EQ(a.edges, b.edges);
+  GeneratedGraph c = ErdosRenyi(100, 300, 8);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(GraphGenTest, FixedAverageDegreeHitsTarget) {
+  GeneratedGraph g = FixedAverageDegree(1000, 10.0, 4);
+  EXPECT_NEAR(g.AverageDegree(), 10.0, 0.1);
+  GeneratedGraph dense = FixedAverageDegree(1000, 100.0, 5);
+  EXPECT_NEAR(dense.AverageDegree(), 100.0, 1.0);
+}
+
+TEST(GraphGenTest, BarabasiAlbertScale) {
+  GeneratedGraph g = BarabasiAlbert(2000, 10, 6);
+  EXPECT_EQ(g.num_vertices, 2000u);
+  // Roughly m edges per non-seed vertex.
+  EXPECT_GT(g.edges.size(), 1900u * 10 * 9 / 10);
+  EXPECT_LE(g.edges.size(), 1990u * 10 + 10);
+}
+
+TEST(GraphGenTest, BarabasiAlbertIsHeavyTailed) {
+  GeneratedGraph g = BarabasiAlbert(5000, 5, 7);
+  std::vector<uint64_t> degree(g.num_vertices, 0);
+  for (const auto& [a, b] : g.edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  const uint64_t max_degree = *std::max_element(degree.begin(), degree.end());
+  const double avg = g.AverageDegree();
+  // Hubs dominate: the max degree is far above the average (not true for ER graphs).
+  EXPECT_GT(static_cast<double>(max_degree), 10.0 * avg);
+}
+
+TEST(GraphGenTest, TwitterLikeMatchesPaperScale) {
+  GeneratedGraph g = TwitterLike(1);
+  EXPECT_EQ(g.num_vertices, 81306u);
+  // Paper: 1,768,149 friendship links; the stand-in should be within ~5%.
+  EXPECT_GT(g.edges.size(), 1680000u);
+  EXPECT_LT(g.edges.size(), 1860000u);
+}
+
+TEST(BankWorkloadTest, TransfersAreWellFormed) {
+  BankWorkload wl(100, 0.9, 1);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    TransferOp op = wl.Next(rng);
+    EXPECT_NE(op.from, op.to);
+    EXPECT_LT(op.from, 100u);
+    EXPECT_LT(op.to, 100u);
+    EXPECT_GT(op.amount, 0);
+  }
+}
+
+TEST(BankWorkloadTest, ZipfSkewsAccountZero) {
+  BankWorkload wl(1000, 0.99, 2);
+  Rng rng(2);
+  int zero_hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    zero_hits += (wl.Next(rng).from == 0);
+  }
+  EXPECT_GT(zero_hits, 200);  // far above the uniform expectation of 10
+}
+
+TEST(GraphMixWorkloadTest, ReadFractionIsRespected) {
+  GraphMixWorkload wl(1000, 0.95, 3);
+  Rng rng(3);
+  int reads = 0;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    reads += (wl.Next(rng).kind == GraphOp::Kind::kRecommend);
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kOps, 0.95, 0.01);
+}
+
+TEST(GraphMixWorkloadTest, NewVerticesAreFresh) {
+  GraphMixWorkload wl(100, 0.0, 4);
+  Rng rng(4);
+  std::set<uint64_t> fresh;
+  for (int i = 0; i < 1000; ++i) {
+    GraphOp op = wl.Next(rng);
+    if (op.kind == GraphOp::Kind::kAddVertexEdge) {
+      EXPECT_GE(op.a, 100u);
+      EXPECT_TRUE(fresh.insert(op.a).second);  // unique
+    }
+  }
+  EXPECT_FALSE(fresh.empty());
+}
+
+TEST(RunClosedLoopTest, CountsAndTiming) {
+  std::atomic<int> calls{0};
+  LoadResult r = RunClosedLoop(4, 100000, 1, [&](int, Rng&) {
+    calls.fetch_add(1);
+    return true;
+  });
+  EXPECT_EQ(r.completed, static_cast<uint64_t>(calls.load()));
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_GT(r.seconds, 0.09);
+  EXPECT_GT(r.Throughput(), 0.0);
+  EXPECT_EQ(r.latency_us.count(), r.completed + r.failed);
+}
+
+TEST(RunClosedLoopTest, FailuresCountedSeparately) {
+  LoadResult r = RunClosedLoop(2, 50000, 1, [&](int t, Rng&) { return t == 0; });
+  EXPECT_GT(r.failed, 0u);
+  EXPECT_GT(r.completed, 0u);
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,130 @@
+// kronos_cli: command-line client for a running kronosd.
+//
+//   kronos_cli <port> create
+//   kronos_cli <port> acquire <event>
+//   kronos_cli <port> release <event>
+//   kronos_cli <port> query <e1> <e2> [<e1> <e2> ...]
+//   kronos_cli <port> assign <e1> (must|prefer) <e2> [...]
+//
+// Exit code 0 on success; the ORDER_VIOLATION abort exits 2 so scripts can branch on it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/client/tcp_client.h"
+
+using namespace kronos;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <port> create\n"
+               "       %s <port> acquire <event>\n"
+               "       %s <port> release <event>\n"
+               "       %s <port> query <e1> <e2> [...]\n"
+               "       %s <port> assign <e1> (must|prefer) <e2> [...]\n",
+               argv0, argv0, argv0, argv0, argv0);
+  return 64;
+}
+
+EventId ParseEvent(const char* s) { return std::strtoull(s, nullptr, 10); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage(argv[0]);
+  }
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  const std::string verb = argv[2];
+
+  Result<std::unique_ptr<TcpKronos>> client = TcpKronos::Connect(port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (verb == "create") {
+    Result<EventId> e = (*client)->CreateEvent();
+    if (!e.ok()) {
+      std::fprintf(stderr, "%s\n", e.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%llu\n", (unsigned long long)*e);
+    return 0;
+  }
+  if (verb == "acquire" || verb == "release") {
+    if (argc != 4) {
+      return Usage(argv[0]);
+    }
+    const EventId e = ParseEvent(argv[3]);
+    if (verb == "acquire") {
+      Status s = (*client)->AcquireRef(e);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("ok\n");
+    } else {
+      Result<uint64_t> collected = (*client)->ReleaseRef(e);
+      if (!collected.ok()) {
+        std::fprintf(stderr, "%s\n", collected.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("collected %llu\n", (unsigned long long)*collected);
+    }
+    return 0;
+  }
+  if (verb == "query") {
+    if (argc < 5 || (argc - 3) % 2 != 0) {
+      return Usage(argv[0]);
+    }
+    std::vector<EventPair> pairs;
+    for (int i = 3; i + 1 < argc; i += 2) {
+      pairs.push_back({ParseEvent(argv[i]), ParseEvent(argv[i + 1])});
+    }
+    Result<std::vector<Order>> orders = (*client)->QueryOrder(pairs);
+    if (!orders.ok()) {
+      std::fprintf(stderr, "%s\n", orders.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < orders->size(); ++i) {
+      std::printf("%llu %llu %s\n", (unsigned long long)pairs[i].e1,
+                  (unsigned long long)pairs[i].e2,
+                  std::string(OrderName((*orders)[i])).c_str());
+    }
+    return 0;
+  }
+  if (verb == "assign") {
+    if (argc < 6 || (argc - 3) % 3 != 0) {
+      return Usage(argv[0]);
+    }
+    std::vector<AssignSpec> specs;
+    for (int i = 3; i + 2 < argc; i += 3) {
+      Constraint c;
+      if (std::strcmp(argv[i + 1], "must") == 0) {
+        c = Constraint::kMust;
+      } else if (std::strcmp(argv[i + 1], "prefer") == 0) {
+        c = Constraint::kPrefer;
+      } else {
+        return Usage(argv[0]);
+      }
+      specs.push_back({ParseEvent(argv[i]), ParseEvent(argv[i + 2]), c});
+    }
+    Result<std::vector<AssignOutcome>> outcomes = (*client)->AssignOrder(specs);
+    if (!outcomes.ok()) {
+      std::fprintf(stderr, "%s\n", outcomes.status().ToString().c_str());
+      return outcomes.status().code() == StatusCode::kOrderViolation ? 2 : 1;
+    }
+    for (size_t i = 0; i < outcomes->size(); ++i) {
+      std::printf("%llu -> %llu %s\n", (unsigned long long)specs[i].e1,
+                  (unsigned long long)specs[i].e2,
+                  std::string(AssignOutcomeName((*outcomes)[i])).c_str());
+    }
+    return 0;
+  }
+  return Usage(argv[0]);
+}

@@ -1,0 +1,50 @@
+// kronosd: the standalone Kronos event ordering daemon.
+//
+// Usage: kronosd [port]
+//
+// Serves the Kronos API on 127.0.0.1:<port> (default 7330; 0 picks an ephemeral port and
+// prints it). Clients connect with TcpKronos (see src/client/tcp_client.h) or any
+// implementation of the framed envelope protocol in src/wire.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/server/daemon.h"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7330;
+  if (argc > 1) {
+    port = static_cast<uint16_t>(std::atoi(argv[1]));
+  }
+  kronos::KronosDaemon daemon;
+  kronos::Status started = daemon.Start(port);
+  if (!started.ok()) {
+    std::fprintf(stderr, "kronosd: failed to start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("kronosd: listening on 127.0.0.1:%u\n", daemon.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("kronosd: served %llu commands over %llu connections, shutting down\n",
+              (unsigned long long)daemon.commands_served(),
+              (unsigned long long)daemon.connections_served());
+  daemon.Stop();
+  return 0;
+}
