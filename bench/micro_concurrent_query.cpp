@@ -1,0 +1,211 @@
+// Concurrent read-path microbenchmark: query_order throughput vs. client-thread count.
+//
+// The paper's workloads are read-dominated (Figs. 6–9), and the monotonicity invariant makes
+// concurrent reads safe by construction. This bench measures what the shared/exclusive command
+// split buys: N client threads drive one KronosDaemon over real TCP, first with a read-only
+// query stream, then with the Fig. 6-style 95/5 read/write mix. Each workload runs twice —
+// once with the daemon's `serialize_reads` ablation (the seed architecture: every command
+// behind one mutex, so throughput is flat in N) and once with shared-mode reads (queries
+// overlap; only the 5% writes serialize).
+//
+// Per the DESIGN.md §4.5 single-core-host convention, engine capacity is modelled with a
+// simulated per-query service time held *inside* the lock (KRONOS_BENCH_SERVICE_US, default
+// 50 us ≈ the paper's §4.2 query cost): shared-mode readers overlap their service times the
+// way real cores would, the serialized baseline cannot. Set it to 0 on a many-core machine to
+// measure raw CPU-bound scaling instead.
+//
+// KRONOS_BENCH_JSON=<path> additionally dumps the numbers as JSON (BENCH_concurrent_query.json
+// in the repo tracks the perf trajectory).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/client/tcp_client.h"
+#include "src/common/random.h"
+#include "src/server/daemon.h"
+
+namespace kronos {
+namespace {
+
+struct RunResult {
+  int threads = 0;
+  uint64_t ops = 0;
+  double seconds = 0;
+  double qps() const { return seconds > 0 ? static_cast<double>(ops) / seconds : 0; }
+};
+
+uint64_t ServiceUs() {
+  const char* env = std::getenv("KRONOS_BENCH_SERVICE_US");
+  if (env == nullptr) {
+    return 50;
+  }
+  return static_cast<uint64_t>(std::atoll(env));
+}
+
+// Preloads a random DAG: `vertices` events, ~`edges` happens-before pairs always directed from
+// the lower-indexed event to the higher, so the graph stays acyclic no matter the order.
+std::vector<EventId> Preload(KronosApi& api, uint64_t vertices, uint64_t edges) {
+  std::vector<EventId> ids;
+  ids.reserve(vertices);
+  for (uint64_t i = 0; i < vertices; ++i) {
+    Result<EventId> e = api.CreateEvent();
+    KRONOS_CHECK(e.ok());
+    ids.push_back(*e);
+  }
+  Rng rng(42);
+  std::vector<AssignSpec> batch;
+  for (uint64_t i = 0; i < edges; ++i) {
+    const uint64_t a = rng.Uniform(vertices - 1);
+    const uint64_t b = a + 1 + rng.Uniform(vertices - a - 1);
+    batch.push_back({ids[a], ids[b], Constraint::kPrefer});
+    if (batch.size() == 64) {
+      KRONOS_CHECK(api.AssignOrder(batch).ok());
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    KRONOS_CHECK(api.AssignOrder(batch).ok());
+  }
+  return ids;
+}
+
+// Drives `threads` clients against the daemon for `duration_us`. write_fraction = 0 is the
+// read-only stream; 0.05 is the Fig. 6 mix. Returns total completed commands.
+RunResult Drive(uint16_t port, const std::vector<EventId>& ids, int threads,
+                uint64_t duration_us, double write_fraction) {
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto client = TcpKronos::Connect(port);
+      KRONOS_CHECK(client.ok());
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(duration_us);
+      uint64_t ops = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        const uint64_t a = rng.Uniform(ids.size() - 1);
+        const uint64_t b = a + 1 + rng.Uniform(ids.size() - a - 1);
+        if (write_fraction > 0 && rng.Bernoulli(write_fraction)) {
+          // Writes keep the lower->higher direction, so they never violate coherency.
+          KRONOS_CHECK((*client)->AssignOrder({{ids[a], ids[b], Constraint::kPrefer}}).ok());
+        } else {
+          Result<std::vector<Order>> r = (*client)->QueryOrder({{ids[a], ids[b]}});
+          KRONOS_CHECK(r.ok());
+          // lower->higher is the only direction edges are ever added in.
+          KRONOS_CHECK((*r)[0] == Order::kBefore || (*r)[0] == Order::kConcurrent);
+        }
+        ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return RunResult{threads, total_ops.load(), seconds};
+}
+
+struct ModeResults {
+  std::vector<RunResult> read_only;
+  std::vector<RunResult> mixed;
+};
+
+ModeResults RunMode(bool serialize_reads, uint64_t service_us, uint64_t vertices,
+                    uint64_t edges, uint64_t duration_us, const std::vector<int>& thread_counts) {
+  KronosDaemon daemon(KronosDaemon::Options{.serialize_reads = serialize_reads,
+                                            .simulated_query_service_us = service_us});
+  KRONOS_CHECK(daemon.Start(0).ok());
+  auto loader = TcpKronos::Connect(daemon.port());
+  KRONOS_CHECK(loader.ok());
+  const std::vector<EventId> ids = Preload(**loader, vertices, edges);
+
+  ModeResults results;
+  const char* label = serialize_reads ? "serialized (seed)" : "shared-mode";
+  std::printf("\n-- %s --\n", label);
+  std::printf("%-10s %14s %14s %10s\n", "workload", "threads", "qps", "speedup");
+  for (const int threads : thread_counts) {
+    const RunResult r = Drive(daemon.port(), ids, threads, duration_us, 0.0);
+    results.read_only.push_back(r);
+    std::printf("%-10s %14d %14.0f %9.2fx\n", "read-only", threads, r.qps(),
+                r.qps() / results.read_only.front().qps());
+  }
+  for (const int threads : thread_counts) {
+    const RunResult r = Drive(daemon.port(), ids, threads, duration_us, 0.05);
+    results.mixed.push_back(r);
+    std::printf("%-10s %14d %14.0f %9.2fx\n", "mixed-95/5", threads, r.qps(),
+                r.qps() / results.mixed.front().qps());
+  }
+  daemon.Stop();
+  return results;
+}
+
+void JsonSeries(FILE* f, const char* name, const std::vector<RunResult>& series, bool last) {
+  std::fprintf(f, "    \"%s\": {", name);
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::fprintf(f, "\"%d\": %.0f%s", series[i].threads, series[i].qps(),
+                 i + 1 < series.size() ? ", " : "");
+  }
+  std::fprintf(f, "}%s\n", last ? "" : ",");
+}
+
+}  // namespace
+}  // namespace kronos
+
+int main() {
+  using namespace kronos;
+  bench::Header("micro_concurrent_query",
+                "query_order throughput vs client threads: serialized baseline vs shared reads");
+  const uint64_t service_us = ServiceUs();
+  const uint64_t vertices = bench::ScaledU64(2000);
+  const uint64_t edges = bench::ScaledU64(8000);
+  const uint64_t duration_us = bench::ScaledU64(1'200'000);
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  std::printf("vertices=%llu edges~%llu service=%lluus duration=%llums/point\n",
+              (unsigned long long)vertices, (unsigned long long)edges,
+              (unsigned long long)service_us, (unsigned long long)(duration_us / 1000));
+
+  const ModeResults before = RunMode(true, service_us, vertices, edges, duration_us, thread_counts);
+  const ModeResults after = RunMode(false, service_us, vertices, edges, duration_us, thread_counts);
+
+  const double headline =
+      after.read_only.back().qps() / after.read_only.front().qps();
+  std::printf("\nheadline: shared-mode read-only scaling at %d threads = %.2fx"
+              " (serialized baseline: %.2fx)\n",
+              after.read_only.back().threads, headline,
+              before.read_only.back().qps() / before.read_only.front().qps());
+
+  if (const char* path = std::getenv("KRONOS_BENCH_JSON")) {
+    FILE* f = std::fopen(path, "w");
+    KRONOS_CHECK(f != nullptr) << "cannot open " << path;
+    std::fprintf(f, "{\n  \"bench\": \"micro_concurrent_query\",\n");
+    std::fprintf(f, "  \"config\": {\"vertices\": %llu, \"edges\": %llu, "
+                    "\"service_us\": %llu, \"duration_us\": %llu},\n",
+                 (unsigned long long)vertices, (unsigned long long)edges,
+                 (unsigned long long)service_us, (unsigned long long)duration_us);
+    std::fprintf(f, "  \"qps\": {\n");
+    JsonSeries(f, "serialized_read_only", before.read_only, false);
+    JsonSeries(f, "serialized_mixed_95_5", before.mixed, false);
+    JsonSeries(f, "shared_read_only", after.read_only, false);
+    JsonSeries(f, "shared_mixed_95_5", after.mixed, true);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+  return 0;
+}

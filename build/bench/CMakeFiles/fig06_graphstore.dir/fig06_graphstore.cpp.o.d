@@ -226,17 +226,19 @@ bench/CMakeFiles/fig06_graphstore.dir/fig06_graphstore.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /root/repo/src/core/types.h /root/repo/src/client/local.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/core/event_graph.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/common/sparse_set.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/core/event_graph.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/graphstore/kronograph.h \
+ /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/traversal_scratch.h \
+ /root/repo/src/graphstore/kronograph.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/graphstore/graph_api.h \
  /root/repo/src/graphstore/lock_graph.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/workload/graph_gen.h /root/repo/src/workload/workloads.h \
  /root/repo/src/common/clock.h /root/repo/src/common/histogram.h \
  /root/repo/src/common/random.h

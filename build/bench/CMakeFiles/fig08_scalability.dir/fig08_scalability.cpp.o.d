@@ -242,11 +242,12 @@ bench/CMakeFiles/fig08_scalability.dir/fig08_scalability.cpp.o: \
  /root/repo/src/core/command.h /root/repo/src/core/types.h \
  /root/repo/src/chain/replica.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/core/state_machine.h /root/repo/src/core/event_graph.h \
- /root/repo/src/common/sparse_set.h /root/repo/src/core/order_cache.h \
- /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/client/client.h /root/repo/src/client/api.h \
- /root/repo/src/workload/graph_gen.h /root/repo/src/workload/workloads.h \
- /root/repo/src/common/clock.h /root/repo/src/common/histogram.h
+ /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/traversal_scratch.h /root/repo/src/client/client.h \
+ /root/repo/src/client/api.h /root/repo/src/workload/graph_gen.h \
+ /root/repo/src/workload/workloads.h /root/repo/src/common/clock.h \
+ /root/repo/src/common/histogram.h

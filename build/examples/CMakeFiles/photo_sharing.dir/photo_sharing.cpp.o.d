@@ -232,5 +232,6 @@ examples/CMakeFiles/photo_sharing.dir/photo_sharing.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/graphstore/graph_api.h /root/repo/src/client/local.h \
- /root/repo/src/core/event_graph.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/common/sparse_set.h
+ /usr/include/c++/12/shared_mutex /root/repo/src/core/event_graph.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/core/traversal_scratch.h

@@ -239,10 +239,10 @@ examples/CMakeFiles/replicated_cluster.dir/replicated_cluster.cpp.o: \
  /root/repo/src/core/command.h /root/repo/src/core/types.h \
  /root/repo/src/chain/replica.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/core/state_machine.h /root/repo/src/core/event_graph.h \
- /root/repo/src/common/sparse_set.h /root/repo/src/common/logging.h \
  /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/client/client.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.h \
+ /root/repo/src/core/traversal_scratch.h /root/repo/src/client/client.h \
  /root/repo/src/client/api.h

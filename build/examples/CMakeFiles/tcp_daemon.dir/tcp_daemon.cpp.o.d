@@ -223,12 +223,13 @@ examples/CMakeFiles/tcp_daemon.dir/tcp_daemon.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/server/daemon.h /root/repo/src/common/wal.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/core/state_machine.h /root/repo/src/core/event_graph.h \
- /root/repo/src/common/sparse_set.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/order_cache.h \
+ /root/repo/src/server/daemon.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/common/wal.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/core/state_machine.h \
+ /root/repo/src/core/event_graph.h /root/repo/src/core/order_cache.h \
  /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/traversal_scratch.h

@@ -310,5 +310,6 @@ tests/CMakeFiles/apps_photo_test.dir/apps_photo_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/client/local.h /root/repo/src/core/event_graph.h \
- /usr/include/c++/12/span /root/repo/src/common/sparse_set.h
+ /root/repo/src/client/local.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/core/event_graph.h /usr/include/c++/12/span \
+ /root/repo/src/core/traversal_scratch.h

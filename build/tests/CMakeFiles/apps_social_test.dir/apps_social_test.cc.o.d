@@ -301,9 +301,9 @@ tests/CMakeFiles/apps_social_test.dir/apps_social_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/client/local.h /root/repo/src/core/event_graph.h \
- /usr/include/c++/12/span /root/repo/src/common/sparse_set.h \
- /root/repo/src/common/logging.h /root/repo/src/core/order_cache.h \
- /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/common/random.h
+ /root/repo/src/client/local.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/core/event_graph.h /usr/include/c++/12/span \
+ /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.h \
+ /root/repo/src/core/traversal_scratch.h /root/repo/src/common/random.h

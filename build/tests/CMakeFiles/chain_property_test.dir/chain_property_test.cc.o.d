@@ -313,9 +313,10 @@ tests/CMakeFiles/chain_property_test.dir/chain_property_test.cc.o: \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/net/rpc.h /root/repo/src/wire/codec.h \
  /root/repo/src/core/command.h /root/repo/src/core/types.h \
- /root/repo/src/chain/replica.h /root/repo/src/core/state_machine.h \
- /root/repo/src/core/event_graph.h /root/repo/src/common/sparse_set.h \
- /root/repo/src/common/logging.h /root/repo/src/core/order_cache.h \
- /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/client/client.h /root/repo/src/client/api.h
+ /root/repo/src/chain/replica.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/core/state_machine.h /root/repo/src/core/event_graph.h \
+ /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.h \
+ /root/repo/src/core/traversal_scratch.h /root/repo/src/client/client.h \
+ /root/repo/src/client/api.h

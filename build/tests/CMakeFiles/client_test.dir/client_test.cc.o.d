@@ -305,8 +305,9 @@ tests/CMakeFiles/client_test.dir/client_test.cc.o: \
  /root/repo/src/client/api.h /root/repo/src/common/status.h \
  /root/repo/src/core/types.h /root/repo/src/client/local.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/core/event_graph.h /usr/include/c++/12/span \
- /root/repo/src/common/sparse_set.h /root/repo/src/common/logging.h \
- /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/common/clock.h
+ /usr/include/c++/12/shared_mutex /root/repo/src/core/event_graph.h \
+ /usr/include/c++/12/span /root/repo/src/core/order_cache.h \
+ /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/common/logging.h /root/repo/src/core/traversal_scratch.h \
+ /root/repo/src/common/clock.h

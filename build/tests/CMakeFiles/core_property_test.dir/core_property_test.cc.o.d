@@ -294,8 +294,10 @@ tests/CMakeFiles/core_property_test.dir/core_property_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/random.h /root/repo/src/core/event_graph.h \
- /usr/include/c++/12/span /root/repo/src/common/sparse_set.h \
- /root/repo/src/common/logging.h /root/repo/src/common/status.h \
- /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
+ /usr/include/c++/12/span /root/repo/src/common/status.h \
+ /root/repo/src/core/order_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/lru_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/core/types.h
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.h \
+ /root/repo/src/core/types.h /root/repo/src/core/traversal_scratch.h

@@ -302,15 +302,15 @@ tests/CMakeFiles/graphstore_test.dir/graphstore_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/client/local.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/client/api.h \
- /root/repo/src/common/status.h /root/repo/src/core/types.h \
- /root/repo/src/core/event_graph.h /usr/include/c++/12/span \
- /root/repo/src/common/sparse_set.h /root/repo/src/common/logging.h \
- /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/common/random.h \
- /root/repo/src/graphstore/kronograph.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/client/api.h /root/repo/src/common/status.h \
+ /root/repo/src/core/types.h /root/repo/src/core/event_graph.h \
+ /usr/include/c++/12/span /root/repo/src/core/order_cache.h \
+ /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/common/logging.h /root/repo/src/core/traversal_scratch.h \
+ /root/repo/src/common/random.h /root/repo/src/graphstore/kronograph.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/graphstore/graph_api.h \
- /root/repo/src/graphstore/lock_graph.h /usr/include/c++/12/shared_mutex
+ /root/repo/src/graphstore/lock_graph.h

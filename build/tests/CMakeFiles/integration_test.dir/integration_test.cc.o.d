@@ -320,7 +320,7 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/wire/buffer.h /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/net/rpc.h \
  /root/repo/src/wire/codec.h /root/repo/src/core/command.h \
- /root/repo/src/chain/replica.h /root/repo/src/core/state_machine.h \
- /root/repo/src/core/event_graph.h /root/repo/src/common/sparse_set.h \
- /root/repo/src/client/client.h /root/repo/src/txkv/kronos_bank.h \
- /root/repo/src/txkv/bank.h
+ /root/repo/src/chain/replica.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/core/state_machine.h /root/repo/src/core/event_graph.h \
+ /root/repo/src/core/traversal_scratch.h /root/repo/src/client/client.h \
+ /root/repo/src/txkv/kronos_bank.h /root/repo/src/txkv/bank.h

@@ -305,9 +305,10 @@ tests/CMakeFiles/tcp_test.dir/tcp_test.cc.o: /root/repo/tests/tcp_test.cc \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/client/api.h \
  /root/repo/src/common/status.h /root/repo/src/core/types.h \
  /root/repo/src/core/command.h /root/repo/src/net/tcp.h \
- /root/repo/src/server/daemon.h /root/repo/src/common/wal.h \
- /usr/include/c++/12/span /root/repo/src/core/state_machine.h \
- /root/repo/src/core/event_graph.h /root/repo/src/common/sparse_set.h \
- /root/repo/src/common/logging.h /root/repo/src/core/order_cache.h \
- /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc
+ /root/repo/src/server/daemon.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/common/wal.h /usr/include/c++/12/span \
+ /root/repo/src/core/state_machine.h /root/repo/src/core/event_graph.h \
+ /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.h \
+ /root/repo/src/core/traversal_scratch.h

@@ -303,16 +303,17 @@ tests/CMakeFiles/txkv_test.dir/txkv_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/client/local.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/client/api.h \
- /root/repo/src/common/status.h /root/repo/src/core/types.h \
- /root/repo/src/core/event_graph.h /usr/include/c++/12/span \
- /root/repo/src/common/sparse_set.h /root/repo/src/common/logging.h \
- /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/common/random.h \
- /root/repo/src/txkv/kronos_bank.h /usr/include/c++/12/condition_variable \
- /root/repo/src/txkv/bank.h /root/repo/src/txkv/locking_bank.h \
- /root/repo/src/kvstore/sharded_kv.h /root/repo/src/txkv/put_and_pray.h \
- /root/repo/src/kvstore/eventual_kv.h /root/repo/src/common/queue.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/client/api.h /root/repo/src/common/status.h \
+ /root/repo/src/core/types.h /root/repo/src/core/event_graph.h \
+ /usr/include/c++/12/span /root/repo/src/core/order_cache.h \
+ /root/repo/src/common/lru_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/common/logging.h /root/repo/src/core/traversal_scratch.h \
+ /root/repo/src/common/random.h /root/repo/src/txkv/kronos_bank.h \
+ /usr/include/c++/12/condition_variable /root/repo/src/txkv/bank.h \
+ /root/repo/src/txkv/locking_bank.h /root/repo/src/kvstore/sharded_kv.h \
+ /root/repo/src/txkv/put_and_pray.h /root/repo/src/kvstore/eventual_kv.h \
+ /root/repo/src/common/queue.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc

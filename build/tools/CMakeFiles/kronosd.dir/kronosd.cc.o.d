@@ -227,8 +227,8 @@ tools/CMakeFiles/kronosd.dir/kronosd.cc.o: /root/repo/tools/kronosd.cc \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/wal.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -247,7 +247,7 @@ tools/CMakeFiles/kronosd.dir/kronosd.cc.o: /root/repo/tools/kronosd.cc \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /root/repo/src/core/state_machine.h /root/repo/src/core/command.h \
  /root/repo/src/core/types.h /root/repo/src/core/event_graph.h \
- /root/repo/src/common/sparse_set.h /root/repo/src/common/logging.h \
  /root/repo/src/core/order_cache.h /root/repo/src/common/lru_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/net/tcp.h
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.h \
+ /root/repo/src/core/traversal_scratch.h /root/repo/src/net/tcp.h

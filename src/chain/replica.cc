@@ -58,18 +58,21 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
     (void)endpoint_.Reply(from, env.id, SerializeCommandResult(bad));
     return;
   }
-  if (cmd->read_only() && options_.simulated_query_service_us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_query_service_us));
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (cmd->read_only()) {
+  if (cmd->IsReadOnly()) {
+    if (options_.simulated_query_service_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.simulated_query_service_us));
+    }
     // §2.5: any replica may answer queries from its (possibly stale) copy of the graph. The
-    // client re-validates kConcurrent verdicts against the tail.
-    const CommandResult result = sm_->Apply(*cmd);
-    ++stats_.queries_served;
+    // client re-validates kConcurrent verdicts against the tail. Shared mode: queries only
+    // wait for log application, never for each other.
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const CommandResult result = sm_->ApplyReadOnly(*cmd);
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
     (void)endpoint_.Reply(from, env.id, SerializeCommandResult(result));
     return;
   }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (!IsHeadLocked()) {
     CommandResult wrong;
     wrong.status = WrongRole("updates must go to the chain head");
@@ -123,7 +126,7 @@ void ChainReplica::HandlePropagate(const Envelope& env) {
     KLOG(Warning) << "replica " << id() << ": malformed log entry";
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (entry->seq <= last_applied_) {
     // Duplicate from a resync; re-ack so the sender can advance its watermark.
     ++stats_.duplicates;
@@ -159,7 +162,7 @@ void ChainReplica::DrainStagingLocked() {
 }
 
 void ChainReplica::HandleAck(uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (seq <= acked_) {
     return;
   }
@@ -180,7 +183,7 @@ void ChainReplica::HandleControl(const Envelope& env) {
   }
   switch (msg->type) {
     case ControlType::kConfig: {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::unique_lock<std::shared_mutex> lock(mutex_);
       if (msg->epoch > config_.epoch) {
         AdoptConfigLocked(msg->ToConfig());
       }
@@ -199,7 +202,7 @@ void ChainReplica::HandleControl(const Envelope& env) {
       std::vector<uint8_t> snapshot;
       uint64_t covered = 0;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::shared_mutex> lock(mutex_);
         if (msg->seq > last_applied_) {
           break;  // nothing to send
         }
@@ -226,7 +229,7 @@ void ChainReplica::HandleControl(const Envelope& env) {
       break;
     }
     case ControlType::kSnapshot: {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::unique_lock<std::shared_mutex> lock(mutex_);
       InstallSnapshotLocked(msg->seq, msg->blob);
       break;
     }
@@ -338,7 +341,7 @@ void ChainReplica::HeartbeatLoop() {
       if (reply.ok()) {
         Result<ControlMessage> msg = ParseControl(reply->payload);
         if (msg.ok() && msg->type == ControlType::kConfig) {
-          std::lock_guard<std::mutex> lock(mutex_);
+          std::unique_lock<std::shared_mutex> lock(mutex_);
           if (msg->epoch > config_.epoch) {
             AdoptConfigLocked(msg->ToConfig());
           }
@@ -350,42 +353,44 @@ void ChainReplica::HeartbeatLoop() {
 }
 
 ChainConfig ChainReplica::config() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return config_;
 }
 
 bool ChainReplica::IsHead() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return IsHeadLocked();
 }
 
 bool ChainReplica::IsTail() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return IsTailLocked();
 }
 
 uint64_t ChainReplica::last_applied() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return last_applied_;
 }
 
 uint64_t ChainReplica::acked() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return acked_;
 }
 
 ChainReplica::ReplicaStats ChainReplica::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReplicaStats s = stats_;
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  return s;
 }
 
 EventGraph::Stats ChainReplica::graph_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return sm_->graph().stats();
 }
 
 uint64_t ChainReplica::live_events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return sm_->graph().live_events();
 }
 

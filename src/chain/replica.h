@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -117,7 +118,10 @@ class ChainReplica {
   Options options_;
   RpcEndpoint endpoint_;
 
-  mutable std::mutex mutex_;
+  // Shared mode: read-only query_order (the §2.5 stale reads) + introspection, which only
+  // contend with log application, never with each other. Exclusive mode: everything that
+  // moves the replicated state (apply, resync, snapshot install, reconfiguration).
+  mutable std::shared_mutex mutex_;
   ChainConfig config_;
   std::unique_ptr<KronosStateMachine> sm_;  // unique_ptr so a snapshot install can swap it
   std::vector<LogEntry> log_;  // log_[i] has seq log_start_seq_ + i
@@ -126,7 +130,9 @@ class ChainReplica {
   uint64_t last_applied_ = 0;
   uint64_t acked_ = 0;
   std::map<uint64_t, LogEntry> staging_;  // out-of-order entries awaiting their turn
-  ReplicaStats stats_;
+  ReplicaStats stats_;  // all fields except queries_served; that one is bumped by concurrent
+                        // shared-mode readers and lives in the atomic below
+  std::atomic<uint64_t> queries_served_{0};
 
   std::thread heartbeat_thread_;
   std::atomic<bool> stopped_{false};

@@ -3,10 +3,15 @@
 // A thread-safe facade over one EventGraph. This is the deployment used by the §4.2
 // microbenchmarks ("the client and server are co-located on the same machine") and by
 // applications that embed the ordering engine directly.
+//
+// Locking mirrors the server's shared/exclusive split: QueryOrder and introspection take the
+// lock in shared mode (the engine's read path is const + re-entrant), so embedded
+// read-dominated workloads scale across threads; mutators keep exclusive access.
 #ifndef KRONOS_CLIENT_LOCAL_H_
 #define KRONOS_CLIENT_LOCAL_H_
 
 #include <mutex>
+#include <shared_mutex>
 
 #include "src/client/api.h"
 #include "src/core/event_graph.h"
@@ -18,27 +23,27 @@ class LocalKronos : public KronosApi {
   LocalKronos() = default;
 
   Result<EventId> CreateEvent() override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     return graph_.CreateEvent();
   }
 
   Status AcquireRef(EventId e) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     return graph_.AcquireRef(e);
   }
 
   Result<uint64_t> ReleaseRef(EventId e) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     return graph_.ReleaseRef(e);
   }
 
   Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return graph_.QueryOrder(pairs);
   }
 
   Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     return graph_.AssignOrder(specs);
   }
 
@@ -46,12 +51,12 @@ class LocalKronos : public KronosApi {
   // other thread mutates the graph.
   EventGraph& graph() { return graph_; }
   uint64_t ApproxMemoryBytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return graph_.ApproxMemoryBytes();
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   EventGraph graph_;
 };
 

@@ -43,8 +43,12 @@ struct Command {
     return Command{.type = CommandType::kAssignOrder, .specs = std::move(specs)};
   }
 
-  // Read-only commands do not modify the graph and may be served by stale replicas (§2.5).
-  bool read_only() const { return type == CommandType::kQueryOrder; }
+  // Read-only commands do not modify the graph. They may be served by stale replicas (§2.5)
+  // and, because the engine's read path is re-entrant, execute in SHARED mode: servers
+  // schedule them under a reader lock so query batches from different connections run
+  // concurrently, while the mutating commands keep exclusive, WAL-ordered access.
+  bool IsReadOnly() const { return type == CommandType::kQueryOrder; }
+  bool read_only() const { return IsReadOnly(); }
 };
 
 struct CommandResult {

@@ -57,12 +57,8 @@ EventGraph::Slot EventGraph::AllocateSlot(EventId id) {
   } else {
     slot = static_cast<Slot>(vertices_.size());
     vertices_.emplace_back();
-    // Keep the preallocated traversal arrays sized with the vertex array (§2.2): this is the
-    // only point where traversal memory grows.
-    visited_.Reserve(vertices_.size());
-    if (frontier_.capacity() < vertices_.size()) {
-      frontier_.reserve(vertices_.capacity());
-    }
+    // Traversal scratch is no longer grown here: each TraversalScratch resizes itself lazily
+    // against the vertex count at Begin() (§2.2's preallocation, amortized per scratch).
   }
   Vertex& v = vertices_[slot];
   v.id = id;
@@ -106,30 +102,30 @@ Result<uint64_t> EventGraph::ReleaseRef(EventId e) {
   return CollectFrom(slot);
 }
 
-bool EventGraph::Reachable(Slot from, Slot to) {
-  ++stats_.traversals;
+bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const {
+  traversals_.fetch_add(1, std::memory_order_relaxed);
   if (from == to) {
     return true;
   }
-  visited_.Clear();
-  frontier_.clear();
-  visited_.Insert(from);
-  frontier_.push_back(from);
-  // Standard BFS over out-edges; `frontier_` is used as an index-scanned queue so no memory
-  // moves, no allocation (capacity is preallocated in AllocateSlot).
-  for (size_t head = 0; head < frontier_.size(); ++head) {
-    const Slot u = frontier_[head];
+  scratch.Begin(vertices_.size());
+  std::vector<Slot>& frontier = scratch.frontier();
+  scratch.Insert(from);
+  frontier.push_back(from);
+  // Standard BFS over out-edges; the frontier is an index-scanned queue so no memory moves,
+  // and every inserted slot lands in it, making its final size the visited count.
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const Slot u = frontier[head];
     for (const Slot w : vertices_[u].out) {
       if (w == to) {
-        stats_.vertices_visited += visited_.size();
+        vertices_visited_.fetch_add(frontier.size(), std::memory_order_relaxed);
         return true;
       }
-      if (visited_.Insert(w)) {
-        frontier_.push_back(w);
+      if (scratch.Insert(w)) {
+        frontier.push_back(w);
       }
     }
   }
-  stats_.vertices_visited += visited_.size();
+  vertices_visited_.fetch_add(frontier.size(), std::memory_order_relaxed);
   return false;
 }
 
@@ -154,7 +150,7 @@ void EventGraph::RemoveEdge(Slot u, Slot v) {
   --stats_.live_edges;
 }
 
-Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pairs) {
+Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pairs) const {
   // Validate the whole batch first: no partial answers.
   for (const EventPair& p : pairs) {
     if (p.e1 == p.e2) {
@@ -164,6 +160,8 @@ Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pai
       return Status(NotFound("query_order: unknown event"));
     }
   }
+  // One scratch lease covers the whole batch; concurrent query batches each hold their own.
+  TraversalScratchPool::Lease scratch = scratch_pool_.Acquire();
   std::vector<Order> out;
   out.reserve(pairs.size());
   for (const EventPair& p : pairs) {
@@ -172,7 +170,7 @@ Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pai
       // so serving them cannot contradict the graph (§2.5 monotonicity).
       std::optional<Order> cached = query_cache_->Lookup(p.e1, p.e2);
       if (cached.has_value()) {
-        ++stats_.cache_hits;
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
         out.push_back(*cached);
         continue;
       }
@@ -180,9 +178,9 @@ Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pai
     const Slot s1 = FindSlot(p.e1);
     const Slot s2 = FindSlot(p.e2);
     Order order;
-    if (Reachable(s1, s2)) {
+    if (Reachable(s1, s2, *scratch)) {
       order = Order::kBefore;
-    } else if (Reachable(s2, s1)) {
+    } else if (Reachable(s2, s1, *scratch)) {
       order = Order::kAfter;
     } else {
       order = Order::kConcurrent;
@@ -218,6 +216,7 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
   // Edges added by this batch, for rollback if a later must pair fails.
   std::vector<std::pair<Slot, Slot>> added;
   added.reserve(specs.size());
+  TraversalScratchPool::Lease scratch = scratch_pool_.Acquire();
 
   // §2.2: all must edges are applied before any prefer edge, so a prefer can never cause a
   // must to abort. Within each class, pairs are applied in the order the client listed them,
@@ -234,7 +233,7 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
       // Contradiction check: does v already happen-before u? The BFS starts at the REQUESTED
       // LATER event (v), whose forward cone is typically tiny (fresh events have few
       // successors), keeping dependency creation near-constant time (§4.2: ~50 us).
-      if (Reachable(v, u)) {
+      if (Reachable(v, u, *scratch)) {
         if (is_must) {
           // Abort the entire batch without side effects (test-and-set style semantics).
           for (auto it = added.rbegin(); it != added.rend(); ++it) {
@@ -408,13 +407,20 @@ uint64_t EventGraph::ApproxMemoryBytes() const {
     bytes += v.out.capacity() * sizeof(Slot);
   }
   bytes += free_slots_.capacity() * sizeof(Slot);
-  bytes += frontier_.capacity() * sizeof(Slot);
-  // The two traversal arrays (§2.2).
-  bytes += visited_.universe_size() * 2 * sizeof(uint64_t);
+  // The pooled traversal scratch (§2.2): mark array + frontier per idle scratch.
+  bytes += scratch_pool_.ApproxMemoryBytes();
   // unordered_map: buckets + one node (key, value, next pointer, hash) per entry, approximated.
   bytes += id_to_slot_.bucket_count() * sizeof(void*);
   bytes += id_to_slot_.size() * (sizeof(EventId) + sizeof(Slot) + 2 * sizeof(void*));
   return bytes;
+}
+
+EventGraph::Stats EventGraph::stats() const {
+  Stats s = stats_;
+  s.traversals = traversals_.load(std::memory_order_relaxed);
+  s.vertices_visited = vertices_visited_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace kronos

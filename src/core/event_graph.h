@@ -6,27 +6,35 @@
 //   * monotonicity — once an order between two events is established (a path exists), it is
 //                    never retracted; the public interface exposes no edge removal (§2.1).
 //
-// The implementation follows the paper's §2.2 performance notes: all memory needed for
-// traversal is preallocated at vertex-creation time as two arrays (the Briggs–Torczon sparse
-// set), so a BFS costs O(vertices actually visited) with zero allocation, and garbage
+// The implementation follows the paper's §2.2 performance notes: traversal memory is the
+// Briggs–Torczon style epoch-versioned visited set, checked out of a TraversalScratchPool so a
+// BFS costs O(vertices actually visited) with zero steady-state allocation, and garbage
 // collection (§2.3) is a strict topological collection driven by reference counts.
 //
-// EventGraph is deliberately single-threaded and fully deterministic: it is the state machine
-// that chain replication (src/chain) replicates. Callers that need concurrency wrap it in a
-// server (src/server) that serializes commands.
+// Concurrency contract (shared/exclusive): all mutating calls (CreateEvent, AcquireRef,
+// ReleaseRef, AssignOrder, EnableQueryCache, ImportSnapshot) require exclusive access, exactly
+// as before — the graph is the deterministic state machine that chain replication (src/chain)
+// replicates, and writes stay single-threaded. The const calls (QueryOrder, Contains,
+// RefCount, OutDegree, ExportSnapshot, TopologicalOrder, stats, ApproxMemoryBytes) are
+// re-entrant and safe to run from any number of threads concurrently with each other, provided
+// no writer runs at the same time; callers enforce that with a reader–writer lock (see
+// KronosDaemon / ChainReplica / LocalKronos). Monotonicity is what makes this split safe:
+// established orders are never retracted, so concurrent readers can never observe a
+// half-retracted answer. Traversal scratch lives in a per-call pool lease, the read-side
+// counters are relaxed atomics, and the internal order cache locks itself.
 #ifndef KRONOS_CORE_EVENT_GRAPH_H_
 #define KRONOS_CORE_EVENT_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
-#include <memory>
-
-#include "src/common/sparse_set.h"
 #include "src/common/status.h"
 #include "src/core/order_cache.h"
+#include "src/core/traversal_scratch.h"
 #include "src/core/types.h"
 
 namespace kronos {
@@ -64,8 +72,9 @@ class EventGraph {
   Result<uint64_t> ReleaseRef(EventId e);
 
   // For each pair (e1, e2) reports kBefore, kAfter or kConcurrent. Fails with kNotFound if any
-  // named event is absent; no partial results are returned.
-  Result<std::vector<Order>> QueryOrder(std::span<const EventPair> pairs);
+  // named event is absent; no partial results are returned. Const and re-entrant: any number
+  // of threads may query concurrently as long as no writer runs (shared mode).
+  Result<std::vector<Order>> QueryOrder(std::span<const EventPair> pairs) const;
 
   // Atomically applies a batch of ordering requests. All kMust pairs are validated and applied
   // before any kPrefer pair (§2.2). If a kMust pair contradicts the existing graph the whole
@@ -73,7 +82,7 @@ class EventGraph {
   // contradicted prefer is reported as kReversed.
   Result<std::vector<AssignOutcome>> AssignOrder(std::span<const AssignSpec> specs);
 
-  // --- Introspection -------------------------------------------------------------------------
+  // --- Introspection (const + re-entrant, shared mode) ---------------------------------------
 
   bool Contains(EventId e) const { return FindSlot(e) != kNoSlot; }
 
@@ -85,17 +94,22 @@ class EventGraph {
 
   uint64_t live_events() const { return stats_.live_events; }
   uint64_t live_edges() const { return stats_.live_edges; }
-  const Stats& stats() const { return stats_; }
+
+  // A coherent snapshot of the counters. The read-side counters (traversals, vertices_visited,
+  // cache_hits) are maintained as relaxed atomics so concurrent queries can bump them without
+  // tearing; this accessor merges them into the plain struct.
+  Stats stats() const;
 
   // §2.5: "Kronos can maintain an internal cache of traversal results ... to improve traversal
   // efficiency." Enables an LRU cache of ordered query answers (monotonicity makes them final;
   // kConcurrent is never cached). Purely an accelerator: results are identical with or without
   // it, so replicas may enable it independently without breaking determinism of outputs.
+  // Configuration-time only: requires exclusive access, like all mutators.
   void EnableQueryCache(size_t capacity);
 
   // Approximate heap bytes retained by the graph, computed from container capacities. Includes
-  // vertex storage, adjacency lists, the preallocated traversal arrays, and the id map. Drives
-  // the Fig. 10 memory experiment; array-doubling steps are visible in this value.
+  // vertex storage, adjacency lists, the pooled traversal scratch, and the id map. Drives the
+  // Fig. 10 memory experiment; array-doubling steps are visible in this value.
   uint64_t ApproxMemoryBytes() const;
 
   // --- Snapshots (state transfer & persistence) ------------------------------------------------
@@ -136,9 +150,10 @@ class EventGraph {
   Slot FindSlot(EventId e) const;
   Slot AllocateSlot(EventId id);
 
-  // True iff a directed path from -> to exists. Runs BFS over out-edges using the preallocated
-  // visited set; counts into stats_.
-  bool Reachable(Slot from, Slot to);
+  // True iff a directed path from -> to exists. Runs BFS over out-edges using the supplied
+  // scratch lease; counts into the relaxed read-side counters. Const so the query path can
+  // share the graph across threads.
+  bool Reachable(Slot from, Slot to, TraversalScratch& scratch) const;
 
   // Adds edge u -> v, assuming acyclicity was already validated. Returns false if the direct
   // edge already existed.
@@ -156,14 +171,18 @@ class EventGraph {
   std::unordered_map<EventId, Slot> id_to_slot_;
   EventId next_id_ = 1;
 
-  // Preallocated traversal state (§2.2): visited set + BFS frontier queue. Sized with the
-  // vertex array; never allocated during traversal.
-  SparseSet visited_;
-  std::vector<Slot> frontier_;
+  // Traversal state (§2.2): epoch-versioned visited sets + BFS frontiers, leased per
+  // traversal batch so concurrent readers never share scratch memory.
+  mutable TraversalScratchPool scratch_pool_;
 
   std::unique_ptr<OrderCache> query_cache_;  // null unless EnableQueryCache was called
 
+  // Write-side counters: mutated only under exclusive access. The three read-side counters in
+  // Stats are carried by the atomics below instead and merged in stats().
   Stats stats_;
+  mutable std::atomic<uint64_t> traversals_{0};
+  mutable std::atomic<uint64_t> vertices_visited_{0};
+  mutable std::atomic<uint64_t> cache_hits_{0};
 };
 
 }  // namespace kronos

@@ -10,6 +10,7 @@ OrderCache::OrderCache(Options options)
     : options_(options), cache_(options.capacity == 0 ? 1 : options.capacity) {}
 
 std::optional<Order> OrderCache::Lookup(EventId e1, EventId e2) {
+  std::lock_guard<std::mutex> lock(mu_);
   const PairKey key = MakeKey(e1, e2);
   std::optional<Order> cached = cache_.Get(key);
   if (!cached.has_value()) {
@@ -58,6 +59,7 @@ void OrderCache::Insert(EventId e1, EventId e2, Order order) {
   if (order == Order::kConcurrent) {
     return;  // Concurrency is not stable under monotonic refinement; never cache it.
   }
+  std::lock_guard<std::mutex> lock(mu_);
   const EventId before = (order == Order::kBefore) ? e1 : e2;
   const EventId after = (order == Order::kBefore) ? e2 : e1;
   InsertRaw(before, after);
@@ -106,6 +108,7 @@ void OrderCache::Prefill(EventId before, EventId after) {
 }
 
 void OrderCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.Clear();
   index_.clear();
   prefills_ = 0;

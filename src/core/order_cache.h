@@ -7,10 +7,17 @@
 // Transitive prefill: when the cache learns u -> v and already knows v -> w, it infers and
 // stores u -> w without a service call. Prefill work is bounded by capping the per-event index
 // fan-out.
+//
+// Thread safety: all operations take an internal mutex, so the cache is usable from the
+// engine's concurrent (shared-mode) query path. The lock covers only cache bookkeeping —
+// Lookup mutates LRU recency even on the read path — never a graph traversal, so contention is
+// a few pointer splices per query. Because only true, final facts are ever stored, readers can
+// never observe a stale or contradictory entry regardless of interleaving.
 #ifndef KRONOS_CORE_ORDER_CACHE_H_
 #define KRONOS_CORE_ORDER_CACHE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -38,10 +45,22 @@ class OrderCache {
   // Records an order learned from the service. kConcurrent is ignored (not cacheable).
   void Insert(EventId e1, EventId e2, Order order);
 
-  size_t size() const { return cache_.size(); }
-  uint64_t hits() const { return cache_.hits(); }
-  uint64_t misses() const { return cache_.misses(); }
-  uint64_t prefills() const { return prefills_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.hits();
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.misses();
+  }
+  uint64_t prefills() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return prefills_;
+  }
 
   void Clear();
 
@@ -54,10 +73,16 @@ class OrderCache {
   };
 
   struct PairKeyHash {
+    // splitmix64 finalizer: full-width mixing of both ids so structurally similar pairs
+    // (sequential ids, shared endpoints) spread across buckets on every platform.
+    static uint64_t Mix(uint64_t x) {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    }
     size_t operator()(const PairKey& k) const {
-      uint64_t h = k.a * 0x9e3779b97f4a7c15ull;
-      h ^= k.b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-      return static_cast<size_t>(h);
+      return static_cast<size_t>(Mix(static_cast<uint64_t>(k.a) ^ Mix(static_cast<uint64_t>(k.b))));
     }
   };
 
@@ -75,6 +100,7 @@ class OrderCache {
   void Prefill(EventId before, EventId after);
 
   Options options_;
+  mutable std::mutex mu_;  // guards cache_, index_, prefills_
   // Value is the order of (key.a, key.b) in normalized form; only kBefore/kAfter stored.
   LruCache<PairKey, Order, PairKeyHash> cache_;
   // For each event, a bounded list of events it has cached pairs with (lazily cleaned).

@@ -23,12 +23,7 @@ CommandResult KronosStateMachine::Apply(const Command& command) {
       break;
     }
     case CommandType::kQueryOrder: {
-      Result<std::vector<Order>> orders = graph_.QueryOrder(command.pairs);
-      if (orders.ok()) {
-        result.orders = *std::move(orders);
-      } else {
-        result.status = orders.status();
-      }
+      result = ApplyReadOnly(command);
       break;
     }
     case CommandType::kAssignOrder: {
@@ -41,8 +36,23 @@ CommandResult KronosStateMachine::Apply(const Command& command) {
       break;
     }
   }
-  if (!command.read_only()) {
+  if (!command.IsReadOnly()) {
     ++applied_updates_;
+  }
+  return result;
+}
+
+CommandResult KronosStateMachine::ApplyReadOnly(const Command& command) const {
+  CommandResult result;
+  if (!command.IsReadOnly()) {
+    result.status = InvalidArgument("ApplyReadOnly: command mutates state");
+    return result;
+  }
+  Result<std::vector<Order>> orders = graph_.QueryOrder(command.pairs);
+  if (orders.ok()) {
+    result.orders = *std::move(orders);
+  } else {
+    result.status = orders.status();
   }
   return result;
 }

@@ -21,8 +21,14 @@ class KronosStateMachine {
   KronosStateMachine(const KronosStateMachine&) = delete;
   KronosStateMachine& operator=(const KronosStateMachine&) = delete;
 
-  // Applies one command and returns its result. Not thread-safe; callers serialize.
+  // Applies one command and returns its result. Requires exclusive access; callers serialize
+  // mutating commands (this is what keeps replicas byte-identical).
   CommandResult Apply(const Command& command);
+
+  // Executes a read-only command (IsReadOnly() must hold). Const and re-entrant: any number
+  // of threads may call this concurrently under a shared lock that excludes Apply(). Produces
+  // bit-identical results to routing the same command through Apply().
+  CommandResult ApplyReadOnly(const Command& command) const;
 
   // Number of state-mutating commands applied (the replication log index of the last update).
   uint64_t applied_updates() const { return applied_updates_; }

@@ -19,13 +19,23 @@ Status Errno(const char* what) {
 
 }  // namespace
 
-TcpConnection::~TcpConnection() { Close(); }
-
-void TcpConnection::Close() {
+TcpConnection::~TcpConnection() {
+  Close();
+  // Single-owner context by contract: any thread blocked in recv/send was unblocked by
+  // Close() and has returned, so releasing the descriptor cannot race.
   const int fd = fd_.exchange(-1);
   if (fd >= 0) {
-    ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
+  }
+}
+
+void TcpConnection::Close() {
+  if (shutdown_.exchange(true)) {
+    return;
+  }
+  const int fd = fd_.load();
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
   }
 }
 
@@ -33,7 +43,7 @@ Status TcpConnection::WriteAll(const uint8_t* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
     const int fd = fd_.load();
-    if (fd < 0) {
+    if (fd < 0 || shutdown_.load()) {
       return Unavailable("connection closed");
     }
     // MSG_NOSIGNAL: a peer reset must become a Status, not a process-wide SIGPIPE.
@@ -53,7 +63,7 @@ Status TcpConnection::ReadAll(uint8_t* data, size_t len) {
   size_t got = 0;
   while (got < len) {
     const int fd = fd_.load();
-    if (fd < 0) {
+    if (fd < 0 || shutdown_.load()) {
       return Unavailable("connection closed");
     }
     const ssize_t n = ::recv(fd, data + got, len - got, 0);

@@ -40,16 +40,20 @@ class TcpConnection {
   // Reads one frame; kUnavailable on clean EOF, kInvalidArgument on protocol corruption.
   Result<std::vector<uint8_t>> RecvFrame();
 
-  // Shuts the socket down, unblocking a concurrent RecvFrame.
+  // Revokes I/O on the socket, unblocking a concurrent RecvFrame/SendFrame. The descriptor
+  // itself is released by the destructor, once no other thread can still hold it: closing
+  // here would race an in-flight recv/send and could hand the recycled fd number to an
+  // unrelated connection.
   void Close();
 
-  bool closed() const { return fd_.load() < 0; }
+  bool closed() const { return shutdown_.load() || fd_.load() < 0; }
 
  private:
   Status WriteAll(const uint8_t* data, size_t len);
   Status ReadAll(uint8_t* data, size_t len);
 
   std::atomic<int> fd_;
+  std::atomic<bool> shutdown_{false};
   std::mutex send_mutex_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/server/daemon.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/logging.h"
 #include "src/wire/codec.h"
@@ -72,24 +73,7 @@ void KronosDaemon::ServeConnection(const std::shared_ptr<TcpConnection>& conn) {
     Result<Command> cmd = ParseCommand(env->payload);
     CommandResult result;
     if (cmd.ok()) {
-      std::lock_guard<std::mutex> lock(sm_mutex_);
-      if (persistent_ && !cmd->read_only()) {
-        // Write-ahead: the update is durable before its effects are observable.
-        Status logged = wal_.Append(env->payload);
-        if (logged.ok()) {
-          logged = wal_.Sync();
-        }
-        if (!logged.ok()) {
-          result.status = logged;
-          Envelope err{MessageKind::kResponse, env->id, SerializeCommandResult(result)};
-          if (!conn->SendFrame(SerializeEnvelope(err)).ok()) {
-            return;
-          }
-          continue;
-        }
-      }
-      result = sm_.Apply(*cmd);
-      commands_served_.fetch_add(1, std::memory_order_relaxed);
+      result = ExecuteCommand(*cmd, env->payload);
     } else {
       result.status = cmd.status();
     }
@@ -100,9 +84,63 @@ void KronosDaemon::ServeConnection(const std::shared_ptr<TcpConnection>& conn) {
   }
 }
 
+CommandResult KronosDaemon::ExecuteCommand(const Command& cmd, std::span<const uint8_t> raw) {
+  CommandResult result;
+  if (cmd.IsReadOnly() && !options_.serialize_reads) {
+    // Shared mode: query batches from any number of connections run concurrently; they only
+    // wait for in-flight updates, never for each other.
+    std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+    if (options_.simulated_query_service_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.simulated_query_service_us));
+    }
+    result = sm_.ApplyReadOnly(cmd);
+    commands_served_.fetch_add(1, std::memory_order_relaxed);
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  std::unique_lock<std::shared_mutex> lock(sm_mutex_);
+  if (cmd.IsReadOnly()) {
+    // serialize_reads ablation: the seed's single-mutex schedule.
+    if (options_.simulated_query_service_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.simulated_query_service_us));
+    }
+    result = sm_.ApplyReadOnly(cmd);
+    commands_served_.fetch_add(1, std::memory_order_relaxed);
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  if (persistent_) {
+    // Write-ahead: the update is durable before its effects are observable. The append runs
+    // inside the exclusive section so the WAL order equals the apply order.
+    Status logged = wal_.Append(raw);
+    if (logged.ok()) {
+      logged = wal_.Sync();
+    }
+    if (!logged.ok()) {
+      result.status = logged;
+      return result;
+    }
+  }
+  result = sm_.Apply(cmd);
+  commands_served_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
 uint64_t KronosDaemon::live_events() const {
-  std::lock_guard<std::mutex> lock(sm_mutex_);
+  std::shared_lock<std::shared_mutex> lock(sm_mutex_);
   return sm_.graph().live_events();
+}
+
+uint64_t KronosDaemon::live_edges() const {
+  std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+  return sm_.graph().live_edges();
+}
+
+EventGraph::Stats KronosDaemon::graph_stats() const {
+  std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+  return sm_.graph().stats();
 }
 
 void KronosDaemon::Stop() {

@@ -1,10 +1,16 @@
 // KronosDaemon: a standalone single-node Kronos server over real TCP.
 //
 // This is the deployment the original system shipped as `kronosd`: clients connect over TCP,
-// send framed Command envelopes, and receive framed CommandResults. The daemon serializes all
-// commands through one state machine (the engine is single-threaded by design; replication is
-// what scales reads, see src/chain). One thread per connection keeps the implementation
-// obvious; the framing protocol is shared with everything else via src/wire.
+// send framed Command envelopes, and receive framed CommandResults. One thread per connection;
+// the framing protocol is shared with everything else via src/wire.
+//
+// Command scheduling is shared/exclusive, keyed off Command::IsReadOnly(): query batches
+// execute concurrently under a reader lock (the engine's read path is const + re-entrant,
+// safe because monotonicity means established orders are never retracted), while
+// create/acquire/release/assign serialize under the writer lock with WAL ordering preserved
+// (the log append happens inside the exclusive section, so the durable order and the applied
+// order coincide). This is what lets a read-dominated workload — the common case in the
+// paper's Figs. 6–9 — scale with cores instead of queueing behind one mutex.
 #ifndef KRONOS_SERVER_DAEMON_H_
 #define KRONOS_SERVER_DAEMON_H_
 
@@ -12,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -21,9 +28,23 @@
 
 namespace kronos {
 
+struct KronosDaemonOptions {
+  // Ablation knob: route read-only commands through the exclusive lock, reproducing the
+  // seed's fully serialized command path. bench/micro_concurrent_query uses this as the
+  // "before" baseline; production deployments leave it off.
+  bool serialize_reads = false;
+  // Simulated per-query service time, the §4.5 single-core-host convention (same knob as
+  // ChainReplicaOptions::simulated_query_service_us): the sleep runs while holding the lock in
+  // the command's mode, so shared-mode readers overlap their service times while the
+  // serialized baseline cannot — modelling a multi-core engine on a one-core host.
+  uint64_t simulated_query_service_us = 0;
+};
+
 class KronosDaemon {
  public:
-  KronosDaemon() = default;
+  using Options = KronosDaemonOptions;
+
+  explicit KronosDaemon(Options options = {}) : options_(options) {}
   ~KronosDaemon();
 
   KronosDaemon(const KronosDaemon&) = delete;
@@ -38,22 +59,30 @@ class KronosDaemon {
 
   uint64_t connections_served() const { return connections_served_.load(); }
   uint64_t commands_served() const { return commands_served_.load(); }
+  uint64_t queries_served() const { return queries_served_.load(); }
   uint64_t commands_recovered() const { return commands_recovered_; }
 
-  // Engine introspection (safe to call while serving; takes the command lock).
+  // Engine introspection (safe to call while serving). Reads take the lock in shared mode:
+  // they contend only with updates, never with the query path.
   uint64_t live_events() const;
+  uint64_t live_edges() const;
+  EventGraph::Stats graph_stats() const;
 
   void Stop();
 
  private:
   void AcceptLoop();
   void ServeConnection(const std::shared_ptr<TcpConnection>& conn);
+  CommandResult ExecuteCommand(const Command& cmd, std::span<const uint8_t> raw);
 
+  Options options_;
   TcpListener listener_;
   std::thread accept_thread_;
   std::atomic<bool> stopped_{false};
 
-  mutable std::mutex sm_mutex_;
+  // Shared mode: read-only commands + introspection. Exclusive mode: updates (incl. WAL
+  // append, preserving write-ahead order).
+  mutable std::shared_mutex sm_mutex_;
   KronosStateMachine sm_;
   WriteAheadLog wal_;
   bool persistent_ = false;
@@ -65,6 +94,7 @@ class KronosDaemon {
 
   std::atomic<uint64_t> connections_served_{0};
   std::atomic<uint64_t> commands_served_{0};
+  std::atomic<uint64_t> queries_served_{0};
 };
 
 }  // namespace kronos

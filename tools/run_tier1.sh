@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + ctest, then the concurrency stress tests under
+# ThreadSanitizer so the shared-mode read path is race-checked on every PR.
+#
+# Usage: tools/run_tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "=== tier-1: build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "=== tier-1: TSan pass skipped ==="
+  exit 0
+fi
+
+echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
+cmake -B build-tsan -S . -DKRONOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test
+# TSan aborts the process on the first race (halt_on_error) so CI cannot miss one.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_concurrent_query_test
+echo "=== tier-1: OK ==="
