@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse_set.dir/ablation_sparse_set.cpp.o"
+  "CMakeFiles/ablation_sparse_set.dir/ablation_sparse_set.cpp.o.d"
+  "ablation_sparse_set"
+  "ablation_sparse_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_clocks.dir/compare_clocks.cpp.o"
+  "CMakeFiles/compare_clocks.dir/compare_clocks.cpp.o.d"
+  "compare_clocks"
+  "compare_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_graphstore.dir/fig06_graphstore.cpp.o"
+  "CMakeFiles/fig06_graphstore.dir/fig06_graphstore.cpp.o.d"
+  "fig06_graphstore"
+  "fig06_graphstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_graphstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_transactions.dir/fig07_transactions.cpp.o"
+  "CMakeFiles/fig07_transactions.dir/fig07_transactions.cpp.o.d"
+  "fig07_transactions"
+  "fig07_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scalability.dir/fig08_scalability.cpp.o"
+  "CMakeFiles/fig08_scalability.dir/fig08_scalability.cpp.o.d"
+  "fig08_scalability"
+  "fig08_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_event_creation.dir/fig09_event_creation.cpp.o"
+  "CMakeFiles/fig09_event_creation.dir/fig09_event_creation.cpp.o.d"
+  "fig09_event_creation"
+  "fig09_event_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_event_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

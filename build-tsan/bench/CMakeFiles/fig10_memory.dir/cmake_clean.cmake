@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memory.dir/fig10_memory.cpp.o"
+  "CMakeFiles/fig10_memory.dir/fig10_memory.cpp.o.d"
+  "fig10_memory"
+  "fig10_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_gc.dir/fig11_gc.cpp.o"
+  "CMakeFiles/fig11_gc.dir/fig11_gc.cpp.o.d"
+  "fig11_gc"
+  "fig11_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_graph_structure.dir/fig12_graph_structure.cpp.o"
+  "CMakeFiles/fig12_graph_structure.dir/fig12_graph_structure.cpp.o.d"
+  "fig12_graph_structure"
+  "fig12_graph_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_graph_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

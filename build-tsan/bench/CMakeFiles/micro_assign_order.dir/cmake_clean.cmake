@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_assign_order.dir/micro_assign_order.cpp.o"
+  "CMakeFiles/micro_assign_order.dir/micro_assign_order.cpp.o.d"
+  "micro_assign_order"
+  "micro_assign_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_assign_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_concurrent_query.dir/micro_concurrent_query.cpp.o"
+  "CMakeFiles/micro_concurrent_query.dir/micro_concurrent_query.cpp.o.d"
+  "micro_concurrent_query"
+  "micro_concurrent_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_concurrent_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

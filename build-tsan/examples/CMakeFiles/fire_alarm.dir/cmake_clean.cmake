@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_alarm.dir/fire_alarm.cpp.o"
+  "CMakeFiles/fire_alarm.dir/fire_alarm.cpp.o.d"
+  "fire_alarm"
+  "fire_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_sharing.dir/photo_sharing.cpp.o"
+  "CMakeFiles/photo_sharing.dir/photo_sharing.cpp.o.d"
+  "photo_sharing"
+  "photo_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

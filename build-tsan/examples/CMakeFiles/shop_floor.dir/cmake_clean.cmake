@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shop_floor.dir/shop_floor.cpp.o"
+  "CMakeFiles/shop_floor.dir/shop_floor.cpp.o.d"
+  "shop_floor"
+  "shop_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shop_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

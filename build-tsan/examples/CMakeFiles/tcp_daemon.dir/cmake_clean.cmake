@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_daemon.dir/tcp_daemon.cpp.o"
+  "CMakeFiles/tcp_daemon.dir/tcp_daemon.cpp.o.d"
+  "tcp_daemon"
+  "tcp_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("core")
+subdirs("wire")
+subdirs("net")
+subdirs("chain")
+subdirs("client")
+subdirs("server")
+subdirs("kvstore")
+subdirs("txkv")
+subdirs("graphstore")
+subdirs("workload")
+subdirs("apps")
+subdirs("clocks")

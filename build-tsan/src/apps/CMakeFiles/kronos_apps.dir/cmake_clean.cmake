@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_apps.dir/catocs.cc.o"
+  "CMakeFiles/kronos_apps.dir/catocs.cc.o.d"
+  "CMakeFiles/kronos_apps.dir/photo_app.cc.o"
+  "CMakeFiles/kronos_apps.dir/photo_app.cc.o.d"
+  "CMakeFiles/kronos_apps.dir/social.cc.o"
+  "CMakeFiles/kronos_apps.dir/social.cc.o.d"
+  "libkronos_apps.a"
+  "libkronos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_chain.dir/control.cc.o"
+  "CMakeFiles/kronos_chain.dir/control.cc.o.d"
+  "CMakeFiles/kronos_chain.dir/coordinator.cc.o"
+  "CMakeFiles/kronos_chain.dir/coordinator.cc.o.d"
+  "CMakeFiles/kronos_chain.dir/replica.cc.o"
+  "CMakeFiles/kronos_chain.dir/replica.cc.o.d"
+  "libkronos_chain.a"
+  "libkronos_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_client.dir/client.cc.o"
+  "CMakeFiles/kronos_client.dir/client.cc.o.d"
+  "CMakeFiles/kronos_client.dir/tcp_client.cc.o"
+  "CMakeFiles/kronos_client.dir/tcp_client.cc.o.d"
+  "libkronos_client.a"
+  "libkronos_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

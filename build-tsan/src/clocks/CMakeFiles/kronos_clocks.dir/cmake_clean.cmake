@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_clocks.dir/causality_sim.cc.o"
+  "CMakeFiles/kronos_clocks.dir/causality_sim.cc.o.d"
+  "CMakeFiles/kronos_clocks.dir/logical_clocks.cc.o"
+  "CMakeFiles/kronos_clocks.dir/logical_clocks.cc.o.d"
+  "libkronos_clocks.a"
+  "libkronos_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

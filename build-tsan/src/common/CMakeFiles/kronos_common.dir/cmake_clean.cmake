@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_common.dir/crc32.cc.o"
+  "CMakeFiles/kronos_common.dir/crc32.cc.o.d"
+  "CMakeFiles/kronos_common.dir/histogram.cc.o"
+  "CMakeFiles/kronos_common.dir/histogram.cc.o.d"
+  "CMakeFiles/kronos_common.dir/logging.cc.o"
+  "CMakeFiles/kronos_common.dir/logging.cc.o.d"
+  "CMakeFiles/kronos_common.dir/random.cc.o"
+  "CMakeFiles/kronos_common.dir/random.cc.o.d"
+  "CMakeFiles/kronos_common.dir/status.cc.o"
+  "CMakeFiles/kronos_common.dir/status.cc.o.d"
+  "CMakeFiles/kronos_common.dir/wal.cc.o"
+  "CMakeFiles/kronos_common.dir/wal.cc.o.d"
+  "libkronos_common.a"
+  "libkronos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

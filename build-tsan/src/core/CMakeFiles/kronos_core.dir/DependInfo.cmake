@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/event_graph.cc" "src/core/CMakeFiles/kronos_core.dir/event_graph.cc.o" "gcc" "src/core/CMakeFiles/kronos_core.dir/event_graph.cc.o.d"
+  "/root/repo/src/core/order_cache.cc" "src/core/CMakeFiles/kronos_core.dir/order_cache.cc.o" "gcc" "src/core/CMakeFiles/kronos_core.dir/order_cache.cc.o.d"
+  "/root/repo/src/core/state_machine.cc" "src/core/CMakeFiles/kronos_core.dir/state_machine.cc.o" "gcc" "src/core/CMakeFiles/kronos_core.dir/state_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/kronos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_core.dir/event_graph.cc.o"
+  "CMakeFiles/kronos_core.dir/event_graph.cc.o.d"
+  "CMakeFiles/kronos_core.dir/order_cache.cc.o"
+  "CMakeFiles/kronos_core.dir/order_cache.cc.o.d"
+  "CMakeFiles/kronos_core.dir/state_machine.cc.o"
+  "CMakeFiles/kronos_core.dir/state_machine.cc.o.d"
+  "libkronos_core.a"
+  "libkronos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_graphstore.dir/kronograph.cc.o"
+  "CMakeFiles/kronos_graphstore.dir/kronograph.cc.o.d"
+  "CMakeFiles/kronos_graphstore.dir/lock_graph.cc.o"
+  "CMakeFiles/kronos_graphstore.dir/lock_graph.cc.o.d"
+  "libkronos_graphstore.a"
+  "libkronos_graphstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_graphstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_kvstore.dir/eventual_kv.cc.o"
+  "CMakeFiles/kronos_kvstore.dir/eventual_kv.cc.o.d"
+  "CMakeFiles/kronos_kvstore.dir/sharded_kv.cc.o"
+  "CMakeFiles/kronos_kvstore.dir/sharded_kv.cc.o.d"
+  "libkronos_kvstore.a"
+  "libkronos_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

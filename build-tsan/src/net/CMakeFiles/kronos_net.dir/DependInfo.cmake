@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/rpc.cc" "src/net/CMakeFiles/kronos_net.dir/rpc.cc.o" "gcc" "src/net/CMakeFiles/kronos_net.dir/rpc.cc.o.d"
+  "/root/repo/src/net/sim_network.cc" "src/net/CMakeFiles/kronos_net.dir/sim_network.cc.o" "gcc" "src/net/CMakeFiles/kronos_net.dir/sim_network.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/kronos_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/kronos_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/kronos_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wire/CMakeFiles/kronos_wire.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/kronos_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

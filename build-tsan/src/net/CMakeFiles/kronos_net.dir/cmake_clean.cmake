@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_net.dir/rpc.cc.o"
+  "CMakeFiles/kronos_net.dir/rpc.cc.o.d"
+  "CMakeFiles/kronos_net.dir/sim_network.cc.o"
+  "CMakeFiles/kronos_net.dir/sim_network.cc.o.d"
+  "CMakeFiles/kronos_net.dir/tcp.cc.o"
+  "CMakeFiles/kronos_net.dir/tcp.cc.o.d"
+  "libkronos_net.a"
+  "libkronos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

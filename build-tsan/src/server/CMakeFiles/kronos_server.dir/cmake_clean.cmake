@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_server.dir/cluster.cc.o"
+  "CMakeFiles/kronos_server.dir/cluster.cc.o.d"
+  "CMakeFiles/kronos_server.dir/daemon.cc.o"
+  "CMakeFiles/kronos_server.dir/daemon.cc.o.d"
+  "libkronos_server.a"
+  "libkronos_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_txkv.dir/kronos_bank.cc.o"
+  "CMakeFiles/kronos_txkv.dir/kronos_bank.cc.o.d"
+  "CMakeFiles/kronos_txkv.dir/locking_bank.cc.o"
+  "CMakeFiles/kronos_txkv.dir/locking_bank.cc.o.d"
+  "CMakeFiles/kronos_txkv.dir/put_and_pray.cc.o"
+  "CMakeFiles/kronos_txkv.dir/put_and_pray.cc.o.d"
+  "libkronos_txkv.a"
+  "libkronos_txkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_txkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_wire.dir/codec.cc.o"
+  "CMakeFiles/kronos_wire.dir/codec.cc.o.d"
+  "CMakeFiles/kronos_wire.dir/snapshot.cc.o"
+  "CMakeFiles/kronos_wire.dir/snapshot.cc.o.d"
+  "libkronos_wire.a"
+  "libkronos_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

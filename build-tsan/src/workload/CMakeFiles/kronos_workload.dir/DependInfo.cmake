@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/graph_gen.cc" "src/workload/CMakeFiles/kronos_workload.dir/graph_gen.cc.o" "gcc" "src/workload/CMakeFiles/kronos_workload.dir/graph_gen.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/workload/CMakeFiles/kronos_workload.dir/workloads.cc.o" "gcc" "src/workload/CMakeFiles/kronos_workload.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/kronos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_workload.dir/graph_gen.cc.o"
+  "CMakeFiles/kronos_workload.dir/graph_gen.cc.o.d"
+  "CMakeFiles/kronos_workload.dir/workloads.cc.o"
+  "CMakeFiles/kronos_workload.dir/workloads.cc.o.d"
+  "libkronos_workload.a"
+  "libkronos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_catocs_test.dir/apps_catocs_test.cc.o"
+  "CMakeFiles/apps_catocs_test.dir/apps_catocs_test.cc.o.d"
+  "apps_catocs_test"
+  "apps_catocs_test.pdb"
+  "apps_catocs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_catocs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

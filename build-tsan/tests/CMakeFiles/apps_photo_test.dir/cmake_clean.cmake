@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_photo_test.dir/apps_photo_test.cc.o"
+  "CMakeFiles/apps_photo_test.dir/apps_photo_test.cc.o.d"
+  "apps_photo_test"
+  "apps_photo_test.pdb"
+  "apps_photo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_photo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

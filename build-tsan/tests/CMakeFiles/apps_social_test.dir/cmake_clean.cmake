@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_social_test.dir/apps_social_test.cc.o"
+  "CMakeFiles/apps_social_test.dir/apps_social_test.cc.o.d"
+  "apps_social_test"
+  "apps_social_test.pdb"
+  "apps_social_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_social_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

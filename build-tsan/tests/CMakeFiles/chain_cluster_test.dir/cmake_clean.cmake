@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_cluster_test.dir/chain_cluster_test.cc.o"
+  "CMakeFiles/chain_cluster_test.dir/chain_cluster_test.cc.o.d"
+  "chain_cluster_test"
+  "chain_cluster_test.pdb"
+  "chain_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_property_test.dir/chain_property_test.cc.o"
+  "CMakeFiles/chain_property_test.dir/chain_property_test.cc.o.d"
+  "chain_property_test"
+  "chain_property_test.pdb"
+  "chain_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

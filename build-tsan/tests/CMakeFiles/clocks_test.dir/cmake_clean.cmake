@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocks_test.dir/clocks_test.cc.o"
+  "CMakeFiles/clocks_test.dir/clocks_test.cc.o.d"
+  "clocks_test"
+  "clocks_test.pdb"
+  "clocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_lru_cache_test.dir/common_lru_cache_test.cc.o"
+  "CMakeFiles/common_lru_cache_test.dir/common_lru_cache_test.cc.o.d"
+  "common_lru_cache_test"
+  "common_lru_cache_test.pdb"
+  "common_lru_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_lru_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

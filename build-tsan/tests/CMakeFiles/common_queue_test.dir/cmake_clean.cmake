@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_queue_test.dir/common_queue_test.cc.o"
+  "CMakeFiles/common_queue_test.dir/common_queue_test.cc.o.d"
+  "common_queue_test"
+  "common_queue_test.pdb"
+  "common_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_sparse_set_test.dir/common_sparse_set_test.cc.o"
+  "CMakeFiles/common_sparse_set_test.dir/common_sparse_set_test.cc.o.d"
+  "common_sparse_set_test"
+  "common_sparse_set_test.pdb"
+  "common_sparse_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_sparse_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

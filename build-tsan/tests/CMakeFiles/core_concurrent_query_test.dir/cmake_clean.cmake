@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_concurrent_query_test.dir/core_concurrent_query_test.cc.o"
+  "CMakeFiles/core_concurrent_query_test.dir/core_concurrent_query_test.cc.o.d"
+  "core_concurrent_query_test"
+  "core_concurrent_query_test.pdb"
+  "core_concurrent_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_concurrent_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

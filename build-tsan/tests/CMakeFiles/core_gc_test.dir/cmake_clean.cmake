@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gc_test.dir/core_gc_test.cc.o"
+  "CMakeFiles/core_gc_test.dir/core_gc_test.cc.o.d"
+  "core_gc_test"
+  "core_gc_test.pdb"
+  "core_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_order_cache_test.dir/core_order_cache_test.cc.o"
+  "CMakeFiles/core_order_cache_test.dir/core_order_cache_test.cc.o.d"
+  "core_order_cache_test"
+  "core_order_cache_test.pdb"
+  "core_order_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_order_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

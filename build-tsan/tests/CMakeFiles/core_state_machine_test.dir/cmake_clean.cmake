@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_state_machine_test.dir/core_state_machine_test.cc.o"
+  "CMakeFiles/core_state_machine_test.dir/core_state_machine_test.cc.o.d"
+  "core_state_machine_test"
+  "core_state_machine_test.pdb"
+  "core_state_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_state_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

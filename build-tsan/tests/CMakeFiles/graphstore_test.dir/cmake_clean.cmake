@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphstore_test.dir/graphstore_test.cc.o"
+  "CMakeFiles/graphstore_test.dir/graphstore_test.cc.o.d"
+  "graphstore_test"
+  "graphstore_test.pdb"
+  "graphstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

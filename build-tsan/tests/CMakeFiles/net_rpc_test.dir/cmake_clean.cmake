@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_rpc_test.dir/net_rpc_test.cc.o"
+  "CMakeFiles/net_rpc_test.dir/net_rpc_test.cc.o.d"
+  "net_rpc_test"
+  "net_rpc_test.pdb"
+  "net_rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

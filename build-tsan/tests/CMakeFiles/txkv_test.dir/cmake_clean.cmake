@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txkv_test.dir/txkv_test.cc.o"
+  "CMakeFiles/txkv_test.dir/txkv_test.cc.o.d"
+  "txkv_test"
+  "txkv_test.pdb"
+  "txkv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_buffer_test.dir/wire_buffer_test.cc.o"
+  "CMakeFiles/wire_buffer_test.dir/wire_buffer_test.cc.o.d"
+  "wire_buffer_test"
+  "wire_buffer_test.pdb"
+  "wire_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_bench_tcp.dir/kronos_bench_tcp.cc.o"
+  "CMakeFiles/kronos_bench_tcp.dir/kronos_bench_tcp.cc.o.d"
+  "kronos_bench_tcp"
+  "kronos_bench_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_bench_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

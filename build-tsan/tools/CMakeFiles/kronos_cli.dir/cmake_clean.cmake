@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronos_cli.dir/kronos_cli.cc.o"
+  "CMakeFiles/kronos_cli.dir/kronos_cli.cc.o.d"
+  "kronos_cli"
+  "kronos_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronosd.dir/kronosd.cc.o"
+  "CMakeFiles/kronosd.dir/kronosd.cc.o.d"
+  "kronosd"
+  "kronosd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronosd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
