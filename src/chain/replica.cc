@@ -1,7 +1,9 @@
 #include "src/chain/replica.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/wire/snapshot.h"
 
@@ -12,7 +14,14 @@ ChainReplica::ChainReplica(SimNetwork& net, NodeId coordinator, std::string name
       coordinator_(coordinator),
       options_(options),
       endpoint_(net, std::move(name)),
-      sm_(std::make_unique<KronosStateMachine>()) {}
+      sm_(std::make_unique<KronosStateMachine>()),
+      query_us_(metrics_.GetHistogram("kronos_cmd_query_order_us")),
+      apply_us_(metrics_.GetHistogram("kronos_replica_apply_us")) {
+  for (size_t t = 0; t < kNumCommandTypes; ++t) {
+    const std::string cmd_name(CommandTypeName(static_cast<CommandType>(t)));
+    cmd_count_[t] = &metrics_.GetCounter("kronos_cmd_" + cmd_name + "_total");
+  }
+}
 
 ChainReplica::~ChainReplica() { Stop(); }
 
@@ -59,6 +68,7 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
     return;
   }
   if (cmd->IsReadOnly()) {
+    const Stopwatch timer;
     if (options_.simulated_query_service_us > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.simulated_query_service_us));
@@ -69,6 +79,8 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     const CommandResult result = sm_->ApplyReadOnly(*cmd);
     queries_served_.fetch_add(1, std::memory_order_relaxed);
+    cmd_count_[static_cast<size_t>(CommandType::kQueryOrder)]->Increment();
+    query_us_.Record(timer.ElapsedMicros());
     (void)endpoint_.Reply(from, env.id, SerializeCommandResult(result));
     return;
   }
@@ -93,7 +105,10 @@ void ChainReplica::ApplyEntryLocked(LogEntry entry) {
   Result<Command> cmd = ParseCommand(entry.command);
   CommandResult result;
   if (cmd.ok()) {
+    const Stopwatch timer;
     result = sm_->Apply(*cmd);
+    cmd_count_[static_cast<size_t>(cmd->type)]->Increment();
+    apply_us_.Record(timer.ElapsedMicros());
   } else {
     result.status = cmd.status();
   }
@@ -392,6 +407,26 @@ EventGraph::Stats ChainReplica::graph_stats() const {
 uint64_t ChainReplica::live_events() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   return sm_->graph().live_events();
+}
+
+MetricsSnapshot ChainReplica::TelemetrySnapshot() const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const EventGraph::Stats gs = sm_->graph().stats();
+    metrics_.GetGauge("kronos_engine_live_events").Set(static_cast<int64_t>(gs.live_events));
+    metrics_.GetGauge("kronos_engine_live_edges").Set(static_cast<int64_t>(gs.live_edges));
+    metrics_.GetGauge("kronos_engine_live_refs").Set(static_cast<int64_t>(gs.live_refs));
+    metrics_.GetGauge("kronos_engine_gc_collected")
+        .Set(static_cast<int64_t>(gs.total_collected));
+    metrics_.GetGauge("kronos_replica_last_applied").Set(static_cast<int64_t>(last_applied_));
+    // Replication lag as seen from this replica: entries applied locally but not yet known
+    // to be acknowledged by the tail. On the tail itself this is 0 by construction.
+    metrics_.GetGauge("kronos_replica_unacked_lag")
+        .Set(static_cast<int64_t>(last_applied_ - std::min(acked_, last_applied_)));
+    metrics_.GetGauge("kronos_replica_staged").Set(static_cast<int64_t>(stats_.staged));
+    metrics_.GetGauge("kronos_replica_duplicates").Set(static_cast<int64_t>(stats_.duplicates));
+  }
+  return metrics_.Snapshot();
 }
 
 }  // namespace kronos

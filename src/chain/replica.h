@@ -22,6 +22,7 @@
 #ifndef KRONOS_CHAIN_REPLICA_H_
 #define KRONOS_CHAIN_REPLICA_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -36,6 +37,7 @@
 
 #include "src/core/state_machine.h"
 #include "src/net/rpc.h"
+#include "src/telemetry/metrics.h"
 
 namespace kronos {
 
@@ -94,6 +96,11 @@ class ChainReplica {
   EventGraph::Stats graph_stats() const;
   uint64_t live_events() const;
 
+  // Per-replica telemetry (DESIGN.md §5.6): per-command-type counts, local query latency,
+  // log-apply latency, replication lag (last_applied - acked), plus engine gauges — the same
+  // shape KronosDaemon serves over kIntrospect, so tooling reads both uniformly.
+  MetricsSnapshot TelemetrySnapshot() const;
+
  private:
   void HandleMessage(NodeId from, const Envelope& env);
   void HandleClientRequest(NodeId from, const Envelope& env);
@@ -133,6 +140,13 @@ class ChainReplica {
   ReplicaStats stats_;  // all fields except queries_served; that one is bumped by concurrent
                         // shared-mode readers and lives in the atomic below
   std::atomic<uint64_t> queries_served_{0};
+
+  // Telemetry instruments, resolved once at construction (see replica.cc); the registry is
+  // mutable so const snapshots can refresh gauges.
+  mutable MetricsRegistry metrics_;
+  LatencyHistogram& query_us_;
+  LatencyHistogram& apply_us_;
+  std::array<Counter*, kNumCommandTypes> cmd_count_{};  // indexed by CommandType
 
   std::thread heartbeat_thread_;
   std::atomic<bool> stopped_{false};

@@ -1,6 +1,7 @@
 #include "src/client/tcp_client.h"
 
 #include "src/wire/codec.h"
+#include "src/wire/introspect.h"
 
 namespace kronos {
 
@@ -39,6 +40,28 @@ Result<CommandResult> TcpKronos::Execute(const Command& cmd) {
     return Status(Internal("response correlation mismatch"));
   }
   return ParseCommandResult(env->payload);
+}
+
+Result<MetricsSnapshot> TcpKronos::Introspect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!conn_ || conn_->closed()) {
+    return Status(Unavailable("not connected"));
+  }
+  const uint64_t id = next_id_++;
+  Envelope request{MessageKind::kIntrospect, id, {}};
+  KRONOS_RETURN_IF_ERROR(conn_->SendFrame(SerializeEnvelope(request)));
+  Result<std::vector<uint8_t>> frame = conn_->RecvFrame();
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  Result<Envelope> env = ParseEnvelope(*frame);
+  if (!env.ok()) {
+    return env.status();
+  }
+  if (env->kind != MessageKind::kIntrospect || env->id != id) {
+    return Status(Internal("response correlation mismatch"));
+  }
+  return ParseMetricsSnapshot(env->payload);
 }
 
 Result<EventId> TcpKronos::CreateEvent() {

@@ -13,6 +13,7 @@
 #include "src/client/api.h"
 #include "src/core/command.h"
 #include "src/net/tcp.h"
+#include "src/telemetry/metrics.h"
 
 namespace kronos {
 
@@ -26,6 +27,10 @@ class TcpKronos : public KronosApi {
   Result<uint64_t> ReleaseRef(EventId e) override;
   Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override;
   Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override;
+
+  // Fetches the server's live metrics snapshot (the kIntrospect wire command). Read-only and
+  // safe to call while other clients drive load; `kronos_cli stats` is built on this.
+  Result<MetricsSnapshot> Introspect();
 
   void Close();
 

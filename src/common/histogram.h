@@ -23,11 +23,13 @@ class Histogram {
   void Merge(const Histogram& other);
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const;
   uint64_t max() const;
   double mean() const;
 
-  // Value at quantile q in [0, 1]; returns an upper bound of the containing bucket.
+  // Value at quantile q in [0, 1]; returns an upper bound of the containing bucket. An empty
+  // histogram has no buckets to read: every percentile (like min/max/mean) reports 0.
   uint64_t Percentile(double q) const;
 
   // (value, cumulative fraction) points suitable for plotting a CDF; at most one point per

@@ -8,6 +8,7 @@
 #define KRONOS_CORE_COMMAND_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -22,6 +23,26 @@ enum class CommandType : uint8_t {
   kQueryOrder = 3,
   kAssignOrder = 4,
 };
+
+inline constexpr size_t kNumCommandTypes = 5;
+
+// Stable lowercase names, used as the per-command-type segment of telemetry instrument names
+// (kronos_cmd_<name>_total / kronos_cmd_<name>_us) and in human-readable output.
+constexpr std::string_view CommandTypeName(CommandType t) {
+  switch (t) {
+    case CommandType::kCreateEvent:
+      return "create_event";
+    case CommandType::kAcquireRef:
+      return "acquire_ref";
+    case CommandType::kReleaseRef:
+      return "release_ref";
+    case CommandType::kQueryOrder:
+      return "query_order";
+    case CommandType::kAssignOrder:
+      return "assign_order";
+  }
+  return "unknown";
+}
 
 struct Command {
   CommandType type = CommandType::kCreateEvent;

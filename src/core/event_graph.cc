@@ -73,6 +73,7 @@ EventId EventGraph::CreateEvent() {
   const EventId id = next_id_++;
   AllocateSlot(id);
   ++stats_.live_events;
+  ++stats_.live_refs;  // the creator's handle
   ++stats_.total_created;
   return id;
 }
@@ -83,6 +84,7 @@ Status EventGraph::AcquireRef(EventId e) {
     return NotFound("acquire_ref: unknown event");
   }
   ++vertices_[slot].refcount;
+  ++stats_.live_refs;
   return OkStatus();
 }
 
@@ -96,6 +98,7 @@ Result<uint64_t> EventGraph::ReleaseRef(EventId e) {
     return Status(InvalidArgument("release_ref: reference count already zero"));
   }
   --v.refcount;
+  --stats_.live_refs;
   if (v.refcount > 0) {
     return uint64_t{0};
   }
@@ -368,6 +371,10 @@ Status EventGraph::ImportSnapshot(EventId next_id, const std::vector<SnapshotVer
   next_id_ = next_id;
   stats_.live_events = vertices.size();
   stats_.total_created = vertices.size();
+  stats_.live_refs = 0;
+  for (const SnapshotVertex& sv : vertices) {
+    stats_.live_refs += sv.refcount;
+  }
   return OkStatus();
 }
 

@@ -44,6 +44,7 @@ class EventGraph {
   struct Stats {
     uint64_t live_events = 0;        // vertices currently in the graph
     uint64_t live_edges = 0;         // edges currently in the graph
+    uint64_t live_refs = 0;          // outstanding references across all live events
     uint64_t total_created = 0;      // events ever created
     uint64_t total_collected = 0;    // events ever garbage collected
     uint64_t traversals = 0;         // BFS runs performed
@@ -94,6 +95,11 @@ class EventGraph {
 
   uint64_t live_events() const { return stats_.live_events; }
   uint64_t live_edges() const { return stats_.live_edges; }
+
+  // The internal query cache, or null if EnableQueryCache was never called. Exposed so servers
+  // can export hit/miss/eviction counts; the cache's own accounting is internally locked and
+  // safe to poll from shared mode.
+  const OrderCache* query_cache() const { return query_cache_.get(); }
 
   // A coherent snapshot of the counters. The read-side counters (traversals, vertices_visited,
   // cache_hits) are maintained as relaxed atomics so concurrent queries can bump them without

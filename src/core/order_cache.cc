@@ -14,8 +14,10 @@ std::optional<Order> OrderCache::Lookup(EventId e1, EventId e2) {
   const PairKey key = MakeKey(e1, e2);
   std::optional<Order> cached = cache_.Get(key);
   if (!cached.has_value()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  hits_.fetch_add(1, std::memory_order_relaxed);
   // Stored order is relative to the normalized (a, b); flip if the caller asked (b, a).
   if (e1 == key.a) {
     return cached;
@@ -107,11 +109,23 @@ void OrderCache::Prefill(EventId before, EventId after) {
   }
 }
 
+OrderCache::Stats OrderCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.evictions = cache_.evictions();
+  s.prefills = prefills_;
+  s.size = cache_.size();
+  return s;
+}
+
 void OrderCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.Clear();
   index_.clear();
   prefills_ = 0;
+  // hits_/misses_/evictions are lifetime counters and survive Clear(), matching LruCache.
 }
 
 }  // namespace kronos

@@ -13,9 +13,15 @@
 // Lookup mutates LRU recency even on the read path — never a graph traversal, so contention is
 // a few pointer splices per query. Because only true, final facts are ever stored, readers can
 // never observe a stale or contradictory entry regardless of interleaving.
+//
+// Accounting: hit/miss counters are relaxed atomics (the PR-1 read-stats convention — monotone
+// counters with no ordering obligations), so stats() can be polled by a telemetry snapshot
+// while queries run. Evictions and prefills are write-path counters maintained under the
+// mutex.
 #ifndef KRONOS_CORE_ORDER_CACHE_H_
 #define KRONOS_CORE_ORDER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -36,6 +42,15 @@ class OrderCache {
     size_t prefill_fanout = 16;
   };
 
+  // Point-in-time counter snapshot, pollable while queries run.
+  struct Stats {
+    uint64_t hits = 0;       // Lookup answered from the cache
+    uint64_t misses = 0;     // Lookup found nothing
+    uint64_t evictions = 0;  // entries displaced by capacity pressure
+    uint64_t prefills = 0;   // entries inferred transitively, no service call
+    uint64_t size = 0;       // entries currently resident
+  };
+
   explicit OrderCache(Options options);
   explicit OrderCache(size_t capacity) : OrderCache(Options{.capacity = capacity}) {}
 
@@ -49,18 +64,18 @@ class OrderCache {
     std::lock_guard<std::mutex> lock(mu_);
     return cache_.size();
   }
-  uint64_t hits() const {
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return cache_.hits();
-  }
-  uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return cache_.misses();
+    return cache_.evictions();
   }
   uint64_t prefills() const {
     std::lock_guard<std::mutex> lock(mu_);
     return prefills_;
   }
+
+  Stats stats() const;
 
   void Clear();
 
@@ -100,6 +115,10 @@ class OrderCache {
   void Prefill(EventId before, EventId after);
 
   Options options_;
+  // Hit/miss counters: relaxed atomics bumped on the Lookup path so they can be read without
+  // the mutex (telemetry polls them while shared-mode queries run).
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
   mutable std::mutex mu_;  // guards cache_, index_, prefills_
   // Value is the order of (key.a, key.b) in normalized form; only kBefore/kAfter stored.
   LruCache<PairKey, Order, PairKeyHash> cache_;

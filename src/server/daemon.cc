@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
+#include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/wire/codec.h"
+#include "src/wire/introspect.h"
 
 namespace kronos {
+
+KronosDaemon::KronosDaemon(Options options)
+    : options_(options),
+      connections_served_(metrics_.GetCounter("kronos_daemon_connections_total")),
+      commands_served_(metrics_.GetCounter("kronos_daemon_commands_total")),
+      shared_mode_cmds_(metrics_.GetCounter("kronos_daemon_shared_mode_total")),
+      exclusive_mode_cmds_(metrics_.GetCounter("kronos_daemon_exclusive_mode_total")),
+      introspects_served_(metrics_.GetCounter("kronos_daemon_introspects_total")),
+      wal_appends_(metrics_.GetCounter("kronos_wal_appends_total")),
+      wal_append_us_(metrics_.GetHistogram("kronos_wal_append_us")) {
+  for (size_t t = 0; t < kNumCommandTypes; ++t) {
+    const std::string name(CommandTypeName(static_cast<CommandType>(t)));
+    cmd_count_[t] = &metrics_.GetCounter("kronos_cmd_" + name + "_total");
+    cmd_us_[t] = &metrics_.GetHistogram("kronos_cmd_" + name + "_us");
+  }
+  if (options_.query_cache_capacity > 0) {
+    sm_.graph().EnableQueryCache(options_.query_cache_capacity);
+  }
+}
 
 KronosDaemon::~KronosDaemon() { Stop(); }
 
@@ -41,7 +63,7 @@ void KronosDaemon::AcceptLoop() {
     if (!conn.ok()) {
       return;  // listener closed
     }
-    connections_served_.fetch_add(1, std::memory_order_relaxed);
+    connections_served_.Increment();
     std::shared_ptr<TcpConnection> shared = std::move(*conn);
     std::lock_guard<std::mutex> lock(conns_mutex_);
     if (stopped_.load()) {
@@ -66,7 +88,22 @@ void KronosDaemon::ServeConnection(const std::shared_ptr<TcpConnection>& conn) {
       return;  // peer hung up or protocol error: drop the connection
     }
     Result<Envelope> env = ParseEnvelope(*frame);
-    if (!env.ok() || env->kind != MessageKind::kRequest) {
+    if (!env.ok()) {
+      KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
+      return;
+    }
+    if (env->kind == MessageKind::kIntrospect) {
+      // Live stats: read-only, so it rides the shared lock like any query and never blocks
+      // the read path behind it.
+      introspects_served_.Increment();
+      Envelope reply{MessageKind::kIntrospect, env->id,
+                     SerializeMetricsSnapshot(TelemetrySnapshot())};
+      if (!conn->SendFrame(SerializeEnvelope(reply)).ok()) {
+        return;
+      }
+      continue;
+    }
+    if (env->kind != MessageKind::kRequest) {
       KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
       return;
     }
@@ -85,46 +122,60 @@ void KronosDaemon::ServeConnection(const std::shared_ptr<TcpConnection>& conn) {
 }
 
 CommandResult KronosDaemon::ExecuteCommand(const Command& cmd, std::span<const uint8_t> raw) {
+  // Server-side latency: lock wait + engine time (and WAL for updates), excluding network and
+  // framing. One clock read before, one after; the Record is a shard-local O(1).
+  const Stopwatch timer;
+  const size_t type = static_cast<size_t>(cmd.type);
   CommandResult result;
   if (cmd.IsReadOnly() && !options_.serialize_reads) {
     // Shared mode: query batches from any number of connections run concurrently; they only
     // wait for in-flight updates, never for each other.
-    std::shared_lock<std::shared_mutex> lock(sm_mutex_);
-    if (options_.simulated_query_service_us > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.simulated_query_service_us));
+    {
+      std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+      if (options_.simulated_query_service_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.simulated_query_service_us));
+      }
+      result = sm_.ApplyReadOnly(cmd);
     }
-    result = sm_.ApplyReadOnly(cmd);
-    commands_served_.fetch_add(1, std::memory_order_relaxed);
-    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    commands_served_.Increment();
+    shared_mode_cmds_.Increment();
+    cmd_count_[type]->Increment();
+    cmd_us_[type]->Record(timer.ElapsedMicros());
     return result;
   }
-  std::unique_lock<std::shared_mutex> lock(sm_mutex_);
-  if (cmd.IsReadOnly()) {
-    // serialize_reads ablation: the seed's single-mutex schedule.
-    if (options_.simulated_query_service_us > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.simulated_query_service_us));
+  {
+    std::unique_lock<std::shared_mutex> lock(sm_mutex_);
+    if (cmd.IsReadOnly()) {
+      // serialize_reads ablation: the seed's single-mutex schedule.
+      if (options_.simulated_query_service_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.simulated_query_service_us));
+      }
+      result = sm_.ApplyReadOnly(cmd);
+    } else {
+      if (persistent_) {
+        // Write-ahead: the update is durable before its effects are observable. The append
+        // runs inside the exclusive section so the WAL order equals the apply order.
+        const Stopwatch wal_timer;
+        Status logged = wal_.Append(raw);
+        if (logged.ok()) {
+          logged = wal_.Sync();
+        }
+        wal_appends_.Increment();
+        wal_append_us_.Record(wal_timer.ElapsedMicros());
+        if (!logged.ok()) {
+          result.status = logged;
+          return result;
+        }
+      }
+      result = sm_.Apply(cmd);
     }
-    result = sm_.ApplyReadOnly(cmd);
-    commands_served_.fetch_add(1, std::memory_order_relaxed);
-    queries_served_.fetch_add(1, std::memory_order_relaxed);
-    return result;
   }
-  if (persistent_) {
-    // Write-ahead: the update is durable before its effects are observable. The append runs
-    // inside the exclusive section so the WAL order equals the apply order.
-    Status logged = wal_.Append(raw);
-    if (logged.ok()) {
-      logged = wal_.Sync();
-    }
-    if (!logged.ok()) {
-      result.status = logged;
-      return result;
-    }
-  }
-  result = sm_.Apply(cmd);
-  commands_served_.fetch_add(1, std::memory_order_relaxed);
+  commands_served_.Increment();
+  exclusive_mode_cmds_.Increment();
+  cmd_count_[type]->Increment();
+  cmd_us_[type]->Record(timer.ElapsedMicros());
   return result;
 }
 
@@ -141,6 +192,37 @@ uint64_t KronosDaemon::live_edges() const {
 EventGraph::Stats KronosDaemon::graph_stats() const {
   std::shared_lock<std::shared_mutex> lock(sm_mutex_);
   return sm_.graph().stats();
+}
+
+void KronosDaemon::ExportEngineGaugesLocked() const {
+  const EventGraph::Stats gs = sm_.graph().stats();
+  metrics_.GetGauge("kronos_engine_live_events").Set(static_cast<int64_t>(gs.live_events));
+  metrics_.GetGauge("kronos_engine_live_edges").Set(static_cast<int64_t>(gs.live_edges));
+  metrics_.GetGauge("kronos_engine_live_refs").Set(static_cast<int64_t>(gs.live_refs));
+  metrics_.GetGauge("kronos_engine_created").Set(static_cast<int64_t>(gs.total_created));
+  metrics_.GetGauge("kronos_engine_gc_collected").Set(static_cast<int64_t>(gs.total_collected));
+  metrics_.GetGauge("kronos_engine_traversals").Set(static_cast<int64_t>(gs.traversals));
+  metrics_.GetGauge("kronos_engine_vertices_visited")
+      .Set(static_cast<int64_t>(gs.vertices_visited));
+  metrics_.GetGauge("kronos_engine_assign_aborts").Set(static_cast<int64_t>(gs.assign_aborts));
+  if (const OrderCache* cache = sm_.graph().query_cache()) {
+    const OrderCache::Stats cs = cache->stats();
+    metrics_.GetGauge("kronos_cache_hits").Set(static_cast<int64_t>(cs.hits));
+    metrics_.GetGauge("kronos_cache_misses").Set(static_cast<int64_t>(cs.misses));
+    metrics_.GetGauge("kronos_cache_evictions").Set(static_cast<int64_t>(cs.evictions));
+    metrics_.GetGauge("kronos_cache_prefills").Set(static_cast<int64_t>(cs.prefills));
+    metrics_.GetGauge("kronos_cache_size").Set(static_cast<int64_t>(cs.size));
+  }
+}
+
+MetricsSnapshot KronosDaemon::TelemetrySnapshot() const {
+  {
+    std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+    ExportEngineGaugesLocked();
+  }
+  // Registry snapshot outside the engine lock: merging histogram shards has nothing to do
+  // with graph state, so don't hold readers' lock budget for it.
+  return metrics_.Snapshot();
 }
 
 void KronosDaemon::Stop() {

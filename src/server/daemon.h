@@ -11,9 +11,17 @@
 // (the log append happens inside the exclusive section, so the durable order and the applied
 // order coincide). This is what lets a read-dominated workload — the common case in the
 // paper's Figs. 6–9 — scale with cores instead of queueing behind one mutex.
+//
+// Telemetry (DESIGN.md §5.6): every command is counted and timed into a MetricsRegistry —
+// per-command-type counters and latency histograms, shared vs exclusive scheduling counts,
+// and WAL append time. Engine state (live events/edges/refs, GC reclaims, traversal work) and
+// order-cache hit rates are exported as gauges at snapshot time. The snapshot is served live
+// over the wire protocol via the kIntrospect message (read-only, graph reads under the shared
+// lock, so introspection never stalls the query path behind it).
 #ifndef KRONOS_SERVER_DAEMON_H_
 #define KRONOS_SERVER_DAEMON_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -25,6 +33,7 @@
 #include "src/common/wal.h"
 #include "src/core/state_machine.h"
 #include "src/net/tcp.h"
+#include "src/telemetry/metrics.h"
 
 namespace kronos {
 
@@ -38,13 +47,20 @@ struct KronosDaemonOptions {
   // the command's mode, so shared-mode readers overlap their service times while the
   // serialized baseline cannot — modelling a multi-core engine on a one-core host.
   uint64_t simulated_query_service_us = 0;
+  // Capacity of the engine's internal order cache (§2.5; 0 disables). Results are
+  // bit-identical with or without it, but Lookup serializes on the cache's internal mutex, so
+  // the cache is opt-in: under uniform-random read load (bench/micro_concurrent_query) it is
+  // pure contention on the otherwise lock-free shared read path (~15% at 8 threads), while
+  // skewed real workloads win back repeated traversals. The standalone kronosd binary enables
+  // it; when enabled, hit/miss rates feed the kronos_cache_* gauges.
+  size_t query_cache_capacity = 0;
 };
 
 class KronosDaemon {
  public:
   using Options = KronosDaemonOptions;
 
-  explicit KronosDaemon(Options options = {}) : options_(options) {}
+  explicit KronosDaemon(Options options = {});
   ~KronosDaemon();
 
   KronosDaemon(const KronosDaemon&) = delete;
@@ -57,9 +73,11 @@ class KronosDaemon {
 
   uint16_t port() const { return listener_.port(); }
 
-  uint64_t connections_served() const { return connections_served_.load(); }
-  uint64_t commands_served() const { return commands_served_.load(); }
-  uint64_t queries_served() const { return queries_served_.load(); }
+  uint64_t connections_served() const { return connections_served_.Value(); }
+  uint64_t commands_served() const { return commands_served_.Value(); }
+  uint64_t queries_served() const {
+    return cmd_count_[static_cast<size_t>(CommandType::kQueryOrder)]->Value();
+  }
   uint64_t commands_recovered() const { return commands_recovered_; }
 
   // Engine introspection (safe to call while serving). Reads take the lock in shared mode:
@@ -68,12 +86,18 @@ class KronosDaemon {
   uint64_t live_edges() const;
   EventGraph::Stats graph_stats() const;
 
+  // A coherent reading of every instrument: command counters/latency as recorded, engine and
+  // cache state copied into gauges under the shared lock. This is what kIntrospect serves and
+  // what kronosd's periodic digest logs.
+  MetricsSnapshot TelemetrySnapshot() const;
+
   void Stop();
 
  private:
   void AcceptLoop();
   void ServeConnection(const std::shared_ptr<TcpConnection>& conn);
   CommandResult ExecuteCommand(const Command& cmd, std::span<const uint8_t> raw);
+  void ExportEngineGaugesLocked() const;  // requires sm_mutex_ (shared suffices)
 
   Options options_;
   TcpListener listener_;
@@ -92,9 +116,19 @@ class KronosDaemon {
   std::vector<std::thread> conn_threads_;
   std::vector<std::shared_ptr<TcpConnection>> live_conns_;
 
-  std::atomic<uint64_t> connections_served_{0};
-  std::atomic<uint64_t> commands_served_{0};
-  std::atomic<uint64_t> queries_served_{0};
+  // Instruments live in the registry; the references below are resolved once at construction
+  // so the hot path never does a name lookup. Gauge exports happen through pointers resolved
+  // the same way (see daemon.cc for the full instrument list and naming scheme).
+  mutable MetricsRegistry metrics_;
+  Counter& connections_served_;
+  Counter& commands_served_;
+  Counter& shared_mode_cmds_;
+  Counter& exclusive_mode_cmds_;
+  Counter& introspects_served_;
+  Counter& wal_appends_;
+  LatencyHistogram& wal_append_us_;
+  std::array<Counter*, kNumCommandTypes> cmd_count_{};        // indexed by CommandType
+  std::array<LatencyHistogram*, kNumCommandTypes> cmd_us_{};  // indexed by CommandType
 };
 
 }  // namespace kronos

@@ -1,0 +1,189 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace kronos {
+
+size_t LatencyHistogram::ShardIndex() {
+  // Threads draw a stable id once; distinct threads land on distinct shards until more than
+  // kShards threads record into the same histogram, at which point collisions share a lock.
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t slot = next_thread.fetch_add(1, std::memory_order_relaxed);
+  return slot % kShards;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  Shard& shard = shards_[ShardIndex()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.hist.Record(value);
+}
+
+Histogram LatencyHistogram::Merged() const {
+  Histogram out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.Merge(shard.hist);
+  }
+  return out;
+}
+
+HistogramSummary HistogramSummary::FromHistogram(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.p50 = h.Percentile(0.50);
+  s.p90 = h.Percentile(0.90);
+  s.p99 = h.Percentile(0.99);
+  s.p999 = h.Percentile(0.999);
+  return s;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<LatencyHistogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // Collect instrument pointers under the map lock, then read the instruments outside it:
+  // merging a histogram takes its shard locks, and holding mu_ across that would serialize
+  // Get* lookups behind the merge for no benefit.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      counters.emplace_back(name, c.get());
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+      gauges.emplace_back(name, g.get());
+    }
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters.size());
+  for (const auto& [name, c] : counters) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges.size());
+  for (const auto& [name, g] : gauges) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms.size());
+  for (const auto& [name, h] : histograms) {
+    snap.histograms.emplace_back(name, HistogramSummary::FromHistogram(h->Merged()));
+  }
+  return snap;
+}
+
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out.append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::RenderPrometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    AppendF(out, "# TYPE %s counter\n%s %llu\n", name.c_str(), name.c_str(),
+            (unsigned long long)value);
+  }
+  for (const auto& [name, value] : gauges) {
+    AppendF(out, "# TYPE %s gauge\n%s %lld\n", name.c_str(), name.c_str(), (long long)value);
+  }
+  for (const auto& [name, s] : histograms) {
+    AppendF(out, "# TYPE %s summary\n", name.c_str());
+    AppendF(out, "%s{quantile=\"0.5\"} %llu\n", name.c_str(), (unsigned long long)s.p50);
+    AppendF(out, "%s{quantile=\"0.9\"} %llu\n", name.c_str(), (unsigned long long)s.p90);
+    AppendF(out, "%s{quantile=\"0.99\"} %llu\n", name.c_str(), (unsigned long long)s.p99);
+    AppendF(out, "%s{quantile=\"0.999\"} %llu\n", name.c_str(), (unsigned long long)s.p999);
+    AppendF(out, "%s_sum %llu\n", name.c_str(), (unsigned long long)s.sum);
+    AppendF(out, "%s_count %llu\n", name.c_str(), (unsigned long long)s.count);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::RenderJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    AppendF(out, "%s\n    \"%s\": %llu", i ? "," : "", counters[i].first.c_str(),
+            (unsigned long long)counters[i].second);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    AppendF(out, "%s\n    \"%s\": %lld", i ? "," : "", gauges[i].first.c_str(),
+            (long long)gauges[i].second);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSummary& s = histograms[i].second;
+    AppendF(out, "%s\n    \"%s\": {\"count\": %llu, \"mean\": %.1f, \"min\": %llu, ",
+            i ? "," : "", histograms[i].first.c_str(), (unsigned long long)s.count, s.mean(),
+            (unsigned long long)s.min);
+    AppendF(out, "\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, \"p999\": %llu, \"max\": %llu}",
+            (unsigned long long)s.p50, (unsigned long long)s.p90, (unsigned long long)s.p99,
+            (unsigned long long)s.p999, (unsigned long long)s.max);
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::Digest() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    AppendF(out, "%s%s=%llu", out.empty() ? "" : " ", name.c_str(), (unsigned long long)value);
+  }
+  for (const auto& [name, value] : gauges) {
+    AppendF(out, "%s%s=%lld", out.empty() ? "" : " ", name.c_str(), (long long)value);
+  }
+  for (const auto& [name, s] : histograms) {
+    AppendF(out, "%s%s{p50=%llu,p99=%llu,n=%llu}", out.empty() ? "" : " ", name.c_str(),
+            (unsigned long long)s.p50, (unsigned long long)s.p99, (unsigned long long)s.count);
+  }
+  return out;
+}
+
+}  // namespace kronos

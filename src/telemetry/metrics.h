@@ -1,0 +1,152 @@
+// MetricsRegistry: named runtime instruments for the Kronos servers.
+//
+// Production ordering services live and die by per-operation visibility (Weaver-style
+// timestampers instrument their ordering hot path; Chrono treats causal-graph growth as an
+// operational signal). This module is the repo's single source of that visibility: servers
+// register named instruments once at wiring time and bump them on the hot path, and an
+// introspection snapshot renders everything as a Prometheus-style text exposition or a
+// structured JSON dump.
+//
+// Instrument kinds:
+//   * Counter — a monotone relaxed-atomic u64 (events, bytes, hits).
+//   * Gauge   — a settable relaxed-atomic i64 (live events, cache size). Servers that own
+//     richer internal stats (EventGraph, OrderCache) copy them into gauges at snapshot time
+//     rather than threading registry pointers through the engine.
+//   * LatencyHistogram — a per-thread-sharded wrapper around common/histogram.h. Record()
+//     locks only the calling thread's shard (threads map to distinct shards, so the lock is
+//     uncontended in steady state and Histogram::Record is allocation-free O(1)); Merged()
+//     folds all shards into one Histogram for percentile queries.
+//
+// Naming scheme (DESIGN.md §5.6): `kronos_<subsystem>_<what>[_<unit>]`. Counters end in
+// `_total`; latency histograms carry their unit suffix (`_us`). Instrument lookup takes a
+// registry-wide mutex and is NOT for the hot path: callers resolve instruments once and keep
+// the references (instruments are never removed, so references stay valid for the registry's
+// lifetime).
+//
+// Thread safety: everything here is safe to call from any thread at any time; Snapshot() runs
+// concurrently with recording (counters/gauges are atomics, histogram shards are merged under
+// their shard locks).
+#ifndef KRONOS_TELEMETRY_METRICS_H_
+#define KRONOS_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace kronos {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  // O(1), allocation-free; takes only the calling thread's shard lock.
+  void Record(uint64_t value);
+
+  // Folds every shard into one histogram (merge-on-read).
+  Histogram Merged() const;
+
+ private:
+  // One histogram per shard, cacheline-aligned so recording threads never false-share. 16
+  // shards cover the daemon's thread-per-connection model: the shard index is derived from a
+  // per-thread id, so two threads contend only when they collide mod 16.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    Histogram hist;
+  };
+  static constexpr size_t kShards = 16;
+
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+// Point-in-time reading of a histogram, precomputed so snapshots are cheap to ship and render.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;  // sum of recorded values; mean = sum / count
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+
+  double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+
+  static HistogramSummary FromHistogram(const Histogram& h);
+};
+
+// A coherent point-in-time copy of every instrument, sorted by name (the registry stores
+// instruments in ordered maps, so renderings are deterministic).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  // Prometheus text exposition: counters as TYPE counter, gauges as TYPE gauge, histograms as
+  // TYPE summary (quantile series + _sum + _count).
+  std::string RenderPrometheus() const;
+
+  // Structured JSON: {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+  std::string RenderJson() const;
+
+  // One-line digest for periodic server logs: every counter/gauge plus p50/p99 per histogram.
+  std::string Digest() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. The returned reference is valid for the registry's lifetime;
+  // resolve once at wiring time, not per operation.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  LatencyHistogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps only, never the instruments' hot paths
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_TELEMETRY_METRICS_H_

@@ -39,6 +39,7 @@ enum class MessageKind : uint8_t {
   kChainPropagate = 3, // head/mid -> next replica: { seq, Command }
   kChainAck = 4,       // tail -> ... -> head: { seq }
   kControl = 5,        // coordinator <-> replicas: configuration / heartbeat payload
+  kIntrospect = 6,     // request: empty payload; response: MetricsSnapshot (wire/introspect.h)
 };
 
 struct Envelope {

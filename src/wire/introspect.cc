@@ -1,0 +1,108 @@
+#include "src/wire/introspect.h"
+
+#include "src/wire/codec.h"
+
+namespace kronos {
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snap, BufferWriter& w) {
+  w.WriteU8(kWireVersion);
+  w.WriteVarint(snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    w.WriteString(name);
+    w.WriteVarint(value);
+  }
+  w.WriteVarint(snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
+    w.WriteString(name);
+    // Gauges are i64; shipped as the two's-complement u64 (negatives take 10 varint bytes,
+    // which no current gauge produces — live counts never go below zero).
+    w.WriteVarint(static_cast<uint64_t>(value));
+  }
+  w.WriteVarint(snap.histograms.size());
+  for (const auto& [name, s] : snap.histograms) {
+    w.WriteString(name);
+    w.WriteVarint(s.count);
+    w.WriteVarint(s.sum);
+    w.WriteVarint(s.min);
+    w.WriteVarint(s.max);
+    w.WriteVarint(s.p50);
+    w.WriteVarint(s.p90);
+    w.WriteVarint(s.p99);
+    w.WriteVarint(s.p999);
+  }
+}
+
+Status DecodeMetricsSnapshot(BufferReader& r, MetricsSnapshot& out) {
+  uint8_t version = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
+  if (version != kWireVersion) {
+    return InvalidArgument("unsupported wire version");
+  }
+  out = MetricsSnapshot{};
+  uint64_t n = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+  if (n > r.remaining()) {  // every entry needs >= 2 bytes; cheap bomb guard
+    return InvalidArgument("counter count exceeds payload");
+  }
+  out.counters.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    KRONOS_RETURN_IF_ERROR(r.ReadString(name));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(value));
+    out.counters.emplace_back(std::move(name), value);
+  }
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+  if (n > r.remaining()) {
+    return InvalidArgument("gauge count exceeds payload");
+  }
+  out.gauges.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    KRONOS_RETURN_IF_ERROR(r.ReadString(name));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(value));
+    out.gauges.emplace_back(std::move(name), static_cast<int64_t>(value));
+  }
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+  if (n > r.remaining()) {
+    return InvalidArgument("histogram count exceeds payload");
+  }
+  out.histograms.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    HistogramSummary s;
+    KRONOS_RETURN_IF_ERROR(r.ReadString(name));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.count));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.sum));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.min));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.max));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.p50));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.p90));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.p99));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.p999));
+    out.histograms.emplace_back(std::move(name), s);
+  }
+  return OkStatus();
+}
+
+std::vector<uint8_t> SerializeMetricsSnapshot(const MetricsSnapshot& snap) {
+  BufferWriter w;
+  EncodeMetricsSnapshot(snap, w);
+  return w.TakeBuffer();
+}
+
+Result<MetricsSnapshot> ParseMetricsSnapshot(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  MetricsSnapshot snap;
+  Status st = DecodeMetricsSnapshot(r, snap);
+  if (!st.ok()) {
+    return st;
+  }
+  if (!r.AtEnd()) {
+    return Status(InvalidArgument("trailing bytes after metrics snapshot"));
+  }
+  return snap;
+}
+
+}  // namespace kronos

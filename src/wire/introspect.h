@@ -1,0 +1,28 @@
+// Codec for the kIntrospect reply: a MetricsSnapshot shipped over the framed protocol.
+//
+// An introspect request is an Envelope{kIntrospect, id, empty payload}; the server answers
+// with Envelope{kIntrospect, id, SerializeMetricsSnapshot(...)}. The snapshot travels in its
+// structured form (names + numbers) rather than pre-rendered text so clients choose the
+// rendering (pretty table, Prometheus exposition, JSON) without the server caring.
+#ifndef KRONOS_WIRE_INTROSPECT_H_
+#define KRONOS_WIRE_INTROSPECT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/telemetry/metrics.h"
+#include "src/wire/buffer.h"
+
+namespace kronos {
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snap, BufferWriter& w);
+Status DecodeMetricsSnapshot(BufferReader& r, MetricsSnapshot& out);
+
+std::vector<uint8_t> SerializeMetricsSnapshot(const MetricsSnapshot& snap);
+Result<MetricsSnapshot> ParseMetricsSnapshot(std::span<const uint8_t> bytes);
+
+}  // namespace kronos
+
+#endif  // KRONOS_WIRE_INTROSPECT_H_

@@ -165,6 +165,44 @@ TEST(HistogramTest, BucketBoundNeverBelowValue) {
   }
 }
 
+TEST(HistogramTest, EmptyPercentileIsZeroAtEveryQuantile) {
+  // Contract pinned for the telemetry layer: an empty histogram has no buckets to read, so
+  // every percentile — not just the median — reports 0 rather than trapping or returning
+  // garbage. Snapshots of an idle server rely on this.
+  Histogram h;
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.Percentile(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeDisjointBucketRanges) {
+  // Merge histograms whose populated buckets do not overlap at all: one holds tiny exact-unit
+  // values, the other holds values dozens of power-of-two groups higher. The merged percentile
+  // ladder must walk both regions (this would catch a merge that only folds overlapping
+  // buckets or clobbers min/max).
+  Histogram lo;
+  Histogram hi;
+  for (uint64_t v = 1; v <= 10; ++v) {
+    lo.Record(v);  // exact unit buckets
+  }
+  for (uint64_t v = 1; v <= 10; ++v) {
+    hi.Record(v * 1000000);  // far-away bucket groups
+  }
+  Histogram merged = lo;
+  merged.Merge(hi);
+  EXPECT_EQ(merged.count(), 20u);
+  EXPECT_EQ(merged.min(), 1u);
+  EXPECT_EQ(merged.max(), 10000000u);
+  // Half the mass is below 11, so p25 lands in the low region and p75 in the high region.
+  EXPECT_LE(merged.Percentile(0.25), 10u);
+  EXPECT_GE(merged.Percentile(0.75), 1000000u * 0.95);
+  // Merging in the other direction gives the same totals.
+  Histogram reversed = hi;
+  reversed.Merge(lo);
+  EXPECT_EQ(reversed.count(), 20u);
+  EXPECT_EQ(reversed.Percentile(0.5), merged.Percentile(0.5));
+}
+
 TEST(HistogramTest, SummaryMentionsCount) {
   Histogram h;
   h.Record(10);

@@ -50,6 +50,53 @@ TEST(OrderCacheTest, TransitivePrefillBackward) {
   EXPECT_EQ(c.Lookup(9, 2), Order::kBefore);
 }
 
+TEST(OrderCacheTest, StatsAcrossFillProbeEvict) {
+  // Drive the cache through a fill–probe–evict sequence and check every counter in the Stats
+  // snapshot moves exactly as the telemetry layer expects.
+  OrderCache c(OrderCache::Options{.capacity = 4, .transitive_prefill = false});
+
+  // Probe empty: pure misses.
+  EXPECT_FALSE(c.Lookup(1, 2).has_value());
+  EXPECT_FALSE(c.Lookup(3, 4).has_value());
+  OrderCache::Stats s = c.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.size, 0u);
+
+  // Fill to capacity, probe the same pairs: pure hits (both directions count as one entry).
+  for (EventId e = 1; e <= 4; ++e) {
+    c.Insert(e, e + 100, Order::kBefore);
+  }
+  for (EventId e = 1; e <= 4; ++e) {
+    EXPECT_TRUE(c.Lookup(e, e + 100).has_value());
+    EXPECT_TRUE(c.Lookup(e + 100, e).has_value());
+  }
+  s = c.stats();
+  EXPECT_EQ(s.hits, 8u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.size, 4u);
+
+  // Overflow: each extra insert displaces the LRU entry; size stays at capacity.
+  c.Insert(50, 51, Order::kBefore);
+  c.Insert(60, 61, Order::kBefore);
+  s = c.stats();
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.size, 4u);
+  // The evicted (least recently used) pair is 1<->101; probing it is now a miss again.
+  EXPECT_FALSE(c.Lookup(1, 101).has_value());
+  s = c.stats();
+  EXPECT_EQ(s.misses, 3u);
+
+  // Counters are lifetime totals: Clear drops entries but not the history.
+  c.Clear();
+  s = c.stats();
+  EXPECT_EQ(s.size, 0u);
+  EXPECT_EQ(s.hits, 8u);
+  EXPECT_EQ(s.misses, 3u);
+}
+
 TEST(OrderCacheTest, NoFalsePrefill) {
   // u -> v and w -> v gives no relation between u and w.
   OrderCache c(64);

@@ -5,12 +5,20 @@
 //   kronos_cli <port> release <event>
 //   kronos_cli <port> query <e1> <e2> [<e1> <e2> ...]
 //   kronos_cli <port> assign <e1> (must|prefer) <e2> [...]
+//   kronos_cli <port> stats [--watch] [--prom|--json]
+//
+// `stats` fetches the server's live metrics snapshot (kIntrospect) and pretty-prints it;
+// --watch refreshes every second until interrupted, --prom / --json emit the raw Prometheus
+// exposition / JSON dump for scraping.
 //
 // Exit code 0 on success; the ORDER_VIOLATION abort exits 2 so scripts can branch on it.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/client/tcp_client.h"
@@ -25,12 +33,90 @@ int Usage(const char* argv0) {
                "       %s <port> acquire <event>\n"
                "       %s <port> release <event>\n"
                "       %s <port> query <e1> <e2> [...]\n"
-               "       %s <port> assign <e1> (must|prefer) <e2> [...]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "       %s <port> assign <e1> (must|prefer) <e2> [...]\n"
+               "       %s <port> stats [--watch] [--prom|--json]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 64;
 }
 
 EventId ParseEvent(const char* s) { return std::strtoull(s, nullptr, 10); }
+
+// Pulls a named value out of a snapshot section; 0 when absent (e.g. cache disabled).
+int64_t GaugeValue(const MetricsSnapshot& snap, std::string_view name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+void PrintPretty(const MetricsSnapshot& snap) {
+  std::printf("%-40s %14s\n", "-- counters --", "");
+  for (const auto& [name, value] : snap.counters) {
+    std::printf("%-40s %14llu\n", name.c_str(), (unsigned long long)value);
+  }
+  std::printf("%-40s %14s\n", "-- gauges --", "");
+  for (const auto& [name, value] : snap.gauges) {
+    std::printf("%-40s %14lld\n", name.c_str(), (long long)value);
+  }
+  const int64_t hits = GaugeValue(snap, "kronos_cache_hits");
+  const int64_t misses = GaugeValue(snap, "kronos_cache_misses");
+  if (hits + misses > 0) {
+    std::printf("%-40s %13.1f%%\n", "order-cache hit rate",
+                100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses));
+  }
+  std::printf("%-30s %10s %8s %6s %6s %6s %6s %8s\n", "-- latency (us) --", "count", "mean",
+              "p50", "p90", "p99", "p999", "max");
+  for (const auto& [name, s] : snap.histograms) {
+    std::printf("%-30s %10llu %8.1f %6llu %6llu %6llu %6llu %8llu\n", name.c_str(),
+                (unsigned long long)s.count, s.mean(), (unsigned long long)s.p50,
+                (unsigned long long)s.p90, (unsigned long long)s.p99,
+                (unsigned long long)s.p999, (unsigned long long)s.max);
+  }
+}
+
+int Stats(TcpKronos& client, int argc, char** argv) {
+  bool watch = false;
+  enum class Format { kPretty, kProm, kJson } format = Format::kPretty;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      format = Format::kProm;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      format = Format::kJson;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  while (true) {
+    Result<MetricsSnapshot> snap = client.Introspect();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "introspect: %s\n", snap.status().ToString().c_str());
+      return 1;
+    }
+    if (watch) {
+      std::printf("\033[H\033[2J");  // clear screen, top-of-screen cursor
+    }
+    switch (format) {
+      case Format::kPretty:
+        PrintPretty(*snap);
+        break;
+      case Format::kProm:
+        std::fputs(snap->RenderPrometheus().c_str(), stdout);
+        break;
+      case Format::kJson:
+        std::fputs(snap->RenderJson().c_str(), stdout);
+        break;
+    }
+    std::fflush(stdout);
+    if (!watch) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
 
 }  // namespace
 
@@ -47,6 +133,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (verb == "stats") {
+    return Stats(**client, argc, argv);
+  }
   if (verb == "create") {
     Result<EventId> e = (*client)->CreateEvent();
     if (!e.ok()) {

@@ -9,6 +9,15 @@ cd "$(dirname "$0")/.."
 SKIP_TSAN=0
 [[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
 
+echo "=== tier-1: repo hygiene ==="
+# Build artifacts must never be committed: .gitignore covers build*/ and *.o, so anything
+# git would stage from those trees means the ignore rules regressed. Staged deletions are
+# fine — that is how previously committed artifacts leave the tree.
+if git status --porcelain | grep -Ev '^D ' | grep -E '(^|/)build[^/]*/|\.o$' ; then
+  echo "tier-1: FAIL — build artifacts visible to git (fix .gitignore / unstage them)" >&2
+  exit 1
+fi
+
 echo "=== tier-1: build + ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
@@ -21,7 +30,9 @@ fi
 
 echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKRONOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test
+cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test telemetry_test
 # TSan aborts the process on the first race (halt_on_error) so CI cannot miss one.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_concurrent_query_test
+# Telemetry: N threads record into one named histogram while another thread snapshots.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/telemetry_test
 echo "=== tier-1: OK ==="
