@@ -59,6 +59,8 @@ std::vector<uint8_t> SerializeLogEntry(const LogEntry& entry) {
   w.WriteVarint(entry.seq);
   w.WriteU32(entry.client);
   w.WriteVarint(entry.client_request_id);
+  w.WriteVarint(entry.session_client);
+  w.WriteVarint(entry.session_seq);
   w.WriteVarint(entry.command.size());
   w.WriteBytes(entry.command);
   return w.TakeBuffer();
@@ -70,6 +72,8 @@ Result<LogEntry> ParseLogEntry(std::span<const uint8_t> bytes) {
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.seq));
   KRONOS_RETURN_IF_ERROR(r.ReadU32(entry.client));
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.client_request_id));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.session_client));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.session_seq));
   uint64_t len = 0;
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(len));
   if (len != r.remaining()) {

@@ -83,6 +83,11 @@ struct LogEntry {
   uint64_t seq = 0;
   NodeId client = kInvalidNode;
   uint64_t client_request_id = 0;
+  // Client session identity (0 = sessionless; see src/core/session_table.h). Carried in every
+  // propagated entry so each replica commits the same dedup-table update when it applies the
+  // entry — the table stays byte-identical across the chain and survives log resync.
+  uint64_t session_client = 0;
+  uint64_t session_seq = 0;
   std::vector<uint8_t> command;  // serialized Command
 
   friend bool operator==(const LogEntry&, const LogEntry&) = default;

@@ -92,10 +92,37 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
     (void)endpoint_.Reply(from, env.id, SerializeCommandResult(wrong));
     return;
   }
+  if (env.has_session()) {
+    // Exactly-once gate (src/core/session_table.h). Only a COMMITTED duplicate (its chain
+    // seq at or below the tail's ack watermark) may be replayed: replaying an uncommitted
+    // entry would promise a result that a head failure could still lose. An in-flight
+    // duplicate is dropped instead — the tail answers the original request when it commits,
+    // or the client's next retry replays once the watermark passes the entry.
+    if (const SessionTable::Entry* session = sm_->sessions().Find(env.client_id)) {
+      if (env.client_seq == session->last_seq) {
+        if (session->applied_at <= acked_) {
+          ++stats_.session_duplicates;
+          (void)endpoint_.Reply(from, env.id, session->cached_reply);
+        } else {
+          ++stats_.session_inflight;
+        }
+        return;
+      }
+      if (env.client_seq < session->last_seq) {
+        ++stats_.session_stale;
+        CommandResult stale;
+        stale.status = InvalidArgument("stale session sequence (already superseded)");
+        (void)endpoint_.Reply(from, env.id, SerializeCommandResult(stale));
+        return;
+      }
+    }
+  }
   LogEntry entry;
   entry.seq = last_applied_ + 1;
   entry.client = from;
   entry.client_request_id = env.id;
+  entry.session_client = env.client_id;
+  entry.session_seq = env.client_seq;
   entry.command = env.payload;
   ApplyEntryLocked(std::move(entry));
 }
@@ -116,6 +143,13 @@ void ChainReplica::ApplyEntryLocked(LogEntry entry) {
   ++stats_.applied;
   log_.push_back(entry);
   results_.push_back(SerializeCommandResult(result));
+  if (entry.session_client != 0 && entry.session_seq != 0) {
+    // Part of the deterministic apply: every replica commits the same dedup-table update at
+    // the same log index, so session state replicates exactly like the graph (and rides the
+    // same snapshots during resync).
+    sm_->sessions().Commit(entry.session_client, entry.session_seq, entry.seq,
+                           results_.back());
+  }
   MaybeTruncateLogLocked();
 
   if (IsTailLocked()) {
@@ -425,6 +459,11 @@ MetricsSnapshot ChainReplica::TelemetrySnapshot() const {
         .Set(static_cast<int64_t>(last_applied_ - std::min(acked_, last_applied_)));
     metrics_.GetGauge("kronos_replica_staged").Set(static_cast<int64_t>(stats_.staged));
     metrics_.GetGauge("kronos_replica_duplicates").Set(static_cast<int64_t>(stats_.duplicates));
+    metrics_.GetGauge("kronos_sessions_active")
+        .Set(static_cast<int64_t>(sm_->sessions().size()));
+    metrics_.GetGauge("kronos_session_duplicates")
+        .Set(static_cast<int64_t>(stats_.session_duplicates));
+    metrics_.GetGauge("kronos_session_stale").Set(static_cast<int64_t>(stats_.session_stale));
   }
   return metrics_.Snapshot();
 }

@@ -72,6 +72,9 @@ class ChainReplica {
     uint64_t snapshots_sent = 0;
     uint64_t snapshots_installed = 0;
     uint64_t log_truncations = 0;   // entries dropped from the log prefix
+    uint64_t session_duplicates = 0;  // retried mutations answered from the dedup table
+    uint64_t session_stale = 0;       // mutations rejected as older than the session's latest
+    uint64_t session_inflight = 0;    // retries of an entry applied but not yet committed
   };
 
   ChainReplica(SimNetwork& net, NodeId coordinator, std::string name, Options options = {});

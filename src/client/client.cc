@@ -58,7 +58,8 @@ NodeId KronosClient::PickReadReplica() {
   return config_.tail();
 }
 
-Result<CommandResult> KronosClient::CallNode(NodeId node, const Command& cmd) {
+Result<CommandResult> KronosClient::CallNode(NodeId node, const Command& cmd,
+                                             uint64_t session_seq) {
   if (node == kInvalidNode) {
     return Status(Unavailable("no replica available"));
   }
@@ -66,7 +67,9 @@ Result<CommandResult> KronosClient::CallNode(NodeId node, const Command& cmd) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.calls_sent;
   }
-  Result<Envelope> reply = endpoint_.Call(node, SerializeCommand(cmd), options_.call_timeout_us);
+  Result<Envelope> reply =
+      endpoint_.Call(node, SerializeCommand(cmd), options_.call_timeout_us,
+                     session_seq != 0 ? session_id() : 0, session_seq);
   if (!reply.ok()) {
     return reply.status();
   }
@@ -77,6 +80,15 @@ Result<CommandResult> KronosClient::CallNode(NodeId node, const Command& cmd) {
 }
 
 Result<CommandResult> KronosClient::ExecuteUpdate(const Command& cmd) {
+  // Session dedup requires at most ONE outstanding mutation per session: the head keeps only
+  // the latest (seq, reply) per client, so if seq N+1 committed while N was still in flight,
+  // N would be rejected as stale. Serializing mutations here (queries stay concurrent)
+  // guarantees seqs arrive at the head in order; callers get mutation parallelism by using
+  // one client per thread, which is also how they get distinct sessions.
+  std::lock_guard<std::mutex> session_lock(mutation_mutex_);
+  // One sequence number per logical mutation, assigned once and reused on every retry: the
+  // head's dedup table identifies re-delivered attempts by (session_id, seq).
+  const uint64_t session_seq = next_mutation_seq_.fetch_add(1, std::memory_order_relaxed);
   Status last = Unavailable("never attempted");
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     NodeId head;
@@ -96,7 +108,7 @@ Result<CommandResult> KronosClient::ExecuteUpdate(const Command& cmd) {
         continue;
       }
     }
-    Result<CommandResult> result = CallNode(head, cmd);
+    Result<CommandResult> result = CallNode(head, cmd, session_seq);
     if (result.ok() && result->status.code() != StatusCode::kWrongRole) {
       return result;
     }

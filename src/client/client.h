@@ -17,6 +17,7 @@
 #ifndef KRONOS_CLIENT_CLIENT_H_
 #define KRONOS_CLIENT_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -76,11 +77,17 @@ class KronosClient : public KronosApi {
 
  private:
   // Sends an update command to the head with retry/refresh; returns the committed result.
+  // The mutation is stamped with this client's session and a per-op sequence number held
+  // constant across retries, so a re-delivered attempt replays the committed reply instead of
+  // applying twice (exactly-once; see src/core/session_table.h).
   Result<CommandResult> ExecuteUpdate(const Command& cmd);
   // Sends a query to the policy-chosen replica, revalidating kConcurrent at the tail.
   Result<CommandResult> ExecuteQuery(const Command& cmd);
-  // One RPC to a specific node.
-  Result<CommandResult> CallNode(NodeId node, const Command& cmd);
+  // One RPC to a specific node; session_seq != 0 stamps the request envelope.
+  Result<CommandResult> CallNode(NodeId node, const Command& cmd, uint64_t session_seq = 0);
+
+  // Session identity on the wire: node ids start at 0, session ids must be nonzero.
+  uint64_t session_id() const { return static_cast<uint64_t>(endpoint_.id()) + 1; }
   Status RefreshConfig();
   NodeId PickReadReplica();
 
@@ -89,10 +96,14 @@ class KronosClient : public KronosApi {
   Options options_;
   RpcEndpoint endpoint_;
 
+  // Serializes sessioned mutations (see ExecuteUpdate). Lock order: mutation_mutex_ is
+  // always acquired before mutex_, never the reverse.
+  std::mutex mutation_mutex_;
   mutable std::mutex mutex_;
   ChainConfig config_;
   Rng rng_;
   uint64_t rr_counter_ = 0;
+  std::atomic<uint64_t> next_mutation_seq_{1};
   std::unique_ptr<OrderCache> cache_;
   ClientStats stats_;
 };

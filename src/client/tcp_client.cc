@@ -1,65 +1,195 @@
 #include "src/client/tcp_client.h"
 
+#include <chrono>
+#include <thread>
+
+#include "src/common/clock.h"
 #include "src/wire/codec.h"
 #include "src/wire/introspect.h"
 
 namespace kronos {
 
+TcpKronos::TcpKronos(Options options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      calls_(metrics_.GetCounter("kronos_client_calls_total")),
+      retries_(metrics_.GetCounter("kronos_client_retries_total")),
+      timeouts_(metrics_.GetCounter("kronos_client_timeouts_total")),
+      reconnects_(metrics_.GetCounter("kronos_client_reconnects_total")),
+      failovers_(metrics_.GetCounter("kronos_client_failovers_total")) {}
+
 Result<std::unique_ptr<TcpKronos>> TcpKronos::Connect(uint16_t port) {
-  Result<std::unique_ptr<TcpConnection>> conn = TcpConnect(port);
-  if (!conn.ok()) {
-    return conn.status();
+  Options options;
+  options.endpoints = {port};
+  return Connect(std::move(options));
+}
+
+Result<std::unique_ptr<TcpKronos>> TcpKronos::Connect(Options options) {
+  if (options.endpoints.empty()) {
+    return Status(InvalidArgument("no endpoints configured"));
   }
-  return std::unique_ptr<TcpKronos>(new TcpKronos(*std::move(conn)));
+  if (options.client_id == 0) {
+    // Any nonzero id works; collisions between concurrent clients would merge their sessions,
+    // so fold in the clock. Tests that need stable dedup across a reconnect set it explicitly.
+    options.client_id = (MonotonicNanos() ^ (options.seed * 0x9e3779b97f4a7c15ull)) | 1;
+  }
+  std::unique_ptr<TcpKronos> client(new TcpKronos(std::move(options)));
+  // Eager dial so "nothing is listening" surfaces here, not on the first call; try every
+  // endpoint before giving up.
+  std::lock_guard<std::mutex> lock(client->mutex_);
+  Status last = OkStatus();
+  for (size_t i = 0; i < client->options_.endpoints.size(); ++i) {
+    last = client->EnsureConnectedLocked();
+    if (last.ok()) {
+      return client;
+    }
+    client->endpoint_idx_ =
+        (client->endpoint_idx_ + 1) % client->options_.endpoints.size();
+  }
+  return last;
 }
 
 void TcpKronos::Close() {
   std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
   if (conn_) {
     conn_->Close();
   }
 }
 
-Result<CommandResult> TcpKronos::Execute(const Command& cmd) {
+Status TcpKronos::EnsureConnectedLocked() {
+  if (conn_ && !conn_->closed()) {
+    return OkStatus();
+  }
+  conn_.reset();
+  Result<std::unique_ptr<TcpConnection>> dialed =
+      TcpConnect(options_.endpoints[endpoint_idx_], options_.connect_timeout_us);
+  if (!dialed.ok()) {
+    return dialed.status();
+  }
+  conn_ = *std::move(dialed);
+  if (ever_connected_) {
+    reconnects_.Increment();
+  }
+  ever_connected_ = true;
+  return OkStatus();
+}
+
+void TcpKronos::DropConnectionLocked() {
+  // Never reuse a stream after a failed or timed-out exchange: a late reply to an abandoned
+  // request would desynchronize every frame after it.
+  if (conn_) {
+    conn_->Close();
+    conn_.reset();
+  }
+}
+
+void TcpKronos::BackoffLocked(int attempt) {
+  uint64_t backoff = options_.backoff_initial_us;
+  for (int i = 0; i < attempt && backoff < options_.backoff_max_us; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > options_.backoff_max_us) {
+    backoff = options_.backoff_max_us;
+  }
+  // Jitter in [backoff/2, backoff]: clients that failed together retry apart.
+  const uint64_t sleep_us = backoff / 2 + rng_.Uniform(backoff / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+}
+
+Result<Envelope> TcpKronos::Transact(MessageKind kind, std::vector<uint8_t> payload,
+                                     bool sessioned) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!conn_ || conn_->closed()) {
-    return Status(Unavailable("not connected"));
+  // The seq is drawn under mutex_ — the same lock that serializes the request/response
+  // exchange — so concurrent callers cannot send their seqs out of order. The server keeps
+  // only the latest (seq, reply) per session; an out-of-order arrival would read as stale.
+  // The seq then stays FIXED across every retry below, which is what lets the server
+  // recognize a re-sent attempt.
+  const uint64_t session_seq = sessioned ? next_mutation_seq_++ : 0;
+  calls_.Increment();
+  Status last = Unavailable("never attempted");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (closed_) {
+      return Status(Unavailable("client closed"));
+    }
+    if (attempt > 0) {
+      retries_.Increment();
+      if (options_.endpoints.size() > 1) {
+        // Failover before backing off: a dead endpoint should cost one deadline, not
+        // max_attempts of them.
+        endpoint_idx_ = (endpoint_idx_ + 1) % options_.endpoints.size();
+        failovers_.Increment();
+      }
+      BackoffLocked(attempt - 1);
+    }
+    Status connected = EnsureConnectedLocked();
+    if (!connected.ok()) {
+      if (connected.code() == StatusCode::kTimeout) {
+        timeouts_.Increment();
+      }
+      last = connected;
+      continue;
+    }
+    // One deadline spans the whole exchange (send + reply), so a caller is never stalled
+    // longer than call_timeout_us per attempt.
+    const uint64_t deadline = MonotonicMicros() + options_.call_timeout_us;
+    const uint64_t id = next_id_++;
+    Envelope request{kind, id, session_seq != 0 ? options_.client_id : 0, session_seq,
+                     payload};
+    Status sent = conn_->SendFrame(SerializeEnvelope(request), options_.call_timeout_us);
+    if (!sent.ok()) {
+      if (sent.code() == StatusCode::kTimeout) {
+        timeouts_.Increment();
+      }
+      last = sent;
+      DropConnectionLocked();
+      continue;
+    }
+    const uint64_t now = MonotonicMicros();
+    const uint64_t recv_budget = deadline > now ? deadline - now : 1;
+    Result<std::vector<uint8_t>> frame = conn_->RecvFrame(recv_budget);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kTimeout) {
+        timeouts_.Increment();
+      }
+      last = frame.status();
+      DropConnectionLocked();
+      continue;
+    }
+    Result<Envelope> env = ParseEnvelope(*frame);
+    if (!env.ok() || env->id != id ||
+        (env->kind != MessageKind::kResponse && env->kind != MessageKind::kIntrospect)) {
+      // Framing desync or foreign traffic: the stream is unusable, reconnect and retry.
+      last = env.ok() ? Status(Internal("response correlation mismatch")) : env.status();
+      DropConnectionLocked();
+      continue;
+    }
+    return env;
   }
-  const uint64_t id = next_id_++;
-  Envelope request{MessageKind::kRequest, id, SerializeCommand(cmd)};
-  KRONOS_RETURN_IF_ERROR(conn_->SendFrame(SerializeEnvelope(request)));
-  Result<std::vector<uint8_t>> frame = conn_->RecvFrame();
-  if (!frame.ok()) {
-    return frame.status();
-  }
-  Result<Envelope> env = ParseEnvelope(*frame);
+  return last;
+}
+
+Result<CommandResult> TcpKronos::Execute(const Command& cmd) {
+  // Mutations are sessioned for exactly-once retry dedup; queries are idempotent and go
+  // sessionless.
+  Result<Envelope> env =
+      Transact(MessageKind::kRequest, SerializeCommand(cmd), /*sessioned=*/!cmd.IsReadOnly());
   if (!env.ok()) {
     return env.status();
   }
-  if (env->kind != MessageKind::kResponse || env->id != id) {
-    return Status(Internal("response correlation mismatch"));
+  if (env->kind != MessageKind::kResponse) {
+    return Status(Internal("unexpected reply kind"));
   }
   return ParseCommandResult(env->payload);
 }
 
 Result<MetricsSnapshot> TcpKronos::Introspect() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!conn_ || conn_->closed()) {
-    return Status(Unavailable("not connected"));
-  }
-  const uint64_t id = next_id_++;
-  Envelope request{MessageKind::kIntrospect, id, {}};
-  KRONOS_RETURN_IF_ERROR(conn_->SendFrame(SerializeEnvelope(request)));
-  Result<std::vector<uint8_t>> frame = conn_->RecvFrame();
-  if (!frame.ok()) {
-    return frame.status();
-  }
-  Result<Envelope> env = ParseEnvelope(*frame);
+  Result<Envelope> env = Transact(MessageKind::kIntrospect, {}, /*sessioned=*/false);
   if (!env.ok()) {
     return env.status();
   }
-  if (env->kind != MessageKind::kIntrospect || env->id != id) {
-    return Status(Internal("response correlation mismatch"));
+  if (env->kind != MessageKind::kIntrospect) {
+    return Status(Internal("unexpected reply kind"));
   }
   return ParseMetricsSnapshot(env->payload);
 }

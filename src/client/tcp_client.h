@@ -1,26 +1,63 @@
-// TcpKronos: the Kronos API over a real TCP connection to a KronosDaemon.
+// TcpKronos: the Kronos API over real TCP, hardened for deployment.
 //
 // One connection, one outstanding request at a time (callers get pipelining by opening more
 // clients — the daemon serves each connection on its own thread). Request/response matching
 // is by envelope correlation id as a sanity check on the framing.
+//
+// Fault tolerance (DESIGN.md §5.7):
+//   * every connect/send/recv carries a deadline (poll-based, src/net/tcp), so a hung or
+//     partitioned server yields kTimeout instead of wedging the caller;
+//   * failed attempts retry with exponential backoff plus jitter, reconnecting automatically
+//     (a desynced stream is never reused: any transport error drops the connection);
+//   * a configured endpoint list gives multi-endpoint failover — attempts rotate to the next
+//     endpoint after a failure, so a dead server only costs one deadline;
+//   * mutations are stamped with (client_id, seq) held constant across retries, so the
+//     server's session dedup table makes retried writes exactly-once end to end;
+//   * retry/timeout/reconnect/failover counts are recorded in a client-side MetricsRegistry
+//     (kronos_client_*), surfaced by `kronos_cli stats`.
 #ifndef KRONOS_CLIENT_TCP_CLIENT_H_
 #define KRONOS_CLIENT_TCP_CLIENT_H_
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "src/client/api.h"
+#include "src/common/random.h"
 #include "src/core/command.h"
 #include "src/net/tcp.h"
 #include "src/telemetry/metrics.h"
+#include "src/wire/codec.h"
 
 namespace kronos {
 
+struct TcpKronosOptions {
+  // Failover list of 127.0.0.1 ports; attempts rotate through it on failure. Filled in by
+  // Connect()/Create(); must be non-empty.
+  std::vector<uint16_t> endpoints;
+  uint64_t connect_timeout_us = 1'000'000;
+  // Per-attempt deadline covering one send + its reply.
+  uint64_t call_timeout_us = 2'000'000;
+  int max_attempts = 5;
+  // Exponential backoff between attempts: doubles from initial up to max, each sleep
+  // uniformly jittered in [backoff/2, backoff] so retry storms decorrelate.
+  uint64_t backoff_initial_us = 10'000;
+  uint64_t backoff_max_us = 500'000;
+  uint64_t seed = 1;  // jitter rng
+  // Session identity for exactly-once retries; 0 = derive a random nonzero id.
+  uint64_t client_id = 0;
+};
+
 class TcpKronos : public KronosApi {
  public:
-  // Connects to a daemon on 127.0.0.1:port.
+  using Options = TcpKronosOptions;
+
+  // Connects to a daemon on 127.0.0.1:port (single-endpoint convenience form).
   static Result<std::unique_ptr<TcpKronos>> Connect(uint16_t port);
+
+  // Full form: fails only if every endpoint is unreachable within its connect deadline.
+  static Result<std::unique_ptr<TcpKronos>> Connect(Options options);
 
   Result<EventId> CreateEvent() override;
   Status AcquireRef(EventId e) override;
@@ -32,16 +69,44 @@ class TcpKronos : public KronosApi {
   // safe to call while other clients drive load; `kronos_cli stats` is built on this.
   Result<MetricsSnapshot> Introspect();
 
+  // Client-side transport counters (kronos_client_*): calls, retries, timeouts, reconnects,
+  // failovers. Complements Introspect(), which reports the server's view.
+  MetricsSnapshot Telemetry() const { return metrics_.Snapshot(); }
+
+  uint64_t client_id() const { return options_.client_id; }
+
   void Close();
 
  private:
-  explicit TcpKronos(std::unique_ptr<TcpConnection> conn) : conn_(std::move(conn)) {}
+  explicit TcpKronos(Options options);
 
+  // Runs one command with deadlines, retries, reconnects, and failover. Mutations are
+  // stamped with the session identity for server-side dedup.
   Result<CommandResult> Execute(const Command& cmd);
+  // The request/response core shared by Execute and Introspect: payload out, envelope back.
+  // `sessioned` draws a fresh mutation seq under mutex_, so seqs reach the wire in order.
+  Result<Envelope> Transact(MessageKind kind, std::vector<uint8_t> payload, bool sessioned);
+  // Ensures conn_ is a live connection, dialing the current endpoint. Requires mutex_.
+  Status EnsureConnectedLocked();
+  void DropConnectionLocked();
+  void BackoffLocked(int attempt);
 
-  std::mutex mutex_;
+  Options options_;
+  mutable std::mutex mutex_;
   std::unique_ptr<TcpConnection> conn_;
+  size_t endpoint_idx_ = 0;  // current position in options_.endpoints
+  bool ever_connected_ = false;
+  bool closed_ = false;
   uint64_t next_id_ = 1;
+  uint64_t next_mutation_seq_ = 1;  // guarded by mutex_
+  Rng rng_;
+
+  mutable MetricsRegistry metrics_;
+  Counter& calls_;
+  Counter& retries_;
+  Counter& timeouts_;
+  Counter& reconnects_;
+  Counter& failovers_;
 };
 
 }  // namespace kronos

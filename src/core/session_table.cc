@@ -1,0 +1,85 @@
+#include "src/core/session_table.h"
+
+namespace kronos {
+
+SessionTable::Verdict SessionTable::Probe(uint64_t client_id, uint64_t client_seq) const {
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end() || client_seq > it->second.last_seq) {
+    return Verdict::kFresh;
+  }
+  return client_seq == it->second.last_seq ? Verdict::kDuplicate : Verdict::kStale;
+}
+
+const SessionTable::Entry* SessionTable::Find(uint64_t client_id) const {
+  auto it = sessions_.find(client_id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const std::vector<uint8_t>* SessionTable::CachedReply(uint64_t client_id,
+                                                      uint64_t client_seq) const {
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end() || it->second.last_seq != client_seq) {
+    return nullptr;
+  }
+  return &it->second.cached_reply;
+}
+
+void SessionTable::Commit(uint64_t client_id, uint64_t client_seq, uint64_t applied_at,
+                          std::vector<uint8_t> reply) {
+  auto it = sessions_.find(client_id);
+  if (it != sessions_.end()) {
+    by_age_.erase(it->second.applied_at);
+    it->second.last_seq = client_seq;
+    it->second.applied_at = applied_at;
+    it->second.cached_reply = std::move(reply);
+    by_age_.emplace(applied_at, client_id);
+    return;
+  }
+  if (capacity_ == 0) {
+    return;
+  }
+  while (sessions_.size() >= capacity_) {
+    EvictOldestLocked();
+  }
+  Entry e;
+  e.client_id = client_id;
+  e.last_seq = client_seq;
+  e.applied_at = applied_at;
+  e.cached_reply = std::move(reply);
+  sessions_.emplace(client_id, std::move(e));
+  by_age_.emplace(applied_at, client_id);
+}
+
+void SessionTable::EvictOldestLocked() {
+  auto oldest = by_age_.begin();
+  sessions_.erase(oldest->second);
+  by_age_.erase(oldest);
+  ++evictions_;
+}
+
+std::vector<SessionTable::Entry> SessionTable::Export() const {
+  std::vector<Entry> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) {
+    out.push_back(entry);
+  }
+  return out;
+}
+
+void SessionTable::Restore(std::vector<Entry> entries) {
+  Clear();
+  for (Entry& e : entries) {
+    // Route through Commit so the capacity bound and eviction order hold even if the
+    // snapshot was produced by a larger table.
+    Commit(e.client_id, e.last_seq, e.applied_at, std::move(e.cached_reply));
+  }
+  evictions_ = 0;
+}
+
+void SessionTable::Clear() {
+  sessions_.clear();
+  by_age_.clear();
+  evictions_ = 0;
+}
+
+}  // namespace kronos

@@ -1,0 +1,89 @@
+// SessionTable: per-client exactly-once bookkeeping for mutation retries.
+//
+// Each client session (nonzero client_id) stamps its mutations with a monotonically increasing
+// client_seq. The table remembers, per session, the highest committed seq and the serialized
+// reply it produced. A re-delivered mutation (same seq) replays the cached reply instead of
+// re-applying; an older seq is stale and is dropped (the client has already moved on, so it
+// can never be waiting on that reply).
+//
+// The table is part of the replicated state machine: Commit() is only called from the
+// deterministic apply path, entries are keyed and evicted deterministically, and the content
+// is serialized into snapshots — so a replica that catches up via log replay, WAL replay, or
+// a snapshot install ends up with the byte-identical dedup state and keeps retries safe.
+//
+// Bounding: the table holds at most `capacity` sessions. When a new session would exceed it,
+// the session whose last commit is oldest (smallest applied_at, i.e. the replication log
+// index) is evicted. Eviction is deterministic because applied_at values are unique and every
+// replica applies the same log. An evicted client that retries a mutation is treated as fresh
+// — the same at-least-once behavior every client had before sessions existed — so eviction
+// degrades gracefully instead of wedging old clients.
+#ifndef KRONOS_CORE_SESSION_TABLE_H_
+#define KRONOS_CORE_SESSION_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace kronos {
+
+class SessionTable {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  // Verdict for an incoming (client_id, client_seq) before apply.
+  enum class Verdict : uint8_t {
+    kFresh = 0,      // not seen: apply it
+    kDuplicate = 1,  // seq == session's last committed seq: replay the cached reply
+    kStale = 2,      // seq < last committed seq: drop (client already has a newer reply)
+  };
+
+  struct Entry {
+    uint64_t client_id = 0;
+    uint64_t last_seq = 0;
+    uint64_t applied_at = 0;  // replication log index of the last commit (eviction key)
+    std::vector<uint8_t> cached_reply;  // serialized CommandResult for last_seq
+  };
+
+  explicit SessionTable(size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  Verdict Probe(uint64_t client_id, uint64_t client_seq) const;
+
+  // The cached serialized reply for a duplicate, or nullptr if (client_id, client_seq) is not
+  // the session's latest committed mutation.
+  const std::vector<uint8_t>* CachedReply(uint64_t client_id, uint64_t client_seq) const;
+
+  // The session's full entry (nullptr if unknown). Lets chain heads check the entry's
+  // applied_at against the commit watermark before replaying a reply.
+  const Entry* Find(uint64_t client_id) const;
+
+  // Records the committed reply for (client_id, client_seq). applied_at is the replication
+  // log index of the commit; it must be unique and increasing across calls (replicas applying
+  // the same log pass the same values, which is what makes eviction deterministic).
+  void Commit(uint64_t client_id, uint64_t client_seq, uint64_t applied_at,
+              std::vector<uint8_t> reply);
+
+  size_t size() const { return sessions_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+
+  // Deterministic export (ascending client_id) for snapshot serialization.
+  std::vector<Entry> Export() const;
+
+  // Rebuilds the table from exported entries (snapshot restore). Existing content is dropped.
+  void Restore(std::vector<Entry> entries);
+
+  void Clear();
+
+ private:
+  void EvictOldestLocked();
+
+  size_t capacity_;
+  uint64_t evictions_ = 0;
+  std::map<uint64_t, Entry> sessions_;  // client_id -> entry
+  std::map<uint64_t, uint64_t> by_age_;  // applied_at -> client_id (eviction order)
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_CORE_SESSION_TABLE_H_

@@ -11,6 +11,7 @@
 
 #include "src/core/command.h"
 #include "src/core/event_graph.h"
+#include "src/core/session_table.h"
 
 namespace kronos {
 
@@ -39,8 +40,15 @@ class KronosStateMachine {
   const EventGraph& graph() const { return graph_; }
   EventGraph& graph() { return graph_; }
 
+  // Per-client exactly-once dedup state (see session_table.h). Owned by the state machine so
+  // it replicates with the graph: log replay, WAL replay, and snapshot installs all rebuild
+  // it deterministically alongside the events it guards.
+  const SessionTable& sessions() const { return sessions_; }
+  SessionTable& sessions() { return sessions_; }
+
  private:
   EventGraph graph_;
+  SessionTable sessions_;
   uint64_t applied_updates_ = 0;
 };
 

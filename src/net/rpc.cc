@@ -36,11 +36,14 @@ void RpcEndpoint::ReceiveLoop() {
       if (it != calls_.end()) {
         PendingCall* call = it->second;
         {
+          // Notify while still holding call->mutex: the waiter cannot observe done and
+          // destroy the stack-allocated PendingCall until this lock is released, so the cv
+          // is never notified after destruction.
           std::lock_guard<std::mutex> call_lock(call->mutex);
           call->response = *std::move(env);
           call->done = true;
+          call->cv.notify_one();
         }
-        call->cv.notify_one();
         calls_.erase(it);
       }
       // Responses to expired calls are dropped silently — the caller already timed out.
@@ -52,14 +55,21 @@ void RpcEndpoint::ReceiveLoop() {
   }
 }
 
-Result<Envelope> RpcEndpoint::Call(NodeId to, std::vector<uint8_t> payload, uint64_t timeout_us) {
+Result<Envelope> RpcEndpoint::Call(NodeId to, std::vector<uint8_t> payload, uint64_t timeout_us,
+                                   uint64_t session_client, uint64_t session_seq) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    // Fail fast: after Stop() nobody resolves pending calls, so registering one would wait
+    // out the full timeout for nothing.
+    return Status(Unavailable("endpoint stopped"));
+  }
   const uint64_t call_id = next_call_id_.fetch_add(1, std::memory_order_relaxed);
   PendingCall pending;
   {
     std::lock_guard<std::mutex> lock(calls_mutex_);
     calls_[call_id] = &pending;
   }
-  Envelope request{MessageKind::kRequest, call_id, std::move(payload)};
+  Envelope request{MessageKind::kRequest, call_id, session_client, session_seq,
+                   std::move(payload)};
   Status sent = net_.Send(id_, to, SerializeEnvelope(request));
   if (!sent.ok()) {
     std::lock_guard<std::mutex> lock(calls_mutex_);

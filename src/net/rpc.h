@@ -42,7 +42,10 @@ class RpcEndpoint {
 
   // Sends a kRequest and blocks for the matching kResponse. Returns kTimeout if no response
   // arrives in time (e.g. the server is down); the caller decides whether to retry elsewhere.
-  Result<Envelope> Call(NodeId to, std::vector<uint8_t> payload, uint64_t timeout_us);
+  // session_client/session_seq, when nonzero, stamp the request envelope with the caller's
+  // session identity so servers can dedup re-sent mutations (see src/core/session_table.h).
+  Result<Envelope> Call(NodeId to, std::vector<uint8_t> payload, uint64_t timeout_us,
+                        uint64_t session_client = 0, uint64_t session_seq = 0);
 
   // Replies to a request previously received by the handler.
   Status Reply(NodeId to, uint64_t request_id, std::vector<uint8_t> payload);
@@ -52,6 +55,14 @@ class RpcEndpoint {
 
   // Stops the receive thread and fails all in-flight calls.
   void Stop();
+
+  // Number of in-flight Call()s still registered. Timed-out, failed, and Stop()-interrupted
+  // calls must all deregister, so this returns to 0 when the endpoint is quiescent (leak
+  // regression check; see net_rpc_test.cc).
+  size_t pending_calls() const {
+    std::lock_guard<std::mutex> lock(calls_mutex_);
+    return calls_.size();
+  }
 
  private:
   struct PendingCall {
@@ -69,7 +80,7 @@ class RpcEndpoint {
   std::thread rx_thread_;
   std::atomic<bool> stopped_{false};
 
-  std::mutex calls_mutex_;
+  mutable std::mutex calls_mutex_;
   std::unordered_map<uint64_t, PendingCall*> calls_;
   std::atomic<uint64_t> next_call_id_{1};
 };

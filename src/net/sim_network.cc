@@ -41,7 +41,8 @@ bool SimNetwork::LinkCutLocked(NodeId a, NodeId b) const {
 }
 
 Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> bytes) {
-  uint64_t delay_us = 0;
+  size_t copies = 1;
+  uint64_t delay_us[2] = {0, 0};
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (from >= nodes_.size() || to >= nodes_.size()) {
@@ -61,26 +62,37 @@ Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> bytes) {
       stats_.dropped_random.fetch_add(1, std::memory_order_relaxed);
       return OkStatus();
     }
+    if (options_.duplicate_probability > 0 &&
+        rng_.Bernoulli(options_.duplicate_probability)) {
+      copies = 2;
+      stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
+    }
     if (options_.max_latency_us > 0) {
-      delay_us = options_.min_latency_us +
-                 rng_.Uniform(options_.max_latency_us - options_.min_latency_us + 1);
+      // Each copy samples its own delay: duplicates can arrive out of order relative to each
+      // other, like a real retransmission racing the original.
+      for (size_t i = 0; i < copies; ++i) {
+        delay_us[i] = options_.min_latency_us +
+                      rng_.Uniform(options_.max_latency_us - options_.min_latency_us + 1);
+      }
     }
   }
 
-  NetMessage msg{from, to, std::move(bytes)};
-  if (delay_us == 0 && !delivery_thread_.joinable()) {
-    // Zero-latency fast path: deliver inline on the sender's thread.
-    Deliver(std::move(msg));
-    return OkStatus();
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_) {
-      return Unavailable("network shut down");
+  for (size_t i = 0; i < copies; ++i) {
+    NetMessage msg{from, to, i + 1 == copies ? std::move(bytes) : bytes};
+    if (delay_us[i] == 0 && !delivery_thread_.joinable()) {
+      // Zero-latency fast path: deliver inline on the sender's thread.
+      Deliver(std::move(msg));
+      continue;
     }
-    heap_.push(InFlight{MonotonicMicros() + delay_us, next_seq_++, std::move(msg)});
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) {
+        return Unavailable("network shut down");
+      }
+      heap_.push(InFlight{MonotonicMicros() + delay_us[i], next_seq_++, std::move(msg)});
+    }
+    heap_cv_.notify_one();
   }
-  heap_cv_.notify_one();
   return OkStatus();
 }
 

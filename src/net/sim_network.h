@@ -48,6 +48,11 @@ struct SimNetworkOptions {
   uint64_t max_latency_us = 0;
   // Probability that any given message is silently lost.
   double drop_probability = 0.0;
+  // Probability that a message that survives the drop check is delivered twice (back to back
+  // on the same link, or as two independently delayed copies when latency is nonzero). Real
+  // networks and client retries both re-deliver datagrams; without this knob the session
+  // dedup path would be untestable in sim.
+  double duplicate_probability = 0.0;
   uint64_t seed = 1;
 };
 
@@ -61,6 +66,7 @@ class SimNetwork {
     std::atomic<uint64_t> dropped_random{0};
     std::atomic<uint64_t> dropped_down{0};
     std::atomic<uint64_t> dropped_cut{0};
+    std::atomic<uint64_t> duplicated{0};
   };
 
   explicit SimNetwork(Options options = {});

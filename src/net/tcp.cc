@@ -1,23 +1,44 @@
 #include "src/net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "src/common/clock.h"
+
 namespace kronos {
 
 namespace {
+
+// Upper bound on a single poll() slice: even with no deadline, I/O loops wake this often to
+// observe a concurrent Close().
+constexpr int kPollSliceMs = 100;
 
 Status Errno(const char* what) {
   return Unavailable(std::string(what) + ": " + std::strerror(errno));
 }
 
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
 }  // namespace
+
+TcpConnection::TcpConnection(int fd) : fd_(fd) {
+  // All I/O goes through PollReady + nonblocking syscalls; a blocking descriptor would let a
+  // slow peer absorb our deadline inside send()/recv().
+  SetNonBlocking(fd);
+}
 
 TcpConnection::~TcpConnection() {
   Close();
@@ -39,7 +60,43 @@ void TcpConnection::Close() {
   }
 }
 
-Status TcpConnection::WriteAll(const uint8_t* data, size_t len) {
+Status TcpConnection::PollReady(short events, uint64_t deadline_us) {
+  while (true) {
+    const int fd = fd_.load();
+    if (fd < 0 || shutdown_.load()) {
+      return Unavailable("connection closed");
+    }
+    int slice_ms = kPollSliceMs;
+    if (deadline_us != 0) {
+      const uint64_t now = MonotonicMicros();
+      if (now >= deadline_us) {
+        return Timeout(events == POLLIN ? "recv deadline exceeded" : "send deadline exceeded");
+      }
+      const uint64_t remaining_ms = (deadline_us - now + 999) / 1000;
+      if (remaining_ms < static_cast<uint64_t>(slice_ms)) {
+        slice_ms = static_cast<int>(remaining_ms);
+      }
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, slice_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("poll");
+    }
+    if (rc > 0) {
+      // POLLERR/POLLHUP also count as ready: the following send/recv surfaces the actual
+      // error or EOF, which is more precise than anything we could synthesize here.
+      return OkStatus();
+    }
+    // Slice elapsed without readiness; loop to re-check shutdown and the deadline.
+  }
+}
+
+Status TcpConnection::WriteAll(const uint8_t* data, size_t len, uint64_t deadline_us) {
   size_t sent = 0;
   while (sent < len) {
     const int fd = fd_.load();
@@ -52,6 +109,10 @@ Status TcpConnection::WriteAll(const uint8_t* data, size_t len) {
       if (errno == EINTR) {
         continue;
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        KRONOS_RETURN_IF_ERROR(PollReady(POLLOUT, deadline_us));
+        continue;
+      }
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
@@ -59,7 +120,7 @@ Status TcpConnection::WriteAll(const uint8_t* data, size_t len) {
   return OkStatus();
 }
 
-Status TcpConnection::ReadAll(uint8_t* data, size_t len) {
+Status TcpConnection::ReadAll(uint8_t* data, size_t len, uint64_t deadline_us) {
   size_t got = 0;
   while (got < len) {
     const int fd = fd_.load();
@@ -69,6 +130,10 @@ Status TcpConnection::ReadAll(uint8_t* data, size_t len) {
     const ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        KRONOS_RETURN_IF_ERROR(PollReady(POLLIN, deadline_us));
         continue;
       }
       return Errno("recv");
@@ -81,10 +146,11 @@ Status TcpConnection::ReadAll(uint8_t* data, size_t len) {
   return OkStatus();
 }
 
-Status TcpConnection::SendFrame(const std::vector<uint8_t>& payload) {
+Status TcpConnection::SendFrame(const std::vector<uint8_t>& payload, uint64_t timeout_us) {
   if (payload.size() > kMaxFrameBytes) {
     return InvalidArgument("frame too large");
   }
+  const uint64_t deadline = timeout_us == kNoTimeout ? 0 : MonotonicMicros() + timeout_us;
   std::lock_guard<std::mutex> lock(send_mutex_);
   uint8_t header[4];
   const uint32_t len = static_cast<uint32_t>(payload.size());
@@ -92,13 +158,14 @@ Status TcpConnection::SendFrame(const std::vector<uint8_t>& payload) {
   header[1] = static_cast<uint8_t>(len >> 8);
   header[2] = static_cast<uint8_t>(len >> 16);
   header[3] = static_cast<uint8_t>(len >> 24);
-  KRONOS_RETURN_IF_ERROR(WriteAll(header, sizeof(header)));
-  return WriteAll(payload.data(), payload.size());
+  KRONOS_RETURN_IF_ERROR(WriteAll(header, sizeof(header), deadline));
+  return WriteAll(payload.data(), payload.size(), deadline);
 }
 
-Result<std::vector<uint8_t>> TcpConnection::RecvFrame() {
+Result<std::vector<uint8_t>> TcpConnection::RecvFrame(uint64_t timeout_us) {
+  const uint64_t deadline = timeout_us == kNoTimeout ? 0 : MonotonicMicros() + timeout_us;
   uint8_t header[4];
-  KRONOS_RETURN_IF_ERROR(ReadAll(header, sizeof(header)));
+  KRONOS_RETURN_IF_ERROR(ReadAll(header, sizeof(header), deadline));
   const uint32_t len = static_cast<uint32_t>(header[0]) |
                        (static_cast<uint32_t>(header[1]) << 8) |
                        (static_cast<uint32_t>(header[2]) << 16) |
@@ -107,7 +174,7 @@ Result<std::vector<uint8_t>> TcpConnection::RecvFrame() {
     return Status(InvalidArgument("announced frame exceeds limit"));
   }
   std::vector<uint8_t> payload(len);
-  KRONOS_RETURN_IF_ERROR(ReadAll(payload.data(), len));
+  KRONOS_RETURN_IF_ERROR(ReadAll(payload.data(), len, deadline));
   return payload;
 }
 
@@ -164,18 +231,59 @@ void TcpListener::Close() {
   }
 }
 
-Result<std::unique_ptr<TcpConnection>> TcpConnect(uint16_t port) {
+Result<std::unique_ptr<TcpConnection>> TcpConnect(uint16_t port, uint64_t timeout_us) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Errno("socket");
   }
+  SetNonBlocking(fd);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Errno("connect");
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return Errno("connect");
+    }
+    // Nonblocking handshake: wait for writability, then read the socket error to learn
+    // whether the connect actually succeeded.
+    const uint64_t deadline = timeout_us == kNoTimeout ? 0 : MonotonicMicros() + timeout_us;
+    while (true) {
+      int slice_ms = kPollSliceMs;
+      if (deadline != 0) {
+        const uint64_t now = MonotonicMicros();
+        if (now >= deadline) {
+          ::close(fd);
+          return Status(Timeout("connect deadline exceeded"));
+        }
+        const uint64_t remaining_ms = (deadline - now + 999) / 1000;
+        if (remaining_ms < static_cast<uint64_t>(slice_ms)) {
+          slice_ms = static_cast<int>(remaining_ms);
+        }
+      }
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLOUT;
+      const int rc = ::poll(&p, 1, slice_ms);
+      if (rc < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        ::close(fd);
+        return Errno("poll(connect)");
+      }
+      if (rc > 0) {
+        break;
+      }
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 || err != 0) {
+      ::close(fd);
+      errno = err != 0 ? err : errno;
+      return Errno("connect");
+    }
   }
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

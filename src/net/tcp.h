@@ -5,6 +5,12 @@
 // length-prefixed (u32 little-endian, bounded) envelope payloads; TcpConnection handles
 // partial reads/writes and surfaces peer resets as Status instead of signals (SIGPIPE is
 // suppressed per send).
+//
+// Deadlines: sockets are nonblocking and every read/write goes through a poll-with-deadline
+// helper, so a hung or partitioned peer yields StatusCode::kTimeout within the caller's
+// deadline instead of wedging the thread in recv() forever. A deadline of 0 means "no
+// deadline" — the poll loop still wakes in bounded slices to observe Close(), so servers can
+// park a reader thread on an idle connection and still shut down promptly.
 #ifndef KRONOS_NET_TCP_H_
 #define KRONOS_NET_TCP_H_
 
@@ -24,21 +30,26 @@ namespace kronos {
 // Maximum frame payload; larger announced lengths are treated as protocol corruption.
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
+// Relative timeout value meaning "wait forever" (observing Close()).
+inline constexpr uint64_t kNoTimeout = 0;
+
 // A connected, message-framed TCP stream. Thread-compatible: callers serialize sends and
 // receives independently (one writer, one reader is fine).
 class TcpConnection {
  public:
-  explicit TcpConnection(int fd) : fd_(fd) {}
+  explicit TcpConnection(int fd);
   ~TcpConnection();
 
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
 
-  // Writes one length-prefixed frame.
-  Status SendFrame(const std::vector<uint8_t>& payload);
+  // Writes one length-prefixed frame. timeout_us bounds the whole frame write
+  // (kTimeout on expiry); kNoTimeout waits until progress or Close().
+  Status SendFrame(const std::vector<uint8_t>& payload, uint64_t timeout_us = kNoTimeout);
 
-  // Reads one frame; kUnavailable on clean EOF, kInvalidArgument on protocol corruption.
-  Result<std::vector<uint8_t>> RecvFrame();
+  // Reads one frame; kUnavailable on clean EOF, kInvalidArgument on protocol corruption,
+  // kTimeout if the frame has not fully arrived within timeout_us.
+  Result<std::vector<uint8_t>> RecvFrame(uint64_t timeout_us = kNoTimeout);
 
   // Revokes I/O on the socket, unblocking a concurrent RecvFrame/SendFrame. The descriptor
   // itself is released by the destructor, once no other thread can still hold it: closing
@@ -49,8 +60,12 @@ class TcpConnection {
   bool closed() const { return shutdown_.load() || fd_.load() < 0; }
 
  private:
-  Status WriteAll(const uint8_t* data, size_t len);
-  Status ReadAll(uint8_t* data, size_t len);
+  // deadline_us is absolute (MonotonicMicros); 0 = none.
+  Status WriteAll(const uint8_t* data, size_t len, uint64_t deadline_us);
+  Status ReadAll(uint8_t* data, size_t len, uint64_t deadline_us);
+  // Waits for the socket to become ready for `events` (POLLIN/POLLOUT), polling in bounded
+  // slices so Close() and the deadline are observed even if the peer never wakes us.
+  Status PollReady(short events, uint64_t deadline_us);
 
   std::atomic<int> fd_;
   std::atomic<bool> shutdown_{false};
@@ -81,8 +96,10 @@ class TcpListener {
   uint16_t port_ = 0;
 };
 
-// Connects to 127.0.0.1:port.
-Result<std::unique_ptr<TcpConnection>> TcpConnect(uint16_t port);
+// Connects to 127.0.0.1:port. timeout_us bounds the TCP handshake (kTimeout on expiry);
+// kNoTimeout falls back to the kernel's connect timeout.
+Result<std::unique_ptr<TcpConnection>> TcpConnect(uint16_t port,
+                                                  uint64_t timeout_us = kNoTimeout);
 
 }  // namespace kronos
 

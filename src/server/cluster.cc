@@ -13,6 +13,7 @@ KronosCluster::KronosCluster(Options options) : options_(options) {
     replicas_.push_back(std::make_unique<ChainReplica>(
         *net_, coordinator_->id(), "replica-" + std::to_string(i), options_.replica));
     killed_.push_back(false);
+    incarnation_.push_back(0);
     chain.push_back(replicas_.back()->id());
   }
   coordinator_->Start(std::move(chain));
@@ -42,10 +43,31 @@ void KronosCluster::KillReplica(size_t i) {
   KLOG(Info) << "cluster: killed replica " << replicas_[i]->id();
 }
 
+void KronosCluster::RestartReplica(size_t i) {
+  KRONOS_CHECK(i < replicas_.size());
+  KRONOS_CHECK(killed_[i]) << "RestartReplica on a live replica";
+  const NodeId old_id = replicas_[i]->id();
+  // The heartbeat detector may not have evicted the dead incarnation yet; remove it
+  // explicitly so the chain never contains both incarnations of the slot.
+  coordinator_->RemoveReplica(old_id);
+  replicas_[i]->Stop();
+  ++incarnation_[i];
+  replicas_[i] = std::make_unique<ChainReplica>(
+      *net_, coordinator_->id(),
+      "replica-" + std::to_string(i) + "+r" + std::to_string(incarnation_[i]),
+      options_.replica);
+  killed_[i] = false;
+  replicas_[i]->Start();
+  coordinator_->AddReplica(replicas_[i]->id());
+  KLOG(Info) << "cluster: restarted replica slot " << i << " (node " << old_id << " -> "
+             << replicas_[i]->id() << ")";
+}
+
 size_t KronosCluster::AddReplica(std::string name) {
   replicas_.push_back(std::make_unique<ChainReplica>(*net_, coordinator_->id(), std::move(name),
                                                      options_.replica));
   killed_.push_back(false);
+  incarnation_.push_back(0);
   replicas_.back()->Start();
   coordinator_->AddReplica(replicas_.back()->id());
   return replicas_.size() - 1;

@@ -44,6 +44,16 @@ class KronosCluster {
   // coordinator evicts it once heartbeats stop.
   void KillReplica(size_t i);
 
+  // Restarts a previously killed replica as a brand-new process in the same slot: the old
+  // instance (still network-isolated) is stopped and discarded, and a fresh replica with an
+  // empty log is admitted at the tail, pulling the full history — session dedup table
+  // included — through the resync protocol. Discarding the old state is deliberate: a dead
+  // head may have applied entries that never committed, and resurrecting them would fork the
+  // chain. (Durable single-node recovery is KronosDaemon's WAL path, tested separately.)
+  void RestartReplica(size_t i);
+
+  bool killed(size_t i) const { return killed_[i]; }
+
   // Spawns a brand-new replica process and admits it at the tail; it pulls state from its
   // predecessor. Returns its index.
   size_t AddReplica(std::string name);
@@ -60,6 +70,7 @@ class KronosCluster {
   std::unique_ptr<ChainCoordinator> coordinator_;
   std::vector<std::unique_ptr<ChainReplica>> replicas_;
   std::vector<bool> killed_;
+  std::vector<uint32_t> incarnation_;  // restarts per slot (names each new process uniquely)
 };
 
 }  // namespace kronos

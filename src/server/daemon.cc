@@ -18,6 +18,8 @@ KronosDaemon::KronosDaemon(Options options)
       shared_mode_cmds_(metrics_.GetCounter("kronos_daemon_shared_mode_total")),
       exclusive_mode_cmds_(metrics_.GetCounter("kronos_daemon_exclusive_mode_total")),
       introspects_served_(metrics_.GetCounter("kronos_daemon_introspects_total")),
+      session_duplicates_(metrics_.GetCounter("kronos_session_duplicates_total")),
+      session_stale_(metrics_.GetCounter("kronos_session_stale_total")),
       wal_appends_(metrics_.GetCounter("kronos_wal_appends_total")),
       wal_append_us_(metrics_.GetHistogram("kronos_wal_append_us")) {
   for (size_t t = 0; t < kNumCommandTypes; ++t) {
@@ -34,11 +36,23 @@ KronosDaemon::~KronosDaemon() { Stop(); }
 
 Status KronosDaemon::Start(uint16_t port, const std::string& wal_path) {
   if (!wal_path.empty()) {
-    // Recover: replay every logged update into the state machine before serving.
+    // Recover: replay every logged update into the state machine before serving. Sessioned
+    // records also rebuild the exactly-once dedup table — the replayed Apply is deterministic,
+    // so the re-serialized result is byte-identical to the reply the client was (or will be)
+    // sent, and a mutation retried across the restart still replays instead of re-applying.
     Status opened = wal_.Open(wal_path, [this](std::span<const uint8_t> record) {
-      Result<Command> cmd = ParseCommand(record);
+      Result<WalCommandRecord> rec = ParseWalRecord(record);
+      if (!rec.ok()) {
+        KLOG(Warning) << "kronosd: skipping unparseable WAL record";
+        return;
+      }
+      Result<Command> cmd = ParseCommand(rec->command);
       if (cmd.ok()) {
-        (void)sm_.Apply(*cmd);
+        CommandResult result = sm_.Apply(*cmd);
+        if (rec->client_id != 0 && rec->client_seq != 0) {
+          sm_.sessions().Commit(rec->client_id, rec->client_seq, sm_.applied_updates(),
+                                SerializeCommandResult(result));
+        }
         ++commands_recovered_;
       } else {
         KLOG(Warning) << "kronosd: skipping unparseable WAL record";
@@ -108,28 +122,34 @@ void KronosDaemon::ServeConnection(const std::shared_ptr<TcpConnection>& conn) {
       return;
     }
     Result<Command> cmd = ParseCommand(env->payload);
-    CommandResult result;
+    std::vector<uint8_t> result_bytes;
     if (cmd.ok()) {
-      result = ExecuteCommand(*cmd, env->payload);
+      result_bytes = ExecuteCommand(*cmd, env->payload, env->client_id, env->client_seq);
     } else {
+      CommandResult result;
       result.status = cmd.status();
+      result_bytes = SerializeCommandResult(result);
     }
-    Envelope reply{MessageKind::kResponse, env->id, SerializeCommandResult(result)};
+    Envelope reply{MessageKind::kResponse, env->id, std::move(result_bytes)};
     if (!conn->SendFrame(SerializeEnvelope(reply)).ok()) {
       return;
     }
   }
 }
 
-CommandResult KronosDaemon::ExecuteCommand(const Command& cmd, std::span<const uint8_t> raw) {
+std::vector<uint8_t> KronosDaemon::ExecuteCommand(const Command& cmd,
+                                                  std::span<const uint8_t> raw,
+                                                  uint64_t session_client,
+                                                  uint64_t session_seq) {
   // Server-side latency: lock wait + engine time (and WAL for updates), excluding network and
   // framing. One clock read before, one after; the Record is a shard-local O(1).
   const Stopwatch timer;
   const size_t type = static_cast<size_t>(cmd.type);
-  CommandResult result;
   if (cmd.IsReadOnly() && !options_.serialize_reads) {
     // Shared mode: query batches from any number of connections run concurrently; they only
-    // wait for in-flight updates, never for each other.
+    // wait for in-flight updates, never for each other. Queries are idempotent, so session
+    // stamps (if any) are ignored — the dedup table guards mutations only.
+    CommandResult result;
     {
       std::shared_lock<std::shared_mutex> lock(sm_mutex_);
       if (options_.simulated_query_service_us > 0) {
@@ -142,8 +162,10 @@ CommandResult KronosDaemon::ExecuteCommand(const Command& cmd, std::span<const u
     shared_mode_cmds_.Increment();
     cmd_count_[type]->Increment();
     cmd_us_[type]->Record(timer.ElapsedMicros());
-    return result;
+    return SerializeCommandResult(result);
   }
+  const bool sessioned = !cmd.IsReadOnly() && session_client != 0 && session_seq != 0;
+  std::vector<uint8_t> result_bytes;
   {
     std::unique_lock<std::shared_mutex> lock(sm_mutex_);
     if (cmd.IsReadOnly()) {
@@ -152,31 +174,70 @@ CommandResult KronosDaemon::ExecuteCommand(const Command& cmd, std::span<const u
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.simulated_query_service_us));
       }
-      result = sm_.ApplyReadOnly(cmd);
+      result_bytes = SerializeCommandResult(sm_.ApplyReadOnly(cmd));
     } else {
+      if (sessioned) {
+        // Exactly-once gate: a retried mutation that already committed replays its original
+        // reply byte-for-byte; an older seq gets an error (its client already saw a newer
+        // reply, so nobody is waiting on it). Both skip the WAL and the state machine.
+        switch (sm_.sessions().Probe(session_client, session_seq)) {
+          case SessionTable::Verdict::kDuplicate: {
+            std::vector<uint8_t> cached =
+                *sm_.sessions().CachedReply(session_client, session_seq);
+            lock.unlock();
+            session_duplicates_.Increment();
+            commands_served_.Increment();
+            exclusive_mode_cmds_.Increment();
+            cmd_count_[type]->Increment();
+            cmd_us_[type]->Record(timer.ElapsedMicros());
+            return cached;
+          }
+          case SessionTable::Verdict::kStale: {
+            lock.unlock();
+            session_stale_.Increment();
+            CommandResult stale;
+            stale.status = InvalidArgument("stale session sequence (already superseded)");
+            return SerializeCommandResult(stale);
+          }
+          case SessionTable::Verdict::kFresh:
+            break;
+        }
+      }
       if (persistent_) {
         // Write-ahead: the update is durable before its effects are observable. The append
-        // runs inside the exclusive section so the WAL order equals the apply order.
+        // runs inside the exclusive section so the WAL order equals the apply order. The
+        // record carries the session identity so replay rebuilds the dedup table.
         const Stopwatch wal_timer;
-        Status logged = wal_.Append(raw);
+        const std::vector<uint8_t> record =
+            SerializeWalRecord(sessioned ? session_client : 0, sessioned ? session_seq : 0,
+                               raw);
+        Status logged = wal_.Append(record);
         if (logged.ok()) {
           logged = wal_.Sync();
         }
         wal_appends_.Increment();
         wal_append_us_.Record(wal_timer.ElapsedMicros());
         if (!logged.ok()) {
+          CommandResult result;
           result.status = logged;
-          return result;
+          return SerializeCommandResult(result);
         }
       }
-      result = sm_.Apply(cmd);
+      result_bytes = SerializeCommandResult(sm_.Apply(cmd));
+      if (sessioned) {
+        // WAL-synced + applied = committed on a single-node daemon: safe to cache the reply
+        // for replay. applied_updates is the log index — unique, increasing, and identical
+        // on WAL replay, which keeps eviction deterministic.
+        sm_.sessions().Commit(session_client, session_seq, sm_.applied_updates(),
+                              result_bytes);
+      }
     }
   }
   commands_served_.Increment();
   exclusive_mode_cmds_.Increment();
   cmd_count_[type]->Increment();
   cmd_us_[type]->Record(timer.ElapsedMicros());
-  return result;
+  return result_bytes;
 }
 
 uint64_t KronosDaemon::live_events() const {
@@ -205,6 +266,9 @@ void KronosDaemon::ExportEngineGaugesLocked() const {
   metrics_.GetGauge("kronos_engine_vertices_visited")
       .Set(static_cast<int64_t>(gs.vertices_visited));
   metrics_.GetGauge("kronos_engine_assign_aborts").Set(static_cast<int64_t>(gs.assign_aborts));
+  metrics_.GetGauge("kronos_sessions_active").Set(static_cast<int64_t>(sm_.sessions().size()));
+  metrics_.GetGauge("kronos_session_evictions")
+      .Set(static_cast<int64_t>(sm_.sessions().evictions()));
   if (const OrderCache* cache = sm_.graph().query_cache()) {
     const OrderCache::Stats cs = cache->stats();
     metrics_.GetGauge("kronos_cache_hits").Set(static_cast<int64_t>(cs.hits));

@@ -96,7 +96,11 @@ class KronosDaemon {
  private:
   void AcceptLoop();
   void ServeConnection(const std::shared_ptr<TcpConnection>& conn);
-  CommandResult ExecuteCommand(const Command& cmd, std::span<const uint8_t> raw);
+  // Executes one command and returns the serialized CommandResult. session_client/session_seq
+  // (0 = sessionless) drive the exactly-once dedup table: a duplicate mutation replays the
+  // cached reply bytes without touching the state machine.
+  std::vector<uint8_t> ExecuteCommand(const Command& cmd, std::span<const uint8_t> raw,
+                                      uint64_t session_client, uint64_t session_seq);
   void ExportEngineGaugesLocked() const;  // requires sm_mutex_ (shared suffices)
 
   Options options_;
@@ -125,6 +129,8 @@ class KronosDaemon {
   Counter& shared_mode_cmds_;
   Counter& exclusive_mode_cmds_;
   Counter& introspects_served_;
+  Counter& session_duplicates_;
+  Counter& session_stale_;
   Counter& wal_appends_;
   LatencyHistogram& wal_append_us_;
   std::array<Counter*, kNumCommandTypes> cmd_count_{};        // indexed by CommandType

@@ -1,0 +1,350 @@
+#include "src/server/nemesis.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/server/cluster.h"
+
+namespace kronos {
+
+namespace {
+
+// Every ordered answer any client ever receives, keyed on the normalized pair (lo, hi) with
+// the direction expressed relative to that normalization. Monotonicity (§2.1) says these are
+// final: a second ordered answer for the same pair must agree, both during the run and against
+// the converged cluster afterwards. (kConcurrent answers promise nothing and are not
+// recorded — concurrent may later become ordered.)
+//
+// Record() is called from concurrent worker threads; its internal mutex also serializes the
+// appends to the shared violations vector.
+class PromiseBook {
+ public:
+  void Record(EventId e1, EventId e2, Order order, std::vector<std::string>& violations) {
+    if (order == Order::kConcurrent || e1 == e2) {
+      return;
+    }
+    EventId lo = e1;
+    EventId hi = e2;
+    Order norm = order;
+    if (lo > hi) {
+      std::swap(lo, hi);
+      norm = (order == Order::kBefore) ? Order::kAfter : Order::kBefore;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = promises_.emplace(std::make_pair(lo, hi), norm);
+    if (!inserted && it->second != norm) {
+      violations.push_back("contradicting ordered answers for events (" + std::to_string(lo) +
+                           ", " + std::to_string(hi) + ")");
+    }
+  }
+
+  std::map<std::pair<EventId, EventId>, Order> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return promises_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return promises_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<EventId, EventId>, Order> promises_;
+};
+
+}  // namespace
+
+std::string NemesisReport::Summary() const {
+  std::ostringstream os;
+  os << (ok() ? "OK" : "FAIL") << ": kills=" << kills << " restarts=" << restarts
+     << " cuts=" << cuts << " heals=" << heals << " creates=" << creates_acked << "+"
+     << creates_unknown << "? assigns=" << assigns_acked << " queries=" << queries_answered
+     << " promises=" << promises_recorded << "/" << promises_rechecked
+     << " events=" << total_created << " dedup=" << session_duplicates << "+"
+     << session_inflight;
+  for (const std::string& v : violations) {
+    os << "\n  violation: " << v;
+  }
+  return os.str();
+}
+
+NemesisReport Nemesis::Run() {
+  NemesisReport report;
+
+  KronosCluster::Options copts;
+  copts.replicas = options_.replicas;
+  copts.network.min_latency_us = 0;
+  copts.network.max_latency_us = options_.max_latency_us;
+  copts.network.drop_probability = options_.drop_probability;
+  copts.network.duplicate_probability = options_.duplicate_probability;
+  copts.network.seed = options_.seed;
+  copts.coordinator.failure_timeout_us = 250'000;
+  copts.coordinator.check_interval_us = 50'000;
+  copts.replica.heartbeat_interval_us = 30'000;
+  // Force restarted replicas onto the snapshot path (with session-table transfer) and make
+  // truncation happen: both recovery codepaths get exercised, not just short log replays.
+  copts.replica.snapshot_resync_threshold = 32;
+  copts.replica.max_log_entries = 256;
+  KronosCluster cluster(copts);
+
+  PromiseBook book;
+  std::atomic<uint64_t> creates_acked{0};
+  std::atomic<uint64_t> creates_unknown{0};
+  std::atomic<uint64_t> assigns_acked{0};
+  std::atomic<uint64_t> queries_answered{0};
+  std::atomic<bool> workload_done{false};
+
+  // --- client workload ------------------------------------------------------------------------
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options_.clients));
+  for (int c = 0; c < options_.clients; ++c) {
+    workers.emplace_back([&, c] {
+      KronosClient::Options client_opts;
+      client_opts.call_timeout_us = options_.call_timeout_us;
+      client_opts.max_attempts = options_.client_max_attempts;
+      client_opts.retry_backoff_us = 20'000;
+      client_opts.seed = options_.seed * 1000 + static_cast<uint64_t>(c);
+      auto client = cluster.MakeClient("nemesis-c" + std::to_string(c), client_opts);
+      Rng rng(options_.seed * 7919 + static_cast<uint64_t>(c));
+      std::vector<EventId> mine;
+      for (int i = 0; i < options_.ops_per_client; ++i) {
+        Result<EventId> e = client->CreateEvent();
+        if (e.ok()) {
+          mine.push_back(*e);
+          creates_acked.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          creates_unknown.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (mine.size() >= 2 && rng.Bernoulli(options_.assign_probability)) {
+          const EventId e1 = mine[rng.Uniform(mine.size())];
+          const EventId e2 = mine[rng.Uniform(mine.size())];
+          if (e1 != e2) {
+            // kPrefer never aborts the batch: the ack tells us which direction actually holds,
+            // and that direction is an ordered promise just like a query answer.
+            Result<std::vector<AssignOutcome>> a =
+                client->AssignOrder({{e1, e2, Constraint::kPrefer}});
+            if (a.ok() && a->size() == 1) {
+              assigns_acked.fetch_add(1, std::memory_order_relaxed);
+              const bool reversed = (*a)[0] == AssignOutcome::kReversed;
+              book.Record(e1, e2, reversed ? Order::kAfter : Order::kBefore,
+                          report.violations);
+            }
+          }
+        }
+        if (mine.size() >= 2 && rng.Bernoulli(options_.query_probability)) {
+          const EventId e1 = mine[rng.Uniform(mine.size())];
+          const EventId e2 = mine[rng.Uniform(mine.size())];
+          if (e1 != e2) {
+            Result<std::vector<Order>> q = client->QueryOrder({{e1, e2}});
+            if (q.ok() && q->size() == 1) {
+              queries_answered.fetch_add(1, std::memory_order_relaxed);
+              book.Record(e1, e2, (*q)[0], report.violations);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // --- fault schedule -------------------------------------------------------------------------
+  std::thread nemesis_thread([&] {
+    Rng rng(options_.seed ^ 0x6e656d6573697321ull);  // decorrelate from network/workload draws
+    std::set<size_t> dead;                           // slots currently crashed
+    std::vector<std::pair<NodeId, NodeId>> cut;      // live link cuts, healed on exit
+    const auto live_slots = [&] {
+      std::vector<size_t> live;
+      for (size_t s = 0; s < cluster.replica_count(); ++s) {
+        if (dead.count(s) == 0) {
+          live.push_back(s);
+        }
+      }
+      return live;
+    };
+    while (!workload_done.load(std::memory_order_relaxed)) {
+      const uint64_t base = options_.fault_interval_us;
+      std::this_thread::sleep_for(std::chrono::microseconds(base / 2 + rng.Uniform(base)));
+      if (workload_done.load(std::memory_order_relaxed)) {
+        break;
+      }
+      switch (rng.Uniform(4)) {
+        case 0: {  // crash a replica
+          const std::vector<size_t> live = live_slots();
+          if (live.size() <= options_.min_live_replicas) {
+            break;
+          }
+          // Chain replication tolerates any failure that leaves a survivor holding every
+          // committed entry. Upstream replicas always dominate downstream ones, so the only
+          // unsafe victims are those whose applied watermark exceeds every survivor's — e.g.
+          // the last caught-up replica while a freshly restarted one is still resyncing.
+          // Killing such a victim is outside the fault model (it is "lose all copies"), so
+          // the scheduler skips it rather than manufacture an unrecoverable scenario.
+          std::vector<size_t> candidates;
+          for (const size_t v : live) {
+            uint64_t best_survivor = 0;
+            for (const size_t s : live) {
+              if (s != v) {
+                best_survivor = std::max(best_survivor, cluster.replica(s).last_applied());
+              }
+            }
+            if (best_survivor >= cluster.replica(v).last_applied()) {
+              candidates.push_back(v);
+            }
+          }
+          if (candidates.empty()) {
+            break;
+          }
+          const size_t victim = candidates[rng.Uniform(candidates.size())];
+          cluster.KillReplica(victim);
+          dead.insert(victim);
+          ++report.kills;
+          break;
+        }
+        case 1: {  // restart a crashed replica (fresh process; recovers via resync)
+          if (dead.empty()) {
+            break;
+          }
+          auto it = dead.begin();
+          std::advance(it, rng.Uniform(dead.size()));
+          const size_t slot = *it;
+          dead.erase(it);
+          cluster.RestartReplica(slot);
+          ++report.restarts;
+          break;
+        }
+        case 2: {  // cut a replica↔replica link (partial partition: heartbeats still flow)
+          if (cut.size() >= options_.max_link_cuts) {
+            break;
+          }
+          const std::vector<size_t> live = live_slots();
+          if (live.size() < 2) {
+            break;
+          }
+          const size_t a = live[rng.Uniform(live.size())];
+          size_t b = a;
+          while (b == a) {
+            b = live[rng.Uniform(live.size())];
+          }
+          const NodeId na = cluster.replica(a).id();
+          const NodeId nb = cluster.replica(b).id();
+          cluster.network().CutLink(na, nb);
+          cut.emplace_back(na, nb);
+          ++report.cuts;
+          break;
+        }
+        case 3: {  // heal a cut
+          if (cut.empty()) {
+            break;
+          }
+          const size_t idx = rng.Uniform(cut.size());
+          cluster.network().HealLink(cut[idx].first, cut[idx].second);
+          cut.erase(cut.begin() + static_cast<ptrdiff_t>(idx));
+          ++report.heals;
+          break;
+        }
+      }
+    }
+    // Heal-and-drain: undo every outstanding fault so the cluster can converge for the checks.
+    for (const auto& [a, b] : cut) {
+      cluster.network().HealLink(a, b);
+      ++report.heals;
+    }
+    for (const size_t slot : dead) {
+      cluster.RestartReplica(slot);
+      ++report.restarts;
+    }
+  });
+
+  for (auto& w : workers) {
+    w.join();
+  }
+  workload_done.store(true, std::memory_order_relaxed);
+  nemesis_thread.join();
+
+  report.creates_acked = creates_acked.load();
+  report.creates_unknown = creates_unknown.load();
+  report.assigns_acked = assigns_acked.load();
+  report.queries_answered = queries_answered.load();
+  report.promises_recorded = book.size();
+
+  // --- converge -------------------------------------------------------------------------------
+  const uint64_t reform_deadline = MonotonicMicros() + 15'000'000;
+  while (cluster.coordinator().GetConfig().chain.size() != cluster.replica_count() &&
+         MonotonicMicros() < reform_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (cluster.coordinator().GetConfig().chain.size() != cluster.replica_count()) {
+    report.violations.push_back("chain failed to re-form after heal (has " +
+                                std::to_string(cluster.coordinator().GetConfig().chain.size()) +
+                                " of " + std::to_string(cluster.replica_count()) +
+                                " replicas)");
+  } else if (!cluster.WaitForConvergence(15'000'000)) {
+    report.violations.push_back("replicas failed to converge after heal");
+  }
+
+  // --- final invariants -----------------------------------------------------------------------
+  // (1) Monotonicity: every ordered promise still holds against the healed cluster.
+  KronosClient::Options vopts;
+  vopts.call_timeout_us = 500'000;
+  vopts.max_attempts = 20;
+  vopts.retry_backoff_us = 20'000;
+  auto verifier = cluster.MakeClient("nemesis-verifier", vopts);
+  for (const auto& [pair, order] : book.Snapshot()) {
+    Result<std::vector<Order>> q = verifier->QueryOrder({{pair.first, pair.second}});
+    if (!q.ok()) {
+      report.violations.push_back("verify query failed for (" + std::to_string(pair.first) +
+                                  ", " + std::to_string(pair.second) +
+                                  "): " + q.status().ToString());
+      continue;
+    }
+    if ((*q)[0] != order) {
+      report.violations.push_back("ordered answer retracted for (" + std::to_string(pair.first) +
+                                  ", " + std::to_string(pair.second) + ")");
+    }
+    ++report.promises_rechecked;
+  }
+
+  // (2) Exactly-once: each acknowledged create made exactly one event; an unknown-outcome
+  // create may account for at most one more. Anything outside that band means a retried or
+  // duplicated mutation was applied twice (above) or an acked mutation was lost (below).
+  const EventGraph::Stats s0 = cluster.replica(0).graph_stats();
+  report.total_created = s0.total_created;
+  if (s0.total_created < report.creates_acked ||
+      s0.total_created > report.creates_acked + report.creates_unknown) {
+    report.violations.push_back(
+        "exactly-once violated: graph has " + std::to_string(s0.total_created) +
+        " events for " + std::to_string(report.creates_acked) + " acked + " +
+        std::to_string(report.creates_unknown) + " unknown creates");
+  }
+
+  // (3) Replica coherence: every replica converged to the same graph.
+  for (size_t i = 1; i < cluster.replica_count(); ++i) {
+    const EventGraph::Stats si = cluster.replica(i).graph_stats();
+    if (si.live_events != s0.live_events || si.live_edges != s0.live_edges ||
+        si.total_created != s0.total_created || si.total_collected != s0.total_collected) {
+      report.violations.push_back("replica " + std::to_string(i) +
+                                  " diverged from replica 0 after convergence");
+    }
+  }
+
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    const ChainReplica::ReplicaStats rs = cluster.replica(i).stats();
+    report.session_duplicates += rs.session_duplicates;
+    report.session_inflight += rs.session_inflight;
+  }
+
+  KLOG(Info) << "nemesis seed " << options_.seed << ": " << report.Summary();
+  return report;
+}
+
+}  // namespace kronos

@@ -1,0 +1,107 @@
+// Nemesis: a deterministic, seeded fault-injection harness over KronosCluster (DESIGN.md
+// §5.7).
+//
+// One Run() drives three things concurrently on a chaotic SimNetwork (latency, loss,
+// duplication):
+//
+//   * a randomized client workload — each client creates events, assigns orders among its own
+//     events, and queries orders, retrying through the normal KronosClient path (sessions make
+//     the retried mutations exactly-once);
+//   * a fault schedule — every interval the nemesis thread crashes a replica, restarts a dead
+//     one (fresh process, state transfer via resync), cuts a replica↔replica link, or heals a
+//     cut, always keeping at least `min_live_replicas` alive;
+//   * invariant bookkeeping — every ordered answer any client receives (from a query, or
+//     implied by an acknowledged assign) is recorded as a promise; two contradicting promises
+//     are an immediate violation.
+//
+// After the workload drains, every outstanding fault is undone, the chain re-forms, and the
+// final checks run: all promises must still hold against the converged cluster (§2.1
+// monotonicity — ordered answers are final), all replicas must hold identical graphs, and the
+// number of events in the graph must equal the number of acknowledged creates (plus at most
+// the unknown-outcome ones whose reply was lost) — the exactly-once check that retried and
+// duplicated mutations were applied once.
+//
+// Everything is derived from `seed`: the network's drop/duplicate/delay draws, the workload's
+// choices, and the fault schedule. Re-running a seed replays the same scenario up to thread
+// scheduling, which is what makes the tier-1 seed sweep meaningful.
+#ifndef KRONOS_SERVER_NEMESIS_H_
+#define KRONOS_SERVER_NEMESIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kronos {
+
+struct NemesisOptions {
+  uint64_t seed = 1;
+
+  size_t replicas = 3;
+  int clients = 3;
+  int ops_per_client = 60;  // one op == a create plus its sampled assign/query follow-ups
+
+  // Fault schedule: one action attempt per interval, jittered in [interval/2, interval*3/2].
+  uint64_t fault_interval_us = 60'000;
+  size_t min_live_replicas = 1;
+  size_t max_link_cuts = 2;  // concurrent replica↔replica cuts
+
+  // Network chaos, applied to every link (clients included).
+  uint64_t max_latency_us = 1'000;
+  double drop_probability = 0.01;
+  double duplicate_probability = 0.05;
+
+  // Workload mix.
+  double assign_probability = 0.6;
+  double query_probability = 0.6;
+
+  // Per-call client budget. An op that exhausts its retries has an unknown outcome (it may or
+  // may not have committed) and is accounted as such in the exactly-once check.
+  uint64_t call_timeout_us = 250'000;
+  int client_max_attempts = 12;
+};
+
+struct NemesisReport {
+  std::vector<std::string> violations;  // empty == every invariant held
+
+  // Fault actions actually injected (includes the final heal-and-drain).
+  uint64_t kills = 0;
+  uint64_t restarts = 0;
+  uint64_t cuts = 0;
+  uint64_t heals = 0;
+
+  // Workload accounting.
+  uint64_t creates_acked = 0;
+  uint64_t creates_unknown = 0;  // client exhausted retries; commit state unknown
+  uint64_t assigns_acked = 0;
+  uint64_t queries_answered = 0;
+  uint64_t promises_recorded = 0;
+  uint64_t promises_rechecked = 0;
+
+  // Final cluster state.
+  uint64_t total_created = 0;       // events ever created in the converged graph
+  uint64_t session_duplicates = 0;  // retried mutations the dedup table absorbed
+  uint64_t session_inflight = 0;    // retries that arrived before their entry committed
+
+  bool ok() const { return violations.empty(); }
+
+  std::string Summary() const;
+};
+
+class Nemesis {
+ public:
+  using Options = NemesisOptions;
+
+  explicit Nemesis(Options options) : options_(options) {}
+
+  // Runs the full schedule synchronously and returns the report. Safe to call once per
+  // instance.
+  NemesisReport Run();
+
+ private:
+  Options options_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_SERVER_NEMESIS_H_

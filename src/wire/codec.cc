@@ -209,9 +209,16 @@ Result<CommandResult> ParseCommandResult(std::span<const uint8_t> bytes) {
 
 std::vector<uint8_t> SerializeEnvelope(const Envelope& env) {
   BufferWriter w;
-  w.WriteU8(kWireVersion);
+  // Sessionless envelopes keep the version-1 byte layout so pre-session decoders (and any
+  // recorded traffic) stay valid; the session fields only cost bytes when they carry data.
+  const bool sessioned = env.client_id != 0 || env.client_seq != 0;
+  w.WriteU8(sessioned ? kWireVersionSessions : kWireVersion);
   w.WriteU8(static_cast<uint8_t>(env.kind));
   w.WriteVarint(env.id);
+  if (sessioned) {
+    w.WriteVarint(env.client_id);
+    w.WriteVarint(env.client_seq);
+  }
   w.WriteVarint(env.payload.size());
   w.WriteBytes(env.payload);
   return w.TakeBuffer();
@@ -221,7 +228,7 @@ Result<Envelope> ParseEnvelope(std::span<const uint8_t> bytes) {
   BufferReader r(bytes);
   uint8_t version = 0;
   KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
-  if (version != kWireVersion) {
+  if (version != kWireVersion && version != kWireVersionSessions) {
     return Status(InvalidArgument("unsupported wire version"));
   }
   uint8_t kind = 0;
@@ -233,6 +240,10 @@ Result<Envelope> ParseEnvelope(std::span<const uint8_t> bytes) {
   Envelope env;
   env.kind = static_cast<MessageKind>(kind);
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(env.id));
+  if (version == kWireVersionSessions) {
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(env.client_id));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(env.client_seq));
+  }
   uint64_t len = 0;
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(len));
   if (len != r.remaining()) {
@@ -241,6 +252,40 @@ Result<Envelope> ParseEnvelope(std::span<const uint8_t> bytes) {
   env.payload.resize(len);
   KRONOS_RETURN_IF_ERROR(r.ReadBytes(env.payload));
   return env;
+}
+
+std::vector<uint8_t> SerializeWalRecord(uint64_t client_id, uint64_t client_seq,
+                                        std::span<const uint8_t> command) {
+  if (client_id == 0 && client_seq == 0) {
+    // Sessionless updates keep the legacy record layout (bare Command bytes).
+    return std::vector<uint8_t>(command.begin(), command.end());
+  }
+  BufferWriter w;
+  w.WriteU8(kWireVersionSessions);
+  w.WriteVarint(client_id);
+  w.WriteVarint(client_seq);
+  w.WriteBytes(command);
+  return w.TakeBuffer();
+}
+
+Result<WalCommandRecord> ParseWalRecord(std::span<const uint8_t> bytes) {
+  if (bytes.empty()) {
+    return Status(InvalidArgument("empty WAL record"));
+  }
+  WalCommandRecord rec;
+  if (bytes.front() == kWireVersion) {
+    rec.command.assign(bytes.begin(), bytes.end());
+    return rec;
+  }
+  if (bytes.front() != kWireVersionSessions) {
+    return Status(InvalidArgument("unsupported WAL record version"));
+  }
+  BufferReader r(bytes.subspan(1));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(rec.client_id));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(rec.client_seq));
+  rec.command.resize(r.remaining());
+  KRONOS_RETURN_IF_ERROR(r.ReadBytes(rec.command));
+  return rec;
 }
 
 }  // namespace kronos

@@ -15,6 +15,10 @@
 namespace kronos {
 
 inline constexpr uint8_t kWireVersion = 1;
+// Envelope version carrying client session fields (client_id, client_seq) for exactly-once
+// retries. Sessionless envelopes keep emitting version 1 so pre-session peers and recorded
+// byte streams stay valid; parsers accept both.
+inline constexpr uint8_t kWireVersionSessions = 2;
 
 // --- Command / CommandResult -------------------------------------------------------------------
 
@@ -45,11 +49,45 @@ enum class MessageKind : uint8_t {
 struct Envelope {
   MessageKind kind = MessageKind::kRequest;
   uint64_t id = 0;                 // correlation id (requests) or sequence number (chain)
+  // Client session identity for exactly-once mutation retries (0 = sessionless). A server
+  // that has already committed (client_id, client_seq) replays the cached reply instead of
+  // re-applying. Queries are idempotent and stay sessionless.
+  uint64_t client_id = 0;
+  uint64_t client_seq = 0;
   std::vector<uint8_t> payload;    // kind-specific body
+
+  Envelope() = default;
+  Envelope(MessageKind k, uint64_t correlation, std::vector<uint8_t> body)
+      : kind(k), id(correlation), payload(std::move(body)) {}
+  Envelope(MessageKind k, uint64_t correlation, uint64_t session_client,
+           uint64_t session_seq, std::vector<uint8_t> body)
+      : kind(k),
+        id(correlation),
+        client_id(session_client),
+        client_seq(session_seq),
+        payload(std::move(body)) {}
+
+  bool has_session() const { return client_id != 0 && client_seq != 0; }
 };
 
 std::vector<uint8_t> SerializeEnvelope(const Envelope& env);
 Result<Envelope> ParseEnvelope(std::span<const uint8_t> bytes);
+
+// --- WAL command records -------------------------------------------------------------------------
+
+// A durable update record: the serialized Command plus the client session identity needed to
+// rebuild the exactly-once dedup table on replay. Legacy logs contain bare Command bytes
+// (whose leading version byte is kWireVersion = 1); sessioned records are distinguished by a
+// leading kWireVersionSessions byte, so a mixed log parses unambiguously.
+struct WalCommandRecord {
+  uint64_t client_id = 0;  // 0 = sessionless (legacy record or sessionless client)
+  uint64_t client_seq = 0;
+  std::vector<uint8_t> command;  // serialized Command
+};
+
+std::vector<uint8_t> SerializeWalRecord(uint64_t client_id, uint64_t client_seq,
+                                        std::span<const uint8_t> command);
+Result<WalCommandRecord> ParseWalRecord(std::span<const uint8_t> bytes);
 
 }  // namespace kronos
 

@@ -6,11 +6,16 @@ namespace kronos {
 
 namespace {
 constexpr uint8_t kSnapshotVersion = 1;
+// Version 2 appends the session dedup table (exactly-once retry state) after the vertex
+// section. Snapshots of session-free state machines keep emitting version 1 so existing
+// byte streams and the replica-equality checks built on them stay stable.
+constexpr uint8_t kSnapshotVersionSessions = 2;
 }  // namespace
 
 std::vector<uint8_t> SerializeSnapshot(const KronosStateMachine& sm) {
   BufferWriter w;
-  w.WriteU8(kSnapshotVersion);
+  const std::vector<SessionTable::Entry> sessions = sm.sessions().Export();
+  w.WriteU8(sessions.empty() ? kSnapshotVersion : kSnapshotVersionSessions);
   w.WriteVarint(sm.applied_updates());
   const EventGraph& g = sm.graph();
   w.WriteVarint(g.next_id());
@@ -24,6 +29,18 @@ std::vector<uint8_t> SerializeSnapshot(const KronosStateMachine& sm) {
       w.WriteVarint(succ);
     }
   }
+  if (!sessions.empty()) {
+    // Entries arrive in ascending client_id (SessionTable::Export), so identical tables
+    // serialize to identical bytes.
+    w.WriteVarint(sessions.size());
+    for (const SessionTable::Entry& e : sessions) {
+      w.WriteVarint(e.client_id);
+      w.WriteVarint(e.last_seq);
+      w.WriteVarint(e.applied_at);
+      w.WriteVarint(e.cached_reply.size());
+      w.WriteBytes(e.cached_reply);
+    }
+  }
   return w.TakeBuffer();
 }
 
@@ -31,7 +48,7 @@ Status RestoreSnapshot(std::span<const uint8_t> bytes, KronosStateMachine& sm) {
   BufferReader r(bytes);
   uint8_t version = 0;
   KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionSessions) {
     return InvalidArgument("unsupported snapshot version");
   }
   uint64_t applied = 0;
@@ -67,11 +84,40 @@ Status RestoreSnapshot(std::span<const uint8_t> bytes, KronosStateMachine& sm) {
     }
     vertices.push_back(std::move(v));
   }
+  std::vector<SessionTable::Entry> sessions;
+  if (version >= kSnapshotVersionSessions) {
+    uint64_t n_sessions = 0;
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(n_sessions));
+    if (n_sessions > r.remaining()) {  // >= 4 bytes per entry: cheap bomb guard
+      return InvalidArgument("snapshot session count exceeds payload");
+    }
+    sessions.reserve(n_sessions);
+    uint64_t prev_client = 0;
+    for (uint64_t i = 0; i < n_sessions; ++i) {
+      SessionTable::Entry e;
+      uint64_t reply_len = 0;
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(e.client_id));
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(e.last_seq));
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(e.applied_at));
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(reply_len));
+      if (i > 0 && e.client_id <= prev_client) {
+        return InvalidArgument("snapshot sessions out of order");
+      }
+      prev_client = e.client_id;
+      if (reply_len > r.remaining()) {
+        return InvalidArgument("snapshot session reply exceeds payload");
+      }
+      e.cached_reply.resize(reply_len);
+      KRONOS_RETURN_IF_ERROR(r.ReadBytes(e.cached_reply));
+      sessions.push_back(std::move(e));
+    }
+  }
   if (!r.AtEnd()) {
     return InvalidArgument("trailing bytes after snapshot");
   }
   KRONOS_RETURN_IF_ERROR(sm.graph().ImportSnapshot(next_id, vertices));
   sm.set_applied_updates(applied);
+  sm.sessions().Restore(std::move(sessions));
   return OkStatus();
 }
 

@@ -1,0 +1,81 @@
+// Unit tests for the SessionTable: verdicts, cached-reply replay, deterministic bounded
+// eviction, and export/restore (the snapshot path).
+#include <gtest/gtest.h>
+
+#include "src/core/session_table.h"
+
+namespace kronos {
+namespace {
+
+std::vector<uint8_t> Reply(uint8_t tag) { return {tag, tag, tag}; }
+
+TEST(SessionTableTest, VerdictLifecycle) {
+  SessionTable table;
+  EXPECT_EQ(table.Probe(1, 1), SessionTable::Verdict::kFresh);  // unknown session
+  table.Commit(1, 1, 10, Reply(1));
+  EXPECT_EQ(table.Probe(1, 1), SessionTable::Verdict::kDuplicate);
+  EXPECT_EQ(table.Probe(1, 2), SessionTable::Verdict::kFresh);  // next seq
+  table.Commit(1, 2, 11, Reply(2));
+  EXPECT_EQ(table.Probe(1, 1), SessionTable::Verdict::kStale);  // superseded
+  EXPECT_EQ(table.Probe(1, 2), SessionTable::Verdict::kDuplicate);
+  EXPECT_EQ(table.Probe(2, 1), SessionTable::Verdict::kFresh);  // other sessions unaffected
+}
+
+TEST(SessionTableTest, CachedReplyOnlyForLatestSeq) {
+  SessionTable table;
+  table.Commit(5, 1, 1, Reply(0xaa));
+  ASSERT_NE(table.CachedReply(5, 1), nullptr);
+  EXPECT_EQ(*table.CachedReply(5, 1), Reply(0xaa));
+  table.Commit(5, 2, 2, Reply(0xbb));
+  EXPECT_EQ(table.CachedReply(5, 1), nullptr);  // old reply discarded with its seq
+  EXPECT_EQ(*table.CachedReply(5, 2), Reply(0xbb));
+  EXPECT_EQ(table.CachedReply(6, 1), nullptr);  // unknown session
+}
+
+TEST(SessionTableTest, EvictsOldestCommitFirst) {
+  SessionTable table(/*capacity=*/2);
+  table.Commit(1, 1, 100, Reply(1));
+  table.Commit(2, 1, 101, Reply(2));
+  // Refreshing session 1 re-keys its age: session 2 is now the oldest.
+  table.Commit(1, 2, 102, Reply(3));
+  table.Commit(3, 1, 103, Reply(4));  // evicts session 2
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.evictions(), 1u);
+  EXPECT_EQ(table.Find(2), nullptr);
+  ASSERT_NE(table.Find(1), nullptr);
+  ASSERT_NE(table.Find(3), nullptr);
+  // An evicted client degrades to at-least-once: its retry probes as fresh, never as stale.
+  EXPECT_EQ(table.Probe(2, 1), SessionTable::Verdict::kFresh);
+}
+
+TEST(SessionTableTest, ExportRestoreRoundTrip) {
+  SessionTable table;
+  table.Commit(3, 7, 30, Reply(3));
+  table.Commit(1, 9, 31, Reply(1));
+  table.Commit(2, 4, 32, Reply(2));
+
+  const std::vector<SessionTable::Entry> exported = table.Export();
+  ASSERT_EQ(exported.size(), 3u);
+  // Deterministic order (ascending client_id) so snapshots are byte-identical across replicas.
+  EXPECT_EQ(exported[0].client_id, 1u);
+  EXPECT_EQ(exported[1].client_id, 2u);
+  EXPECT_EQ(exported[2].client_id, 3u);
+
+  SessionTable restored;
+  restored.Commit(99, 1, 1, Reply(9));  // pre-existing content must be dropped
+  restored.Restore(exported);
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored.Find(99), nullptr);
+  EXPECT_EQ(restored.Probe(3, 7), SessionTable::Verdict::kDuplicate);
+  EXPECT_EQ(restored.Probe(1, 8), SessionTable::Verdict::kStale);
+  EXPECT_EQ(*restored.CachedReply(2, 4), Reply(2));
+  // Eviction order survives the round trip: the oldest applied_at goes first.
+  SessionTable small(/*capacity=*/3);
+  small.Restore(exported);
+  small.Commit(4, 1, 33, Reply(4));
+  EXPECT_EQ(small.Find(3), nullptr);  // applied_at 30 was the oldest
+  EXPECT_NE(small.Find(1), nullptr);
+}
+
+}  // namespace
+}  // namespace kronos

@@ -1,0 +1,149 @@
+// Crash/restart coverage for kronosd's durable path: WAL replay must rebuild not only the
+// event graph but the session dedup table, so exactly-once holds across a server restart —
+// the reply to a mutation committed just before the crash is replayed, not re-applied, when
+// the client retries it against the recovered daemon.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/client/tcp_client.h"
+#include "src/server/daemon.h"
+
+namespace kronos {
+namespace {
+
+std::string TempWal(const char* tag) {
+  const std::string path =
+      ::testing::TempDir() + "/kronosd_" + tag + "_" + std::to_string(::getpid());
+  std::remove(path.c_str());
+  return path;
+}
+
+Result<std::unique_ptr<TcpKronos>> ConnectWithSession(uint16_t port, uint64_t client_id) {
+  TcpKronosOptions opts;
+  opts.endpoints = {port};
+  opts.client_id = client_id;
+  return TcpKronos::Connect(std::move(opts));
+}
+
+uint64_t CounterValue(const MetricsSnapshot& snap, std::string_view name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+TEST(DaemonRestartTest, SessionDedupSurvivesWalReplay) {
+  const std::string wal = TempWal("sessions");
+  constexpr uint64_t kClientId = 42;
+  EventId first;
+  {
+    KronosDaemon daemon;
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    auto client = ConnectWithSession(daemon.port(), kClientId);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    Result<EventId> e = (*client)->CreateEvent();  // session (42, seq 1)
+    ASSERT_TRUE(e.ok());
+    first = *e;
+    daemon.Stop();  // "crash" after commit
+  }
+  {
+    KronosDaemon daemon;
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    ASSERT_EQ(daemon.commands_recovered(), 1u);
+    ASSERT_EQ(daemon.live_events(), 1u);
+
+    // A client that crashed after sending but before recording the reply re-sends its first
+    // mutation verbatim: same identity, seq counter restarted at 1. The recovered daemon must
+    // recognize it and replay the original reply instead of creating a second event.
+    auto retry = ConnectWithSession(daemon.port(), kClientId);
+    ASSERT_TRUE(retry.ok());
+    Result<EventId> replayed = (*retry)->CreateEvent();
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(*replayed, first) << "retry was re-applied instead of deduplicated";
+    EXPECT_EQ(daemon.live_events(), 1u);
+
+    // The next seq is genuinely fresh and applies normally.
+    Result<EventId> fresh = (*retry)->CreateEvent();
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_NE(*fresh, first);
+    EXPECT_EQ(daemon.live_events(), 2u);
+
+    Result<MetricsSnapshot> snap = (*retry)->Introspect();
+    ASSERT_TRUE(snap.ok());
+    EXPECT_EQ(CounterValue(*snap, "kronos_session_duplicates_total"), 1u);
+    daemon.Stop();
+  }
+  std::remove(wal.c_str());
+}
+
+TEST(DaemonRestartTest, StaleSequenceRejectedAfterRestart) {
+  const std::string wal = TempWal("stale");
+  constexpr uint64_t kClientId = 7;
+  {
+    KronosDaemon daemon;
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    auto client = ConnectWithSession(daemon.port(), kClientId);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->CreateEvent().ok());  // seq 1
+    ASSERT_TRUE((*client)->CreateEvent().ok());  // seq 2
+    daemon.Stop();
+  }
+  KronosDaemon daemon;
+  ASSERT_TRUE(daemon.Start(0, wal).ok());
+  // Same identity, seq restarting at 1 while the recovered table holds last_seq 2: that
+  // sequence was superseded, so nobody can be waiting on its reply — it must be refused, not
+  // silently re-applied.
+  auto zombie = ConnectWithSession(daemon.port(), kClientId);
+  ASSERT_TRUE(zombie.ok());
+  Result<EventId> stale = (*zombie)->CreateEvent();
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(daemon.live_events(), 2u);
+  daemon.Stop();
+  std::remove(wal.c_str());
+}
+
+TEST(DaemonRestartTest, SessionlessWalRecordsStillReplay) {
+  // Wire-compat: a WAL written by sessionless clients (the pre-session format, leading byte 1)
+  // must replay on a daemon that also writes sessioned records — mixed logs happen on any
+  // rolling upgrade.
+  const std::string wal = TempWal("mixed");
+  {
+    KronosDaemon daemon;
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    // KronosClient-style sessionless traffic: craft it by going through the raw wire with no
+    // session stamp — TcpKronos always stamps mutations, so use a v1 envelope by hand.
+    auto conn = TcpConnect(daemon.port());
+    ASSERT_TRUE(conn.ok());
+    Envelope req{MessageKind::kRequest, 1, SerializeCommand(Command::MakeCreateEvent())};
+    ASSERT_TRUE((*conn)->SendFrame(SerializeEnvelope(req)).ok());
+    ASSERT_TRUE((*conn)->RecvFrame().ok());
+    daemon.Stop();
+  }
+  {
+    KronosDaemon daemon;
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    EXPECT_EQ(daemon.commands_recovered(), 1u);
+    EXPECT_EQ(daemon.live_events(), 1u);
+    // And the recovered daemon keeps appending (now-sessioned) records to the same log.
+    auto client = ConnectWithSession(daemon.port(), 9);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->CreateEvent().ok());
+    daemon.Stop();
+  }
+  KronosDaemon daemon;
+  ASSERT_TRUE(daemon.Start(0, wal).ok());
+  EXPECT_EQ(daemon.commands_recovered(), 2u);
+  EXPECT_EQ(daemon.live_events(), 2u);
+  daemon.Stop();
+  std::remove(wal.c_str());
+}
+
+}  // namespace
+}  // namespace kronos

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <thread>
 
+#include "src/common/clock.h"
+
 namespace kronos {
 namespace {
 
@@ -156,6 +158,108 @@ TEST(RpcTest, LateResponseAfterTimeoutIsIgnored) {
   // A fresh call still works.
   server.Stop();  // stop handler first so second call can't be answered twice
   client.Stop();
+  net.Shutdown();
+}
+
+TEST(RpcTest, PendingCallDeregisteredAfterTimeout) {
+  // Regression: a timed-out call must leave no entry behind in the correlation table — a
+  // leaked entry would pin the stack-allocated PendingCall and grow the map forever under
+  // retry storms.
+  SimNetwork net;
+  RpcEndpoint server(net, "server");
+  RpcEndpoint client(net, "client");
+  server.Start([](NodeId, const Envelope&) { /* never replies */ });
+  client.Start(nullptr);
+  for (int i = 0; i < 5; ++i) {
+    Result<Envelope> reply = client.Call(server.id(), {1}, 10'000);
+    EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  }
+  EXPECT_EQ(client.pending_calls(), 0u);
+  client.Stop();
+  server.Stop();
+  net.Shutdown();
+}
+
+TEST(RpcTest, PendingCallDeregisteredAfterSendFailure) {
+  SimNetwork net;
+  RpcEndpoint client(net, "client");
+  client.Start(nullptr);
+  // Sending to an address that was never created fails synchronously; the pre-registered
+  // pending call must be rolled back on that path too.
+  Result<Envelope> reply = client.Call(/*to=*/999, {1}, 1'000'000);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(client.pending_calls(), 0u);
+  client.Stop();
+  net.Shutdown();
+}
+
+TEST(RpcTest, CallAfterStopFailsFastWithoutRegistering) {
+  SimNetwork net;
+  RpcEndpoint server(net, "server");
+  RpcEndpoint client(net, "client");
+  server.Start(nullptr);
+  client.Start(nullptr);
+  client.Stop();
+  // After Stop() nobody resolves pending calls; waiting out the timeout here would stall
+  // every caller during shutdown.
+  const uint64_t start = MonotonicMicros();
+  Result<Envelope> reply = client.Call(server.id(), {1}, 5'000'000);
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(MonotonicMicros() - start, 1'000'000u);
+  EXPECT_EQ(client.pending_calls(), 0u);
+  server.Stop();
+  net.Shutdown();
+}
+
+TEST(RpcTest, DuplicateResponseResolvesCallOnceAndCleansUp) {
+  // With the network duplicating every datagram, the first response copy resolves the call
+  // and erases its entry; the second copy must be dropped as stale, not crash or mis-deliver.
+  SimNetwork net(SimNetwork::Options{.duplicate_probability = 1.0});
+  RpcEndpoint server(net, "server");
+  RpcEndpoint client(net, "client");
+  server.Start([&](NodeId from, const Envelope& env) {
+    ASSERT_TRUE(server.Reply(from, env.id, env.payload).ok());
+  });
+  client.Start(nullptr);
+  for (uint8_t k = 0; k < 20; ++k) {
+    Result<Envelope> reply = client.Call(server.id(), {k}, 1'000'000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->payload, (std::vector<uint8_t>{k}));
+  }
+  EXPECT_EQ(client.pending_calls(), 0u);
+  client.Stop();
+  server.Stop();
+  net.Shutdown();
+}
+
+TEST(RpcTest, SessionStampTravelsOnCall) {
+  // Call() forwards the session identity into the envelope; sessionless calls stay on the v1
+  // wire encoding (has_session() false at the receiver).
+  SimNetwork net;
+  RpcEndpoint server(net, "server");
+  RpcEndpoint client(net, "client");
+  std::atomic<uint64_t> seen_client{0};
+  std::atomic<uint64_t> seen_seq{0};
+  std::atomic<int> sessionless{0};
+  server.Start([&](NodeId from, const Envelope& env) {
+    if (env.has_session()) {
+      seen_client.store(env.client_id);
+      seen_seq.store(env.client_seq);
+    } else {
+      sessionless.fetch_add(1);
+    }
+    ASSERT_TRUE(server.Reply(from, env.id, {}).ok());
+  });
+  client.Start(nullptr);
+  ASSERT_TRUE(client.Call(server.id(), {1}, 1'000'000, /*session_client=*/77,
+                          /*session_seq=*/3)
+                  .ok());
+  EXPECT_EQ(seen_client.load(), 77u);
+  EXPECT_EQ(seen_seq.load(), 3u);
+  ASSERT_TRUE(client.Call(server.id(), {2}, 1'000'000).ok());
+  EXPECT_EQ(sessionless.load(), 1);
+  client.Stop();
+  server.Stop();
   net.Shutdown();
 }
 

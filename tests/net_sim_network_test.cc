@@ -135,6 +135,66 @@ TEST(SimNetworkTest, RandomDropProbability) {
   EXPECT_EQ(net.stats().delivered.load(), 1000 - dropped);
 }
 
+TEST(SimNetworkTest, DuplicateProbabilityDeliversTwice) {
+  SimNetwork net(SimNetwork::Options{.duplicate_probability = 1.0});
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(net.Send(a, b, Bytes({static_cast<uint8_t>(i)})).ok());
+  }
+  // Both copies of every message arrive, in order on the zero-latency fast path.
+  for (int i = 0; i < 10; ++i) {
+    for (int copy = 0; copy < 2; ++copy) {
+      auto msg = net.ReceiveFor(b, 100000);
+      ASSERT_TRUE(msg.has_value()) << "message " << i << " copy " << copy;
+      EXPECT_EQ(msg->bytes[0], i);
+    }
+  }
+  EXPECT_FALSE(net.ReceiveFor(b, 10000).has_value());
+  EXPECT_EQ(net.stats().duplicated.load(), 10u);
+  EXPECT_EQ(net.stats().delivered.load(), 20u);
+}
+
+TEST(SimNetworkTest, DuplicateCopiesArriveUnderLatency) {
+  // With nonzero latency the two copies sample independent delays; both must still arrive.
+  SimNetwork net(SimNetwork::Options{
+      .min_latency_us = 1000, .max_latency_us = 10000, .duplicate_probability = 1.0});
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  ASSERT_TRUE(net.Send(a, b, Bytes({42})).ok());
+  for (int copy = 0; copy < 2; ++copy) {
+    auto msg = net.ReceiveFor(b, 1000000);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->bytes[0], 42);
+  }
+  EXPECT_EQ(net.stats().duplicated.load(), 1u);
+}
+
+TEST(SimNetworkTest, DuplicateProbabilityIsCalibrated) {
+  SimNetwork net(SimNetwork::Options{.duplicate_probability = 0.5, .seed = 11});
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(net.Send(a, b, Bytes({1})).ok());
+  }
+  const uint64_t duplicated = net.stats().duplicated.load();
+  EXPECT_GT(duplicated, 350u);
+  EXPECT_LT(duplicated, 650u);
+  EXPECT_EQ(net.stats().delivered.load(), 1000 + duplicated);
+}
+
+TEST(SimNetworkTest, DropAppliesBeforeDuplicate) {
+  // A dropped message must not be duplicated: the duplicate models re-delivery of something
+  // that made it onto the wire, not resurrection of lost traffic.
+  SimNetwork net(SimNetwork::Options{.drop_probability = 1.0, .duplicate_probability = 1.0});
+  const NodeId a = net.CreateNode("a");
+  const NodeId b = net.CreateNode("b");
+  ASSERT_TRUE(net.Send(a, b, Bytes({1})).ok());
+  EXPECT_FALSE(net.ReceiveFor(b, 10000).has_value());
+  EXPECT_EQ(net.stats().duplicated.load(), 0u);
+  EXPECT_EQ(net.stats().dropped_random.load(), 1u);
+}
+
 TEST(SimNetworkTest, ShutdownUnblocksReceivers) {
   SimNetwork net;
   const NodeId a = net.CreateNode("a");

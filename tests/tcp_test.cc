@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/client/tcp_client.h"
+#include "src/common/clock.h"
 #include "src/net/tcp.h"
 #include "src/server/daemon.h"
 
@@ -114,6 +115,185 @@ TEST(TcpTransportTest, ListenerCloseUnblocksAccept) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   listener.Close();
   acceptor.join();
+}
+
+TEST(TcpTransportTest, RecvFrameDeadlineOnSilentPeer) {
+  // A peer that accepts and then goes silent (crashed, partitioned, or just wedged) must not
+  // hang the caller: RecvFrame returns kTimeout within its deadline.
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  std::thread server([&] {
+    auto conn = listener.Accept();
+    ASSERT_TRUE(conn.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));  // hold open, send nothing
+  });
+  auto client = TcpConnect(listener.port());
+  ASSERT_TRUE(client.ok());
+  const uint64_t start = MonotonicMicros();
+  auto frame = (*client)->RecvFrame(/*timeout_us=*/100'000);
+  const uint64_t elapsed = MonotonicMicros() - start;
+  EXPECT_EQ(frame.status().code(), StatusCode::kTimeout);
+  EXPECT_GE(elapsed, 80'000u);
+  EXPECT_LT(elapsed, 450'000u);
+  server.join();
+}
+
+TEST(TcpTransportTest, SendFrameDeadlineWhenPeerStopsReading) {
+  // A peer that stops draining its socket eventually backpressures the sender; SendFrame must
+  // convert that stall into kTimeout instead of blocking in send() forever.
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  std::atomic<bool> done{false};
+  std::thread server([&] {
+    auto conn = listener.Accept();
+    ASSERT_TRUE(conn.ok());
+    while (!done.load()) {  // never read
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  auto client = TcpConnect(listener.port());
+  ASSERT_TRUE(client.ok());
+  const std::vector<uint8_t> chunk(1 << 20);
+  Status last = OkStatus();
+  // Socket buffers absorb the first few MB; well before 64 the deadline must fire.
+  for (int i = 0; i < 64 && last.ok(); ++i) {
+    last = (*client)->SendFrame(chunk, /*timeout_us=*/100'000);
+  }
+  EXPECT_EQ(last.code(), StatusCode::kTimeout);
+  done.store(true);
+  (*client)->Close();
+  server.join();
+}
+
+TEST(TcpTransportTest, ConnectToClosedPortFailsWithoutHanging) {
+  // Grab an ephemeral port and close it so nothing is listening there.
+  uint16_t dead_port;
+  {
+    TcpListener listener;
+    ASSERT_TRUE(listener.Listen(0).ok());
+    dead_port = listener.port();
+    listener.Close();
+  }
+  const uint64_t start = MonotonicMicros();
+  auto conn = TcpConnect(dead_port, /*timeout_us=*/500'000);
+  EXPECT_FALSE(conn.ok());
+  EXPECT_LT(MonotonicMicros() - start, 2'000'000u);
+}
+
+TEST(TcpKronosTest, CallTimesOutAgainstWedgedServerAndReportsIt) {
+  // A "server" that accepts connections and never replies: every call attempt must end in
+  // kTimeout within its per-attempt budget, and the client's own telemetry must show the
+  // retries — this is what `kronos_cli stats` surfaces when a deployment wedges.
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  std::atomic<bool> done{false};
+  std::thread server([&] {
+    std::vector<std::unique_ptr<TcpConnection>> conns;
+    while (!done.load()) {
+      auto conn = listener.Accept();
+      if (!conn.ok()) {
+        break;
+      }
+      conns.push_back(*std::move(conn));  // hold open, never serve
+    }
+  });
+  TcpKronosOptions opts;
+  opts.endpoints = {listener.port()};
+  opts.call_timeout_us = 80'000;
+  opts.max_attempts = 3;
+  opts.backoff_initial_us = 1'000;
+  opts.backoff_max_us = 5'000;
+  auto client = TcpKronos::Connect(std::move(opts));
+  ASSERT_TRUE(client.ok());
+  const uint64_t start = MonotonicMicros();
+  Result<EventId> e = (*client)->CreateEvent();
+  const uint64_t elapsed = MonotonicMicros() - start;
+  EXPECT_EQ(e.status().code(), StatusCode::kTimeout);
+  EXPECT_LT(elapsed, 2'000'000u);  // 3 attempts x 80ms + backoff, with slack
+
+  const MetricsSnapshot stats = (*client)->Telemetry();
+  auto counter = [&](std::string_view name) -> uint64_t {
+    for (const auto& [n, v] : stats.counters) {
+      if (n == name) {
+        return v;
+      }
+    }
+    return 0;
+  };
+  EXPECT_EQ(counter("kronos_client_calls_total"), 1u);
+  EXPECT_EQ(counter("kronos_client_retries_total"), 2u);
+  EXPECT_EQ(counter("kronos_client_timeouts_total"), 3u);
+  done.store(true);
+  listener.Close();
+  (*client)->Close();
+  server.join();
+}
+
+TEST(TcpKronosTest, FailsOverToSecondEndpoint) {
+  // Two daemons; the first dies mid-session. The next call must land on the second endpoint
+  // (after one deadline, not max_attempts of them) and the failover must be visible in the
+  // client counters.
+  KronosDaemon primary;
+  KronosDaemon backup;
+  ASSERT_TRUE(primary.Start(0).ok());
+  ASSERT_TRUE(backup.Start(0).ok());
+
+  TcpKronosOptions opts;
+  opts.endpoints = {primary.port(), backup.port()};
+  opts.call_timeout_us = 200'000;
+  opts.max_attempts = 5;
+  opts.backoff_initial_us = 1'000;
+  opts.backoff_max_us = 10'000;
+  auto client = TcpKronos::Connect(std::move(opts));
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->CreateEvent().ok());  // served by primary
+  EXPECT_EQ(primary.commands_served(), 1u);
+
+  primary.Stop();
+  Result<EventId> e = (*client)->CreateEvent();  // must fail over
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(backup.commands_served(), 1u);
+
+  const MetricsSnapshot stats = (*client)->Telemetry();
+  uint64_t failovers = 0;
+  uint64_t reconnects = 0;
+  for (const auto& [n, v] : stats.counters) {
+    if (n == "kronos_client_failovers_total") {
+      failovers = v;
+    } else if (n == "kronos_client_reconnects_total") {
+      reconnects = v;
+    }
+  }
+  EXPECT_GE(failovers, 1u);
+  EXPECT_GE(reconnects, 1u);
+  backup.Stop();
+}
+
+TEST(TcpKronosTest, RetriedMutationIsExactlyOnceAcrossReconnect) {
+  // Kill the connection under the client between send and reply so it must retry the same
+  // mutation on a fresh connection. The session layer has to absorb the re-delivery: one
+  // logical create, one event.
+  KronosDaemon daemon;
+  ASSERT_TRUE(daemon.Start(0).ok());
+  TcpKronosOptions opts;
+  opts.endpoints = {daemon.port()};
+  opts.client_id = 1234;
+  auto client = TcpKronos::Connect(std::move(opts));
+  ASSERT_TRUE(client.ok());
+  const EventId first = *(*client)->CreateEvent();
+
+  // Simulate the lost-reply race deterministically: a second client with the same identity
+  // re-sends seq 1 (what a crashed-and-restarted client process would do).
+  TcpKronosOptions retry_opts;
+  retry_opts.endpoints = {daemon.port()};
+  retry_opts.client_id = 1234;
+  auto retry = TcpKronos::Connect(std::move(retry_opts));
+  ASSERT_TRUE(retry.ok());
+  Result<EventId> replayed = (*retry)->CreateEvent();
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, first);
+  EXPECT_EQ(daemon.live_events(), 1u);
+  daemon.Stop();
 }
 
 TEST(KronosDaemonTest, EndToEndApi) {

@@ -1,15 +1,20 @@
 // kronos_cli: command-line client for a running kronosd.
 //
-//   kronos_cli <port> create
-//   kronos_cli <port> acquire <event>
-//   kronos_cli <port> release <event>
-//   kronos_cli <port> query <e1> <e2> [<e1> <e2> ...]
-//   kronos_cli <port> assign <e1> (must|prefer) <e2> [...]
-//   kronos_cli <port> stats [--watch] [--prom|--json]
+//   kronos_cli <ports> create
+//   kronos_cli <ports> acquire <event>
+//   kronos_cli <ports> release <event>
+//   kronos_cli <ports> query <e1> <e2> [<e1> <e2> ...]
+//   kronos_cli <ports> assign <e1> (must|prefer) <e2> [...]
+//   kronos_cli <ports> stats [--watch] [--prom|--json]
 //
-// `stats` fetches the server's live metrics snapshot (kIntrospect) and pretty-prints it;
-// --watch refreshes every second until interrupted, --prom / --json emit the raw Prometheus
-// exposition / JSON dump for scraping.
+// <ports> is one port or a comma-separated failover list ("4000,4001,4002"): the client dials
+// the first reachable daemon and rotates to the next on any timeout or transport error, with
+// the usual backoff — so a single dead server costs one deadline, not the command.
+//
+// `stats` fetches the server's live metrics snapshot (kIntrospect) and pretty-prints it,
+// followed by this client's own transport counters (kronos_client_*: retries, timeouts,
+// reconnects, failovers); --watch refreshes every second until interrupted, --prom / --json
+// emit the raw Prometheus exposition / JSON dump for scraping.
 //
 // Exit code 0 on success; the ORDER_VIOLATION abort exits 2 so scripts can branch on it.
 #include <chrono>
@@ -29,14 +34,37 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <port> create\n"
-               "       %s <port> acquire <event>\n"
-               "       %s <port> release <event>\n"
-               "       %s <port> query <e1> <e2> [...]\n"
-               "       %s <port> assign <e1> (must|prefer) <e2> [...]\n"
-               "       %s <port> stats [--watch] [--prom|--json]\n",
+               "usage: %s <ports> create\n"
+               "       %s <ports> acquire <event>\n"
+               "       %s <ports> release <event>\n"
+               "       %s <ports> query <e1> <e2> [...]\n"
+               "       %s <ports> assign <e1> (must|prefer) <e2> [...]\n"
+               "       %s <ports> stats [--watch] [--prom|--json]\n"
+               "<ports> is a port or a comma-separated failover list, e.g. 4000,4001\n",
                argv0, argv0, argv0, argv0, argv0, argv0);
   return 64;
+}
+
+// "4000" or "4000,4001,4002" → failover endpoint list; empty on malformed input.
+std::vector<uint16_t> ParsePorts(const char* arg) {
+  std::vector<uint16_t> ports;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p || v == 0 || v > 65535) {
+      return {};
+    }
+    ports.push_back(static_cast<uint16_t>(v));
+    if (*end == ',') {
+      p = end + 1;
+    } else if (*end == '\0') {
+      break;
+    } else {
+      return {};
+    }
+  }
+  return ports;
 }
 
 EventId ParseEvent(const char* s) { return std::strtoull(s, nullptr, 10); }
@@ -99,15 +127,22 @@ int Stats(TcpKronos& client, int argc, char** argv) {
     if (watch) {
       std::printf("\033[H\033[2J");  // clear screen, top-of-screen cursor
     }
+    const MetricsSnapshot local = client.Telemetry();
     switch (format) {
       case Format::kPretty:
         PrintPretty(*snap);
+        std::printf("%-40s %14s\n", "-- client transport --", "");
+        for (const auto& [name, value] : local.counters) {
+          std::printf("%-40s %14llu\n", name.c_str(), (unsigned long long)value);
+        }
         break;
       case Format::kProm:
         std::fputs(snap->RenderPrometheus().c_str(), stdout);
+        std::fputs(local.RenderPrometheus().c_str(), stdout);
         break;
       case Format::kJson:
         std::fputs(snap->RenderJson().c_str(), stdout);
+        std::fputs(local.RenderJson().c_str(), stdout);
         break;
     }
     std::fflush(stdout);
@@ -124,10 +159,14 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     return Usage(argv[0]);
   }
-  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  TcpKronosOptions copts;
+  copts.endpoints = ParsePorts(argv[1]);
+  if (copts.endpoints.empty()) {
+    return Usage(argv[0]);
+  }
   const std::string verb = argv[2];
 
-  Result<std::unique_ptr<TcpKronos>> client = TcpKronos::Connect(port);
+  Result<std::unique_ptr<TcpKronos>> client = TcpKronos::Connect(copts);
   if (!client.ok()) {
     std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
     return 1;

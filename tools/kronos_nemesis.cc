@@ -1,0 +1,108 @@
+// kronos_nemesis: the fault-injection soak driver (DESIGN.md §5.7).
+//
+//   kronos_nemesis [--seeds N|A,B,C] [--replicas N] [--clients N] [--ops N]
+//                  [--fault-interval-us N] [--drop P] [--duplicate P]
+//
+// Runs the Nemesis harness (src/server/nemesis.h) once per seed and prints each report. Any
+// invariant violation — a contradicted or retracted order, a diverged replica, a broken
+// exactly-once count — is printed and the process exits 1, so the tool drops straight into CI
+// or an overnight soak loop:
+//
+//   while ./kronos_nemesis --seeds $RANDOM; do :; done
+//
+// With no --seeds the tier-1 sweep (1..8) runs, matching tests/chain_nemesis_test.cc.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/server/nemesis.h"
+
+using namespace kronos;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N|A,B,C] [--replicas N] [--clients N] [--ops N]\n"
+               "          [--fault-interval-us N] [--drop P] [--duplicate P]\n",
+               argv0);
+  return 64;
+}
+
+// "--seeds 5" → 1..5; "--seeds 3,7,42" → exactly those.
+std::vector<uint64_t> ParseSeeds(const char* arg) {
+  std::vector<uint64_t> seeds;
+  if (std::strchr(arg, ',') == nullptr) {
+    const uint64_t n = std::strtoull(arg, nullptr, 10);
+    for (uint64_t s = 1; s <= n; ++s) {
+      seeds.push_back(s);
+    }
+    return seeds;
+  }
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    seeds.push_back(std::strtoull(p, &end, 10));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<uint64_t> seeds;
+  NemesisOptions base;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(Usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      seeds = ParseSeeds(next());
+    } else if (std::strcmp(argv[i], "--replicas") == 0) {
+      base.replicas = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      base.clients = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      base.ops_per_client = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--fault-interval-us") == 0) {
+      base.fault_interval_us = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--drop") == 0) {
+      base.drop_probability = std::atof(next());
+    } else if (std::strcmp(argv[i], "--duplicate") == 0) {
+      base.duplicate_probability = std::atof(next());
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (seeds.empty()) {
+    seeds = {1, 2, 3, 4, 5, 6, 7, 8};  // tier-1 sweep
+  }
+
+  int failures = 0;
+  for (const uint64_t seed : seeds) {
+    NemesisOptions opts = base;
+    opts.seed = seed;
+    Nemesis nemesis(opts);
+    const NemesisReport report = nemesis.Run();
+    std::printf("seed %llu: %s\n%s\n", (unsigned long long)seed,
+                report.ok() ? "OK" : "VIOLATION", report.Summary().c_str());
+    for (const std::string& v : report.violations) {
+      std::printf("  violation: %s\n", v.c_str());
+    }
+    std::fflush(stdout);
+    if (!report.ok()) {
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d of %zu seeds violated invariants\n", failures, seeds.size());
+    return 1;
+  }
+  return 0;
+}

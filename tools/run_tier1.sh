@@ -23,6 +23,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "=== tier-1: nemesis seed sweep ==="
+# The eight pinned fault-schedule seeds (keep in sync with tests/chain_nemesis_test.cc):
+# crash/restart/partition schedules under client load, with monotonicity, replica-coherence,
+# and exactly-once checks. Any violation exits nonzero.
+NEMESIS_SEEDS="1,2,3,4,5,6,7,8"
+./build/tools/kronos_nemesis --seeds "$NEMESIS_SEEDS" --ops 40
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== tier-1: TSan pass skipped ==="
   exit 0
@@ -30,9 +37,14 @@ fi
 
 echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKRONOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test telemetry_test
+cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test telemetry_test \
+  chain_nemesis_test
 # TSan aborts the process on the first race (halt_on_error) so CI cannot miss one.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_concurrent_query_test
 # Telemetry: N threads record into one named histogram while another thread snapshots.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/telemetry_test
+# Nemesis under TSan: one seed is enough to race-check the kill/restart/resync machinery;
+# the full sweep already ran above un-instrumented.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/chain_nemesis_test \
+  --gtest_filter='Tier1Seeds/NemesisSeedTest.InvariantsHoldUnderFaults/0:ChainNemesisTest.*'
 echo "=== tier-1: OK ==="
