@@ -1,0 +1,208 @@
+// Batched write-path microbenchmark: pipelined mutation throughput vs. batch window.
+//
+// The mutation path pays three per-command costs that batching amortizes (DESIGN.md §5.8):
+// the client/server round trip, the exclusive-lock acquisition, and — when the daemon is
+// persistent — the WAL fsync. This bench drives one connection of pipelined create_event
+// bursts (TcpKronos::ExecutePipelined) against one KronosDaemon and sweeps the window size:
+// window=1 is the unbatched baseline (one command per round trip, lock, and commit), larger
+// windows let the daemon drain the burst in one wakeup, apply it under one lock acquisition,
+// and cover it with one group-commit fsync.
+//
+// Runs the sweep twice — durable (group-commit WAL on a temp file) and ephemeral — so the
+// fsync amortization is separable from the RTT/lock amortization. A third series holds the
+// window at 1 and raises concurrent connections instead, showing the commit thread coalescing
+// independent writers' records into shared fsyncs (group commit proper).
+//
+// KRONOS_BENCH_JSON=<path> dumps the numbers (BENCH_write_path.json tracks the trajectory).
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/client/tcp_client.h"
+#include "src/server/daemon.h"
+
+namespace kronos {
+namespace {
+
+struct RunResult {
+  int param = 0;  // window size or thread count, per series
+  uint64_t ops = 0;
+  double seconds = 0;
+  double ops_per_sec() const { return seconds > 0 ? static_cast<double>(ops) / seconds : 0; }
+};
+
+std::string TempWalPath(const char* tag) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/kronos_write_path_" + tag + "_" +
+         std::to_string(static_cast<unsigned long>(::getpid())) + ".wal";
+}
+
+// One connection, bursts of `window` create_event commands, replies read per burst.
+RunResult DrivePipelined(uint16_t port, int window, uint64_t duration_us) {
+  auto client = TcpKronos::Connect(port);
+  KRONOS_CHECK(client.ok());
+  std::vector<Command> burst(static_cast<size_t>(window), Command::MakeCreateEvent());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(duration_us);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t ops = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Result<std::vector<CommandResult>> r = (*client)->ExecutePipelined(burst);
+    KRONOS_CHECK(r.ok());
+    for (const CommandResult& res : *r) {
+      KRONOS_CHECK(res.ok());
+    }
+    ops += static_cast<uint64_t>(window);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return RunResult{window, ops, seconds};
+}
+
+// `threads` connections, one create_event per call (window 1): cross-connection group commit.
+RunResult DriveConcurrent(uint16_t port, int threads, uint64_t duration_us) {
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      auto client = TcpKronos::Connect(port);
+      KRONOS_CHECK(client.ok());
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(duration_us);
+      uint64_t ops = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        KRONOS_CHECK((*client)->CreateEvent().ok());
+        ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return RunResult{threads, total_ops.load(), seconds};
+}
+
+std::vector<RunResult> WindowSweep(bool durable, const std::vector<int>& windows,
+                                   uint64_t duration_us) {
+  const std::string wal = durable ? TempWalPath("win") : "";
+  if (!wal.empty()) {
+    std::remove(wal.c_str());
+  }
+  KronosDaemon daemon;
+  KRONOS_CHECK(daemon.Start(0, wal).ok());
+  std::vector<RunResult> results;
+  std::printf("\n-- pipelined window sweep, %s --\n", durable ? "durable (WAL)" : "ephemeral");
+  std::printf("%-8s %14s %10s\n", "window", "mutations/s", "speedup");
+  for (const int w : windows) {
+    const RunResult r = DrivePipelined(daemon.port(), w, duration_us);
+    results.push_back(r);
+    std::printf("%-8d %14.0f %9.2fx\n", w, r.ops_per_sec(),
+                r.ops_per_sec() / results.front().ops_per_sec());
+  }
+  if (durable) {
+    const GroupCommitWal::Stats ws = daemon.wal_stats();
+    std::printf("wal: %llu records in %llu group syncs (%.2f records/sync, max batch %llu)\n",
+                (unsigned long long)ws.records, (unsigned long long)ws.batches,
+                ws.batches > 0 ? static_cast<double>(ws.records) / ws.batches : 0.0,
+                (unsigned long long)ws.max_batch);
+  }
+  daemon.Stop();
+  if (!wal.empty()) {
+    std::remove(wal.c_str());
+  }
+  return results;
+}
+
+std::vector<RunResult> ConcurrentSweep(const std::vector<int>& thread_counts,
+                                       uint64_t duration_us) {
+  const std::string wal = TempWalPath("conc");
+  std::remove(wal.c_str());
+  KronosDaemon daemon;
+  KRONOS_CHECK(daemon.Start(0, wal).ok());
+  std::vector<RunResult> results;
+  std::printf("\n-- concurrent writers, window 1, durable (cross-connection group commit) --\n");
+  std::printf("%-8s %14s %10s\n", "threads", "mutations/s", "speedup");
+  for (const int t : thread_counts) {
+    const RunResult r = DriveConcurrent(daemon.port(), t, duration_us);
+    results.push_back(r);
+    std::printf("%-8d %14.0f %9.2fx\n", t, r.ops_per_sec(),
+                r.ops_per_sec() / results.front().ops_per_sec());
+  }
+  const GroupCommitWal::Stats ws = daemon.wal_stats();
+  std::printf("wal: %llu records in %llu group syncs (%.2f records/sync, max batch %llu)\n",
+              (unsigned long long)ws.records, (unsigned long long)ws.batches,
+              ws.batches > 0 ? static_cast<double>(ws.records) / ws.batches : 0.0,
+              (unsigned long long)ws.max_batch);
+  daemon.Stop();
+  std::remove(wal.c_str());
+  return results;
+}
+
+void JsonSeries(FILE* f, const char* name, const std::vector<RunResult>& series, bool last) {
+  std::fprintf(f, "    \"%s\": {", name);
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::fprintf(f, "\"%d\": %.0f%s", series[i].param, series[i].ops_per_sec(),
+                 i + 1 < series.size() ? ", " : "");
+  }
+  std::fprintf(f, "}%s\n", last ? "" : ",");
+}
+
+}  // namespace
+}  // namespace kronos
+
+int main() {
+  using namespace kronos;
+  bench::Header("micro_write_path",
+                "pipelined mutation throughput vs batch window: group-commit WAL + batched apply");
+  const uint64_t duration_us = bench::ScaledU64(800'000);
+  const std::vector<int> windows{1, 4, 16, 64};
+  const std::vector<int> thread_counts{1, 4, 8};
+  std::printf("command=create_event duration=%llums/point\n",
+              (unsigned long long)(duration_us / 1000));
+
+  const std::vector<RunResult> durable = WindowSweep(true, windows, duration_us);
+  const std::vector<RunResult> ephemeral = WindowSweep(false, windows, duration_us);
+  const std::vector<RunResult> concurrent = ConcurrentSweep(thread_counts, duration_us);
+
+  double at16 = 0;
+  for (const RunResult& r : durable) {
+    if (r.param == 16) {
+      at16 = r.ops_per_sec() / durable.front().ops_per_sec();
+    }
+  }
+  std::printf("\nheadline: durable pipelined speedup at window 16 = %.2fx over unbatched"
+              " (target >= 2x)\n", at16);
+
+  if (const char* path = std::getenv("KRONOS_BENCH_JSON")) {
+    FILE* f = std::fopen(path, "w");
+    KRONOS_CHECK(f != nullptr) << "cannot open " << path;
+    std::fprintf(f, "{\n  \"bench\": \"micro_write_path\",\n");
+    std::fprintf(f, "  \"config\": {\"command\": \"create_event\", \"duration_us\": %llu},\n",
+                 (unsigned long long)duration_us);
+    std::fprintf(f, "  \"mutations_per_sec\": {\n");
+    JsonSeries(f, "durable_by_window", durable, false);
+    JsonSeries(f, "ephemeral_by_window", ephemeral, false);
+    JsonSeries(f, "durable_window1_by_threads", concurrent, true);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+  return 0;
+}

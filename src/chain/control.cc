@@ -54,8 +54,7 @@ Result<ControlMessage> ParseControl(std::span<const uint8_t> bytes) {
   return msg;
 }
 
-std::vector<uint8_t> SerializeLogEntry(const LogEntry& entry) {
-  BufferWriter w;
+void EncodeLogEntry(const LogEntry& entry, BufferWriter& w) {
   w.WriteVarint(entry.seq);
   w.WriteU32(entry.client);
   w.WriteVarint(entry.client_request_id);
@@ -63,12 +62,9 @@ std::vector<uint8_t> SerializeLogEntry(const LogEntry& entry) {
   w.WriteVarint(entry.session_seq);
   w.WriteVarint(entry.command.size());
   w.WriteBytes(entry.command);
-  return w.TakeBuffer();
 }
 
-Result<LogEntry> ParseLogEntry(std::span<const uint8_t> bytes) {
-  BufferReader r(bytes);
-  LogEntry entry;
+Status DecodeLogEntry(BufferReader& r, LogEntry& entry) {
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.seq));
   KRONOS_RETURN_IF_ERROR(r.ReadU32(entry.client));
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.client_request_id));
@@ -76,12 +72,58 @@ Result<LogEntry> ParseLogEntry(std::span<const uint8_t> bytes) {
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(entry.session_seq));
   uint64_t len = 0;
   KRONOS_RETURN_IF_ERROR(r.ReadVarint(len));
-  if (len != r.remaining()) {
-    return Status(InvalidArgument("log entry command length mismatch"));
+  if (len > r.remaining()) {
+    return Status(InvalidArgument("log entry command length exceeds payload"));
   }
   entry.command.resize(len);
   KRONOS_RETURN_IF_ERROR(r.ReadBytes(entry.command));
+  return OkStatus();
+}
+
+std::vector<uint8_t> SerializeLogEntry(const LogEntry& entry) {
+  BufferWriter w;
+  EncodeLogEntry(entry, w);
+  return w.TakeBuffer();
+}
+
+Result<LogEntry> ParseLogEntry(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  LogEntry entry;
+  KRONOS_RETURN_IF_ERROR(DecodeLogEntry(r, entry));
+  if (!r.AtEnd()) {
+    return Status(InvalidArgument("trailing bytes after log entry"));
+  }
   return entry;
+}
+
+std::vector<uint8_t> SerializeLogEntryBatch(std::span<const LogEntry> entries) {
+  BufferWriter w;
+  w.WriteVarint(entries.size());
+  for (const LogEntry& entry : entries) {
+    EncodeLogEntry(entry, w);
+  }
+  return w.TakeBuffer();
+}
+
+Result<std::vector<LogEntry>> ParseLogEntryBatch(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  uint64_t n = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+  // Every encoded entry occupies at least one byte, so this bounds allocation before parsing.
+  if (n > r.remaining()) {
+    return Status(InvalidArgument("log entry batch count exceeds payload"));
+  }
+  std::vector<LogEntry> entries;
+  entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    LogEntry entry;
+    KRONOS_RETURN_IF_ERROR(DecodeLogEntry(r, entry));
+    entries.push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    return Status(InvalidArgument("trailing bytes after log entry batch"));
+  }
+  return entries;
 }
 
 }  // namespace kronos

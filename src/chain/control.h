@@ -96,6 +96,18 @@ struct LogEntry {
 std::vector<uint8_t> SerializeLogEntry(const LogEntry& entry);
 Result<LogEntry> ParseLogEntry(std::span<const uint8_t> bytes);
 
+// Streaming forms used by the batch codec below (and by anything embedding entries in a
+// larger frame). DecodeLogEntry validates the command length against the remaining buffer but
+// does not require the entry to exhaust it.
+void EncodeLogEntry(const LogEntry& entry, BufferWriter& w);
+Status DecodeLogEntry(BufferReader& r, LogEntry& entry);
+
+// Coalesced propagation (DESIGN.md §5.8): a vector of in-order log entries carried in one
+// kChainPropagateBatch envelope. The entries keep their individual seq/client/session fields —
+// batching changes how many fit in one network message, never what each replica applies.
+std::vector<uint8_t> SerializeLogEntryBatch(std::span<const LogEntry> entries);
+Result<std::vector<LogEntry>> ParseLogEntryBatch(std::span<const uint8_t> bytes);
+
 }  // namespace kronos
 
 #endif  // KRONOS_CHAIN_CONTROL_H_

@@ -1,6 +1,7 @@
 #include "src/chain/replica.h"
 
 #include <algorithm>
+#include <span>
 #include <string>
 
 #include "src/common/clock.h"
@@ -16,7 +17,9 @@ ChainReplica::ChainReplica(SimNetwork& net, NodeId coordinator, std::string name
       endpoint_(net, std::move(name)),
       sm_(std::make_unique<KronosStateMachine>()),
       query_us_(metrics_.GetHistogram("kronos_cmd_query_order_us")),
-      apply_us_(metrics_.GetHistogram("kronos_replica_apply_us")) {
+      apply_us_(metrics_.GetHistogram("kronos_replica_apply_us")),
+      forward_batch_entries_(metrics_.GetHistogram("kronos_chain_forward_batch_entries")),
+      rx_batch_entries_(metrics_.GetHistogram("kronos_chain_rx_batch_entries")) {
   for (size_t t = 0; t < kNumCommandTypes; ++t) {
     const std::string cmd_name(CommandTypeName(static_cast<CommandType>(t)));
     cmd_count_[t] = &metrics_.GetCounter("kronos_cmd_" + cmd_name + "_total");
@@ -48,6 +51,9 @@ void ChainReplica::HandleMessage(NodeId from, const Envelope& env) {
     case MessageKind::kChainPropagate:
       HandlePropagate(env);
       break;
+    case MessageKind::kChainPropagateBatch:
+      HandlePropagateBatch(env);
+      break;
     case MessageKind::kChainAck:
       HandleAck(env.id);
       break;
@@ -56,6 +62,60 @@ void ChainReplica::HandleMessage(NodeId from, const Envelope& env) {
       break;
     default:
       KLOG(Warning) << "replica " << id() << ": unexpected message kind";
+  }
+  MaybeFlushChain();
+}
+
+void ChainReplica::MaybeFlushChain() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (forward_buffer_.empty() && !ack_dirty_) {
+    return;
+  }
+  // Hold output only while more input is already queued behind the message just handled: those
+  // envelopes will be dispatched immediately and their entries coalesce in. The moment the
+  // backlog drains (the common idle case), everything pending ships — batching under load,
+  // zero added latency for a lone update. The heartbeat loop is the time-bounded backstop for
+  // the corner where the backlog is entirely non-handler traffic.
+  if (endpoint_.RxBacklog() == 0 ||
+      forward_buffer_.size() >= std::max<size_t>(1, options_.max_forward_batch)) {
+    FlushChainLocked();
+  }
+}
+
+void ChainReplica::FlushChainLocked() {
+  if (!forward_buffer_.empty()) {
+    if (IsTailLocked()) {
+      // Became tail with entries still buffered for a successor that no longer exists. They
+      // are already applied and logged; AdoptConfigLocked's re-reply pass answers their
+      // clients, so the buffered push copies are obsolete.
+      forward_buffer_.clear();
+    } else {
+      const NodeId succ = SuccessorLocked();
+      if (succ != kInvalidNode) {
+        ++stats_.batches_forwarded;
+        stats_.entries_forwarded += forward_buffer_.size();
+        stats_.max_forward_batch =
+            std::max<uint64_t>(stats_.max_forward_batch, forward_buffer_.size());
+        forward_batch_entries_.Record(forward_buffer_.size());
+        if (forward_buffer_.size() == 1) {
+          (void)endpoint_.SendOneWay(succ, MessageKind::kChainPropagate,
+                                     forward_buffer_.front().seq,
+                                     SerializeLogEntry(forward_buffer_.front()));
+        } else {
+          (void)endpoint_.SendOneWay(succ, MessageKind::kChainPropagateBatch,
+                                     forward_buffer_.back().seq,
+                                     SerializeLogEntryBatch(forward_buffer_));
+        }
+      }
+      forward_buffer_.clear();
+    }
+  }
+  if (ack_dirty_) {
+    ack_dirty_ = false;
+    const NodeId pred = PredecessorLocked();
+    if (pred != kInvalidNode) {
+      (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
+    }
   }
 }
 
@@ -153,20 +213,38 @@ void ChainReplica::ApplyEntryLocked(LogEntry entry) {
   MaybeTruncateLogLocked();
 
   if (IsTailLocked()) {
-    // Commit point: the tail answers the client and acknowledges upstream (cumulative).
+    // Commit point: the tail answers the client per entry (each reply targets a different
+    // requester) and marks the cumulative upstream ack dirty; one ack per flush covers every
+    // entry applied since the last one.
     (void)endpoint_.Reply(entry.client, entry.client_request_id, results_.back());
     acked_ = last_applied_;
-    const NodeId pred = PredecessorLocked();
-    if (pred != kInvalidNode) {
-      (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
-    }
+    ack_dirty_ = true;
   } else {
-    const NodeId succ = SuccessorLocked();
-    if (succ != kInvalidNode) {
-      (void)endpoint_.SendOneWay(succ, MessageKind::kChainPropagate, entry.seq,
-                                 SerializeLogEntry(entry));
+    // Downstream propagation is deferred into the forward buffer so consecutive applies —
+    // a pipelined burst at the head, a received batch, a staging drain — leave as one
+    // coalesced message (DESIGN.md §5.8).
+    forward_buffer_.push_back(std::move(entry));
+    if (forward_buffer_.size() >= std::max<size_t>(1, options_.max_forward_batch)) {
+      FlushChainLocked();
     }
   }
+}
+
+void ChainReplica::IngestEntryLocked(LogEntry entry) {
+  if (entry.seq <= last_applied_) {
+    // Duplicate from a resync; re-ack (at flush) so the sender can advance its watermark.
+    ++stats_.duplicates;
+    if (IsTailLocked()) {
+      ack_dirty_ = true;
+    }
+    return;
+  }
+  if (entry.seq > last_applied_ + 1) {
+    ++stats_.staged;
+    staging_.emplace(entry.seq, std::move(entry));
+    return;
+  }
+  ApplyEntryLocked(std::move(entry));
 }
 
 void ChainReplica::HandlePropagate(const Envelope& env) {
@@ -176,23 +254,25 @@ void ChainReplica::HandlePropagate(const Envelope& env) {
     return;
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (entry->seq <= last_applied_) {
-    // Duplicate from a resync; re-ack so the sender can advance its watermark.
-    ++stats_.duplicates;
-    if (IsTailLocked()) {
-      const NodeId pred = PredecessorLocked();
-      if (pred != kInvalidNode) {
-        (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
-      }
-    }
+  IngestEntryLocked(*std::move(entry));
+  DrainStagingLocked();
+}
+
+void ChainReplica::HandlePropagateBatch(const Envelope& env) {
+  Result<std::vector<LogEntry>> batch = ParseLogEntryBatch(env.payload);
+  if (!batch.ok()) {
+    KLOG(Warning) << "replica " << id() << ": malformed log entry batch";
     return;
   }
-  if (entry->seq > last_applied_ + 1) {
-    ++stats_.staged;
-    staging_.emplace(entry->seq, *std::move(entry));
-    return;
+  // One exclusive-lock acquisition covers the whole batch: seq-gating, state-machine applies,
+  // session commits, and the re-forward buffering all happen inside it, so readers see either
+  // none or all of the batch's lock hold (not a lock/unlock per entry).
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  ++stats_.batches_received;
+  rx_batch_entries_.Record(batch->size());
+  for (LogEntry& entry : *batch) {
+    IngestEntryLocked(std::move(entry));
   }
-  ApplyEntryLocked(*std::move(entry));
   DrainStagingLocked();
 }
 
@@ -271,9 +351,19 @@ void ChainReplica::HandleControl(const Envelope& env) {
             SerializeControl(ControlMessage::Snapshot(covered, std::move(snapshot))));
         break;
       }
-      for (const LogEntry& entry : slice) {
-        (void)endpoint_.SendOneWay(requester, MessageKind::kChainPropagate, entry.seq,
-                                   SerializeLogEntry(entry));
+      // Stream the slice in coalesced chunks: same staging/apply path on the requester as
+      // live propagation, max_forward_batch entries per network message.
+      const size_t chunk = std::max<size_t>(1, options_.max_forward_batch);
+      for (size_t i = 0; i < slice.size(); i += chunk) {
+        const size_t n = std::min(chunk, slice.size() - i);
+        const std::span<const LogEntry> part(slice.data() + i, n);
+        if (n == 1) {
+          (void)endpoint_.SendOneWay(requester, MessageKind::kChainPropagate, part.front().seq,
+                                     SerializeLogEntry(part.front()));
+        } else {
+          (void)endpoint_.SendOneWay(requester, MessageKind::kChainPropagateBatch,
+                                     part.back().seq, SerializeLogEntryBatch(part));
+        }
       }
       break;
     }
@@ -305,6 +395,9 @@ void ChainReplica::InstallSnapshotLocked(uint64_t covered_through,
   results_.clear();
   log_start_seq_ = covered_through + 1;
   staging_.erase(staging_.begin(), staging_.upper_bound(covered_through));
+  // Buffered forwards all predate the snapshot (their seqs are <= covered_through); a
+  // successor that needs that range resyncs and gets the snapshot.
+  forward_buffer_.clear();
   ++stats_.snapshots_installed;
   KLOG(Info) << "replica " << id() << ": installed snapshot through seq " << covered_through;
   DrainStagingLocked();
@@ -328,6 +421,10 @@ void ChainReplica::MaybeTruncateLogLocked() {
 }
 
 void ChainReplica::AdoptConfigLocked(const ChainConfig& cfg) {
+  // Ship anything still buffered under the OLD layout first: the old successor either takes
+  // the entries or is gone (its replacement closes the gap via resync either way), and the
+  // buffer must not leak entries across a role change.
+  FlushChainLocked();
   config_ = cfg;
   KLOG(Info) << "replica " << id() << ": adopted epoch " << cfg.epoch << " ("
              << cfg.chain.size() << " replicas)"
@@ -380,6 +477,15 @@ NodeId ChainReplica::SuccessorLocked() const {
 void ChainReplica::HeartbeatLoop() {
   uint64_t beats = 0;
   while (!stopped_.load(std::memory_order_relaxed)) {
+    {
+      // Time-bounded flush backstop: if the last handled message left output buffered (it
+      // held back because the rx backlog was nonzero) and no further handler-dispatched
+      // message arrived, ship it now rather than stalling the chain a full retry cycle.
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      if (!forward_buffer_.empty() || ack_dirty_) {
+        FlushChainLocked();
+      }
+    }
     (void)endpoint_.SendOneWay(coordinator_, MessageKind::kControl, 0,
                                SerializeControl(ControlMessage::Heartbeat(id())));
     ++beats;
@@ -459,6 +565,12 @@ MetricsSnapshot ChainReplica::TelemetrySnapshot() const {
         .Set(static_cast<int64_t>(last_applied_ - std::min(acked_, last_applied_)));
     metrics_.GetGauge("kronos_replica_staged").Set(static_cast<int64_t>(stats_.staged));
     metrics_.GetGauge("kronos_replica_duplicates").Set(static_cast<int64_t>(stats_.duplicates));
+    metrics_.GetGauge("kronos_chain_batches_forwarded")
+        .Set(static_cast<int64_t>(stats_.batches_forwarded));
+    metrics_.GetGauge("kronos_chain_entries_forwarded")
+        .Set(static_cast<int64_t>(stats_.entries_forwarded));
+    metrics_.GetGauge("kronos_chain_max_forward_batch")
+        .Set(static_cast<int64_t>(stats_.max_forward_batch));
     metrics_.GetGauge("kronos_sessions_active")
         .Set(static_cast<int64_t>(sm_->sessions().size()));
     metrics_.GetGauge("kronos_session_duplicates")

@@ -57,6 +57,11 @@ struct ChainReplicaOptions {
   // Fig. 8 scaling experiment model N independent servers on a single-core host (sleeping
   // threads overlap; spinning ones would not).
   uint64_t simulated_query_service_us = 0;
+  // Upper bound on log entries coalesced into one kChainPropagateBatch message (DESIGN.md
+  // §5.8). Applied entries buffer while the receive queue has a backlog and flush the moment
+  // it drains (or the cap is hit), so batches form under load with zero idle latency.
+  // Resyncs stream their log slices in chunks of this size. 1 disables coalescing.
+  size_t max_forward_batch = 64;
 };
 
 class ChainReplica {
@@ -75,6 +80,10 @@ class ChainReplica {
     uint64_t session_duplicates = 0;  // retried mutations answered from the dedup table
     uint64_t session_stale = 0;       // mutations rejected as older than the session's latest
     uint64_t session_inflight = 0;    // retries of an entry applied but not yet committed
+    uint64_t batches_forwarded = 0;   // propagate messages sent downstream (singles count too)
+    uint64_t entries_forwarded = 0;   // log entries those messages carried
+    uint64_t batches_received = 0;    // kChainPropagateBatch messages ingested
+    uint64_t max_forward_batch = 0;   // largest coalesced batch sent (entries)
   };
 
   ChainReplica(SimNetwork& net, NodeId coordinator, std::string name, Options options = {});
@@ -108,13 +117,22 @@ class ChainReplica {
   void HandleMessage(NodeId from, const Envelope& env);
   void HandleClientRequest(NodeId from, const Envelope& env);
   void HandlePropagate(const Envelope& env);
+  void HandlePropagateBatch(const Envelope& env);
   void HandleAck(uint64_t seq);
   void HandleControl(const Envelope& env);
   void HeartbeatLoop();
+  // Ships buffered downstream output unless the receive queue still has a backlog (in which
+  // case the next handler invocation's entries coalesce in). Runs after every handled message.
+  void MaybeFlushChain();
 
   // All Locked methods require mutex_.
   void AdoptConfigLocked(const ChainConfig& cfg);
+  // Seq-gates one entry (duplicate -> re-ack, future -> stage, next -> apply).
+  void IngestEntryLocked(LogEntry entry);
   void ApplyEntryLocked(LogEntry entry);
+  // Sends the forward buffer downstream as one kChainPropagateBatch (or a single propagate)
+  // and the pending cumulative ack upstream, then clears both.
+  void FlushChainLocked();
   void MaybeTruncateLogLocked();
   void InstallSnapshotLocked(uint64_t covered_through, const std::vector<uint8_t>& blob);
   void DrainStagingLocked();
@@ -140,6 +158,11 @@ class ChainReplica {
   uint64_t last_applied_ = 0;
   uint64_t acked_ = 0;
   std::map<uint64_t, LogEntry> staging_;  // out-of-order entries awaiting their turn
+  // Applied-but-not-yet-forwarded entries (head/mid roles only) awaiting coalesced
+  // propagation, and whether the tail owes its predecessor a cumulative ack. Both drain in
+  // FlushChainLocked.
+  std::vector<LogEntry> forward_buffer_;
+  bool ack_dirty_ = false;
   ReplicaStats stats_;  // all fields except queries_served; that one is bumped by concurrent
                         // shared-mode readers and lives in the atomic below
   std::atomic<uint64_t> queries_served_{0};
@@ -149,6 +172,8 @@ class ChainReplica {
   mutable MetricsRegistry metrics_;
   LatencyHistogram& query_us_;
   LatencyHistogram& apply_us_;
+  LatencyHistogram& forward_batch_entries_;  // entries per coalesced downstream send
+  LatencyHistogram& rx_batch_entries_;       // entries per received batch message
   std::array<Counter*, kNumCommandTypes> cmd_count_{};  // indexed by CommandType
 
   std::thread heartbeat_thread_;

@@ -169,6 +169,101 @@ Result<Envelope> TcpKronos::Transact(MessageKind kind, std::vector<uint8_t> payl
   return last;
 }
 
+Result<std::vector<CommandResult>> TcpKronos::ExecutePipelined(std::span<const Command> cmds) {
+  if (cmds.empty()) {
+    return std::vector<CommandResult>{};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Session seqs are drawn once, before the first attempt, and stay FIXED across retries —
+  // exactly like the single-command path — so when a transport failure forces the whole burst
+  // to re-send, each mutation deduplicates individually: an already-applied prefix replays its
+  // cached replies, the rest apply fresh.
+  std::vector<uint64_t> seqs(cmds.size(), 0);
+  std::vector<std::vector<uint8_t>> payloads;
+  payloads.reserve(cmds.size());
+  for (size_t i = 0; i < cmds.size(); ++i) {
+    if (!cmds[i].IsReadOnly()) {
+      seqs[i] = next_mutation_seq_++;
+    }
+    payloads.push_back(SerializeCommand(cmds[i]));
+  }
+  calls_.Increment(cmds.size());
+  Status last = Unavailable("never attempted");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (closed_) {
+      return Status(Unavailable("client closed"));
+    }
+    if (attempt > 0) {
+      retries_.Increment();
+      if (options_.endpoints.size() > 1) {
+        endpoint_idx_ = (endpoint_idx_ + 1) % options_.endpoints.size();
+        failovers_.Increment();
+      }
+      BackoffLocked(attempt - 1);
+    }
+    Status connected = EnsureConnectedLocked();
+    if (!connected.ok()) {
+      if (connected.code() == StatusCode::kTimeout) {
+        timeouts_.Increment();
+      }
+      last = connected;
+      continue;
+    }
+    // One deadline spans the whole pipelined exchange (all sends + all replies).
+    const uint64_t deadline = MonotonicMicros() + options_.call_timeout_us;
+    const uint64_t first_id = next_id_;
+    next_id_ += cmds.size();
+    bool attempt_failed = false;
+    for (size_t i = 0; i < cmds.size() && !attempt_failed; ++i) {
+      Envelope request{MessageKind::kRequest, first_id + i,
+                       seqs[i] != 0 ? options_.client_id : 0, seqs[i], payloads[i]};
+      const uint64_t now = MonotonicMicros();
+      Status sent =
+          conn_->SendFrame(SerializeEnvelope(request), deadline > now ? deadline - now : 1);
+      if (!sent.ok()) {
+        if (sent.code() == StatusCode::kTimeout) {
+          timeouts_.Increment();
+        }
+        last = sent;
+        attempt_failed = true;
+      }
+    }
+    std::vector<CommandResult> results;
+    results.reserve(cmds.size());
+    for (size_t i = 0; i < cmds.size() && !attempt_failed; ++i) {
+      const uint64_t now = MonotonicMicros();
+      Result<std::vector<uint8_t>> frame = conn_->RecvFrame(deadline > now ? deadline - now : 1);
+      if (!frame.ok()) {
+        if (frame.status().code() == StatusCode::kTimeout) {
+          timeouts_.Increment();
+        }
+        last = frame.status();
+        attempt_failed = true;
+        break;
+      }
+      Result<Envelope> env = ParseEnvelope(*frame);
+      if (!env.ok() || env->id != first_id + i || env->kind != MessageKind::kResponse) {
+        last = env.ok() ? Status(Internal("response correlation mismatch")) : env.status();
+        attempt_failed = true;
+        break;
+      }
+      Result<CommandResult> result = ParseCommandResult(env->payload);
+      if (!result.ok()) {
+        last = result.status();
+        attempt_failed = true;
+        break;
+      }
+      results.push_back(*std::move(result));
+    }
+    if (attempt_failed) {
+      DropConnectionLocked();
+      continue;
+    }
+    return results;
+  }
+  return last;
+}
+
 Result<CommandResult> TcpKronos::Execute(const Command& cmd) {
   // Mutations are sessioned for exactly-once retry dedup; queries are idempotent and go
   // sessionless.

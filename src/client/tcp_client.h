@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "src/client/api.h"
@@ -64,6 +65,18 @@ class TcpKronos : public KronosApi {
   Result<uint64_t> ReleaseRef(EventId e) override;
   Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override;
   Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override;
+
+  // Pipelined execution, the client half of the batched write path (DESIGN.md §5.8): every
+  // command is sent down the connection before any reply is read, then the replies are read
+  // back in order. The daemon drains the burst in one wakeup, runs consecutive mutations
+  // under one exclusive-lock acquisition, and covers them with one group-commit fsync, so a
+  // window of N amortizes the round trip, the lock, and the sync N ways.
+  //
+  // Semantics are identical to calling Execute per command in order: one result per command,
+  // program order preserved, mutations stamped with fixed per-command session seqs so a
+  // retried burst (the whole batch re-sends on transport failure) stays exactly-once
+  // per command — already-applied prefixes replay their cached replies.
+  Result<std::vector<CommandResult>> ExecutePipelined(std::span<const Command> cmds);
 
   // Fetches the server's live metrics snapshot (the kIntrospect wire command). Read-only and
   // safe to call while other clients drive load; `kronos_cli stats` is built on this.

@@ -1,16 +1,28 @@
-// WriteAheadLog: a crash-tolerant, record-oriented append log.
+// WriteAheadLog: a crash-tolerant, record-oriented append log — plus GroupCommitWal, the
+// batched durability layer the servers' write path commits through.
 //
 // Record format: u32 payload length (LE), u32 CRC-32 of the payload, payload bytes. Replay
 // stops cleanly at the first torn or corrupt record (the classic crash-in-mid-append case) and
 // reports how many bytes of valid prefix it consumed, so the writer can truncate the tail and
 // resume appending.
+//
+// Group commit (DESIGN.md §5.8): fdatasync dominates the mutation path, and it costs the same
+// whether it makes one record or a hundred durable. GroupCommitWal runs a dedicated commit
+// thread that coalesces records enqueued by any number of writer threads into one buffered
+// write + one fsync per commit window. Writers Enqueue() (cheap, ordered) and then
+// WaitDurable() their ticket; the framing stays per-record, so a crash anywhere inside a batch
+// still replays a clean prefix of whole records — batching changes when records become
+// durable, never what a recovery can observe.
 #ifndef KRONOS_COMMON_WAL_H_
 #define KRONOS_COMMON_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/status.h"
@@ -33,6 +45,10 @@ class WriteAheadLog {
   // Appends one record (buffered in the kernel; see Sync).
   Status Append(std::span<const uint8_t> payload);
 
+  // Appends a batch of records with one write() syscall. Each record keeps its own
+  // length/CRC frame, so replay after a crash mid-batch recovers a prefix of whole records.
+  Status AppendBatch(std::span<const std::vector<uint8_t>> payloads);
+
   // fdatasync: makes all appended records durable.
   Status Sync();
 
@@ -47,6 +63,100 @@ class WriteAheadLog {
   uint64_t records_appended_ = 0;
   uint64_t records_replayed_ = 0;
   bool tail_was_torn_ = false;
+};
+
+// Tuning for the group-commit window. The default (max_delay_us = 0) is sync-absorb group
+// commit: the commit thread syncs whatever is pending the moment it wakes, so a lone writer
+// pays zero added latency, and batching still emerges under load because every record that
+// arrives while the previous fsync is in flight joins the next batch. A nonzero window trades
+// up to that much latency for larger batches.
+struct GroupCommitWalOptions {
+  // Upper bound on how long a pending record may wait for companions before the commit thread
+  // syncs anyway. 0 = sync as soon as the commit thread sees any pending record (arrivals
+  // during the previous sync still coalesce).
+  uint64_t max_delay_us = 0;
+  // Force a sync once this many records are pending, window or not.
+  size_t max_batch_records = 256;
+  // Force a sync once this many payload bytes are pending, window or not.
+  size_t max_batch_bytes = 1u << 20;
+};
+
+// Multi-writer group-commit front end over WriteAheadLog.
+//
+// Writers call Enqueue() to stake out a durable position (records become durable in exactly
+// enqueue order — callers that need "WAL order == apply order" enqueue while holding their
+// apply lock) and WaitDurable() to block until the commit thread has written AND fsynced their
+// record. Commit() is the one-shot convenience. A sync failure fails every waiter of that
+// batch and all later ones (the log is not usable past a failed fsync).
+class GroupCommitWal {
+ public:
+  using Options = GroupCommitWalOptions;
+  using Ticket = uint64_t;
+
+  // records = framed records in the batch, bytes = their payload bytes, sync_wait_us = time
+  // from first enqueue of the batch to durability. Invoked on the commit thread once per
+  // batch; used by servers to feed batch-size/commit-window telemetry without coupling this
+  // layer to the metrics registry.
+  using BatchObserver = std::function<void(size_t records, size_t bytes, uint64_t sync_wait_us)>;
+
+  explicit GroupCommitWal(Options options = {});
+  ~GroupCommitWal();
+
+  GroupCommitWal(const GroupCommitWal&) = delete;
+  GroupCommitWal& operator=(const GroupCommitWal&) = delete;
+
+  // Opens/replays the underlying log (see WriteAheadLog::Open) and starts the commit thread.
+  Status Open(const std::string& path,
+              const std::function<void(std::span<const uint8_t>)>& record_fn);
+
+  void set_batch_observer(BatchObserver observer) { observer_ = std::move(observer); }
+
+  // Stakes out the next durable slot and hands the payload to the commit thread. Cheap: one
+  // mutex'd deque push, no I/O. Returns the ticket to pass to WaitDurable.
+  Ticket Enqueue(std::vector<uint8_t> payload);
+
+  // Blocks until every record up to and including `ticket` is durable (or the log failed or
+  // closed). Any number of threads may wait concurrently; a batch fsync releases them all.
+  Status WaitDurable(Ticket ticket);
+
+  // Enqueue + WaitDurable in one call (the path for callers with no apply-order constraint).
+  Status Commit(std::vector<uint8_t> payload);
+
+  // Stops the commit thread after draining pending records, then closes the log.
+  void Close();
+
+  struct Stats {
+    uint64_t batches = 0;        // commit windows synced
+    uint64_t records = 0;        // records made durable
+    uint64_t bytes = 0;          // payload bytes made durable
+    uint64_t max_batch = 0;      // largest batch (records)
+  };
+  Stats stats() const;
+
+  uint64_t records_replayed() const { return wal_.records_replayed(); }
+  bool tail_was_torn() const { return wal_.tail_was_torn(); }
+
+ private:
+  void CommitLoop();
+
+  Options options_;
+  WriteAheadLog wal_;
+  BatchObserver observer_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable pending_cv_;  // signals the commit thread: work or shutdown
+  std::condition_variable durable_cv_;  // signals waiters: durable_through_ advanced / failure
+  std::vector<std::vector<uint8_t>> pending_;
+  size_t pending_bytes_ = 0;
+  Ticket next_ticket_ = 0;        // ticket of the next record to be enqueued
+  Ticket durable_through_ = 0;    // all tickets < durable_through_ are durable
+  uint64_t batch_open_since_us_ = 0;  // MonotonicMicros at first enqueue of the open batch
+  Status failed_ = OkStatus();    // sticky: set on the first write/sync error
+  bool open_ = false;
+  bool closing_ = false;
+  Stats stats_;
+
+  std::thread commit_thread_;
 };
 
 }  // namespace kronos

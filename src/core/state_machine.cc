@@ -42,6 +42,14 @@ CommandResult KronosStateMachine::Apply(const Command& command) {
   return result;
 }
 
+void KronosStateMachine::ApplyBatch(std::span<const Command> commands,
+                                    std::vector<CommandResult>& results) {
+  results.reserve(results.size() + commands.size());
+  for (const Command& command : commands) {
+    results.push_back(Apply(command));
+  }
+}
+
 CommandResult KronosStateMachine::ApplyReadOnly(const Command& command) const {
   CommandResult result;
   if (!command.IsReadOnly()) {

@@ -8,6 +8,8 @@
 #define KRONOS_CORE_STATE_MACHINE_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "src/core/command.h"
 #include "src/core/event_graph.h"
@@ -30,6 +32,11 @@ class KronosStateMachine {
   // of threads may call this concurrently under a shared lock that excludes Apply(). Produces
   // bit-identical results to routing the same command through Apply().
   CommandResult ApplyReadOnly(const Command& command) const;
+
+  // Applies a whole batch in order, appending one result per command — exactly equivalent to
+  // calling Apply() per element, but the batched write path (DESIGN.md §5.8) takes its
+  // exclusive lock once around this call instead of once per command.
+  void ApplyBatch(std::span<const Command> commands, std::vector<CommandResult>& results);
 
   // Number of state-mutating commands applied (the replication log index of the last update).
   uint64_t applied_updates() const { return applied_updates_; }

@@ -56,6 +56,12 @@ class RpcEndpoint {
   // Stops the receive thread and fails all in-flight calls.
   void Stop();
 
+  // Envelopes delivered to this endpoint but not yet pulled by the receive thread. Handlers
+  // running on the receive thread use this as a coalescing signal: backlog > 0 means another
+  // message will be handled immediately after this one, so output produced now can be held and
+  // batched with what the next handler invocation produces (see ChainReplica, DESIGN.md §5.8).
+  size_t RxBacklog() const { return net_.PendingFor(id_); }
+
   // Number of in-flight Call()s still registered. Timed-out, failed, and Stop()-interrupted
   // calls must all deregister, so this returns to 0 when the endpoint is quiescent (leak
   // regression check; see net_rpc_test.cc).

@@ -33,6 +33,16 @@ size_t SimNetwork::node_count() const {
   return nodes_.size();
 }
 
+size_t SimNetwork::PendingFor(NodeId node) const {
+  Node* n = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KRONOS_CHECK(node < nodes_.size());
+    n = nodes_[node].get();  // stable once created; the inbox has its own lock
+  }
+  return n->inbox.size();
+}
+
 bool SimNetwork::LinkCutLocked(NodeId a, NodeId b) const {
   if (a > b) {
     std::swap(a, b);

@@ -91,6 +91,11 @@ class SimNetwork {
   // Blocks up to timeout_us; nullopt on timeout/shutdown.
   std::optional<NetMessage> ReceiveFor(NodeId node, uint64_t timeout_us);
 
+  // Messages already delivered to `node`'s inbox but not yet Receive()d. Receivers use this as
+  // a batching signal (DESIGN.md §5.8): a nonzero backlog means more envelopes are queued
+  // right behind the one being handled, so work coalesced now ships in fewer messages.
+  size_t PendingFor(NodeId node) const;
+
   // --- failure injection ---------------------------------------------------------------------
 
   // A down node neither sends nor receives; messages already in flight to it are dropped at

@@ -178,6 +178,17 @@ Result<std::vector<uint8_t>> TcpConnection::RecvFrame(uint64_t timeout_us) {
   return payload;
 }
 
+bool TcpConnection::DataReady() {
+  const int fd = fd_.load();
+  if (fd < 0 || shutdown_.load()) {
+    return false;
+  }
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  return ::poll(&p, 1, 0) > 0;
+}
+
 TcpListener::~TcpListener() { Close(); }
 
 Status TcpListener::Listen(uint16_t port) {

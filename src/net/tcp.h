@@ -51,6 +51,12 @@ class TcpConnection {
   // kTimeout if the frame has not fully arrived within timeout_us.
   Result<std::vector<uint8_t>> RecvFrame(uint64_t timeout_us = kNoTimeout);
 
+  // True if bytes are already buffered for reading (poll with zero timeout). Servers use this
+  // to drain a pipelining client's queued frames in one wakeup: after a positive DataReady a
+  // RecvFrame will not block indefinitely against a well-formed peer, because the peer only
+  // ever writes whole frames.
+  bool DataReady();
+
   // Revokes I/O on the socket, unblocking a concurrent RecvFrame/SendFrame. The descriptor
   // itself is released by the destructor, once no other thread can still hold it: closing
   // here would race an in-flight recv/send and could hand the recycled fd number to an

@@ -6,13 +6,13 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
-#include "src/wire/codec.h"
 #include "src/wire/introspect.h"
 
 namespace kronos {
 
 KronosDaemon::KronosDaemon(Options options)
     : options_(options),
+      wal_(options_.wal_commit),
       connections_served_(metrics_.GetCounter("kronos_daemon_connections_total")),
       commands_served_(metrics_.GetCounter("kronos_daemon_commands_total")),
       shared_mode_cmds_(metrics_.GetCounter("kronos_daemon_shared_mode_total")),
@@ -21,7 +21,14 @@ KronosDaemon::KronosDaemon(Options options)
       session_duplicates_(metrics_.GetCounter("kronos_session_duplicates_total")),
       session_stale_(metrics_.GetCounter("kronos_session_stale_total")),
       wal_appends_(metrics_.GetCounter("kronos_wal_appends_total")),
-      wal_append_us_(metrics_.GetHistogram("kronos_wal_append_us")) {
+      wal_group_syncs_(metrics_.GetCounter("kronos_wal_group_syncs_total")),
+      wal_append_us_(metrics_.GetHistogram("kronos_wal_append_us")),
+      wal_commit_wait_us_(metrics_.GetHistogram("kronos_wal_commit_wait_us")),
+      wal_commit_window_us_(metrics_.GetHistogram("kronos_wal_commit_window_us")),
+      wal_batch_records_(metrics_.GetHistogram("kronos_wal_batch_records")),
+      wal_batch_bytes_(metrics_.GetHistogram("kronos_wal_batch_bytes")),
+      pipeline_frames_(metrics_.GetHistogram("kronos_daemon_pipeline_frames")),
+      exclusive_run_cmds_(metrics_.GetHistogram("kronos_daemon_exclusive_run_cmds")) {
   for (size_t t = 0; t < kNumCommandTypes; ++t) {
     const std::string name(CommandTypeName(static_cast<CommandType>(t)));
     cmd_count_[t] = &metrics_.GetCounter("kronos_cmd_" + name + "_total");
@@ -30,6 +37,13 @@ KronosDaemon::KronosDaemon(Options options)
   if (options_.query_cache_capacity > 0) {
     sm_.graph().EnableQueryCache(options_.query_cache_capacity);
   }
+  // Batch-shape telemetry straight off the commit thread: one observation per group sync.
+  wal_.set_batch_observer([this](size_t records, size_t bytes, uint64_t window_us) {
+    wal_group_syncs_.Increment();
+    wal_batch_records_.Record(records);
+    wal_batch_bytes_.Record(bytes);
+    wal_commit_window_us_.Record(window_us);
+  });
 }
 
 KronosDaemon::~KronosDaemon() { Stop(); }
@@ -96,148 +110,216 @@ void KronosDaemon::ServeConnection(const std::shared_ptr<TcpConnection>& conn) {
     TcpConnection* conn;
     ~Closer() { conn->Close(); }
   } closer{conn.get()};
+  const size_t max_batch = std::max<size_t>(1, options_.max_pipeline_batch);
+  std::vector<std::vector<uint8_t>> frames;
   while (!stopped_.load(std::memory_order_relaxed)) {
+    frames.clear();
     Result<std::vector<uint8_t>> frame = conn->RecvFrame();
     if (!frame.ok()) {
       return;  // peer hung up or protocol error: drop the connection
     }
-    Result<Envelope> env = ParseEnvelope(*frame);
-    if (!env.ok()) {
-      KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
-      return;
-    }
-    if (env->kind == MessageKind::kIntrospect) {
-      // Live stats: read-only, so it rides the shared lock like any query and never blocks
-      // the read path behind it.
-      introspects_served_.Increment();
-      Envelope reply{MessageKind::kIntrospect, env->id,
-                     SerializeMetricsSnapshot(TelemetrySnapshot())};
-      if (!conn->SendFrame(SerializeEnvelope(reply)).ok()) {
+    frames.push_back(*std::move(frame));
+    // Pipelining: drain whatever else the client already queued, so the whole burst is
+    // parsed, executed, and committed as one batch instead of one wakeup per envelope.
+    while (frames.size() < max_batch && conn->DataReady()) {
+      Result<std::vector<uint8_t>> more = conn->RecvFrame();
+      if (!more.ok()) {
         return;
       }
-      continue;
+      frames.push_back(*std::move(more));
     }
-    if (env->kind != MessageKind::kRequest) {
-      KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
-      return;
-    }
-    Result<Command> cmd = ParseCommand(env->payload);
-    std::vector<uint8_t> result_bytes;
-    if (cmd.ok()) {
-      result_bytes = ExecuteCommand(*cmd, env->payload, env->client_id, env->client_seq);
-    } else {
-      CommandResult result;
-      result.status = cmd.status();
-      result_bytes = SerializeCommandResult(result);
-    }
-    Envelope reply{MessageKind::kResponse, env->id, std::move(result_bytes)};
-    if (!conn->SendFrame(SerializeEnvelope(reply)).ok()) {
+    pipeline_frames_.Record(frames.size());
+    if (!ProcessFrames(*conn, frames)) {
       return;
     }
   }
 }
 
-std::vector<uint8_t> KronosDaemon::ExecuteCommand(const Command& cmd,
-                                                  std::span<const uint8_t> raw,
-                                                  uint64_t session_client,
-                                                  uint64_t session_seq) {
-  // Server-side latency: lock wait + engine time (and WAL for updates), excluding network and
-  // framing. One clock read before, one after; the Record is a shard-local O(1).
-  const Stopwatch timer;
-  const size_t type = static_cast<size_t>(cmd.type);
-  if (cmd.IsReadOnly() && !options_.serialize_reads) {
-    // Shared mode: query batches from any number of connections run concurrently; they only
-    // wait for in-flight updates, never for each other. Queries are idempotent, so session
-    // stamps (if any) are ignored — the dedup table guards mutations only.
-    CommandResult result;
-    {
-      std::shared_lock<std::shared_mutex> lock(sm_mutex_);
-      if (options_.simulated_query_service_us > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options_.simulated_query_service_us));
-      }
-      result = sm_.ApplyReadOnly(cmd);
+bool KronosDaemon::ProcessFrames(TcpConnection& conn,
+                                 std::vector<std::vector<uint8_t>>& frames) {
+  std::vector<PendingRequest> reqs(frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    Result<Envelope> env = ParseEnvelope(frames[i]);
+    if (!env.ok()) {
+      KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
+      return false;
     }
-    commands_served_.Increment();
-    shared_mode_cmds_.Increment();
-    cmd_count_[type]->Increment();
-    cmd_us_[type]->Record(timer.ElapsedMicros());
-    return SerializeCommandResult(result);
+    reqs[i].env = *std::move(env);
+    if (reqs[i].env.kind == MessageKind::kIntrospect) {
+      continue;
+    }
+    if (reqs[i].env.kind != MessageKind::kRequest) {
+      KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
+      return false;
+    }
+    Result<Command> cmd = ParseCommand(reqs[i].env.payload);
+    if (cmd.ok()) {
+      reqs[i].cmd = *std::move(cmd);
+    } else {
+      reqs[i].cmd_parse = cmd.status();
+    }
   }
-  const bool sessioned = !cmd.IsReadOnly() && session_client != 0 && session_seq != 0;
-  std::vector<uint8_t> result_bytes;
+  // Execute strictly in frame order (one connection = one program order), coalescing each
+  // maximal run of exclusive-mode commands into a single lock acquisition + group commit.
+  std::vector<PendingRequest*> run;
+  auto flush = [&] {
+    ExecuteExclusiveRun(run);
+    run.clear();
+  };
+  for (PendingRequest& req : reqs) {
+    if (req.env.kind == MessageKind::kIntrospect) {
+      // Live stats: read-only, so it rides the shared lock like any query and never blocks
+      // the read path behind it.
+      flush();
+      introspects_served_.Increment();
+      req.reply = SerializeMetricsSnapshot(TelemetrySnapshot());
+    } else if (!req.cmd_parse.ok()) {
+      CommandResult bad;
+      bad.status = req.cmd_parse;
+      req.reply = SerializeCommandResult(bad);
+    } else if (req.cmd.IsReadOnly() && !options_.serialize_reads) {
+      flush();
+      req.reply = ExecuteRead(req.cmd);
+    } else {
+      run.push_back(&req);
+    }
+  }
+  flush();
+  for (PendingRequest& req : reqs) {
+    const MessageKind kind = req.env.kind == MessageKind::kIntrospect
+                                 ? MessageKind::kIntrospect
+                                 : MessageKind::kResponse;
+    Envelope reply{kind, req.env.id, std::move(req.reply)};
+    if (!conn.SendFrame(SerializeEnvelope(reply)).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint8_t> KronosDaemon::ExecuteRead(const Command& cmd) {
+  // Server-side latency: lock wait + engine time, excluding network and framing. One clock
+  // read before, one after; the Record is a shard-local O(1).
+  const Stopwatch timer;
+  // Shared mode: query batches from any number of connections run concurrently; they only
+  // wait for in-flight updates, never for each other. Queries are idempotent, so session
+  // stamps (if any) are ignored — the dedup table guards mutations only.
+  CommandResult result;
+  {
+    std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+    if (options_.simulated_query_service_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_query_service_us));
+    }
+    result = sm_.ApplyReadOnly(cmd);
+  }
+  commands_served_.Increment();
+  shared_mode_cmds_.Increment();
+  const size_t type = static_cast<size_t>(cmd.type);
+  cmd_count_[type]->Increment();
+  cmd_us_[type]->Record(timer.ElapsedMicros());
+  return SerializeCommandResult(result);
+}
+
+void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
+  if (run.empty()) {
+    return;
+  }
+  const Stopwatch timer;
+  uint64_t wait_frontier = 0;  // 1 + highest WAL ticket this run must see durable; 0 = none
+  std::vector<bool> applied(run.size(), false);
   {
     std::unique_lock<std::shared_mutex> lock(sm_mutex_);
-    if (cmd.IsReadOnly()) {
-      // serialize_reads ablation: the seed's single-mutex schedule.
-      if (options_.simulated_query_service_us > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options_.simulated_query_service_us));
+    exclusive_run_cmds_.Record(run.size());
+    for (size_t i = 0; i < run.size(); ++i) {
+      PendingRequest& req = *run[i];
+      const Command& cmd = req.cmd;
+      if (cmd.IsReadOnly()) {
+        // serialize_reads ablation: the seed's single-mutex schedule.
+        if (options_.simulated_query_service_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(options_.simulated_query_service_us));
+        }
+        req.reply = SerializeCommandResult(sm_.ApplyReadOnly(cmd));
+        continue;
       }
-      result_bytes = SerializeCommandResult(sm_.ApplyReadOnly(cmd));
-    } else {
+      const bool sessioned = req.env.has_session();
       if (sessioned) {
         // Exactly-once gate: a retried mutation that already committed replays its original
         // reply byte-for-byte; an older seq gets an error (its client already saw a newer
-        // reply, so nobody is waiting on it). Both skip the WAL and the state machine.
-        switch (sm_.sessions().Probe(session_client, session_seq)) {
-          case SessionTable::Verdict::kDuplicate: {
-            std::vector<uint8_t> cached =
-                *sm_.sessions().CachedReply(session_client, session_seq);
-            lock.unlock();
+        // reply, so nobody is waiting on it). Both skip the WAL and the state machine. The
+        // probe also fires WITHIN a coalesced batch: a duplicate seq later in the same
+        // pipelined burst replays the reply its twin produced moments earlier.
+        switch (sm_.sessions().Probe(req.env.client_id, req.env.client_seq)) {
+          case SessionTable::Verdict::kDuplicate:
+            req.reply = *sm_.sessions().CachedReply(req.env.client_id, req.env.client_seq);
             session_duplicates_.Increment();
-            commands_served_.Increment();
-            exclusive_mode_cmds_.Increment();
-            cmd_count_[type]->Increment();
-            cmd_us_[type]->Record(timer.ElapsedMicros());
-            return cached;
-          }
+            // The original may still be riding an in-flight group commit; hold this reply
+            // until the current log frontier is durable so we never ack a losable write.
+            wait_frontier = std::max(wait_frontier, wal_frontier_);
+            continue;
           case SessionTable::Verdict::kStale: {
-            lock.unlock();
             session_stale_.Increment();
             CommandResult stale;
             stale.status = InvalidArgument("stale session sequence (already superseded)");
-            return SerializeCommandResult(stale);
+            req.reply = SerializeCommandResult(stale);
+            continue;
           }
           case SessionTable::Verdict::kFresh:
             break;
         }
       }
       if (persistent_) {
-        // Write-ahead: the update is durable before its effects are observable. The append
-        // runs inside the exclusive section so the WAL order equals the apply order. The
-        // record carries the session identity so replay rebuilds the dedup table.
+        // Write-ahead: the record enters the group-commit queue inside the exclusive section,
+        // so durable order equals apply order; the fsync itself is deferred to the commit
+        // thread and shared by the whole run (and any concurrent connections).
         const Stopwatch wal_timer;
-        const std::vector<uint8_t> record =
-            SerializeWalRecord(sessioned ? session_client : 0, sessioned ? session_seq : 0,
-                               raw);
-        Status logged = wal_.Append(record);
-        if (logged.ok()) {
-          logged = wal_.Sync();
-        }
+        const GroupCommitWal::Ticket ticket = wal_.Enqueue(SerializeWalRecord(
+            sessioned ? req.env.client_id : 0, sessioned ? req.env.client_seq : 0,
+            req.env.payload));
+        wal_frontier_ = ticket + 1;
+        wait_frontier = wal_frontier_;
         wal_appends_.Increment();
         wal_append_us_.Record(wal_timer.ElapsedMicros());
-        if (!logged.ok()) {
-          CommandResult result;
-          result.status = logged;
-          return SerializeCommandResult(result);
-        }
       }
-      result_bytes = SerializeCommandResult(sm_.Apply(cmd));
+      req.reply = SerializeCommandResult(sm_.Apply(cmd));
+      applied[i] = true;
       if (sessioned) {
-        // WAL-synced + applied = committed on a single-node daemon: safe to cache the reply
-        // for replay. applied_updates is the log index — unique, increasing, and identical
-        // on WAL replay, which keeps eviction deterministic.
-        sm_.sessions().Commit(session_client, session_seq, sm_.applied_updates(),
-                              result_bytes);
+        // Cached for replay; applied_updates is the log index — unique, increasing, and
+        // identical on WAL replay, which keeps eviction deterministic.
+        sm_.sessions().Commit(req.env.client_id, req.env.client_seq, sm_.applied_updates(),
+                              req.reply);
       }
     }
   }
-  commands_served_.Increment();
-  exclusive_mode_cmds_.Increment();
-  cmd_count_[type]->Increment();
-  cmd_us_[type]->Record(timer.ElapsedMicros());
-  return result_bytes;
+  if (persistent_ && wait_frontier > 0) {
+    // One durability wait covers the whole run: replies (the point effects become observable
+    // to the requester) are withheld until the covering fsync lands.
+    const Stopwatch wait_timer;
+    Status durable = wal_.WaitDurable(wait_frontier - 1);
+    wal_commit_wait_us_.Record(wait_timer.ElapsedMicros());
+    if (!durable.ok()) {
+      // A failed fsync leaves the log unusable; nothing applied in this run may be
+      // acknowledged as committed.
+      CommandResult failed;
+      failed.status = durable;
+      const std::vector<uint8_t> failed_bytes = SerializeCommandResult(failed);
+      for (size_t i = 0; i < run.size(); ++i) {
+        if (applied[i]) {
+          run[i]->reply = failed_bytes;
+        }
+      }
+    }
+  }
+  // Per-command accounting. Every command in the run shares the run's server-side latency
+  // (lock wait + batch apply + group-commit wait) — that is the latency its requester saw.
+  const uint64_t elapsed = timer.ElapsedMicros();
+  for (const PendingRequest* req : run) {
+    commands_served_.Increment();
+    exclusive_mode_cmds_.Increment();
+    const size_t type = static_cast<size_t>(req->cmd.type);
+    cmd_count_[type]->Increment();
+    cmd_us_[type]->Record(elapsed);
+  }
 }
 
 uint64_t KronosDaemon::live_events() const {
@@ -269,6 +351,9 @@ void KronosDaemon::ExportEngineGaugesLocked() const {
   metrics_.GetGauge("kronos_sessions_active").Set(static_cast<int64_t>(sm_.sessions().size()));
   metrics_.GetGauge("kronos_session_evictions")
       .Set(static_cast<int64_t>(sm_.sessions().evictions()));
+  const GroupCommitWal::Stats ws = wal_.stats();
+  metrics_.GetGauge("kronos_wal_batches").Set(static_cast<int64_t>(ws.batches));
+  metrics_.GetGauge("kronos_wal_batch_max").Set(static_cast<int64_t>(ws.max_batch));
   if (const OrderCache* cache = sm_.graph().query_cache()) {
     const OrderCache::Stats cs = cache->stats();
     metrics_.GetGauge("kronos_cache_hits").Set(static_cast<int64_t>(cs.hits));
@@ -303,14 +388,19 @@ void KronosDaemon::Stop() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  std::lock_guard<std::mutex> lock(conns_mutex_);
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) {
-      t.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (std::thread& t : conn_threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
     }
+    conn_threads_.clear();
+    live_conns_.clear();
   }
-  conn_threads_.clear();
-  live_conns_.clear();
+  // After every serving thread is gone: drain and close the group-commit WAL (its commit
+  // thread keeps running until here so in-flight WaitDurable calls complete normally).
+  wal_.Close();
 }
 
 }  // namespace kronos

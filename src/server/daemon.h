@@ -7,17 +7,28 @@
 // Command scheduling is shared/exclusive, keyed off Command::IsReadOnly(): query batches
 // execute concurrently under a reader lock (the engine's read path is const + re-entrant,
 // safe because monotonicity means established orders are never retracted), while
-// create/acquire/release/assign serialize under the writer lock with WAL ordering preserved
-// (the log append happens inside the exclusive section, so the durable order and the applied
-// order coincide). This is what lets a read-dominated workload — the common case in the
-// paper's Figs. 6–9 — scale with cores instead of queueing behind one mutex.
+// create/acquire/release/assign serialize under the writer lock. This is what lets a
+// read-dominated workload — the common case in the paper's Figs. 6–9 — scale with cores
+// instead of queueing behind one mutex.
+//
+// Batched write path (DESIGN.md §5.8): each connection thread drains every envelope its
+// client has pipelined (up to max_pipeline_batch) in one wakeup, then executes the run of
+// mutations under a SINGLE exclusive-lock acquisition — per-command session dedup preserved —
+// with all WAL records enqueued in apply order and one group-commit wait covering the whole
+// run. The WAL itself is a GroupCommitWal: a dedicated commit thread coalesces records from
+// all connections into one buffered write + one fsync, so durability cost amortizes across
+// both a connection's pipeline window and concurrent connections. Replies are sent only after
+// the covering fsync, preserving "durable before the requester observes it"; concurrent
+// readers may observe applied-but-unsynced state (standard group-commit semantics — a crash
+// can lose a suffix of unacknowledged updates, never an acknowledged one).
 //
 // Telemetry (DESIGN.md §5.6): every command is counted and timed into a MetricsRegistry —
 // per-command-type counters and latency histograms, shared vs exclusive scheduling counts,
-// and WAL append time. Engine state (live events/edges/refs, GC reclaims, traversal work) and
-// order-cache hit rates are exported as gauges at snapshot time. The snapshot is served live
-// over the wire protocol via the kIntrospect message (read-only, graph reads under the shared
-// lock, so introspection never stalls the query path behind it).
+// pipeline/batch-size distributions, and WAL enqueue/commit-wait/commit-window timings.
+// Engine state (live events/edges/refs, GC reclaims, traversal work) and order-cache hit
+// rates are exported as gauges at snapshot time. The snapshot is served live over the wire
+// protocol via the kIntrospect message (read-only, graph reads under the shared lock, so
+// introspection never stalls the query path behind it).
 #ifndef KRONOS_SERVER_DAEMON_H_
 #define KRONOS_SERVER_DAEMON_H_
 
@@ -34,6 +45,7 @@
 #include "src/core/state_machine.h"
 #include "src/net/tcp.h"
 #include "src/telemetry/metrics.h"
+#include "src/wire/codec.h"
 
 namespace kronos {
 
@@ -54,6 +66,12 @@ struct KronosDaemonOptions {
   // skewed real workloads win back repeated traversals. The standalone kronosd binary enables
   // it; when enabled, hit/miss rates feed the kronos_cache_* gauges.
   size_t query_cache_capacity = 0;
+  // Upper bound on envelopes drained from one connection per poll wakeup. 1 disables
+  // pipelined batching (one command per lock acquisition / WAL commit — the unbatched
+  // baseline bench/micro_write_path measures against).
+  size_t max_pipeline_batch = 64;
+  // Group-commit window for the WAL (ignored unless a wal_path is passed to Start).
+  GroupCommitWalOptions wal_commit;
 };
 
 class KronosDaemon {
@@ -68,7 +86,7 @@ class KronosDaemon {
 
   // Binds 127.0.0.1:port (0 = ephemeral) and starts serving. When wal_path is non-empty the
   // daemon is persistent: any existing log is replayed into the state machine before serving,
-  // and every update command is appended (write-ahead) before it is applied.
+  // and every update command is group-committed (write-ahead) before its reply is sent.
   Status Start(uint16_t port, const std::string& wal_path = "");
 
   uint16_t port() const { return listener_.port(); }
@@ -79,6 +97,9 @@ class KronosDaemon {
     return cmd_count_[static_cast<size_t>(CommandType::kQueryOrder)]->Value();
   }
   uint64_t commands_recovered() const { return commands_recovered_; }
+
+  // Group-commit WAL coalescing counters (zeros when not persistent).
+  GroupCommitWal::Stats wal_stats() const { return wal_.stats(); }
 
   // Engine introspection (safe to call while serving). Reads take the lock in shared mode:
   // they contend only with updates, never with the query path.
@@ -94,13 +115,25 @@ class KronosDaemon {
   void Stop();
 
  private:
+  // One request envelope drained from a connection, carried through parse -> execute -> reply.
+  struct PendingRequest {
+    Envelope env;
+    Status parse = OkStatus();          // envelope-level parse verdict
+    Command cmd;                        // valid when parse.ok() and kind == kRequest
+    Status cmd_parse = OkStatus();      // command-level parse verdict
+    std::vector<uint8_t> reply;         // serialized reply payload (filled by execution)
+  };
+
   void AcceptLoop();
   void ServeConnection(const std::shared_ptr<TcpConnection>& conn);
-  // Executes one command and returns the serialized CommandResult. session_client/session_seq
-  // (0 = sessionless) drive the exactly-once dedup table: a duplicate mutation replays the
-  // cached reply bytes without touching the state machine.
-  std::vector<uint8_t> ExecuteCommand(const Command& cmd, std::span<const uint8_t> raw,
-                                      uint64_t session_client, uint64_t session_seq);
+  // Parses and executes one drained batch of frames in order, sending one reply frame per
+  // request. Returns false when the connection should be dropped (protocol error/send fail).
+  bool ProcessFrames(TcpConnection& conn, std::vector<std::vector<uint8_t>>& frames);
+  // Executes a run of consecutive exclusive-mode requests (mutations, plus reads under the
+  // serialize_reads ablation) under one exclusive-lock acquisition and one group-commit wait.
+  void ExecuteExclusiveRun(std::vector<PendingRequest*>& run);
+  // Shared-mode read execution (concurrent with other reads).
+  std::vector<uint8_t> ExecuteRead(const Command& cmd);
   void ExportEngineGaugesLocked() const;  // requires sm_mutex_ (shared suffices)
 
   Options options_;
@@ -109,12 +142,17 @@ class KronosDaemon {
   std::atomic<bool> stopped_{false};
 
   // Shared mode: read-only commands + introspection. Exclusive mode: updates (incl. WAL
-  // append, preserving write-ahead order).
+  // enqueue, preserving write-ahead order: records enter the group-commit queue in apply
+  // order, inside the exclusive section).
   mutable std::shared_mutex sm_mutex_;
   KronosStateMachine sm_;
-  WriteAheadLog wal_;
+  GroupCommitWal wal_;
   bool persistent_ = false;
   uint64_t commands_recovered_ = 0;
+  // One past the last WAL ticket enqueued (guarded by sm_mutex_). Lets a session-duplicate
+  // reply wait for the log frontier that covers the original apply; 0 = nothing enqueued
+  // since open (replayed records are durable by definition).
+  uint64_t wal_frontier_ = 0;
 
   std::mutex conns_mutex_;
   std::vector<std::thread> conn_threads_;
@@ -132,7 +170,14 @@ class KronosDaemon {
   Counter& session_duplicates_;
   Counter& session_stale_;
   Counter& wal_appends_;
+  Counter& wal_group_syncs_;
   LatencyHistogram& wal_append_us_;
+  LatencyHistogram& wal_commit_wait_us_;
+  LatencyHistogram& wal_commit_window_us_;
+  LatencyHistogram& wal_batch_records_;
+  LatencyHistogram& wal_batch_bytes_;
+  LatencyHistogram& pipeline_frames_;
+  LatencyHistogram& exclusive_run_cmds_;
   std::array<Counter*, kNumCommandTypes> cmd_count_{};        // indexed by CommandType
   std::array<LatencyHistogram*, kNumCommandTypes> cmd_us_{};  // indexed by CommandType
 };

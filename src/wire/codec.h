@@ -44,6 +44,8 @@ enum class MessageKind : uint8_t {
   kChainAck = 4,       // tail -> ... -> head: { seq }
   kControl = 5,        // coordinator <-> replicas: configuration / heartbeat payload
   kIntrospect = 6,     // request: empty payload; response: MetricsSnapshot (wire/introspect.h)
+  kChainPropagateBatch = 7,  // head/mid -> next replica: { last seq, vector<LogEntry> } — the
+                             // coalesced form of kChainPropagate (DESIGN.md §5.8)
 };
 
 struct Envelope {

@@ -1,0 +1,180 @@
+// Chain replication coalescing (DESIGN.md §5.8): LogEntry batch codec, batched propagation
+// down the chain, and per-command session dedup inside a coalesced drain window.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/chain/control.h"
+#include "src/server/cluster.h"
+#include "src/wire/codec.h"
+
+namespace kronos {
+namespace {
+
+LogEntry MakeEntry(uint64_t seq) {
+  LogEntry e;
+  e.seq = seq;
+  e.client = static_cast<NodeId>(10 + seq);
+  e.client_request_id = 100 + seq;
+  e.session_client = seq % 2 == 0 ? 7 : 0;
+  e.session_seq = seq % 2 == 0 ? seq : 0;
+  e.command = SerializeCommand(Command::MakeCreateEvent());
+  return e;
+}
+
+TEST(LogEntryBatchTest, RoundTripPreservesEveryField) {
+  std::vector<LogEntry> entries;
+  for (uint64_t s = 1; s <= 5; ++s) {
+    entries.push_back(MakeEntry(s));
+  }
+  entries[2].command = SerializeCommand(
+      Command::MakeAssignOrder({{EventId{1}, EventId{2}, Constraint::kPrefer}}));
+
+  const std::vector<uint8_t> bytes = SerializeLogEntryBatch(entries);
+  Result<std::vector<LogEntry>> parsed = ParseLogEntryBatch(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, entries);
+}
+
+TEST(LogEntryBatchTest, EmptyBatchRoundTrips) {
+  const std::vector<uint8_t> bytes = SerializeLogEntryBatch({});
+  Result<std::vector<LogEntry>> parsed = ParseLogEntryBatch(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(LogEntryBatchTest, RejectsTruncatedAndTrailingBytes) {
+  std::vector<LogEntry> entries{MakeEntry(1), MakeEntry(2)};
+  std::vector<uint8_t> bytes = SerializeLogEntryBatch(entries);
+
+  // Any strict prefix must fail cleanly (a cut-off network frame), never crash or
+  // half-decode.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(ParseLogEntryBatch(prefix).ok()) << "prefix length " << len;
+  }
+  // Trailing garbage is a framing error, not ignorable padding.
+  bytes.push_back(0xEE);
+  EXPECT_FALSE(ParseLogEntryBatch(bytes).ok());
+}
+
+TEST(LogEntryBatchTest, RejectsAbsurdCount) {
+  // A count claiming more entries than the buffer could hold must fail before allocating.
+  BufferWriter w;
+  w.WriteVarint(uint64_t{1} << 40);
+  const std::vector<uint8_t> bytes = w.TakeBuffer();
+  EXPECT_FALSE(ParseLogEntryBatch(bytes).ok());
+}
+
+// Drives the head with a raw pipelined burst — a query that stalls the head's receive thread
+// (simulated service time) followed by sessioned updates, including a retransmitted duplicate —
+// so the updates are all queued when the head wakes. The head must coalesce the burst into
+// batched propagation while deduplicating the retransmit per command.
+TEST(ChainBatchTest, CoalescedPropagationDedupsAndConvergesEverywhere) {
+  KronosCluster::Options opts;
+  opts.replicas = 3;
+  opts.replica.simulated_query_service_us = 30'000;  // stall window for the burst to queue
+  KronosCluster cluster(opts);
+
+  // Initial config: creation order, replica 0 is head. Wait for it to adopt the role.
+  const auto role_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (!cluster.replica(0).IsHead()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), role_deadline) << "head never adopted config";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const NodeId head = cluster.replica(0).id();
+  SimNetwork& net = cluster.network();
+  const NodeId me = net.CreateNode("raw-client");
+
+  // The stalling query (correlation 1), then eight sessioned create_events (correlations
+  // 2..9, session seqs 1..8) with a duplicate of seq 4 (correlation 100) injected right
+  // after its original — a retransmit landing in the same drain window.
+  const uint64_t kSession = 77;
+  const std::vector<uint8_t> query =
+      SerializeCommand(Command::MakeQueryOrder({{EventId{1}, EventId{1}}}));
+  const std::vector<uint8_t> create = SerializeCommand(Command::MakeCreateEvent());
+  ASSERT_TRUE(net.Send(me, head, SerializeEnvelope({MessageKind::kRequest, 1, query})).ok());
+  size_t sent_updates = 0;
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    Envelope env{MessageKind::kRequest, 1 + seq, kSession, seq, create};
+    ASSERT_TRUE(net.Send(me, head, SerializeEnvelope(env)).ok());
+    ++sent_updates;
+    if (seq == 4) {
+      Envelope dup{MessageKind::kRequest, 100, kSession, seq, create};
+      ASSERT_TRUE(net.Send(me, head, SerializeEnvelope(dup)).ok());
+      ++sent_updates;
+    }
+  }
+
+  // One reply per distinct request: the query and the eight originals. The duplicate is
+  // in flight (applied at the head, not yet acked by the tail) so it is deliberately
+  // dropped — the original's tail reply answers the client.
+  std::map<uint64_t, CommandResult> replies;
+  while (replies.size() < 9) {
+    std::optional<NetMessage> msg = net.ReceiveFor(me, 3'000'000);
+    ASSERT_TRUE(msg.has_value()) << "timed out with " << replies.size() << " replies";
+    Result<Envelope> env = ParseEnvelope(msg->bytes);
+    ASSERT_TRUE(env.ok());
+    ASSERT_EQ(env->kind, MessageKind::kResponse);
+    Result<CommandResult> result = ParseCommandResult(env->payload);
+    ASSERT_TRUE(result.ok());
+    replies[env->id] = *std::move(result);
+  }
+  EXPECT_EQ(replies.count(100), 0u);
+  for (uint64_t id = 2; id <= 9; ++id) {
+    ASSERT_TRUE(replies.count(id)) << "missing update reply " << id;
+    EXPECT_TRUE(replies[id].ok());
+    EXPECT_EQ(replies[id].event, EventId{id - 1});  // dense ids: the dup minted nothing
+  }
+
+  ASSERT_TRUE(cluster.WaitForConvergence(3'000'000));
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    EXPECT_EQ(cluster.replica(i).live_events(), 8u) << "replica " << i;
+    EXPECT_EQ(cluster.replica(i).last_applied(), 8u) << "replica " << i;
+  }
+
+  // The burst was queued behind the stalled query, so the head saw a receive backlog and
+  // coalesced: fewer propagate messages than entries, and downstream replicas ingested
+  // batch messages. The duplicate was gated per command inside that same window.
+  const ChainReplica::ReplicaStats head_stats = cluster.replica(0).stats();
+  EXPECT_EQ(head_stats.entries_forwarded, 8u);
+  EXPECT_LT(head_stats.batches_forwarded, head_stats.entries_forwarded);
+  EXPECT_GE(head_stats.max_forward_batch, 2u);
+  EXPECT_GE(head_stats.session_inflight, 1u);
+  EXPECT_GE(cluster.replica(1).stats().batches_received, 1u);
+  EXPECT_GE(cluster.replica(2).stats().batches_received, 1u);
+
+  cluster.Shutdown();
+}
+
+// With coalescing disabled (max_forward_batch = 1) the chain must behave exactly as the
+// unbatched seed: every entry ships as a single kChainPropagate and still converges.
+TEST(ChainBatchTest, SingleEntryBatchesDegradeToUnbatchedPropagation) {
+  KronosCluster::Options opts;
+  opts.replicas = 3;
+  opts.replica.max_forward_batch = 1;
+  KronosCluster cluster(opts);
+  auto client = cluster.MakeClient("c");
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client->CreateEvent().ok());
+  }
+  ASSERT_TRUE(cluster.WaitForConvergence(3'000'000));
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    EXPECT_EQ(cluster.replica(i).live_events(), 6u) << "replica " << i;
+  }
+  const ChainReplica::ReplicaStats head_stats = cluster.replica(0).stats();
+  EXPECT_EQ(head_stats.entries_forwarded, 6u);
+  EXPECT_EQ(head_stats.batches_forwarded, 6u);  // cap 1: no message carries two entries
+  EXPECT_EQ(head_stats.max_forward_batch, 1u);
+  EXPECT_EQ(cluster.replica(1).stats().batches_received, 0u);
+
+  cluster.Shutdown();
+}
+
+}  // namespace
+}  // namespace kronos

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "src/common/crc32.h"
 
@@ -138,6 +143,179 @@ TEST(WalTest, CorruptPayloadStopsReplayAtBoundary) {
   ASSERT_EQ(records.size(), 1u);  // the corrupted record and everything after is dropped
   EXPECT_EQ(records[0], Bytes({5, 5}));
   EXPECT_TRUE(wal.tail_was_torn());
+  std::remove(path.c_str());
+}
+
+// --- GroupCommitWal (DESIGN.md §5.8) ---------------------------------------------------------
+
+// An index-stamped record: recoverable logs must replay a dense prefix 0, 1, 2, ...
+std::vector<uint8_t> IndexRecord(uint64_t i) {
+  std::vector<uint8_t> r(sizeof(i));
+  std::memcpy(r.data(), &i, sizeof(i));
+  return r;
+}
+
+uint64_t RecordIndex(std::span<const uint8_t> r) {
+  uint64_t i = 0;
+  EXPECT_EQ(r.size(), sizeof(i));
+  std::memcpy(&i, r.data(), sizeof(i));
+  return i;
+}
+
+TEST(GroupCommitWalTest, CommitAndReplay) {
+  const std::string path = TempWalPath("gc_basic");
+  std::remove(path.c_str());
+  {
+    GroupCommitWal wal;
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    for (uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal.Commit(IndexRecord(i)).ok());
+    }
+    // Sequential commits cannot coalesce: each record is enqueued only after the previous
+    // one is durable, so every record is its own batch.
+    const GroupCommitWal::Stats stats = wal.stats();
+    EXPECT_EQ(stats.records, 3u);
+    EXPECT_EQ(stats.batches, 3u);
+    EXPECT_EQ(stats.max_batch, 1u);
+    wal.Close();
+  }
+  GroupCommitWal replayed;
+  std::vector<uint64_t> indices;
+  ASSERT_TRUE(replayed.Open(path, [&](std::span<const uint8_t> r) {
+                        indices.push_back(RecordIndex(r));
+                      })
+                  .ok());
+  EXPECT_EQ(indices, (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(replayed.records_replayed(), 3u);
+  EXPECT_FALSE(replayed.tail_was_torn());
+  replayed.Close();
+  std::remove(path.c_str());
+}
+
+TEST(GroupCommitWalTest, EnqueueOrderIsReplayOrder) {
+  const std::string path = TempWalPath("gc_order");
+  std::remove(path.c_str());
+  {
+    GroupCommitWal wal;
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    GroupCommitWal::Ticket last = 0;
+    for (uint64_t i = 0; i < 100; ++i) {
+      last = wal.Enqueue(IndexRecord(i));
+      EXPECT_EQ(last, i);  // tickets are dense enqueue positions
+    }
+    ASSERT_TRUE(wal.WaitDurable(last).ok());
+    // WaitDurable is cumulative: every earlier ticket is durable too.
+    ASSERT_TRUE(wal.WaitDurable(0).ok());
+    wal.Close();
+  }
+  WriteAheadLog replayed;
+  std::vector<uint64_t> indices;
+  ASSERT_TRUE(replayed.Open(path, [&](std::span<const uint8_t> r) {
+                        indices.push_back(RecordIndex(r));
+                      })
+                  .ok());
+  ASSERT_EQ(indices.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(indices[i], i);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GroupCommitWalTest, ConcurrentCommitsCoalesceUnderWindow) {
+  const std::string path = TempWalPath("gc_window");
+  std::remove(path.c_str());
+  GroupCommitWalOptions opts;
+  opts.max_delay_us = 2'000;  // hold each batch open so concurrent writers pile in
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 25;
+  {
+    GroupCommitWal wal(opts);
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&wal, t] {
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+          ASSERT_TRUE(wal.Commit(IndexRecord(t * kPerThread + i)).ok());
+        }
+      });
+    }
+    for (auto& w : writers) {
+      w.join();
+    }
+    const GroupCommitWal::Stats stats = wal.stats();
+    EXPECT_EQ(stats.records, kThreads * kPerThread);
+    EXPECT_LT(stats.batches, stats.records);  // the window absorbed concurrent writers
+    EXPECT_GE(stats.max_batch, 2u);
+    wal.Close();
+  }
+  WriteAheadLog replayed;
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  uint64_t count = 0;
+  ASSERT_TRUE(replayed.Open(path, [&](std::span<const uint8_t> r) {
+                        const uint64_t i = RecordIndex(r);
+                        ASSERT_LT(i, seen.size());
+                        EXPECT_FALSE(seen[i]) << "record " << i << " duplicated";
+                        seen[i] = true;
+                        ++count;
+                      })
+                  .ok());
+  EXPECT_EQ(count, kThreads * kPerThread);  // exactly once each, interleaving free
+  std::remove(path.c_str());
+}
+
+// The crash-safety contract: SIGKILL while records sit between the commit queue and the
+// fsync must leave a log whose replay is a dense prefix covering everything WaitDurable
+// acknowledged — whole records only, never a torn one surfaced, never a gap or reorder.
+TEST(GroupCommitWalTest, KillMidStreamRecoversAcknowledgedPrefix) {
+  const std::string path = TempWalPath("gc_crash");
+  std::remove(path.c_str());
+  constexpr uint64_t kAcked = 256;   // durability confirmed for tickets [0, kAcked)
+  constexpr uint64_t kFlood = 1024;  // enqueued with no wait; in flight when the kill lands
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: no gtest assertions (they would confuse the parent run); exit codes instead.
+    GroupCommitWal wal;
+    if (!wal.Open(path, nullptr).ok()) {
+      _exit(2);
+    }
+    GroupCommitWal::Ticket last = 0;
+    for (uint64_t i = 0; i < kAcked; ++i) {
+      last = wal.Enqueue(IndexRecord(i));
+    }
+    if (!wal.WaitDurable(last).ok()) {
+      _exit(3);
+    }
+    for (uint64_t i = kAcked; i < kFlood; ++i) {
+      wal.Enqueue(IndexRecord(i));
+    }
+    // Die while the commit thread is mid-batch: some flood records are buffered in the
+    // kernel, some not yet written, none awaited.
+    raise(SIGKILL);
+    _exit(4);  // unreachable
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus)) << "child exited with " << WEXITSTATUS(wstatus);
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  GroupCommitWal recovered;
+  std::vector<uint64_t> indices;
+  ASSERT_TRUE(recovered.Open(path, [&](std::span<const uint8_t> r) {
+                        indices.push_back(RecordIndex(r));
+                      })
+                  .ok());
+  ASSERT_GE(indices.size(), kAcked) << "acknowledged records lost";
+  ASSERT_LE(indices.size(), kFlood);
+  for (uint64_t i = 0; i < indices.size(); ++i) {
+    ASSERT_EQ(indices[i], i) << "replay is not a dense prefix";
+  }
+  // The recovered log is immediately writable: appends continue after the (possibly
+  // truncated) tail.
+  ASSERT_TRUE(recovered.Commit(IndexRecord(indices.size())).ok());
+  recovered.Close();
   std::remove(path.c_str());
 }
 

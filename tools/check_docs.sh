@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Documentation checks, run as part of tier-1 (tools/run_tier1.sh):
+#
+#   1. Every intra-repo markdown link in the doc set resolves to a real file.
+#   2. Every kronos_* metric name the docs mention exists in the source tree, so the
+#      metrics catalog (docs/OPERATIONS.md) can never drift from the instruments.
+#
+# The metric check is substring-based on purpose: dynamic families are documented as
+# kronos_cmd_<type>_total, which extracts as the prefix "kronos_cmd_" and matches the
+# concatenation site in source; fully spelled names must match their registration literal.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md docs/*.md)
+fail=0
+
+echo "--- check_docs: markdown links ---"
+for doc in "${DOCS[@]}"; do
+  dir=$(dirname "$doc")
+  # Extract link targets: [text](target). Skip external schemes and pure anchors.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"            # drop any #anchor
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+echo "--- check_docs: metric names ---"
+# Every kronos_[a-z0-9_]* token in the docs must appear somewhere under src/ or tools/ —
+# metric registration sites for metric names, CMakeLists for library names. Tokens naturally
+# truncate at templating characters (<, {, *), leaving a family prefix that must still match.
+while IFS= read -r name; do
+  if ! grep -rqF -- "$name" src tools; then
+    echo "UNKNOWN METRIC in docs: $name"
+    fail=1
+  fi
+done < <(grep -hoE 'kronos_[a-z0-9_]+' "${DOCS[@]}" | sort -u)
+
+if [[ "$fail" != 0 ]]; then
+  echo "check_docs: FAIL" >&2
+  exit 1
+fi
+echo "check_docs: OK"

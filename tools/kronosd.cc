@@ -1,10 +1,20 @@
 // kronosd: the standalone Kronos event ordering daemon.
 //
-// Usage: kronosd [port] [stats_interval_s]
+// Usage: kronosd [port] [stats_interval_s] [flags]
 //
-// Serves the Kronos API on 127.0.0.1:<port> (default 7330; 0 picks an ephemeral port and
-// prints it). Clients connect with TcpKronos (see src/client/tcp_client.h) or any
-// implementation of the framed envelope protocol in src/wire.
+//   --wal <path>             persist updates to a group-commit write-ahead log; replays any
+//                            existing log before serving (docs/OPERATIONS.md)
+//   --commit-window-us <n>   hold each WAL commit window open up to n microseconds so more
+//                            records share one fsync (default 0 = sync-absorb: no added
+//                            latency, batching emerges under load)
+//   --pipeline-max <n>       max envelopes drained per connection wakeup (default 64;
+//                            1 disables pipelined batching)
+//   --stats-interval-s <n>   seconds between metrics digests (0 disables; also positional)
+//   --port <n>               listen port (also positional; 0 picks an ephemeral port)
+//
+// Serves the Kronos API on 127.0.0.1:<port> (default 7330). Clients connect with TcpKronos
+// (see src/client/tcp_client.h) or any implementation of the framed envelope protocol in
+// src/wire.
 //
 // Observability: every stats_interval_s seconds (default 60; 0 disables) the daemon logs a
 // one-line metrics digest — per-command counts, engine gauges, latency p50/p99 — and SIGUSR1
@@ -13,9 +23,11 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "src/server/daemon.h"
@@ -28,28 +40,64 @@ std::atomic<bool> g_dump_stats{false};
 void HandleSignal(int) { g_shutdown.store(true); }
 void HandleDumpSignal(int) { g_dump_stats.store(true); }
 
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [port] [stats_interval_s] [--wal <path>] [--commit-window-us <n>]\n"
+               "       [--pipeline-max <n>] [--stats-interval-s <n>] [--port <n>]\n",
+               argv0);
+  return 64;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint16_t port = 7330;
-  if (argc > 1) {
-    port = static_cast<uint16_t>(std::atoi(argv[1]));
-  }
   uint64_t stats_interval_s = 60;
-  if (argc > 2) {
-    stats_interval_s = static_cast<uint64_t>(std::atoll(argv[2]));
-  }
+  std::string wal_path;
   // The standalone daemon opts into the order cache (library default is off so benchmarks
   // and embedded uses keep the lock-free read path): real deployments see skewed, repeated
   // queries where the cache pays for its mutex, and its hit rate feeds `kronos_cli stats`.
-  kronos::KronosDaemon daemon(
-      kronos::KronosDaemon::Options{.query_cache_capacity = 1 << 16});
-  kronos::Status started = daemon.Start(port);
+  kronos::KronosDaemon::Options options{.query_cache_capacity = 1 << 16};
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--wal") == 0 && has_value) {
+      wal_path = argv[++i];
+    } else if (std::strcmp(arg, "--commit-window-us") == 0 && has_value) {
+      options.wal_commit.max_delay_us = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(arg, "--pipeline-max") == 0 && has_value) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 1) {
+        return Usage(argv[0]);
+      }
+      options.max_pipeline_batch = static_cast<size_t>(n);
+    } else if (std::strcmp(arg, "--stats-interval-s") == 0 && has_value) {
+      stats_interval_s = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(arg, "--port") == 0 && has_value) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (positional == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg));
+      ++positional;
+    } else if (positional == 1) {
+      stats_interval_s = static_cast<uint64_t>(std::atoll(arg));
+      ++positional;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  kronos::KronosDaemon daemon(options);
+  kronos::Status started = daemon.Start(port, wal_path);
   if (!started.ok()) {
     std::fprintf(stderr, "kronosd: failed to start: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("kronosd: listening on 127.0.0.1:%u\n", daemon.port());
+  std::printf("kronosd: listening on 127.0.0.1:%u%s%s\n", daemon.port(),
+              wal_path.empty() ? "" : ", wal=", wal_path.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -18,6 +18,11 @@ if git status --porcelain | grep -Ev '^D ' | grep -E '(^|/)build[^/]*/|\.o$' ; t
   exit 1
 fi
 
+echo "=== tier-1: documentation checks ==="
+# Intra-repo markdown links must resolve; every kronos_* name in the docs must exist in
+# source, so the metrics catalog cannot drift from the instruments.
+./tools/check_docs.sh
+
 echo "=== tier-1: build + ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
