@@ -168,6 +168,9 @@ Status WriteAheadLog::Sync() {
   if (fd_ < 0) {
     return Unavailable("wal not open");
   }
+  if (fail_next_sync_.exchange(false)) {
+    return Unavailable("injected sync failure (test)");
+  }
   if (::fdatasync(fd_) != 0) {
     return Errno("fdatasync");
   }
@@ -219,6 +222,10 @@ Status GroupCommitWal::WaitDurable(Ticket ticket) {
   durable_cv_.wait(lock, [&] {
     return durable_through_ > ticket || !failed_.ok() || !open_;
   });
+  // Invariant: durable_through_ is frozen the moment failed_ is set (the commit loop is
+  // fail-stop), so `durable_through_ > ticket` means the record was fsynced strictly before
+  // the failure — those acknowledgements stand. Every ticket at or past the failure point
+  // gets failed_.
   if (durable_through_ > ticket) {
     return OkStatus();
   }
@@ -233,6 +240,19 @@ void GroupCommitWal::CommitLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     pending_cv_.wait(lock, [&] { return !pending_.empty() || closing_; });
+    if (!failed_.ok()) {
+      // Fail-stop: after a failed write/fsync the on-disk state is unknowable (a torn record
+      // may sit at the tail, and anything appended after it would be unreplayable), so the
+      // file is never touched again and durable_through_ never advances. Pending and future
+      // records are dropped; their waiters observe failed_.
+      pending_.clear();
+      pending_bytes_ = 0;
+      durable_cv_.notify_all();
+      if (closing_) {
+        return;
+      }
+      continue;
+    }
     if (pending_.empty()) {
       return;  // closing with nothing left to drain
     }

@@ -16,6 +16,7 @@
 #ifndef KRONOS_COMMON_WAL_H_
 #define KRONOS_COMMON_WAL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -58,11 +59,17 @@ class WriteAheadLog {
   uint64_t records_replayed() const { return records_replayed_; }
   bool tail_was_torn() const { return tail_was_torn_; }
 
+  // Fault injection for tests: the next Sync() fails with Unavailable without touching the
+  // file, exercising callers' failed-fsync paths.
+  void FailNextSyncForTest() { fail_next_sync_ = true; }
+
  private:
   int fd_ = -1;
   uint64_t records_appended_ = 0;
   uint64_t records_replayed_ = 0;
   bool tail_was_torn_ = false;
+  // Atomic: tests arm it from their own thread while a GroupCommitWal commit thread syncs.
+  std::atomic<bool> fail_next_sync_{false};
 };
 
 // Tuning for the group-commit window. The default (max_delay_us = 0) is sync-absorb group
@@ -86,8 +93,13 @@ struct GroupCommitWalOptions {
 // Writers call Enqueue() to stake out a durable position (records become durable in exactly
 // enqueue order — callers that need "WAL order == apply order" enqueue while holding their
 // apply lock) and WaitDurable() to block until the commit thread has written AND fsynced their
-// record. Commit() is the one-shot convenience. A sync failure fails every waiter of that
-// batch and all later ones (the log is not usable past a failed fsync).
+// record. Commit() is the one-shot convenience.
+//
+// Failure model is fail-stop: the first write/fsync error is sticky, the commit thread never
+// touches the file again (a torn record may sit at the tail, and anything written past it
+// would be invisible to replay), and the durable frontier is frozen. Records acknowledged
+// before the failure stay acknowledged; every waiter of the failed batch and every later
+// Enqueue/Commit gets the original error.
 class GroupCommitWal {
  public:
   using Options = GroupCommitWalOptions;
@@ -135,6 +147,10 @@ class GroupCommitWal {
 
   uint64_t records_replayed() const { return wal_.records_replayed(); }
   bool tail_was_torn() const { return wal_.tail_was_torn(); }
+
+  // Fault injection for tests: fails the next batch's fsync, tripping the sticky fail-stop
+  // path. Call before the write being failed is enqueued.
+  void FailNextSyncForTest() { wal_.FailNextSyncForTest(); }
 
  private:
   void CommitLoop();

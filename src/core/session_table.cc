@@ -50,6 +50,15 @@ void SessionTable::Commit(uint64_t client_id, uint64_t client_seq, uint64_t appl
   by_age_.emplace(applied_at, client_id);
 }
 
+void SessionTable::Forget(uint64_t client_id) {
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  by_age_.erase(it->second.applied_at);
+  sessions_.erase(it);
+}
+
 void SessionTable::EvictOldestLocked() {
   auto oldest = by_age_.begin();
   sessions_.erase(oldest->second);

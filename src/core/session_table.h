@@ -63,6 +63,11 @@ class SessionTable {
   void Commit(uint64_t client_id, uint64_t client_seq, uint64_t applied_at,
               std::vector<uint8_t> reply);
 
+  // Drops a session outright. Used when a Commit turns out to be unacknowledgeable (its WAL
+  // record failed durability): the cached success reply must never be replayed to a retry.
+  // The client degrades to the same at-least-once footing as an evicted session.
+  void Forget(uint64_t client_id);
+
   size_t size() const { return sessions_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t evictions() const { return evictions_; }

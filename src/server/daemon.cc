@@ -226,7 +226,11 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
   }
   const Stopwatch timer;
   uint64_t wait_frontier = 0;  // 1 + highest WAL ticket this run must see durable; 0 = none
-  std::vector<bool> applied(run.size(), false);
+  // Replies gated on this run's durability wait: fresh applies AND session-duplicate replays
+  // (a cached success is only re-sendable once the frontier covering its original is
+  // durable). All of them flip to the error if the wait fails.
+  std::vector<bool> durability_gated(run.size(), false);
+  std::vector<bool> committed_session(run.size(), false);  // Commit()ed in this run
   {
     std::unique_lock<std::shared_mutex> lock(sm_mutex_);
     exclusive_run_cmds_.Record(run.size());
@@ -240,6 +244,14 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
               std::chrono::microseconds(options_.simulated_query_service_us));
         }
         req.reply = SerializeCommandResult(sm_.ApplyReadOnly(cmd));
+        continue;
+      }
+      if (!wal_failed_.ok()) {
+        // Fail-stop: the log is dead, so no mutation may apply (it could never be made
+        // durable) and no cached reply may replay (its durability can't be re-promised).
+        CommandResult rejected;
+        rejected.status = wal_failed_;
+        req.reply = SerializeCommandResult(rejected);
         continue;
       }
       const bool sessioned = req.env.has_session();
@@ -256,6 +268,7 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
             // The original may still be riding an in-flight group commit; hold this reply
             // until the current log frontier is durable so we never ack a losable write.
             wait_frontier = std::max(wait_frontier, wal_frontier_);
+            durability_gated[i] = true;
             continue;
           case SessionTable::Verdict::kStale: {
             session_stale_.Increment();
@@ -282,12 +295,13 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
         wal_append_us_.Record(wal_timer.ElapsedMicros());
       }
       req.reply = SerializeCommandResult(sm_.Apply(cmd));
-      applied[i] = true;
+      durability_gated[i] = true;
       if (sessioned) {
         // Cached for replay; applied_updates is the log index — unique, increasing, and
         // identical on WAL replay, which keeps eviction deterministic.
         sm_.sessions().Commit(req.env.client_id, req.env.client_seq, sm_.applied_updates(),
                               req.reply);
+        committed_session[i] = true;
       }
     }
   }
@@ -298,13 +312,25 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
     Status durable = wal_.WaitDurable(wait_frontier - 1);
     wal_commit_wait_us_.Record(wait_timer.ElapsedMicros());
     if (!durable.ok()) {
-      // A failed fsync leaves the log unusable; nothing applied in this run may be
-      // acknowledged as committed.
+      // The fsync failed and the WAL is sticky-dead. Nothing gated on this wait may be
+      // acknowledged: fresh applies AND duplicate replays both get the error, and the session
+      // entries this run committed are retracted so a retry (this connection or a fresh one)
+      // can never be handed the cached success for a write recovery will not replay. The
+      // exclusive lock is re-taken to poison the write path for all future runs.
       CommandResult failed;
       failed.status = durable;
       const std::vector<uint8_t> failed_bytes = SerializeCommandResult(failed);
+      std::unique_lock<std::shared_mutex> lock(sm_mutex_);
+      if (wal_failed_.ok()) {
+        wal_failed_ = durable;
+        KLOG(Error) << "kronosd: WAL group commit failed (" << durable.ToString()
+                    << "); write path disabled until restart";
+      }
       for (size_t i = 0; i < run.size(); ++i) {
-        if (applied[i]) {
+        if (committed_session[i]) {
+          sm_.sessions().Forget(run[i]->env.client_id);
+        }
+        if (durability_gated[i]) {
           run[i]->reply = failed_bytes;
         }
       }

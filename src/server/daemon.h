@@ -22,6 +22,14 @@
 // readers may observe applied-but-unsynced state (standard group-commit semantics — a crash
 // can lose a suffix of unacknowledged updates, never an acknowledged one).
 //
+// A failed fsync is fail-stop for the write path: the GroupCommitWal goes sticky-failed (the
+// log is never written again), every command in the covering run — including session
+// duplicates that were about to replay a cached reply — is answered with the error, the
+// run's session-table commits are retracted so no later retry can replay a success for a
+// write that was never durable, and all subsequent mutations are rejected until restart
+// (recovery replays the log's durable prefix, which by construction contains every
+// acknowledged write and none of the failed ones). Reads keep being served.
+//
 // Telemetry (DESIGN.md §5.6): every command is counted and timed into a MetricsRegistry —
 // per-command-type counters and latency histograms, shared vs exclusive scheduling counts,
 // pipeline/batch-size distributions, and WAL enqueue/commit-wait/commit-window timings.
@@ -101,6 +109,10 @@ class KronosDaemon {
   // Group-commit WAL coalescing counters (zeros when not persistent).
   GroupCommitWal::Stats wal_stats() const { return wal_.stats(); }
 
+  // Fault injection for tests: fails the next WAL batch fsync, driving the write path into
+  // its fail-stop state (see wal_failed_ below).
+  void FailNextWalSyncForTest() { wal_.FailNextSyncForTest(); }
+
   // Engine introspection (safe to call while serving). Reads take the lock in shared mode:
   // they contend only with updates, never with the query path.
   uint64_t live_events() const;
@@ -116,10 +128,11 @@ class KronosDaemon {
 
  private:
   // One request envelope drained from a connection, carried through parse -> execute -> reply.
+  // (Envelope-level parse failures drop the connection in ProcessFrames and never produce a
+  // PendingRequest, so only the command-level verdict is carried.)
   struct PendingRequest {
     Envelope env;
-    Status parse = OkStatus();          // envelope-level parse verdict
-    Command cmd;                        // valid when parse.ok() and kind == kRequest
+    Command cmd;                        // valid when cmd_parse.ok() and kind == kRequest
     Status cmd_parse = OkStatus();      // command-level parse verdict
     std::vector<uint8_t> reply;         // serialized reply payload (filled by execution)
   };
@@ -153,6 +166,11 @@ class KronosDaemon {
   // reply wait for the log frontier that covers the original apply; 0 = nothing enqueued
   // since open (replayed records are durable by definition).
   uint64_t wal_frontier_ = 0;
+  // Sticky write-path verdict (guarded by sm_mutex_). Set on the first failed group-commit
+  // wait: from then on every mutation (including session-duplicate replays) is rejected with
+  // this status before touching the state machine, so in-memory state stops diverging from
+  // the dead log and no client is ever acknowledged for a write recovery cannot replay.
+  Status wal_failed_ = OkStatus();
 
   std::mutex conns_mutex_;
   std::vector<std::thread> conn_threads_;

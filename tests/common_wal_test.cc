@@ -263,6 +263,49 @@ TEST(GroupCommitWalTest, ConcurrentCommitsCoalesceUnderWindow) {
   std::remove(path.c_str());
 }
 
+// Fail-stop on fsync failure: the error is sticky, the file is never written again (records
+// enqueued after the failure must not reach disk — they would be acknowledged-looking bytes
+// that replay cannot trust), and the durable frontier is frozen so pre-failure
+// acknowledgements stand while everything at or past the failed batch errors.
+TEST(GroupCommitWalTest, SyncFailureIsStickyAndStopsWriting) {
+  const std::string path = TempWalPath("gc_fail");
+  std::remove(path.c_str());
+  {
+    GroupCommitWal wal;
+    ASSERT_TRUE(wal.Open(path, nullptr).ok());
+    ASSERT_TRUE(wal.Commit(IndexRecord(0)).ok());  // durable before the failure
+
+    wal.FailNextSyncForTest();
+    EXPECT_FALSE(wal.Commit(IndexRecord(1)).ok());  // the failed batch itself
+    EXPECT_FALSE(wal.Commit(IndexRecord(2)).ok());  // sticky: fails without touching the file
+    EXPECT_FALSE(wal.Commit(IndexRecord(3)).ok());
+
+    // The pre-failure acknowledgement still stands; the frontier never advanced past it.
+    EXPECT_TRUE(wal.WaitDurable(0).ok());
+    EXPECT_FALSE(wal.WaitDurable(1).ok());
+    const GroupCommitWal::Stats stats = wal.stats();
+    EXPECT_EQ(stats.records, 1u);
+    EXPECT_EQ(stats.batches, 1u);
+    wal.Close();
+  }
+  // Replay: record 0 must be there; record 1 was written but unsynced (no crash here, so the
+  // kernel may still surface it); records 2+ were enqueued after the failure and must be
+  // absent — the commit thread never wrote them.
+  GroupCommitWal recovered;
+  std::vector<uint64_t> indices;
+  ASSERT_TRUE(recovered.Open(path, [&](std::span<const uint8_t> r) {
+                        indices.push_back(RecordIndex(r));
+                      })
+                  .ok());
+  ASSERT_GE(indices.size(), 1u);
+  ASSERT_LE(indices.size(), 2u);
+  for (uint64_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], i);
+  }
+  recovered.Close();
+  std::remove(path.c_str());
+}
+
 // The crash-safety contract: SIGKILL while records sit between the commit queue and the
 // fsync must leave a log whose replay is a dense prefix covering everything WaitDurable
 // acknowledged — whole records only, never a torn one surfaced, never a gap or reorder.

@@ -48,6 +48,25 @@ TEST(SessionTableTest, EvictsOldestCommitFirst) {
   EXPECT_EQ(table.Probe(2, 1), SessionTable::Verdict::kFresh);
 }
 
+TEST(SessionTableTest, ForgetRetractsSessionAndAgeEntry) {
+  SessionTable table(/*capacity=*/2);
+  table.Commit(1, 5, 100, Reply(1));
+  table.Commit(2, 3, 101, Reply(2));
+  table.Forget(1);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_EQ(table.CachedReply(1, 5), nullptr);
+  // Like eviction, the forgotten client degrades to at-least-once: fresh, never stale.
+  EXPECT_EQ(table.Probe(1, 5), SessionTable::Verdict::kFresh);
+  // The age-index entry went with it: a new session fills the freed slot without evicting.
+  table.Commit(3, 1, 102, Reply(3));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.evictions(), 0u);
+  EXPECT_EQ(table.Probe(2, 3), SessionTable::Verdict::kDuplicate);
+  table.Forget(99);  // unknown session: no-op
+  EXPECT_EQ(table.size(), 2u);
+}
+
 TEST(SessionTableTest, ExportRestoreRoundTrip) {
   SessionTable table;
   table.Commit(3, 7, 30, Reply(3));

@@ -19,6 +19,33 @@ std::string TempWalPath(const char* name) {
   return ::testing::TempDir() + "/kronos_pipeline_" + name + "_" + std::to_string(::getpid());
 }
 
+// Sends a burst of envelopes back to back, then collects one CommandResult per envelope.
+std::vector<CommandResult> Exchange(TcpConnection& conn, const std::vector<Envelope>& batch) {
+  std::vector<CommandResult> out;
+  for (const Envelope& e : batch) {
+    if (!conn.SendFrame(SerializeEnvelope(e)).ok()) {
+      ADD_FAILURE() << "send failed";
+      return out;
+    }
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Result<std::vector<uint8_t>> frame = conn.RecvFrame(2'000'000);
+    if (!frame.ok()) {
+      ADD_FAILURE() << "recv failed: " << frame.status().ToString();
+      return out;
+    }
+    Result<Envelope> env = ParseEnvelope(*frame);
+    Result<CommandResult> result = env.ok() ? ParseCommandResult(env->payload)
+                                            : Result<CommandResult>(env.status());
+    if (!result.ok()) {
+      ADD_FAILURE() << "bad reply: " << result.status().ToString();
+      return out;
+    }
+    out.push_back(*std::move(result));
+  }
+  return out;
+}
+
 uint64_t CounterValue(const MetricsSnapshot& snap, const std::string& name) {
   for (const auto& [n, v] : snap.counters) {
     if (n == name) {
@@ -137,6 +164,74 @@ TEST(DaemonPipelineTest, PipelinedMutationsSurviveRestart) {
   Result<std::vector<Order>> orders = (*client)->QueryOrder({{EventId{3}, EventId{5}}});
   ASSERT_TRUE(orders.ok());
   EXPECT_EQ((*orders)[0], Order::kBefore);
+  revived.Stop();
+  std::remove(wal.c_str());
+}
+
+// A failed group-commit fsync must never be papered over: every reply gated on the failed
+// wait errors — including a session duplicate that was about to replay its twin's cached
+// success — retries can't recover the cached reply (the session commit is retracted), the
+// write path is disabled until restart, and reads keep being served. Recovery then replays
+// only what the log actually holds: the acknowledged prefix.
+TEST(DaemonPipelineTest, WalSyncFailureNeverAcksAndDisablesWrites) {
+  const std::string wal = TempWalPath("fsync_fail");
+  std::remove(wal.c_str());
+  {
+    KronosDaemon daemon;
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    auto conn = TcpConnect(daemon.port(), 1'000'000);
+    ASSERT_TRUE(conn.ok());
+    const std::vector<uint8_t> create = SerializeCommand(Command::MakeCreateEvent());
+    const uint64_t kClient = 42;
+
+    // Seq 1 commits durably before the fault: its acknowledgement must stand.
+    std::vector<CommandResult> ok1 =
+        Exchange(**conn, {Envelope{MessageKind::kRequest, 1, kClient, /*session_seq=*/1, create}});
+    ASSERT_EQ(ok1.size(), 1u);
+    ASSERT_TRUE(ok1[0].ok());
+
+    daemon.FailNextWalSyncForTest();
+    // One pipelined burst: a fresh sessioned create and its retransmitted duplicate. The
+    // fresh apply fails durability; the duplicate must NOT be acknowledged with the cached
+    // success bytes its twin produced moments earlier.
+    std::vector<CommandResult> failed =
+        Exchange(**conn, {Envelope{MessageKind::kRequest, 2, kClient, /*session_seq=*/2, create},
+                          Envelope{MessageKind::kRequest, 3, kClient, /*session_seq=*/2, create}});
+    ASSERT_EQ(failed.size(), 2u);
+    EXPECT_FALSE(failed[0].ok());
+    EXPECT_FALSE(failed[1].ok());
+
+    // Retry on a fresh connection: the session entry was retracted, the write path is dead —
+    // still an error, never the cached success.
+    auto conn2 = TcpConnect(daemon.port(), 1'000'000);
+    ASSERT_TRUE(conn2.ok());
+    std::vector<CommandResult> retry =
+        Exchange(**conn2, {Envelope{MessageKind::kRequest, 9, kClient, /*session_seq=*/2, create}});
+    ASSERT_EQ(retry.size(), 1u);
+    EXPECT_FALSE(retry[0].ok());
+
+    // All further mutations (sessioned or not) are rejected; reads keep flowing.
+    std::vector<CommandResult> later = Exchange(
+        **conn2,
+        {Envelope{MessageKind::kRequest, 10, SerializeCommand(Command::MakeCreateEvent())},
+         Envelope{MessageKind::kRequest, 11,
+                  SerializeCommand(Command::MakeQueryOrder({{EventId{1}, EventId{2}}}))}});
+    ASSERT_EQ(later.size(), 2u);
+    EXPECT_FALSE(later[0].ok());
+    EXPECT_TRUE(later[1].ok());
+
+    (*conn)->Close();
+    (*conn2)->Close();
+    daemon.Stop();
+  }
+  // Restart: the durable prefix replays. Seq 1's record must be there; seq 2's may or may
+  // not (written but never fsynced — no crash occurred, so the kernel may have kept it);
+  // the post-failure rejects must not (the log is never written past a failed sync).
+  KronosDaemon revived;
+  ASSERT_TRUE(revived.Start(0, wal).ok());
+  EXPECT_GE(revived.commands_recovered(), 1u);
+  EXPECT_LE(revived.commands_recovered(), 2u);
+  EXPECT_EQ(revived.live_events(), revived.commands_recovered());
   revived.Stop();
   std::remove(wal.c_str());
 }

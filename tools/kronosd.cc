@@ -66,7 +66,13 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--wal") == 0 && has_value) {
       wal_path = argv[++i];
     } else if (std::strcmp(arg, "--commit-window-us") == 0 && has_value) {
-      options.wal_commit.max_delay_us = static_cast<uint64_t>(std::atoll(argv[++i]));
+      const long long n = std::atoll(argv[++i]);
+      // A negative value would wrap to an effectively infinite window (a lone writer's commit
+      // would stall until the batch-size cap); anything past 10 s is surely a typo too.
+      if (n < 0 || n > 10'000'000) {
+        return Usage(argv[0]);
+      }
+      options.wal_commit.max_delay_us = static_cast<uint64_t>(n);
     } else if (std::strcmp(arg, "--pipeline-max") == 0 && has_value) {
       const long long n = std::atoll(argv[++i]);
       if (n < 1) {
