@@ -6,9 +6,11 @@
 #ifndef KRONOS_BENCH_BENCH_UTIL_H_
 #define KRONOS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/common/logging.h"
 
@@ -38,6 +40,36 @@ inline void Header(const char* figure, const char* description) {
     std::printf("(KRONOS_BENCH_SCALE=%.3g: durations/sizes scaled down)\n", Scale());
   }
   std::printf("==============================================================================\n");
+}
+
+// Latency percentiles over raw per-op samples (any unit; the benches record microseconds).
+// Sorts a COPY so callers can keep appending; nearest-rank on the sorted samples, so p100 is
+// the max and p0 the min. Benches quote p50/p99 — means hide exactly the tail the fast-path
+// and shared-read-path work targets.
+struct LatencyPercentiles {
+  double p50 = 0;
+  double p99 = 0;
+  double max = 0;
+  uint64_t samples = 0;
+};
+
+inline LatencyPercentiles Percentiles(const std::vector<double>& raw) {
+  LatencyPercentiles out;
+  if (raw.empty()) {
+    return out;
+  }
+  std::vector<double> sorted = raw;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = [&sorted](double p) {
+    const size_t n = sorted.size();
+    size_t idx = static_cast<size_t>(p * static_cast<double>(n - 1) + 0.5);
+    return sorted[std::min(idx, n - 1)];
+  };
+  out.p50 = rank(0.50);
+  out.p99 = rank(0.99);
+  out.max = sorted.back();
+  out.samples = sorted.size();
+  return out;
 }
 
 }  // namespace bench

@@ -14,6 +14,10 @@
 // way real cores would, the serialized baseline cannot. Set it to 0 on a many-core machine to
 // measure raw CPU-bound scaling instead.
 //
+// Besides aggregate qps, each point reports client-observed p50/p99 command latency (merged
+// across worker threads): the serialized baseline's mutex convoy shows up as a latency tail
+// long before it caps throughput.
+//
 // KRONOS_BENCH_JSON=<path> additionally dumps the numbers as JSON (BENCH_concurrent_query.json
 // in the repo tracks the perf trajectory).
 #include <atomic>
@@ -37,6 +41,10 @@ struct RunResult {
   int threads = 0;
   uint64_t ops = 0;
   double seconds = 0;
+  // Client-observed per-command latency (TCP round trip incl. queueing), merged across all
+  // worker threads. qps alone hides the tail: a serialized daemon can post decent aggregate
+  // throughput while every command behind the mutex convoy eats multi-ms p99.
+  bench::LatencyPercentiles latency;
   double qps() const { return seconds > 0 ? static_cast<double>(ops) / seconds : 0; }
 };
 
@@ -81,6 +89,8 @@ RunResult Drive(uint16_t port, const std::vector<EventId>& ids, int threads,
                 uint64_t duration_us, double write_fraction) {
   std::atomic<uint64_t> total_ops{0};
   std::atomic<bool> go{false};
+  // Per-thread latency samples, merged after the join — no shared state on the hot path.
+  std::vector<std::vector<double>> lat_us(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (int t = 0; t < threads; ++t) {
@@ -88,13 +98,19 @@ RunResult Drive(uint16_t port, const std::vector<EventId>& ids, int threads,
       auto client = TcpKronos::Connect(port);
       KRONOS_CHECK(client.ok());
       Rng rng(1000 + static_cast<uint64_t>(t));
+      std::vector<double>& samples = lat_us[t];
+      samples.reserve(duration_us / 10);  // ~one sample per 10us of wall time, worst case
       while (!go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
       const auto deadline =
           std::chrono::steady_clock::now() + std::chrono::microseconds(duration_us);
       uint64_t ops = 0;
-      while (std::chrono::steady_clock::now() < deadline) {
+      while (true) {
+        const auto op_start = std::chrono::steady_clock::now();
+        if (op_start >= deadline) {
+          break;
+        }
         const uint64_t a = rng.Uniform(ids.size() - 1);
         const uint64_t b = a + 1 + rng.Uniform(ids.size() - a - 1);
         if (write_fraction > 0 && rng.Bernoulli(write_fraction)) {
@@ -106,6 +122,9 @@ RunResult Drive(uint16_t port, const std::vector<EventId>& ids, int threads,
           // lower->higher is the only direction edges are ever added in.
           KRONOS_CHECK((*r)[0] == Order::kBefore || (*r)[0] == Order::kConcurrent);
         }
+        samples.push_back(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - op_start)
+                              .count());
         ++ops;
       }
       total_ops.fetch_add(ops, std::memory_order_relaxed);
@@ -118,7 +137,13 @@ RunResult Drive(uint16_t port, const std::vector<EventId>& ids, int threads,
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return RunResult{threads, total_ops.load(), seconds};
+  std::vector<double> merged;
+  for (const std::vector<double>& s : lat_us) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  RunResult result{threads, total_ops.load(), seconds};
+  result.latency = bench::Percentiles(merged);
+  return result;
 }
 
 struct ModeResults {
@@ -138,18 +163,19 @@ ModeResults RunMode(bool serialize_reads, uint64_t service_us, uint64_t vertices
   ModeResults results;
   const char* label = serialize_reads ? "serialized (seed)" : "shared-mode";
   std::printf("\n-- %s --\n", label);
-  std::printf("%-10s %14s %14s %10s\n", "workload", "threads", "qps", "speedup");
+  std::printf("%-10s %14s %14s %10s %10s %10s\n", "workload", "threads", "qps", "speedup",
+              "p50 us", "p99 us");
   for (const int threads : thread_counts) {
     const RunResult r = Drive(daemon.port(), ids, threads, duration_us, 0.0);
     results.read_only.push_back(r);
-    std::printf("%-10s %14d %14.0f %9.2fx\n", "read-only", threads, r.qps(),
-                r.qps() / results.read_only.front().qps());
+    std::printf("%-10s %14d %14.0f %9.2fx %10.0f %10.0f\n", "read-only", threads, r.qps(),
+                r.qps() / results.read_only.front().qps(), r.latency.p50, r.latency.p99);
   }
   for (const int threads : thread_counts) {
     const RunResult r = Drive(daemon.port(), ids, threads, duration_us, 0.05);
     results.mixed.push_back(r);
-    std::printf("%-10s %14d %14.0f %9.2fx\n", "mixed-95/5", threads, r.qps(),
-                r.qps() / results.mixed.front().qps());
+    std::printf("%-10s %14d %14.0f %9.2fx %10.0f %10.0f\n", "mixed-95/5", threads, r.qps(),
+                r.qps() / results.mixed.front().qps(), r.latency.p50, r.latency.p99);
   }
   daemon.Stop();
   return results;
@@ -159,6 +185,17 @@ void JsonSeries(FILE* f, const char* name, const std::vector<RunResult>& series,
   std::fprintf(f, "    \"%s\": {", name);
   for (size_t i = 0; i < series.size(); ++i) {
     std::fprintf(f, "\"%d\": %.0f%s", series[i].threads, series[i].qps(),
+                 i + 1 < series.size() ? ", " : "");
+  }
+  std::fprintf(f, "}%s\n", last ? "" : ",");
+}
+
+void JsonLatencySeries(FILE* f, const char* name, const std::vector<RunResult>& series,
+                       bool last) {
+  std::fprintf(f, "    \"%s\": {", name);
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::fprintf(f, "\"%d\": {\"p50_us\": %.1f, \"p99_us\": %.1f}%s", series[i].threads,
+                 series[i].latency.p50, series[i].latency.p99,
                  i + 1 < series.size() ? ", " : "");
   }
   std::fprintf(f, "}%s\n", last ? "" : ",");
@@ -203,6 +240,11 @@ int main() {
     JsonSeries(f, "serialized_mixed_95_5", before.mixed, false);
     JsonSeries(f, "shared_read_only", after.read_only, false);
     JsonSeries(f, "shared_mixed_95_5", after.mixed, true);
+    std::fprintf(f, "  },\n  \"latency\": {\n");
+    JsonLatencySeries(f, "serialized_read_only", before.read_only, false);
+    JsonLatencySeries(f, "serialized_mixed_95_5", before.mixed, false);
+    JsonLatencySeries(f, "shared_read_only", after.read_only, false);
+    JsonLatencySeries(f, "shared_mixed_95_5", after.mixed, true);
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path);

@@ -1,0 +1,308 @@
+// Query fast-path microbenchmark: timestamp-pruned reachability (DESIGN.md §5.9), A/B.
+//
+// Every event carries a Lamport height stamp maintained by the engine; a query pair whose
+// stamps refute both directions is answered kConcurrent with ZERO traversal, and a surviving
+// direction runs a BFS whose expansions are pruned at the target's stamp. This bench drives
+// the same pair stream over the same graph twice — filter on, filter off (the pure two-BFS
+// seed read path) — and reports per-query p50/p99 latency plus the engine's ts_* counters.
+// Verdicts from the two runs are compared query-by-query: the filter is a pure optimization,
+// so a single mismatch aborts the bench.
+//
+// Topologies (bench/graph_gen.h idiom, oriented low -> high so construction never aborts):
+//   chain      one long dependency chain — the filter's worst case (every pair is ordered,
+//              stamps almost never refute); kept as the honesty row.
+//   uniform    Erdős–Rényi DAG, uniform random pairs — the Fig. 12 shape.
+//   large      the same DAG at 3x scale, pairs drawn from a sliding creation-time window:
+//              "which of these two roughly-contemporaneous events came first", the §3
+//              transaction-ordering query Kronos exists to answer. Contemporaneous events
+//              sit at nearly equal heights, so the filter refutes or tightly bounds almost
+//              every query while the baseline BFS walks two unbounded cones. This is the
+//              headline config BENCH_query_fastpath.json tracks.
+//
+// --check: small-graph self-verification (filter vs pure BFS over random pairs, plus a GC
+// round), exit 1 on any divergence — wired into tools/run_tier1.sh so a soundness regression
+// in the filter fails tier-1 even when nobody reruns the full bench.
+//
+// KRONOS_BENCH_JSON=<path> dumps the numbers (BENCH_query_fastpath.json tracks the
+// trajectory).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/event_graph.h"
+
+namespace kronos {
+namespace {
+
+struct Topology {
+  const char* name;
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  uint64_t queries = 0;
+  // 0 = uniform random pairs; otherwise |i - j| < window (contemporaneous pairs).
+  uint64_t pair_window = 0;
+  bool chain = false;
+};
+
+std::vector<EventId> BuildGraph(EventGraph& g, const Topology& topo, uint64_t seed) {
+  std::vector<EventId> ids;
+  ids.reserve(topo.vertices);
+  for (uint64_t i = 0; i < topo.vertices; ++i) {
+    ids.push_back(g.CreateEvent());
+  }
+  std::vector<AssignSpec> batch;
+  auto flush = [&] {
+    if (!batch.empty()) {
+      KRONOS_CHECK(g.AssignOrder(batch).ok());
+      batch.clear();
+    }
+  };
+  if (topo.chain) {
+    for (uint64_t i = 1; i < topo.vertices; ++i) {
+      batch.push_back({ids[i - 1], ids[i], Constraint::kMust});
+      if (batch.size() == 64) flush();
+    }
+  } else {
+    Rng rng(seed);
+    for (uint64_t e = 0; e < topo.edges; ++e) {
+      const uint64_t a = rng.Uniform(topo.vertices - 1);
+      const uint64_t b = a + 1 + rng.Uniform(topo.vertices - a - 1);
+      batch.push_back({ids[a], ids[b], Constraint::kPrefer});
+      if (batch.size() == 64) flush();
+    }
+  }
+  flush();
+  return ids;
+}
+
+std::vector<EventPair> MakePairs(const std::vector<EventId>& ids, const Topology& topo,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EventPair> pairs;
+  pairs.reserve(topo.queries);
+  const uint64_t n = ids.size();
+  for (uint64_t q = 0; q < topo.queries; ++q) {
+    uint64_t i = rng.Uniform(n);
+    uint64_t j;
+    if (topo.pair_window > 0) {
+      // Contemporaneous pair: a neighbour within the creation-time window, either side.
+      const uint64_t w = 1 + rng.Uniform(topo.pair_window);
+      j = rng.Bernoulli(0.5) ? (i + w < n ? i + w : i - std::min(i, w))
+                             : (i >= w ? i - w : i + w);
+    } else {
+      j = rng.Uniform(n);
+    }
+    if (j == i) {
+      j = (i + 1) % n;
+    }
+    pairs.push_back({ids[i], ids[j]});
+  }
+  return pairs;
+}
+
+struct Series {
+  bench::LatencyPercentiles lat;
+  std::vector<Order> verdicts;
+  uint64_t traversals = 0;  // deltas over the run
+  uint64_t visited = 0;
+  uint64_t ts_filtered = 0;
+  uint64_t ts_fallback = 0;
+  uint64_t ts_pruned = 0;
+};
+
+Series Measure(const EventGraph& g, const std::vector<EventPair>& pairs) {
+  // Warmup: touch every pair once so allocator/scratch growth happens off the clock.
+  for (size_t i = 0; i < pairs.size(); i += 97) {
+    KRONOS_CHECK(g.QueryOrder({&pairs[i], 1}).ok());
+  }
+  Series s;
+  s.verdicts.reserve(pairs.size());
+  std::vector<double> us;
+  us.reserve(pairs.size());
+  const EventGraph::Stats before = g.stats();
+  for (const EventPair& p : pairs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<std::vector<Order>> r = g.QueryOrder({&p, 1});
+    const auto t1 = std::chrono::steady_clock::now();
+    KRONOS_CHECK(r.ok());
+    s.verdicts.push_back((*r)[0]);
+    us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  const EventGraph::Stats after = g.stats();
+  s.lat = bench::Percentiles(us);
+  s.traversals = after.traversals - before.traversals;
+  s.visited = after.vertices_visited - before.vertices_visited;
+  s.ts_filtered = after.ts_filtered - before.ts_filtered;
+  s.ts_fallback = after.ts_fallback - before.ts_fallback;
+  s.ts_pruned = after.ts_pruned - before.ts_pruned;
+  return s;
+}
+
+struct TopoResult {
+  Topology topo;
+  Series off;
+  Series on;
+  double p99_speedup() const { return on.lat.p99 > 0 ? off.lat.p99 / on.lat.p99 : 0; }
+  double p50_speedup() const { return on.lat.p50 > 0 ? off.lat.p50 / on.lat.p50 : 0; }
+};
+
+TopoResult RunTopology(const Topology& topo) {
+  EventGraph g;
+  const std::vector<EventId> ids = BuildGraph(g, topo, 42);
+  const std::vector<EventPair> pairs = MakePairs(ids, topo, 4242);
+
+  TopoResult r;
+  r.topo = topo;
+  g.EnableTimestampFilter(false);
+  r.off = Measure(g, pairs);
+  g.EnableTimestampFilter(true);
+  r.on = Measure(g, pairs);
+  KRONOS_CHECK(r.on.verdicts == r.off.verdicts)
+      << topo.name << ": filter changed an answer — the fast path is unsound";
+
+  std::printf("\n-- %s (%llu vertices, %llu edges, %llu queries%s) --\n", topo.name,
+              (unsigned long long)topo.vertices, (unsigned long long)topo.edges,
+              (unsigned long long)topo.queries,
+              topo.pair_window > 0 ? ", contemporaneous pairs" : "");
+  std::printf("%-12s %10s %10s %14s %14s\n", "mode", "p50 us", "p99 us", "traversals",
+              "visited");
+  std::printf("%-12s %10.2f %10.2f %14llu %14llu\n", "filter-off", r.off.lat.p50,
+              r.off.lat.p99, (unsigned long long)r.off.traversals,
+              (unsigned long long)r.off.visited);
+  std::printf("%-12s %10.2f %10.2f %14llu %14llu\n", "filter-on", r.on.lat.p50, r.on.lat.p99,
+              (unsigned long long)r.on.traversals, (unsigned long long)r.on.visited);
+  std::printf("speedup: p50 %.1fx  p99 %.1fx | ts_filtered %llu (%.0f%%)  ts_fallback %llu  "
+              "ts_pruned %llu\n",
+              r.p50_speedup(), r.p99_speedup(), (unsigned long long)r.on.ts_filtered,
+              100.0 * static_cast<double>(r.on.ts_filtered) /
+                  static_cast<double>(topo.queries),
+              (unsigned long long)r.on.ts_fallback, (unsigned long long)r.on.ts_pruned);
+  return r;
+}
+
+// --check: verdict equivalence on a small graph, cheap enough for tier-1. Covers the
+// awkward corners the big runs don't: a GC round (stamps outlive collected predecessors,
+// staying sound upper bounds) and re-queries after further growth.
+int SelfCheck() {
+  Topology topo{.name = "check", .vertices = 400, .edges = 1200, .queries = 20000};
+  EventGraph g;
+  std::vector<EventId> ids = BuildGraph(g, topo, 7);
+  Rng rng(77);
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<EventPair> pairs = MakePairs(ids, topo, 700 + round);
+    g.EnableTimestampFilter(false);
+    std::vector<Order> baseline;
+    baseline.reserve(pairs.size());
+    for (const EventPair& p : pairs) {
+      Result<std::vector<Order>> r = g.QueryOrder({&p, 1});
+      KRONOS_CHECK(r.ok());
+      baseline.push_back((*r)[0]);
+    }
+    g.EnableTimestampFilter(true);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      Result<std::vector<Order>> r = g.QueryOrder({&pairs[i], 1});
+      KRONOS_CHECK(r.ok());
+      if ((*r)[0] != baseline[i]) {
+        std::fprintf(stderr,
+                     "micro_query_fastpath --check: MISMATCH round %d pair %zu "
+                     "(events %llu, %llu): filter=%d bfs=%d\n",
+                     round, i, (unsigned long long)pairs[i].e1,
+                     (unsigned long long)pairs[i].e2, (int)(*r)[0], (int)baseline[i]);
+        return 1;
+      }
+    }
+    // Between rounds: release a third of the events (GC keeps inherited stamps as sound
+    // upper bounds) and grow the graph past them.
+    if (round == 0) {
+      for (size_t i = 0; i < ids.size(); i += 3) {
+        KRONOS_CHECK(g.ReleaseRef(ids[i]).ok());
+      }
+      std::vector<EventId> fresh;
+      for (int i = 0; i < 100; ++i) {
+        fresh.push_back(g.CreateEvent());
+        const EventId parent = ids[1 + rng.Uniform(ids.size() - 1)];
+        (void)g.AssignOrder(
+            std::vector<AssignSpec>{{parent, fresh.back(), Constraint::kPrefer}});
+      }
+      // Collected events can no longer be queried; swap in survivors + fresh ones.
+      std::vector<EventId> live;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (i % 3 != 0) live.push_back(ids[i]);
+      }
+      live.insert(live.end(), fresh.begin(), fresh.end());
+      ids = std::move(live);
+    }
+  }
+  std::printf("micro_query_fastpath --check: OK (filter == pure BFS on %llu pairs, "
+              "incl. post-GC round)\n",
+              (unsigned long long)(2 * topo.queries));
+  return 0;
+}
+
+}  // namespace
+}  // namespace kronos
+
+int main(int argc, char** argv) {
+  using namespace kronos;
+  if (argc > 1 && std::strcmp(argv[1], "--check") == 0) {
+    return SelfCheck();
+  }
+  bench::Header("micro_query_fastpath",
+                "query_order latency with the §5.9 height-stamp filter on vs off");
+
+  const std::vector<Topology> topologies{
+      {.name = "chain", .vertices = bench::ScaledU64(20000), .edges = 0,
+       .queries = bench::ScaledU64(4000), .chain = true},
+      {.name = "uniform", .vertices = bench::ScaledU64(10000),
+       .edges = bench::ScaledU64(30000), .queries = bench::ScaledU64(4000)},
+      {.name = "large", .vertices = bench::ScaledU64(30000),
+       .edges = bench::ScaledU64(90000), .queries = bench::ScaledU64(8000),
+       .pair_window = 64},
+  };
+  std::vector<TopoResult> results;
+  for (const Topology& t : topologies) {
+    results.push_back(RunTopology(t));
+  }
+
+  const TopoResult& headline = results.back();
+  std::printf("\nheadline (large): p99 %.2fus -> %.2fus (%.1fx), %.0f%% of queries answered "
+              "with zero traversal\n",
+              headline.off.lat.p99, headline.on.lat.p99, headline.p99_speedup(),
+              100.0 * static_cast<double>(headline.on.ts_filtered) /
+                  static_cast<double>(headline.topo.queries));
+
+  if (const char* path = std::getenv("KRONOS_BENCH_JSON")) {
+    FILE* f = std::fopen(path, "w");
+    KRONOS_CHECK(f != nullptr) << "cannot open " << path;
+    std::fprintf(f, "{\n  \"bench\": \"micro_query_fastpath\",\n  \"topologies\": {\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const TopoResult& r = results[i];
+      std::fprintf(
+          f,
+          "    \"%s\": {\"vertices\": %llu, \"edges\": %llu, \"queries\": %llu,\n"
+          "      \"filter_off\": {\"p50_us\": %.3f, \"p99_us\": %.3f, \"traversals\": %llu, "
+          "\"visited\": %llu},\n"
+          "      \"filter_on\": {\"p50_us\": %.3f, \"p99_us\": %.3f, \"traversals\": %llu, "
+          "\"visited\": %llu,\n"
+          "        \"ts_filtered\": %llu, \"ts_fallback\": %llu, \"ts_pruned\": %llu},\n"
+          "      \"p99_speedup\": %.2f}%s\n",
+          r.topo.name, (unsigned long long)r.topo.vertices,
+          (unsigned long long)(r.topo.chain ? r.topo.vertices - 1 : r.topo.edges),
+          (unsigned long long)r.topo.queries, r.off.lat.p50, r.off.lat.p99,
+          (unsigned long long)r.off.traversals, (unsigned long long)r.off.visited,
+          r.on.lat.p50, r.on.lat.p99, (unsigned long long)r.on.traversals,
+          (unsigned long long)r.on.visited, (unsigned long long)r.on.ts_filtered,
+          (unsigned long long)r.on.ts_fallback, (unsigned long long)r.on.ts_pruned,
+          r.p99_speedup(), i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"headline_p99_speedup\": %.2f\n}\n", headline.p99_speedup());
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+  return 0;
+}

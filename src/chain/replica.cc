@@ -558,6 +558,9 @@ MetricsSnapshot ChainReplica::TelemetrySnapshot() const {
     metrics_.GetGauge("kronos_engine_live_refs").Set(static_cast<int64_t>(gs.live_refs));
     metrics_.GetGauge("kronos_engine_gc_collected")
         .Set(static_cast<int64_t>(gs.total_collected));
+    metrics_.GetGauge("kronos_query_ts_filtered").Set(static_cast<int64_t>(gs.ts_filtered));
+    metrics_.GetGauge("kronos_query_ts_fallback").Set(static_cast<int64_t>(gs.ts_fallback));
+    metrics_.GetGauge("kronos_query_ts_pruned").Set(static_cast<int64_t>(gs.ts_pruned));
     metrics_.GetGauge("kronos_replica_last_applied").Set(static_cast<int64_t>(last_applied_));
     // Replication lag as seen from this replica: entries applied locally but not yet known
     // to be acknowledged by the tail. On the tail itself this is 0 by construction.

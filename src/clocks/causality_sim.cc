@@ -137,6 +137,27 @@ Order SimulatedExecution::VectorOrder(uint32_t i, uint32_t j) const {
   return VectorStamp::Compare(actions_[i].vector, actions_[j].vector);
 }
 
+namespace {
+
+void Tally(MechanismScore& score, Order truth, Order verdict) {
+  ++score.pairs;
+  const bool truly_ordered = truth != Order::kConcurrent;
+  if (truly_ordered) {
+    ++score.truly_ordered;
+    if (verdict == Order::kConcurrent) {
+      ++score.false_negatives;
+    } else if (verdict != truth) {
+      // Ordered the wrong way round: a miss of the true order AND a spurious reverse order.
+      ++score.false_negatives;
+      ++score.false_positives;
+    }
+  } else if (verdict != Order::kConcurrent) {
+    ++score.false_positives;
+  }
+}
+
+}  // namespace
+
 MechanismScore ScoreMechanism(const SimulatedExecution& exec, Mechanism mechanism,
                               KronosApi& kronos, uint64_t samples, uint64_t seed) {
   Rng rng(seed);
@@ -166,20 +187,34 @@ MechanismScore ScoreMechanism(const SimulatedExecution& exec, Mechanism mechanis
         break;
       }
     }
-    ++score.pairs;
-    const bool truly_ordered = truth != Order::kConcurrent;
-    if (truly_ordered) {
-      ++score.truly_ordered;
-      if (verdict == Order::kConcurrent) {
-        ++score.false_negatives;
-      } else if (verdict != truth) {
-        // Ordered the wrong way round: a miss of the true order AND a spurious reverse order.
-        ++score.false_negatives;
-        ++score.false_positives;
-      }
-    } else if (verdict != Order::kConcurrent) {
-      ++score.false_positives;
+    Tally(score, truth, verdict);
+  }
+  return score;
+}
+
+MechanismScore ScoreEngineStamps(const SimulatedExecution& exec, const EventGraph& graph,
+                                 uint64_t samples, uint64_t seed) {
+  Rng rng(seed);
+  MechanismScore score;
+  const uint64_t n = exec.actions().size();
+  KRONOS_CHECK(n >= 2);
+  for (uint64_t s = 0; s < samples; ++s) {
+    const uint32_t i = static_cast<uint32_t>(rng.Uniform(n));
+    uint32_t j = static_cast<uint32_t>(rng.Uniform(n));
+    if (i == j) {
+      continue;
     }
+    Result<HeightStamp> ti = graph.Stamp(exec.actions()[i].kronos_event);
+    Result<HeightStamp> tj = graph.Stamp(exec.actions()[j].kronos_event);
+    KRONOS_CHECK(ti.ok()) << ti.status().ToString();
+    KRONOS_CHECK(tj.ok()) << tj.status().ToString();
+    // The stamp alone as a comparator: it permits at most one direction, and the engine's
+    // clock condition guarantees the true direction is never the refuted one. Equal stamps
+    // read as concurrent — correctly for siblings, and never wrongly for ordered pairs.
+    const Order verdict = HeightPermitsBefore(*ti, *tj)   ? Order::kBefore
+                          : HeightPermitsBefore(*tj, *ti) ? Order::kAfter
+                                                          : Order::kConcurrent;
+    Tally(score, exec.TrueOrder(i, j), verdict);
   }
   return score;
 }

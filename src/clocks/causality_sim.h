@@ -11,7 +11,9 @@
 // dependencies the application declares with assign_order — and the ground-truth dependency
 // DAG is kept alongside, so each mechanism's ordering verdicts can be scored for false
 // positives (reported order between truly concurrent actions) and false negatives (missed
-// true order).
+// true order). A fourth scorer (ScoreEngineStamps) reads the ENGINE's per-event height
+// stamps back out of the graph and scores them as a bare comparator, pinning the invariant
+// the DESIGN.md §5.9 query fast path rests on: stamps may over-order, never under-order.
 #ifndef KRONOS_CLOCKS_CAUSALITY_SIM_H_
 #define KRONOS_CLOCKS_CAUSALITY_SIM_H_
 
@@ -19,8 +21,10 @@
 #include <vector>
 
 #include "src/client/api.h"
+#include "src/clocks/height_stamp.h"
 #include "src/clocks/logical_clocks.h"
 #include "src/common/random.h"
+#include "src/core/event_graph.h"
 
 namespace kronos {
 
@@ -92,6 +96,17 @@ enum class Mechanism : uint8_t { kLamport, kVectorClock, kKronos };
 
 MechanismScore ScoreMechanism(const SimulatedExecution& exec, Mechanism mechanism,
                               KronosApi& kronos, uint64_t samples, uint64_t seed);
+
+// Scores the ENGINE-resident height stamp (src/clocks/height_stamp.h) used as a standalone
+// comparator: order i before j iff HeightPermitsBefore(ts(i), ts(j)), concurrent when neither
+// direction is permitted. Like a Lamport clock it over-orders concurrent pairs (false
+// positives), but the clock condition the engine maintains — ts strictly increases along
+// every declared dependency — makes a false NEGATIVE impossible. Callers assert exactly that
+// (bench/compare_clocks KRONOS_CHECKs false_negatives == 0), so a drift between the clocks
+// module's stamp semantics and what EventGraph actually maintains fails loudly instead of
+// silently weakening the DESIGN.md §5.9 query fast path.
+MechanismScore ScoreEngineStamps(const SimulatedExecution& exec, const EventGraph& graph,
+                                 uint64_t samples, uint64_t seed);
 
 }  // namespace kronos
 

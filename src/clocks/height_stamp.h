@@ -1,0 +1,55 @@
+// HeightStamp: the engine-resident scalar logical clock behind the query_order fast path.
+//
+// A HeightStamp is the `time` component of a Lamport clock (src/clocks/logical_clocks.h)
+// specialized to the event dependency graph: instead of being advanced by message passing, it
+// is maintained by the replicated state machine itself as the DAG height,
+//
+//     ts(e) = 1 + max(ts(parents)),   ts(parentless event) = kHeightStampOrigin.
+//
+// Lamport's clock condition holds by construction: a path a -> b implies ts(a) < ts(b). The
+// contrapositive is the whole point — ts(a) >= ts(b) REFUTES a happens-before b without
+// touching an edge. Like every scalar clock this is a sound negative filter only ("Efficient
+// Timestamps for Capturing Causality"): stamps permitting an order proves nothing, so the
+// engine still runs a (stamp-pruned) BFS in the one direction the stamps leave open.
+//
+// Stamps are monotone: the engine only ever raises them (edge insertion relaxes
+// child = max(child, parent + 1) and cascades), and aborted assign_order batches roll their
+// raises back, so the stamp is a deterministic function of the committed command history —
+// which is what lets snapshots carry it and replicas stay byte-identical.
+//
+// Header-only on purpose: EventGraph (kronos_core) includes this while kronos_clocks links
+// against kronos_core, so the filter logic must not add symbols to the clocks library.
+#ifndef KRONOS_CLOCKS_HEIGHT_STAMP_H_
+#define KRONOS_CLOCKS_HEIGHT_STAMP_H_
+
+#include <cstdint>
+
+#include "src/clocks/logical_clocks.h"
+
+namespace kronos {
+
+using HeightStamp = uint64_t;
+
+// Stamp of a freshly created, parentless event. Non-zero so that 0 can mean "stamp absent"
+// in serialized forms (pre-v3 snapshots recompute stamps on load).
+inline constexpr HeightStamp kHeightStampOrigin = 1;
+
+// Lamport's receive rule restricted to the DAG: learning the edge parent -> child raises the
+// child to max(child, parent + 1).
+constexpr HeightStamp JoinHeightStamp(HeightStamp child, HeightStamp parent) {
+  return child > parent ? child : parent + 1;
+}
+
+// The negative filter. a -> b requires ts(a) < ts(b); false here means the order is
+// impossible and no traversal is needed.
+constexpr bool HeightPermitsBefore(HeightStamp a, HeightStamp b) { return a < b; }
+
+// Bridge to the standalone Lamport baseline, so bench/compare_clocks can score the engine's
+// stamp with the same machinery as a message-passing LamportClock.
+constexpr LamportStamp ToLamportStamp(HeightStamp ts, uint32_t process) {
+  return LamportStamp{.time = ts, .process = process};
+}
+
+}  // namespace kronos
+
+#endif  // KRONOS_CLOCKS_HEIGHT_STAMP_H_

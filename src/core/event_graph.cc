@@ -64,6 +64,7 @@ EventGraph::Slot EventGraph::AllocateSlot(EventId id) {
   v.id = id;
   v.refcount = 1;
   v.indegree = 0;
+  v.stamp = kHeightStampOrigin;  // parentless; a reused slot must not inherit a stale stamp
   v.out.clear();
   id_to_slot_.emplace(id, slot);
   return slot;
@@ -110,10 +111,17 @@ bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const 
   if (from == to) {
     return true;
   }
+  // Monotone frontier bound (DESIGN.md §5.9): a path w -> to forces stamp(w) < stamp(to), so
+  // any expansion whose stamp already meets the bound can never lead to the target and is
+  // skipped. Sound even mid-assign_order: stamps are relaxed after every edge insertion, so
+  // the clock condition holds whenever Reachable runs.
+  const bool prune = ts_filter_enabled_;
+  const HeightStamp bound = vertices_[to].stamp;
   scratch.Begin(vertices_.size());
   std::vector<Slot>& frontier = scratch.frontier();
   scratch.Insert(from);
   frontier.push_back(from);
+  uint64_t pruned = 0;
   // Standard BFS over out-edges; the frontier is an index-scanned queue so no memory moves,
   // and every inserted slot lands in it, making its final size the visited count.
   for (size_t head = 0; head < frontier.size(); ++head) {
@@ -121,7 +129,12 @@ bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const 
     for (const Slot w : vertices_[u].out) {
       if (w == to) {
         vertices_visited_.fetch_add(frontier.size(), std::memory_order_relaxed);
+        scratch.AddPruned(pruned);
         return true;
+      }
+      if (prune && !HeightPermitsBefore(vertices_[w].stamp, bound)) {
+        ++pruned;
+        continue;
       }
       if (scratch.Insert(w)) {
         frontier.push_back(w);
@@ -129,7 +142,34 @@ bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const 
     }
   }
   vertices_visited_.fetch_add(frontier.size(), std::memory_order_relaxed);
+  scratch.AddPruned(pruned);
   return false;
+}
+
+void EventGraph::RaiseStamps(Slot u, Slot v, StampJournal* journal) {
+  // Relaxation worklist of (parent, child) edges. Each pop either finds the child already
+  // satisfying the clock condition or strictly raises it, so on a finite acyclic graph the
+  // loop terminates at the unique fixpoint stamp(x) >= 1 + max(stamp(parents of x)) —
+  // regardless of processing order, which keeps replicas deterministic.
+  std::vector<std::pair<Slot, Slot>> work;
+  work.emplace_back(u, v);
+  while (!work.empty()) {
+    const auto [parent, child] = work.back();
+    work.pop_back();
+    const HeightStamp raised = JoinHeightStamp(vertices_[child].stamp, vertices_[parent].stamp);
+    if (raised == vertices_[child].stamp) {
+      continue;
+    }
+    if (journal != nullptr) {
+      // First-write wins is not required: restoring in reverse order replays older values
+      // last, so journaling every write is correct (and cheaper than a seen-set).
+      journal->emplace_back(child, vertices_[child].stamp);
+    }
+    vertices_[child].stamp = raised;
+    for (const Slot w : vertices_[child].out) {
+      work.emplace_back(child, w);
+    }
+  }
 }
 
 bool EventGraph::AddEdge(Slot u, Slot v) {
@@ -167,6 +207,8 @@ Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pai
   TraversalScratchPool::Lease scratch = scratch_pool_.Acquire();
   std::vector<Order> out;
   out.reserve(pairs.size());
+  uint64_t filtered = 0;
+  uint64_t fallback = 0;
   for (const EventPair& p : pairs) {
     if (query_cache_) {
       // Cached answers exist only for live pairs (validated above) and are never kConcurrent,
@@ -181,7 +223,24 @@ Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pai
     const Slot s1 = FindSlot(p.e1);
     const Slot s2 = FindSlot(p.e2);
     Order order;
-    if (Reachable(s1, s2, *scratch)) {
+    if (ts_filter_enabled_) {
+      // Height-stamp fast path (DESIGN.md §5.9): a -> b requires stamp(a) < stamp(b), so at
+      // most ONE direction survives the filter — equal stamps refute both, answering
+      // kConcurrent with zero traversal, and an ordered answer never pays the failed-direction
+      // BFS the baseline runs first.
+      const HeightStamp t1 = vertices_[s1].stamp;
+      const HeightStamp t2 = vertices_[s2].stamp;
+      if (HeightPermitsBefore(t1, t2)) {
+        ++fallback;
+        order = Reachable(s1, s2, *scratch) ? Order::kBefore : Order::kConcurrent;
+      } else if (HeightPermitsBefore(t2, t1)) {
+        ++fallback;
+        order = Reachable(s2, s1, *scratch) ? Order::kAfter : Order::kConcurrent;
+      } else {
+        ++filtered;
+        order = Order::kConcurrent;
+      }
+    } else if (Reachable(s1, s2, *scratch)) {
       order = Order::kBefore;
     } else if (Reachable(s2, s1, *scratch)) {
       order = Order::kAfter;
@@ -189,9 +248,21 @@ Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pai
       order = Order::kConcurrent;
     }
     if (query_cache_) {
-      query_cache_->Insert(p.e1, p.e2, order);  // ignores kConcurrent
+      // A stamp-filtered verdict is kConcurrent, which Insert ignores, so the fast path can
+      // never plant an entry the pure-BFS path would not have (no double-caching skew).
+      query_cache_->Insert(p.e1, p.e2, order);
     }
     out.push_back(order);
+  }
+  // One relaxed add per batch for each fast-path counter (PR-1 read-stats convention).
+  if (filtered > 0) {
+    ts_filtered_.fetch_add(filtered, std::memory_order_relaxed);
+  }
+  if (fallback > 0) {
+    ts_fallback_.fetch_add(fallback, std::memory_order_relaxed);
+  }
+  if (const uint64_t pruned = scratch->TakePruned(); pruned > 0) {
+    ts_pruned_.fetch_add(pruned, std::memory_order_relaxed);
   }
   return out;
 }
@@ -216,9 +287,11 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
   }
 
   std::vector<AssignOutcome> outcomes(specs.size(), AssignOutcome::kCreated);
-  // Edges added by this batch, for rollback if a later must pair fails.
+  // Edges added and stamps raised by this batch, for rollback if a later must pair fails.
+  // Stamps are replicated state, so an aborted batch must restore them exactly.
   std::vector<std::pair<Slot, Slot>> added;
   added.reserve(specs.size());
+  StampJournal stamp_journal;
   TraversalScratchPool::Lease scratch = scratch_pool_.Acquire();
 
   // §2.2: all must edges are applied before any prefer edge, so a prefer can never cause a
@@ -233,16 +306,27 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
       }
       const Slot u = FindSlot(s.e1);
       const Slot v = FindSlot(s.e2);
-      // Contradiction check: does v already happen-before u? The BFS starts at the REQUESTED
-      // LATER event (v), whose forward cone is typically tiny (fresh events have few
-      // successors), keeping dependency creation near-constant time (§4.2: ~50 us).
-      if (Reachable(v, u, *scratch)) {
+      // Contradiction check: does v already happen-before u? The stamps refute most checks
+      // outright — v -> u would force stamp(v) < stamp(u) — and the common case (v freshly
+      // created, stamps equal) never traverses at all. Otherwise the BFS starts at the
+      // REQUESTED LATER event (v), whose forward cone is typically tiny (fresh events have
+      // few successors), keeping dependency creation near-constant time (§4.2: ~50 us).
+      const bool contradicted =
+          (!ts_filter_enabled_ || HeightPermitsBefore(vertices_[v].stamp, vertices_[u].stamp)) &&
+          Reachable(v, u, *scratch);
+      if (contradicted) {
         if (is_must) {
-          // Abort the entire batch without side effects (test-and-set style semantics).
+          // Abort the entire batch without side effects (test-and-set style semantics):
+          // remove this batch's edges, then unwind its stamp raises newest-first so every
+          // slot ends back at its pre-batch stamp.
           for (auto it = added.rbegin(); it != added.rend(); ++it) {
             RemoveEdge(it->first, it->second);
           }
+          for (auto it = stamp_journal.rbegin(); it != stamp_journal.rend(); ++it) {
+            vertices_[it->first].stamp = it->second;
+          }
           ++stats_.assign_aborts;
+          (void)scratch->TakePruned();  // discard: aborted work is not a served query
           return Status(OrderViolation("assign_order: must pair contradicts existing order"));
         }
         outcomes[i] = AssignOutcome::kReversed;
@@ -255,12 +339,14 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
       // reported as preexisting. This is the 8-bytes-per-edge policy of §4.2.
       if (AddEdge(u, v)) {
         added.emplace_back(u, v);
+        RaiseStamps(u, v, &stamp_journal);
         outcomes[i] = AssignOutcome::kCreated;
       } else {
         outcomes[i] = AssignOutcome::kPreexisting;
       }
     }
   }
+  (void)scratch->TakePruned();  // write-path pruning is not charged to the query counters
   return outcomes;
 }
 
@@ -278,6 +364,14 @@ Result<uint32_t> EventGraph::OutDegree(EventId e) const {
     return Status(NotFound("unknown event"));
   }
   return static_cast<uint32_t>(vertices_[slot].out.size());
+}
+
+Result<HeightStamp> EventGraph::Stamp(EventId e) const {
+  const Slot slot = FindSlot(e);
+  if (slot == kNoSlot) {
+    return Status(NotFound("unknown event"));
+  }
+  return vertices_[slot].stamp;
 }
 
 uint64_t EventGraph::CollectFrom(Slot start) {
@@ -330,6 +424,7 @@ std::vector<EventGraph::SnapshotVertex> EventGraph::ExportSnapshot() const {
     SnapshotVertex sv;
     sv.id = id;
     sv.refcount = v.refcount;
+    sv.stamp = v.stamp;
     sv.successors.reserve(v.out.size());
     for (const Slot w : v.out) {
       sv.successors.push_back(vertices_[w].id);
@@ -344,6 +439,20 @@ Status EventGraph::ImportSnapshot(EventId next_id, const std::vector<SnapshotVer
   if (stats_.live_events != 0 || stats_.total_created != 0) {
     return InvalidArgument("ImportSnapshot requires an empty graph");
   }
+  // Stamps either travel with the snapshot (v3: every vertex carries one — required for
+  // byte-coherence with the source replica, whose stamps may sit above the pure graph height
+  // after GC) or are absent entirely (pre-v3: recomputed as exact heights via the same
+  // relaxation the write path uses). A mixture is a malformed snapshot.
+  size_t stamped = 0;
+  for (const SnapshotVertex& sv : vertices) {
+    if (sv.stamp != 0) {
+      ++stamped;
+    }
+  }
+  if (stamped != 0 && stamped != vertices.size()) {
+    return InvalidArgument("snapshot mixes stamped and unstamped vertices");
+  }
+  const bool install_stamps = stamped != 0;
   // Pass 1: materialize vertices.
   for (const SnapshotVertex& sv : vertices) {
     if (sv.id == kInvalidEvent || sv.id >= next_id) {
@@ -354,8 +463,13 @@ Status EventGraph::ImportSnapshot(EventId next_id, const std::vector<SnapshotVer
     }
     const Slot slot = AllocateSlot(sv.id);
     vertices_[slot].refcount = sv.refcount;
+    if (install_stamps) {
+      vertices_[slot].stamp = sv.stamp;
+    }
   }
-  // Pass 2: edges.
+  // Pass 2: edges. With installed stamps the clock condition is validated per edge (a
+  // violation would silently poison the fast path's soundness); without, RaiseStamps
+  // recomputes the heights incrementally — the relaxation fixpoint is order-independent.
   for (const SnapshotVertex& sv : vertices) {
     const Slot u = FindSlot(sv.id);
     for (const EventId succ : sv.successors) {
@@ -365,6 +479,13 @@ Status EventGraph::ImportSnapshot(EventId next_id, const std::vector<SnapshotVer
       }
       if (!AddEdge(u, w)) {
         return InvalidArgument("duplicate edge in snapshot");
+      }
+      if (install_stamps) {
+        if (!HeightPermitsBefore(vertices_[u].stamp, vertices_[w].stamp)) {
+          return InvalidArgument("snapshot stamps violate the clock condition");
+        }
+      } else {
+        RaiseStamps(u, w, nullptr);
       }
     }
   }
@@ -427,6 +548,9 @@ EventGraph::Stats EventGraph::stats() const {
   s.traversals = traversals_.load(std::memory_order_relaxed);
   s.vertices_visited = vertices_visited_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.ts_filtered = ts_filtered_.load(std::memory_order_relaxed);
+  s.ts_fallback = ts_fallback_.load(std::memory_order_relaxed);
+  s.ts_pruned = ts_pruned_.load(std::memory_order_relaxed);
   return s;
 }
 

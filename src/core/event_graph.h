@@ -11,6 +11,14 @@
 // BFS costs O(vertices actually visited) with zero steady-state allocation, and garbage
 // collection (§2.3) is a strict topological collection driven by reference counts.
 //
+// Query fast path (DESIGN.md §5.9): every vertex carries a Lamport height stamp
+// ts(e) = 1 + max(ts(parents)) (src/clocks/height_stamp.h), maintained incrementally by
+// AssignOrder inside the replicated state machine. Because a path a -> b forces
+// ts(a) < ts(b), the stamps refute impossible directions before any traversal — a query pair
+// refuted both ways is kConcurrent with zero graph work — and bound the surviving BFS: an
+// expansion whose stamp already meets the target's can be pruned. The filter is sound, never
+// complete, so answers are bit-identical with it on or off (EnableTimestampFilter).
+//
 // Concurrency contract (shared/exclusive): all mutating calls (CreateEvent, AcquireRef,
 // ReleaseRef, AssignOrder, EnableQueryCache, ImportSnapshot) require exclusive access, exactly
 // as before — the graph is the deterministic state machine that chain replication (src/chain)
@@ -30,8 +38,10 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/clocks/height_stamp.h"
 #include "src/common/status.h"
 #include "src/core/order_cache.h"
 #include "src/core/traversal_scratch.h"
@@ -52,6 +62,13 @@ class EventGraph {
     uint64_t assign_aborts = 0;      // assign_order batches aborted by a must violation
     uint64_t prefer_reversals = 0;   // prefer pairs answered with kReversed
     uint64_t cache_hits = 0;         // query pairs answered from the internal order cache
+    // Height-stamp fast path (DESIGN.md §5.9). "filtered" pairs were answered kConcurrent
+    // with ZERO graph traversal (stamps refuted both directions); "fallback" pairs still ran
+    // a BFS, but in the single direction the stamps left open; "pruned" counts expansions
+    // that BFS skipped because the neighbour's stamp already met the target's bound.
+    uint64_t ts_filtered = 0;
+    uint64_t ts_fallback = 0;
+    uint64_t ts_pruned = 0;
   };
 
   EventGraph() = default;
@@ -93,6 +110,10 @@ class EventGraph {
   // Number of happens-before edges leaving e (direct successors), or kNotFound.
   Result<uint32_t> OutDegree(EventId e) const;
 
+  // The event's height stamp ts(e) = 1 + max(ts(parents)) (src/clocks/height_stamp.h), or
+  // kNotFound. Part of the replicated state: deterministic across replicas and snapshots.
+  Result<HeightStamp> Stamp(EventId e) const;
+
   uint64_t live_events() const { return stats_.live_events; }
   uint64_t live_edges() const { return stats_.live_edges; }
 
@@ -113,6 +134,17 @@ class EventGraph {
   // Configuration-time only: requires exclusive access, like all mutators.
   void EnableQueryCache(size_t capacity);
 
+  // A/B switch for the height-stamp fast path (DESIGN.md §5.9). On (the default), query_order
+  // refutes impossible directions from the stamps alone — a pair refuted both ways returns
+  // kConcurrent with zero traversal — and the surviving BFS prunes every expansion whose
+  // stamp already meets the target's. Off reproduces the pure-BFS baseline
+  // (bench/micro_query_fastpath measures the difference). Purely an accelerator: answers are
+  // bit-identical either way, so replicas may disagree on this setting without diverging.
+  // Stamps are maintained regardless, so the switch may be flipped at any point where the
+  // caller holds exclusive access.
+  void EnableTimestampFilter(bool enabled) { ts_filter_enabled_ = enabled; }
+  bool timestamp_filter_enabled() const { return ts_filter_enabled_; }
+
   // Approximate heap bytes retained by the graph, computed from container capacities. Includes
   // vertex storage, adjacency lists, the pooled traversal scratch, and the id map. Drives the
   // Fig. 10 memory experiment; array-doubling steps are visible in this value.
@@ -123,6 +155,11 @@ class EventGraph {
   struct SnapshotVertex {
     EventId id = kInvalidEvent;
     uint32_t refcount = 0;
+    // Height stamp as of the snapshot; 0 means "absent" (pre-v3 snapshot) and makes
+    // ImportSnapshot recompute stamps from the edges. Stamps must travel with the state they
+    // summarize: GC can leave live stamps above the pure graph height, so recomputing after a
+    // restore would break replica byte-coherence with the snapshot's source.
+    HeightStamp stamp = 0;
     std::vector<EventId> successors;
   };
 
@@ -150,16 +187,33 @@ class EventGraph {
     EventId id = kInvalidEvent;  // kInvalidEvent marks a free slot
     uint32_t refcount = 0;
     uint32_t indegree = 0;
+    // Height stamp (src/clocks/height_stamp.h): every edge u -> v maintains
+    // stamp(u) < stamp(v), so stamps refute impossible orders without traversal. Reset to
+    // the origin on slot (re)allocation; only ever raised while the vertex lives.
+    HeightStamp stamp = kHeightStampOrigin;
     std::vector<Slot> out;  // direct successors (happens-after this event)
   };
+
+  // One saved (slot, previous stamp) pair, journaled by RaiseStamps so an aborted
+  // assign_order batch can restore every stamp it raised (stamps are replicated state — an
+  // aborted batch must leave no trace).
+  using StampJournal = std::vector<std::pair<Slot, HeightStamp>>;
 
   Slot FindSlot(EventId e) const;
   Slot AllocateSlot(EventId id);
 
   // True iff a directed path from -> to exists. Runs BFS over out-edges using the supplied
   // scratch lease; counts into the relaxed read-side counters. Const so the query path can
-  // share the graph across threads.
+  // share the graph across threads. When the timestamp filter is enabled, expansions whose
+  // stamp already meets or exceeds stamp(to) are skipped — sound because a path w -> to
+  // would force stamp(w) < stamp(to) — and charged to the scratch's pruned tally (the
+  // monotone frontier bound of DESIGN.md §5.9).
   bool Reachable(Slot from, Slot to, TraversalScratch& scratch) const;
+
+  // Relaxes stamps after edge u -> v is added: stamp(v) = max(stamp(v), stamp(u) + 1),
+  // cascading along out-edges until the clock condition holds everywhere. Deterministic (the
+  // fixpoint is unique). Journals every first-write into *journal when non-null.
+  void RaiseStamps(Slot u, Slot v, StampJournal* journal);
 
   // Adds edge u -> v, assuming acyclicity was already validated. Returns false if the direct
   // edge already existed.
@@ -183,12 +237,20 @@ class EventGraph {
 
   std::unique_ptr<OrderCache> query_cache_;  // null unless EnableQueryCache was called
 
-  // Write-side counters: mutated only under exclusive access. The three read-side counters in
+  // Height-stamp fast path switch (EnableTimestampFilter). Read on the shared query path,
+  // written only at configuration time under exclusive access — same discipline as
+  // query_cache_.
+  bool ts_filter_enabled_ = true;
+
+  // Write-side counters: mutated only under exclusive access. The read-side counters in
   // Stats are carried by the atomics below instead and merged in stats().
   Stats stats_;
   mutable std::atomic<uint64_t> traversals_{0};
   mutable std::atomic<uint64_t> vertices_visited_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> ts_filtered_{0};
+  mutable std::atomic<uint64_t> ts_fallback_{0};
+  mutable std::atomic<uint64_t> ts_pruned_{0};
 };
 
 }  // namespace kronos

@@ -65,6 +65,17 @@ class TraversalScratch {
   // frontier().size() at the end of a walk is the visited-vertex count.
   std::vector<uint32_t>& frontier() { return frontier_; }
 
+  // Stamp-pruning tally (DESIGN.md §5.9): expansions the engine skipped because the
+  // neighbour's height stamp already met the target's bound. Accumulated across every walk
+  // of the lease-holder's batch so the engine charges its relaxed ts_pruned counter ONCE per
+  // query batch instead of once per BFS; the engine resets it when it takes the total.
+  void AddPruned(uint64_t n) { pruned_ += n; }
+  uint64_t TakePruned() {
+    const uint64_t n = pruned_;
+    pruned_ = 0;
+    return n;
+  }
+
   uint64_t ApproxMemoryBytes() const {
     return mark_.capacity() * sizeof(uint64_t) + frontier_.capacity() * sizeof(uint32_t);
   }
@@ -73,6 +84,7 @@ class TraversalScratch {
   std::vector<uint64_t> mark_;  // mark_[slot] == epoch_  <=>  visited this traversal
   uint64_t epoch_ = 0;
   std::vector<uint32_t> frontier_;
+  uint64_t pruned_ = 0;  // see AddPruned/TakePruned
 };
 
 class TraversalScratchPool {

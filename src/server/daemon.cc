@@ -37,6 +37,7 @@ KronosDaemon::KronosDaemon(Options options)
   if (options_.query_cache_capacity > 0) {
     sm_.graph().EnableQueryCache(options_.query_cache_capacity);
   }
+  sm_.graph().EnableTimestampFilter(options_.timestamp_filter);
   // Batch-shape telemetry straight off the commit thread: one observation per group sync.
   wal_.set_batch_observer([this](size_t records, size_t bytes, uint64_t window_us) {
     wal_group_syncs_.Increment();
@@ -374,6 +375,9 @@ void KronosDaemon::ExportEngineGaugesLocked() const {
   metrics_.GetGauge("kronos_engine_vertices_visited")
       .Set(static_cast<int64_t>(gs.vertices_visited));
   metrics_.GetGauge("kronos_engine_assign_aborts").Set(static_cast<int64_t>(gs.assign_aborts));
+  metrics_.GetGauge("kronos_query_ts_filtered").Set(static_cast<int64_t>(gs.ts_filtered));
+  metrics_.GetGauge("kronos_query_ts_fallback").Set(static_cast<int64_t>(gs.ts_fallback));
+  metrics_.GetGauge("kronos_query_ts_pruned").Set(static_cast<int64_t>(gs.ts_pruned));
   metrics_.GetGauge("kronos_sessions_active").Set(static_cast<int64_t>(sm_.sessions().size()));
   metrics_.GetGauge("kronos_session_evictions")
       .Set(static_cast<int64_t>(sm_.sessions().evictions()));

@@ -74,6 +74,13 @@ struct KronosDaemonOptions {
   // skewed real workloads win back repeated traversals. The standalone kronosd binary enables
   // it; when enabled, hit/miss rates feed the kronos_cache_* gauges.
   size_t query_cache_capacity = 0;
+  // Ablation knob for the height-stamp query fast path (DESIGN.md §5.9). On (default), the
+  // engine refutes orders whose Lamport height stamps contradict them without traversing and
+  // bounds surviving BFS expansions by the target's stamp; off restores the pure two-BFS
+  // read path. Answers are bit-identical either way — this exists so
+  // bench/micro_query_fastpath can A/B the filter and operators can rule it out when
+  // chasing a query-path anomaly (docs/OPERATIONS.md).
+  bool timestamp_filter = true;
   // Upper bound on envelopes drained from one connection per poll wakeup. 1 disables
   // pipelined batching (one command per lock acquisition / WAL commit — the unbatched
   // baseline bench/micro_write_path measures against).

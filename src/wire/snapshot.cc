@@ -7,15 +7,20 @@ namespace kronos {
 namespace {
 constexpr uint8_t kSnapshotVersion = 1;
 // Version 2 appends the session dedup table (exactly-once retry state) after the vertex
-// section. Snapshots of session-free state machines keep emitting version 1 so existing
-// byte streams and the replica-equality checks built on them stay stable.
+// section.
 constexpr uint8_t kSnapshotVersionSessions = 2;
+// Version 3 (current) adds the per-vertex height stamp (src/clocks/height_stamp.h) and makes
+// the session section unconditional (a count of 0 replaces the version split). Stamps are
+// replicated state: GC can leave live stamps above the pure graph height, so a restored
+// replica must inherit the source's stamps verbatim to stay byte-coherent with it. Versions
+// 1 and 2 still parse (their stamps are recomputed as exact heights on import).
+constexpr uint8_t kSnapshotVersionStamps = 3;
 }  // namespace
 
 std::vector<uint8_t> SerializeSnapshot(const KronosStateMachine& sm) {
   BufferWriter w;
   const std::vector<SessionTable::Entry> sessions = sm.sessions().Export();
-  w.WriteU8(sessions.empty() ? kSnapshotVersion : kSnapshotVersionSessions);
+  w.WriteU8(kSnapshotVersionStamps);
   w.WriteVarint(sm.applied_updates());
   const EventGraph& g = sm.graph();
   w.WriteVarint(g.next_id());
@@ -24,22 +29,21 @@ std::vector<uint8_t> SerializeSnapshot(const KronosStateMachine& sm) {
   for (const auto& v : vertices) {
     w.WriteVarint(v.id);
     w.WriteVarint(v.refcount);
+    w.WriteVarint(v.stamp);
     w.WriteVarint(v.successors.size());
     for (const EventId succ : v.successors) {
       w.WriteVarint(succ);
     }
   }
-  if (!sessions.empty()) {
-    // Entries arrive in ascending client_id (SessionTable::Export), so identical tables
-    // serialize to identical bytes.
-    w.WriteVarint(sessions.size());
-    for (const SessionTable::Entry& e : sessions) {
-      w.WriteVarint(e.client_id);
-      w.WriteVarint(e.last_seq);
-      w.WriteVarint(e.applied_at);
-      w.WriteVarint(e.cached_reply.size());
-      w.WriteBytes(e.cached_reply);
-    }
+  // Entries arrive in ascending client_id (SessionTable::Export), so identical tables
+  // serialize to identical bytes.
+  w.WriteVarint(sessions.size());
+  for (const SessionTable::Entry& e : sessions) {
+    w.WriteVarint(e.client_id);
+    w.WriteVarint(e.last_seq);
+    w.WriteVarint(e.applied_at);
+    w.WriteVarint(e.cached_reply.size());
+    w.WriteBytes(e.cached_reply);
   }
   return w.TakeBuffer();
 }
@@ -48,7 +52,8 @@ Status RestoreSnapshot(std::span<const uint8_t> bytes, KronosStateMachine& sm) {
   BufferReader r(bytes);
   uint8_t version = 0;
   KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
-  if (version != kSnapshotVersion && version != kSnapshotVersionSessions) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionSessions &&
+      version != kSnapshotVersionStamps) {
     return InvalidArgument("unsupported snapshot version");
   }
   uint64_t applied = 0;
@@ -68,6 +73,12 @@ Status RestoreSnapshot(std::span<const uint8_t> bytes, KronosStateMachine& sm) {
     uint64_t nsucc = 0;
     KRONOS_RETURN_IF_ERROR(r.ReadVarint(v.id));
     KRONOS_RETURN_IF_ERROR(r.ReadVarint(refcount));
+    if (version >= kSnapshotVersionStamps) {
+      KRONOS_RETURN_IF_ERROR(r.ReadVarint(v.stamp));
+      if (v.stamp == 0) {  // 0 is the "absent" sentinel; a v3 stream must stamp every vertex
+        return InvalidArgument("snapshot vertex with zero stamp");
+      }
+    }
     KRONOS_RETURN_IF_ERROR(r.ReadVarint(nsucc));
     if (refcount > UINT32_MAX) {
       return InvalidArgument("snapshot refcount overflow");
@@ -85,7 +96,7 @@ Status RestoreSnapshot(std::span<const uint8_t> bytes, KronosStateMachine& sm) {
     vertices.push_back(std::move(v));
   }
   std::vector<SessionTable::Entry> sessions;
-  if (version >= kSnapshotVersionSessions) {
+  if (version >= kSnapshotVersionSessions) {  // v2: present when non-empty; v3+: always
     uint64_t n_sessions = 0;
     KRONOS_RETURN_IF_ERROR(r.ReadVarint(n_sessions));
     if (n_sessions > r.remaining()) {  // >= 4 bytes per entry: cheap bomb guard

@@ -1,8 +1,10 @@
 // Snapshot codec: serializes an entire Kronos state machine (event dependency graph +
 // replication position) for chain state transfer and persistence.
 //
-// Format: version byte, applied_updates, next_id, vertex count, then per vertex:
-// id, refcount, successor count, successor ids. All varint-encoded; bounds-checked on parse.
+// Format (v3, docs/PROTOCOL.md): version byte, applied_updates, next_id, vertex count, then
+// per vertex: id, refcount, height stamp, successor count, successor ids; then the session
+// dedup table. All varint-encoded; bounds-checked on parse. v1/v2 streams (no stamps) still
+// parse — their stamps are recomputed on import.
 #ifndef KRONOS_WIRE_SNAPSHOT_H_
 #define KRONOS_WIRE_SNAPSHOT_H_
 

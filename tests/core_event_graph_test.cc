@@ -278,9 +278,24 @@ TEST(EventGraphTest, StatsCountTraversals) {
   EventGraph g;
   const EventId a = g.CreateEvent();
   const EventId b = g.CreateEvent();
+  // Two fresh events carry equal height stamps, so the fast path answers kConcurrent with
+  // ZERO traversal and charges the filtered counter instead.
   const uint64_t before = g.stats().traversals;
   MustQuery(g, {{a, b}});
-  EXPECT_GT(g.stats().traversals, before);
+  EXPECT_EQ(g.stats().traversals, before);
+  EXPECT_EQ(g.stats().ts_filtered, 1u);
+  // An ordered pair survives the filter in one direction: exactly one BFS runs.
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  MustQuery(g, {{a, b}});
+  EXPECT_EQ(g.stats().traversals, before + 1);
+  EXPECT_EQ(g.stats().ts_fallback, 1u);
+  // The pure-BFS baseline (filter off) traverses even the concurrent pair.
+  g.EnableTimestampFilter(false);
+  const EventId c = g.CreateEvent();
+  const uint64_t baseline = g.stats().traversals;
+  MustQuery(g, {{a, c}});
+  EXPECT_GT(g.stats().traversals, baseline);
+  EXPECT_EQ(g.stats().ts_filtered, 1u);  // unchanged: filter was off
 }
 
 TEST(EventGraphTest, QueryCacheServesOrderedAnswers) {
@@ -336,6 +351,165 @@ TEST(EventGraphTest, QueryCacheAgreesWithUncachedTwin) {
     }
   }
   EXPECT_GT(cached.stats().cache_hits, 0u);
+}
+
+// --- Height stamps (the query fast path's invariant, DESIGN.md §5.9) ----------------------
+
+TEST(EventGraphTest, StampsFollowHeight) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  const EventId d = g.CreateEvent();
+  EXPECT_EQ(*g.Stamp(a), kHeightStampOrigin);
+  // Diamond a -> {b, c} -> d: heights 1, 2, 2, 3.
+  MustAssign(g, {{a, b, Constraint::kMust}, {a, c, Constraint::kMust}});
+  MustAssign(g, {{b, d, Constraint::kMust}, {c, d, Constraint::kMust}});
+  EXPECT_EQ(*g.Stamp(a), 1u);
+  EXPECT_EQ(*g.Stamp(b), 2u);
+  EXPECT_EQ(*g.Stamp(c), 2u);
+  EXPECT_EQ(*g.Stamp(d), 3u);
+  EXPECT_FALSE(g.Stamp(999).ok());
+}
+
+TEST(EventGraphTest, StampRaisesCascadeThroughSuccessors) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{b, c, Constraint::kMust}});  // b(1) -> c(2)
+  // A long chain above a, then a -> b: b and its successor c must both raise.
+  std::vector<EventId> chain{a};
+  for (int i = 0; i < 5; ++i) {
+    chain.push_back(g.CreateEvent());
+    MustAssign(g, {{chain[chain.size() - 2], chain.back(), Constraint::kMust}});
+  }
+  MustAssign(g, {{chain.back(), b, Constraint::kMust}});  // chain.back() has stamp 6
+  EXPECT_EQ(*g.Stamp(b), 7u);
+  EXPECT_EQ(*g.Stamp(c), 8u);
+}
+
+TEST(EventGraphTest, ClockConditionHoldsOnEveryEdge) {
+  Rng rng(77);
+  EventGraph g;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 60; ++i) {
+    ids.push_back(g.CreateEvent());
+  }
+  for (int step = 0; step < 800; ++step) {
+    const EventId e1 = ids[rng.Uniform(ids.size())];
+    const EventId e2 = ids[rng.Uniform(ids.size())];
+    if (e1 != e2) {
+      (void)g.AssignOrder(std::vector<AssignSpec>{
+          {e1, e2, rng.Bernoulli(0.5) ? Constraint::kMust : Constraint::kPrefer}});
+    }
+  }
+  for (const auto& v : g.ExportSnapshot()) {
+    for (const EventId succ : v.successors) {
+      EXPECT_LT(*g.Stamp(v.id), *g.Stamp(succ))
+          << "edge " << v.id << " -> " << succ << " violates the clock condition";
+    }
+  }
+}
+
+TEST(EventGraphTest, AbortedBatchRollsStampsBack) {
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});  // a(1) -> b(2)
+  MustAssign(g, {{b, c, Constraint::kMust}});  // c(3)
+  // Single-pair contradiction aborts without ever touching stamps.
+  auto r = g.AssignOrder(std::vector<AssignSpec>{{c, b, Constraint::kMust}});
+  EXPECT_EQ(r.status().code(), StatusCode::kOrderViolation);
+  // A multi-step abort: the first pair legally raises d (1 -> 4), then the second pair
+  // contradicts the batch's own c -> d edge (a reaches d through a -> b -> c -> d), so the
+  // whole batch unwinds — including d's raised stamp.
+  const EventId d = g.CreateEvent();
+  auto r2 = g.AssignOrder(std::vector<AssignSpec>{
+      {c, d, Constraint::kMust},
+      {d, a, Constraint::kMust},
+  });
+  EXPECT_EQ(r2.status().code(), StatusCode::kOrderViolation);
+  EXPECT_EQ(*g.Stamp(a), 1u);
+  EXPECT_EQ(*g.Stamp(b), 2u);
+  EXPECT_EQ(*g.Stamp(c), 3u);
+  EXPECT_EQ(*g.Stamp(d), 1u) << "aborted batch must restore every stamp it raised";
+  EXPECT_EQ(*g.OutDegree(d), 0u);
+}
+
+TEST(EventGraphTest, FilterAndBaselineAgreeEverywhere) {
+  Rng rng(909);
+  EventGraph fast;
+  EventGraph slow;
+  slow.EnableTimestampFilter(false);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(fast.CreateEvent());
+    slow.CreateEvent();
+  }
+  for (int step = 0; step < 600; ++step) {
+    const EventId e1 = ids[rng.Uniform(ids.size())];
+    const EventId e2 = ids[rng.Uniform(ids.size())];
+    if (e1 == e2) {
+      continue;
+    }
+    auto a = fast.AssignOrder(std::vector<AssignSpec>{{e1, e2, Constraint::kPrefer}});
+    auto b = slow.AssignOrder(std::vector<AssignSpec>{{e1, e2, Constraint::kPrefer}});
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      ASSERT_EQ((*a)[0], (*b)[0]) << "filter changed an assign outcome";
+    }
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = 0; j < ids.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      auto a = fast.QueryOrder(std::vector<EventPair>{{ids[i], ids[j]}});
+      auto b = slow.QueryOrder(std::vector<EventPair>{{ids[i], ids[j]}});
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ((*a)[0], (*b)[0]) << "filter changed a query answer";
+    }
+  }
+  EXPECT_GT(fast.stats().ts_filtered + fast.stats().ts_fallback, 0u);
+  EXPECT_EQ(slow.stats().ts_filtered, 0u);
+}
+
+TEST(EventGraphTest, GcKeepsStampsSound) {
+  // Collecting a predecessor leaves its successors' stamps raised — a sound upper bound the
+  // filter may keep using. New events on reused slots must restart at the origin stamp.
+  EventGraph g;
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}});
+  EXPECT_EQ(*g.Stamp(b), 2u);
+  EXPECT_TRUE(g.ReleaseRef(b).ok());
+  EXPECT_TRUE(g.ReleaseRef(a).ok());  // collects a, which unpins b
+  EXPECT_FALSE(g.Contains(a));
+  EXPECT_FALSE(g.Contains(b));
+  const EventId c = g.CreateEvent();  // reuses a freed slot
+  EXPECT_EQ(*g.Stamp(c), kHeightStampOrigin);
+  const EventId d = g.CreateEvent();
+  EXPECT_EQ(MustQuery(g, {{c, d}})[0], Order::kConcurrent);
+}
+
+TEST(EventGraphTest, PrunedCounterChargesBoundedExpansions) {
+  EventGraph g;
+  // Chain a -> b -> c (stamps 1, 2, 3) and an unrelated pair p -> q (stamps 1, 2). Query
+  // (a, q): the stamps leave only the a -> q direction open (1 < 2), so a bounded BFS runs
+  // from a with bound stamp(q) = 2 — and a's sole expansion, b at stamp 2, meets the bound
+  // and is skipped. The walk dies in one step and the skip lands in ts_pruned.
+  const EventId a = g.CreateEvent();
+  const EventId b = g.CreateEvent();
+  const EventId c = g.CreateEvent();
+  MustAssign(g, {{a, b, Constraint::kMust}, {b, c, Constraint::kMust}});
+  const EventId p = g.CreateEvent();
+  const EventId q = g.CreateEvent();
+  MustAssign(g, {{p, q, Constraint::kMust}});
+  const uint64_t pruned_before = g.stats().ts_pruned;
+  EXPECT_EQ(MustQuery(g, {{a, q}})[0], Order::kConcurrent);
+  EXPECT_GT(g.stats().ts_pruned, pruned_before) << "bounded BFS should have pruned";
 }
 
 TEST(EventGraphTest, MemoryGrowsWithEvents) {

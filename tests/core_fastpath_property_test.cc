@@ -1,0 +1,206 @@
+// Property tests for the §5.9 height-stamp query fast path: the filter is a pure
+// optimization, so query_order answers with the filter enabled must be identical to the
+// pure two-BFS oracle (the same engine with the filter disabled) — across randomized DAGs,
+// after release_event GC, after WAL replay (re-applying the command log into a fresh state
+// machine), and after chain resync (snapshot serialize + restore, including byte-coherence
+// of a re-export). A separate non-parametrized case drives concurrent filtered queries for
+// the TSan leg of tools/run_tier1.sh.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/state_machine.h"
+#include "src/wire/snapshot.h"
+
+namespace kronos {
+namespace {
+
+constexpr int kPairsPerSeed = 10000;
+
+// Random lifecycle driven through the REPLICATED interface (Apply), recording the mutating
+// command log the way a WAL would. Mix: creates, must/prefer assigns (must contradictions
+// abort and roll stamps back — replayed identically), and releases (GC).
+struct BuiltMachine {
+  KronosStateMachine sm;
+  std::vector<Command> log;
+  std::vector<EventId> ids;  // every id ever created; query pairs filter on Contains
+};
+
+void Build(BuiltMachine& m, uint64_t seed, int steps) {
+  Rng rng(seed);
+  auto apply = [&m](Command c) {
+    const CommandResult r = m.sm.Apply(c);
+    m.log.push_back(std::move(c));
+    return r;
+  };
+  for (int step = 0; step < steps; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 30 || m.ids.size() < 2) {
+      const CommandResult r = apply(Command::MakeCreateEvent());
+      ASSERT_TRUE(r.ok());
+      m.ids.push_back(r.event);
+    } else if (dice < 40) {
+      // release_event: exercises GC — collected slots get reused, survivors keep stamps
+      // that may exceed their pure graph height.
+      (void)apply(Command::MakeReleaseRef(m.ids[rng.Uniform(m.ids.size())]));
+    } else {
+      const EventId e1 = m.ids[rng.Uniform(m.ids.size())];
+      const EventId e2 = m.ids[rng.Uniform(m.ids.size())];
+      if (e1 == e2) {
+        continue;
+      }
+      const Constraint c = rng.Bernoulli(0.3) ? Constraint::kMust : Constraint::kPrefer;
+      (void)apply(Command::MakeAssignOrder({{e1, e2, c}}));
+    }
+  }
+}
+
+// Draws a live pair (both events still in the graph); returns false if the graph has fewer
+// than two live events.
+bool DrawLivePair(const BuiltMachine& m, Rng& rng, EventPair& out) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const EventId e1 = m.ids[rng.Uniform(m.ids.size())];
+    const EventId e2 = m.ids[rng.Uniform(m.ids.size())];
+    if (e1 != e2 && m.sm.graph().Contains(e1) && m.sm.graph().Contains(e2)) {
+      out = {e1, e2};
+      return true;
+    }
+  }
+  return false;
+}
+
+Order QueryOne(const KronosStateMachine& sm, const EventPair& p) {
+  Result<std::vector<Order>> r = sm.graph().QueryOrder({&p, 1});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? (*r)[0] : Order::kConcurrent;
+}
+
+class FastpathPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FastpathPropertyTest, MatchesBfsOracleThroughLifecycle) {
+  BuiltMachine m;
+  Build(m, GetParam(), 2000);
+
+  // The same pair stream is queried against four views; all must agree with the oracle.
+  Rng pair_rng(GetParam() ^ 0xfa57);
+  std::vector<EventPair> pairs;
+  pairs.reserve(kPairsPerSeed);
+  for (int i = 0; i < kPairsPerSeed; ++i) {
+    EventPair p;
+    if (DrawLivePair(m, pair_rng, p)) {
+      pairs.push_back(p);
+    }
+  }
+  ASSERT_GT(pairs.size(), kPairsPerSeed / 2u);
+
+  // Oracle: the identical graph with the filter off is the pure-BFS read path.
+  m.sm.graph().EnableTimestampFilter(false);
+  std::vector<Order> oracle;
+  oracle.reserve(pairs.size());
+  for (const EventPair& p : pairs) {
+    oracle.push_back(QueryOne(m.sm, p));
+  }
+  m.sm.graph().EnableTimestampFilter(true);
+  const EventGraph::Stats before = m.sm.graph().stats();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(QueryOne(m.sm, pairs[i]), oracle[i])
+        << "live graph diverged on pair " << i << " (" << pairs[i].e1 << ", " << pairs[i].e2
+        << ")";
+  }
+  // The filter must actually engage on a randomized DAG, or this test proves nothing.
+  const EventGraph::Stats after = m.sm.graph().stats();
+  EXPECT_GT(after.ts_filtered, before.ts_filtered) << "no query was stamp-refuted";
+
+  // WAL replay: re-apply the recorded command log into a fresh machine. Stamps are part of
+  // the replicated state, so the replayed machine must agree pair-for-pair AND serialize to
+  // the exact same snapshot bytes.
+  KronosStateMachine replayed;
+  for (const Command& c : m.log) {
+    (void)replayed.Apply(c);
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(QueryOne(replayed, pairs[i]), oracle[i]) << "replayed machine diverged";
+  }
+  const std::vector<uint8_t> snap = SerializeSnapshot(m.sm);
+  EXPECT_EQ(SerializeSnapshot(replayed), snap)
+      << "WAL replay produced a byte-divergent machine (stamps not deterministic?)";
+
+  // Chain resync: restore the snapshot into a fresh replica. Same answers, and a re-export
+  // must reproduce the source bytes — the chain's replica-coherence requirement.
+  KronosStateMachine resynced;
+  ASSERT_TRUE(RestoreSnapshot(snap, resynced).ok());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(QueryOne(resynced, pairs[i]), oracle[i]) << "resynced replica diverged";
+  }
+  EXPECT_EQ(SerializeSnapshot(resynced), snap) << "resynced replica is not byte-coherent";
+
+  // Belt and braces: stamps match event-for-event on all three machines.
+  for (const EventId e : m.ids) {
+    if (!m.sm.graph().Contains(e)) {
+      continue;
+    }
+    const Result<HeightStamp> a = m.sm.graph().Stamp(e);
+    const Result<HeightStamp> b = replayed.graph().Stamp(e);
+    const Result<HeightStamp> c = resynced.graph().Stamp(e);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    ASSERT_EQ(*a, *b) << "replayed stamp differs for event " << e;
+    ASSERT_EQ(*a, *c) << "resynced stamp differs for event " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastpathPropertyTest, ::testing::Values(7, 21, 42));
+
+// TSan leg (tools/run_tier1.sh): concurrent filtered queries against one shared graph —
+// stamp reads on the BFS hot path, the relaxed ts_* counters, and the scratch-pool pruning
+// tally must all be race-free while agreeing with the single-threaded oracle.
+TEST(FastpathConcurrencyTest, ConcurrentFilteredQueriesMatchOracle) {
+  BuiltMachine m;
+  Build(m, 4242, 1500);
+
+  Rng pair_rng(0xc0ffee);
+  std::vector<EventPair> pairs;
+  for (int i = 0; i < 4000; ++i) {
+    EventPair p;
+    if (DrawLivePair(m, pair_rng, p)) {
+      pairs.push_back(p);
+    }
+  }
+  m.sm.graph().EnableTimestampFilter(false);
+  std::vector<Order> oracle;
+  oracle.reserve(pairs.size());
+  for (const EventPair& p : pairs) {
+    oracle.push_back(QueryOne(m.sm, p));
+  }
+
+  m.sm.graph().EnableTimestampFilter(true);
+  constexpr int kThreads = 4;
+  std::vector<int> mismatches(kThreads, 0);
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        // Each thread sweeps the whole pair list from a different offset, so concurrent
+        // traversals constantly overlap on the same vertices.
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          const size_t k = (i + static_cast<size_t>(t) * 997) % pairs.size();
+          const EventPair p = pairs[k];
+          Result<std::vector<Order>> r = m.sm.graph().QueryOrder({&p, 1});
+          if (!r.ok() || (*r)[0] != oracle[k]) {
+            ++mismatches[t];
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t << " saw divergent answers";
+  }
+}
+
+}  // namespace
+}  // namespace kronos

@@ -106,6 +106,59 @@ TEST(SnapshotTest, GcStillWorksAfterRestore) {
   EXPECT_EQ(b.graph().live_events(), 0u);
 }
 
+TEST(SnapshotTest, StampsSurviveRoundTripAfterGc) {
+  // GC can leave a survivor's stamp above its pure recomputed height (the collected
+  // predecessor's stamp is baked in). The v3 snapshot must carry that stamp verbatim:
+  // recomputing on restore would break byte-coherence with the source replica.
+  KronosStateMachine a;
+  const EventId e1 = a.Apply(Command::MakeCreateEvent()).event;
+  const EventId e2 = a.Apply(Command::MakeCreateEvent()).event;
+  const EventId e3 = a.Apply(Command::MakeCreateEvent()).event;
+  a.Apply(Command::MakeAssignOrder({{e1, e2, Constraint::kMust}}));
+  a.Apply(Command::MakeAssignOrder({{e2, e3, Constraint::kMust}}));
+  a.Apply(Command::MakeReleaseRef(e1));
+  a.Apply(Command::MakeReleaseRef(e2));  // e1 and e2 collect; e3 survives at stamp 3
+  ASSERT_FALSE(a.graph().Contains(e1));
+  ASSERT_TRUE(a.graph().Contains(e3));
+  ASSERT_EQ(*a.graph().Stamp(e3), 3u);
+
+  const std::vector<uint8_t> snap = SerializeSnapshot(a);
+  KronosStateMachine b;
+  ASSERT_TRUE(RestoreSnapshot(snap, b).ok());
+  EXPECT_EQ(*b.graph().Stamp(e3), 3u) << "restored stamp was recomputed, not inherited";
+  EXPECT_EQ(SerializeSnapshot(b), snap);
+}
+
+TEST(SnapshotTest, RejectsStampsViolatingClockCondition) {
+  EventGraph g;
+  std::vector<EventGraph::SnapshotVertex> vertices;
+  vertices.push_back({.id = 1, .refcount = 1, .stamp = 5, .successors = {2}});
+  vertices.push_back({.id = 2, .refcount = 1, .stamp = 5, .successors = {}});  // must be > 5
+  EXPECT_FALSE(g.ImportSnapshot(100, vertices).ok());
+}
+
+TEST(SnapshotTest, RejectsMixedStampedAndUnstampedVertices) {
+  EventGraph g;
+  std::vector<EventGraph::SnapshotVertex> vertices;
+  vertices.push_back({.id = 1, .refcount = 1, .stamp = 1, .successors = {}});
+  vertices.push_back({.id = 2, .refcount = 1, .stamp = 0, .successors = {}});
+  EXPECT_FALSE(g.ImportSnapshot(100, vertices).ok());
+}
+
+TEST(SnapshotTest, UnstampedImportRecomputesHeights) {
+  // Pre-v3 snapshot path: no stamps in the stream (all zero) — the import relaxes exact
+  // heights so old snapshots stay loadable and the fast path works immediately after.
+  EventGraph g;
+  std::vector<EventGraph::SnapshotVertex> vertices;
+  vertices.push_back({.id = 1, .refcount = 1, .successors = {2, 3}});
+  vertices.push_back({.id = 2, .refcount = 1, .successors = {3}});
+  vertices.push_back({.id = 3, .refcount = 1, .successors = {}});
+  ASSERT_TRUE(g.ImportSnapshot(10, vertices).ok());
+  EXPECT_EQ(*g.Stamp(1), 1u);
+  EXPECT_EQ(*g.Stamp(2), 2u);
+  EXPECT_EQ(*g.Stamp(3), 3u);
+}
+
 TEST(TopologicalOrderTest, EmptyGraph) {
   EventGraph g;
   EXPECT_TRUE(g.TopologicalOrder().empty());

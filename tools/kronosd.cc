@@ -9,6 +9,9 @@
 //                            latency, batching emerges under load)
 //   --pipeline-max <n>       max envelopes drained per connection wakeup (default 64;
 //                            1 disables pipelined batching)
+//   --no-ts-filter           disable the height-stamp query fast path (DESIGN.md §5.9);
+//                            answers are identical, queries just traverse more — use when
+//                            ruling the filter out of a query-path anomaly
 //   --stats-interval-s <n>   seconds between metrics digests (0 disables; also positional)
 //   --port <n>               listen port (also positional; 0 picks an ephemeral port)
 //
@@ -43,7 +46,8 @@ void HandleDumpSignal(int) { g_dump_stats.store(true); }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [port] [stats_interval_s] [--wal <path>] [--commit-window-us <n>]\n"
-               "       [--pipeline-max <n>] [--stats-interval-s <n>] [--port <n>]\n",
+               "       [--pipeline-max <n>] [--no-ts-filter] [--stats-interval-s <n>]\n"
+               "       [--port <n>]\n",
                argv0);
   return 64;
 }
@@ -79,6 +83,8 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       options.max_pipeline_batch = static_cast<size_t>(n);
+    } else if (std::strcmp(arg, "--no-ts-filter") == 0) {
+      options.timestamp_filter = false;
     } else if (std::strcmp(arg, "--stats-interval-s") == 0 && has_value) {
       stats_interval_s = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(arg, "--port") == 0 && has_value) {

@@ -28,6 +28,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "=== tier-1: query fast-path self-check ==="
+# The §5.9 height-stamp filter must be answer-identical to pure BFS; --check compares them
+# over random pairs (including a GC round) and exits nonzero on the first divergence, so a
+# soundness regression in the filter fails tier-1 even when nobody reruns the full bench.
+./build/bench/micro_query_fastpath --check
+
 echo "=== tier-1: nemesis seed sweep ==="
 # The eight pinned fault-schedule seeds (keep in sync with tests/chain_nemesis_test.cc):
 # crash/restart/partition schedules under client load, with monotonicity, replica-coherence,
@@ -43,9 +49,13 @@ fi
 echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKRONOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test telemetry_test \
-  chain_nemesis_test
+  chain_nemesis_test core_fastpath_property_test
 # TSan aborts the process on the first race (halt_on_error) so CI cannot miss one.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_concurrent_query_test
+# Fast-path filter under TSan: concurrent stamp-filtered queries (relaxed ts_* counters,
+# scratch-pool pruning tally) plus one oracle-equivalence seed; full sweep ran in ctest.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_fastpath_property_test \
+  --gtest_filter='FastpathConcurrencyTest.*:Seeds/FastpathPropertyTest.MatchesBfsOracleThroughLifecycle/0'
 # Telemetry: N threads record into one named histogram while another thread snapshots.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/telemetry_test
 # Nemesis under TSan: one seed is enough to race-check the kill/restart/resync machinery;
