@@ -1,0 +1,201 @@
+// Tracing overhead A/B bench: the span recorder's cost on the two headline paths.
+//
+// PR 7's budget: end-to-end request tracing (DESIGN.md §5.10) must cost <= 3% on the
+// headline configs of micro_write_path (durable pipelined create_event, window 16, one
+// connection) and micro_concurrent_query (8 read-only query threads, shared-lock reads).
+// This bench runs each config twice per trial — daemon tracing off, then on — with a fresh
+// daemon per arm, and quotes the relative slowdown. Arms are interleaved across trials and
+// the best-of-trials throughput is compared, so one noisy scheduler event doesn't charge
+// the recorder for it.
+//
+// The query arm runs with simulated_query_service_us = 0 (unlike micro_concurrent_query's
+// 50 us §4.5 convention): artificial service time would mask the instrumentation cost, and
+// this bench exists to measure exactly that cost.
+//
+// KRONOS_BENCH_JSON=<path> dumps the numbers (BENCH_trace_overhead.json tracks the budget).
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/client/tcp_client.h"
+#include "src/common/random.h"
+#include "src/server/daemon.h"
+#include "src/telemetry/trace.h"
+
+namespace kronos {
+namespace {
+
+std::string TempWalPath(const char* tag) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/kronos_trace_overhead_" + tag + "_" +
+         std::to_string(static_cast<unsigned long>(::getpid())) + ".wal";
+}
+
+// Durable pipelined create_event bursts, window 16, one connection — the micro_write_path
+// headline. Returns mutations/s.
+double WritePathArm(bool tracing, uint64_t duration_us) {
+  const std::string wal = TempWalPath(tracing ? "on" : "off");
+  std::remove(wal.c_str());
+  KronosDaemonOptions opts;
+  opts.tracing = tracing;
+  KronosDaemon daemon(opts);
+  KRONOS_CHECK(daemon.Start(0, wal).ok());
+  auto client = TcpKronos::Connect(daemon.port());
+  KRONOS_CHECK(client.ok());
+  const std::vector<Command> burst(16, Command::MakeCreateEvent());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(duration_us);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t ops = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Result<std::vector<CommandResult>> r = (*client)->ExecutePipelined(burst);
+    KRONOS_CHECK(r.ok());
+    ops += burst.size();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  daemon.Stop();
+  std::remove(wal.c_str());
+  return seconds > 0 ? static_cast<double>(ops) / seconds : 0;
+}
+
+// 8 read-only query threads over a preloaded random DAG — the micro_concurrent_query
+// headline (shared-lock reads; raw, no simulated service time). Returns queries/s.
+double QueryArm(bool tracing, uint64_t duration_us, uint64_t vertices, uint64_t edges) {
+  KronosDaemonOptions opts;
+  opts.tracing = tracing;
+  KronosDaemon daemon(opts);
+  KRONOS_CHECK(daemon.Start(0).ok());
+  {
+    auto loader = TcpKronos::Connect(daemon.port());
+    KRONOS_CHECK(loader.ok());
+    for (uint64_t i = 0; i < vertices; ++i) {
+      KRONOS_CHECK((*loader)->CreateEvent().ok());
+    }
+    Rng rng(42);
+    std::vector<AssignSpec> batch;
+    for (uint64_t i = 0; i < edges; ++i) {
+      const uint64_t a = rng.Uniform(vertices - 1);
+      const uint64_t b = a + 1 + rng.Uniform(vertices - a - 1);
+      batch.push_back({EventId{a + 1}, EventId{b + 1}, Constraint::kPrefer});
+      if (batch.size() == 64) {
+        KRONOS_CHECK((*loader)->AssignOrder(batch).ok());
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) {
+      KRONOS_CHECK((*loader)->AssignOrder(batch).ok());
+    }
+  }
+  constexpr int kThreads = 8;
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto client = TcpKronos::Connect(daemon.port());
+      KRONOS_CHECK(client.ok());
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(duration_us);
+      uint64_t ops = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        const uint64_t a = rng.Uniform(vertices - 1);
+        const uint64_t b = a + 1 + rng.Uniform(vertices - a - 1);
+        KRONOS_CHECK((*client)->QueryOrder({{EventId{a + 1}, EventId{b + 1}}}).ok());
+        ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  daemon.Stop();
+  return seconds > 0 ? static_cast<double>(total_ops.load()) / seconds : 0;
+}
+
+double Best(const std::vector<double>& xs) {
+  double best = 0;
+  for (const double x : xs) {
+    best = std::max(best, x);
+  }
+  return best;
+}
+
+double OverheadPct(double off, double on) { return off > 0 ? 100.0 * (off - on) / off : 0; }
+
+}  // namespace
+}  // namespace kronos
+
+int main() {
+  using namespace kronos;
+  bench::Header("micro_trace_overhead",
+                "A/B cost of per-request span recording on the headline write/query configs");
+  const uint64_t duration_us = bench::ScaledU64(600'000);
+  const uint64_t vertices = bench::ScaledU64(2'000);
+  const uint64_t edges = bench::ScaledU64(4'000);
+  constexpr int kTrials = 5;
+  std::printf("trials=%d duration=%llums/arm (best-of compared)\n", kTrials,
+              (unsigned long long)(duration_us / 1000));
+
+  std::vector<double> write_off, write_on, query_off, query_on;
+  for (int t = 0; t < kTrials; ++t) {
+    write_off.push_back(WritePathArm(false, duration_us));
+    write_on.push_back(WritePathArm(true, duration_us));
+  }
+  for (int t = 0; t < kTrials; ++t) {
+    query_off.push_back(QueryArm(false, duration_us, vertices, edges));
+    query_on.push_back(QueryArm(true, duration_us, vertices, edges));
+  }
+
+  const double wo = Best(write_off), wn = Best(write_on);
+  const double qo = Best(query_off), qn = Best(query_on);
+  std::printf("\n%-32s %14s %14s %10s\n", "config", "tracing off/s", "tracing on/s",
+              "overhead");
+  std::printf("%-32s %14.0f %14.0f %9.2f%%\n", "write: durable pipelined w=16", wo, wn,
+              OverheadPct(wo, wn));
+  std::printf("%-32s %14.0f %14.0f %9.2f%%\n", "query: 8 threads read-only", qo, qn,
+              OverheadPct(qo, qn));
+  const double worst = std::max(OverheadPct(wo, wn), OverheadPct(qo, qn));
+  std::printf("\nheadline: worst-case tracing overhead = %.2f%% (budget <= 3%%)\n", worst);
+
+  if (const char* path = std::getenv("KRONOS_BENCH_JSON")) {
+    FILE* f = std::fopen(path, "w");
+    KRONOS_CHECK(f != nullptr) << "cannot open " << path;
+    std::fprintf(f, "{\n  \"bench\": \"micro_trace_overhead\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"trials\": %d, \"duration_us\": %llu, \"write_window\": 16, "
+                 "\"query_threads\": 8, \"vertices\": %llu, \"edges\": %llu},\n",
+                 kTrials, (unsigned long long)duration_us, (unsigned long long)vertices,
+                 (unsigned long long)edges);
+    std::fprintf(f,
+                 "  \"ops_per_sec\": {\n"
+                 "    \"write_path\": {\"tracing_off\": %.0f, \"tracing_on\": %.0f},\n"
+                 "    \"concurrent_query\": {\"tracing_off\": %.0f, \"tracing_on\": %.0f}\n"
+                 "  },\n",
+                 wo, wn, qo, qn);
+    std::fprintf(f,
+                 "  \"overhead_pct\": {\"write_path\": %.2f, \"concurrent_query\": %.2f, "
+                 "\"budget_pct\": 3.0}\n}\n",
+                 OverheadPct(wo, wn), OverheadPct(qo, qn));
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+  return worst <= 3.0 ? 0 : 1;
+}

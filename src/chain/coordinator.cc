@@ -4,6 +4,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/telemetry/trace.h"
 
 namespace kronos {
 
@@ -58,9 +59,18 @@ void ChainCoordinator::HandleMessage(NodeId from, const Envelope& env) {
 void ChainCoordinator::CommitConfigLocked() {
   ++config_.epoch;
   reconfigurations_.fetch_add(1, std::memory_order_relaxed);
+  const bool traced = trace::Enabled();
+  const uint64_t begin_ns = traced ? MonotonicNanos() : 0;
   const std::vector<uint8_t> payload = SerializeControl(ControlMessage::Config(config_));
   for (const NodeId n : config_.chain) {
     (void)endpoint_.SendOneWay(n, MessageKind::kControl, 0, payload);
+  }
+  if (traced) {
+    // Reconfigurations land in the same trace as the requests they stall: a latency spike
+    // that lines up with a chain_reconfig span needs no further diagnosis. The epoch serves
+    // as the request id — unique, monotone, and shared with nothing else.
+    trace::Record(trace::Stage::kChainReconfig, config_.epoch, begin_ns, MonotonicNanos(),
+                  config_.epoch, config_.chain.size());
   }
   KLOG(Info) << "coordinator: committed epoch " << config_.epoch << " with "
              << config_.chain.size() << " replicas";

@@ -6,6 +6,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/telemetry/trace.h"
 #include "src/wire/snapshot.h"
 
 namespace kronos {
@@ -97,6 +98,12 @@ void ChainReplica::FlushChainLocked() {
         stats_.max_forward_batch =
             std::max<uint64_t>(stats_.max_forward_batch, forward_buffer_.size());
         forward_batch_entries_.Record(forward_buffer_.size());
+        // chain_propagate span: serialize + hand the coalesced batch to the transport. The
+        // last entry's seq doubles as the request id so the span lines up with the
+        // chain_apply spans of the entries it carried.
+        const bool traced = trace::Enabled();
+        const uint64_t begin_ns = traced ? MonotonicNanos() : 0;
+        const uint64_t last_seq = forward_buffer_.back().seq;
         if (forward_buffer_.size() == 1) {
           (void)endpoint_.SendOneWay(succ, MessageKind::kChainPropagate,
                                      forward_buffer_.front().seq,
@@ -106,6 +113,10 @@ void ChainReplica::FlushChainLocked() {
                                      forward_buffer_.back().seq,
                                      SerializeLogEntryBatch(forward_buffer_));
         }
+        if (traced) {
+          trace::Record(trace::Stage::kChainPropagate, last_seq, begin_ns, MonotonicNanos(),
+                        forward_buffer_.size(), last_seq);
+        }
       }
       forward_buffer_.clear();
     }
@@ -114,7 +125,12 @@ void ChainReplica::FlushChainLocked() {
     ack_dirty_ = false;
     const NodeId pred = PredecessorLocked();
     if (pred != kInvalidNode) {
+      const bool traced = trace::Enabled();
+      const uint64_t begin_ns = traced ? MonotonicNanos() : 0;
       (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
+      if (traced) {
+        trace::Record(trace::Stage::kChainAck, acked_, begin_ns, MonotonicNanos(), acked_, 0);
+      }
     }
   }
 }
@@ -128,7 +144,12 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
     return;
   }
   if (cmd->IsReadOnly()) {
+    // Replica-side query tracing: the replica mints its own request id (the daemon's ids
+    // are per-process; in the sim-network deployment the replica IS the server).
+    const bool traced = trace::Enabled();
+    const uint64_t rid = traced ? trace::NextRequestId() : 0;
     const Stopwatch timer;
+    const uint64_t begin_ns = traced ? MonotonicNanos() : 0;
     if (options_.simulated_query_service_us > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.simulated_query_service_us));
@@ -137,10 +158,18 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
     // client re-validates kConcurrent verdicts against the tail. Shared mode: queries only
     // wait for log application, never for each other.
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    const CommandResult result = sm_->ApplyReadOnly(*cmd);
+    EventGraph::QueryTally tally;
+    const CommandResult result = sm_->ApplyReadOnly(*cmd, traced ? &tally : nullptr);
     queries_served_.fetch_add(1, std::memory_order_relaxed);
     cmd_count_[static_cast<size_t>(CommandType::kQueryOrder)]->Increment();
     query_us_.Record(timer.ElapsedMicros());
+    if (traced) {
+      const uint64_t end_ns = MonotonicNanos();
+      trace::Record(trace::Stage::kQueryExecute, rid, begin_ns, end_ns, tally.visited,
+                    tally.pruned);
+      trace::Record(trace::Stage::kQueryTsFilter, rid, begin_ns, end_ns, tally.filtered,
+                    tally.fallback);
+    }
     (void)endpoint_.Reply(from, env.id, SerializeCommandResult(result));
     return;
   }
@@ -193,9 +222,16 @@ void ChainReplica::ApplyEntryLocked(LogEntry entry) {
   CommandResult result;
   if (cmd.ok()) {
     const Stopwatch timer;
+    const uint64_t begin_ns = trace::Enabled() ? MonotonicNanos() : 0;
     result = sm_->Apply(*cmd);
     cmd_count_[static_cast<size_t>(cmd->type)]->Increment();
     apply_us_.Record(timer.ElapsedMicros());
+    if (begin_ns != 0) {
+      // The chain seq is the request identity on this path — identical on every replica, so
+      // a merged trace shows the same entry marching down the chain.
+      trace::Record(trace::Stage::kChainApply, entry.seq, begin_ns, MonotonicNanos(),
+                    entry.seq, static_cast<uint64_t>(cmd->type));
+    }
   } else {
     result.status = cmd.status();
   }
@@ -299,7 +335,12 @@ void ChainReplica::HandleAck(uint64_t seq) {
   if (!IsHeadLocked()) {
     const NodeId pred = PredecessorLocked();
     if (pred != kInvalidNode) {
+      const bool traced = trace::Enabled();
+      const uint64_t begin_ns = traced ? MonotonicNanos() : 0;
       (void)endpoint_.SendOneWay(pred, MessageKind::kChainAck, acked_, {});
+      if (traced) {
+        trace::Record(trace::Stage::kChainAck, acked_, begin_ns, MonotonicNanos(), acked_, 0);
+      }
     }
   }
 }
@@ -335,6 +376,8 @@ void ChainReplica::HandleControl(const Envelope& env) {
         if (msg->seq > last_applied_) {
           break;  // nothing to send
         }
+        KLOG(Info) << "replica " << id() << ": serving resync for " << requester << " from seq "
+                   << msg->seq << " (have " << last_applied_ << ")";
         const uint64_t span = last_applied_ - msg->seq + 1;
         if (msg->seq < log_start_seq_ || span > options_.snapshot_resync_threshold) {
           snapshot = SerializeSnapshot(*sm_);
@@ -489,6 +532,26 @@ void ChainReplica::HeartbeatLoop() {
     (void)endpoint_.SendOneWay(coordinator_, MessageKind::kControl, 0,
                                SerializeControl(ControlMessage::Heartbeat(id())));
     ++beats;
+    if (options_.resync_retry_every > 0 && beats % options_.resync_retry_every == 0) {
+      // Liveness backstop for resync (see ChainReplicaOptions::resync_retry_every): the
+      // adopt-time ResendRequest is one lossy message, so keep asking the predecessor for
+      // anything past last_applied_ until there is nothing to send. Idempotent on both ends.
+      NodeId pred = kInvalidNode;
+      uint64_t next_seq = 0;
+      {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (config_.Contains(id())) {
+          pred = PredecessorLocked();
+          next_seq = last_applied_ + 1;
+        }
+      }
+      if (pred != kInvalidNode) {
+        KLOG(Debug) << "replica " << id() << ": resync retry to pred " << pred << " from seq "
+                    << next_seq;
+        (void)endpoint_.SendOneWay(pred, MessageKind::kControl, 0,
+                                   SerializeControl(ControlMessage::ResendRequest(next_seq, id())));
+      }
+    }
     if (options_.config_poll_every > 0 && beats % options_.config_poll_every == 0) {
       Result<Envelope> reply = endpoint_.Call(
           coordinator_, SerializeControl(ControlMessage::GetConfig()),

@@ -52,6 +52,14 @@ struct ChainReplicaOptions {
   // Every Nth heartbeat the replica also pulls the configuration from the coordinator, which
   // heals missed config broadcasts.
   uint64_t config_poll_every = 5;
+  // Every Nth heartbeat a non-head replica re-sends ResendRequest(last_applied + 1) to its
+  // predecessor. AdoptConfig's resync request is a single one-way message; if it — or the
+  // stream/snapshot answering it — is lost to a partition that heals a moment later, nothing
+  // else re-triggers the transfer and the replica stays stale until the next
+  // reconfiguration. The periodic retry makes resync self-healing: an up-to-date requester
+  // costs the predecessor one decode (seq > last_applied, nothing to send), and duplicate
+  // entries from overlapping streams are already dropped by the seq gate. 0 disables.
+  uint64_t resync_retry_every = 5;
   // Simulated per-query service time. Each replica serves queries serially from its receive
   // thread, so this sets a 1/service_time capacity per replica — the knob that lets the
   // Fig. 8 scaling experiment model N independent servers on a single-core host (sleeping

@@ -158,7 +158,8 @@ Result<Envelope> TcpKronos::Transact(MessageKind kind, std::vector<uint8_t> payl
     }
     Result<Envelope> env = ParseEnvelope(*frame);
     if (!env.ok() || env->id != id ||
-        (env->kind != MessageKind::kResponse && env->kind != MessageKind::kIntrospect)) {
+        (env->kind != MessageKind::kResponse && env->kind != MessageKind::kIntrospect &&
+         env->kind != MessageKind::kTraceDump)) {
       // Framing desync or foreign traffic: the stream is unusable, reconnect and retry.
       last = env.ok() ? Status(Internal("response correlation mismatch")) : env.status();
       DropConnectionLocked();
@@ -287,6 +288,17 @@ Result<MetricsSnapshot> TcpKronos::Introspect() {
     return Status(Internal("unexpected reply kind"));
   }
   return ParseMetricsSnapshot(env->payload);
+}
+
+Result<std::vector<trace::Span>> TcpKronos::TraceDump() {
+  Result<Envelope> env = Transact(MessageKind::kTraceDump, {}, /*sessioned=*/false);
+  if (!env.ok()) {
+    return env.status();
+  }
+  if (env->kind != MessageKind::kTraceDump) {
+    return Status(Internal("unexpected reply kind"));
+  }
+  return ParseTraceSpans(env->payload);
 }
 
 Result<EventId> TcpKronos::CreateEvent() {

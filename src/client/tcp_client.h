@@ -29,6 +29,7 @@
 #include "src/core/command.h"
 #include "src/net/tcp.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/wire/codec.h"
 
 namespace kronos {
@@ -81,6 +82,11 @@ class TcpKronos : public KronosApi {
   // Fetches the server's live metrics snapshot (the kIntrospect wire command). Read-only and
   // safe to call while other clients drive load; `kronos_cli stats` is built on this.
   Result<MetricsSnapshot> Introspect();
+
+  // Drains the server's trace-span recorder (the kTraceDump wire command). Destructive read:
+  // the server's rings are advanced, so two dumps never repeat a span. `kronos_cli trace`
+  // renders the result as Chrome trace-event JSON (src/telemetry/trace.h).
+  Result<std::vector<trace::Span>> TraceDump();
 
   // Client-side transport counters (kronos_client_*): calls, retries, timeouts, reconnects,
   // failovers. Complements Introspect(), which reports the server's view.

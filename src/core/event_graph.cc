@@ -128,7 +128,7 @@ bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const 
     const Slot u = frontier[head];
     for (const Slot w : vertices_[u].out) {
       if (w == to) {
-        vertices_visited_.fetch_add(frontier.size(), std::memory_order_relaxed);
+        scratch.AddVisited(frontier.size());
         scratch.AddPruned(pruned);
         return true;
       }
@@ -141,7 +141,10 @@ bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const 
       }
     }
   }
-  vertices_visited_.fetch_add(frontier.size(), std::memory_order_relaxed);
+  // Tallied on the scratch, not the global counter: the caller flushes once per batch and
+  // decides whether the work is also a per-request trace annotation (QueryOrder) or purely
+  // engine accounting (AssignOrder's contradiction checks).
+  scratch.AddVisited(frontier.size());
   scratch.AddPruned(pruned);
   return false;
 }
@@ -193,7 +196,8 @@ void EventGraph::RemoveEdge(Slot u, Slot v) {
   --stats_.live_edges;
 }
 
-Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pairs) const {
+Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pairs,
+                                                  QueryTally* tally) const {
   // Validate the whole batch first: no partial answers.
   for (const EventPair& p : pairs) {
     if (p.e1 == p.e2) {
@@ -254,15 +258,25 @@ Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pai
     }
     out.push_back(order);
   }
-  // One relaxed add per batch for each fast-path counter (PR-1 read-stats convention).
+  // One relaxed add per batch for each fast-path counter (PR-1 read-stats convention). The
+  // same totals feed the caller's tally, so per-request tracing costs no extra accounting.
+  const uint64_t visited = scratch->TakeVisited();
+  const uint64_t pruned = scratch->TakePruned();
   if (filtered > 0) {
     ts_filtered_.fetch_add(filtered, std::memory_order_relaxed);
   }
   if (fallback > 0) {
     ts_fallback_.fetch_add(fallback, std::memory_order_relaxed);
   }
-  if (const uint64_t pruned = scratch->TakePruned(); pruned > 0) {
+  if (visited > 0) {
+    vertices_visited_.fetch_add(visited, std::memory_order_relaxed);
+  }
+  if (pruned > 0) {
     ts_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  }
+  if (tally != nullptr) {
+    *tally = QueryTally{
+        .filtered = filtered, .fallback = fallback, .visited = visited, .pruned = pruned};
   }
   return out;
 }
@@ -326,6 +340,9 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
             vertices_[it->first].stamp = it->second;
           }
           ++stats_.assign_aborts;
+          // Write-path traversal work still counts as engine work (vertices_visited keeps its
+          // pre-tally semantics), but pruning is a query-counter concept and is discarded.
+          vertices_visited_.fetch_add(scratch->TakeVisited(), std::memory_order_relaxed);
           (void)scratch->TakePruned();  // discard: aborted work is not a served query
           return Status(OrderViolation("assign_order: must pair contradicts existing order"));
         }
@@ -346,6 +363,7 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
       }
     }
   }
+  vertices_visited_.fetch_add(scratch->TakeVisited(), std::memory_order_relaxed);
   (void)scratch->TakePruned();  // write-path pruning is not charged to the query counters
   return outcomes;
 }

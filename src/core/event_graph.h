@@ -89,10 +89,23 @@ class EventGraph {
   // call (possibly zero if e is pinned by a live predecessor).
   Result<uint64_t> ReleaseRef(EventId e);
 
+  // Per-batch work accounting for one QueryOrder call, filled when the caller passes a tally.
+  // This is the request-scoped mirror of the global ts_*/vertices_visited counters: the
+  // tracing layer attaches it to the request's query spans (DESIGN.md §5.10) so a slow query
+  // can be explained — was it filtered, did it fall back to BFS, and how much did it expand?
+  struct QueryTally {
+    uint64_t filtered = 0;  // pairs refuted in both directions by the height stamps
+    uint64_t fallback = 0;  // pairs where one direction survived and a BFS ran
+    uint64_t visited = 0;   // BFS vertices expanded across the batch
+    uint64_t pruned = 0;    // expansions skipped by the stamp bound inside surviving BFS runs
+  };
+
   // For each pair (e1, e2) reports kBefore, kAfter or kConcurrent. Fails with kNotFound if any
   // named event is absent; no partial results are returned. Const and re-entrant: any number
-  // of threads may query concurrently as long as no writer runs (shared mode).
-  Result<std::vector<Order>> QueryOrder(std::span<const EventPair> pairs) const;
+  // of threads may query concurrently as long as no writer runs (shared mode). A non-null
+  // tally receives this batch's work accounting (overwritten, not accumulated).
+  Result<std::vector<Order>> QueryOrder(std::span<const EventPair> pairs,
+                                        QueryTally* tally = nullptr) const;
 
   // Atomically applies a batch of ordering requests. All kMust pairs are validated and applied
   // before any kPrefer pair (§2.2). If a kMust pair contradicts the existing graph the whole

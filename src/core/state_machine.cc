@@ -50,13 +50,14 @@ void KronosStateMachine::ApplyBatch(std::span<const Command> commands,
   }
 }
 
-CommandResult KronosStateMachine::ApplyReadOnly(const Command& command) const {
+CommandResult KronosStateMachine::ApplyReadOnly(const Command& command,
+                                                EventGraph::QueryTally* tally) const {
   CommandResult result;
   if (!command.IsReadOnly()) {
     result.status = InvalidArgument("ApplyReadOnly: command mutates state");
     return result;
   }
-  Result<std::vector<Order>> orders = graph_.QueryOrder(command.pairs);
+  Result<std::vector<Order>> orders = graph_.QueryOrder(command.pairs, tally);
   if (orders.ok()) {
     result.orders = *std::move(orders);
   } else {

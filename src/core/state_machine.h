@@ -30,8 +30,10 @@ class KronosStateMachine {
 
   // Executes a read-only command (IsReadOnly() must hold). Const and re-entrant: any number
   // of threads may call this concurrently under a shared lock that excludes Apply(). Produces
-  // bit-identical results to routing the same command through Apply().
-  CommandResult ApplyReadOnly(const Command& command) const;
+  // bit-identical results to routing the same command through Apply(). A non-null tally
+  // receives the query batch's work accounting (EventGraph::QueryTally) for request tracing.
+  CommandResult ApplyReadOnly(const Command& command,
+                              EventGraph::QueryTally* tally = nullptr) const;
 
   // Applies a whole batch in order, appending one result per command — exactly equivalent to
   // calling Apply() per element, but the batched write path (DESIGN.md §5.8) takes its

@@ -76,6 +76,17 @@ class TraversalScratch {
     return n;
   }
 
+  // Visited-vertex tally, same discipline as AddPruned/TakePruned: each Reachable() adds its
+  // frontier size here, and the engine takes the total once per batch — charging the global
+  // relaxed counter once AND handing the per-request number to the tracing layer (the
+  // query_execute span's arg0) without a second pass over the walk.
+  void AddVisited(uint64_t n) { visited_ += n; }
+  uint64_t TakeVisited() {
+    const uint64_t n = visited_;
+    visited_ = 0;
+    return n;
+  }
+
   uint64_t ApproxMemoryBytes() const {
     return mark_.capacity() * sizeof(uint64_t) + frontier_.capacity() * sizeof(uint32_t);
   }
@@ -84,7 +95,8 @@ class TraversalScratch {
   std::vector<uint64_t> mark_;  // mark_[slot] == epoch_  <=>  visited this traversal
   uint64_t epoch_ = 0;
   std::vector<uint32_t> frontier_;
-  uint64_t pruned_ = 0;  // see AddPruned/TakePruned
+  uint64_t pruned_ = 0;   // see AddPruned/TakePruned
+  uint64_t visited_ = 0;  // see AddVisited/TakeVisited
 };
 
 class TraversalScratchPool {

@@ -18,6 +18,8 @@ KronosDaemon::KronosDaemon(Options options)
       shared_mode_cmds_(metrics_.GetCounter("kronos_daemon_shared_mode_total")),
       exclusive_mode_cmds_(metrics_.GetCounter("kronos_daemon_exclusive_mode_total")),
       introspects_served_(metrics_.GetCounter("kronos_daemon_introspects_total")),
+      trace_dumps_served_(metrics_.GetCounter("kronos_daemon_trace_dumps_total")),
+      slow_ops_(metrics_.GetCounter("kronos_slow_ops_total")),
       session_duplicates_(metrics_.GetCounter("kronos_session_duplicates_total")),
       session_stale_(metrics_.GetCounter("kronos_session_stale_total")),
       wal_appends_(metrics_.GetCounter("kronos_wal_appends_total")),
@@ -38,12 +40,22 @@ KronosDaemon::KronosDaemon(Options options)
     sm_.graph().EnableQueryCache(options_.query_cache_capacity);
   }
   sm_.graph().EnableTimestampFilter(options_.timestamp_filter);
+  trace::Recorder::Global().SetEnabled(options_.tracing);
   // Batch-shape telemetry straight off the commit thread: one observation per group sync.
+  // The wal_group_sync trace span is recorded here rather than inside GroupCommitWal —
+  // kronos_common sits below kronos_telemetry in the layering, and the observer already
+  // runs on the commit thread with exactly the numbers the span wants. request_id 0 marks
+  // it as process-level work shared by every request the batch covered.
   wal_.set_batch_observer([this](size_t records, size_t bytes, uint64_t window_us) {
     wal_group_syncs_.Increment();
     wal_batch_records_.Record(records);
     wal_batch_bytes_.Record(bytes);
     wal_commit_window_us_.Record(window_us);
+    if (trace::Enabled()) {
+      const uint64_t now = MonotonicNanos();
+      trace::Record(trace::Stage::kWalGroupSync, 0, now - window_us * 1000, now, records,
+                    bytes);
+    }
   });
 }
 
@@ -138,26 +150,41 @@ void KronosDaemon::ServeConnection(const std::shared_ptr<TcpConnection>& conn) {
 
 bool KronosDaemon::ProcessFrames(TcpConnection& conn,
                                  std::vector<std::vector<uint8_t>>& frames) {
+  // One timing decision per batch: the tracing/slow-op clock reads are skipped wholesale
+  // when both are off, keeping the instrumented hot path identical to the pre-trace one.
+  const bool timing = TimingEnabled();
   std::vector<PendingRequest> reqs(frames.size());
   for (size_t i = 0; i < frames.size(); ++i) {
+    const uint64_t recv_ns = timing ? MonotonicNanos() : 0;
     Result<Envelope> env = ParseEnvelope(frames[i]);
     if (!env.ok()) {
       KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
       return false;
     }
     reqs[i].env = *std::move(env);
-    if (reqs[i].env.kind == MessageKind::kIntrospect) {
-      continue;
+    const bool is_introspection = reqs[i].env.kind == MessageKind::kIntrospect ||
+                                  reqs[i].env.kind == MessageKind::kTraceDump;
+    if (!is_introspection) {
+      if (reqs[i].env.kind != MessageKind::kRequest) {
+        KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
+        return false;
+      }
+      Result<Command> cmd = ParseCommand(reqs[i].env.payload);
+      if (cmd.ok()) {
+        reqs[i].cmd = *std::move(cmd);
+      } else {
+        reqs[i].cmd_parse = cmd.status();
+      }
     }
-    if (reqs[i].env.kind != MessageKind::kRequest) {
-      KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
-      return false;
-    }
-    Result<Command> cmd = ParseCommand(reqs[i].env.payload);
-    if (cmd.ok()) {
-      reqs[i].cmd = *std::move(cmd);
-    } else {
-      reqs[i].cmd_parse = cmd.status();
+    if (timing) {
+      // The request id is minted HERE, at frame decode — every later span of this request,
+      // on whatever thread it runs, carries it (DESIGN.md §5.10).
+      reqs[i].rid = trace::NextRequestId();
+      reqs[i].recv_ns = recv_ns;
+      reqs[i].parsed_ns = MonotonicNanos();
+      trace::Record(trace::Stage::kRecvParse, reqs[i].rid, recv_ns, reqs[i].parsed_ns,
+                    frames[i].size(), static_cast<uint64_t>(reqs[i].env.kind));
+      reqs[i].stages.Add(trace::Stage::kRecvParse, recv_ns, reqs[i].parsed_ns);
     }
   }
   // Execute strictly in frame order (one connection = one program order), coalescing each
@@ -174,58 +201,119 @@ bool KronosDaemon::ProcessFrames(TcpConnection& conn,
       flush();
       introspects_served_.Increment();
       req.reply = SerializeMetricsSnapshot(TelemetrySnapshot());
+    } else if (req.env.kind == MessageKind::kTraceDump) {
+      // Drain the span rings for `kronos_cli trace`. Touches no engine state at all — the
+      // recorder has its own registry mutex — so it needs neither lock mode; the flush just
+      // preserves program order on this connection.
+      flush();
+      trace_dumps_served_.Increment();
+      req.reply = SerializeTraceSpans(trace::Recorder::Global().Drain());
     } else if (!req.cmd_parse.ok()) {
       CommandResult bad;
       bad.status = req.cmd_parse;
       req.reply = SerializeCommandResult(bad);
     } else if (req.cmd.IsReadOnly() && !options_.serialize_reads) {
       flush();
-      req.reply = ExecuteRead(req.cmd);
+      ExecuteRead(req);
     } else {
       run.push_back(&req);
     }
   }
   flush();
   for (PendingRequest& req : reqs) {
-    const MessageKind kind = req.env.kind == MessageKind::kIntrospect
-                                 ? MessageKind::kIntrospect
-                                 : MessageKind::kResponse;
+    MessageKind kind = MessageKind::kResponse;
+    if (req.env.kind == MessageKind::kIntrospect || req.env.kind == MessageKind::kTraceDump) {
+      kind = req.env.kind;
+    }
+    const uint64_t send_ns = req.rid != 0 ? MonotonicNanos() : 0;
     Envelope reply{kind, req.env.id, std::move(req.reply)};
-    if (!conn.SendFrame(SerializeEnvelope(reply)).ok()) {
+    const std::vector<uint8_t> frame = SerializeEnvelope(reply);
+    if (!conn.SendFrame(frame).ok()) {
       return false;
+    }
+    if (req.rid != 0) {
+      const uint64_t done_ns = MonotonicNanos();
+      trace::Record(trace::Stage::kReplySend, req.rid, send_ns, done_ns, frame.size(), 0);
+      req.stages.Add(trace::Stage::kReplySend, send_ns, done_ns);
+      MaybeLogSlowOp(req, done_ns);
     }
   }
   return true;
 }
 
-std::vector<uint8_t> KronosDaemon::ExecuteRead(const Command& cmd) {
+void KronosDaemon::MaybeLogSlowOp(const PendingRequest& req, uint64_t done_ns) {
+  if (options_.slow_op_us == 0 || req.recv_ns == 0) {
+    return;
+  }
+  const uint64_t total_us = (done_ns - req.recv_ns) / 1000;
+  if (total_us <= options_.slow_op_us) {
+    return;
+  }
+  slow_ops_.Increment();
+  const std::string_view what = req.env.kind == MessageKind::kRequest
+                                    ? CommandTypeName(req.cmd.type)
+                                    : (req.env.kind == MessageKind::kTraceDump ? "trace_dump"
+                                                                               : "introspect");
+  KLOG(Warning) << "kronosd: slow op rid=" << req.rid << " cmd=" << what
+                << " total=" << total_us << "us " << req.stages.Format();
+}
+
+void KronosDaemon::ExecuteRead(PendingRequest& req) {
+  const Command& cmd = req.cmd;
+  const bool timed = req.rid != 0;
   // Server-side latency: lock wait + engine time, excluding network and framing. One clock
   // read before, one after; the Record is a shard-local O(1).
-  const Stopwatch timer;
+  const uint64_t begin_ns = MonotonicNanos();
+  if (timed) {
+    // Queue wait: parsed → execution start. Near-zero for a lone read, real time when the
+    // read sat behind earlier frames of a pipelined batch.
+    trace::Record(trace::Stage::kQueueWait, req.rid, req.parsed_ns, begin_ns);
+    req.stages.Add(trace::Stage::kQueueWait, req.parsed_ns, begin_ns);
+  }
   // Shared mode: query batches from any number of connections run concurrently; they only
   // wait for in-flight updates, never for each other. Queries are idempotent, so session
   // stamps (if any) are ignored — the dedup table guards mutations only.
   CommandResult result;
+  EventGraph::QueryTally tally;
   {
     std::shared_lock<std::shared_mutex> lock(sm_mutex_);
     if (options_.simulated_query_service_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_query_service_us));
     }
-    result = sm_.ApplyReadOnly(cmd);
+    result = sm_.ApplyReadOnly(cmd, timed ? &tally : nullptr);
+  }
+  const uint64_t end_ns = MonotonicNanos();
+  if (timed) {
+    // Two spans over the same window, two lenses on the batch: how much the BFS expanded
+    // (and the stamp bound pruned), and what the height-stamp filter decided per pair.
+    trace::Record(trace::Stage::kQueryExecute, req.rid, begin_ns, end_ns, tally.visited,
+                  tally.pruned);
+    trace::Record(trace::Stage::kQueryTsFilter, req.rid, begin_ns, end_ns, tally.filtered,
+                  tally.fallback);
+    req.stages.Add(trace::Stage::kQueryExecute, begin_ns, end_ns);
   }
   commands_served_.Increment();
   shared_mode_cmds_.Increment();
   const size_t type = static_cast<size_t>(cmd.type);
   cmd_count_[type]->Increment();
-  cmd_us_[type]->Record(timer.ElapsedMicros());
-  return SerializeCommandResult(result);
+  cmd_us_[type]->Record((end_ns - begin_ns) / 1000);
+  req.reply = SerializeCommandResult(result);
 }
 
 void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
   if (run.empty()) {
     return;
   }
-  const Stopwatch timer;
+  // Every request in a run was decoded by the same ProcessFrames pass, so one rid check
+  // covers the batch.
+  const bool timed = run[0]->rid != 0;
+  const uint64_t run_begin_ns = MonotonicNanos();
+  if (timed) {
+    for (PendingRequest* req : run) {
+      trace::Record(trace::Stage::kQueueWait, req->rid, req->parsed_ns, run_begin_ns);
+      req->stages.Add(trace::Stage::kQueueWait, req->parsed_ns, run_begin_ns);
+    }
+  }
   uint64_t wait_frontier = 0;  // 1 + highest WAL ticket this run must see durable; 0 = none
   // Replies gated on this run's durability wait: fresh applies AND session-duplicate replays
   // (a cached success is only re-sendable once the frontier covering its original is
@@ -286,14 +374,22 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
         // Write-ahead: the record enters the group-commit queue inside the exclusive section,
         // so durable order equals apply order; the fsync itself is deferred to the commit
         // thread and shared by the whole run (and any concurrent connections).
-        const Stopwatch wal_timer;
-        const GroupCommitWal::Ticket ticket = wal_.Enqueue(SerializeWalRecord(
+        const uint64_t wal_begin_ns = MonotonicNanos();
+        std::vector<uint8_t> record = SerializeWalRecord(
             sessioned ? req.env.client_id : 0, sessioned ? req.env.client_seq : 0,
-            req.env.payload));
+            req.env.payload);
+        const size_t record_bytes = record.size();
+        const GroupCommitWal::Ticket ticket = wal_.Enqueue(std::move(record));
         wal_frontier_ = ticket + 1;
         wait_frontier = wal_frontier_;
         wal_appends_.Increment();
-        wal_append_us_.Record(wal_timer.ElapsedMicros());
+        const uint64_t wal_end_ns = MonotonicNanos();
+        wal_append_us_.Record((wal_end_ns - wal_begin_ns) / 1000);
+        if (timed) {
+          trace::Record(trace::Stage::kWalAppend, req.rid, wal_begin_ns, wal_end_ns,
+                        record_bytes, ticket);
+          req.stages.Add(trace::Stage::kWalAppend, wal_begin_ns, wal_end_ns);
+        }
       }
       req.reply = SerializeCommandResult(sm_.Apply(cmd));
       durability_gated[i] = true;
@@ -306,12 +402,33 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
       }
     }
   }
+  const uint64_t lock_end_ns = MonotonicNanos();
+  if (timed) {
+    // One exclusive_run span per request: lock acquisition wait + the whole batch apply.
+    // That IS each request's exclusive-section latency — commands in a coalesced run share
+    // the section, exactly as they share cmd_us_ latency below.
+    for (PendingRequest* req : run) {
+      trace::Record(trace::Stage::kExclusiveRun, req->rid, run_begin_ns, lock_end_ns,
+                    run.size(), static_cast<uint64_t>(req->cmd.type));
+      req->stages.Add(trace::Stage::kExclusiveRun, run_begin_ns, lock_end_ns);
+    }
+  }
   if (persistent_ && wait_frontier > 0) {
     // One durability wait covers the whole run: replies (the point effects become observable
     // to the requester) are withheld until the covering fsync lands.
-    const Stopwatch wait_timer;
+    const uint64_t wait_begin_ns = lock_end_ns;
     Status durable = wal_.WaitDurable(wait_frontier - 1);
-    wal_commit_wait_us_.Record(wait_timer.ElapsedMicros());
+    const uint64_t wait_end_ns = MonotonicNanos();
+    wal_commit_wait_us_.Record((wait_end_ns - wait_begin_ns) / 1000);
+    if (timed) {
+      for (size_t i = 0; i < run.size(); ++i) {
+        if (durability_gated[i]) {
+          trace::Record(trace::Stage::kCommitWait, run[i]->rid, wait_begin_ns, wait_end_ns,
+                        wait_frontier, 0);
+          run[i]->stages.Add(trace::Stage::kCommitWait, wait_begin_ns, wait_end_ns);
+        }
+      }
+    }
     if (!durable.ok()) {
       // The fsync failed and the WAL is sticky-dead. Nothing gated on this wait may be
       // acknowledged: fresh applies AND duplicate replays both get the error, and the session
@@ -339,7 +456,7 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
   }
   // Per-command accounting. Every command in the run shares the run's server-side latency
   // (lock wait + batch apply + group-commit wait) — that is the latency its requester saw.
-  const uint64_t elapsed = timer.ElapsedMicros();
+  const uint64_t elapsed = (MonotonicNanos() - run_begin_ns) / 1000;
   for (const PendingRequest* req : run) {
     commands_served_.Increment();
     exclusive_mode_cmds_.Increment();
@@ -384,6 +501,9 @@ void KronosDaemon::ExportEngineGaugesLocked() const {
   const GroupCommitWal::Stats ws = wal_.stats();
   metrics_.GetGauge("kronos_wal_batches").Set(static_cast<int64_t>(ws.batches));
   metrics_.GetGauge("kronos_wal_batch_max").Set(static_cast<int64_t>(ws.max_batch));
+  const trace::Recorder::Stats ts = trace::Recorder::Global().stats();
+  metrics_.GetGauge("kronos_trace_spans_recorded").Set(static_cast<int64_t>(ts.recorded));
+  metrics_.GetGauge("kronos_trace_spans_dropped").Set(static_cast<int64_t>(ts.dropped));
   if (const OrderCache* cache = sm_.graph().query_cache()) {
     const OrderCache::Stats cs = cache->stats();
     metrics_.GetGauge("kronos_cache_hits").Set(static_cast<int64_t>(cs.hits));

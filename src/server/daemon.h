@@ -37,6 +37,15 @@
 // rates are exported as gauges at snapshot time. The snapshot is served live over the wire
 // protocol via the kIntrospect message (read-only, graph reads under the shared lock, so
 // introspection never stalls the query path behind it).
+//
+// Request tracing (DESIGN.md §5.10): when `tracing` is on, every decoded frame mints a
+// request id and each stage of its life records a span into the per-thread ring recorder
+// (src/telemetry/trace.h) — recv_parse, queue_wait, exclusive_run, wal_append, commit_wait,
+// wal_group_sync, reply_send on the write path; queue_wait, query_execute, query_ts_filter
+// on the read path. The kTraceDump wire message drains the rings (that is what
+// `kronos_cli trace` calls); `slow_op_us > 0` additionally emits one KLOG(Warning) line with
+// the per-stage breakdown for any request whose decode→reply time exceeds the threshold and
+// bumps kronos_slow_ops_total.
 #ifndef KRONOS_SERVER_DAEMON_H_
 #define KRONOS_SERVER_DAEMON_H_
 
@@ -53,6 +62,7 @@
 #include "src/core/state_machine.h"
 #include "src/net/tcp.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/wire/codec.h"
 
 namespace kronos {
@@ -85,6 +95,18 @@ struct KronosDaemonOptions {
   // pipelined batching (one command per lock acquisition / WAL commit — the unbatched
   // baseline bench/micro_write_path measures against).
   size_t max_pipeline_batch = 64;
+  // Per-request span recording into the process-wide trace::Recorder (DESIGN.md §5.10).
+  // The record path is lock-free and allocation-free (measured overhead well under the 3%
+  // budget — BENCH_trace_overhead.json), so it defaults on; `--no-trace` in kronosd and
+  // bench/micro_trace_overhead's baseline arm turn it off. The flag sets the GLOBAL
+  // recorder's enable bit at construction, so with several daemons in one process the last
+  // constructed wins (they share the recorder and their spans interleave by design).
+  bool tracing = true;
+  // Slow-op log threshold: a request whose frame-decode→reply time exceeds this emits one
+  // structured KLOG(Warning) with its per-stage breakdown and bumps kronos_slow_ops_total.
+  // 0 disables. Works with tracing off — the breakdown is carried on the request, not
+  // read back from the rings.
+  uint64_t slow_op_us = 0;
   // Group-commit window for the WAL (ignored unless a wal_path is passed to Start).
   GroupCommitWalOptions wal_commit;
 };
@@ -142,6 +164,11 @@ class KronosDaemon {
     Command cmd;                        // valid when cmd_parse.ok() and kind == kRequest
     Status cmd_parse = OkStatus();      // command-level parse verdict
     std::vector<uint8_t> reply;         // serialized reply payload (filled by execution)
+    // Tracing / slow-op accounting, filled only when TimingEnabled() held at decode:
+    uint64_t rid = 0;          // trace request id (0 = untimed)
+    uint64_t recv_ns = 0;      // frame decode began (the request's latency origin)
+    uint64_t parsed_ns = 0;    // command parsed; queue_wait runs from here to execution
+    trace::StageBreakdown stages;  // per-stage durations for the slow-op log
   };
 
   void AcceptLoop();
@@ -152,8 +179,12 @@ class KronosDaemon {
   // Executes a run of consecutive exclusive-mode requests (mutations, plus reads under the
   // serialize_reads ablation) under one exclusive-lock acquisition and one group-commit wait.
   void ExecuteExclusiveRun(std::vector<PendingRequest*>& run);
-  // Shared-mode read execution (concurrent with other reads).
-  std::vector<uint8_t> ExecuteRead(const Command& cmd);
+  // Shared-mode read execution (concurrent with other reads). Fills req.reply.
+  void ExecuteRead(PendingRequest& req);
+  // True when per-request timestamps are being collected (tracing or the slow-op log).
+  bool TimingEnabled() const { return trace::Enabled() || options_.slow_op_us > 0; }
+  // Emits the slow-op KLOG(Warning) if the request's decode→reply time crossed the bar.
+  void MaybeLogSlowOp(const PendingRequest& req, uint64_t done_ns);
   void ExportEngineGaugesLocked() const;  // requires sm_mutex_ (shared suffices)
 
   Options options_;
@@ -192,6 +223,8 @@ class KronosDaemon {
   Counter& shared_mode_cmds_;
   Counter& exclusive_mode_cmds_;
   Counter& introspects_served_;
+  Counter& trace_dumps_served_;
+  Counter& slow_ops_;
   Counter& session_duplicates_;
   Counter& session_stale_;
   Counter& wal_appends_;

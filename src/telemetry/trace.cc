@@ -1,0 +1,217 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace kronos {
+namespace trace {
+
+std::string_view StageName(Stage s) {
+  switch (s) {
+    case Stage::kRecvParse:
+      return "recv_parse";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kExclusiveRun:
+      return "exclusive_run";
+    case Stage::kWalAppend:
+      return "wal_append";
+    case Stage::kCommitWait:
+      return "commit_wait";
+    case Stage::kWalGroupSync:
+      return "wal_group_sync";
+    case Stage::kReplySend:
+      return "reply_send";
+    case Stage::kQueryExecute:
+      return "query_execute";
+    case Stage::kQueryTsFilter:
+      return "query_ts_filter";
+    case Stage::kChainApply:
+      return "chain_apply";
+    case Stage::kChainPropagate:
+      return "chain_propagate";
+    case Stage::kChainAck:
+      return "chain_ack";
+    case Stage::kChainReconfig:
+      return "chain_reconfig";
+  }
+  return "unknown";
+}
+
+Recorder& Recorder::Global() {
+  static Recorder* recorder = new Recorder();  // leaked: outlives every recording thread
+  return *recorder;
+}
+
+Recorder::Ring* Recorder::AcquireRing() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    Ring* ring = free_.back();
+    free_.pop_back();
+    return ring;
+  }
+  rings_.push_back(std::make_unique<Ring>(static_cast<uint32_t>(rings_.size())));
+  return rings_.back().get();
+}
+
+void Recorder::ReleaseRing(Ring* ring) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(ring);
+}
+
+Recorder::Ring* Recorder::ThreadRing() {
+  // The lease returns the ring to the free list when the thread exits, so a reused ring —
+  // with its un-drained spans intact — serves the next thread and total memory stays
+  // bounded by peak concurrency.
+  struct Lease {
+    Recorder* recorder = nullptr;
+    Ring* ring = nullptr;
+    ~Lease() {
+      if (recorder != nullptr) {
+        recorder->ReleaseRing(ring);
+      }
+    }
+  };
+  thread_local Lease lease;
+  if (lease.ring == nullptr || lease.recorder != this) {
+    lease.recorder = this;
+    lease.ring = AcquireRing();
+  }
+  return lease.ring;
+}
+
+void Recorder::Record(Stage stage, uint64_t request_id, uint64_t begin_ns, uint64_t end_ns,
+                      uint64_t arg0, uint64_t arg1) {
+  if (!enabled()) {
+    return;
+  }
+  Ring* ring = ThreadRing();
+  const uint64_t h = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[h % kRingCapacity];
+  slot.begin.store(begin_ns, std::memory_order_relaxed);
+  slot.end.store(end_ns, std::memory_order_relaxed);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  slot.arg0.store(arg0, std::memory_order_relaxed);
+  slot.arg1.store(arg1, std::memory_order_relaxed);
+  slot.stage.store(static_cast<uint64_t>(stage), std::memory_order_relaxed);
+  // Publish: a drainer that acquires a head value >= h+1 sees every field stored above.
+  ring->head.store(h + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Span> Recorder::Drain() {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring_owner : rings_) {
+      Ring* ring = ring_owner.get();
+      const uint64_t h1 = ring->head.load(std::memory_order_acquire);
+      uint64_t lo = ring->drained;
+      if (h1 > kRingCapacity && lo < h1 - kRingCapacity) {
+        // The writer lapped the drain: everything below the ring window is gone.
+        dropped_ += (h1 - kRingCapacity) - lo;
+        lo = h1 - kRingCapacity;
+      }
+      const size_t first = out.size();
+      std::vector<uint64_t> indices;
+      indices.reserve(h1 - lo);
+      for (uint64_t i = lo; i < h1; ++i) {
+        const Slot& slot = ring->slots[i % kRingCapacity];
+        Span span;
+        span.begin_ns = slot.begin.load(std::memory_order_relaxed);
+        span.end_ns = slot.end.load(std::memory_order_relaxed);
+        span.request_id = slot.request_id.load(std::memory_order_relaxed);
+        span.arg0 = slot.arg0.load(std::memory_order_relaxed);
+        span.arg1 = slot.arg1.load(std::memory_order_relaxed);
+        span.stage = static_cast<uint8_t>(slot.stage.load(std::memory_order_relaxed));
+        span.track = ring->id;
+        out.push_back(span);
+        indices.push_back(i);
+      }
+      // Re-validate: a writer may have advanced while we copied, reusing slots from the
+      // bottom of our window. Any index the writer could have touched — including the one
+      // it is mid-store into right now (h2, whose slot held index h2 - capacity) — is
+      // discarded as potentially mixed old/new. The fence orders our slot loads before the
+      // second head read so the window is not under-estimated.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const uint64_t h2 = ring->head.load(std::memory_order_acquire);
+      size_t kept = first;
+      for (size_t k = 0; k < indices.size(); ++k) {
+        if (indices[k] + kRingCapacity > h2) {
+          out[kept++] = out[first + k];
+        } else {
+          ++dropped_;
+        }
+      }
+      out.resize(kept);
+      ring->drained = h1;
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+    if (a.request_id != b.request_id) return a.request_id < b.request_id;
+    return a.stage < b.stage;
+  });
+  return out;
+}
+
+Recorder::Stats Recorder::stats() const {
+  Stats s;
+  s.recorded = recorded_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.dropped = dropped_;
+  for (const auto& ring : rings_) {
+    const uint64_t h = ring->head.load(std::memory_order_acquire);
+    if (h > kRingCapacity && ring->drained < h - kRingCapacity) {
+      s.dropped += (h - kRingCapacity) - ring->drained;  // pending, not yet charged by a drain
+    }
+  }
+  s.rings = rings_.size();
+  return s;
+}
+
+std::string StageBreakdown::Format() const {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < kNumStages; ++i) {
+    if (ns[i] == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%s%s=%" PRIu64 "us", out.empty() ? "" : " ",
+                  std::string(StageName(static_cast<Stage>(i))).c_str(), ns[i] / 1000);
+    out += buf;
+  }
+  if (out.empty()) {
+    out = "(no stages recorded)";
+  }
+  return out;
+}
+
+std::string RenderChromeTrace(std::vector<Span> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.begin_ns < b.begin_ns; });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[320];
+  bool first = true;
+  for (const Span& s : spans) {
+    const Stage stage = s.stage < kNumStages ? static_cast<Stage>(s.stage) : Stage::kRecvParse;
+    const std::string name(s.stage < kNumStages ? StageName(stage) : "unknown");
+    const double ts_us = static_cast<double>(s.begin_ns) / 1e3;
+    const double dur_us =
+        static_cast<double>(s.end_ns >= s.begin_ns ? s.end_ns - s.begin_ns : 0) / 1e3;
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"kronos\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"rid\":%" PRIu64
+                  ",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}}",
+                  first ? "" : ",", name.c_str(), ts_us, dur_us, s.track, s.request_id, s.arg0,
+                  s.arg1);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace trace
+}  // namespace kronos

@@ -1,0 +1,170 @@
+// Request tracing: a per-thread, fixed-size ring-buffer span recorder plus a Chrome
+// trace-event renderer (DESIGN.md §5.10).
+//
+// A span is one stage of one request: [begin_ns, end_ns), a stage id, the request id minted
+// when the daemon decoded the frame, and two u64 annotation slots whose meaning is
+// per-stage (bytes, counts, sequence numbers — see StageName for the catalog). Spans from
+// every stage of a request share its id, so a drained buffer reconstructs the full
+// per-request latency breakdown across threads: connection thread, WAL commit thread,
+// chain replicas.
+//
+// Record-path guarantees (the whole point of the design):
+//   - No allocation and no locking. Each thread owns a private ring; recording is six
+//     relaxed atomic stores plus one release store of the ring head.
+//   - Bounded memory. Rings are fixed-size (kRingCapacity spans); a thread that outruns
+//     the drain overwrites its own oldest spans, counted in Stats::dropped. Rings return
+//     to a free list on thread exit, so the footprint is bounded by the peak number of
+//     concurrently recording threads, not by thread churn.
+//   - Disabled means free. Record() is one relaxed load when tracing is off.
+//
+// Drain() merges every ring into one begin-sorted vector without stopping writers: it
+// reads each ring's head (acquire), copies the un-drained window, re-reads the head, and
+// discards any entry a concurrent writer may have been overwriting in between. Torn spans
+// are therefore impossible in the output (each field is individually atomic, and the
+// re-validation window excludes mixed old/new slots); a drain races only with losing a few
+// of the newest spans of a very fast writer, never with corruption.
+#ifndef KRONOS_TELEMETRY_TRACE_H_
+#define KRONOS_TELEMETRY_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kronos {
+namespace trace {
+
+// One stage of a request's life. The daemon write path emits kRecvParse → kQueueWait →
+// kExclusiveRun (containing kWalAppend) → kCommitWait → kReplySend; the query path swaps
+// the middle for kQueryExecute/kQueryTsFilter; chain replication adds its own stages on
+// the replica/coordinator threads. docs/ARCHITECTURE.md annotates both lifecycles with
+// these exact names.
+enum class Stage : uint8_t {
+  kRecvParse = 0,     // frame received → envelope + command parsed. arg0 = frame bytes
+  kQueueWait = 1,     // parsed → execution starts (pipeline-queue wait inside the batch)
+  kExclusiveRun = 2,  // exclusive-lock acquisition + batch apply. arg0 = run size, arg1 = cmd type
+  kWalAppend = 3,     // record serialize + group-commit enqueue. arg0 = record bytes, arg1 = ticket
+  kCommitWait = 4,    // WaitDurable: reply gated on the covering fsync. arg0 = wait frontier
+  kWalGroupSync = 5,  // commit thread: one coalesced write+fsync. arg0 = records, arg1 = bytes
+  kReplySend = 6,     // reply serialize + send. arg0 = reply bytes
+  kQueryExecute = 7,  // shared-lock query batch. arg0 = BFS vertices visited, arg1 = stamp-pruned
+  kQueryTsFilter = 8, // height-stamp verdicts for the batch. arg0 = pairs filtered, arg1 = fallback
+  kChainApply = 9,    // replica applies one log entry. arg0 = seq, arg1 = cmd type
+  kChainPropagate = 10,  // replica forwards a coalesced batch. arg0 = entries, arg1 = last seq
+  kChainAck = 11,        // cumulative ack sent upstream. arg0 = acked seq
+  kChainReconfig = 12,   // coordinator commits + broadcasts a new epoch. arg0 = epoch, arg1 = chain size
+};
+inline constexpr size_t kNumStages = 13;
+
+// Stable short name ("recv_parse", "wal_append", ...) used in the slow-op log, the Chrome
+// trace, and the docs. Never reuse or rename — dashboards and the check_docs verifier key
+// off these.
+std::string_view StageName(Stage s);
+
+// One recorded span. POD mirror of a ring slot; also the unit the kTraceDump wire message
+// carries (src/wire/introspect.h).
+struct Span {
+  uint64_t begin_ns = 0;   // MonotonicNanos at stage entry
+  uint64_t end_ns = 0;     // MonotonicNanos at stage exit (>= begin_ns)
+  uint64_t request_id = 0; // minted at frame decode; 0 = process-level work (e.g. group sync)
+  uint64_t arg0 = 0;       // per-stage annotation (see Stage)
+  uint64_t arg1 = 0;
+  uint32_t track = 0;      // recording ring id; becomes the Chrome "tid" lane
+  uint8_t stage = 0;       // Stage, as its wire byte
+};
+
+class Recorder {
+ public:
+  static constexpr size_t kRingCapacity = 4096;  // spans per thread before overwrite
+
+  // The process-wide recorder. Intentionally leaked so threads exiting during process
+  // teardown can still return their rings safely.
+  static Recorder& Global();
+
+  // Off by default; KronosDaemon flips it per its `tracing` option, tools per their flags.
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Mints the id that ties a request's spans together. Never returns 0.
+  uint64_t NextRequestId() { return next_request_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Records one span into the calling thread's ring. No-op when disabled. Lock-free and
+  // allocation-free except the first call on a new thread (ring checkout).
+  void Record(Stage stage, uint64_t request_id, uint64_t begin_ns, uint64_t end_ns,
+              uint64_t arg0 = 0, uint64_t arg1 = 0);
+
+  // Merges every ring's un-drained spans into one begin-sorted vector and advances the
+  // drain watermarks (a second drain returns only spans recorded since). Safe to call
+  // while writers record; see the header comment for the torn-span exclusion.
+  std::vector<Span> Drain();
+
+  struct Stats {
+    uint64_t recorded = 0;  // spans ever recorded
+    uint64_t dropped = 0;   // spans overwritten before a drain could collect them
+    uint64_t rings = 0;     // rings ever created (peak concurrent recording threads)
+  };
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> begin{0};
+    std::atomic<uint64_t> end{0};
+    std::atomic<uint64_t> request_id{0};
+    std::atomic<uint64_t> arg0{0};
+    std::atomic<uint64_t> arg1{0};
+    std::atomic<uint64_t> stage{0};
+  };
+  struct Ring {
+    explicit Ring(uint32_t ring_id) : id(ring_id), slots(new Slot[kRingCapacity]) {}
+    const uint32_t id;
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<uint64_t> head{0};  // next write index; release-published after slot stores
+    uint64_t drained = 0;           // drain watermark; guarded by Recorder::mu_
+  };
+
+  Recorder() = default;
+  Ring* ThreadRing();
+  Ring* AcquireRing();
+  void ReleaseRing(Ring* ring);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> recorded_{0};
+
+  mutable std::mutex mu_;                      // ring registry + drain watermarks only
+  std::vector<std::unique_ptr<Ring>> rings_;   // every ring ever created (never destroyed)
+  std::vector<Ring*> free_;                    // rings returned by exited threads
+  uint64_t dropped_ = 0;                       // accumulated at drain; guarded by mu_
+};
+
+inline bool Enabled() { return Recorder::Global().enabled(); }
+inline uint64_t NextRequestId() { return Recorder::Global().NextRequestId(); }
+inline void Record(Stage stage, uint64_t request_id, uint64_t begin_ns, uint64_t end_ns,
+                   uint64_t arg0 = 0, uint64_t arg1 = 0) {
+  Recorder::Global().Record(stage, request_id, begin_ns, end_ns, arg0, arg1);
+}
+
+// Per-request stage durations, carried alongside the recorder so the slow-op log can print
+// a breakdown without scanning rings. Plain (non-atomic) — owned by the request's thread.
+struct StageBreakdown {
+  std::array<uint64_t, kNumStages> ns{};
+  void Add(Stage s, uint64_t begin_ns, uint64_t end_ns) {
+    ns[static_cast<size_t>(s)] += end_ns - begin_ns;
+  }
+  // "recv_parse=12us queue_wait=0us wal_append=3us ..." — non-zero stages only, in stage order.
+  std::string Format() const;
+};
+
+// Renders spans as Chrome trace-event JSON ({"traceEvents":[...]}), loadable in Perfetto or
+// chrome://tracing. Complete "X" events, ts/dur in fractional microseconds, pid 1, tid =
+// span.track, args = {rid, arg0, arg1}. Spans are sorted by begin time before emission.
+std::string RenderChromeTrace(std::vector<Span> spans);
+
+}  // namespace trace
+}  // namespace kronos
+
+#endif  // KRONOS_TELEMETRY_TRACE_H_

@@ -46,6 +46,8 @@ enum class MessageKind : uint8_t {
   kIntrospect = 6,     // request: empty payload; response: MetricsSnapshot (wire/introspect.h)
   kChainPropagateBatch = 7,  // head/mid -> next replica: { last seq, vector<LogEntry> } — the
                              // coalesced form of kChainPropagate (DESIGN.md §5.8)
+  kTraceDump = 8,  // request: empty payload; response: drained trace spans
+                   // (wire/introspect.h) — the transport behind `kronos_cli trace`
 };
 
 struct Envelope {

@@ -105,4 +105,76 @@ Result<MetricsSnapshot> ParseMetricsSnapshot(std::span<const uint8_t> bytes) {
   return snap;
 }
 
+void EncodeTraceSpans(const std::vector<trace::Span>& spans, BufferWriter& w) {
+  w.WriteU8(kWireVersion);
+  w.WriteVarint(spans.size());
+  for (const trace::Span& s : spans) {
+    w.WriteVarint(s.begin_ns);
+    // Duration, not the absolute end: span durations are tiny next to the monotonic epoch,
+    // so the delta varint-compresses to 1-3 bytes where end_ns would take 9.
+    w.WriteVarint(s.end_ns >= s.begin_ns ? s.end_ns - s.begin_ns : 0);
+    w.WriteVarint(s.request_id);
+    w.WriteU8(s.stage);
+    w.WriteVarint(s.track);
+    w.WriteVarint(s.arg0);
+    w.WriteVarint(s.arg1);
+  }
+}
+
+Status DecodeTraceSpans(BufferReader& r, std::vector<trace::Span>& out) {
+  uint8_t version = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(version));
+  if (version != kWireVersion) {
+    return InvalidArgument("unsupported wire version");
+  }
+  out.clear();
+  uint64_t n = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(n));
+  if (n > r.remaining()) {  // every span needs >= 7 bytes; cheap bomb guard
+    return InvalidArgument("span count exceeds payload");
+  }
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    trace::Span s;
+    uint64_t duration = 0;
+    uint64_t track = 0;
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.begin_ns));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(duration));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.request_id));
+    KRONOS_RETURN_IF_ERROR(r.ReadU8(s.stage));
+    if (s.stage >= trace::kNumStages) {
+      return InvalidArgument("bad trace stage on wire");
+    }
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(track));
+    if (track > UINT32_MAX) {
+      return InvalidArgument("bad trace track on wire");
+    }
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.arg0));
+    KRONOS_RETURN_IF_ERROR(r.ReadVarint(s.arg1));
+    s.end_ns = s.begin_ns + duration;
+    s.track = static_cast<uint32_t>(track);
+    out.push_back(s);
+  }
+  return OkStatus();
+}
+
+std::vector<uint8_t> SerializeTraceSpans(const std::vector<trace::Span>& spans) {
+  BufferWriter w;
+  EncodeTraceSpans(spans, w);
+  return w.TakeBuffer();
+}
+
+Result<std::vector<trace::Span>> ParseTraceSpans(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  std::vector<trace::Span> spans;
+  Status st = DecodeTraceSpans(r, spans);
+  if (!st.ok()) {
+    return st;
+  }
+  if (!r.AtEnd()) {
+    return Status(InvalidArgument("trailing bytes after trace spans"));
+  }
+  return spans;
+}
+
 }  // namespace kronos

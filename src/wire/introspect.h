@@ -1,9 +1,15 @@
-// Codec for the kIntrospect reply: a MetricsSnapshot shipped over the framed protocol.
+// Codecs for the introspection messages: kIntrospect carries a MetricsSnapshot, kTraceDump
+// carries a batch of drained trace spans.
 //
 // An introspect request is an Envelope{kIntrospect, id, empty payload}; the server answers
 // with Envelope{kIntrospect, id, SerializeMetricsSnapshot(...)}. The snapshot travels in its
 // structured form (names + numbers) rather than pre-rendered text so clients choose the
 // rendering (pretty table, Prometheus exposition, JSON) without the server caring.
+//
+// A trace-dump request is Envelope{kTraceDump, id, empty payload}; the server drains its
+// span recorder (src/telemetry/trace.h) and answers with the serialized span list. Spans
+// likewise travel structured — the client renders Chrome trace-event JSON locally
+// (`kronos_cli trace`), so the daemon never formats text on a serving thread.
 #ifndef KRONOS_WIRE_INTROSPECT_H_
 #define KRONOS_WIRE_INTROSPECT_H_
 
@@ -13,6 +19,7 @@
 
 #include "src/common/status.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/wire/buffer.h"
 
 namespace kronos {
@@ -22,6 +29,12 @@ Status DecodeMetricsSnapshot(BufferReader& r, MetricsSnapshot& out);
 
 std::vector<uint8_t> SerializeMetricsSnapshot(const MetricsSnapshot& snap);
 Result<MetricsSnapshot> ParseMetricsSnapshot(std::span<const uint8_t> bytes);
+
+void EncodeTraceSpans(const std::vector<trace::Span>& spans, BufferWriter& w);
+Status DecodeTraceSpans(BufferReader& r, std::vector<trace::Span>& out);
+
+std::vector<uint8_t> SerializeTraceSpans(const std::vector<trace::Span>& spans);
+Result<std::vector<trace::Span>> ParseTraceSpans(std::span<const uint8_t> bytes);
 
 }  // namespace kronos
 

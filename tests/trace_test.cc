@@ -1,0 +1,549 @@
+// End-to-end request tracing (DESIGN.md §5.10): the span recorder, the kTraceDump wire
+// codec, the Chrome trace-event renderer, and the daemon's per-request instrumentation.
+//
+// The E2E tests are the acceptance criteria for the tracing subsystem: one durable
+// assign_order and one query_order round-tripped through a live daemon must surface every
+// instrumented stage of their path in a `TraceDump`, the rendered JSON must actually parse
+// (validated by a hand-rolled RFC 8259 checker — the repo deliberately has no JSON
+// dependency), and a nemesis seed must hold its invariants with the recorder racing real
+// replication traffic.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/client/tcp_client.h"
+#include "src/common/clock.h"
+#include "src/server/daemon.h"
+#include "src/server/nemesis.h"
+#include "src/telemetry/trace.h"
+#include "src/wire/introspect.h"
+
+namespace kronos {
+namespace {
+
+using trace::Recorder;
+using trace::Span;
+using trace::Stage;
+
+std::string TempWalPath(const char* name) {
+  return ::testing::TempDir() + "/kronos_trace_" + name + "_" + std::to_string(::getpid());
+}
+
+Span MakeSpan(Stage stage, uint64_t rid, uint64_t begin, uint64_t end, uint64_t arg0 = 0,
+              uint64_t arg1 = 0, uint32_t track = 0) {
+  Span s;
+  s.begin_ns = begin;
+  s.end_ns = end;
+  s.request_id = rid;
+  s.arg0 = arg0;
+  s.arg1 = arg1;
+  s.track = track;
+  s.stage = static_cast<uint8_t>(stage);
+  return s;
+}
+
+// Minimal recursive-descent JSON validity checker — enough of RFC 8259 to prove the
+// renderer's output is well-formed (Perfetto and chrome://tracing both require it).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Eof() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  bool Eat(char c) {
+    if (!Eof() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' || Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) {
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+  bool String() {
+    if (!Eat('"')) {
+      return false;
+    }
+    while (!Eof()) {
+      const char c = s_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (Eof()) {
+          return false;
+        }
+        ++pos_;  // accept any escaped char; \u digit checking is out of scope
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are invalid inside strings
+      }
+    }
+    return false;
+  }
+  bool Digits() {
+    const size_t start = pos_;
+    while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Number() {
+    (void)Eat('-');
+    if (!Digits()) {
+      return false;
+    }
+    if (Eat('.') && !Digits()) {
+      return false;
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eat('+')) {
+        (void)Eat('-');
+      }
+      if (!Digits()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool Object() {
+    (void)Eat('{');
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':') || !Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      return Eat('}');
+    }
+  }
+  bool Array() {
+    (void)Eat('[');
+    SkipWs();
+    if (Eat(']')) {
+      return true;
+    }
+    while (true) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      return Eat(']');
+    }
+  }
+  bool Value() {
+    SkipWs();
+    if (Eof()) {
+      return false;
+    }
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+// The recorder is process-global; each test starts from a drained, disabled state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Recorder::Global().SetEnabled(false);
+    (void)Recorder::Global().Drain();
+  }
+  void TearDown() override {
+    Recorder::Global().SetEnabled(false);
+    (void)Recorder::Global().Drain();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
+  trace::Record(Stage::kRecvParse, 1, 100, 200);
+  EXPECT_TRUE(Recorder::Global().Drain().empty());
+}
+
+TEST_F(TraceTest, RecordedSpansDrainSortedWithFieldsIntact) {
+  Recorder::Global().SetEnabled(true);
+  trace::Record(Stage::kWalAppend, 7, 300, 350, 128, 42);
+  trace::Record(Stage::kRecvParse, 7, 100, 120, 64, 1);
+  trace::Record(Stage::kReplySend, 7, 400, 410, 32, 0);
+  const std::vector<Span> spans = Recorder::Global().Drain();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].begin_ns, 100u);  // begin-sorted regardless of record order
+  EXPECT_EQ(spans[1].begin_ns, 300u);
+  EXPECT_EQ(spans[2].begin_ns, 400u);
+  EXPECT_EQ(spans[1].stage, static_cast<uint8_t>(Stage::kWalAppend));
+  EXPECT_EQ(spans[1].request_id, 7u);
+  EXPECT_EQ(spans[1].arg0, 128u);
+  EXPECT_EQ(spans[1].arg1, 42u);
+}
+
+TEST_F(TraceTest, DrainNeverRepeatsASpan) {
+  Recorder::Global().SetEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    trace::Record(Stage::kQueryExecute, i + 1, i * 10, i * 10 + 5);
+  }
+  EXPECT_EQ(Recorder::Global().Drain().size(), 5u);
+  EXPECT_TRUE(Recorder::Global().Drain().empty());
+  trace::Record(Stage::kQueryExecute, 99, 1000, 1001);
+  const std::vector<Span> again = Recorder::Global().Drain();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].request_id, 99u);
+}
+
+TEST_F(TraceTest, OverflowOverwritesOldestAndCountsDrops) {
+  Recorder::Global().SetEnabled(true);
+  const Recorder::Stats before = Recorder::Global().stats();
+  const size_t n = Recorder::kRingCapacity + 50;
+  for (size_t i = 0; i < n; ++i) {
+    trace::Record(Stage::kChainApply, i + 1, i, i + 1);
+  }
+  const std::vector<Span> spans = Recorder::Global().Drain();
+  // The survivors are the newest spans: the first 50 were overwritten, and the drain's
+  // torn-slot window conservatively surrenders one more — the slot a concurrent writer
+  // *could* be mid-store into (a quiescent ring is indistinguishable from that writer).
+  EXPECT_EQ(spans.size(), Recorder::kRingCapacity - 1);
+  EXPECT_EQ(spans.front().request_id, 52u);
+  const Recorder::Stats after = Recorder::Global().stats();
+  EXPECT_EQ(after.recorded - before.recorded, n);
+  EXPECT_EQ(after.dropped - before.dropped, 51u);  // 50 overwritten + 1 surrendered
+}
+
+TEST_F(TraceTest, ConcurrentRecordAndDrainLosesNothingToCorruption) {
+  Recorder::Global().SetEnabled(true);
+  const Recorder::Stats before = Recorder::Global().stats();
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 10'000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        // begin encodes (writer, i) so any torn or duplicated span is detectable.
+        const uint64_t begin = static_cast<uint64_t>(w) * kPerWriter + i;
+        trace::Record(Stage::kChainPropagate, w + 1, begin, begin + 1, i, w);
+      }
+    });
+  }
+  // Drain concurrently with the writers — the race the validation window must survive.
+  std::vector<Span> collected;
+  std::atomic<bool> done{false};
+  std::thread drainer([&collected, &done] {
+    while (!done.load()) {
+      std::vector<Span> batch = Recorder::Global().Drain();
+      collected.insert(collected.end(), batch.begin(), batch.end());
+    }
+  });
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  done.store(true);
+  drainer.join();
+  std::vector<Span> tail = Recorder::Global().Drain();
+  collected.insert(collected.end(), tail.begin(), tail.end());
+
+  std::set<uint64_t> seen;
+  for (const Span& s : collected) {
+    EXPECT_EQ(s.stage, static_cast<uint8_t>(Stage::kChainPropagate));
+    EXPECT_EQ(s.end_ns, s.begin_ns + 1);  // a torn slot would break this pairing
+    EXPECT_GE(s.request_id, 1u);
+    EXPECT_LE(s.request_id, static_cast<uint64_t>(kWriters));
+    EXPECT_TRUE(seen.insert(s.begin_ns).second) << "span drained twice: " << s.begin_ns;
+  }
+  // Conservation: every recorded span was either drained or counted dropped.
+  const Recorder::Stats after = Recorder::Global().stats();
+  EXPECT_EQ(after.recorded - before.recorded, kWriters * kPerWriter);
+  EXPECT_EQ(collected.size() + (after.dropped - before.dropped), kWriters * kPerWriter);
+}
+
+TEST_F(TraceTest, RingsAreReusedAcrossThreadLifetimes) {
+  Recorder::Global().SetEnabled(true);
+  auto record_once = [] { trace::Record(Stage::kChainAck, 1, 1, 2); };
+  std::thread(record_once).join();
+  const Recorder::Stats mid = Recorder::Global().stats();
+  std::thread(record_once).join();
+  std::thread(record_once).join();
+  const Recorder::Stats after = Recorder::Global().stats();
+  // Exited threads return rings to the free list; successors reuse instead of growing.
+  EXPECT_EQ(after.rings, mid.rings);
+}
+
+TEST_F(TraceTest, StageBreakdownFormatsNonZeroStagesInOrder) {
+  trace::StageBreakdown b;
+  EXPECT_EQ(b.Format(), "(no stages recorded)");
+  b.Add(Stage::kWalAppend, 1'000, 4'000);
+  b.Add(Stage::kRecvParse, 0, 12'000);
+  b.Add(Stage::kWalAppend, 0, 1'000);  // accumulates
+  EXPECT_EQ(b.Format(), "recv_parse=12us wal_append=4us");
+}
+
+TEST_F(TraceTest, SpanCodecRoundTrips) {
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(Stage::kRecvParse, 1, 0, 0));  // zero-duration edge
+  spans.push_back(MakeSpan(Stage::kWalGroupSync, 0, UINT64_MAX - 10, UINT64_MAX, 3, 4096, 2));
+  spans.push_back(MakeSpan(Stage::kChainReconfig, 12, 500, 900, 12, 3, UINT32_MAX));
+  const std::vector<uint8_t> bytes = SerializeTraceSpans(spans);
+  const Result<std::vector<Span>> back = ParseTraceSpans(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ((*back)[i].begin_ns, spans[i].begin_ns);
+    EXPECT_EQ((*back)[i].end_ns, spans[i].end_ns);
+    EXPECT_EQ((*back)[i].request_id, spans[i].request_id);
+    EXPECT_EQ((*back)[i].arg0, spans[i].arg0);
+    EXPECT_EQ((*back)[i].arg1, spans[i].arg1);
+    EXPECT_EQ((*back)[i].track, spans[i].track);
+    EXPECT_EQ((*back)[i].stage, spans[i].stage);
+  }
+  EXPECT_TRUE(ParseTraceSpans(SerializeTraceSpans({}))->empty());
+}
+
+TEST_F(TraceTest, SpanCodecRejectsTruncationTrailingBytesAndBadStage) {
+  const std::vector<uint8_t> bytes =
+      SerializeTraceSpans({MakeSpan(Stage::kQueueWait, 5, 100, 200, 1, 2, 3)});
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(ParseTraceSpans(prefix).ok()) << "prefix of " << cut << " bytes parsed";
+  }
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(ParseTraceSpans(trailing).ok());
+  // A stage byte past the catalog must be rejected at decode, not crash StageName later.
+  Span bad = MakeSpan(Stage::kRecvParse, 1, 1, 2);
+  bad.stage = static_cast<uint8_t>(trace::kNumStages);
+  EXPECT_FALSE(ParseTraceSpans(SerializeTraceSpans({bad})).ok());
+}
+
+TEST_F(TraceTest, RenderChromeTraceEmitsValidNestableJson) {
+  std::vector<Span> spans;
+  spans.push_back(MakeSpan(Stage::kWalAppend, 3, 2'000, 5'500, 128, 1, 1));
+  spans.push_back(MakeSpan(Stage::kRecvParse, 3, 1'000, 1'250, 64, 4, 1));
+  const std::string json = trace::RenderChromeTrace(spans);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"recv_parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"wal_append\""), std::string::npos);
+  // Events are begin-sorted and ts/dur are microseconds: 1000 ns → ts 1.000.
+  EXPECT_LT(json.find("\"recv_parse\""), json.find("\"wal_append\""));
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3.500"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(trace::RenderChromeTrace({})).Valid());
+}
+
+// Groups a drained dump by request id, keyed by stage; fails the test on any span whose
+// clock runs backwards.
+std::map<uint64_t, std::map<Stage, Span>> ByRequest(const std::vector<Span>& spans) {
+  std::map<uint64_t, std::map<Stage, Span>> by_rid;
+  for (const Span& s : spans) {
+    EXPECT_GE(s.end_ns, s.begin_ns);
+    EXPECT_LT(s.stage, trace::kNumStages);
+    by_rid[s.request_id][static_cast<Stage>(s.stage)] = s;
+  }
+  return by_rid;
+}
+
+TEST_F(TraceTest, DaemonTracesEveryStageOfWriteAndQueryPaths) {
+  const std::string wal = TempWalPath("e2e");
+  std::remove(wal.c_str());
+  KronosDaemon daemon;  // Options default: tracing on
+  ASSERT_TRUE(daemon.Start(0, wal).ok());
+  auto client = TcpKronos::Connect(daemon.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE((*client)->CreateEvent().ok());
+  ASSERT_TRUE((*client)->CreateEvent().ok());
+  Result<std::vector<AssignOutcome>> assigned =
+      (*client)->AssignOrder({{EventId{1}, EventId{2}, Constraint::kMust}});
+  ASSERT_TRUE(assigned.ok());
+  Result<std::vector<Order>> orders = (*client)->QueryOrder({{EventId{1}, EventId{2}}});
+  ASSERT_TRUE(orders.ok());
+  // The group-commit observer records wal_group_sync on the commit thread moments after the
+  // gated replies release; give it a beat so the dump below includes it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Result<std::vector<Span>> dump = (*client)->TraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  ASSERT_FALSE(dump->empty());
+  const auto by_rid = ByRequest(*dump);
+
+  // Every durable mutation must carry the full write-path lifecycle.
+  size_t writes = 0;
+  for (const auto& [rid, stages] : by_rid) {
+    if (stages.count(Stage::kWalAppend) == 0) {
+      continue;
+    }
+    ++writes;
+    for (const Stage need : {Stage::kRecvParse, Stage::kQueueWait, Stage::kExclusiveRun,
+                             Stage::kWalAppend, Stage::kCommitWait, Stage::kReplySend}) {
+      ASSERT_EQ(stages.count(need), 1u)
+          << "write rid " << rid << " missing stage " << trace::StageName(need);
+    }
+    // Stage nesting/ordering: parse → wait → exclusive run (containing the WAL append) →
+    // durability wait → reply. Exactly the lifecycle docs/ARCHITECTURE.md promises.
+    const Span& recv = stages.at(Stage::kRecvParse);
+    const Span& wait = stages.at(Stage::kQueueWait);
+    const Span& run = stages.at(Stage::kExclusiveRun);
+    const Span& append = stages.at(Stage::kWalAppend);
+    const Span& commit = stages.at(Stage::kCommitWait);
+    const Span& reply = stages.at(Stage::kReplySend);
+    EXPECT_LE(recv.begin_ns, wait.begin_ns);
+    EXPECT_LE(wait.end_ns, run.begin_ns);
+    EXPECT_GE(append.begin_ns, run.begin_ns);
+    EXPECT_LE(append.end_ns, run.end_ns);
+    EXPECT_GE(commit.begin_ns, run.end_ns);
+    EXPECT_GE(reply.begin_ns, commit.end_ns);
+    EXPECT_GT(append.arg0, 0u);  // record bytes
+  }
+  EXPECT_EQ(writes, 3u);  // two creates + one assign, all durable
+
+  // The query carries the read-path lifecycle, including the fast-path verdict span.
+  size_t queries = 0;
+  for (const auto& [rid, stages] : by_rid) {
+    if (stages.count(Stage::kQueryExecute) == 0) {
+      continue;
+    }
+    ++queries;
+    for (const Stage need : {Stage::kRecvParse, Stage::kQueueWait, Stage::kQueryExecute,
+                             Stage::kQueryTsFilter, Stage::kReplySend}) {
+      ASSERT_EQ(stages.count(need), 1u)
+          << "query rid " << rid << " missing stage " << trace::StageName(need);
+    }
+    const Span& wait = stages.at(Stage::kQueueWait);
+    const Span& exec = stages.at(Stage::kQueryExecute);
+    const Span& reply = stages.at(Stage::kReplySend);
+    EXPECT_LE(stages.at(Stage::kRecvParse).begin_ns, wait.begin_ns);
+    EXPECT_LE(wait.end_ns, exec.begin_ns);
+    EXPECT_GE(reply.begin_ns, exec.end_ns);
+  }
+  EXPECT_EQ(queries, 1u);
+
+  // Process-level work: the coalesced fsync batch that made the writes durable.
+  ASSERT_EQ(by_rid.count(0), 1u) << "no wal_group_sync span drained";
+  EXPECT_EQ(by_rid.at(0).count(Stage::kWalGroupSync), 1u);
+  EXPECT_GE(by_rid.at(0).at(Stage::kWalGroupSync).arg0, 1u);  // records in the batch
+
+  // The same dump renders as valid Chrome trace JSON — what `kronos_cli trace --out` writes.
+  const std::string json = trace::RenderChromeTrace(*dump);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_NE(json.find("\"commit_wait\""), std::string::npos);
+
+  // Destructive read: an immediately repeated dump returns only the handful of spans the
+  // first dump's own request recorded after draining.
+  Result<std::vector<Span>> second = (*client)->TraceDump();
+  ASSERT_TRUE(second.ok());
+  for (const Span& s : *second) {
+    EXPECT_TRUE(s.stage == static_cast<uint8_t>(Stage::kReplySend) ||
+                s.stage == static_cast<uint8_t>(Stage::kRecvParse) ||
+                s.stage == static_cast<uint8_t>(Stage::kQueueWait))
+        << "unexpected repeated stage " << trace::StageName(static_cast<Stage>(s.stage));
+  }
+
+  daemon.Stop();
+  std::remove(wal.c_str());
+}
+
+TEST_F(TraceTest, DisabledTracingStillDrivesSlowOpLog) {
+  KronosDaemonOptions opts;
+  opts.tracing = false;
+  opts.slow_op_us = 1;  // every op is "slow": the log path must fire without the recorder
+  KronosDaemon daemon(opts);
+  ASSERT_TRUE(daemon.Start(0).ok());
+  auto client = TcpKronos::Connect(daemon.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->CreateEvent().ok());
+  ASSERT_TRUE((*client)->CreateEvent().ok());
+  ASSERT_TRUE((*client)->QueryOrder({{EventId{1}, EventId{2}}}).ok());
+
+  const MetricsSnapshot snap = daemon.TelemetrySnapshot();
+  uint64_t slow = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "kronos_slow_ops_total") {
+      slow = value;
+    }
+  }
+  EXPECT_GE(slow, 2u);
+  EXPECT_TRUE(Recorder::Global().Drain().empty());  // recorder stayed off
+  daemon.Stop();
+}
+
+TEST_F(TraceTest, NemesisSeedHoldsInvariantsWithTracingEnabled) {
+  Recorder::Global().SetEnabled(true);
+  NemesisOptions opts;
+  opts.seed = 3;
+  opts.ops_per_client = 30;
+  Nemesis nemesis(opts);
+  const NemesisReport report = nemesis.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  const std::vector<Span> spans = Recorder::Global().Drain();
+  // The chain path recorded under faults: applies on every replica, coalesced forwards,
+  // and at least one reconfiguration (the nemesis kills replicas).
+  size_t applies = 0, propagates = 0;
+  for (const Span& s : spans) {
+    EXPECT_GE(s.end_ns, s.begin_ns);
+    EXPECT_LT(s.stage, trace::kNumStages);
+    applies += s.stage == static_cast<uint8_t>(Stage::kChainApply);
+    propagates += s.stage == static_cast<uint8_t>(Stage::kChainPropagate);
+  }
+  EXPECT_GT(applies, 0u);
+  EXPECT_GT(propagates, 0u);
+  EXPECT_TRUE(JsonChecker(trace::RenderChromeTrace(spans)).Valid());
+}
+
+}  // namespace
+}  // namespace kronos

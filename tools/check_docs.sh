@@ -4,6 +4,9 @@
 #   1. Every intra-repo markdown link in the doc set resolves to a real file.
 #   2. Every kronos_* metric name the docs mention exists in the source tree, so the
 #      metrics catalog (docs/OPERATIONS.md) can never drift from the instruments.
+#   3. The observability metrics PR 7 introduced (kronos_trace_*, kronos_slow_ops_total)
+#      are present in BOTH the docs and the source — the reverse direction of check 2, so
+#      removing an instrument or its catalog row fails tier-1.
 #
 # The metric check is substring-based on purpose: dynamic families are documented as
 # kronos_cmd_<type>_total, which extracts as the prefix "kronos_cmd_" and matches the
@@ -41,6 +44,26 @@ while IFS= read -r name; do
     fail=1
   fi
 done < <(grep -hoE 'kronos_[a-z0-9_]+' "${DOCS[@]}" | sort -u)
+
+echo "--- check_docs: required observability metrics ---"
+# Tracing/slow-op instruments must stay documented and registered: each name below has to
+# show up in the doc set (catalog row) and under src/ or tools/ (registration site).
+REQUIRED_METRICS=(
+  kronos_trace_spans_recorded
+  kronos_trace_spans_dropped
+  kronos_slow_ops_total
+  kronos_daemon_trace_dumps_total
+)
+for name in "${REQUIRED_METRICS[@]}"; do
+  if ! grep -hqF -- "$name" "${DOCS[@]}"; then
+    echo "REQUIRED METRIC missing from docs: $name"
+    fail=1
+  fi
+  if ! grep -rqF -- "$name" src tools; then
+    echo "REQUIRED METRIC missing from source: $name"
+    fail=1
+  fi
+done
 
 if [[ "$fail" != 0 ]]; then
   echo "check_docs: FAIL" >&2

@@ -6,6 +6,7 @@
 //   kronos_cli <ports> query <e1> <e2> [<e1> <e2> ...]
 //   kronos_cli <ports> assign <e1> (must|prefer) <e2> [...]
 //   kronos_cli <ports> stats [--watch] [--prom|--json]
+//   kronos_cli <ports> trace [--out <path>]
 //
 // <ports> is one port or a comma-separated failover list ("4000,4001,4002"): the client dials
 // the first reachable daemon and rotates to the next on any timeout or transport error, with
@@ -15,6 +16,10 @@
 // followed by this client's own transport counters (kronos_client_*: retries, timeouts,
 // reconnects, failovers); --watch refreshes every second until interrupted, --prom / --json
 // emit the raw Prometheus exposition / JSON dump for scraping.
+//
+// `trace` drains the server's span recorder (kTraceDump) and emits Chrome trace-event JSON —
+// load it at chrome://tracing or ui.perfetto.dev. Destructive read: each span is returned at
+// most once across dumps. Without --out the JSON goes to stdout (span count to stderr).
 //
 // Exit code 0 on success; the ORDER_VIOLATION abort exits 2 so scripts can branch on it.
 #include <chrono>
@@ -40,8 +45,9 @@ int Usage(const char* argv0) {
                "       %s <ports> query <e1> <e2> [...]\n"
                "       %s <ports> assign <e1> (must|prefer) <e2> [...]\n"
                "       %s <ports> stats [--watch] [--prom|--json]\n"
+               "       %s <ports> trace [--out <path>]\n"
                "<ports> is a port or a comma-separated failover list, e.g. 4000,4001\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 64;
 }
 
@@ -153,6 +159,39 @@ int Stats(TcpKronos& client, int argc, char** argv) {
   }
 }
 
+int Trace(TcpKronos& client, int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  Result<std::vector<trace::Span>> spans = client.TraceDump();
+  if (!spans.ok()) {
+    std::fprintf(stderr, "trace: %s\n", spans.status().ToString().c_str());
+    return 1;
+  }
+  const size_t count = spans->size();
+  const std::string json = trace::RenderChromeTrace(std::move(*spans));
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace: cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu spans to %s (%zu bytes)\n", count, out_path, json.size());
+  } else {
+    std::fputs(json.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fprintf(stderr, "trace: %zu spans\n", count);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +213,9 @@ int main(int argc, char** argv) {
 
   if (verb == "stats") {
     return Stats(**client, argc, argv);
+  }
+  if (verb == "trace") {
+    return Trace(**client, argc, argv);
   }
   if (verb == "create") {
     Result<EventId> e = (*client)->CreateEvent();

@@ -1,7 +1,12 @@
 // kronos_nemesis: the fault-injection soak driver (DESIGN.md §5.7).
 //
 //   kronos_nemesis [--seeds N|A,B,C] [--replicas N] [--clients N] [--ops N]
-//                  [--fault-interval-us N] [--drop P] [--duplicate P]
+//                  [--fault-interval-us N] [--drop P] [--duplicate P] [--trace]
+//
+// --trace turns on the per-request span recorder (src/telemetry/trace.h) for the whole run,
+// exercising the chain-path instrumentation (chain_apply/chain_propagate/chain_ack/
+// chain_reconfig) under faults — the tier-1 sweep runs one seed this way so TSan sees the
+// recorder racing real replication traffic.
 //
 // Runs the Nemesis harness (src/server/nemesis.h) once per seed and prints each report. Any
 // invariant violation — a contradicted or retracted order, a diverged replica, a broken
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "src/server/nemesis.h"
+#include "src/telemetry/trace.h"
 
 using namespace kronos;
 
@@ -26,7 +32,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N|A,B,C] [--replicas N] [--clients N] [--ops N]\n"
-               "          [--fault-interval-us N] [--drop P] [--duplicate P]\n",
+               "          [--fault-interval-us N] [--drop P] [--duplicate P] [--trace]\n",
                argv0);
   return 64;
 }
@@ -76,6 +82,8 @@ int main(int argc, char** argv) {
       base.drop_probability = std::atof(next());
     } else if (std::strcmp(argv[i], "--duplicate") == 0) {
       base.duplicate_probability = std::atof(next());
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace::Recorder::Global().SetEnabled(true);
     } else {
       return Usage(argv[0]);
     }

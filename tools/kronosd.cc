@@ -14,6 +14,12 @@
 //                            ruling the filter out of a query-path anomaly
 //   --stats-interval-s <n>   seconds between metrics digests (0 disables; also positional)
 //   --port <n>               listen port (also positional; 0 picks an ephemeral port)
+//   --log-level <level>      minimum KLOG severity: debug, info (default), warning, error
+//   --slow-op-us <n>         log a per-stage breakdown for any request that takes longer than
+//                            n microseconds end to end (0 = off; bumps kronos_slow_ops_total)
+//   --no-trace               disable the per-request span recorder (docs/OPERATIONS.md);
+//                            slow-op logging still works, but `kronos_cli trace` and SIGUSR2
+//                            dumps come back empty
 //
 // Serves the Kronos API on 127.0.0.1:<port> (default 7330). Clients connect with TcpKronos
 // (see src/client/tcp_client.h) or any implementation of the framed envelope protocol in
@@ -22,7 +28,9 @@
 // Observability: every stats_interval_s seconds (default 60; 0 disables) the daemon logs a
 // one-line metrics digest — per-command counts, engine gauges, latency p50/p99 — and SIGUSR1
 // forces an immediate digest. `kronos_cli <port> stats` reads the same snapshot live over the
-// wire (kIntrospect).
+// wire (kIntrospect). SIGUSR2 drains the span recorder to kronos_trace_<pid>.json in the
+// working directory — Chrome trace-event JSON, loadable in Perfetto — without stopping the
+// daemon; `kronos_cli <port> trace` reads the same spans over the wire (kTraceDump).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,23 +41,48 @@
 #include <string>
 #include <thread>
 
+#include <unistd.h>
+
+#include "src/common/logging.h"
 #include "src/server/daemon.h"
+#include "src/telemetry/trace.h"
 
 namespace {
 
 std::atomic<bool> g_shutdown{false};
 std::atomic<bool> g_dump_stats{false};
+std::atomic<bool> g_dump_trace{false};
 
 void HandleSignal(int) { g_shutdown.store(true); }
 void HandleDumpSignal(int) { g_dump_stats.store(true); }
+void HandleTraceSignal(int) { g_dump_trace.store(true); }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [port] [stats_interval_s] [--wal <path>] [--commit-window-us <n>]\n"
                "       [--pipeline-max <n>] [--no-ts-filter] [--stats-interval-s <n>]\n"
-               "       [--port <n>]\n",
+               "       [--port <n>] [--log-level <debug|info|warning|error>]\n"
+               "       [--slow-op-us <n>] [--no-trace]\n",
                argv0);
   return 64;
+}
+
+// Drains the recorder and writes Chrome trace-event JSON next to the daemon. Like every
+// trace dump this is a destructive read: spans written before this call won't show up in a
+// later `kronos_cli trace`.
+void DumpTraceToFile() {
+  char path[64];
+  std::snprintf(path, sizeof(path), "kronos_trace_%ld.json", (long)getpid());
+  const std::string json = kronos::trace::RenderChromeTrace(kronos::trace::Recorder::Global().Drain());
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "kronosd: cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("kronosd: trace dumped to %s (%zu bytes)\n", path, json.size());
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -85,6 +118,29 @@ int main(int argc, char** argv) {
       options.max_pipeline_batch = static_cast<size_t>(n);
     } else if (std::strcmp(arg, "--no-ts-filter") == 0) {
       options.timestamp_filter = false;
+    } else if (std::strcmp(arg, "--no-trace") == 0) {
+      options.tracing = false;
+    } else if (std::strcmp(arg, "--slow-op-us") == 0 && has_value) {
+      const long long n = std::atoll(argv[++i]);
+      // Same bounds as --commit-window-us: negative would wrap to "everything is slow", and a
+      // threshold past 10 s is surely a typo.
+      if (n < 0 || n > 10'000'000) {
+        return Usage(argv[0]);
+      }
+      options.slow_op_us = static_cast<uint64_t>(n);
+    } else if (std::strcmp(arg, "--log-level") == 0 && has_value) {
+      const char* level = argv[++i];
+      if (std::strcmp(level, "debug") == 0) {
+        kronos::SetLogLevel(kronos::LogLevel::kDebug);
+      } else if (std::strcmp(level, "info") == 0) {
+        kronos::SetLogLevel(kronos::LogLevel::kInfo);
+      } else if (std::strcmp(level, "warning") == 0) {
+        kronos::SetLogLevel(kronos::LogLevel::kWarning);
+      } else if (std::strcmp(level, "error") == 0) {
+        kronos::SetLogLevel(kronos::LogLevel::kError);
+      } else {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--stats-interval-s") == 0 && has_value) {
       stats_interval_s = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(arg, "--port") == 0 && has_value) {
@@ -115,8 +171,10 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGUSR1, HandleDumpSignal);
-  // The main loop doubles as the metrics ticker: sleep in 100 ms steps so SIGUSR1 digests and
-  // shutdown stay responsive, and emit the periodic digest when the interval elapses.
+  std::signal(SIGUSR2, HandleTraceSignal);
+  // The main loop doubles as the metrics ticker: sleep in 100 ms steps so SIGUSR1 digests,
+  // SIGUSR2 trace dumps, and shutdown stay responsive even mid-interval, and emit the periodic
+  // digest when the interval elapses.
   uint64_t ticks = 0;
   const uint64_t ticks_per_digest = stats_interval_s * 10;
   while (!g_shutdown.load()) {
@@ -126,6 +184,9 @@ int main(int argc, char** argv) {
     if (interval_hit || g_dump_stats.exchange(false)) {
       std::printf("kronosd: stats %s\n", daemon.TelemetrySnapshot().Digest().c_str());
       std::fflush(stdout);
+    }
+    if (g_dump_trace.exchange(false)) {
+      DumpTraceToFile();
     }
   }
   std::printf("kronosd: served %llu commands over %llu connections, shutting down\n",

@@ -41,6 +41,12 @@ echo "=== tier-1: nemesis seed sweep ==="
 NEMESIS_SEEDS="1,2,3,4,5,6,7,8"
 ./build/tools/kronos_nemesis --seeds "$NEMESIS_SEEDS" --ops 40
 
+echo "=== tier-1: nemesis seed with tracing enabled ==="
+# One seed re-runs with the span recorder live (--trace): the chain-path instrumentation
+# (chain_apply/chain_propagate/chain_ack/chain_reconfig) must not perturb the invariants,
+# and the recorder races real replication traffic instead of a synthetic workload.
+./build/tools/kronos_nemesis --seeds 3 --ops 40 --trace
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== tier-1: TSan pass skipped ==="
   exit 0
@@ -49,7 +55,7 @@ fi
 echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKRONOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test telemetry_test \
-  chain_nemesis_test core_fastpath_property_test
+  chain_nemesis_test core_fastpath_property_test trace_test common_logging_test
 # TSan aborts the process on the first race (halt_on_error) so CI cannot miss one.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_concurrent_query_test
 # Fast-path filter under TSan: concurrent stamp-filtered queries (relaxed ts_* counters,
@@ -58,6 +64,11 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_fastpath_property_test \
   --gtest_filter='FastpathConcurrencyTest.*:Seeds/FastpathPropertyTest.MatchesBfsOracleThroughLifecycle/0'
 # Telemetry: N threads record into one named histogram while another thread snapshots.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/telemetry_test
+# Trace recorder: lock-free rings drained while writers record, plus the instrumented
+# daemon E2E and a traced nemesis seed — the §5.10 memory-ordering claims, race-checked.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/trace_test
+# KLOG: concurrent emission while the level toggles (atomic level load in every expansion).
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_logging_test
 # Nemesis under TSan: one seed is enough to race-check the kill/restart/resync machinery;
 # the full sweep already ran above un-instrumented.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/chain_nemesis_test \
