@@ -1,0 +1,233 @@
+// micro_recovery: restart time vs WAL history length, with and without checkpoints
+// (DESIGN.md §5.11).
+//
+// The claim under test: without checkpoints, recovery replays the WHOLE log, so restart time
+// (and disk usage) grows without bound as history accumulates; with periodic checkpoints +
+// WAL truncation, recovery is checkpoint-restore plus a bounded suffix replay, so restart
+// time flattens no matter how old the daemon gets.
+//
+// Method: for each history length H, build a fresh durable daemon and drive H acknowledged
+// records of create+release churn — every event is released right after creation, so the GC
+// collects it and LIVE state stays constant while the log grows. That separation is the point:
+// full replay pays O(history) even when almost nothing is live, while checkpoint recovery pays
+// O(live state) + O(suffix). In checkpoint mode, CheckpointNow() fires every `interval`
+// records, and a fixed interval/2 tail lands after the last checkpoint so the suffix replay is
+// never degenerate-zero. Stop, then time a cold KronosDaemon::Start over the surviving files —
+// that IS recovery: checkpoint verify/restore + suffix replay + WAL reopen. Disk bytes count
+// every file of the WAL family (segments + retained checkpoints).
+//
+// KRONOS_BENCH_JSON=<path> dumps the numbers (BENCH_recovery.json tracks the trajectory).
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/client/tcp_client.h"
+#include "src/common/clock.h"
+#include "src/common/env.h"
+#include "src/server/daemon.h"
+
+namespace {
+
+using namespace kronos;
+
+std::string WalBase() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/kronos_bench_recovery_" +
+         std::to_string(::getpid());
+}
+
+void RemoveFamily(const std::string& base) {
+  const size_t slash = base.find_last_of('/');
+  const std::string dir = base.substr(0, slash);
+  const std::string file = base.substr(slash + 1);
+  Result<std::vector<std::string>> names = Env::Default()->ListDir(dir);
+  if (!names.ok()) {
+    return;
+  }
+  for (const std::string& name : *names) {
+    if (name == file || name.rfind(file + ".", 0) == 0) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+}
+
+uint64_t FamilyDiskBytes(const std::string& base) {
+  const size_t slash = base.find_last_of('/');
+  const std::string dir = base.substr(0, slash);
+  const std::string file = base.substr(slash + 1);
+  Result<std::vector<std::string>> names = Env::Default()->ListDir(dir);
+  if (!names.ok()) {
+    return 0;
+  }
+  uint64_t total = 0;
+  for (const std::string& name : *names) {
+    if (name == file || name.rfind(file + ".", 0) == 0) {
+      struct stat st{};
+      if (::stat((dir + "/" + name).c_str(), &st) == 0) {
+        total += static_cast<uint64_t>(st.st_size);
+      }
+    }
+  }
+  return total;
+}
+
+KronosDaemon::Options DurableOptions() {
+  KronosDaemon::Options opts;
+  opts.wal_commit.segment_bytes = 64 * 1024;
+  opts.tracing = false;
+  return opts;
+}
+
+struct Point {
+  uint64_t records = 0;        // acked creates in the history
+  double recovery_ms = 0;      // cold Start() over the surviving files
+  uint64_t replayed = 0;       // WAL records re-applied during that Start
+  uint64_t checkpoint_seq = 0; // 0 = recovered by full replay
+  uint64_t disk_bytes = 0;     // WAL segments + retained checkpoints on disk
+};
+
+// Builds an H-record history (+tail), optionally checkpointing every `interval` records,
+// then measures a cold recovery over what's left on disk.
+Point RunPoint(uint64_t history, uint64_t interval, bool checkpoints) {
+  const std::string base = WalBase();
+  RemoveFamily(base);
+  const uint64_t tail = interval / 2;
+  Point p;
+  p.records = history + tail;
+  {
+    KronosDaemon daemon(DurableOptions());
+    KRONOS_CHECK(daemon.Start(0, base).ok()) << "bench daemon failed to start";
+    Result<std::unique_ptr<TcpKronos>> client = TcpKronos::Connect(daemon.port());
+    KRONOS_CHECK(client.ok()) << "bench client failed to connect";
+    constexpr uint64_t kBurst = 32;  // 32 creates + 32 releases = 64 records per round trip
+    const std::vector<Command> creates(kBurst, Command::MakeCreateEvent());
+    uint64_t done = 0;
+    uint64_t next_checkpoint = interval;
+    while (done < history + tail) {
+      const uint64_t n = std::min(kBurst, (history + tail - done + 1) / 2);
+      Result<std::vector<CommandResult>> r =
+          (*client)->ExecutePipelined(std::span<const Command>(creates.data(), n));
+      KRONOS_CHECK(r.ok()) << "bench burst failed: " << r.status().ToString();
+      // Release everything just created: the events get collected, so live state stays flat
+      // while the log keeps growing — replay cost and state size decouple.
+      std::vector<Command> releases;
+      releases.reserve(r->size());
+      for (const CommandResult& cr : *r) {
+        releases.push_back(Command::MakeReleaseRef(cr.event));
+      }
+      Result<std::vector<CommandResult>> rel = (*client)->ExecutePipelined(releases);
+      KRONOS_CHECK(rel.ok()) << "bench release burst failed: " << rel.status().ToString();
+      done += 2 * n;
+      // Checkpoints land only inside the first `history` records; the tail stays uncovered
+      // so checkpointed recovery always has a real suffix to replay.
+      while (checkpoints && next_checkpoint <= done && next_checkpoint <= history) {
+        KRONOS_CHECK(daemon.CheckpointNow().ok()) << "bench checkpoint failed";
+        next_checkpoint += interval;
+      }
+    }
+    daemon.Stop();
+  }
+  p.disk_bytes = FamilyDiskBytes(base);
+
+  KronosDaemon recovered(DurableOptions());
+  const uint64_t t0 = MonotonicMicros();
+  KRONOS_CHECK(recovered.Start(0, base).ok()) << "bench recovery failed";
+  p.recovery_ms = static_cast<double>(MonotonicMicros() - t0) / 1000.0;
+  p.replayed = recovered.commands_recovered();
+  p.checkpoint_seq = recovered.recovered_checkpoint_seq();
+  recovered.Stop();
+  RemoveFamily(base);
+  return p;
+}
+
+void PrintSeries(const char* label, const std::vector<Point>& series) {
+  std::printf("\n%s\n", label);
+  std::printf("  %10s %12s %10s %10s %12s\n", "records", "recovery_ms", "replayed", "ckpt_seq",
+              "disk_bytes");
+  for (const Point& p : series) {
+    std::printf("  %10llu %12.2f %10llu %10llu %12llu\n", (unsigned long long)p.records,
+                p.recovery_ms, (unsigned long long)p.replayed,
+                (unsigned long long)p.checkpoint_seq, (unsigned long long)p.disk_bytes);
+  }
+}
+
+void JsonSeries(FILE* f, const char* key, const std::vector<Point>& series, bool last) {
+  std::fprintf(f, "    \"%s\": [\n", key);
+  for (size_t i = 0; i < series.size(); ++i) {
+    const Point& p = series[i];
+    std::fprintf(f,
+                 "      {\"records\": %llu, \"recovery_ms\": %.2f, \"replayed\": %llu, "
+                 "\"checkpoint_seq\": %llu, \"disk_bytes\": %llu}%s\n",
+                 (unsigned long long)p.records, p.recovery_ms, (unsigned long long)p.replayed,
+                 (unsigned long long)p.checkpoint_seq, (unsigned long long)p.disk_bytes,
+                 i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("micro_recovery",
+                "restart time vs WAL history: full replay vs checkpoint + bounded suffix");
+  const uint64_t interval = bench::ScaledU64(1'000);
+  std::vector<uint64_t> histories;
+  for (uint64_t h = interval; h <= 8 * interval; h *= 2) {
+    histories.push_back(h);
+  }
+  std::printf("workload=create+release churn (pipelined, 64 records per round)"
+              " checkpoint_interval=%llu"
+              " tail=%llu segment_bytes=65536 keep=2\n",
+              (unsigned long long)interval, (unsigned long long)(interval / 2));
+
+  std::vector<Point> without;
+  std::vector<Point> with_ckpt;
+  for (const uint64_t h : histories) {
+    without.push_back(RunPoint(h, interval, /*checkpoints=*/false));
+  }
+  for (const uint64_t h : histories) {
+    with_ckpt.push_back(RunPoint(h, interval, /*checkpoints=*/true));
+  }
+  PrintSeries("no checkpoints (full replay):", without);
+  PrintSeries("checkpoint every interval (restore + suffix):", with_ckpt);
+
+  // The bound: checkpointed replay is always <= interval + tail regardless of history, while
+  // full replay equals the whole history. Quote the largest point.
+  const Point& big_without = without.back();
+  const Point& big_with = with_ckpt.back();
+  const double speedup =
+      big_with.recovery_ms > 0 ? big_without.recovery_ms / big_with.recovery_ms : 0;
+  std::printf("\nheadline: at %llu records, recovery %.2fms (replay %llu) without checkpoints"
+              " vs %.2fms (replay %llu) with = %.2fx; checkpointed replay bounded by %llu\n",
+              (unsigned long long)big_without.records, big_without.recovery_ms,
+              (unsigned long long)big_without.replayed, big_with.recovery_ms,
+              (unsigned long long)big_with.replayed, speedup,
+              (unsigned long long)(interval + interval / 2));
+
+  if (const char* path = std::getenv("KRONOS_BENCH_JSON")) {
+    FILE* f = std::fopen(path, "w");
+    KRONOS_CHECK(f != nullptr) << "cannot open " << path;
+    std::fprintf(f, "{\n  \"bench\": \"micro_recovery\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"workload\": \"create_release_churn\", "
+                 "\"checkpoint_interval\": %llu, "
+                 "\"tail\": %llu, \"segment_bytes\": 65536, \"checkpoint_keep\": 2},\n",
+                 (unsigned long long)interval, (unsigned long long)(interval / 2));
+    std::fprintf(f, "  \"recovery\": {\n");
+    JsonSeries(f, "no_checkpoint", without, false);
+    JsonSeries(f, "with_checkpoint", with_ckpt, true);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"headline\": {\"records\": %llu, \"no_checkpoint_ms\": %.2f, "
+                 "\"with_checkpoint_ms\": %.2f, \"speedup\": %.2f}\n}\n",
+                 (unsigned long long)big_without.records, big_without.recovery_ms,
+                 big_with.recovery_ms, speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+  return 0;
+}

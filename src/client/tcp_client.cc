@@ -159,7 +159,7 @@ Result<Envelope> TcpKronos::Transact(MessageKind kind, std::vector<uint8_t> payl
     Result<Envelope> env = ParseEnvelope(*frame);
     if (!env.ok() || env->id != id ||
         (env->kind != MessageKind::kResponse && env->kind != MessageKind::kIntrospect &&
-         env->kind != MessageKind::kTraceDump)) {
+         env->kind != MessageKind::kTraceDump && env->kind != MessageKind::kCheckpoint)) {
       // Framing desync or foreign traffic: the stream is unusable, reconnect and retry.
       last = env.ok() ? Status(Internal("response correlation mismatch")) : env.status();
       DropConnectionLocked();
@@ -299,6 +299,17 @@ Result<std::vector<trace::Span>> TcpKronos::TraceDump() {
     return Status(Internal("unexpected reply kind"));
   }
   return ParseTraceSpans(env->payload);
+}
+
+Result<CheckpointReply> TcpKronos::Checkpoint() {
+  Result<Envelope> env = Transact(MessageKind::kCheckpoint, {}, /*sessioned=*/false);
+  if (!env.ok()) {
+    return env.status();
+  }
+  if (env->kind != MessageKind::kCheckpoint) {
+    return Status(Internal("unexpected reply kind"));
+  }
+  return ParseCheckpointReply(env->payload);
 }
 
 Result<EventId> TcpKronos::CreateEvent() {

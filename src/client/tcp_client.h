@@ -31,6 +31,7 @@
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 #include "src/wire/codec.h"
+#include "src/wire/introspect.h"
 
 namespace kronos {
 
@@ -87,6 +88,12 @@ class TcpKronos : public KronosApi {
   // the server's rings are advanced, so two dumps never repeat a span. `kronos_cli trace`
   // renders the result as Chrome trace-event JSON (src/telemetry/trace.h).
   Result<std::vector<trace::Span>> TraceDump();
+
+  // Asks the server to take a durable checkpoint now (the kCheckpoint wire command; see
+  // DESIGN.md §5.11). Returns the server's verdict — an error Status only for transport
+  // failures; server-side refusals (no WAL, disk full) come back in CheckpointReply::error.
+  // `kronos_cli checkpoint` is built on this.
+  Result<CheckpointReply> Checkpoint();
 
   // Client-side transport counters (kronos_client_*): calls, retries, timeouts, reconnects,
   // failovers. Complements Introspect(), which reports the server's view.

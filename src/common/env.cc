@@ -1,0 +1,287 @@
+#include "src/common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace kronos {
+
+namespace {
+
+Status ErrnoStatus(const char* what, const std::string& path) {
+  return Unavailable(std::string(what) + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixEnv : public Env {};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Result<int> Env::Open(const std::string& path, int flags, int mode) {
+  const int fd = ::open(path.c_str(), flags, mode);
+  if (fd < 0) {
+    return ErrnoStatus("open", path);
+  }
+  return fd;
+}
+
+Status Env::Write(int fd, std::span<const uint8_t> data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("write", "fd");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status Env::Sync(int fd) {
+  if (::fdatasync(fd) != 0) {
+    return ErrnoStatus("fdatasync", "fd");
+  }
+  return OkStatus();
+}
+
+Status Env::Truncate(int fd, uint64_t size) {
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate", "fd");
+  }
+  return OkStatus();
+}
+
+void Env::Close(int fd) {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+Status Env::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to);
+  }
+  return OkStatus();
+}
+
+Status Env::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    return ErrnoStatus("unlink", path);
+  }
+  return OkStatus();
+}
+
+Status Env::SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return ErrnoStatus("open dir", dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return ErrnoStatus("fsync dir", dir);
+  }
+  return OkStatus();
+}
+
+Result<std::vector<std::string>> Env::ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return ErrnoStatus("opendir", dir);
+  }
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  return names;
+}
+
+Result<std::vector<uint8_t>> Env::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return ErrnoStatus("open", path);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return ErrnoStatus("read", path);
+    }
+    if (n == 0) {
+      break;
+    }
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+Result<uint64_t> Env::FileSize(const std::string& path) {
+  Result<std::vector<uint8_t>> bytes = ReadFile(path);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  return static_cast<uint64_t>(bytes->size());
+}
+
+// --- FaultInjectionEnv ---------------------------------------------------------------------------
+
+void FaultInjectionEnv::FailOnce(EnvOp op, const std::string& path_substr, int countdown,
+                                 const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+  fail_op_ = op;
+  fail_substr_ = path_substr;
+  fail_countdown_ = countdown;
+  fail_message_ = message;
+}
+
+void FaultInjectionEnv::KillAtOp(uint64_t n, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  kill_at_ = n;
+  kill_seed_ = seed;
+}
+
+std::string FaultInjectionEnv::PathOfFd(int fd) {
+  for (const auto& [f, p] : fd_paths_) {
+    if (f == fd) {
+      return p;
+    }
+  }
+  return "";
+}
+
+bool FaultInjectionEnv::Account(EnvOp op, const std::string& path, int fd,
+                                std::span<const uint8_t> write_data) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (kill_at_ != 0 && n >= kill_at_) {
+    if (op == EnvOp::kWrite && !write_data.empty()) {
+      // Tear the write: a splitmix-style draw picks how many bytes land before the "power
+      // cut", so the same kill point exercises torn headers, torn payloads, and clean
+      // boundaries across seeds.
+      uint64_t x = kill_seed_ ^ (n * 0x9e3779b97f4a7c15ull);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      const size_t partial = static_cast<size_t>(x % (write_data.size() + 1));
+      if (partial > 0) {
+        (void)base_->Write(fd, write_data.subspan(0, partial));
+      }
+    }
+    std::raise(SIGKILL);
+  }
+  if (armed_ && (fail_op_ == EnvOp::kAnyOp || fail_op_ == op) &&
+      path.find(fail_substr_) != std::string::npos) {
+    if (--fail_countdown_ <= 0) {
+      armed_ = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<int> FaultInjectionEnv::Open(const std::string& path, int flags, int mode) {
+  const bool mutating = (flags & (O_WRONLY | O_RDWR | O_CREAT)) != 0;
+  if (mutating && Account(EnvOp::kOpen, path)) {
+    return Status(Unavailable(fail_message_ + " (open " + path + ")"));
+  }
+  Result<int> fd = base_->Open(path, flags, mode);
+  if (fd.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_.emplace_back(*fd, path);
+  }
+  return fd;
+}
+
+Status FaultInjectionEnv::Write(int fd, std::span<const uint8_t> data) {
+  const std::string path = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return PathOfFd(fd);
+  }();
+  if (Account(EnvOp::kWrite, path, fd, data)) {
+    return Unavailable(fail_message_ + " (write " + path + ")");
+  }
+  return base_->Write(fd, data);
+}
+
+Status FaultInjectionEnv::Sync(int fd) {
+  const std::string path = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return PathOfFd(fd);
+  }();
+  if (Account(EnvOp::kSync, path, fd)) {
+    return Unavailable(fail_message_ + " (fsync " + path + ")");
+  }
+  return base_->Sync(fd);
+}
+
+Status FaultInjectionEnv::Truncate(int fd, uint64_t size) {
+  const std::string path = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return PathOfFd(fd);
+  }();
+  if (Account(EnvOp::kTruncate, path, fd)) {
+    return Unavailable(fail_message_ + " (truncate " + path + ")");
+  }
+  return base_->Truncate(fd, size);
+}
+
+void FaultInjectionEnv::Close(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = fd_paths_.begin(); it != fd_paths_.end(); ++it) {
+      if (it->first == fd) {
+        fd_paths_.erase(it);
+        break;
+      }
+    }
+  }
+  base_->Close(fd);
+}
+
+Status FaultInjectionEnv::Rename(const std::string& from, const std::string& to) {
+  if (Account(EnvOp::kRename, from + " -> " + to)) {
+    return Unavailable(fail_message_ + " (rename " + from + ")");
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectionEnv::Remove(const std::string& path) {
+  if (Account(EnvOp::kRemove, path)) {
+    return Unavailable(fail_message_ + " (remove " + path + ")");
+  }
+  if (keep_removed_) {
+    return base_->Rename(path, path + ".dropped");
+  }
+  return base_->Remove(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  if (Account(EnvOp::kSyncDir, dir)) {
+    return Unavailable(fail_message_ + " (fsync dir " + dir + ")");
+  }
+  return base_->SyncDir(dir);
+}
+
+}  // namespace kronos

@@ -1,0 +1,165 @@
+// Env: the filesystem seam under the durability stack (WAL segments + checkpoint files).
+//
+// Every file operation the write-ahead log and the checkpoint subsystem perform — open,
+// write, fsync, rename, remove, directory fsync, truncate — goes through an Env*, so tests
+// can fail any individual step (a torn rename, an ENOSPC write, a dead fsync) or kill the
+// process at a chosen IO boundary and then assert what recovery observes. Production code
+// passes nullptr everywhere and gets Env::Default(), a thin errno-preserving wrapper over the
+// POSIX calls; nothing above this layer ever calls ::open/::write/::rename directly.
+//
+// FaultInjectionEnv is the test half: it wraps any base Env and can
+//   * fail exactly one matching operation (op kind + path substring + countdown) with a
+//     chosen status — the "single injected fault" matrix of DESIGN.md §5.11;
+//   * SIGKILL the process at the Nth counted operation, optionally writing a seeded partial
+//     prefix of an in-flight write first — real torn-file states, not simulated ones;
+//   * divert Remove() into a rename to "<path>.dropped" so a crash-test oracle can replay
+//     the full log even after checkpoint truncation deleted covered segments.
+#ifndef KRONOS_COMMON_ENV_H_
+#define KRONOS_COMMON_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace kronos {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Process-wide default backed by POSIX; never fails to construct, never deleted.
+  static Env* Default();
+
+  // Resolves nullptr (the "no injection" convention used by every options struct) to Default().
+  static Env* OrDefault(Env* env) { return env != nullptr ? env : Default(); }
+
+  // open(2). `flags`/`mode` are the POSIX values; returns the fd.
+  virtual Result<int> Open(const std::string& path, int flags, int mode);
+  // write(2) until complete (EINTR-resumed).
+  virtual Status Write(int fd, std::span<const uint8_t> data);
+  // fdatasync(2).
+  virtual Status Sync(int fd);
+  // ftruncate(2).
+  virtual Status Truncate(int fd, uint64_t size);
+  // close(2). Infallible by convention: nothing in the durability protocol depends on close.
+  virtual void Close(int fd);
+  // rename(2) — the atomic-install primitive.
+  virtual Status Rename(const std::string& from, const std::string& to);
+  // unlink(2).
+  virtual Status Remove(const std::string& path);
+  // Makes a rename/create/unlink in `dir` durable: open the directory and fsync it.
+  virtual Status SyncDir(const std::string& dir);
+  // Names (not paths) of directory entries, unordered; "." and ".." excluded.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir);
+  // Whole-file read (checkpoint load path).
+  virtual Result<std::vector<uint8_t>> ReadFile(const std::string& path);
+  virtual Result<uint64_t> FileSize(const std::string& path);
+};
+
+// Forwards everything to a base Env. Derive and override the steps under test.
+class EnvWrapper : public Env {
+ public:
+  explicit EnvWrapper(Env* base) : base_(Env::OrDefault(base)) {}
+
+  Result<int> Open(const std::string& path, int flags, int mode) override {
+    return base_->Open(path, flags, mode);
+  }
+  Status Write(int fd, std::span<const uint8_t> data) override { return base_->Write(fd, data); }
+  Status Sync(int fd) override { return base_->Sync(fd); }
+  Status Truncate(int fd, uint64_t size) override { return base_->Truncate(fd, size); }
+  void Close(int fd) override { base_->Close(fd); }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override { return base_->Remove(path); }
+  Status SyncDir(const std::string& dir) override { return base_->SyncDir(dir); }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override { return base_->FileSize(path); }
+
+ protected:
+  Env* base_;
+};
+
+// The operation classes FaultInjectionEnv can target. kAnyOp matches everything that mutates
+// the filesystem (reads are deliberately untargetable: they cannot corrupt anything).
+enum class EnvOp : uint8_t {
+  kOpen,      // creating/opening for write counts; read-only opens do not
+  kWrite,
+  kSync,
+  kTruncate,
+  kRename,
+  kRemove,
+  kSyncDir,
+  kAnyOp,
+};
+
+// Test Env: one-shot fault injection, kill points, and trash-instead-of-delete. Thread-safe —
+// the WAL commit thread, the checkpoint thread, and the arming test race through here.
+class FaultInjectionEnv : public EnvWrapper {
+ public:
+  explicit FaultInjectionEnv(Env* base = nullptr) : EnvWrapper(base) {}
+
+  // Fails the `countdown`-th operation (1 = next) matching `op` (kAnyOp = any mutating op)
+  // whose path contains `path_substr` (writes/syncs/truncates match against the path their fd
+  // was opened with). The failure is one-shot; later operations proceed normally. The failed
+  // operation does NOT touch the filesystem.
+  void FailOnce(EnvOp op, const std::string& path_substr, int countdown = 1,
+                const std::string& message = "injected fault");
+
+  // SIGKILLs the process at the `n`-th counted mutating operation. If that operation is a
+  // Write, a pseudo-random (seeded) prefix of it is written first, so the on-disk state tears
+  // mid-record/mid-header exactly as a power cut would. n is cumulative across all ops.
+  void KillAtOp(uint64_t n, uint64_t seed = 1);
+
+  // Remove() renames to "<path>.dropped" instead of unlinking, preserving every byte ever
+  // written for an oracle full-log replay. Rename() of a path that would overwrite an
+  // existing file still behaves normally.
+  void set_keep_removed_files(bool keep) { keep_removed_ = keep; }
+
+  uint64_t ops_seen() const { return ops_.load(std::memory_order_relaxed); }
+
+  Result<int> Open(const std::string& path, int flags, int mode) override;
+  Status Write(int fd, std::span<const uint8_t> data) override;
+  Status Sync(int fd) override;
+  Status Truncate(int fd, uint64_t size) override;
+  void Close(int fd) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  // Returns true when this (op, path) hits the armed one-shot fault. Also advances the kill
+  // point; `write_len` lets a killed Write spill its partial prefix first.
+  bool Account(EnvOp op, const std::string& path, int fd = -1,
+               std::span<const uint8_t> write_data = {});
+  std::string PathOfFd(int fd);
+
+  std::mutex mutex_;
+  std::atomic<uint64_t> ops_{0};
+  // One-shot failure.
+  bool armed_ = false;
+  EnvOp fail_op_ = EnvOp::kAnyOp;
+  std::string fail_substr_;
+  int fail_countdown_ = 0;
+  std::string fail_message_;
+  // Kill point. 0 = disarmed.
+  uint64_t kill_at_ = 0;
+  uint64_t kill_seed_ = 1;
+  bool keep_removed_ = false;
+  // fd -> path, so Write/Sync/Truncate faults can be path-filtered.
+  std::vector<std::pair<int, std::string>> fd_paths_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_ENV_H_

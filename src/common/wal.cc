@@ -1,11 +1,10 @@
 #include "src/common/wal.h"
 
 #include <fcntl.h>
-#include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "src/common/clock.h"
@@ -14,23 +13,6 @@
 namespace kronos {
 
 namespace {
-
-Status Errno(const char* what) {
-  return Unavailable(std::string(what) + ": " + std::strerror(errno));
-}
-
-// Returns bytes actually read (stops early only at EOF/error).
-size_t ReadUpTo(int fd, uint8_t* out, size_t len) {
-  size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::read(fd, out + got, len - got);
-    if (n <= 0) {
-      break;
-    }
-    got += static_cast<size_t>(n);
-  }
-  return got;
-}
 
 uint32_t LoadU32(const uint8_t* p) {
   return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
@@ -44,21 +26,30 @@ void StoreU32(uint8_t* p, uint32_t v) {
   p[3] = static_cast<uint8_t>(v >> 24);
 }
 
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) | (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  StoreU32(p, static_cast<uint32_t>(v));
+  StoreU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
 constexpr uint32_t kMaxRecordBytes = 64u << 20;
 
-Status WriteAll(int fd, const uint8_t* data, size_t len) {
-  size_t sent = 0;
-  while (sent < len) {
-    const ssize_t n = ::write(fd, data + sent, len - sent);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Errno("write");
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return OkStatus();
+// Segment header: magic, format version, this file's sequence number, and the global ordinal
+// of its first record — everything recovery needs to stitch segments back into one log after
+// an arbitrary covered prefix has been deleted. CRC'd so a torn create is detectable.
+constexpr char kSegmentMagic[4] = {'K', 'W', 'S', 'G'};
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 4 + 4 + 8 + 8 + 4;
+
+void EncodeSegmentHeader(uint64_t seq, uint64_t start_record, uint8_t out[kSegmentHeaderBytes]) {
+  std::memcpy(out, kSegmentMagic, 4);
+  StoreU32(out + 4, kSegmentVersion);
+  StoreU64(out + 8, seq);
+  StoreU64(out + 16, start_record);
+  StoreU32(out + 24, Crc32(std::span<const uint8_t>(out, 24)));
 }
 
 void FrameRecord(std::span<const uint8_t> payload, std::vector<uint8_t>& out) {
@@ -69,60 +60,326 @@ void FrameRecord(std::span<const uint8_t> payload, std::vector<uint8_t>& out) {
   std::memcpy(out.data() + at + 8, payload.data(), payload.size());
 }
 
-}  // namespace
-
-WriteAheadLog::~WriteAheadLog() { Close(); }
-
-Status WriteAheadLog::Open(const std::string& path,
-                           const std::function<void(std::span<const uint8_t>)>& record_fn) {
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    return Errno("open");
-  }
-  // Replay the valid prefix.
-  uint64_t valid_bytes = 0;
-  while (true) {
-    uint8_t header[8];
-    const size_t header_bytes = ReadUpTo(fd, header, sizeof(header));
-    if (header_bytes == 0) {
-      break;  // clean EOF at a record boundary (or empty file)
+// Walks the record stream in `bytes` starting at `offset`, delivering each whole valid
+// record. `valid_bytes` comes back as the absolute offset just past the last whole record.
+void ParseRecords(std::span<const uint8_t> bytes, size_t offset,
+                  const std::function<void(std::span<const uint8_t>)>& record_fn,
+                  uint64_t* records, uint64_t* valid_bytes, bool* torn) {
+  *records = 0;
+  *valid_bytes = offset;
+  *torn = false;
+  size_t at = offset;
+  while (at < bytes.size()) {
+    if (bytes.size() - at < 8) {
+      *torn = true;  // torn mid-header
+      return;
     }
-    if (header_bytes < sizeof(header)) {
-      tail_was_torn_ = true;  // torn mid-header
-      break;
+    const uint32_t len = LoadU32(bytes.data() + at);
+    const uint32_t crc = LoadU32(bytes.data() + at + 4);
+    if (len > kMaxRecordBytes || bytes.size() - at - 8 < len) {
+      *torn = true;  // absurd length or torn mid-payload
+      return;
     }
-    const uint32_t len = LoadU32(header);
-    const uint32_t crc = LoadU32(header + 4);
-    if (len > kMaxRecordBytes) {
-      tail_was_torn_ = true;
-      break;
-    }
-    std::vector<uint8_t> payload(len);
-    if (ReadUpTo(fd, payload.data(), len) < len) {
-      tail_was_torn_ = true;  // torn mid-payload
-      break;
-    }
+    const std::span<const uint8_t> payload = bytes.subspan(at + 8, len);
     if (Crc32(payload) != crc) {
-      tail_was_torn_ = true;
-      break;
+      *torn = true;
+      return;
     }
     if (record_fn) {
       record_fn(payload);
     }
-    ++records_replayed_;
-    valid_bytes += sizeof(header) + len;
+    ++*records;
+    at += 8 + len;
+    *valid_bytes = at;
   }
-  // Truncate any torn tail and position for append.
-  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
-    ::close(fd);
-    return Errno("ftruncate");
+}
+
+void SplitPath(const std::string& path, std::string* dir, std::string* file) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    *dir = ".";
+    *file = path;
+  } else {
+    *dir = slash == 0 ? "/" : path.substr(0, slash);
+    *file = path.substr(slash + 1);
   }
-  if (::lseek(fd, 0, SEEK_END) < 0) {
-    ::close(fd);
-    return Errno("lseek");
+}
+
+// "<base_file>.NNNNNN" -> seq; false if `name` is not a numbered sibling of `base_file`.
+bool ParseSegmentName(const std::string& name, const std::string& base_file, uint64_t* seq) {
+  if (name.size() <= base_file.size() + 1 || name.compare(0, base_file.size(), base_file) != 0 ||
+      name[base_file.size()] != '.') {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = base_file.size() + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+Result<WalSegmentScan> WriteAheadLog::ScanSegmentFile(
+    Env* env, const std::string& path,
+    const std::function<void(std::span<const uint8_t>)>& record_fn) {
+  env = Env::OrDefault(env);
+  Result<std::vector<uint8_t>> bytes = env->ReadFile(path);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  WalSegmentScan scan;
+  size_t offset = 0;
+  if (bytes->size() >= 4 && std::memcmp(bytes->data(), kSegmentMagic, 4) == 0) {
+    scan.headered = true;
+    if (bytes->size() < kSegmentHeaderBytes ||
+        Crc32(std::span<const uint8_t>(bytes->data(), 24)) != LoadU32(bytes->data() + 24)) {
+      // Torn segment create: the magic landed but the rest of the header did not. Nothing can
+      // have been acknowledged from a file whose header never synced, so the whole file is a
+      // torn tail (valid_bytes = 0).
+      scan.torn = true;
+      return scan;
+    }
+    if (LoadU32(bytes->data() + 4) != kSegmentVersion) {
+      return Status(Unavailable("wal segment " + path + ": unsupported version"));
+    }
+    scan.seq = LoadU64(bytes->data() + 8);
+    scan.start_record = LoadU64(bytes->data() + 16);
+    offset = kSegmentHeaderBytes;
+  }
+  ParseRecords(*bytes, offset, record_fn, &scan.records, &scan.valid_bytes, &scan.torn);
+  return scan;
+}
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+std::string WriteAheadLog::SegmentPath(uint64_t seq) const {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%06llu", static_cast<unsigned long long>(seq));
+  return base_path_ + suffix;
+}
+
+Status WriteAheadLog::Open(const std::string& path,
+                           const std::function<void(std::span<const uint8_t>)>& record_fn,
+                           uint64_t replay_from_record) {
+  env_ = Env::OrDefault(options_.env);
+  base_path_ = path;
+  std::string base_file;
+  SplitPath(path, &dir_, &base_file);
+
+  // Discover the live segment set: the legacy bare file (seq 0) plus any numbered siblings.
+  std::vector<Segment> found;
+  Result<std::vector<std::string>> names = env_->ListDir(dir_);
+  if (!names.ok()) {
+    return names.status();
+  }
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    if (name == base_file) {
+      found.push_back(Segment{0, path, 0, 0, 0, false});
+    } else if (ParseSegmentName(name, base_file, &seq) && seq > 0) {
+      found.push_back(Segment{seq, SegmentPath(seq), 0, 0, 0, false});
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Segment& a, const Segment& b) { return a.seq < b.seq; });
+  for (size_t i = 1; i < found.size(); ++i) {
+    if (found[i].seq != found[i - 1].seq + 1) {
+      return Unavailable("wal segment gap: " + found[i - 1].path + " -> " + found[i].path +
+                         " (a middle segment is missing; refusing lossy replay)");
+    }
+  }
+
+  // Scan oldest-first, delivering records at or above the replay frontier.
+  uint64_t ordinal = 0;  // global ordinal of the next record the scan will see
+  bool ordinal_known = found.empty();
+  for (size_t i = 0; i < found.size(); ++i) {
+    Segment& seg = found[i];
+    const bool final_segment = i + 1 == found.size();
+    const auto deliver = [&](std::span<const uint8_t> payload) {
+      if (ordinal >= replay_from_record) {
+        if (record_fn) {
+          record_fn(payload);
+        }
+        ++records_replayed_;
+      }
+      ++ordinal;
+    };
+    // The first segment after truncation carries its own ordinal anchor in its header, which
+    // the scan only yields after walking the records — so its records are buffered and
+    // delivered once the anchor is known.
+    std::vector<std::vector<uint8_t>> buffered;
+    const bool buffer_records = !ordinal_known && seg.seq > 0;
+    const auto sink = [&](std::span<const uint8_t> payload) {
+      if (buffer_records) {
+        buffered.emplace_back(payload.begin(), payload.end());
+      } else {
+        deliver(payload);
+      }
+    };
+    Result<WalSegmentScan> scan = ScanSegmentFile(env_, seg.path, sink);
+    if (!scan.ok()) {
+      return scan.status();
+    }
+    if (seg.seq == 0) {
+      if (scan->headered) {
+        return Unavailable("wal " + seg.path + ": bare log carries a segment header");
+      }
+      ordinal_known = true;  // the legacy file anchors the log at ordinal 0
+    } else if (scan->headered && scan->valid_bytes >= kSegmentHeaderBytes) {
+      if (scan->seq != seg.seq) {
+        return Unavailable("wal segment " + seg.path + ": header sequence mismatch");
+      }
+      if (!ordinal_known) {
+        // First live segment after truncation: its header re-anchors the global ordinal.
+        ordinal_known = true;
+        seg.start_record = scan->start_record;
+        ordinal = scan->start_record;
+        for (const std::vector<uint8_t>& payload : buffered) {
+          deliver(payload);
+        }
+      } else if (scan->start_record != seg.start_record) {
+        return Unavailable("wal segment " + seg.path + ": header ordinal mismatch (expected " +
+                           std::to_string(seg.start_record) + ", found " +
+                           std::to_string(scan->start_record) + ")");
+      }
+    } else {
+      // Torn or missing header (a crash during segment create, before its sync completed).
+      // Only legal on the final segment, and only when an earlier segment anchors the ordinal
+      // — nothing can have been acknowledged from a header that never became durable.
+      if (!final_segment || !ordinal_known || scan->records > 0) {
+        return Unavailable("wal segment " + seg.path + ": unreadable segment header");
+      }
+      scan->torn = true;
+      scan->valid_bytes = 0;
+    }
+    if (scan->torn && !final_segment) {
+      return Unavailable("wal segment " + seg.path +
+                         ": torn record in non-final segment (possible data loss)");
+    }
+    if (scan->torn) {
+      tail_was_torn_ = true;
+      torn_tail_offset_ = scan->valid_bytes;
+      torn_tail_path_ = seg.path;
+    }
+    seg.records = scan->records;
+    seg.bytes = scan->valid_bytes;
+    seg.sealed = !final_segment;
+    if (i + 1 < found.size()) {
+      found[i + 1].start_record = ordinal;
+    }
+  }
+
+  const uint64_t first_live = found.empty() ? 0 : found.front().start_record;
+  if (replay_from_record < first_live) {
+    return Unavailable("wal replay frontier " + std::to_string(replay_from_record) +
+                       " precedes oldest live record " + std::to_string(first_live) +
+                       " (needed segments were deleted)");
+  }
+  if (replay_from_record > ordinal) {
+    return Unavailable("wal ends at record " + std::to_string(ordinal) +
+                       " but replay frontier is " + std::to_string(replay_from_record) +
+                       " (log is behind the checkpoint)");
+  }
+
+  // Open (or create) the active segment for appending.
+  if (found.empty()) {
+    std::lock_guard<std::mutex> lock(seg_mutex_);
+    next_ordinal_ = 0;
+    if (options_.segment_bytes > 0) {
+      return CreateSegmentLocked(1, 0);
+    }
+    Result<int> opened = env_->Open(path, O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    fd_ = *opened;
+    segments_.push_back(Segment{0, path, 0, 0, 0, false});
+    return OkStatus();
+  }
+
+  Segment& active = found.back();
+  Result<int> opened = env_->Open(active.path, O_RDWR | O_APPEND, 0644);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  const int fd = *opened;
+  if (tail_was_torn_) {
+    if (active.seq > 0 && active.bytes < kSegmentHeaderBytes) {
+      // Torn header: rewrite it in place with the seq/ordinal the neighbors prove.
+      Status st = env_->Truncate(fd, 0);
+      uint8_t header[kSegmentHeaderBytes];
+      EncodeSegmentHeader(active.seq, ordinal, header);
+      if (st.ok()) {
+        st = env_->Write(fd, std::span<const uint8_t>(header, sizeof(header)));
+      }
+      if (st.ok()) {
+        st = env_->Sync(fd);
+      }
+      if (!st.ok()) {
+        env_->Close(fd);
+        return st;
+      }
+      active.start_record = ordinal;
+      active.bytes = kSegmentHeaderBytes;
+    } else {
+      const Status st = env_->Truncate(fd, active.bytes);
+      if (!st.ok()) {
+        env_->Close(fd);
+        return st;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(seg_mutex_);
+    segments_ = std::move(found);
+    next_ordinal_ = ordinal;
   }
   fd_ = fd;
   return OkStatus();
+}
+
+Status WriteAheadLog::CreateSegmentLocked(uint64_t seq, uint64_t start_record) {
+  const std::string seg_path = SegmentPath(seq);
+  Result<int> opened = env_->Open(seg_path, O_RDWR | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  // Header synced to both file and directory before the segment carries a record: recovery
+  // must never find durable records behind a non-durable header.
+  uint8_t header[kSegmentHeaderBytes];
+  EncodeSegmentHeader(seq, start_record, header);
+  Status st = env_->Write(*opened, std::span<const uint8_t>(header, sizeof(header)));
+  if (st.ok()) {
+    st = env_->Sync(*opened);
+  }
+  if (st.ok()) {
+    st = env_->SyncDir(dir_);
+  }
+  if (!st.ok()) {
+    env_->Close(*opened);
+    (void)env_->Remove(seg_path);  // best effort; a leftover torn header is recoverable anyway
+    return st;
+  }
+  if (!segments_.empty()) {
+    segments_.back().sealed = true;
+  }
+  if (fd_ >= 0) {
+    env_->Close(fd_);
+  }
+  fd_ = *opened;
+  segments_.push_back(Segment{seq, seg_path, start_record, 0, kSegmentHeaderBytes, false});
+  return OkStatus();
+}
+
+Status WriteAheadLog::RotateLocked() {
+  const uint64_t next_seq = segments_.empty() ? 1 : segments_.back().seq + 1;
+  return CreateSegmentLocked(next_seq, next_ordinal_);
 }
 
 Status WriteAheadLog::Append(std::span<const uint8_t> payload) {
@@ -135,8 +392,12 @@ Status WriteAheadLog::Append(std::span<const uint8_t> payload) {
   std::vector<uint8_t> record;
   record.reserve(8 + payload.size());
   FrameRecord(payload, record);
-  KRONOS_RETURN_IF_ERROR(WriteAll(fd_, record.data(), record.size()));
+  KRONOS_RETURN_IF_ERROR(env_->Write(fd_, record));
   ++records_appended_;
+  std::lock_guard<std::mutex> lock(seg_mutex_);
+  segments_.back().records += 1;
+  segments_.back().bytes += record.size();
+  next_ordinal_ += 1;
   return OkStatus();
 }
 
@@ -159,8 +420,12 @@ Status WriteAheadLog::AppendBatch(std::span<const std::vector<uint8_t>> payloads
   for (const std::vector<uint8_t>& p : payloads) {
     FrameRecord(p, buf);
   }
-  KRONOS_RETURN_IF_ERROR(WriteAll(fd_, buf.data(), buf.size()));
+  KRONOS_RETURN_IF_ERROR(env_->Write(fd_, buf));
   records_appended_ += payloads.size();
+  std::lock_guard<std::mutex> lock(seg_mutex_);
+  segments_.back().records += payloads.size();
+  segments_.back().bytes += buf.size();
+  next_ordinal_ += payloads.size();
   return OkStatus();
 }
 
@@ -171,28 +436,80 @@ Status WriteAheadLog::Sync() {
   if (fail_next_sync_.exchange(false)) {
     return Unavailable("injected sync failure (test)");
   }
-  if (::fdatasync(fd_) != 0) {
-    return Errno("fdatasync");
+  KRONOS_RETURN_IF_ERROR(env_->Sync(fd_));
+  if (options_.segment_bytes > 0) {
+    std::lock_guard<std::mutex> lock(seg_mutex_);
+    if (!segments_.empty() && segments_.back().records > 0 &&
+        segments_.back().bytes >= options_.segment_bytes) {
+      // Rotation failure surfaces as a sync failure: the just-synced records ARE durable, but
+      // the append path cannot safely continue (callers go fail-stop). Rotation never
+      // un-writes a byte, so recovery still replays everything.
+      KRONOS_RETURN_IF_ERROR(RotateLocked());
+    }
   }
   return OkStatus();
 }
 
+Result<uint64_t> WriteAheadLog::DropSegmentsBelow(uint64_t frontier_record) {
+  std::lock_guard<std::mutex> lock(seg_mutex_);
+  uint64_t dropped = 0;
+  while (segments_.size() > 1 && segments_.front().sealed &&
+         segments_.front().start_record + segments_.front().records <= frontier_record) {
+    const Status st = env_->Remove(segments_.front().path);
+    if (!st.ok()) {
+      return Status(st);  // retryable: nothing past this point was touched
+    }
+    segments_.erase(segments_.begin());
+    ++dropped;
+  }
+  if (dropped > 0) {
+    KRONOS_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  }
+  return dropped;
+}
+
 void WriteAheadLog::Close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    Env::OrDefault(env_)->Close(fd_);
     fd_ = -1;
   }
 }
 
+std::vector<WalSegmentInfo> WriteAheadLog::Segments() const {
+  std::lock_guard<std::mutex> lock(seg_mutex_);
+  std::vector<WalSegmentInfo> out;
+  out.reserve(segments_.size());
+  for (const Segment& s : segments_) {
+    out.push_back(WalSegmentInfo{s.seq, s.path, s.start_record, s.records, s.bytes, s.sealed});
+  }
+  return out;
+}
+
+uint64_t WriteAheadLog::next_record_ordinal() const {
+  std::lock_guard<std::mutex> lock(seg_mutex_);
+  return next_ordinal_;
+}
+
+uint64_t WriteAheadLog::disk_bytes() const {
+  std::lock_guard<std::mutex> lock(seg_mutex_);
+  uint64_t total = 0;
+  for (const Segment& s : segments_) {
+    total += s.bytes;
+  }
+  return total;
+}
+
 // --- GroupCommitWal ------------------------------------------------------------------------------
 
-GroupCommitWal::GroupCommitWal(Options options) : options_(options) {}
+GroupCommitWal::GroupCommitWal(Options options)
+    : options_(options), wal_(WalOptions{options.segment_bytes, options.env}) {}
 
 GroupCommitWal::~GroupCommitWal() { Close(); }
 
 Status GroupCommitWal::Open(const std::string& path,
-                            const std::function<void(std::span<const uint8_t>)>& record_fn) {
-  KRONOS_RETURN_IF_ERROR(wal_.Open(path, record_fn));
+                            const std::function<void(std::span<const uint8_t>)>& record_fn,
+                            uint64_t replay_from_record) {
+  KRONOS_RETURN_IF_ERROR(wal_.Open(path, record_fn, replay_from_record));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     open_ = true;

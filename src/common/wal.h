@@ -6,6 +6,17 @@
 // reports how many bytes of valid prefix it consumed, so the writer can truncate the tail and
 // resume appending.
 //
+// Segmentation (DESIGN.md §5.11): with segment_bytes > 0 the log is a sequence of files
+// "<base>.000001", "<base>.000002", ... (a bare legacy "<base>" file is accepted as the
+// oldest). Each numbered segment opens with a CRC'd header carrying its sequence number and
+// the global ordinal of its first record, so the log stays self-describing after any prefix
+// of segments has been deleted. Rotation happens on the commit path right after a successful
+// sync — seal the old file, create and sync the new one, sync the directory — and a rotation
+// failure is an append-path failure (fail-stop), never silent. DropSegmentsBelow() deletes
+// sealed segments whose records all fall below a caller-proven durability frontier (the
+// checkpoint subsystem's truncation primitive); the active segment is never deleted. Every
+// file operation routes through an injectable Env so tests can fail or kill any single step.
+//
 // Group commit (DESIGN.md §5.8): fdatasync dominates the mutation path, and it costs the same
 // whether it makes one record or a hundred durable. GroupCommitWal runs a dedicated commit
 // thread that coalesces records enqueued by any number of writer threads into one buffered
@@ -26,22 +37,60 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/status.h"
 
 namespace kronos {
 
+struct WalOptions {
+  // Rotate the active segment once it holds at least this many bytes (checked after each
+  // sync). 0 = legacy single-file mode: one "<base>" file, never rotated, never truncatable —
+  // byte-compatible with every log written before segmentation existed.
+  uint64_t segment_bytes = 0;
+  // File operations go through this hook; nullptr = Env::Default() (plain POSIX).
+  Env* env = nullptr;
+};
+
+// One live log file, oldest first in WriteAheadLog::Segments().
+struct WalSegmentInfo {
+  uint64_t seq = 0;           // 0 = legacy bare "<base>" file
+  std::string path;
+  uint64_t start_record = 0;  // global ordinal of the segment's first record
+  uint64_t records = 0;
+  uint64_t bytes = 0;         // on-disk bytes (header + framed records)
+  bool sealed = false;        // rotated away; fully durable; eligible for DropSegmentsBelow
+};
+
+// What one segment file held, as ScanSegmentFile saw it. Exposed for recovery oracles and
+// debug tooling; WriteAheadLog::Open uses the same scan internally.
+struct WalSegmentScan {
+  bool headered = false;      // carried a valid segment header (vs legacy bare format)
+  uint64_t seq = 0;
+  uint64_t start_record = 0;  // 0 for legacy files
+  uint64_t records = 0;       // whole valid records delivered to the callback
+  uint64_t valid_bytes = 0;   // prefix length up to and including the last whole record
+  bool torn = false;          // the file ends in a torn/corrupt record (or torn header)
+};
+
 class WriteAheadLog {
  public:
   WriteAheadLog() = default;
+  explicit WriteAheadLog(WalOptions options) : options_(options) {}
   ~WriteAheadLog();
 
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  // Replays any existing valid prefix of `path` through `record_fn`, truncates a torn tail,
-  // and opens the file for appending. Creates the file if absent.
+  // Replays the existing valid log through `record_fn`, truncates a torn tail, and opens the
+  // newest segment for appending. Creates the log if absent. Records whose global ordinal is
+  // below `replay_from_record` are scanned and counted but not delivered — the checkpoint
+  // recovery path (state already covered by a snapshot) sets this to the snapshot's frontier.
+  // Refuses (no side effects beyond the scan) if records at or above `replay_from_record`
+  // have been deleted, or if a non-final segment is torn — both mean data loss, and silent
+  // acceptance would ack-violate recovery.
   Status Open(const std::string& path,
-              const std::function<void(std::span<const uint8_t>)>& record_fn);
+              const std::function<void(std::span<const uint8_t>)>& record_fn,
+              uint64_t replay_from_record = 0);
 
   // Appends one record (buffered in the kernel; see Sync).
   Status Append(std::span<const uint8_t> payload);
@@ -50,24 +99,81 @@ class WriteAheadLog {
   // length/CRC frame, so replay after a crash mid-batch recovers a prefix of whole records.
   Status AppendBatch(std::span<const std::vector<uint8_t>> payloads);
 
-  // fdatasync: makes all appended records durable.
+  // fdatasync; then, in segmented mode, rotates the active segment if it crossed
+  // segment_bytes. A rotation failure is returned as a sync failure: the records ARE durable,
+  // but the log must go fail-stop (callers treat any Sync error as sticky).
   Status Sync();
+
+  // Deletes sealed segments whose records all lie below `frontier_record` (global ordinal).
+  // The caller must have proven that frontier durable elsewhere (a verified checkpoint).
+  // Never touches the active segment. Returns how many segments were deleted; stops at the
+  // first filesystem error, leaving the remainder intact — deletion is always safe to retry.
+  Result<uint64_t> DropSegmentsBelow(uint64_t frontier_record);
 
   void Close();
 
+  // Oldest-first view of the live segment set (single entry in legacy mode).
+  std::vector<WalSegmentInfo> Segments() const;
+  // Global ordinal of the next record to append == total records ever written to this log.
+  uint64_t next_record_ordinal() const;
+  // Total on-disk bytes across live segments.
+  uint64_t disk_bytes() const;
+
   uint64_t records_appended() const { return records_appended_; }
+  // Records delivered to the Open callback (skipped-below-frontier records not included).
   uint64_t records_replayed() const { return records_replayed_; }
   bool tail_was_torn() const { return tail_was_torn_; }
+  // Where the torn tail began (byte offset within torn_tail_path()); valid when
+  // tail_was_torn().
+  uint64_t torn_tail_offset() const { return torn_tail_offset_; }
+  const std::string& torn_tail_path() const { return torn_tail_path_; }
+
+  // Scans one segment file (headered or legacy), delivering each whole record to `record_fn`.
+  // Used by recovery oracles to replay segments outside a live log (including files a
+  // trash-Env preserved after truncation).
+  static Result<WalSegmentScan> ScanSegmentFile(
+      Env* env, const std::string& path,
+      const std::function<void(std::span<const uint8_t>)>& record_fn);
 
   // Fault injection for tests: the next Sync() fails with Unavailable without touching the
   // file, exercising callers' failed-fsync paths.
   void FailNextSyncForTest() { fail_next_sync_ = true; }
 
  private:
-  int fd_ = -1;
+  struct Segment {
+    uint64_t seq = 0;
+    std::string path;
+    uint64_t start_record = 0;
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    bool sealed = false;
+  };
+
+  std::string SegmentPath(uint64_t seq) const;
+  // Creates "<base>.<seq>" with a synced header, syncs the directory, and makes it the
+  // active segment. Requires seg_mutex_.
+  Status CreateSegmentLocked(uint64_t seq, uint64_t start_record);
+  // Seals the (just-synced) active segment and opens the next one. Requires seg_mutex_.
+  Status RotateLocked();
+
+  WalOptions options_;
+  Env* env_ = nullptr;  // resolved at Open
+  std::string base_path_;
+  std::string dir_;
+
+  int fd_ = -1;  // active segment, append position at end; used only by the append thread
   uint64_t records_appended_ = 0;
   uint64_t records_replayed_ = 0;
   bool tail_was_torn_ = false;
+  uint64_t torn_tail_offset_ = 0;
+  std::string torn_tail_path_;
+
+  // Guards the segment list and ordinal/byte accounting: the append thread rotates while
+  // other threads list segments or drop covered ones.
+  mutable std::mutex seg_mutex_;
+  std::vector<Segment> segments_;  // oldest first; back() = active
+  uint64_t next_ordinal_ = 0;      // global ordinal of the next record to append
+
   // Atomic: tests arm it from their own thread while a GroupCommitWal commit thread syncs.
   std::atomic<bool> fail_next_sync_{false};
 };
@@ -86,6 +192,10 @@ struct GroupCommitWalOptions {
   size_t max_batch_records = 256;
   // Force a sync once this many payload bytes are pending, window or not.
   size_t max_batch_bytes = 1u << 20;
+  // Segment rotation threshold + filesystem hook, forwarded to the underlying WriteAheadLog
+  // (see WalOptions).
+  uint64_t segment_bytes = 0;
+  Env* env = nullptr;
 };
 
 // Multi-writer group-commit front end over WriteAheadLog.
@@ -95,11 +205,11 @@ struct GroupCommitWalOptions {
 // apply lock) and WaitDurable() to block until the commit thread has written AND fsynced their
 // record. Commit() is the one-shot convenience.
 //
-// Failure model is fail-stop: the first write/fsync error is sticky, the commit thread never
-// touches the file again (a torn record may sit at the tail, and anything written past it
-// would be invisible to replay), and the durable frontier is frozen. Records acknowledged
-// before the failure stay acknowledged; every waiter of the failed batch and every later
-// Enqueue/Commit gets the original error.
+// Failure model is fail-stop: the first write/fsync/rotation error is sticky, the commit
+// thread never touches the file again (a torn record may sit at the tail, and anything
+// written past it would be invisible to replay), and the durable frontier is frozen. Records
+// acknowledged before the failure stay acknowledged; every waiter of the failed batch and
+// every later Enqueue/Commit gets the original error.
 class GroupCommitWal {
  public:
   using Options = GroupCommitWalOptions;
@@ -119,7 +229,8 @@ class GroupCommitWal {
 
   // Opens/replays the underlying log (see WriteAheadLog::Open) and starts the commit thread.
   Status Open(const std::string& path,
-              const std::function<void(std::span<const uint8_t>)>& record_fn);
+              const std::function<void(std::span<const uint8_t>)>& record_fn,
+              uint64_t replay_from_record = 0);
 
   void set_batch_observer(BatchObserver observer) { observer_ = std::move(observer); }
 
@@ -147,6 +258,16 @@ class GroupCommitWal {
 
   uint64_t records_replayed() const { return wal_.records_replayed(); }
   bool tail_was_torn() const { return wal_.tail_was_torn(); }
+  uint64_t torn_tail_offset() const { return wal_.torn_tail_offset(); }
+  const std::string& torn_tail_path() const { return wal_.torn_tail_path(); }
+
+  // Segment surface for the checkpoint subsystem (thread-safe; see WriteAheadLog).
+  std::vector<WalSegmentInfo> Segments() const { return wal_.Segments(); }
+  uint64_t next_record_ordinal() const { return wal_.next_record_ordinal(); }
+  uint64_t disk_bytes() const { return wal_.disk_bytes(); }
+  Result<uint64_t> DropSegmentsBelow(uint64_t frontier_record) {
+    return wal_.DropSegmentsBelow(frontier_record);
+  }
 
   // Fault injection for tests: fails the next batch's fsync, tripping the sticky fail-stop
   // path. Call before the write being failed is enqueued.

@@ -1,0 +1,200 @@
+#include "src/server/checkpoint.h"
+
+#include <fcntl.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/crc32.h"
+
+namespace kronos {
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'K', 'C', 'P', '1'};
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8;  // magic, version, frontier, payload_len
+constexpr size_t kFooterBytes = 4;              // crc over header + payload
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) | (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  StoreU32(p, static_cast<uint32_t>(v));
+  StoreU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+void SplitPath(const std::string& path, std::string* dir, std::string* file) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    *dir = ".";
+    *file = path;
+  } else {
+    *dir = slash == 0 ? "/" : path.substr(0, slash);
+    *file = path.substr(slash + 1);
+  }
+}
+
+// "<base_file>.ckpt.NNNNNN" -> seq; false otherwise.
+bool ParseCheckpointName(const std::string& name, const std::string& base_file, uint64_t* seq) {
+  const std::string prefix = base_file + ".ckpt.";
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string wal_path, Env* env)
+    : wal_path_(std::move(wal_path)), env_(Env::OrDefault(env)) {
+  SplitPath(wal_path_, &dir_, &base_file_);
+}
+
+std::string CheckpointStore::PathForSeq(uint64_t seq) const {
+  char suffix[24];
+  std::snprintf(suffix, sizeof(suffix), ".ckpt.%06llu", static_cast<unsigned long long>(seq));
+  return wal_path_ + suffix;
+}
+
+Result<CheckpointFile> CheckpointStore::Install(std::span<const uint8_t> snapshot,
+                                                uint64_t wal_frontier) {
+  Result<std::vector<CheckpointFile>> existing = List();
+  if (!existing.ok()) {
+    return existing.status();
+  }
+  const uint64_t seq = existing->empty() ? 1 : existing->front().seq + 1;
+
+  std::vector<uint8_t> bytes(kHeaderBytes + snapshot.size() + kFooterBytes);
+  std::memcpy(bytes.data(), kCheckpointMagic, 4);
+  StoreU32(bytes.data() + 4, kCheckpointVersion);
+  StoreU64(bytes.data() + 8, wal_frontier);
+  StoreU64(bytes.data() + 16, static_cast<uint64_t>(snapshot.size()));
+  if (!snapshot.empty()) {
+    std::memcpy(bytes.data() + kHeaderBytes, snapshot.data(), snapshot.size());
+  }
+  const uint32_t crc =
+      Crc32(std::span<const uint8_t>(bytes.data(), kHeaderBytes + snapshot.size()));
+  StoreU32(bytes.data() + kHeaderBytes + snapshot.size(), crc);
+
+  // temp write -> fsync -> rename -> fsync dir: a crash at any step leaves either no new
+  // checkpoint or a complete one, never a half-installed file under the final name.
+  const std::string tmp = wal_path_ + ".ckpt.tmp";
+  Result<int> fd = env_->Open(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  Status st = env_->Write(*fd, bytes);
+  if (st.ok()) {
+    st = env_->Sync(*fd);
+  }
+  env_->Close(*fd);
+  if (!st.ok()) {
+    (void)env_->Remove(tmp);  // best effort; a stale tmp is inert
+    return Status(st);
+  }
+  const std::string final_path = PathForSeq(seq);
+  st = env_->Rename(tmp, final_path);
+  if (st.ok()) {
+    st = env_->SyncDir(dir_);
+  }
+  if (!st.ok()) {
+    (void)env_->Remove(tmp);
+    return Status(st);
+  }
+  return CheckpointFile{seq, final_path};
+}
+
+Result<std::vector<CheckpointFile>> CheckpointStore::List() const {
+  Result<std::vector<std::string>> names = env_->ListDir(dir_);
+  if (!names.ok()) {
+    return names.status();
+  }
+  std::vector<CheckpointFile> files;
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    if (ParseCheckpointName(name, base_file_, &seq)) {
+      files.push_back(CheckpointFile{seq, PathForSeq(seq)});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const CheckpointFile& a, const CheckpointFile& b) { return a.seq > b.seq; });
+  return files;
+}
+
+Result<LoadedCheckpoint> CheckpointStore::Load(const CheckpointFile& file) const {
+  Result<std::vector<uint8_t>> bytes = env_->ReadFile(file.path);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  if (bytes->size() < kHeaderBytes + kFooterBytes) {
+    return Unavailable("checkpoint " + file.path + ": truncated header");
+  }
+  if (std::memcmp(bytes->data(), kCheckpointMagic, 4) != 0) {
+    return Unavailable("checkpoint " + file.path + ": bad magic");
+  }
+  if (LoadU32(bytes->data() + 4) != kCheckpointVersion) {
+    return Unavailable("checkpoint " + file.path + ": unsupported version");
+  }
+  const uint64_t frontier = LoadU64(bytes->data() + 8);
+  const uint64_t payload_len = LoadU64(bytes->data() + 16);
+  if (payload_len != bytes->size() - kHeaderBytes - kFooterBytes) {
+    return Unavailable("checkpoint " + file.path + ": length mismatch (torn install?)");
+  }
+  const uint32_t want =
+      Crc32(std::span<const uint8_t>(bytes->data(), kHeaderBytes + payload_len));
+  if (want != LoadU32(bytes->data() + kHeaderBytes + payload_len)) {
+    return Unavailable("checkpoint " + file.path + ": checksum mismatch");
+  }
+  LoadedCheckpoint loaded;
+  loaded.seq = file.seq;
+  loaded.path = file.path;
+  loaded.wal_frontier = frontier;
+  loaded.snapshot.assign(bytes->begin() + kHeaderBytes,
+                         bytes->begin() + static_cast<ptrdiff_t>(kHeaderBytes + payload_len));
+  return loaded;
+}
+
+Result<uint64_t> CheckpointStore::Prune(uint64_t keep) {
+  Result<std::vector<CheckpointFile>> files = List();
+  if (!files.ok()) {
+    return files.status();
+  }
+  uint64_t removed = 0;
+  for (size_t i = keep; i < files->size(); ++i) {
+    const Status st = env_->Remove((*files)[i].path);
+    if (!st.ok()) {
+      return Status(st);
+    }
+    ++removed;
+  }
+  if (removed > 0) {
+    KRONOS_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  }
+  return removed;
+}
+
+}  // namespace kronos

@@ -1,0 +1,84 @@
+// CheckpointStore: durable, atomically-installed engine snapshots that bound recovery.
+//
+// A checkpoint file is a self-verifying container for one serialized engine state (the v3
+// snapshot codec: graph + height stamps + sessions) plus the WAL frontier it covers — the
+// global record ordinal up to which the snapshot already reflects the log. Recovery restores
+// the newest checkpoint that passes verification and replays only WAL records at or past its
+// frontier; the checkpoint subsystem may then delete WAL segments that every *retained*
+// checkpoint covers.
+//
+// File format (DESIGN.md §5.11):
+//   magic "KCP1" | u32 version | u64 wal_frontier | u64 payload_len | payload | u32 crc
+// with the CRC taken over every preceding byte, so truncation, bit rot, or a torn install
+// anywhere in the file is detected before a single byte is imported.
+//
+// Install discipline (the LevelDB idiom): write "<wal>.ckpt.tmp", fsync it, rename onto
+// "<wal>.ckpt.NNNNNN", fsync the directory. A crash at any step leaves either the old
+// checkpoint set intact or the new file fully installed — never a half-visible checkpoint.
+// All IO goes through an injectable Env so tests can fail each individual step.
+//
+// The store itself is deliberately dumb about contents: Load verifies the container
+// (magic/version/length/CRC); whether the payload actually restores is the caller's
+// verification step (the daemon restores into a scratch state machine before trusting it).
+#ifndef KRONOS_SERVER_CHECKPOINT_H_
+#define KRONOS_SERVER_CHECKPOINT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/common/status.h"
+
+namespace kronos {
+
+// One on-disk checkpoint file, as named (not yet verified).
+struct CheckpointFile {
+  uint64_t seq = 0;  // install sequence; newer checkpoints have higher seq
+  std::string path;
+};
+
+// A checkpoint whose container passed verification.
+struct LoadedCheckpoint {
+  uint64_t seq = 0;
+  std::string path;
+  uint64_t wal_frontier = 0;      // WAL records below this ordinal are reflected in `snapshot`
+  std::vector<uint8_t> snapshot;  // v3 snapshot payload (see src/wire/snapshot.h)
+};
+
+class CheckpointStore {
+ public:
+  // Checkpoints live next to the WAL as "<wal_path>.ckpt.NNNNNN". env = nullptr for POSIX.
+  explicit CheckpointStore(std::string wal_path, Env* env = nullptr);
+
+  // Atomically installs a new newest checkpoint covering WAL records [0, wal_frontier).
+  // On any error the checkpoint set on disk is unchanged (a stale tmp file may remain; it is
+  // ignored by List and overwritten by the next install).
+  Result<CheckpointFile> Install(std::span<const uint8_t> snapshot, uint64_t wal_frontier);
+
+  // The on-disk checkpoint set, newest (highest seq) first. Unverified; tmp files excluded.
+  Result<std::vector<CheckpointFile>> List() const;
+
+  // Reads and container-verifies one checkpoint. Any truncation or corruption yields an
+  // error, never a partial payload.
+  Result<LoadedCheckpoint> Load(const CheckpointFile& file) const;
+
+  // Deletes the oldest checkpoints beyond the newest `keep`. Returns how many were removed;
+  // stops at the first filesystem error (deletion is always safe to retry).
+  Result<uint64_t> Prune(uint64_t keep);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathForSeq(uint64_t seq) const;
+
+  std::string wal_path_;
+  std::string dir_;
+  std::string base_file_;  // filename part of wal_path_
+  Env* env_;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_SERVER_CHECKPOINT_H_

@@ -7,6 +7,7 @@
 #include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/wire/introspect.h"
+#include "src/wire/snapshot.h"
 
 namespace kronos {
 
@@ -24,6 +25,11 @@ KronosDaemon::KronosDaemon(Options options)
       session_stale_(metrics_.GetCounter("kronos_session_stale_total")),
       wal_appends_(metrics_.GetCounter("kronos_wal_appends_total")),
       wal_group_syncs_(metrics_.GetCounter("kronos_wal_group_syncs_total")),
+      wal_torn_tails_(metrics_.GetCounter("kronos_wal_torn_tails_total")),
+      wal_segments_dropped_(metrics_.GetCounter("kronos_wal_segments_dropped_total")),
+      checkpoints_total_(metrics_.GetCounter("kronos_checkpoints_total")),
+      checkpoint_failures_(metrics_.GetCounter("kronos_checkpoint_failures_total")),
+      checkpoint_fallbacks_(metrics_.GetCounter("kronos_checkpoint_fallbacks_total")),
       wal_append_us_(metrics_.GetHistogram("kronos_wal_append_us")),
       wal_commit_wait_us_(metrics_.GetHistogram("kronos_wal_commit_wait_us")),
       wal_commit_window_us_(metrics_.GetHistogram("kronos_wal_commit_window_us")),
@@ -63,39 +69,186 @@ KronosDaemon::~KronosDaemon() { Stop(); }
 
 Status KronosDaemon::Start(uint16_t port, const std::string& wal_path) {
   if (!wal_path.empty()) {
-    // Recover: replay every logged update into the state machine before serving. Sessioned
-    // records also rebuild the exactly-once dedup table — the replayed Apply is deterministic,
-    // so the re-serialized result is byte-identical to the reply the client was (or will be)
-    // sent, and a mutation retried across the restart still replays instead of re-applying.
-    Status opened = wal_.Open(wal_path, [this](std::span<const uint8_t> record) {
-      Result<WalCommandRecord> rec = ParseWalRecord(record);
-      if (!rec.ok()) {
-        KLOG(Warning) << "kronosd: skipping unparseable WAL record";
-        return;
-      }
-      Result<Command> cmd = ParseCommand(rec->command);
-      if (cmd.ok()) {
-        CommandResult result = sm_.Apply(*cmd);
-        if (rec->client_id != 0 && rec->client_seq != 0) {
-          sm_.sessions().Commit(rec->client_id, rec->client_seq, sm_.applied_updates(),
-                                SerializeCommandResult(result));
+    // Recovery = newest VERIFIED checkpoint + WAL suffix replay (DESIGN.md §5.11). A
+    // checkpoint must pass its container CRC and a full restore into a scratch state machine
+    // before it is trusted; anything less falls back to the previous checkpoint (longer
+    // replay, never data loss — the WAL is only truncated to the oldest retained
+    // checkpoint's frontier).
+    ckpt_store_ =
+        std::make_unique<CheckpointStore>(wal_path, options_.wal_commit.env);
+    uint64_t replay_from = 0;
+    Result<std::vector<CheckpointFile>> ckpts = ckpt_store_->List();
+    if (ckpts.ok()) {
+      for (const CheckpointFile& f : *ckpts) {
+        Result<LoadedCheckpoint> loaded = ckpt_store_->Load(f);
+        Status verdict = loaded.ok() ? OkStatus() : loaded.status();
+        if (verdict.ok()) {
+          // Scratch restore first: a payload that passes the CRC could still fail import,
+          // and a failed import can leave partial state behind. The scratch machine absorbs
+          // that; sm_ is only touched by a restore already proven to succeed.
+          KronosStateMachine scratch;
+          verdict = RestoreSnapshot(loaded->snapshot, scratch);
         }
-        ++commands_recovered_;
-      } else {
-        KLOG(Warning) << "kronosd: skipping unparseable WAL record";
+        if (!verdict.ok()) {
+          KLOG(Warning) << "kronosd: checkpoint " << f.path << " failed verification ("
+                        << verdict.ToString() << "); falling back to previous checkpoint";
+          checkpoint_fallbacks_.Increment();
+          continue;
+        }
+        KRONOS_RETURN_IF_ERROR(RestoreSnapshot(loaded->snapshot, sm_));
+        replay_from = loaded->wal_frontier;
+        recovered_checkpoint_seq_ = f.seq;
+        KLOG(Info) << "kronosd: restored checkpoint " << f.path << " (covers " << replay_from
+                   << " WAL records)";
+        break;
       }
-    });
+    }
+    // Replay the suffix: every logged update at or past the checkpoint frontier is applied
+    // into the state machine before serving. Sessioned records also rebuild the exactly-once
+    // dedup table — the replayed Apply is deterministic, so the re-serialized result is
+    // byte-identical to the reply the client was (or will be) sent, and a mutation retried
+    // across the restart still replays instead of re-applying.
+    Status opened = wal_.Open(
+        wal_path,
+        [this](std::span<const uint8_t> record) {
+          Result<WalCommandRecord> rec = ParseWalRecord(record);
+          if (!rec.ok()) {
+            KLOG(Warning) << "kronosd: skipping unparseable WAL record";
+            return;
+          }
+          Result<Command> cmd = ParseCommand(rec->command);
+          if (cmd.ok()) {
+            CommandResult result = sm_.Apply(*cmd);
+            if (rec->client_id != 0 && rec->client_seq != 0) {
+              sm_.sessions().Commit(rec->client_id, rec->client_seq, sm_.applied_updates(),
+                                    SerializeCommandResult(result));
+            }
+            ++commands_recovered_;
+          } else {
+            KLOG(Warning) << "kronosd: skipping unparseable WAL record";
+          }
+        },
+        replay_from);
     KRONOS_RETURN_IF_ERROR(opened);
+    wal_base_ordinal_ = wal_.next_record_ordinal();
     if (wal_.tail_was_torn()) {
-      KLOG(Warning) << "kronosd: WAL had a torn tail (crash mid-append); truncated";
+      wal_torn_tails_.Increment();
+      KLOG(Warning) << "kronosd: WAL torn tail in " << wal_.torn_tail_path()
+                    << " at byte offset " << wal_.torn_tail_offset()
+                    << " (crash mid-append); truncated";
     }
     persistent_ = true;
-    KLOG(Info) << "kronosd: recovered " << commands_recovered_ << " commands from " << wal_path;
+    KLOG(Info) << "kronosd: recovered " << commands_recovered_ << " commands from " << wal_path
+               << (recovered_checkpoint_seq_ > 0 ? " (checkpoint + suffix)" : " (full replay)");
   }
   KRONOS_RETURN_IF_ERROR(listener_.Listen(port));
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (persistent_ && options_.checkpoint_every_s > 0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
   KLOG(Info) << "kronosd: serving on 127.0.0.1:" << listener_.port();
   return OkStatus();
+}
+
+Result<KronosDaemon::CheckpointOutcome> KronosDaemon::CheckpointNow() {
+  if (!persistent_) {
+    return Status(InvalidArgument("checkpoint refused: daemon has no WAL"));
+  }
+  // One checkpoint at a time: the background thread and a kCheckpoint trigger may race.
+  std::lock_guard<std::mutex> serial(ckpt_serial_mutex_);
+  std::vector<uint8_t> snapshot;
+  uint64_t local_frontier = 0;
+  uint64_t global_frontier = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+    if (!wal_failed_.ok()) {
+      // A fail-stopped run may have retracted session entries (Forget) for applies still in
+      // memory; a checkpoint of that state could hand a post-restart retry a double apply.
+      // Recovery from the (intact) log is the only safe exit, so refuse.
+      checkpoint_failures_.Increment();
+      return Status(Unavailable("checkpoint refused: WAL is fail-stopped (" +
+                                wal_failed_.ToString() + ")"));
+    }
+    snapshot = SerializeSnapshot(sm_);
+    local_frontier = wal_frontier_;
+    global_frontier = wal_base_ordinal_ + wal_frontier_;
+  }
+  // The captured state can include applies whose records are still riding an in-flight group
+  // commit. They must be durable BEFORE install: a checkpoint claiming to cover a record that
+  // then never hits disk would recover to a state strictly ahead of the log — an
+  // acknowledged-writes oracle would catch it as corruption.
+  if (local_frontier > 0) {
+    const Status durable = wal_.WaitDurable(local_frontier - 1);
+    if (!durable.ok()) {
+      checkpoint_failures_.Increment();
+      return Status(Unavailable("checkpoint aborted: covered records not durable (" +
+                                durable.ToString() + ")"));
+    }
+  }
+  Result<CheckpointFile> installed = ckpt_store_->Install(snapshot, global_frontier);
+  if (!installed.ok()) {
+    checkpoint_failures_.Increment();
+    KLOG(Warning) << "kronosd: checkpoint install failed: " << installed.status().ToString();
+    return installed.status();
+  }
+  checkpoints_total_.Increment();
+  metrics_.GetGauge("kronos_checkpoint_last_frontier")
+      .Set(static_cast<int64_t>(global_frontier));
+  metrics_.GetGauge("kronos_checkpoint_last_bytes").Set(static_cast<int64_t>(snapshot.size()));
+  // Retention, then truncation — in that order, and truncation only up to the OLDEST
+  // retained checkpoint's frontier. If the newest file is later found corrupt, the previous
+  // one still has every WAL record it needs. Both steps are best-effort: their failure
+  // degrades disk usage, never correctness, and the next checkpoint retries.
+  const uint64_t keep = std::max<uint64_t>(1, options_.checkpoint_keep);
+  Result<uint64_t> pruned = ckpt_store_->Prune(keep);
+  if (!pruned.ok()) {
+    KLOG(Warning) << "kronosd: checkpoint prune failed: " << pruned.status().ToString();
+  }
+  uint64_t truncate_to = 0;
+  Result<std::vector<CheckpointFile>> files = ckpt_store_->List();
+  if (files.ok() && !files->empty()) {
+    Result<LoadedCheckpoint> oldest = ckpt_store_->Load(files->back());
+    if (oldest.ok()) {
+      truncate_to = oldest->wal_frontier;
+    } else {
+      KLOG(Warning) << "kronosd: skipping WAL truncation; oldest retained checkpoint "
+                    << files->back().path << " unreadable: " << oldest.status().ToString();
+    }
+  }
+  if (truncate_to > 0) {
+    Result<uint64_t> dropped = wal_.DropSegmentsBelow(truncate_to);
+    if (dropped.ok()) {
+      wal_segments_dropped_.Increment(*dropped);
+    } else {
+      KLOG(Warning) << "kronosd: WAL truncation failed: " << dropped.status().ToString();
+    }
+  }
+  return CheckpointOutcome{installed->seq, global_frontier};
+}
+
+void KronosDaemon::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(ckpt_mutex_);
+  while (!ckpt_stop_) {
+    ckpt_cv_.wait_for(lock, std::chrono::seconds(options_.checkpoint_every_s),
+                      [&] { return ckpt_stop_; });
+    if (ckpt_stop_) {
+      return;
+    }
+    lock.unlock();
+    Result<CheckpointOutcome> done = CheckpointNow();
+    if (done.ok()) {
+      KLOG(Info) << "kronosd: checkpoint " << done->seq << " installed (frontier "
+                 << done->wal_frontier << ")";
+    } else {
+      KLOG(Warning) << "kronosd: periodic checkpoint failed: " << done.status().ToString();
+    }
+    lock.lock();
+  }
+}
+
+std::vector<uint8_t> KronosDaemon::ExportSnapshotBytes() const {
+  std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+  return SerializeSnapshot(sm_);
 }
 
 void KronosDaemon::AcceptLoop() {
@@ -163,7 +316,8 @@ bool KronosDaemon::ProcessFrames(TcpConnection& conn,
     }
     reqs[i].env = *std::move(env);
     const bool is_introspection = reqs[i].env.kind == MessageKind::kIntrospect ||
-                                  reqs[i].env.kind == MessageKind::kTraceDump;
+                                  reqs[i].env.kind == MessageKind::kTraceDump ||
+                                  reqs[i].env.kind == MessageKind::kCheckpoint;
     if (!is_introspection) {
       if (reqs[i].env.kind != MessageKind::kRequest) {
         KLOG(Warning) << "kronosd: malformed request frame, dropping connection";
@@ -208,6 +362,21 @@ bool KronosDaemon::ProcessFrames(TcpConnection& conn,
       flush();
       trace_dumps_served_.Increment();
       req.reply = SerializeTraceSpans(trace::Recorder::Global().Drain());
+    } else if (req.env.kind == MessageKind::kCheckpoint) {
+      // On-demand durable checkpoint (`kronos_cli checkpoint`). Runs on this serving thread:
+      // capture rides the shared lock, so concurrent reads keep flowing; the durability wait
+      // and file IO happen with no engine lock held at all.
+      flush();
+      CheckpointReply cr;
+      Result<CheckpointOutcome> outcome = CheckpointNow();
+      if (outcome.ok()) {
+        cr.ok = true;
+        cr.checkpoint_seq = outcome->seq;
+        cr.wal_frontier = outcome->wal_frontier;
+      } else {
+        cr.error = outcome.status().ToString();
+      }
+      req.reply = SerializeCheckpointReply(cr);
     } else if (!req.cmd_parse.ok()) {
       CommandResult bad;
       bad.status = req.cmd_parse;
@@ -222,7 +391,8 @@ bool KronosDaemon::ProcessFrames(TcpConnection& conn,
   flush();
   for (PendingRequest& req : reqs) {
     MessageKind kind = MessageKind::kResponse;
-    if (req.env.kind == MessageKind::kIntrospect || req.env.kind == MessageKind::kTraceDump) {
+    if (req.env.kind == MessageKind::kIntrospect || req.env.kind == MessageKind::kTraceDump ||
+        req.env.kind == MessageKind::kCheckpoint) {
       kind = req.env.kind;
     }
     const uint64_t send_ns = req.rid != 0 ? MonotonicNanos() : 0;
@@ -501,6 +671,10 @@ void KronosDaemon::ExportEngineGaugesLocked() const {
   const GroupCommitWal::Stats ws = wal_.stats();
   metrics_.GetGauge("kronos_wal_batches").Set(static_cast<int64_t>(ws.batches));
   metrics_.GetGauge("kronos_wal_batch_max").Set(static_cast<int64_t>(ws.max_batch));
+  if (persistent_) {
+    metrics_.GetGauge("kronos_wal_segments").Set(static_cast<int64_t>(wal_.Segments().size()));
+    metrics_.GetGauge("kronos_wal_disk_bytes").Set(static_cast<int64_t>(wal_.disk_bytes()));
+  }
   const trace::Recorder::Stats ts = trace::Recorder::Global().stats();
   metrics_.GetGauge("kronos_trace_spans_recorded").Set(static_cast<int64_t>(ts.recorded));
   metrics_.GetGauge("kronos_trace_spans_dropped").Set(static_cast<int64_t>(ts.dropped));
@@ -527,6 +701,16 @@ MetricsSnapshot KronosDaemon::TelemetrySnapshot() const {
 void KronosDaemon::Stop() {
   if (stopped_.exchange(true)) {
     return;
+  }
+  // Stop the checkpoint thread first: it may be mid-CheckpointNow (shared lock + WaitDurable
+  // + file IO), all of which completes normally while connections drain below.
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (checkpoint_thread_.joinable()) {
+    checkpoint_thread_.join();
   }
   listener_.Close();
   {

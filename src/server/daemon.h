@@ -51,6 +51,7 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -61,6 +62,7 @@
 #include "src/common/wal.h"
 #include "src/core/state_machine.h"
 #include "src/net/tcp.h"
+#include "src/server/checkpoint.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 #include "src/wire/codec.h"
@@ -107,8 +109,19 @@ struct KronosDaemonOptions {
   // 0 disables. Works with tracing off — the breakdown is carried on the request, not
   // read back from the rings.
   uint64_t slow_op_us = 0;
-  // Group-commit window for the WAL (ignored unless a wal_path is passed to Start).
+  // Group-commit window for the WAL (ignored unless a wal_path is passed to Start). Its
+  // `segment_bytes` turns on WAL segmentation (required for checkpoint truncation) and its
+  // `env` hook routes ALL durability IO — WAL segments and checkpoint files — through an
+  // injectable filesystem for fault testing.
   GroupCommitWalOptions wal_commit;
+  // Background checkpoint cadence in seconds (DESIGN.md §5.11); 0 = no checkpoint thread
+  // (checkpoints still available on demand via CheckpointNow / kCheckpoint). Ignored unless
+  // persistent.
+  uint64_t checkpoint_every_s = 0;
+  // Checkpoints retained on disk. 2 (the default) means a corrupt/torn newest checkpoint
+  // falls back to the previous one — the WAL is only truncated to the OLDEST retained
+  // checkpoint's frontier, so the fallback always has its replay suffix. Minimum 1.
+  uint64_t checkpoint_keep = 2;
 };
 
 class KronosDaemon {
@@ -141,6 +154,32 @@ class KronosDaemon {
   // Fault injection for tests: fails the next WAL batch fsync, driving the write path into
   // its fail-stop state (see wal_failed_ below).
   void FailNextWalSyncForTest() { wal_.FailNextSyncForTest(); }
+
+  // What CheckpointNow proved durable.
+  struct CheckpointOutcome {
+    uint64_t seq = 0;           // installed checkpoint sequence
+    uint64_t wal_frontier = 0;  // WAL records below this global ordinal are covered
+  };
+
+  // Captures a consistent engine+session+stamp snapshot, waits until every WAL record it
+  // reflects is durable, atomically installs it as the newest checkpoint, prunes to the
+  // retention limit, and truncates WAL segments every retained checkpoint covers. Safe to
+  // call while serving (capture rides the shared lock); concurrent calls serialize. Fails
+  // without side effects on a non-persistent daemon, a fail-stopped WAL, or any filesystem
+  // error — a failed checkpoint never truncates and never poisons the write path.
+  Result<CheckpointOutcome> CheckpointNow();
+
+  // The serialized v3 snapshot of current engine state (shared lock). Test oracles compare
+  // this byte-for-byte between a recovered daemon and a full-log replay.
+  std::vector<uint8_t> ExportSnapshotBytes() const;
+
+  // Checkpoint/WAL disk state, for tests and tools (zeros/empty when not persistent).
+  std::vector<WalSegmentInfo> WalSegments() const { return wal_.Segments(); }
+  uint64_t wal_disk_bytes() const { return wal_.disk_bytes(); }
+  uint64_t checkpoints_installed() const { return checkpoints_total_.Value(); }
+  uint64_t checkpoint_fallbacks() const { return checkpoint_fallbacks_.Value(); }
+  // Sequence of the checkpoint recovery restored from (0 = recovered from log alone).
+  uint64_t recovered_checkpoint_seq() const { return recovered_checkpoint_seq_; }
 
   // Engine introspection (safe to call while serving). Reads take the lock in shared mode:
   // they contend only with updates, never with the query path.
@@ -181,6 +220,9 @@ class KronosDaemon {
   void ExecuteExclusiveRun(std::vector<PendingRequest*>& run);
   // Shared-mode read execution (concurrent with other reads). Fills req.reply.
   void ExecuteRead(PendingRequest& req);
+  // Background checkpoint cadence (runs CheckpointNow every checkpoint_every_s; failures are
+  // logged and retried next period — a sick disk degrades recovery bound, not service).
+  void CheckpointLoop();
   // True when per-request timestamps are being collected (tracing or the slow-op log).
   bool TimingEnabled() const { return trace::Enabled() || options_.slow_op_us > 0; }
   // Emits the slow-op KLOG(Warning) if the request's decode→reply time crossed the bar.
@@ -200,6 +242,19 @@ class KronosDaemon {
   GroupCommitWal wal_;
   bool persistent_ = false;
   uint64_t commands_recovered_ = 0;
+  // Records already in the log when it was opened. GroupCommitWal tickets are dense from 0
+  // per process run, so a ticket's GLOBAL record ordinal — the currency checkpoints and
+  // segment truncation speak — is wal_base_ordinal_ + ticket.
+  uint64_t wal_base_ordinal_ = 0;
+  uint64_t recovered_checkpoint_seq_ = 0;
+
+  // Checkpoint subsystem (persistent daemons only).
+  std::unique_ptr<CheckpointStore> ckpt_store_;
+  std::thread checkpoint_thread_;
+  std::mutex ckpt_mutex_;             // guards ckpt_stop_ / the loop's sleep
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  std::mutex ckpt_serial_mutex_;      // serializes concurrent CheckpointNow calls
   // One past the last WAL ticket enqueued (guarded by sm_mutex_). Lets a session-duplicate
   // reply wait for the log frontier that covers the original apply; 0 = nothing enqueued
   // since open (replayed records are durable by definition).
@@ -229,6 +284,11 @@ class KronosDaemon {
   Counter& session_stale_;
   Counter& wal_appends_;
   Counter& wal_group_syncs_;
+  Counter& wal_torn_tails_;
+  Counter& wal_segments_dropped_;
+  Counter& checkpoints_total_;
+  Counter& checkpoint_failures_;
+  Counter& checkpoint_fallbacks_;
   LatencyHistogram& wal_append_us_;
   LatencyHistogram& wal_commit_wait_us_;
   LatencyHistogram& wal_commit_window_us_;

@@ -1,5 +1,8 @@
 #include "src/server/nemesis.h"
 
+#include <csignal>
+#include <cstdio>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -10,10 +13,16 @@
 #include <thread>
 #include <utility>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/client/tcp_client.h"
 #include "src/common/clock.h"
+#include "src/common/env.h"
 #include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/server/cluster.h"
+#include "src/server/daemon.h"
 
 namespace kronos {
 
@@ -344,6 +353,304 @@ NemesisReport Nemesis::Run() {
   }
 
   KLOG(Info) << "nemesis seed " << options_.seed << ": " << report.Summary();
+  return report;
+}
+
+// --- Daemon checkpoint nemesis (DESIGN.md §5.11) -------------------------------------------------
+
+namespace {
+
+// Copies one file verbatim (oracle assembly only — no durability requirements).
+bool CopyFileBytes(const std::string& from, const std::string& to) {
+  Result<std::vector<uint8_t>> bytes = Env::Default()->ReadFile(from);
+  if (!bytes.ok()) {
+    return false;
+  }
+  std::FILE* f = std::fopen(to.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok =
+      bytes->empty() || std::fwrite(bytes->data(), 1, bytes->size(), f) == bytes->size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// Assembles the oracle's full-history log under `oracle_path`: every live "<base>.NNNNNN"
+// segment plus every "<base>.NNNNNN.dropped" file the child's trash-env preserved when
+// checkpoint truncation deleted it, copied under the oracle base name. Checkpoint files are
+// deliberately NOT copied, so a daemon opened on the result replays the entire run from
+// record 0 — the ground truth the checkpoint-recovered daemon must match byte for byte.
+bool BuildOracleLog(const std::string& wal_path, const std::string& oracle_path,
+                    std::string& error) {
+  const size_t slash = wal_path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : wal_path.substr(0, slash);
+  const std::string base = slash == std::string::npos ? wal_path : wal_path.substr(slash + 1);
+  Result<std::vector<std::string>> names = Env::Default()->ListDir(dir);
+  if (!names.ok()) {
+    error = names.status().ToString();
+    return false;
+  }
+  for (const std::string& name : *names) {
+    std::string to;
+    if (name == base) {
+      to = oracle_path;  // legacy bare file (segment_bytes = 0 runs)
+    } else {
+      if (name.rfind(base + ".", 0) != 0) {
+        continue;
+      }
+      std::string suffix = name.substr(base.size() + 1);
+      constexpr const char kDropped[] = ".dropped";
+      constexpr size_t kDroppedLen = sizeof(kDropped) - 1;
+      if (suffix.size() > kDroppedLen &&
+          suffix.compare(suffix.size() - kDroppedLen, kDroppedLen, kDropped) == 0) {
+        suffix = suffix.substr(0, suffix.size() - kDroppedLen);
+      }
+      // Only "<base>.NNNNNN[.dropped]" qualifies; this filters checkpoints ("ckpt.NNNNNN"),
+      // the install tmp file, and prior cycles' oracle copies.
+      if (suffix.size() != 6 || suffix.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      to = oracle_path + "." + suffix;
+    }
+    if (!CopyFileBytes(dir + "/" + name, to)) {
+      error = "copying " + name + " failed";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string DaemonCheckpointNemesisReport::Summary() const {
+  std::ostringstream os;
+  os << (ok() ? "OK" : "FAIL") << ": kills=" << kills << " (" << kills_during_recovery
+     << " mid-recovery) recoveries=" << recoveries << " from-checkpoint=" << checkpoint_recoveries
+     << " fallbacks=" << fallbacks << " compares=" << oracle_compares
+     << " creates=" << creates_acked << "+" << creates_unknown << "? assigns=" << assigns_acked
+     << " checkpoints=" << checkpoints_acked << " rechecks=" << promises_rechecked;
+  for (const std::string& v : violations) {
+    os << "\n  violation: " << v;
+  }
+  return os.str();
+}
+
+DaemonCheckpointNemesisReport RunDaemonCheckpointNemesis(
+    const DaemonCheckpointNemesisOptions& options) {
+  DaemonCheckpointNemesisReport report;
+  if (options.wal_path.empty()) {
+    report.violations.push_back("wal_path is required");
+    return report;
+  }
+
+  PromiseBook book;
+  Rng sched_rng(options.seed ^ 0x636b70746e656d21ull);  // kill-point draws
+
+  for (int cycle = 1; cycle <= options.cycles; ++cycle) {
+    const uint64_t kill_at = options.kill_min_ops + sched_rng.Uniform(options.kill_span);
+    const uint64_t kill_seed = options.seed * 31 + static_cast<uint64_t>(cycle);
+
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      report.violations.push_back("pipe() failed");
+      break;
+    }
+    // The parent is single-threaded at every fork: the previous cycle's verification daemons
+    // were Stop()ed (threads joined) before the loop came back around.
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      report.violations.push_back("fork() failed");
+      ::close(pipefd[0]);
+      ::close(pipefd[1]);
+      break;
+    }
+    if (pid == 0) {
+      // Child: serve the live WAL behind a kill-armed, trash-on-remove filesystem until the
+      // seeded op count fires (or the parent SIGKILLs us). Heap objects leak by design — the
+      // only exit is SIGKILL.
+      ::close(pipefd[0]);
+      auto* env = new FaultInjectionEnv();
+      env->set_keep_removed_files(true);
+      env->KillAtOp(kill_at, kill_seed);
+      KronosDaemon::Options dopts;
+      dopts.tracing = false;
+      dopts.wal_commit.segment_bytes = options.segment_bytes;
+      dopts.wal_commit.env = env;
+      dopts.checkpoint_keep = options.checkpoint_keep;
+      auto* daemon = new KronosDaemon(dopts);
+      if (!daemon->Start(0, options.wal_path).ok()) {
+        ::_exit(3);  // recovery refused — the parent reports this as a violation
+      }
+      const uint16_t port = daemon->port();
+      (void)!::write(pipefd[1], &port, sizeof(port));
+      ::close(pipefd[1]);
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::seconds(10));
+      }
+    }
+
+    // Parent: wait for the child's port (EOF = it died mid-recovery, also a valid schedule).
+    ::close(pipefd[1]);
+    uint16_t port = 0;
+    const ssize_t got = ::read(pipefd[0], &port, sizeof(port));
+    ::close(pipefd[0]);
+    ++report.kills;
+
+    if (got == static_cast<ssize_t>(sizeof(port))) {
+      // Fresh session identity per cycle: the daemon's dedup table survives restarts, so a
+      // reused client_id would see its early seqs absorbed as stale duplicates.
+      TcpKronosOptions copts;
+      copts.endpoints = {port};
+      copts.client_id = options.seed * 1'000'003 + static_cast<uint64_t>(cycle);
+      copts.max_attempts = 3;
+      copts.connect_timeout_us = 200'000;
+      copts.call_timeout_us = 500'000;
+      copts.backoff_initial_us = 2'000;
+      copts.backoff_max_us = 20'000;
+      copts.seed = options.seed + static_cast<uint64_t>(cycle);
+      Result<std::unique_ptr<TcpKronos>> client = TcpKronos::Connect(copts);
+      if (client.ok()) {
+        Rng rng(options.seed * 7919 + static_cast<uint64_t>(cycle));
+        std::vector<EventId> mine;
+        for (int i = 0; i < options.ops_per_cycle; ++i) {
+          Result<EventId> e = (*client)->CreateEvent();
+          if (e.ok()) {
+            mine.push_back(*e);
+            ++report.creates_acked;
+          } else {
+            // Retries exhausted — the child is (almost certainly) dead; the create may or
+            // may not have committed before the crash.
+            ++report.creates_unknown;
+            break;
+          }
+          if (mine.size() >= 2 && rng.Bernoulli(options.assign_probability)) {
+            const EventId e1 = mine[rng.Uniform(mine.size())];
+            const EventId e2 = mine[rng.Uniform(mine.size())];
+            if (e1 != e2) {
+              Result<std::vector<AssignOutcome>> a =
+                  (*client)->AssignOrder({{e1, e2, Constraint::kPrefer}});
+              if (a.ok() && a->size() == 1) {
+                ++report.assigns_acked;
+                const bool reversed = (*a)[0] == AssignOutcome::kReversed;
+                book.Record(e1, e2, reversed ? Order::kAfter : Order::kBefore,
+                            report.violations);
+              } else if (!a.ok()) {
+                break;
+              }
+            }
+          }
+          if (rng.Bernoulli(options.checkpoint_probability)) {
+            Result<CheckpointReply> ck = (*client)->Checkpoint();
+            if (!ck.ok()) {
+              break;
+            }
+            if (ck->ok) {
+              ++report.checkpoints_acked;
+            }
+          }
+        }
+        (*client)->Close();
+      }
+    } else {
+      ++report.kills_during_recovery;
+    }
+
+    ::kill(pid, SIGKILL);  // no-op if the env's kill point already fired
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 3) {
+      report.violations.push_back("cycle " + std::to_string(cycle) +
+                                  ": child daemon refused to recover from the surviving files");
+      break;
+    }
+
+    // Snapshot the post-crash files for the oracle BEFORE any in-process recovery opens them
+    // (recovery truncates torn tails in place).
+    const std::string oracle_path = options.wal_path + ".orc" + std::to_string(cycle);
+    std::string copy_error;
+    if (!BuildOracleLog(options.wal_path, oracle_path, copy_error)) {
+      report.violations.push_back("cycle " + std::to_string(cycle) +
+                                  ": oracle log assembly failed: " + copy_error);
+      break;
+    }
+
+    KronosDaemon::Options ropts;
+    ropts.tracing = false;
+    ropts.wal_commit.segment_bytes = options.segment_bytes;
+    ropts.checkpoint_keep = options.checkpoint_keep;
+    KronosDaemon recovered(ropts);
+    const Status rst = recovered.Start(0, options.wal_path);
+    if (!rst.ok()) {
+      report.violations.push_back("cycle " + std::to_string(cycle) +
+                                  ": recovery failed: " + rst.ToString());
+      break;
+    }
+    ++report.recoveries;
+    if (recovered.recovered_checkpoint_seq() > 0) {
+      ++report.checkpoint_recoveries;
+    }
+    report.fallbacks += recovered.checkpoint_fallbacks();
+
+    KronosDaemon oracle(ropts);
+    const Status ost = oracle.Start(0, oracle_path);
+    if (!ost.ok()) {
+      report.violations.push_back("cycle " + std::to_string(cycle) +
+                                  ": oracle full-log replay failed: " + ost.ToString());
+      recovered.Stop();
+      break;
+    }
+
+    // The core claim: checkpoint + WAL-suffix recovery reconstructs the exact engine state —
+    // graph, height stamps, AND session dedup table — that a full-log replay does.
+    const std::vector<uint8_t> recovered_bytes = recovered.ExportSnapshotBytes();
+    const std::vector<uint8_t> oracle_bytes = oracle.ExportSnapshotBytes();
+    oracle.Stop();
+    ++report.oracle_compares;
+    if (recovered_bytes != oracle_bytes) {
+      report.violations.push_back("cycle " + std::to_string(cycle) +
+                                  ": recovered state diverges from full-log oracle replay");
+    }
+
+    // Zero acked-write loss: every acknowledged create is in the graph (unknown-outcome ones
+    // may account for at most one event each), and every ordered answer still holds.
+    const EventGraph::Stats gs = recovered.graph_stats();
+    if (gs.total_created < report.creates_acked ||
+        gs.total_created > report.creates_acked + report.creates_unknown) {
+      report.violations.push_back(
+          "cycle " + std::to_string(cycle) + ": graph has " + std::to_string(gs.total_created) +
+          " events for " + std::to_string(report.creates_acked) + " acked + " +
+          std::to_string(report.creates_unknown) + " unknown creates");
+    }
+    Result<std::unique_ptr<TcpKronos>> verifier = TcpKronos::Connect(recovered.port());
+    if (!verifier.ok()) {
+      report.violations.push_back("cycle " + std::to_string(cycle) +
+                                  ": cannot connect to recovered daemon");
+    } else {
+      for (const auto& [pair, order] : book.Snapshot()) {
+        Result<std::vector<Order>> q = (*verifier)->QueryOrder({{pair.first, pair.second}});
+        if (!q.ok() || q->size() != 1) {
+          report.violations.push_back("cycle " + std::to_string(cycle) +
+                                      ": verify query failed for (" +
+                                      std::to_string(pair.first) + ", " +
+                                      std::to_string(pair.second) + ")");
+        } else if ((*q)[0] != order) {
+          report.violations.push_back("cycle " + std::to_string(cycle) +
+                                      ": ordered answer retracted for (" +
+                                      std::to_string(pair.first) + ", " +
+                                      std::to_string(pair.second) + ")");
+        } else {
+          ++report.promises_rechecked;
+        }
+      }
+      (*verifier)->Close();
+    }
+    recovered.Stop();  // joins every thread — the next fork must be single-threaded
+    if (!report.violations.empty()) {
+      break;
+    }
+  }
+
+  KLOG(Info) << "daemon checkpoint nemesis seed " << options.seed << ": " << report.Summary();
   return report;
 }
 

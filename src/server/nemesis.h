@@ -102,6 +102,63 @@ class Nemesis {
   Options options_;
 };
 
+// --- Daemon checkpoint nemesis (DESIGN.md §5.11) -------------------------------------------------
+//
+// Crash schedule for the persistent single-node daemon's checkpoint/recovery path. Each cycle
+// forks a daemon child whose filesystem is a FaultInjectionEnv armed to SIGKILL the process at
+// a seeded mutating-IO operation (tearing any in-flight write first) and to preserve every
+// deleted WAL segment as "<path>.dropped". The parent drives acked writes and on-demand
+// checkpoints over TCP until the child dies, then proves recovery:
+//
+//   * a fresh daemon over the surviving files must start (checkpoint fallback included) and
+//     its serialized engine state must be BYTE-IDENTICAL to an oracle daemon replaying the
+//     full log from record 0 (live segments + the .dropped trash — checkpoint truncation must
+//     not have deleted anything recovery could need);
+//   * every acknowledged create is present (exactly-once band: acked <= total_created <=
+//     acked + unknown-outcome), and every ordered answer ever acknowledged still holds.
+//
+// The WAL history accumulates across cycles, so later kills land mid-checkpoint, mid-rotation,
+// and mid-truncation over a log that already contains prior crashes.
+struct DaemonCheckpointNemesisOptions {
+  uint64_t seed = 1;
+  std::string wal_path;  // REQUIRED: WAL base path inside a scratch directory the test owns
+  int cycles = 3;
+  int ops_per_cycle = 48;           // creates per cycle; assigns/queries/checkpoints sampled
+  uint64_t segment_bytes = 2048;    // small segments so rotation + truncation actually happen
+  uint64_t checkpoint_keep = 2;
+  double assign_probability = 0.5;
+  double checkpoint_probability = 0.2;  // per-op chance the client forces a checkpoint
+  // The child is killed at a seeded op drawn from [kill_min_ops, kill_min_ops + kill_span).
+  // The floor keeps most kills past recovery's few mutating ops; a draw past the cycle's IO
+  // simply means the parent SIGKILLs the child after the workload instead.
+  uint64_t kill_min_ops = 24;
+  uint64_t kill_span = 160;
+};
+
+struct DaemonCheckpointNemesisReport {
+  std::vector<std::string> violations;  // empty == every invariant held
+
+  uint64_t kills = 0;
+  uint64_t kills_during_recovery = 0;  // child died replaying, before it could serve
+  uint64_t recoveries = 0;
+  uint64_t checkpoint_recoveries = 0;  // recoveries that restored from a checkpoint
+  uint64_t fallbacks = 0;              // corrupt/torn newest checkpoints skipped at startup
+  uint64_t oracle_compares = 0;        // byte-identical snapshot comparisons performed
+
+  uint64_t creates_acked = 0;
+  uint64_t creates_unknown = 0;  // reply lost to the crash; commit state unknown
+  uint64_t assigns_acked = 0;
+  uint64_t checkpoints_acked = 0;  // client-triggered checkpoints the daemon confirmed
+  uint64_t promises_rechecked = 0;
+
+  bool ok() const { return violations.empty(); }
+
+  std::string Summary() const;
+};
+
+DaemonCheckpointNemesisReport RunDaemonCheckpointNemesis(
+    const DaemonCheckpointNemesisOptions& options);
+
 }  // namespace kronos
 
 #endif  // KRONOS_SERVER_NEMESIS_H_

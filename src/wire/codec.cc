@@ -234,7 +234,7 @@ Result<Envelope> ParseEnvelope(std::span<const uint8_t> bytes) {
   uint8_t kind = 0;
   KRONOS_RETURN_IF_ERROR(r.ReadU8(kind));
   if (kind < static_cast<uint8_t>(MessageKind::kRequest) ||
-      kind > static_cast<uint8_t>(MessageKind::kTraceDump)) {
+      kind > static_cast<uint8_t>(MessageKind::kCheckpoint)) {
     return Status(InvalidArgument("bad message kind on wire"));
   }
   Envelope env;

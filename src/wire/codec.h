@@ -48,6 +48,8 @@ enum class MessageKind : uint8_t {
                              // coalesced form of kChainPropagate (DESIGN.md §5.8)
   kTraceDump = 8,  // request: empty payload; response: drained trace spans
                    // (wire/introspect.h) — the transport behind `kronos_cli trace`
+  kCheckpoint = 9,  // request: empty payload; response: CheckpointReply (wire/introspect.h) —
+                    // triggers an immediate durable checkpoint (`kronos_cli checkpoint`)
 };
 
 struct Envelope {

@@ -177,4 +177,31 @@ Result<std::vector<trace::Span>> ParseTraceSpans(std::span<const uint8_t> bytes)
   return spans;
 }
 
+std::vector<uint8_t> SerializeCheckpointReply(const CheckpointReply& reply) {
+  BufferWriter w;
+  w.WriteU8(reply.ok ? 1 : 0);
+  w.WriteString(reply.error);
+  w.WriteVarint(reply.checkpoint_seq);
+  w.WriteVarint(reply.wal_frontier);
+  return w.TakeBuffer();
+}
+
+Result<CheckpointReply> ParseCheckpointReply(std::span<const uint8_t> bytes) {
+  BufferReader r(bytes);
+  CheckpointReply reply;
+  uint8_t ok = 0;
+  KRONOS_RETURN_IF_ERROR(r.ReadU8(ok));
+  if (ok > 1) {
+    return Status(InvalidArgument("bad checkpoint reply flag on wire"));
+  }
+  reply.ok = ok == 1;
+  KRONOS_RETURN_IF_ERROR(r.ReadString(reply.error));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(reply.checkpoint_seq));
+  KRONOS_RETURN_IF_ERROR(r.ReadVarint(reply.wal_frontier));
+  if (!r.AtEnd()) {
+    return Status(InvalidArgument("trailing bytes after checkpoint reply"));
+  }
+  return reply;
+}
+
 }  // namespace kronos

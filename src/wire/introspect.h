@@ -36,6 +36,20 @@ Status DecodeTraceSpans(BufferReader& r, std::vector<trace::Span>& out);
 std::vector<uint8_t> SerializeTraceSpans(const std::vector<trace::Span>& spans);
 Result<std::vector<trace::Span>> ParseTraceSpans(std::span<const uint8_t> bytes);
 
+// Reply to a kCheckpoint request (Envelope{kCheckpoint, id, empty payload}): whether the
+// daemon installed a durable checkpoint, and if so which one and what WAL frontier it covers.
+// `error` carries the daemon-side failure text when ok is false (e.g. non-persistent daemon,
+// fail-stopped WAL, disk full during install).
+struct CheckpointReply {
+  bool ok = false;
+  std::string error;
+  uint64_t checkpoint_seq = 0;
+  uint64_t wal_frontier = 0;  // WAL records below this global ordinal are covered
+};
+
+std::vector<uint8_t> SerializeCheckpointReply(const CheckpointReply& reply);
+Result<CheckpointReply> ParseCheckpointReply(std::span<const uint8_t> bytes);
+
 }  // namespace kronos
 
 #endif  // KRONOS_WIRE_INTROSPECT_H_

@@ -362,5 +362,333 @@ TEST(GroupCommitWalTest, KillMidStreamRecoversAcknowledgedPrefix) {
   std::remove(path.c_str());
 }
 
+// --- Torn-tail fuzz + segmentation (DESIGN.md §5.11) -----------------------------------------
+
+std::vector<uint8_t> ReadAllBytes(const std::string& path) {
+  Result<std::vector<uint8_t>> bytes = Env::Default()->ReadFile(path);
+  EXPECT_TRUE(bytes.ok()) << path;
+  return bytes.ok() ? *bytes : std::vector<uint8_t>{};
+}
+
+void WriteAllBytes(const std::string& path, std::span<const uint8_t> bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good()) << path;
+}
+
+// Deletes "<base>" and every "<base>.*" sibling (segments, trash, scratch copies).
+void RemoveWalFamily(const std::string& base) {
+  const size_t slash = base.find_last_of('/');
+  const std::string dir = base.substr(0, slash);
+  const std::string file = base.substr(slash + 1);
+  Result<std::vector<std::string>> names = Env::Default()->ListDir(dir);
+  if (!names.ok()) {
+    return;
+  }
+  for (const std::string& name : *names) {
+    if (name == file || name.rfind(file + ".", 0) == 0) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+}
+
+// Every possible crash point in a legacy single-file log: truncate a healthy 4-record log at
+// EVERY byte offset. Replay must recover exactly the whole-record prefix, flag the tail torn
+// at precisely the record boundary (except when the cut lands ON a boundary — that's a clean
+// log), and the truncated log must accept appends and round-trip them.
+TEST(WalFuzzTest, TornTailEveryByteOffsetLegacy) {
+  const std::string base = TempWalPath("fuzz_legacy");
+  std::remove(base.c_str());
+  // Varied sizes so cuts land mid-length-field, mid-CRC, and mid-payload of each record.
+  const std::vector<std::vector<uint8_t>> payloads = {
+      {1, 2, 3, 4, 5}, {9, 9, 9, 9, 9, 9, 9, 9, 9}, {42}, {7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7}};
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(base, nullptr).ok());
+    for (const std::vector<uint8_t>& p : payloads) {
+      ASSERT_TRUE(wal.Append(p).ok());
+    }
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  const std::vector<uint8_t> full = ReadAllBytes(base);
+  // Frame = 8-byte header + payload; boundary[k] = offset just past record k.
+  std::vector<size_t> boundary = {0};
+  for (const std::vector<uint8_t>& p : payloads) {
+    boundary.push_back(boundary.back() + 8 + p.size());
+  }
+  ASSERT_EQ(full.size(), boundary.back());
+
+  const std::string scratch = base + ".scratch";
+  const std::vector<uint8_t> sentinel = {0xAB, 0xCD, 0xEF};
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    WriteAllBytes(scratch, std::span<const uint8_t>(full.data(), cut));
+    size_t whole = 0;  // records wholly before the cut
+    while (boundary[whole + 1] <= cut) {
+      ++whole;
+    }
+    std::vector<std::vector<uint8_t>> got;
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(scratch, [&](std::span<const uint8_t> r) {
+                      got.emplace_back(r.begin(), r.end());
+                    })
+                    .ok());
+    ASSERT_EQ(got.size(), whole);
+    for (size_t k = 0; k < whole; ++k) {
+      EXPECT_EQ(got[k], payloads[k]);
+    }
+    EXPECT_EQ(wal.tail_was_torn(), cut != boundary[whole]);
+    if (wal.tail_was_torn()) {
+      EXPECT_EQ(wal.torn_tail_offset(), boundary[whole]);
+      EXPECT_EQ(wal.torn_tail_path(), scratch);
+    }
+    // The truncated log is immediately writable, and the append round-trips.
+    ASSERT_TRUE(wal.Append(sentinel).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    wal.Close();
+    got.clear();
+    WriteAheadLog again;
+    ASSERT_TRUE(again.Open(scratch, [&](std::span<const uint8_t> r) {
+                      got.emplace_back(r.begin(), r.end());
+                    })
+                    .ok());
+    ASSERT_EQ(got.size(), whole + 1);
+    EXPECT_EQ(got.back(), sentinel);
+    EXPECT_FALSE(again.tail_was_torn());
+  }
+  RemoveWalFamily(base);
+}
+
+// The same exhaustive cut sweep against a segmented log's FINAL segment — including every
+// offset inside the 28-byte segment header (a crash during segment create, before the header
+// sync). Earlier sealed segments anchor the ordinal, so recovery must rewrite the torn header
+// in place and keep every sealed record.
+TEST(WalFuzzTest, TornTailEveryByteOffsetSegmented) {
+  const std::string base = TempWalPath("fuzz_seg");
+  RemoveWalFamily(base);
+  // 8-byte payloads -> 16-byte frames; 64-byte segments rotate after 3 records, so 5 records
+  // leave seg .000001 sealed (records 0-2) and seg .000002 active (records 3-4, 60 bytes).
+  {
+    WriteAheadLog wal(WalOptions{.segment_bytes = 64});
+    ASSERT_TRUE(wal.Open(base, nullptr).ok());
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal.Append(IndexRecord(i)).ok());
+      ASSERT_TRUE(wal.Sync().ok());
+    }
+    ASSERT_EQ(wal.Segments().size(), 2u);
+  }
+  const std::string seg1 = base + ".000001";
+  const std::string seg2 = base + ".000002";
+  const std::vector<uint8_t> seg1_bytes = ReadAllBytes(seg1);
+  const std::vector<uint8_t> seg2_bytes = ReadAllBytes(seg2);
+  ASSERT_EQ(seg2_bytes.size(), 28u + 2 * 16u);  // header + two frames
+
+  for (size_t cut = 0; cut < seg2_bytes.size(); ++cut) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    WriteAllBytes(seg1, seg1_bytes);
+    WriteAllBytes(seg2, std::span<const uint8_t>(seg2_bytes.data(), cut));
+    // Records surviving in seg2: none until its first frame completes at 28+16, one more at
+    // 28+32 (the sweep stops just short of the full file).
+    const uint64_t expect = 3 + (cut >= 44 ? 1 : 0);
+    std::vector<uint64_t> got;
+    WriteAheadLog wal(WalOptions{.segment_bytes = 64});
+    ASSERT_TRUE(wal.Open(base, [&](std::span<const uint8_t> r) {
+                      got.push_back(RecordIndex(r));
+                    })
+                    .ok());
+    ASSERT_EQ(got.size(), expect);
+    for (uint64_t k = 0; k < expect; ++k) {
+      EXPECT_EQ(got[k], k) << "replay is not a dense prefix";
+    }
+    // A cut exactly on a frame boundary (or just past a whole header) is a clean log.
+    EXPECT_EQ(wal.tail_was_torn(), cut != 28 && cut != 44);
+    EXPECT_EQ(wal.next_record_ordinal(), expect);
+    // Recovery rewrote/truncated the tail: the log must accept and round-trip an append.
+    ASSERT_TRUE(wal.Append(IndexRecord(expect)).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    wal.Close();
+    got.clear();
+    WriteAheadLog again(WalOptions{.segment_bytes = 64});
+    ASSERT_TRUE(again.Open(base, [&](std::span<const uint8_t> r) {
+                      got.push_back(RecordIndex(r));
+                    })
+                    .ok());
+    ASSERT_EQ(got.size(), expect + 1);
+    for (uint64_t k = 0; k <= expect; ++k) {
+      EXPECT_EQ(got[k], k);
+    }
+  }
+  RemoveWalFamily(base);
+}
+
+TEST(WalSegmentationTest, RotationProducesSelfDescribingSegments) {
+  const std::string base = TempWalPath("seg_rotate");
+  RemoveWalFamily(base);
+  WriteAheadLog wal(WalOptions{.segment_bytes = 64});
+  ASSERT_TRUE(wal.Open(base, nullptr).ok());
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wal.Append(IndexRecord(i)).ok());
+    ASSERT_TRUE(wal.Sync().ok());  // rotation is checked after each successful sync
+  }
+  const std::vector<WalSegmentInfo> segs = wal.Segments();
+  ASSERT_EQ(segs.size(), 4u);  // 3 records per 64-byte segment, 1 in the active tail
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(segs[i].seq, i + 1);
+    EXPECT_EQ(segs[i].start_record, 3 * i);
+    EXPECT_EQ(segs[i].sealed, i + 1 < segs.size());
+  }
+  EXPECT_EQ(wal.next_record_ordinal(), 10u);
+  wal.Close();
+
+  // Stitched replay across all segments is a dense prefix...
+  std::vector<uint64_t> got;
+  {
+    WriteAheadLog replay(WalOptions{.segment_bytes = 64});
+    ASSERT_TRUE(replay.Open(base, [&](std::span<const uint8_t> r) {
+                      got.push_back(RecordIndex(r));
+                    })
+                    .ok());
+    ASSERT_EQ(got.size(), 10u);
+    for (uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(got[i], i);
+    }
+  }
+  // ...and a checkpoint-style frontier skips covered records without delivering them.
+  got.clear();
+  WriteAheadLog suffix(WalOptions{.segment_bytes = 64});
+  ASSERT_TRUE(suffix.Open(base, [&](std::span<const uint8_t> r) {
+                    got.push_back(RecordIndex(r));
+                  },
+                  /*replay_from_record=*/7)
+                  .ok());
+  EXPECT_EQ(suffix.records_replayed(), 3u);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 7u);
+  EXPECT_EQ(got[2], 9u);
+  suffix.Close();
+  RemoveWalFamily(base);
+}
+
+TEST(WalSegmentationTest, DropSegmentsBelowKeepsActiveAndUncovered) {
+  const std::string base = TempWalPath("seg_drop");
+  RemoveWalFamily(base);
+  WriteAheadLog wal(WalOptions{.segment_bytes = 64});
+  ASSERT_TRUE(wal.Open(base, nullptr).ok());
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wal.Append(IndexRecord(i)).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  ASSERT_EQ(wal.Segments().size(), 4u);  // [0,3) [3,6) [6,9) [9,..)
+
+  // Frontier 7: only segments ENTIRELY below 7 go — [0,3) and [3,6). [6,9) straddles and
+  // must survive, else records 7-8 would be unreplayable.
+  Result<uint64_t> dropped = wal.DropSegmentsBelow(7);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 2u);
+  std::vector<WalSegmentInfo> segs = wal.Segments();
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs.front().start_record, 6u);
+
+  // The active segment is never deleted, no matter the frontier.
+  ASSERT_TRUE(wal.DropSegmentsBelow(1'000'000).ok());
+  segs = wal.Segments();
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs.front().start_record, 9u);
+  EXPECT_FALSE(segs.front().sealed);
+  wal.Close();
+
+  // Replay from a frontier the remaining segments cover works; replay from record 0 must
+  // refuse — those records are gone, and a silent partial replay would be data loss.
+  std::vector<uint64_t> got;
+  {
+    WriteAheadLog suffix(WalOptions{.segment_bytes = 64});
+    ASSERT_TRUE(suffix.Open(base, [&](std::span<const uint8_t> r) {
+                      got.push_back(RecordIndex(r));
+                    },
+                    /*replay_from_record=*/9)
+                    .ok());
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 9u);
+  }
+  WriteAheadLog full(WalOptions{.segment_bytes = 64});
+  const Status refused = full.Open(base, nullptr, /*replay_from_record=*/0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.ToString().find("deleted"), std::string::npos) << refused.ToString();
+  RemoveWalFamily(base);
+}
+
+TEST(WalSegmentationTest, RotationFailureSurfacesAsSyncFailure) {
+  FaultInjectionEnv env;
+  const std::string base = TempWalPath("seg_rotfail");
+  RemoveWalFamily(base);
+  WriteAheadLog wal(WalOptions{.segment_bytes = 64, .env = &env});
+  ASSERT_TRUE(wal.Open(base, nullptr).ok());
+  ASSERT_TRUE(wal.Append(IndexRecord(0)).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Append(IndexRecord(1)).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  // The third sync crosses segment_bytes and must rotate; fail the new segment's create.
+  env.FailOnce(EnvOp::kOpen, ".000002", 1, "injected: segment create");
+  ASSERT_TRUE(wal.Append(IndexRecord(2)).ok());
+  const Status sync = wal.Sync();
+  ASSERT_FALSE(sync.ok()) << "rotation failure must surface through Sync";
+  wal.Close();
+
+  // The records themselves WERE synced before the rotation attempt: nothing is lost, and the
+  // log reopens writable.
+  std::vector<uint64_t> got;
+  WriteAheadLog recovered(WalOptions{.segment_bytes = 64});
+  ASSERT_TRUE(recovered.Open(base, [&](std::span<const uint8_t> r) {
+                    got.push_back(RecordIndex(r));
+                  })
+                  .ok());
+  ASSERT_EQ(got.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[i], i);
+  }
+  ASSERT_TRUE(recovered.Append(IndexRecord(3)).ok());
+  ASSERT_TRUE(recovered.Sync().ok());
+  recovered.Close();
+  RemoveWalFamily(base);
+}
+
+// ScanSegmentFile is the recovery oracle's primitive: it must read a truncated-away segment
+// that a trash-keeping Env preserved as "<path>.dropped", yielding its header and records —
+// that's how the crash nemesis replays the FULL history against a truncated live log.
+TEST(WalSegmentationTest, ScanSegmentFileReadsPreservedDroppedSegment) {
+  FaultInjectionEnv env;
+  env.set_keep_removed_files(true);
+  const std::string base = TempWalPath("seg_trash");
+  RemoveWalFamily(base);
+  WriteAheadLog wal(WalOptions{.segment_bytes = 64, .env = &env});
+  ASSERT_TRUE(wal.Open(base, nullptr).ok());
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wal.Append(IndexRecord(i)).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  Result<uint64_t> dropped = wal.DropSegmentsBelow(6);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 2u);
+  wal.Close();
+
+  std::vector<uint64_t> got;
+  Result<WalSegmentScan> scan = WriteAheadLog::ScanSegmentFile(
+      Env::Default(), base + ".000002.dropped",
+      [&](std::span<const uint8_t> r) { got.push_back(RecordIndex(r)); });
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->headered);
+  EXPECT_EQ(scan->seq, 2u);
+  EXPECT_EQ(scan->start_record, 3u);
+  EXPECT_EQ(scan->records, 3u);
+  EXPECT_FALSE(scan->torn);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 3u);
+  EXPECT_EQ(got[2], 5u);
+  // The live path is really gone (renamed, not readable under its original name).
+  EXPECT_FALSE(Env::Default()->ReadFile(base + ".000002").ok());
+  RemoveWalFamily(base);
+}
+
 }  // namespace
 }  // namespace kronos

@@ -85,6 +85,36 @@ TEST(SnapshotTest, RejectsCorruptBytes) {
   }
 }
 
+// The checkpoint payload is this codec, so a torn checkpoint file is exactly a truncated
+// snapshot: EVERY prefix of a full-featured snapshot (events, stamped + preferred orders,
+// refs, a collected event, session entries) must be rejected cleanly — no partial import.
+// "Cleanly" is proven per prefix: the rejected target must still accept the full blob (a
+// partial import would trip the non-empty-target guard) and reproduce it byte for byte.
+TEST(SnapshotTest, TruncationFuzzEveryPrefixRejectsWithoutPartialImport) {
+  KronosStateMachine a;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(a.Apply(Command::MakeCreateEvent()).event);
+  }
+  a.Apply(Command::MakeAssignOrder({{ids[0], ids[1], Constraint::kMust}}));
+  a.Apply(Command::MakeAssignOrder({{ids[1], ids[2], Constraint::kPrefer}}));
+  a.Apply(Command::MakeAcquireRef(ids[3]));
+  a.Apply(Command::MakeReleaseRef(ids[4]));  // drops to zero refs: exercises collection state
+  a.sessions().Commit(11, 3, 1, {0x01, 0x02});
+  a.sessions().Commit(12, 9, 2, {0x03});
+
+  const std::vector<uint8_t> blob = SerializeSnapshot(a);
+  ASSERT_GT(blob.size(), 30u);  // varint-packed, but every section must be present
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    KronosStateMachine b;
+    const std::vector<uint8_t> prefix(blob.begin(), blob.begin() + cut);
+    ASSERT_FALSE(RestoreSnapshot(prefix, b).ok()) << "prefix of " << cut << " bytes restored";
+    ASSERT_TRUE(RestoreSnapshot(blob, b).ok())
+        << "prefix of " << cut << " bytes partially imported";
+    EXPECT_EQ(SerializeSnapshot(b), blob) << cut;
+  }
+}
+
 TEST(SnapshotTest, RejectsDanglingEdge) {
   EventGraph g;
   std::vector<EventGraph::SnapshotVertex> vertices;

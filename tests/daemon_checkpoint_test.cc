@@ -1,0 +1,399 @@
+// Crash-safe checkpoints (DESIGN.md §5.11): bounded recovery via on-disk snapshots + WAL
+// truncation, proven under injected faults.
+//
+// Three layers of proof:
+//   * functional — checkpoints bound replay (only the WAL suffix past the frontier is
+//     re-applied), carry the session dedup table, truncate covered segments, and fall back
+//     past a corrupt newest checkpoint with zero acked-write loss;
+//   * single-fault matrix — any one injected filesystem failure (open/write/fsync/rename/
+//     dir-fsync on the checkpoint path, remove on truncation) makes that checkpoint fail
+//     WITHOUT side effects: the daemon keeps serving reads and durable writes, no WAL segment
+//     is deleted, and the very next checkpoint succeeds;
+//   * crash matrix — fork+SIGKILL schedules (RunDaemonCheckpointNemesis) at seeded IO
+//     operations, with recovery byte-compared against an oracle replaying the full log.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/client/tcp_client.h"
+#include "src/common/env.h"
+#include "src/server/daemon.h"
+#include "src/server/nemesis.h"
+
+namespace kronos {
+namespace {
+
+std::string TempWal(const char* tag) {
+  const std::string path =
+      ::testing::TempDir() + "/kronos_ckpt_" + tag + "_" + std::to_string(::getpid());
+  std::remove(path.c_str());
+  return path;
+}
+
+// Removes every file the daemon may have created next to the WAL base path.
+void CleanupWalFamily(const std::string& wal) {
+  const size_t slash = wal.find_last_of('/');
+  const std::string dir = wal.substr(0, slash);
+  const std::string base = wal.substr(slash + 1);
+  Result<std::vector<std::string>> names = Env::Default()->ListDir(dir);
+  if (!names.ok()) {
+    return;
+  }
+  for (const std::string& name : *names) {
+    if (name == base || name.rfind(base + ".", 0) == 0) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+}
+
+Result<std::unique_ptr<TcpKronos>> ConnectWithSession(uint16_t port, uint64_t client_id) {
+  TcpKronosOptions opts;
+  opts.endpoints = {port};
+  opts.client_id = client_id;
+  return TcpKronos::Connect(std::move(opts));
+}
+
+uint64_t CounterValue(const MetricsSnapshot& snap, std::string_view name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+int64_t GaugeValue(const MetricsSnapshot& snap, std::string_view name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return -1;
+}
+
+KronosDaemon::Options SegmentedOptions(uint64_t segment_bytes = 256, Env* env = nullptr) {
+  KronosDaemon::Options opts;
+  opts.wal_commit.segment_bytes = segment_bytes;
+  opts.wal_commit.env = env;
+  return opts;
+}
+
+TEST(DaemonCheckpointTest, CheckpointBoundsRecoveryAndCarriesSessions) {
+  const std::string wal = TempWal("bounds");
+  constexpr uint64_t kRetryClientId = 77;  // makes one create, then "loses the reply"
+  constexpr uint64_t kBulkClientId = 78;
+  EventId pre_ckpt_event;
+  uint64_t frontier = 0;
+  {
+    KronosDaemon daemon(SegmentedOptions());
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    auto retry_client = ConnectWithSession(daemon.port(), kRetryClientId);
+    ASSERT_TRUE(retry_client.ok());
+    Result<EventId> e = (*retry_client)->CreateEvent();  // session (77, seq 1)
+    ASSERT_TRUE(e.ok());
+    pre_ckpt_event = *e;
+    auto client = ConnectWithSession(daemon.port(), kBulkClientId);
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*client)->CreateEvent().ok());
+    }
+    Result<KronosDaemon::CheckpointOutcome> ckpt = daemon.CheckpointNow();
+    ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+    EXPECT_EQ(ckpt->seq, 1u);
+    EXPECT_EQ(ckpt->wal_frontier, 5u);  // one WAL record per create
+    frontier = ckpt->wal_frontier;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*client)->CreateEvent().ok());  // the post-checkpoint suffix
+    }
+    EXPECT_EQ(daemon.checkpoints_installed(), 1u);
+    daemon.Stop();
+  }
+  KronosDaemon daemon(SegmentedOptions());
+  ASSERT_TRUE(daemon.Start(0, wal).ok());
+  EXPECT_EQ(daemon.recovered_checkpoint_seq(), 1u);
+  // Bounded recovery: only the records past the checkpoint frontier were re-applied.
+  EXPECT_EQ(daemon.commands_recovered(), 3u);
+  EXPECT_EQ(daemon.live_events(), 8u);
+  ASSERT_GT(frontier, 0u);
+
+  // The dedup table traveled inside the checkpoint, not the replayed suffix: a client whose
+  // last mutation (seq 1, covered by the checkpoint) went unacknowledged retries it across
+  // the restart and must get the original reply, not a new event.
+  auto retry = ConnectWithSession(daemon.port(), kRetryClientId);
+  ASSERT_TRUE(retry.ok());
+  Result<EventId> replayed = (*retry)->CreateEvent();
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, pre_ckpt_event) << "checkpointed session entry lost";
+  EXPECT_EQ(daemon.live_events(), 8u);
+  daemon.Stop();
+  CleanupWalFamily(wal);
+}
+
+TEST(DaemonCheckpointTest, CheckpointsTruncateCoveredSegments) {
+  const std::string wal = TempWal("truncate");
+  KronosDaemon daemon(SegmentedOptions(/*segment_bytes=*/128));
+  ASSERT_TRUE(daemon.Start(0, wal).ok());
+  auto client = ConnectWithSession(daemon.port(), 5);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*client)->CreateEvent().ok());
+  }
+  ASSERT_GE(daemon.WalSegments().size(), 3u) << "workload never rotated a segment";
+
+  // One checkpoint cannot truncate past the OLDEST retained one — and with keep=2 the first
+  // install is the oldest retained, so truncation starts working from the first install.
+  Result<KronosDaemon::CheckpointOutcome> first = daemon.CheckpointNow();
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*client)->CreateEvent().ok());
+  }
+  Result<KronosDaemon::CheckpointOutcome> second = daemon.CheckpointNow();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->seq, 2u);
+
+  // Segments fully below the first checkpoint's frontier are gone; the remaining set still
+  // starts at or before that frontier so the retained fallback checkpoint can replay.
+  const std::vector<WalSegmentInfo> segs = daemon.WalSegments();
+  ASSERT_FALSE(segs.empty());
+  EXPECT_GT(segs.front().start_record, 0u) << "no segment was truncated";
+  EXPECT_LE(segs.front().start_record, first->wal_frontier);
+
+  const MetricsSnapshot snap = daemon.TelemetrySnapshot();
+  EXPECT_EQ(CounterValue(snap, "kronos_checkpoints_total"), 2u);
+  EXPECT_GT(CounterValue(snap, "kronos_wal_segments_dropped_total"), 0u);
+  EXPECT_EQ(GaugeValue(snap, "kronos_wal_segments"), static_cast<int64_t>(segs.size()));
+  EXPECT_GT(GaugeValue(snap, "kronos_checkpoint_last_frontier"), 0);
+  daemon.Stop();
+
+  // The truncated log + newest checkpoint still recover everything.
+  KronosDaemon recovered(SegmentedOptions());
+  ASSERT_TRUE(recovered.Start(0, wal).ok());
+  EXPECT_EQ(recovered.recovered_checkpoint_seq(), 2u);
+  EXPECT_EQ(recovered.live_events(), 64u);
+  recovered.Stop();
+  CleanupWalFamily(wal);
+}
+
+TEST(DaemonCheckpointTest, CorruptNewestCheckpointFallsBackWithZeroLoss) {
+  const std::string wal = TempWal("fallback");
+  uint64_t ckpt1_frontier = 0;
+  {
+    KronosDaemon daemon(SegmentedOptions());
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    auto client = ConnectWithSession(daemon.port(), 6);
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*client)->CreateEvent().ok());
+    }
+    Result<KronosDaemon::CheckpointOutcome> c1 = daemon.CheckpointNow();
+    ASSERT_TRUE(c1.ok());
+    ckpt1_frontier = c1->wal_frontier;
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE((*client)->CreateEvent().ok());
+    }
+    ASSERT_TRUE(daemon.CheckpointNow().ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*client)->CreateEvent().ok());
+    }
+    daemon.Stop();
+  }
+  // Rot the newest checkpoint's payload. Startup must detect it (container CRC), fall back to
+  // checkpoint 1, and replay the longer WAL suffix — every acked write still present.
+  const std::string newest = wal + ".ckpt.000002";
+  {
+    std::FILE* f = std::fopen(newest.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+    std::fputc(0xEE, f);
+    std::fclose(f);
+  }
+  KronosDaemon daemon(SegmentedOptions());
+  ASSERT_TRUE(daemon.Start(0, wal).ok());
+  EXPECT_EQ(daemon.recovered_checkpoint_seq(), 1u);
+  EXPECT_EQ(daemon.checkpoint_fallbacks(), 1u);
+  EXPECT_EQ(daemon.live_events(), 20u) << "acked writes lost in fallback";
+  // The fallback's replay suffix was intact because truncation only ever went up to the
+  // OLDEST retained checkpoint's frontier.
+  EXPECT_EQ(daemon.commands_recovered(), 20u - ckpt1_frontier);
+  daemon.Stop();
+  CleanupWalFamily(wal);
+}
+
+TEST(DaemonCheckpointTest, SingleInjectedFaultNeverPoisonsServiceOrDeletesSegments) {
+  struct FaultCase {
+    EnvOp op;
+    const char* substr;
+    const char* label;
+  };
+  const FaultCase kMatrix[] = {
+      {EnvOp::kOpen, ".ckpt.tmp", "open tmp"},      {EnvOp::kWrite, ".ckpt.tmp", "write tmp"},
+      {EnvOp::kSync, ".ckpt.tmp", "fsync tmp"},     {EnvOp::kRename, ".ckpt.tmp", "rename install"},
+      {EnvOp::kSyncDir, "", "fsync dir"},
+  };
+  for (const FaultCase& fc : kMatrix) {
+    SCOPED_TRACE(fc.label);
+    FaultInjectionEnv env;
+    const std::string wal = TempWal("fault");
+    KronosDaemon daemon(SegmentedOptions(256, &env));
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    auto client = ConnectWithSession(daemon.port(), 9);
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE((*client)->CreateEvent().ok());
+    }
+    const size_t segments_before = daemon.WalSegments().size();
+
+    env.FailOnce(fc.op, fc.substr, 1, std::string("injected: ") + fc.label);
+    Result<KronosDaemon::CheckpointOutcome> failed = daemon.CheckpointNow();
+    EXPECT_FALSE(failed.ok()) << fc.label << " fault was swallowed";
+
+    // The failure had no side effects: every WAL segment is still there (a failed checkpoint
+    // must never truncate), reads work, and a NEW durable write commits.
+    EXPECT_EQ(daemon.WalSegments().size(), segments_before)
+        << fc.label << ": failed checkpoint deleted a WAL segment";
+    EXPECT_EQ(daemon.live_events(), 12u);
+    ASSERT_TRUE((*client)->CreateEvent().ok()) << fc.label << " poisoned the write path";
+
+    // The fault was one-shot (a transiently full disk, say): the next checkpoint succeeds.
+    Result<KronosDaemon::CheckpointOutcome> retried = daemon.CheckpointNow();
+    EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+    EXPECT_EQ(daemon.checkpoints_installed(), 1u);
+
+    const MetricsSnapshot snap = daemon.TelemetrySnapshot();
+    EXPECT_EQ(CounterValue(snap, "kronos_checkpoint_failures_total"), 1u);
+    daemon.Stop();
+
+    // And the (checkpoint + untouched WAL) state recovers cleanly.
+    KronosDaemon recovered(SegmentedOptions());
+    ASSERT_TRUE(recovered.Start(0, wal).ok());
+    EXPECT_EQ(recovered.live_events(), 13u);
+    recovered.Stop();
+    CleanupWalFamily(wal);
+  }
+}
+
+TEST(DaemonCheckpointTest, TruncationFaultIsRetryableNextCheckpoint) {
+  FaultInjectionEnv env;
+  const std::string wal = TempWal("trunc_fault");
+  KronosDaemon daemon(SegmentedOptions(256, &env));
+  ASSERT_TRUE(daemon.Start(0, wal).ok());
+  auto client = ConnectWithSession(daemon.port(), 11);
+  ASSERT_TRUE(client.ok());
+  // Truncation lags one checkpoint behind (only segments the OLDEST retained checkpoint
+  // covers are deleted, keep=2), so build up three checkpoints with rotations between: by the
+  // third, there are sealed segments whose deletion is due.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*client)->CreateEvent().ok());
+  }
+  ASSERT_TRUE(daemon.CheckpointNow().ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*client)->CreateEvent().ok());
+  }
+  ASSERT_TRUE(daemon.CheckpointNow().ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*client)->CreateEvent().ok());
+  }
+  const size_t segments_before = daemon.WalSegments().size();
+
+  // Fail the first unlink of a covered SEGMENT ("<wal>.NNNNNN"; the substring excludes
+  // "<wal>.ckpt.NNNNNN" retention files). Truncation is best-effort: the checkpoint itself
+  // still installs, the covered segments survive (a disk-usage problem, never a correctness
+  // one), and the next checkpoint's truncation pass retries the deletion.
+  env.FailOnce(EnvOp::kRemove, wal + ".000", 1, "injected: unlink covered segment");
+  Result<KronosDaemon::CheckpointOutcome> ckpt = daemon.CheckpointNow();
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(daemon.WalSegments().size(), segments_before);
+
+  ASSERT_TRUE((*client)->CreateEvent().ok());
+  ASSERT_TRUE(daemon.CheckpointNow().ok());
+  EXPECT_LT(daemon.WalSegments().size(), segments_before) << "truncation never recovered";
+  daemon.Stop();
+  CleanupWalFamily(wal);
+}
+
+TEST(DaemonCheckpointTest, CheckpointRefusedWhenWalFailStopped) {
+  const std::string wal = TempWal("failstop");
+  KronosDaemon daemon(SegmentedOptions());
+  ASSERT_TRUE(daemon.Start(0, wal).ok());
+  auto client = ConnectWithSession(daemon.port(), 13);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->CreateEvent().ok());
+
+  daemon.FailNextWalSyncForTest();
+  ASSERT_FALSE((*client)->CreateEvent().ok());  // trips the sticky fail-stop
+
+  // A checkpoint of fail-stopped state could persist applies whose session entries were
+  // retracted — a retry after restart would double-apply. It must refuse.
+  Result<KronosDaemon::CheckpointOutcome> ckpt = daemon.CheckpointNow();
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kUnavailable);
+  // Reads are still served. The fail-stopped engine may hold the unacked apply in volatile
+  // state (state may run ahead of durability; only acknowledgements bind), hence >=.
+  EXPECT_GE(daemon.live_events(), 1u);
+  daemon.Stop();
+  CleanupWalFamily(wal);
+}
+
+TEST(DaemonCheckpointTest, CheckpointOverTheWire) {
+  // kCheckpoint end to end: TcpKronos::Checkpoint() (what `kronos_cli checkpoint` calls)
+  // triggers a durable checkpoint and reports its seq + frontier.
+  const std::string wal = TempWal("wire");
+  {
+    KronosDaemon daemon(SegmentedOptions());
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    auto client = ConnectWithSession(daemon.port(), 21);
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE((*client)->CreateEvent().ok());
+    }
+    Result<CheckpointReply> reply = (*client)->Checkpoint();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_TRUE(reply->ok) << reply->error;
+    EXPECT_EQ(reply->checkpoint_seq, 1u);
+    EXPECT_EQ(reply->wal_frontier, 6u);
+    daemon.Stop();
+  }
+  KronosDaemon recovered(SegmentedOptions());
+  ASSERT_TRUE(recovered.Start(0, wal).ok());
+  EXPECT_EQ(recovered.recovered_checkpoint_seq(), 1u);
+  recovered.Stop();
+  CleanupWalFamily(wal);
+
+  // A daemon with no WAL refuses over the wire too — as a structured reply, not an error.
+  KronosDaemon ephemeral;
+  ASSERT_TRUE(ephemeral.Start(0).ok());
+  auto client = ConnectWithSession(ephemeral.port(), 22);
+  ASSERT_TRUE(client.ok());
+  Result<CheckpointReply> refused = (*client)->Checkpoint();
+  ASSERT_TRUE(refused.ok());
+  EXPECT_FALSE(refused->ok);
+  EXPECT_FALSE(refused->error.empty());
+  ephemeral.Stop();
+}
+
+// The fork+SIGKILL crash matrix: seeded kill points land mid-write, mid-checkpoint-install,
+// mid-rotation, and mid-truncation; every cycle's recovery is byte-compared against an oracle
+// daemon replaying the complete log (live segments + the trash-env's preserved deletions).
+// See RunDaemonCheckpointNemesis for the invariants.
+TEST(DaemonCheckpointTest, CrashMatrixRecoversByteIdenticalToOracle) {
+  for (const uint64_t seed : {1ull, 7ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DaemonCheckpointNemesisOptions opts;
+    opts.seed = seed;
+    opts.wal_path = TempWal(("nemesis" + std::to_string(seed)).c_str());
+    opts.cycles = 3;
+    opts.ops_per_cycle = 40;
+    DaemonCheckpointNemesisReport report = RunDaemonCheckpointNemesis(opts);
+    EXPECT_TRUE(report.ok()) << report.Summary();
+    EXPECT_EQ(report.recoveries, 3u);
+    EXPECT_EQ(report.oracle_compares, 3u);
+    EXPECT_GT(report.creates_acked, 0u);
+    CleanupWalFamily(opts.wal_path);
+  }
+}
+
+}  // namespace
+}  // namespace kronos

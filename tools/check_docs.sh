@@ -46,13 +46,20 @@ while IFS= read -r name; do
 done < <(grep -hoE 'kronos_[a-z0-9_]+' "${DOCS[@]}" | sort -u)
 
 echo "--- check_docs: required observability metrics ---"
-# Tracing/slow-op instruments must stay documented and registered: each name below has to
-# show up in the doc set (catalog row) and under src/ or tools/ (registration site).
+# Tracing/slow-op and checkpoint/WAL-durability instruments must stay documented and
+# registered: each name below has to show up in the doc set (catalog row) and under src/ or
+# tools/ (registration site).
 REQUIRED_METRICS=(
   kronos_trace_spans_recorded
   kronos_trace_spans_dropped
   kronos_slow_ops_total
   kronos_daemon_trace_dumps_total
+  kronos_checkpoints_total
+  kronos_checkpoint_failures_total
+  kronos_checkpoint_fallbacks_total
+  kronos_wal_segments
+  kronos_wal_segments_dropped_total
+  kronos_wal_torn_tails_total
 )
 for name in "${REQUIRED_METRICS[@]}"; do
   if ! grep -hqF -- "$name" "${DOCS[@]}"; then

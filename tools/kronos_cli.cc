@@ -7,6 +7,7 @@
 //   kronos_cli <ports> assign <e1> (must|prefer) <e2> [...]
 //   kronos_cli <ports> stats [--watch] [--prom|--json]
 //   kronos_cli <ports> trace [--out <path>]
+//   kronos_cli <ports> checkpoint
 //
 // <ports> is one port or a comma-separated failover list ("4000,4001,4002"): the client dials
 // the first reachable daemon and rotates to the next on any timeout or transport error, with
@@ -16,6 +17,11 @@
 // followed by this client's own transport counters (kronos_client_*: retries, timeouts,
 // reconnects, failovers); --watch refreshes every second until interrupted, --prom / --json
 // emit the raw Prometheus exposition / JSON dump for scraping.
+//
+// `checkpoint` asks the daemon to install a durable checkpoint right now (kCheckpoint wire
+// command) and prints the installed sequence number and the WAL frontier it covers. Exit 1 if
+// the daemon refused (not persistent, fail-stopped WAL, or a filesystem error — the refusal
+// reason is printed); the daemon's on-disk state is unchanged on refusal.
 //
 // `trace` drains the server's span recorder (kTraceDump) and emits Chrome trace-event JSON —
 // load it at chrome://tracing or ui.perfetto.dev. Destructive read: each span is returned at
@@ -46,8 +52,9 @@ int Usage(const char* argv0) {
                "       %s <ports> assign <e1> (must|prefer) <e2> [...]\n"
                "       %s <ports> stats [--watch] [--prom|--json]\n"
                "       %s <ports> trace [--out <path>]\n"
+               "       %s <ports> checkpoint\n"
                "<ports> is a port or a comma-separated failover list, e.g. 4000,4001\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 64;
 }
 
@@ -216,6 +223,21 @@ int main(int argc, char** argv) {
   }
   if (verb == "trace") {
     return Trace(**client, argc, argv);
+  }
+  if (verb == "checkpoint") {
+    Result<CheckpointReply> reply = (*client)->Checkpoint();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    if (!reply->ok) {
+      std::fprintf(stderr, "checkpoint refused: %s\n", reply->error.c_str());
+      return 1;
+    }
+    std::printf("checkpoint %llu installed (covers %llu WAL records)\n",
+                (unsigned long long)reply->checkpoint_seq,
+                (unsigned long long)reply->wal_frontier);
+    return 0;
   }
   if (verb == "create") {
     Result<EventId> e = (*client)->CreateEvent();

@@ -20,6 +20,14 @@
 //   --no-trace               disable the per-request span recorder (docs/OPERATIONS.md);
 //                            slow-op logging still works, but `kronos_cli trace` and SIGUSR2
 //                            dumps come back empty
+//   --checkpoint-every-s <n> take a durable checkpoint every n seconds (0 = disabled, the
+//                            default; requires --wal). Recovery replays only the WAL suffix
+//                            past the newest good checkpoint (DESIGN.md §5.11)
+//   --wal-segment-bytes <n>  rotate the WAL into a new segment once the active one reaches n
+//                            bytes (0 = single-file legacy layout); checkpoints delete fully
+//                            covered segments, bounding disk usage
+//   --checkpoint-keep <n>    retain the newest n checkpoints (default 2) so startup can fall
+//                            back past a corrupt newest checkpoint
 //
 // Serves the Kronos API on 127.0.0.1:<port> (default 7330). Clients connect with TcpKronos
 // (see src/client/tcp_client.h) or any implementation of the framed envelope protocol in
@@ -62,7 +70,8 @@ int Usage(const char* argv0) {
                "usage: %s [port] [stats_interval_s] [--wal <path>] [--commit-window-us <n>]\n"
                "       [--pipeline-max <n>] [--no-ts-filter] [--stats-interval-s <n>]\n"
                "       [--port <n>] [--log-level <debug|info|warning|error>]\n"
-               "       [--slow-op-us <n>] [--no-trace]\n",
+               "       [--slow-op-us <n>] [--no-trace] [--checkpoint-every-s <n>]\n"
+               "       [--wal-segment-bytes <n>] [--checkpoint-keep <n>]\n",
                argv0);
   return 64;
 }
@@ -128,6 +137,26 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       options.slow_op_us = static_cast<uint64_t>(n);
+    } else if (std::strcmp(arg, "--checkpoint-every-s") == 0 && has_value) {
+      const long long n = std::atoll(argv[++i]);
+      // A day between checkpoints is already "effectively never"; anything past that is a typo.
+      if (n < 0 || n > 86'400) {
+        return Usage(argv[0]);
+      }
+      options.checkpoint_every_s = static_cast<uint64_t>(n);
+    } else if (std::strcmp(arg, "--wal-segment-bytes") == 0 && has_value) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) {
+        return Usage(argv[0]);
+      }
+      options.wal_commit.segment_bytes = static_cast<uint64_t>(n);
+    } else if (std::strcmp(arg, "--checkpoint-keep") == 0 && has_value) {
+      const long long n = std::atoll(argv[++i]);
+      // Keeping 0 would delete the checkpoint startup depends on; past 1000 is surely a typo.
+      if (n < 1 || n > 1'000) {
+        return Usage(argv[0]);
+      }
+      options.checkpoint_keep = static_cast<uint64_t>(n);
     } else if (std::strcmp(arg, "--log-level") == 0 && has_value) {
       const char* level = argv[++i];
       if (std::strcmp(level, "debug") == 0) {

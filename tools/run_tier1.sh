@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + ctest, then the concurrency stress tests under
-# ThreadSanitizer so the shared-mode read path is race-checked on every PR.
+# ThreadSanitizer (shared-mode read path race-checked on every PR) and the durability
+# tests under AddressSanitizer (WAL/snapshot/checkpoint recovery paths shuffle raw byte
+# buffers and fds — exactly where lifetime bugs hide).
 #
-# Usage: tools/run_tier1.sh [--skip-tsan]
+# Usage: tools/run_tier1.sh [--skip-tsan]   (skips both sanitizer legs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+[[ "${1:-}" == "--skip-tsan" || "${1:-}" == "--skip-sanitizers" ]] && SKIP_TSAN=1
 
 echo "=== tier-1: repo hygiene ==="
 # Build artifacts must never be committed: .gitignore covers build*/ and *.o, so anything
@@ -48,14 +50,15 @@ echo "=== tier-1: nemesis seed with tracing enabled ==="
 ./build/tools/kronos_nemesis --seeds 3 --ops 40 --trace
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
-  echo "=== tier-1: TSan pass skipped ==="
+  echo "=== tier-1: sanitizer passes skipped ==="
   exit 0
 fi
 
 echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKRONOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test telemetry_test \
-  chain_nemesis_test core_fastpath_property_test trace_test common_logging_test
+  chain_nemesis_test core_fastpath_property_test trace_test common_logging_test \
+  daemon_checkpoint_test
 # TSan aborts the process on the first race (halt_on_error) so CI cannot miss one.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_concurrent_query_test
 # Fast-path filter under TSan: concurrent stamp-filtered queries (relaxed ts_* counters,
@@ -73,4 +76,23 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_logging_test
 # the full sweep already ran above un-instrumented.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/chain_nemesis_test \
   --gtest_filter='Tier1Seeds/NemesisSeedTest.InvariantsHoldUnderFaults/0:ChainNemesisTest.*'
+# Checkpoints under TSan: the wire-triggered checkpoint races the snapshot capture against
+# live writers, and the crash matrix forks daemons that die by SIGKILL mid-checkpoint —
+# die_after_fork=0 because those children are short-lived by design (they exec nothing and
+# exit by signal), which is the documented TSan escape hatch for fork-without-exec tests.
+TSAN_OPTIONS="halt_on_error=1 die_after_fork=0" ./build-tsan/tests/daemon_checkpoint_test \
+  --gtest_filter='DaemonCheckpointTest.CheckpointOverTheWire:DaemonCheckpointTest.CrashMatrixRecoversByteIdenticalToOracle'
+
+echo "=== tier-1: durability tests under AddressSanitizer ==="
+# The recovery paths exercised by PR 8 parse raw bytes from disk (torn WAL tails, truncated
+# checkpoints, segment headers) and juggle fds through the Env seam; ASan catches the
+# buffer-lifetime and overflow bugs TSan cannot. KRONOS_SANITIZE=address existed in the
+# build since PR 1 — this leg finally runs it.
+cmake -B build-asan -S . -DKRONOS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j"$(nproc)" --target common_wal_test core_snapshot_test \
+  daemon_restart_test daemon_checkpoint_test
+ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/common_wal_test
+ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/core_snapshot_test
+ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/daemon_restart_test
+ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/daemon_checkpoint_test
 echo "=== tier-1: OK ==="
