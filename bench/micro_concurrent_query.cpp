@@ -1,18 +1,20 @@
 // Concurrent read-path microbenchmark: query_order throughput vs. client-thread count.
 //
 // The paper's workloads are read-dominated (Figs. 6–9), and the monotonicity invariant makes
-// concurrent reads safe by construction. This bench measures what the shared/exclusive command
-// split buys: N client threads drive one KronosDaemon over real TCP, first with a read-only
+// concurrent reads safe by construction. This bench measures what the lock-free read path
+// buys (DESIGN.md §5.12: queries run against epoch-pinned immutable graph snapshots, no lock
+// at all): N client threads drive one KronosDaemon over real TCP, first with a read-only
 // query stream, then with the Fig. 6-style 95/5 read/write mix. Each workload runs twice —
 // once with the daemon's `serialize_reads` ablation (the seed architecture: every command
-// behind one mutex, so throughput is flat in N) and once with shared-mode reads (queries
-// overlap; only the 5% writes serialize).
+// behind one mutex, so throughput is flat in N) and once with snapshot reads (queries
+// overlap each other AND the writers; only the 5% writes serialize among themselves).
 //
 // Per the DESIGN.md §4.5 single-core-host convention, engine capacity is modelled with a
-// simulated per-query service time held *inside* the lock (KRONOS_BENCH_SERVICE_US, default
-// 50 us ≈ the paper's §4.2 query cost): shared-mode readers overlap their service times the
-// way real cores would, the serialized baseline cannot. Set it to 0 on a many-core machine to
-// measure raw CPU-bound scaling instead.
+// simulated per-query service time on the query path (KRONOS_BENCH_SERVICE_US, default
+// 50 us ≈ the paper's §4.2 query cost) — under `serialize_reads` it is held inside the one
+// big lock, so the baseline cannot overlap it; snapshot readers overlap their service times
+// the way real cores would. Set it to 0 on a many-core machine to measure raw CPU-bound
+// scaling instead.
 //
 // Besides aggregate qps, each point reports client-observed p50/p99 command latency (merged
 // across worker threads): the serialized baseline's mutex convoy shows up as a latency tail
@@ -212,7 +214,7 @@ int main() {
   const uint64_t vertices = bench::ScaledU64(2000);
   const uint64_t edges = bench::ScaledU64(8000);
   const uint64_t duration_us = bench::ScaledU64(1'200'000);
-  const std::vector<int> thread_counts{1, 2, 4, 8};
+  const std::vector<int> thread_counts{1, 2, 4, 8, 16, 32};
   std::printf("vertices=%llu edges~%llu service=%lluus duration=%llums/point\n",
               (unsigned long long)vertices, (unsigned long long)edges,
               (unsigned long long)service_us, (unsigned long long)(duration_us / 1000));

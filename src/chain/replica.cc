@@ -16,7 +16,7 @@ ChainReplica::ChainReplica(SimNetwork& net, NodeId coordinator, std::string name
       coordinator_(coordinator),
       options_(options),
       endpoint_(net, std::move(name)),
-      sm_(std::make_unique<KronosStateMachine>()),
+      sm_(new KronosStateMachine()),
       query_us_(metrics_.GetHistogram("kronos_cmd_query_order_us")),
       apply_us_(metrics_.GetHistogram("kronos_replica_apply_us")),
       forward_batch_entries_(metrics_.GetHistogram("kronos_chain_forward_batch_entries")),
@@ -27,7 +27,12 @@ ChainReplica::ChainReplica(SimNetwork& net, NodeId coordinator, std::string name
   }
 }
 
-ChainReplica::~ChainReplica() { Stop(); }
+ChainReplica::~ChainReplica() {
+  Stop();
+  // Machines retired by snapshot installs drain through EpochDomain::Global(); only the
+  // current one is still ours to free.
+  delete sm_.load(std::memory_order_relaxed);
+}
 
 void ChainReplica::Start() {
   endpoint_.Start([this](NodeId from, const Envelope& env) { HandleMessage(from, env); });
@@ -68,7 +73,7 @@ void ChainReplica::HandleMessage(NodeId from, const Envelope& env) {
 }
 
 void ChainReplica::MaybeFlushChain() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   if (forward_buffer_.empty() && !ack_dirty_) {
     return;
   }
@@ -155,11 +160,20 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
           std::chrono::microseconds(options_.simulated_query_service_us));
     }
     // §2.5: any replica may answer queries from its (possibly stale) copy of the graph. The
-    // client re-validates kConcurrent verdicts against the tail. Shared mode: queries only
-    // wait for log application, never for each other.
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    // client re-validates kConcurrent verdicts against the tail. Lock-free (DESIGN.md §5.12):
+    // pin the process-wide epoch domain BEFORE loading sm_ — a concurrent snapshot install
+    // retires the old machine through that domain, so whichever machine the load returns
+    // stays alive for the pin's duration — then execute against an immutable graph snapshot,
+    // fully concurrent with log application. The snapshot (which pins the graph's own domain)
+    // nests inside the global pin, so it is released first.
     EventGraph::QueryTally tally;
-    const CommandResult result = sm_->ApplyReadOnly(*cmd, traced ? &tally : nullptr);
+    CommandResult result;
+    {
+      const EpochDomain::Pin pin = EpochDomain::Global().Enter();
+      const KronosStateMachine* sm = sm_.load(std::memory_order_seq_cst);
+      const EventGraph::ReadSnapshot snapshot = sm->graph().GetSnapshot();
+      result = KronosStateMachine::ExecuteReadOnly(snapshot, *cmd, traced ? &tally : nullptr);
+    }
     queries_served_.fetch_add(1, std::memory_order_relaxed);
     cmd_count_[static_cast<size_t>(CommandType::kQueryOrder)]->Increment();
     query_us_.Record(timer.ElapsedMicros());
@@ -173,7 +187,7 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
     (void)endpoint_.Reply(from, env.id, SerializeCommandResult(result));
     return;
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!IsHeadLocked()) {
     CommandResult wrong;
     wrong.status = WrongRole("updates must go to the chain head");
@@ -187,7 +201,7 @@ void ChainReplica::HandleClientRequest(NodeId from, const Envelope& env) {
     // entry would promise a result that a head failure could still lose. An in-flight
     // duplicate is dropped instead — the tail answers the original request when it commits,
     // or the client's next retry replays once the watermark passes the entry.
-    if (const SessionTable::Entry* session = sm_->sessions().Find(env.client_id)) {
+    if (const SessionTable::Entry* session = SmLocked().sessions().Find(env.client_id)) {
       if (env.client_seq == session->last_seq) {
         if (session->applied_at <= acked_) {
           ++stats_.session_duplicates;
@@ -223,7 +237,7 @@ void ChainReplica::ApplyEntryLocked(LogEntry entry) {
   if (cmd.ok()) {
     const Stopwatch timer;
     const uint64_t begin_ns = trace::Enabled() ? MonotonicNanos() : 0;
-    result = sm_->Apply(*cmd);
+    result = SmLocked().Apply(*cmd);
     cmd_count_[static_cast<size_t>(cmd->type)]->Increment();
     apply_us_.Record(timer.ElapsedMicros());
     if (begin_ns != 0) {
@@ -243,8 +257,8 @@ void ChainReplica::ApplyEntryLocked(LogEntry entry) {
     // Part of the deterministic apply: every replica commits the same dedup-table update at
     // the same log index, so session state replicates exactly like the graph (and rides the
     // same snapshots during resync).
-    sm_->sessions().Commit(entry.session_client, entry.session_seq, entry.seq,
-                           results_.back());
+    SmLocked().sessions().Commit(entry.session_client, entry.session_seq, entry.seq,
+                                 results_.back());
   }
   MaybeTruncateLogLocked();
 
@@ -289,7 +303,7 @@ void ChainReplica::HandlePropagate(const Envelope& env) {
     KLOG(Warning) << "replica " << id() << ": malformed log entry";
     return;
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   IngestEntryLocked(*std::move(entry));
   DrainStagingLocked();
 }
@@ -300,10 +314,10 @@ void ChainReplica::HandlePropagateBatch(const Envelope& env) {
     KLOG(Warning) << "replica " << id() << ": malformed log entry batch";
     return;
   }
-  // One exclusive-lock acquisition covers the whole batch: seq-gating, state-machine applies,
-  // session commits, and the re-forward buffering all happen inside it, so readers see either
-  // none or all of the batch's lock hold (not a lock/unlock per entry).
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // One lock acquisition covers the whole batch: seq-gating, state-machine applies, session
+  // commits, and the re-forward buffering all happen inside it (not a lock/unlock per entry).
+  // Queries never wait on it — they read epoch-pinned snapshots (DESIGN.md §5.12).
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.batches_received;
   rx_batch_entries_.Record(batch->size());
   for (LogEntry& entry : *batch) {
@@ -327,7 +341,7 @@ void ChainReplica::DrainStagingLocked() {
 }
 
 void ChainReplica::HandleAck(uint64_t seq) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   if (seq <= acked_) {
     return;
   }
@@ -353,7 +367,7 @@ void ChainReplica::HandleControl(const Envelope& env) {
   }
   switch (msg->type) {
     case ControlType::kConfig: {
-      std::unique_lock<std::shared_mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(mutex_);
       if (msg->epoch > config_.epoch) {
         AdoptConfigLocked(msg->ToConfig());
       }
@@ -372,7 +386,7 @@ void ChainReplica::HandleControl(const Envelope& env) {
       std::vector<uint8_t> snapshot;
       uint64_t covered = 0;
       {
-        std::unique_lock<std::shared_mutex> lock(mutex_);
+        std::lock_guard<std::mutex> lock(mutex_);
         if (msg->seq > last_applied_) {
           break;  // nothing to send
         }
@@ -380,7 +394,7 @@ void ChainReplica::HandleControl(const Envelope& env) {
                    << msg->seq << " (have " << last_applied_ << ")";
         const uint64_t span = last_applied_ - msg->seq + 1;
         if (msg->seq < log_start_seq_ || span > options_.snapshot_resync_threshold) {
-          snapshot = SerializeSnapshot(*sm_);
+          snapshot = SerializeSnapshot(SmLocked());
           covered = last_applied_;
           ++stats_.snapshots_sent;
         } else {
@@ -411,7 +425,7 @@ void ChainReplica::HandleControl(const Envelope& env) {
       break;
     }
     case ControlType::kSnapshot: {
-      std::unique_lock<std::shared_mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(mutex_);
       InstallSnapshotLocked(msg->seq, msg->blob);
       break;
     }
@@ -431,7 +445,14 @@ void ChainReplica::InstallSnapshotLocked(uint64_t covered_through,
     KLOG(Warning) << "replica " << id() << ": snapshot rejected: " << restored.ToString();
     return;
   }
-  sm_ = std::move(fresh);
+  // Swap the machine out from under lock-free readers: the seq_cst exchange is the unlink the
+  // epoch protocol orders against (epoch.h), and the old machine goes to the global domain's
+  // limbo instead of being deleted here — a reader that pinned before the exchange may still
+  // be traversing it. Its EventGraph (and the graph's own epoch domain, with any versions
+  // still in limbo) is destroyed when the grace period elapses.
+  KronosStateMachine* old = sm_.exchange(fresh.release(), std::memory_order_seq_cst);
+  EpochDomain::Global().RetireObject(old);
+  (void)EpochDomain::Global().TryCollect();
   last_applied_ = covered_through;
   acked_ = covered_through;
   log_.clear();
@@ -524,7 +545,7 @@ void ChainReplica::HeartbeatLoop() {
       // Time-bounded flush backstop: if the last handled message left output buffered (it
       // held back because the rx backlog was nonzero) and no further handler-dispatched
       // message arrived, ship it now rather than stalling the chain a full retry cycle.
-      std::unique_lock<std::shared_mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(mutex_);
       if (!forward_buffer_.empty() || ack_dirty_) {
         FlushChainLocked();
       }
@@ -539,7 +560,7 @@ void ChainReplica::HeartbeatLoop() {
       NodeId pred = kInvalidNode;
       uint64_t next_seq = 0;
       {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
+        std::lock_guard<std::mutex> lock(mutex_);
         if (config_.Contains(id())) {
           pred = PredecessorLocked();
           next_seq = last_applied_ + 1;
@@ -559,7 +580,7 @@ void ChainReplica::HeartbeatLoop() {
       if (reply.ok()) {
         Result<ControlMessage> msg = ParseControl(reply->payload);
         if (msg.ok() && msg->type == ControlType::kConfig) {
-          std::unique_lock<std::shared_mutex> lock(mutex_);
+          std::lock_guard<std::mutex> lock(mutex_);
           if (msg->epoch > config_.epoch) {
             AdoptConfigLocked(msg->ToConfig());
           }
@@ -571,51 +592,53 @@ void ChainReplica::HeartbeatLoop() {
 }
 
 ChainConfig ChainReplica::config() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   return config_;
 }
 
 bool ChainReplica::IsHead() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   return IsHeadLocked();
 }
 
 bool ChainReplica::IsTail() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   return IsTailLocked();
 }
 
 uint64_t ChainReplica::last_applied() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   return last_applied_;
 }
 
 uint64_t ChainReplica::acked() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   return acked_;
 }
 
 ChainReplica::ReplicaStats ChainReplica::stats() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   ReplicaStats s = stats_;
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
   return s;
 }
 
 EventGraph::Stats ChainReplica::graph_stats() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return sm_->graph().stats();
+  // Lock-free, same discipline as the query path: pin the global domain, then load sm_.
+  const EpochDomain::Pin pin = EpochDomain::Global().Enter();
+  return sm_.load(std::memory_order_seq_cst)->graph().stats();
 }
 
 uint64_t ChainReplica::live_events() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return sm_->graph().live_events();
+  const EpochDomain::Pin pin = EpochDomain::Global().Enter();
+  return sm_.load(std::memory_order_seq_cst)->graph().live_events();
 }
 
 MetricsSnapshot ChainReplica::TelemetrySnapshot() const {
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    const EventGraph::Stats gs = sm_->graph().stats();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EventGraph::Stats gs = SmLocked().graph().stats();
+    const EpochDomain::Stats es = SmLocked().graph().epoch_stats();
     metrics_.GetGauge("kronos_engine_live_events").Set(static_cast<int64_t>(gs.live_events));
     metrics_.GetGauge("kronos_engine_live_edges").Set(static_cast<int64_t>(gs.live_edges));
     metrics_.GetGauge("kronos_engine_live_refs").Set(static_cast<int64_t>(gs.live_refs));
@@ -637,8 +660,16 @@ MetricsSnapshot ChainReplica::TelemetrySnapshot() const {
         .Set(static_cast<int64_t>(stats_.entries_forwarded));
     metrics_.GetGauge("kronos_chain_max_forward_batch")
         .Set(static_cast<int64_t>(stats_.max_forward_batch));
+    // Epoch-reclamation health for this replica's graph domain (DESIGN.md §5.12) — the same
+    // gauge names KronosDaemon exports, so tooling reads both uniformly.
+    metrics_.GetGauge("kronos_epoch_retired_versions").Set(static_cast<int64_t>(es.retired));
+    metrics_.GetGauge("kronos_epoch_reclaimed_total")
+        .Set(static_cast<int64_t>(es.reclaimed_total));
+    metrics_.GetGauge("kronos_epoch_pinned_readers")
+        .Set(static_cast<int64_t>(es.pinned_readers));
+    metrics_.GetGauge("kronos_epoch_reclaim_lag").Set(static_cast<int64_t>(es.reclaim_lag));
     metrics_.GetGauge("kronos_sessions_active")
-        .Set(static_cast<int64_t>(sm_->sessions().size()));
+        .Set(static_cast<int64_t>(SmLocked().sessions().size()));
     metrics_.GetGauge("kronos_session_duplicates")
         .Set(static_cast<int64_t>(stats_.session_duplicates));
     metrics_.GetGauge("kronos_session_stale").Set(static_cast<int64_t>(stats_.session_stale));

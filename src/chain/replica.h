@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "src/chain/control.h"
 #include <memory>
 
+#include "src/common/epoch.h"
 #include "src/core/state_machine.h"
 #include "src/net/rpc.h"
 #include "src/telemetry/metrics.h"
@@ -154,12 +154,21 @@ class ChainReplica {
   Options options_;
   RpcEndpoint endpoint_;
 
-  // Shared mode: read-only query_order (the §2.5 stale reads) + introspection, which only
-  // contend with log application, never with each other. Exclusive mode: everything that
-  // moves the replicated state (apply, resync, snapshot install, reconfiguration).
-  mutable std::shared_mutex mutex_;
+  // Serializes everything that moves the replicated state (apply, resync, snapshot install,
+  // reconfiguration) plus chain bookkeeping. Read-only query_order (the §2.5 stale reads)
+  // never touches it: queries pin the process-wide epoch domain, load sm_ and take a graph
+  // snapshot (DESIGN.md §5.12), fully concurrent with log application.
+  mutable std::mutex mutex_;
   ChainConfig config_;
-  std::unique_ptr<KronosStateMachine> sm_;  // unique_ptr so a snapshot install can swap it
+  // The replicated state machine. Atomic because a snapshot install swaps the whole machine
+  // out from under lock-free readers: the installer exchanges the pointer under mutex_ and
+  // retires the old machine through EpochDomain::Global(), so a reader that pinned the global
+  // domain BEFORE loading the pointer can finish its query against the old machine safely.
+  // Owned: the destructor deletes the current machine (retired ones drain via the domain).
+  std::atomic<KronosStateMachine*> sm_;
+
+  // The current machine under mutex_ (a snapshot install cannot race: it holds mutex_ too).
+  KronosStateMachine& SmLocked() const { return *sm_.load(std::memory_order_relaxed); }
   std::vector<LogEntry> log_;  // log_[i] has seq log_start_seq_ + i
   std::vector<std::vector<uint8_t>> results_;  // serialized CommandResult per log entry
   uint64_t log_start_seq_ = 1;

@@ -4,14 +4,13 @@
 // microbenchmarks ("the client and server are co-located on the same machine") and by
 // applications that embed the ordering engine directly.
 //
-// Locking mirrors the server's shared/exclusive split: QueryOrder and introspection take the
-// lock in shared mode (the engine's read path is const + re-entrant), so embedded
-// read-dominated workloads scale across threads; mutators keep exclusive access.
+// Concurrency mirrors the server: QueryOrder is lock-free — it pins an immutable graph
+// snapshot (DESIGN.md §5.12) and never touches the mutex, so embedded read-dominated
+// workloads scale linearly across threads; mutators serialize on a plain mutex.
 #ifndef KRONOS_CLIENT_LOCAL_H_
 #define KRONOS_CLIENT_LOCAL_H_
 
 #include <mutex>
-#include <shared_mutex>
 
 #include "src/client/api.h"
 #include "src/core/event_graph.h"
@@ -23,27 +22,28 @@ class LocalKronos : public KronosApi {
   LocalKronos() = default;
 
   Result<EventId> CreateEvent() override {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
     return graph_.CreateEvent();
   }
 
   Status AcquireRef(EventId e) override {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
     return graph_.AcquireRef(e);
   }
 
   Result<uint64_t> ReleaseRef(EventId e) override {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
     return graph_.ReleaseRef(e);
   }
 
   Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    return graph_.QueryOrder(pairs);
+    // Lock-free: GetSnapshot pins the graph's epoch domain and reads the last published
+    // version; concurrent mutators publish new versions without disturbing this one.
+    return graph_.GetSnapshot().QueryOrder(pairs);
   }
 
   Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
     return graph_.AssignOrder(specs);
   }
 
@@ -51,12 +51,12 @@ class LocalKronos : public KronosApi {
   // other thread mutates the graph.
   EventGraph& graph() { return graph_; }
   uint64_t ApproxMemoryBytes() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
     return graph_.ApproxMemoryBytes();
   }
 
  private:
-  mutable std::shared_mutex mutex_;
+  mutable std::mutex mutex_;
   EventGraph graph_;
 };
 

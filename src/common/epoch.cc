@@ -1,0 +1,272 @@
+#include "src/common/epoch.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace kronos {
+namespace {
+
+// Slot value meaning "this thread holds no pin in this domain".
+constexpr uint64_t kIdle = UINT64_MAX;
+
+std::atomic<uint64_t> g_next_domain_id{1};
+
+// Registry of live domain ids, consulted by thread-exit cleanup so a thread that outlives a
+// domain never dereferences its freed slot records. Both statics are intentionally leaked:
+// thread_local destructors (including the main thread's) can run during process teardown
+// after function-local statics with destructors would already be gone.
+std::mutex& RegistryMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::unordered_set<uint64_t>& LiveDomainIds() {
+  static auto* s = new std::unordered_set<uint64_t>();
+  return *s;
+}
+
+}  // namespace
+
+// One per (thread, domain) pair, cache-line separated so pins never false-share. `depth` is
+// owner-thread-only (re-entrancy counter). Records are recycled through `in_use` when a
+// thread exits and freed only by ~EpochDomain.
+struct alignas(64) EpochDomain::ThreadRec {
+  std::atomic<uint64_t> epoch{kIdle};
+  uint32_t depth = 0;
+  std::atomic<bool> in_use{false};
+  ThreadRec* next = nullptr;  // immutable once published on the domain list
+};
+
+struct EpochDomain::TlsCache {
+  struct Entry {
+    uint64_t id;
+    ThreadRec* rec;
+  };
+  std::vector<Entry> entries;
+
+  ~TlsCache() {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    for (const Entry& e : entries) {
+      if (LiveDomainIds().count(e.id) == 0) {
+        continue;  // domain died first; its destructor already freed the record
+      }
+      KRONOS_CHECK(e.rec->depth == 0) << "thread exited while holding an epoch pin";
+      e.rec->epoch.store(kIdle, std::memory_order_seq_cst);
+      e.rec->in_use.store(false, std::memory_order_release);
+    }
+  }
+};
+
+EpochDomain::TlsCache& EpochDomain::Tls() {
+  thread_local TlsCache cache;
+  return cache;
+}
+
+EpochDomain::EpochDomain() : domain_id_(g_next_domain_id.fetch_add(1, std::memory_order_relaxed)) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  LiveDomainIds().insert(domain_id_);
+}
+
+EpochDomain::~EpochDomain() {
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    LiveDomainIds().erase(domain_id_);
+  }
+  ThreadRec* rec = recs_.load(std::memory_order_acquire);
+  while (rec != nullptr) {
+    KRONOS_CHECK(rec->epoch.load(std::memory_order_seq_cst) == kIdle)
+        << "EpochDomain destroyed while a reader is pinned";
+    ThreadRec* next = rec->next;
+    delete rec;
+    rec = next;
+  }
+  for (const LimboEntry& e : limbo_) {
+    e.deleter(e.ptr);
+    ++reclaimed_total_;
+  }
+  limbo_.clear();
+}
+
+EpochDomain& EpochDomain::Global() {
+  static EpochDomain domain;
+  return domain;
+}
+
+EpochDomain::ThreadRec* EpochDomain::AcquireRec() {
+  TlsCache& tls = Tls();
+  for (const TlsCache::Entry& e : tls.entries) {
+    if (e.id == domain_id_) {
+      return e.rec;
+    }
+  }
+  // First pin of this thread in this domain. Purge entries for dead domains first so a
+  // thread that churns through many graphs keeps the cache (and this scan) bounded by the
+  // number of *live* domains it touches.
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    const std::unordered_set<uint64_t>& live = LiveDomainIds();
+    auto dead = std::remove_if(tls.entries.begin(), tls.entries.end(),
+                               [&](const TlsCache::Entry& e) { return live.count(e.id) == 0; });
+    tls.entries.erase(dead, tls.entries.end());
+  }
+  ThreadRec* rec = nullptr;
+  for (ThreadRec* r = recs_.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    bool expected = false;
+    if (!r->in_use.load(std::memory_order_relaxed) &&
+        r->in_use.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      rec = r;
+      break;
+    }
+  }
+  if (rec == nullptr) {
+    rec = new ThreadRec();
+    rec->in_use.store(true, std::memory_order_relaxed);
+    ThreadRec* head = recs_.load(std::memory_order_relaxed);
+    do {
+      rec->next = head;
+    } while (!recs_.compare_exchange_weak(head, rec, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+  rec->depth = 0;
+  tls.entries.push_back({domain_id_, rec});
+  return rec;
+}
+
+// The pin protocol: publish the observed epoch, then re-read until the two agree. The
+// re-read closes the race with a concurrent advance — if the collector's scan missed our
+// store it advanced past us, the confirm load observes the new epoch (seq_cst coherence),
+// and we re-publish at the current one. After the loop, any version retired at tag >= our
+// pinned epoch stays alive until we release (see the grace-period argument in epoch.h).
+void EpochDomain::PinSlot(ThreadRec* rec) {
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    rec->epoch.store(e, std::memory_order_seq_cst);
+    const uint64_t confirm = global_epoch_.load(std::memory_order_seq_cst);
+    if (confirm == e) {
+      return;
+    }
+    e = confirm;
+  }
+}
+
+void EpochDomain::UnpinSlot(ThreadRec* rec) {
+  // seq_cst (release would do) so the collector's slot scan synchronizes with every read
+  // the pinned section performed before it frees anything the section could have touched.
+  rec->epoch.store(kIdle, std::memory_order_seq_cst);
+}
+
+EpochDomain::Pin::Pin(EpochDomain* domain) : domain_(domain) {
+  ThreadRec* rec = domain->AcquireRec();
+  if (rec->depth++ == 0) {
+    domain->PinSlot(rec);
+  }
+}
+
+void EpochDomain::Pin::Release() {
+  if (domain_ == nullptr) {
+    return;
+  }
+  ThreadRec* rec = domain_->AcquireRec();
+  KRONOS_CHECK(rec->depth > 0) << "epoch pin released on a thread that does not own it";
+  if (--rec->depth == 0) {
+    domain_->UnpinSlot(rec);
+  }
+  domain_ = nullptr;
+}
+
+EpochDomain::Pin& EpochDomain::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    domain_ = other.domain_;
+    other.domain_ = nullptr;
+  }
+  return *this;
+}
+
+void EpochDomain::Retire(void* ptr, void (*deleter)(void*), size_t bytes) {
+  // The tag load must follow the caller's unlink (the exchange on its published pointer) in
+  // program order — that ordering is what the grace-period proof leans on.
+  const uint64_t tag = global_epoch_.load(std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(mutex_);
+  limbo_.push_back({ptr, deleter, tag, bytes});
+  retired_bytes_ += bytes;
+}
+
+size_t EpochDomain::CollectLocked() {
+  const uint64_t cur = global_epoch_.load(std::memory_order_seq_cst);
+  bool can_advance = true;
+  for (ThreadRec* r = recs_.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    const uint64_t e = r->epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e != cur) {
+      // A reader is still pinned at an older epoch; anything it might reference has a tag
+      // within its reach, so the epoch must not advance yet.
+      can_advance = false;
+      break;
+    }
+  }
+  uint64_t effective = cur;
+  if (can_advance) {
+    // Collectors are serialized by mutex_, so a plain store cannot lose an increment.
+    global_epoch_.store(cur + 1, std::memory_order_seq_cst);
+    effective = cur + 1;
+  }
+  size_t freed = 0;
+  size_t kept = 0;
+  for (size_t i = 0; i < limbo_.size(); ++i) {
+    const LimboEntry& e = limbo_[i];
+    if (effective >= e.tag + 2) {
+      e.deleter(e.ptr);
+      retired_bytes_ -= e.bytes;
+      ++freed;
+    } else {
+      limbo_[kept++] = e;
+    }
+  }
+  limbo_.resize(kept);
+  reclaimed_total_ += freed;
+  return freed;
+}
+
+size_t EpochDomain::Collect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CollectLocked();
+}
+
+size_t EpochDomain::TryCollect() {
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    return 0;
+  }
+  return CollectLocked();
+}
+
+EpochDomain::Stats EpochDomain::stats() const {
+  Stats s;
+  s.epoch = global_epoch_.load(std::memory_order_seq_cst);
+  uint64_t oldest = UINT64_MAX;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.retired = limbo_.size();
+    s.retired_bytes = retired_bytes_;
+    s.reclaimed_total = reclaimed_total_;
+    for (const LimboEntry& e : limbo_) {
+      oldest = std::min(oldest, e.tag);
+    }
+  }
+  for (ThreadRec* r = recs_.load(std::memory_order_acquire); r != nullptr; r = r->next) {
+    if (r->epoch.load(std::memory_order_seq_cst) != kIdle) {
+      ++s.pinned_readers;
+    }
+  }
+  s.reclaim_lag = (oldest == UINT64_MAX) ? 0 : s.epoch - oldest;
+  return s;
+}
+
+size_t EpochDomain::ApproxLimboBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retired_bytes_;
+}
+
+}  // namespace kronos

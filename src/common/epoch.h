@@ -1,0 +1,138 @@
+// Epoch-based reclamation (EBR) for the lock-free read path (DESIGN.md §5.12).
+//
+// The engine publishes immutable graph versions behind an atomic pointer; readers must be able
+// to traverse a version for as long as they hold it, while writers keep publishing successors.
+// Hazard pointers would cost one protected-pointer store + fence per pointer chased; EBR
+// amortizes all of that into a single epoch pin per *operation*:
+//
+//   * The domain keeps a global epoch counter E.
+//   * A reader pins by writing E into its per-thread slot (seq_cst store), then re-reading E
+//     until the two agree — after that every pointer it loads from published state is safe.
+//   * A writer retires garbage by tagging it with the epoch at retire time; a retired object
+//     is freed only when E has advanced ≥ 2 past its tag.
+//   * E advances only when every pinned slot equals E — a reader still pinned at an older
+//     epoch blocks advancement, which is the safety linchpin: garbage a straggler could still
+//     reference can never age enough to be freed.
+//
+// Why the 2-epoch grace period is sufficient (the full argument is in DESIGN.md §5.12): all
+// participating operations — the reader's pin-validation load of E, its load of the published
+// pointer, the writer's unlink (exchange on the published pointer), and the retire-time load of
+// E — are seq_cst, so they have a single total order S consistent with per-location coherence.
+// A version retired with tag t was unlinked while E == t. A reader pinned at epoch ≥ t+1
+// observed E ≥ t+1 before its pointer load, so its load follows the unlink in S and returns the
+// *new* version. A reader that could observe the old version is therefore pinned at ≤ t, and a
+// slot holding ≤ t < t+1 blocks the advance to t+2 until the reader unpins. Freeing at
+// E ≥ t+2 is thus strictly after every possible observer has unpinned.
+//
+// Per-thread slots are cache-line separated and found through a thread-local cache keyed by a
+// never-reused domain id, so a thread touching many domains (every EventGraph owns one) cannot
+// confuse slots, and a thread outliving a domain cannot dereference a dead one. Slot records
+// are recycled across thread exits and freed only by the domain destructor, which also drains
+// all remaining limbo — ASan verifies "zero leaks of retired versions" for free.
+#ifndef KRONOS_COMMON_EPOCH_H_
+#define KRONOS_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace kronos {
+
+class EpochDomain {
+ public:
+  EpochDomain();
+  // Drains all limbo (every retired object is freed here at the latest) and releases the slot
+  // records. Destroying a domain while any reader is pinned is a caller bug and CHECK-fails.
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // Process-wide domain for objects whose owner is itself swapped out from under readers
+  // (e.g. a chain replica's state machine on snapshot install). Never destroyed before exit.
+  static EpochDomain& Global();
+
+  // RAII epoch pin. Movable so snapshot handles can carry it; it must be released on the
+  // thread that created it (the slot belongs to that thread). Re-entrant: nested pins on one
+  // thread reuse the outer pin's epoch and only the outermost release clears the slot.
+  class Pin {
+   public:
+    Pin() = default;
+    explicit Pin(EpochDomain* domain);
+    ~Pin() { Release(); }
+    Pin(Pin&& other) noexcept : domain_(other.domain_) { other.domain_ = nullptr; }
+    Pin& operator=(Pin&& other) noexcept;
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+    bool pinned() const { return domain_ != nullptr; }
+    void Release();
+
+   private:
+    EpochDomain* domain_ = nullptr;
+  };
+
+  Pin Enter() { return Pin(this); }
+
+  // Hands `ptr` to the domain for deferred destruction; `deleter(ptr)` runs once the grace
+  // period has elapsed (or in the domain destructor). `bytes` feeds ApproxMemoryBytes only.
+  void Retire(void* ptr, void (*deleter)(void*), size_t bytes);
+  template <typename T>
+  void RetireObject(T* ptr) {
+    Retire(ptr, [](void* p) { delete static_cast<T*>(p); }, sizeof(T));
+  }
+
+  // Tries to advance the epoch and frees every limbo entry whose grace period has elapsed.
+  // Collect() blocks on the domain mutex; TryCollect() returns 0 immediately if another
+  // thread is already collecting (used on the publish path so writers never serialize on
+  // reclamation). Both return the number of objects freed.
+  size_t Collect();
+  size_t TryCollect();
+
+  struct Stats {
+    uint64_t epoch = 0;            // current global epoch
+    uint64_t retired = 0;          // objects currently in limbo
+    uint64_t retired_bytes = 0;    // their advertised payload bytes
+    uint64_t reclaimed_total = 0;  // objects freed since construction
+    uint64_t pinned_readers = 0;   // slots currently pinned
+    uint64_t reclaim_lag = 0;      // epoch - oldest limbo tag (0 when limbo is empty)
+  };
+  Stats stats() const;
+
+  // Payload bytes sitting in limbo (no lock beyond the domain mutex; cheap enough for the
+  // memory accounting path).
+  size_t ApproxLimboBytes() const;
+
+ private:
+  struct ThreadRec;
+  struct TlsCache;
+  struct LimboEntry {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t tag;  // global epoch at retire time
+    size_t bytes;
+  };
+
+  static TlsCache& Tls();
+  ThreadRec* AcquireRec();
+  void PinSlot(ThreadRec* rec);
+  void UnpinSlot(ThreadRec* rec);
+  size_t CollectLocked();
+
+  const uint64_t domain_id_;
+  std::atomic<uint64_t> global_epoch_{1};
+  std::atomic<ThreadRec*> recs_{nullptr};  // intrusive list; nodes live until ~EpochDomain
+
+  mutable std::mutex mutex_;  // guards limbo_ + counters; never taken on the pin path
+  std::vector<LimboEntry> limbo_;
+  uint64_t reclaimed_total_ = 0;
+  uint64_t retired_bytes_ = 0;
+
+  friend class Pin;
+};
+
+}  // namespace kronos
+
+#endif  // KRONOS_COMMON_EPOCH_H_

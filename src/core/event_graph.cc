@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_map>
 
 #include "src/common/logging.h"
 
@@ -41,12 +42,158 @@ std::string_view AssignOutcomeName(AssignOutcome o) {
   return "UNKNOWN";
 }
 
-EventGraph::Slot EventGraph::FindSlot(EventId e) const {
-  auto it = id_to_slot_.find(e);
-  if (it == id_to_slot_.end()) {
+namespace {
+
+// Per-thread BFS scratch (§2.2 Briggs–Torczon visited set). Thread-local rather than pooled:
+// the lock-free read path must not touch a pool mutex, and Begin() re-arms the scratch per
+// traversal batch, so one instance serves every graph a thread ever reads.
+TraversalScratch& LocalScratch() {
+  thread_local TraversalScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+// One vertex record. `out` is a shared immutable adjacency list (null means no successors);
+// `out_batch` is writer-only bookkeeping naming the publish interval that created this copy
+// of the list, so the writer appends in place within an interval and clones across intervals.
+struct EventGraph::VertexRec {
+  EventId id = kInvalidEvent;  // kInvalidEvent marks a free slot
+  uint32_t refcount = 0;
+  uint32_t indegree = 0;
+  // Height stamp (src/clocks/height_stamp.h): every edge u -> v maintains
+  // stamp(u) < stamp(v), so stamps refute impossible orders without traversal. Reset to
+  // the origin on slot (re)allocation; only ever raised while the vertex lives.
+  HeightStamp stamp = kHeightStampOrigin;
+  std::shared_ptr<std::vector<Slot>> out;
+  uint64_t out_batch = 0;
+};
+
+struct EventGraph::Chunk {
+  VertexRec recs[kChunkSlots];
+};
+
+// Id -> slot map chunk. Cells hold slot + 1 so zero-initialized means "absent".
+struct EventGraph::IdChunk {
+  uint32_t slot_plus1[kIdChunkSlots] = {};
+};
+
+// One immutable published version: scalar state plus shared directories. Readers treat
+// everything reachable from here as const; the writer shares unchanged chunks across versions
+// and clones only what a publish interval touched.
+struct EventGraph::Version {
+  uint64_t gen = 0;
+  uint32_t num_slots = 0;
+  EventId next_id = 1;
+  Stats base;  // write-side counters at publish time (read-side fields stay zero)
+  std::shared_ptr<const ChunkDir> chunks;
+  std::shared_ptr<const IdDir> ids;
+};
+
+EventGraph::EventGraph()
+    : chunks_(std::make_shared<ChunkDir>()), ids_(std::make_shared<IdDir>()) {
+  PublishNow();  // gen-1 empty version, so published_ is never null
+}
+
+EventGraph::~EventGraph() {
+  const Version* last = published_.exchange(nullptr, std::memory_order_seq_cst);
+  delete last;
+  delete query_cache_.load(std::memory_order_acquire);
+  // epoch_'s destructor drains every retired version still in limbo (and CHECKs that no
+  // reader is pinned — a snapshot outliving its graph is a caller bug).
+}
+
+const EventGraph::VertexRec& EventGraph::RecAt(const ChunkDir& chunks, Slot slot) {
+  return chunks[slot >> kChunkBits]->recs[slot & (kChunkSlots - 1)];
+}
+
+EventGraph::Slot EventGraph::LookupId(const IdDir& ids, EventId next_id, EventId e) {
+  // The next_id guard is also the tail-fresh safety gate: ids at or past a version's next_id
+  // were created after it published and may be written in place into shared id chunks — a
+  // reader must bail out here before ever touching such a cell.
+  if (e == kInvalidEvent || e >= next_id) {
     return kNoSlot;
   }
-  return it->second;
+  const size_t c = e >> kIdChunkBits;
+  if (c >= ids.size()) {
+    return kNoSlot;
+  }
+  const IdChunk* chunk = ids[c].get();
+  if (chunk == nullptr) {
+    return kNoSlot;
+  }
+  const uint32_t slot_plus1 = chunk->slot_plus1[e & (kIdChunkSlots - 1)];
+  return slot_plus1 == 0 ? kNoSlot : static_cast<Slot>(slot_plus1 - 1);
+}
+
+EventGraph::Slot EventGraph::FindSlot(EventId e) const {
+  return LookupId(*ids_, next_id_, e);
+}
+
+const EventGraph::VertexRec& EventGraph::WriterRec(Slot slot) const {
+  return RecAt(*chunks_, slot);
+}
+
+void EventGraph::EnsureChunk(size_t chunk) {
+  if (chunk >= chunks_->size()) {
+    // Grow the directory by doubling, null-padded: the clone is private until publish, and
+    // the null tail entries are invisible to every reader (guarded by its version's
+    // num_slots), so later intervals may fill them in place without another directory copy.
+    auto grown = std::make_shared<ChunkDir>(*chunks_);
+    grown->resize(std::max<size_t>(chunk + 1, chunks_->size() * 2), nullptr);
+    chunks_ = std::move(grown);
+    chunks_owned_ = true;
+    chunk_batch_.resize(chunks_->size(), 0);
+  }
+  if ((*chunks_)[chunk] == nullptr) {
+    // Null-fill in place: no published version's num_slots reaches this chunk, so no reader
+    // ever loads this directory entry before the next publish carries it.
+    (*chunks_)[chunk] = std::make_shared<Chunk>();
+    chunk_batch_[chunk] = publish_count_;  // fresh chunk: fully writable this interval
+  }
+}
+
+EventGraph::VertexRec& EventGraph::WritableRec(Slot slot) {
+  const size_t c = slot >> kChunkBits;
+  if (slot < published_num_slots_ && chunk_batch_[c] != publish_count_) {
+    // Copy-on-write: the chunk is visible to published readers. Clone it (and the directory,
+    // once per interval) so their view stays immutable.
+    if (!chunks_owned_) {
+      chunks_ = std::make_shared<ChunkDir>(*chunks_);
+      chunks_owned_ = true;
+    }
+    (*chunks_)[c] = std::make_shared<Chunk>(*(*chunks_)[c]);
+    chunk_batch_[c] = publish_count_;
+  }
+  // Tail-fresh slots (slot >= published_num_slots_) are written in place into the shared
+  // chunk: readers cannot index past their version's num_slots, so the bytes are unreachable
+  // until the next publish.
+  return (*chunks_)[c]->recs[slot & (kChunkSlots - 1)];
+}
+
+void EventGraph::SetIdCell(EventId id, uint32_t slot_plus1) {
+  const size_t c = id >> kIdChunkBits;
+  if (c >= ids_->size()) {
+    auto grown = std::make_shared<IdDir>(*ids_);
+    grown->resize(std::max<size_t>(c + 1, ids_->size() * 2), nullptr);
+    ids_ = std::move(grown);
+    ids_owned_ = true;
+    id_chunk_batch_.resize(ids_->size(), 0);
+  }
+  if ((*ids_)[c] == nullptr) {
+    // In-place null-fill is safe: this id is the first ever in the chunk's range, so every
+    // published next_id is at or below the range start and no reader loads this entry.
+    (*ids_)[c] = std::make_shared<IdChunk>();
+    id_chunk_batch_[c] = publish_count_;
+  } else if (id < published_next_id_ && id_chunk_batch_[c] != publish_count_) {
+    if (!ids_owned_) {
+      ids_ = std::make_shared<IdDir>(*ids_);
+      ids_owned_ = true;
+    }
+    (*ids_)[c] = std::make_shared<IdChunk>(*(*ids_)[c]);
+    id_chunk_batch_[c] = publish_count_;
+  }
+  (*ids_)[c]->slot_plus1[id & (kIdChunkSlots - 1)] = slot_plus1;
 }
 
 EventGraph::Slot EventGraph::AllocateSlot(EventId id) {
@@ -55,19 +202,78 @@ EventGraph::Slot EventGraph::AllocateSlot(EventId id) {
     slot = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    slot = static_cast<Slot>(vertices_.size());
-    vertices_.emplace_back();
-    // Traversal scratch is no longer grown here: each TraversalScratch resizes itself lazily
-    // against the vertex count at Begin() (§2.2's preallocation, amortized per scratch).
+    slot = num_slots_;
+    EnsureChunk(slot >> kChunkBits);
+    ++num_slots_;
   }
-  Vertex& v = vertices_[slot];
+  VertexRec& v = WritableRec(slot);
   v.id = id;
   v.refcount = 1;
   v.indegree = 0;
   v.stamp = kHeightStampOrigin;  // parentless; a reused slot must not inherit a stale stamp
-  v.out.clear();
-  id_to_slot_.emplace(id, slot);
+  v.out = nullptr;               // old versions keep their own reference to the prior list
+  v.out_batch = 0;
+  SetIdCell(id, slot + 1);
   return slot;
+}
+
+void EventGraph::MaybePublish() {
+  if (batch_depth_ > 0) {
+    batch_dirty_ = true;
+    return;
+  }
+  PublishNow();
+}
+
+void EventGraph::PublishNow() {
+  auto* v = new Version();
+  v->gen = publish_count_;
+  v->num_slots = num_slots_;
+  v->next_id = next_id_;
+  v->base = stats_;
+  v->chunks = chunks_;
+  v->ids = ids_;
+  const Version* old = published_.exchange(v, std::memory_order_seq_cst);
+  // Unlink precedes Retire in program order; Retire's epoch-tag load relies on that (the
+  // grace-period argument in src/common/epoch.h).
+  if (old != nullptr) {
+    epoch_.Retire(
+        const_cast<Version*>(old), [](void* p) { delete static_cast<Version*>(p); },
+        sizeof(Version));
+  }
+  ++publish_count_;
+  published_num_slots_ = num_slots_;
+  published_next_id_ = next_id_;
+  chunks_owned_ = false;
+  ids_owned_ = false;
+  // Opportunistic reclamation: try_lock so the publish path never serializes on a concurrent
+  // collector (e.g. a telemetry poll draining an idle graph).
+  epoch_.TryCollect();
+}
+
+void EventGraph::BeginWriteBatch() { ++batch_depth_; }
+
+void EventGraph::EndWriteBatch() {
+  KRONOS_CHECK(batch_depth_ > 0) << "EndWriteBatch without BeginWriteBatch";
+  if (--batch_depth_ == 0 && batch_dirty_) {
+    batch_dirty_ = false;
+    PublishNow();
+  }
+}
+
+void EventGraph::FlushWriteBatch() {
+  if (batch_dirty_) {
+    batch_dirty_ = false;
+    PublishNow();
+  }
+}
+
+EventGraph::ReadSnapshot EventGraph::GetSnapshot() const {
+  // Pin FIRST, then load: the epoch pin is what prevents the loaded version from aging out
+  // of its grace period before we dereference it.
+  EpochDomain::Pin pin = epoch_.Enter();
+  const Version* v = published_.load(std::memory_order_seq_cst);
+  return ReadSnapshot(this, std::move(pin), v);
 }
 
 EventId EventGraph::CreateEvent() {
@@ -76,6 +282,7 @@ EventId EventGraph::CreateEvent() {
   ++stats_.live_events;
   ++stats_.live_refs;  // the creator's handle
   ++stats_.total_created;
+  MaybePublish();
   return id;
 }
 
@@ -84,8 +291,9 @@ Status EventGraph::AcquireRef(EventId e) {
   if (slot == kNoSlot) {
     return NotFound("acquire_ref: unknown event");
   }
-  ++vertices_[slot].refcount;
+  ++WritableRec(slot).refcount;
   ++stats_.live_refs;
+  MaybePublish();
   return OkStatus();
 }
 
@@ -94,19 +302,21 @@ Result<uint64_t> EventGraph::ReleaseRef(EventId e) {
   if (slot == kNoSlot) {
     return Status(NotFound("release_ref: unknown event"));
   }
-  Vertex& v = vertices_[slot];
-  if (v.refcount == 0) {
+  if (WriterRec(slot).refcount == 0) {
     return Status(InvalidArgument("release_ref: reference count already zero"));
   }
-  --v.refcount;
+  --WritableRec(slot).refcount;
   --stats_.live_refs;
-  if (v.refcount > 0) {
-    return uint64_t{0};
+  uint64_t collected = 0;
+  if (WriterRec(slot).refcount == 0) {
+    collected = CollectFrom(slot);
   }
-  return CollectFrom(slot);
+  MaybePublish();
+  return collected;
 }
 
-bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const {
+bool EventGraph::Reachable(const ChunkDir& chunks, uint32_t num_slots, Slot from, Slot to,
+                           TraversalScratch& scratch) const {
   traversals_.fetch_add(1, std::memory_order_relaxed);
   if (from == to) {
     return true;
@@ -115,9 +325,9 @@ bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const 
   // any expansion whose stamp already meets the bound can never lead to the target and is
   // skipped. Sound even mid-assign_order: stamps are relaxed after every edge insertion, so
   // the clock condition holds whenever Reachable runs.
-  const bool prune = ts_filter_enabled_;
-  const HeightStamp bound = vertices_[to].stamp;
-  scratch.Begin(vertices_.size());
+  const bool prune = ts_filter_enabled_.load(std::memory_order_relaxed);
+  const HeightStamp bound = RecAt(chunks, to).stamp;
+  scratch.Begin(num_slots);
   std::vector<Slot>& frontier = scratch.frontier();
   scratch.Insert(from);
   frontier.push_back(from);
@@ -125,14 +335,17 @@ bool EventGraph::Reachable(Slot from, Slot to, TraversalScratch& scratch) const 
   // Standard BFS over out-edges; the frontier is an index-scanned queue so no memory moves,
   // and every inserted slot lands in it, making its final size the visited count.
   for (size_t head = 0; head < frontier.size(); ++head) {
-    const Slot u = frontier[head];
-    for (const Slot w : vertices_[u].out) {
+    const VertexRec& ru = RecAt(chunks, frontier[head]);
+    if (ru.out == nullptr) {
+      continue;
+    }
+    for (const Slot w : *ru.out) {
       if (w == to) {
         scratch.AddVisited(frontier.size());
         scratch.AddPruned(pruned);
         return true;
       }
-      if (prune && !HeightPermitsBefore(vertices_[w].stamp, bound)) {
+      if (prune && !HeightPermitsBefore(RecAt(chunks, w).stamp, bound)) {
         ++pruned;
         continue;
       }
@@ -159,131 +372,66 @@ void EventGraph::RaiseStamps(Slot u, Slot v, StampJournal* journal) {
   while (!work.empty()) {
     const auto [parent, child] = work.back();
     work.pop_back();
-    const HeightStamp raised = JoinHeightStamp(vertices_[child].stamp, vertices_[parent].stamp);
-    if (raised == vertices_[child].stamp) {
+    const HeightStamp parent_stamp = WriterRec(parent).stamp;
+    VertexRec& rc = WritableRec(child);
+    const HeightStamp raised = JoinHeightStamp(rc.stamp, parent_stamp);
+    if (raised == rc.stamp) {
       continue;
     }
     if (journal != nullptr) {
       // First-write wins is not required: restoring in reverse order replays older values
       // last, so journaling every write is correct (and cheaper than a seen-set).
-      journal->emplace_back(child, vertices_[child].stamp);
+      journal->emplace_back(child, rc.stamp);
     }
-    vertices_[child].stamp = raised;
-    for (const Slot w : vertices_[child].out) {
-      work.emplace_back(child, w);
+    rc.stamp = raised;
+    if (rc.out != nullptr) {
+      for (const Slot w : *rc.out) {
+        work.emplace_back(child, w);
+      }
     }
   }
 }
 
+void EventGraph::AppendOut(VertexRec& rec, Slot succ) {
+  if (rec.out == nullptr) {
+    rec.out = std::make_shared<std::vector<Slot>>();
+    rec.out->push_back(succ);
+    rec.out_batch = publish_count_;
+  } else if (rec.out_batch == publish_count_) {
+    // List created (or cloned) this interval: private to the writer, append in place.
+    rec.out->push_back(succ);
+  } else {
+    // List shared with published versions: clone once per interval, then append freely.
+    auto clone = std::make_shared<std::vector<Slot>>(*rec.out);
+    clone->push_back(succ);
+    rec.out = std::move(clone);
+    rec.out_batch = publish_count_;
+  }
+}
+
 bool EventGraph::AddEdge(Slot u, Slot v) {
-  std::vector<Slot>& out = vertices_[u].out;
-  if (std::find(out.begin(), out.end(), v) != out.end()) {
+  VertexRec& ru = WritableRec(u);
+  if (ru.out != nullptr && std::find(ru.out->begin(), ru.out->end(), v) != ru.out->end()) {
     return false;
   }
-  out.push_back(v);
-  ++vertices_[v].indegree;
+  AppendOut(ru, v);
+  ++WritableRec(v).indegree;
   ++stats_.live_edges;
   return true;
 }
 
 void EventGraph::RemoveEdge(Slot u, Slot v) {
-  std::vector<Slot>& out = vertices_[u].out;
-  auto it = std::find(out.begin(), out.end(), v);
-  KRONOS_CHECK(it != out.end()) << "rollback of a non-existent edge";
-  out.erase(it);
-  KRONOS_CHECK(vertices_[v].indegree > 0);
-  --vertices_[v].indegree;
+  VertexRec& ru = WritableRec(u);
+  // Rollback only ever removes an edge added this interval, so the list must be private.
+  KRONOS_CHECK(ru.out != nullptr && ru.out_batch == publish_count_)
+      << "rollback of an adjacency list not owned by this batch";
+  auto it = std::find(ru.out->begin(), ru.out->end(), v);
+  KRONOS_CHECK(it != ru.out->end()) << "rollback of a non-existent edge";
+  ru.out->erase(it);
+  VertexRec& rv = WritableRec(v);
+  KRONOS_CHECK(rv.indegree > 0);
+  --rv.indegree;
   --stats_.live_edges;
-}
-
-Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pairs,
-                                                  QueryTally* tally) const {
-  // Validate the whole batch first: no partial answers.
-  for (const EventPair& p : pairs) {
-    if (p.e1 == p.e2) {
-      return Status(InvalidArgument("query_order: pair with identical events"));
-    }
-    if (FindSlot(p.e1) == kNoSlot || FindSlot(p.e2) == kNoSlot) {
-      return Status(NotFound("query_order: unknown event"));
-    }
-  }
-  // One scratch lease covers the whole batch; concurrent query batches each hold their own.
-  TraversalScratchPool::Lease scratch = scratch_pool_.Acquire();
-  std::vector<Order> out;
-  out.reserve(pairs.size());
-  uint64_t filtered = 0;
-  uint64_t fallback = 0;
-  for (const EventPair& p : pairs) {
-    if (query_cache_) {
-      // Cached answers exist only for live pairs (validated above) and are never kConcurrent,
-      // so serving them cannot contradict the graph (§2.5 monotonicity).
-      std::optional<Order> cached = query_cache_->Lookup(p.e1, p.e2);
-      if (cached.has_value()) {
-        cache_hits_.fetch_add(1, std::memory_order_relaxed);
-        out.push_back(*cached);
-        continue;
-      }
-    }
-    const Slot s1 = FindSlot(p.e1);
-    const Slot s2 = FindSlot(p.e2);
-    Order order;
-    if (ts_filter_enabled_) {
-      // Height-stamp fast path (DESIGN.md §5.9): a -> b requires stamp(a) < stamp(b), so at
-      // most ONE direction survives the filter — equal stamps refute both, answering
-      // kConcurrent with zero traversal, and an ordered answer never pays the failed-direction
-      // BFS the baseline runs first.
-      const HeightStamp t1 = vertices_[s1].stamp;
-      const HeightStamp t2 = vertices_[s2].stamp;
-      if (HeightPermitsBefore(t1, t2)) {
-        ++fallback;
-        order = Reachable(s1, s2, *scratch) ? Order::kBefore : Order::kConcurrent;
-      } else if (HeightPermitsBefore(t2, t1)) {
-        ++fallback;
-        order = Reachable(s2, s1, *scratch) ? Order::kAfter : Order::kConcurrent;
-      } else {
-        ++filtered;
-        order = Order::kConcurrent;
-      }
-    } else if (Reachable(s1, s2, *scratch)) {
-      order = Order::kBefore;
-    } else if (Reachable(s2, s1, *scratch)) {
-      order = Order::kAfter;
-    } else {
-      order = Order::kConcurrent;
-    }
-    if (query_cache_) {
-      // A stamp-filtered verdict is kConcurrent, which Insert ignores, so the fast path can
-      // never plant an entry the pure-BFS path would not have (no double-caching skew).
-      query_cache_->Insert(p.e1, p.e2, order);
-    }
-    out.push_back(order);
-  }
-  // One relaxed add per batch for each fast-path counter (PR-1 read-stats convention). The
-  // same totals feed the caller's tally, so per-request tracing costs no extra accounting.
-  const uint64_t visited = scratch->TakeVisited();
-  const uint64_t pruned = scratch->TakePruned();
-  if (filtered > 0) {
-    ts_filtered_.fetch_add(filtered, std::memory_order_relaxed);
-  }
-  if (fallback > 0) {
-    ts_fallback_.fetch_add(fallback, std::memory_order_relaxed);
-  }
-  if (visited > 0) {
-    vertices_visited_.fetch_add(visited, std::memory_order_relaxed);
-  }
-  if (pruned > 0) {
-    ts_pruned_.fetch_add(pruned, std::memory_order_relaxed);
-  }
-  if (tally != nullptr) {
-    *tally = QueryTally{
-        .filtered = filtered, .fallback = fallback, .visited = visited, .pruned = pruned};
-  }
-  return out;
-}
-
-void EventGraph::EnableQueryCache(size_t capacity) {
-  query_cache_ = std::make_unique<OrderCache>(
-      OrderCache::Options{.capacity = capacity, .transitive_prefill = true});
 }
 
 Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const AssignSpec> specs) {
@@ -306,7 +454,8 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
   std::vector<std::pair<Slot, Slot>> added;
   added.reserve(specs.size());
   StampJournal stamp_journal;
-  TraversalScratchPool::Lease scratch = scratch_pool_.Acquire();
+  TraversalScratch& scratch = LocalScratch();
+  const bool filter = ts_filter_enabled_.load(std::memory_order_relaxed);
 
   // §2.2: all must edges are applied before any prefer edge, so a prefer can never cause a
   // must to abort. Within each class, pairs are applied in the order the client listed them,
@@ -326,8 +475,8 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
       // REQUESTED LATER event (v), whose forward cone is typically tiny (fresh events have
       // few successors), keeping dependency creation near-constant time (§4.2: ~50 us).
       const bool contradicted =
-          (!ts_filter_enabled_ || HeightPermitsBefore(vertices_[v].stamp, vertices_[u].stamp)) &&
-          Reachable(v, u, *scratch);
+          (!filter || HeightPermitsBefore(WriterRec(v).stamp, WriterRec(u).stamp)) &&
+          Reachable(*chunks_, num_slots_, v, u, scratch);
       if (contradicted) {
         if (is_must) {
           // Abort the entire batch without side effects (test-and-set style semantics):
@@ -337,13 +486,17 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
             RemoveEdge(it->first, it->second);
           }
           for (auto it = stamp_journal.rbegin(); it != stamp_journal.rend(); ++it) {
-            vertices_[it->first].stamp = it->second;
+            WritableRec(it->first).stamp = it->second;
           }
           ++stats_.assign_aborts;
           // Write-path traversal work still counts as engine work (vertices_visited keeps its
           // pre-tally semantics), but pruning is a query-counter concept and is discarded.
-          vertices_visited_.fetch_add(scratch->TakeVisited(), std::memory_order_relaxed);
-          (void)scratch->TakePruned();  // discard: aborted work is not a served query
+          vertices_visited_.fetch_add(scratch.TakeVisited(), std::memory_order_relaxed);
+          (void)scratch.TakePruned();  // discard: aborted work is not a served query
+          // Publish anyway: the rollback restored identical logical state, but this interval
+          // cloned chunks the next publish would otherwise re-clone, and the abort counter
+          // moved. Readers cannot distinguish the result from the pre-batch version.
+          MaybePublish();
           return Status(OrderViolation("assign_order: must pair contradicts existing order"));
         }
         outcomes[i] = AssignOutcome::kReversed;
@@ -363,33 +516,10 @@ Result<std::vector<AssignOutcome>> EventGraph::AssignOrder(std::span<const Assig
       }
     }
   }
-  vertices_visited_.fetch_add(scratch->TakeVisited(), std::memory_order_relaxed);
-  (void)scratch->TakePruned();  // write-path pruning is not charged to the query counters
+  vertices_visited_.fetch_add(scratch.TakeVisited(), std::memory_order_relaxed);
+  (void)scratch.TakePruned();  // write-path pruning is not charged to the query counters
+  MaybePublish();
   return outcomes;
-}
-
-Result<uint32_t> EventGraph::RefCount(EventId e) const {
-  const Slot slot = FindSlot(e);
-  if (slot == kNoSlot) {
-    return Status(NotFound("unknown event"));
-  }
-  return vertices_[slot].refcount;
-}
-
-Result<uint32_t> EventGraph::OutDegree(EventId e) const {
-  const Slot slot = FindSlot(e);
-  if (slot == kNoSlot) {
-    return Status(NotFound("unknown event"));
-  }
-  return static_cast<uint32_t>(vertices_[slot].out.size());
-}
-
-Result<HeightStamp> EventGraph::Stamp(EventId e) const {
-  const Slot slot = FindSlot(e);
-  if (slot == kNoSlot) {
-    return Status(NotFound("unknown event"));
-  }
-  return vertices_[slot].stamp;
 }
 
 uint64_t EventGraph::CollectFrom(Slot start) {
@@ -397,8 +527,11 @@ uint64_t EventGraph::CollectFrom(Slot start) {
   // zero AND no uncollected vertex has an edge into it (indegree 0). Removing a vertex removes
   // its outgoing edges, which may unpin its successors; the cascade is processed worklist-style
   // and terminates because the graph is acyclic.
-  if (vertices_[start].refcount != 0 || vertices_[start].indegree != 0) {
-    return 0;
+  {
+    const VertexRec& r = WriterRec(start);
+    if (r.refcount != 0 || r.indegree != 0) {
+      return 0;
+    }
   }
   uint64_t collected = 0;
   std::vector<Slot> worklist;
@@ -406,20 +539,25 @@ uint64_t EventGraph::CollectFrom(Slot start) {
   while (!worklist.empty()) {
     const Slot u = worklist.back();
     worklist.pop_back();
-    Vertex& vu = vertices_[u];
-    for (const Slot w : vu.out) {
-      Vertex& vw = vertices_[w];
-      KRONOS_CHECK(vw.indegree > 0);
-      --vw.indegree;
-      if (vw.indegree == 0 && vw.refcount == 0) {
-        worklist.push_back(w);
+    VertexRec& ru = WritableRec(u);
+    // Detach the adjacency list before mutating successors: published versions keep their own
+    // reference, so this only drops the writer's view.
+    std::shared_ptr<std::vector<Slot>> out = std::move(ru.out);
+    const EventId id = ru.id;
+    ru.id = kInvalidEvent;
+    ru.out_batch = 0;
+    if (out != nullptr) {
+      stats_.live_edges -= out->size();
+      for (const Slot w : *out) {
+        VertexRec& rw = WritableRec(w);
+        KRONOS_CHECK(rw.indegree > 0);
+        --rw.indegree;
+        if (rw.indegree == 0 && rw.refcount == 0) {
+          worklist.push_back(w);
+        }
       }
     }
-    stats_.live_edges -= vu.out.size();
-    vu.out.clear();
-    vu.out.shrink_to_fit();
-    id_to_slot_.erase(vu.id);
-    vu.id = kInvalidEvent;
+    SetIdCell(id, 0);
     free_slots_.push_back(u);
     ++collected;
   }
@@ -428,29 +566,15 @@ uint64_t EventGraph::CollectFrom(Slot start) {
   return collected;
 }
 
-std::vector<EventGraph::SnapshotVertex> EventGraph::ExportSnapshot() const {
-  std::vector<SnapshotVertex> out;
-  out.reserve(stats_.live_events);
-  std::vector<std::pair<EventId, Slot>> live;
-  live.reserve(stats_.live_events);
-  for (const auto& [id, slot] : id_to_slot_) {
-    live.emplace_back(id, slot);
+void EventGraph::EnableQueryCache(size_t capacity, uint32_t shards) {
+  auto* fresh = new OrderCache(
+      OrderCache::Options{.capacity = capacity, .transitive_prefill = true, .shards = shards});
+  OrderCache* old = query_cache_.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    // In-flight snapshot readers may still hold the old cache pointer; retire it through the
+    // epoch domain so it outlives every reader that could have loaded it.
+    epoch_.RetireObject(old);
   }
-  std::sort(live.begin(), live.end());
-  for (const auto& [id, slot] : live) {
-    const Vertex& v = vertices_[slot];
-    SnapshotVertex sv;
-    sv.id = id;
-    sv.refcount = v.refcount;
-    sv.stamp = v.stamp;
-    sv.successors.reserve(v.out.size());
-    for (const Slot w : v.out) {
-      sv.successors.push_back(vertices_[w].id);
-    }
-    std::sort(sv.successors.begin(), sv.successors.end());
-    out.push_back(std::move(sv));
-  }
-  return out;
 }
 
 Status EventGraph::ImportSnapshot(EventId next_id, const std::vector<SnapshotVertex>& vertices) {
@@ -476,22 +600,23 @@ Status EventGraph::ImportSnapshot(EventId next_id, const std::vector<SnapshotVer
     if (sv.id == kInvalidEvent || sv.id >= next_id) {
       return InvalidArgument("snapshot vertex id out of range");
     }
-    if (FindSlot(sv.id) != kNoSlot) {
+    if (LookupId(*ids_, next_id, sv.id) != kNoSlot) {
       return InvalidArgument("duplicate vertex id in snapshot");
     }
     const Slot slot = AllocateSlot(sv.id);
-    vertices_[slot].refcount = sv.refcount;
+    VertexRec& r = WritableRec(slot);
+    r.refcount = sv.refcount;
     if (install_stamps) {
-      vertices_[slot].stamp = sv.stamp;
+      r.stamp = sv.stamp;
     }
   }
   // Pass 2: edges. With installed stamps the clock condition is validated per edge (a
   // violation would silently poison the fast path's soundness); without, RaiseStamps
   // recomputes the heights incrementally — the relaxation fixpoint is order-independent.
   for (const SnapshotVertex& sv : vertices) {
-    const Slot u = FindSlot(sv.id);
+    const Slot u = LookupId(*ids_, next_id, sv.id);
     for (const EventId succ : sv.successors) {
-      const Slot w = FindSlot(succ);
+      const Slot w = LookupId(*ids_, next_id, succ);
       if (w == kNoSlot) {
         return InvalidArgument("snapshot edge to unknown vertex");
       }
@@ -499,7 +624,7 @@ Status EventGraph::ImportSnapshot(EventId next_id, const std::vector<SnapshotVer
         return InvalidArgument("duplicate edge in snapshot");
       }
       if (install_stamps) {
-        if (!HeightPermitsBefore(vertices_[u].stamp, vertices_[w].stamp)) {
+        if (!HeightPermitsBefore(WriterRec(u).stamp, WriterRec(w).stamp)) {
           return InvalidArgument("snapshot stamps violate the clock condition");
         }
       } else {
@@ -514,62 +639,275 @@ Status EventGraph::ImportSnapshot(EventId next_id, const std::vector<SnapshotVer
   for (const SnapshotVertex& sv : vertices) {
     stats_.live_refs += sv.refcount;
   }
+  MaybePublish();
   return OkStatus();
 }
 
-std::vector<EventId> EventGraph::TopologicalOrder() const {
+// --- ReadSnapshot ----------------------------------------------------------------------------
+
+Result<std::vector<Order>> EventGraph::ReadSnapshot::QueryOrder(std::span<const EventPair> pairs,
+                                                                QueryTally* tally) const {
+  const Version& v = *version_;
+  const ChunkDir& chunks = *v.chunks;
+  const IdDir& ids = *v.ids;
+  // Validate the whole batch first: no partial answers.
+  for (const EventPair& p : pairs) {
+    if (p.e1 == p.e2) {
+      return Status(InvalidArgument("query_order: pair with identical events"));
+    }
+    if (LookupId(ids, v.next_id, p.e1) == kNoSlot || LookupId(ids, v.next_id, p.e2) == kNoSlot) {
+      return Status(NotFound("query_order: unknown event"));
+    }
+  }
+  TraversalScratch& scratch = LocalScratch();
+  OrderCache* cache = graph_->query_cache_.load(std::memory_order_acquire);
+  const bool filter = graph_->ts_filter_enabled_.load(std::memory_order_relaxed);
+  std::vector<Order> out;
+  out.reserve(pairs.size());
+  uint64_t filtered = 0;
+  uint64_t fallback = 0;
+  for (const EventPair& p : pairs) {
+    if (cache != nullptr) {
+      // Cached answers exist only for live pairs (validated above) and are never kConcurrent,
+      // so serving them cannot contradict the graph (§2.5 monotonicity). The generation bound
+      // rejects entries learned from versions newer than this snapshot: an order that did not
+      // exist yet at this version must not leak backwards in time.
+      std::optional<Order> cached = cache->Lookup(p.e1, p.e2, v.gen);
+      if (cached.has_value()) {
+        graph_->cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        out.push_back(*cached);
+        continue;
+      }
+    }
+    const Slot s1 = LookupId(ids, v.next_id, p.e1);
+    const Slot s2 = LookupId(ids, v.next_id, p.e2);
+    Order order;
+    if (filter) {
+      // Height-stamp fast path (DESIGN.md §5.9): a -> b requires stamp(a) < stamp(b), so at
+      // most ONE direction survives the filter — equal stamps refute both, answering
+      // kConcurrent with zero traversal, and an ordered answer never pays the failed-direction
+      // BFS the baseline runs first.
+      const HeightStamp t1 = RecAt(chunks, s1).stamp;
+      const HeightStamp t2 = RecAt(chunks, s2).stamp;
+      if (HeightPermitsBefore(t1, t2)) {
+        ++fallback;
+        order = graph_->Reachable(chunks, v.num_slots, s1, s2, scratch) ? Order::kBefore
+                                                                        : Order::kConcurrent;
+      } else if (HeightPermitsBefore(t2, t1)) {
+        ++fallback;
+        order = graph_->Reachable(chunks, v.num_slots, s2, s1, scratch) ? Order::kAfter
+                                                                        : Order::kConcurrent;
+      } else {
+        ++filtered;
+        order = Order::kConcurrent;
+      }
+    } else if (graph_->Reachable(chunks, v.num_slots, s1, s2, scratch)) {
+      order = Order::kBefore;
+    } else if (graph_->Reachable(chunks, v.num_slots, s2, s1, scratch)) {
+      order = Order::kAfter;
+    } else {
+      order = Order::kConcurrent;
+    }
+    if (cache != nullptr) {
+      // A stamp-filtered verdict is kConcurrent, which Insert ignores, so the fast path can
+      // never plant an entry the pure-BFS path would not have (no double-caching skew).
+      cache->Insert(p.e1, p.e2, order, v.gen);
+    }
+    out.push_back(order);
+  }
+  // One relaxed add per batch for each fast-path counter (PR-1 read-stats convention). The
+  // same totals feed the caller's tally, so per-request tracing costs no extra accounting.
+  const uint64_t visited = scratch.TakeVisited();
+  const uint64_t pruned = scratch.TakePruned();
+  if (filtered > 0) {
+    graph_->ts_filtered_.fetch_add(filtered, std::memory_order_relaxed);
+  }
+  if (fallback > 0) {
+    graph_->ts_fallback_.fetch_add(fallback, std::memory_order_relaxed);
+  }
+  if (visited > 0) {
+    graph_->vertices_visited_.fetch_add(visited, std::memory_order_relaxed);
+  }
+  if (pruned > 0) {
+    graph_->ts_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  }
+  if (tally != nullptr) {
+    *tally = QueryTally{
+        .filtered = filtered, .fallback = fallback, .visited = visited, .pruned = pruned};
+  }
+  return out;
+}
+
+bool EventGraph::ReadSnapshot::Contains(EventId e) const {
+  return LookupId(*version_->ids, version_->next_id, e) != kNoSlot;
+}
+
+Result<uint32_t> EventGraph::ReadSnapshot::RefCount(EventId e) const {
+  const Slot slot = LookupId(*version_->ids, version_->next_id, e);
+  if (slot == kNoSlot) {
+    return Status(NotFound("unknown event"));
+  }
+  return RecAt(*version_->chunks, slot).refcount;
+}
+
+Result<uint32_t> EventGraph::ReadSnapshot::OutDegree(EventId e) const {
+  const Slot slot = LookupId(*version_->ids, version_->next_id, e);
+  if (slot == kNoSlot) {
+    return Status(NotFound("unknown event"));
+  }
+  const VertexRec& r = RecAt(*version_->chunks, slot);
+  return static_cast<uint32_t>(r.out == nullptr ? 0 : r.out->size());
+}
+
+Result<HeightStamp> EventGraph::ReadSnapshot::Stamp(EventId e) const {
+  const Slot slot = LookupId(*version_->ids, version_->next_id, e);
+  if (slot == kNoSlot) {
+    return Status(NotFound("unknown event"));
+  }
+  return RecAt(*version_->chunks, slot).stamp;
+}
+
+uint64_t EventGraph::ReadSnapshot::generation() const { return version_->gen; }
+EventId EventGraph::ReadSnapshot::next_id() const { return version_->next_id; }
+uint64_t EventGraph::ReadSnapshot::live_events() const { return version_->base.live_events; }
+uint64_t EventGraph::ReadSnapshot::live_edges() const { return version_->base.live_edges; }
+
+EventGraph::Stats EventGraph::ReadSnapshot::stats() const {
+  Stats s = version_->base;
+  s.traversals = graph_->traversals_.load(std::memory_order_relaxed);
+  s.vertices_visited = graph_->vertices_visited_.load(std::memory_order_relaxed);
+  s.cache_hits = graph_->cache_hits_.load(std::memory_order_relaxed);
+  s.ts_filtered = graph_->ts_filtered_.load(std::memory_order_relaxed);
+  s.ts_fallback = graph_->ts_fallback_.load(std::memory_order_relaxed);
+  s.ts_pruned = graph_->ts_pruned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<EventGraph::SnapshotVertex> EventGraph::ReadSnapshot::ExportSnapshot() const {
+  const Version& v = *version_;
+  const ChunkDir& chunks = *v.chunks;
+  std::vector<SnapshotVertex> out;
+  out.reserve(v.base.live_events);
+  std::vector<std::pair<EventId, Slot>> live;
+  live.reserve(v.base.live_events);
+  for (Slot slot = 0; slot < v.num_slots; ++slot) {
+    const VertexRec& r = RecAt(chunks, slot);
+    if (r.id != kInvalidEvent) {
+      live.emplace_back(r.id, slot);
+    }
+  }
+  std::sort(live.begin(), live.end());
+  for (const auto& [id, slot] : live) {
+    const VertexRec& r = RecAt(chunks, slot);
+    SnapshotVertex sv;
+    sv.id = id;
+    sv.refcount = r.refcount;
+    sv.stamp = r.stamp;
+    if (r.out != nullptr) {
+      sv.successors.reserve(r.out->size());
+      for (const Slot w : *r.out) {
+        sv.successors.push_back(RecAt(chunks, w).id);
+      }
+      std::sort(sv.successors.begin(), sv.successors.end());
+    }
+    out.push_back(std::move(sv));
+  }
+  return out;
+}
+
+std::vector<EventId> EventGraph::ReadSnapshot::TopologicalOrder() const {
   // Kahn's algorithm with a min-heap on event id: deterministic, and ties resolve to creation
   // order, which applications read as "arrival order where unconstrained".
+  const Version& v = *version_;
+  const ChunkDir& chunks = *v.chunks;
   std::unordered_map<Slot, uint32_t> indegree;
   std::priority_queue<EventId, std::vector<EventId>, std::greater<>> ready;
-  for (const auto& [id, slot] : id_to_slot_) {
-    if (vertices_[slot].indegree == 0) {
-      ready.push(id);
+  for (Slot slot = 0; slot < v.num_slots; ++slot) {
+    const VertexRec& r = RecAt(chunks, slot);
+    if (r.id != kInvalidEvent && r.indegree == 0) {
+      ready.push(r.id);
     }
   }
   std::vector<EventId> out;
-  out.reserve(stats_.live_events);
+  out.reserve(v.base.live_events);
   while (!ready.empty()) {
     const EventId id = ready.top();
     ready.pop();
     out.push_back(id);
-    const Slot slot = FindSlot(id);
-    for (const Slot w : vertices_[slot].out) {
-      auto [it, inserted] = indegree.emplace(w, vertices_[w].indegree);
+    const Slot slot = LookupId(*v.ids, v.next_id, id);
+    const VertexRec& r = RecAt(chunks, slot);
+    if (r.out == nullptr) {
+      continue;
+    }
+    for (const Slot w : *r.out) {
+      const VertexRec& rw = RecAt(chunks, w);
+      auto [it, inserted] = indegree.emplace(w, rw.indegree);
       KRONOS_CHECK(it->second > 0);
       if (--it->second == 0) {
-        ready.push(vertices_[w].id);
+        ready.push(rw.id);
       }
     }
   }
-  KRONOS_CHECK(out.size() == stats_.live_events) << "cycle in event graph (invariant broken)";
+  KRONOS_CHECK(out.size() == v.base.live_events) << "cycle in event graph (invariant broken)";
   return out;
+}
+
+// --- Snapshot convenience wrappers -----------------------------------------------------------
+
+Result<std::vector<Order>> EventGraph::QueryOrder(std::span<const EventPair> pairs,
+                                                  QueryTally* tally) const {
+  return GetSnapshot().QueryOrder(pairs, tally);
+}
+
+bool EventGraph::Contains(EventId e) const { return GetSnapshot().Contains(e); }
+
+Result<uint32_t> EventGraph::RefCount(EventId e) const { return GetSnapshot().RefCount(e); }
+
+Result<uint32_t> EventGraph::OutDegree(EventId e) const { return GetSnapshot().OutDegree(e); }
+
+Result<HeightStamp> EventGraph::Stamp(EventId e) const { return GetSnapshot().Stamp(e); }
+
+uint64_t EventGraph::live_events() const { return GetSnapshot().live_events(); }
+
+uint64_t EventGraph::live_edges() const { return GetSnapshot().live_edges(); }
+
+EventGraph::Stats EventGraph::stats() const { return GetSnapshot().stats(); }
+
+std::vector<EventGraph::SnapshotVertex> EventGraph::ExportSnapshot() const {
+  return GetSnapshot().ExportSnapshot();
+}
+
+std::vector<EventId> EventGraph::TopologicalOrder() const {
+  return GetSnapshot().TopologicalOrder();
 }
 
 uint64_t EventGraph::ApproxMemoryBytes() const {
   uint64_t bytes = 0;
-  bytes += vertices_.capacity() * sizeof(Vertex);
-  for (const Vertex& v : vertices_) {
-    bytes += v.out.capacity() * sizeof(Slot);
+  bytes += chunks_->capacity() * sizeof(std::shared_ptr<Chunk>);
+  for (const auto& chunk : *chunks_) {
+    if (chunk == nullptr) {
+      continue;
+    }
+    bytes += sizeof(Chunk);
+    for (const VertexRec& r : chunk->recs) {
+      if (r.out != nullptr) {
+        bytes += sizeof(std::vector<Slot>) + r.out->capacity() * sizeof(Slot);
+      }
+    }
+  }
+  bytes += ids_->capacity() * sizeof(std::shared_ptr<IdChunk>);
+  for (const auto& chunk : *ids_) {
+    if (chunk != nullptr) {
+      bytes += sizeof(IdChunk);
+    }
   }
   bytes += free_slots_.capacity() * sizeof(Slot);
-  // The pooled traversal scratch (§2.2): mark array + frontier per idle scratch.
-  bytes += scratch_pool_.ApproxMemoryBytes();
-  // unordered_map: buckets + one node (key, value, next pointer, hash) per entry, approximated.
-  bytes += id_to_slot_.bucket_count() * sizeof(void*);
-  bytes += id_to_slot_.size() * (sizeof(EventId) + sizeof(Slot) + 2 * sizeof(void*));
+  bytes += chunk_batch_.capacity() * sizeof(uint64_t);
+  bytes += id_chunk_batch_.capacity() * sizeof(uint64_t);
+  // Superseded versions awaiting epoch reclamation (retired chunks are shared, so this counts
+  // the version records themselves; the dominant retained memory is the chunk storage above).
+  bytes += epoch_.ApproxLimboBytes();
   return bytes;
-}
-
-EventGraph::Stats EventGraph::stats() const {
-  Stats s = stats_;
-  s.traversals = traversals_.load(std::memory_order_relaxed);
-  s.vertices_visited = vertices_visited_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.ts_filtered = ts_filtered_.load(std::memory_order_relaxed);
-  s.ts_fallback = ts_fallback_.load(std::memory_order_relaxed);
-  s.ts_pruned = ts_pruned_.load(std::memory_order_relaxed);
-  return s;
 }
 
 }  // namespace kronos

@@ -7,7 +7,7 @@
 //                    never retracted; the public interface exposes no edge removal (§2.1).
 //
 // The implementation follows the paper's §2.2 performance notes: traversal memory is the
-// Briggs–Torczon style epoch-versioned visited set, checked out of a TraversalScratchPool so a
+// Briggs–Torczon style epoch-versioned visited set (one per reader thread, thread-local), so a
 // BFS costs O(vertices actually visited) with zero steady-state allocation, and garbage
 // collection (§2.3) is a strict topological collection driven by reference counts.
 //
@@ -19,17 +19,25 @@
 // expansion whose stamp already meets the target's can be pruned. The filter is sound, never
 // complete, so answers are bit-identical with it on or off (EnableTimestampFilter).
 //
-// Concurrency contract (shared/exclusive): all mutating calls (CreateEvent, AcquireRef,
-// ReleaseRef, AssignOrder, EnableQueryCache, ImportSnapshot) require exclusive access, exactly
-// as before — the graph is the deterministic state machine that chain replication (src/chain)
-// replicates, and writes stay single-threaded. The const calls (QueryOrder, Contains,
-// RefCount, OutDegree, ExportSnapshot, TopologicalOrder, stats, ApproxMemoryBytes) are
-// re-entrant and safe to run from any number of threads concurrently with each other, provided
-// no writer runs at the same time; callers enforce that with a reader–writer lock (see
-// KronosDaemon / ChainReplica / LocalKronos). Monotonicity is what makes this split safe:
-// established orders are never retracted, so concurrent readers can never observe a
-// half-retracted answer. Traversal scratch lives in a per-call pool lease, the read-side
-// counters are relaxed atomics, and the internal order cache locks itself.
+// Concurrency contract (DESIGN.md §5.12, lock-free reads): the graph is internally a sequence
+// of immutable *versions* published behind an atomic pointer. Mutating calls (CreateEvent,
+// AcquireRef, ReleaseRef, AssignOrder, ImportSnapshot) still require external serialization —
+// the graph is the deterministic state machine that chain replication (src/chain) replicates,
+// and writes stay single-threaded — but each mutator ends by publishing a new version built
+// copy-on-write from the previous one. Readers call GetSnapshot(), which pins an epoch
+// (src/common/epoch.h) and loads the published version: every read then runs against that
+// immutable version with NO lock and no shared mutable state, fully concurrent with the
+// writer. Superseded versions are retired into the epoch domain and freed only after every
+// reader that could have seen them has unpinned. The const convenience methods (QueryOrder,
+// Contains, RefCount, OutDegree, Stamp, ExportSnapshot, TopologicalOrder, stats, live_events)
+// are one-shot snapshot wrappers and therefore safe from any thread at any time.
+//
+// Copy-on-write granularity: vertex records live in fixed-size chunks behind a chunk
+// directory; the id -> slot map is chunked the same way. A writer clones a chunk at most once
+// per publish interval, and a *brand-new* tail slot (one no published version's num_slots
+// covers) is written in place into the shared chunk — invisible to existing readers because
+// every reader access is guarded by its version's num_slots/next_id — which keeps the
+// create_event hot path at one small Version allocation per publish instead of a chunk copy.
 #ifndef KRONOS_CORE_EVENT_GRAPH_H_
 #define KRONOS_CORE_EVENT_GRAPH_H_
 
@@ -37,11 +45,11 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/clocks/height_stamp.h"
+#include "src/common/epoch.h"
 #include "src/common/status.h"
 #include "src/core/order_cache.h"
 #include "src/core/traversal_scratch.h"
@@ -50,6 +58,14 @@
 namespace kronos {
 
 class EventGraph {
+ private:
+  // Forward declarations so ReadSnapshot (public, below) can reference the private
+  // version/record types; definitions live in event_graph.cc.
+  struct VertexRec;
+  struct Chunk;
+  struct IdChunk;
+  struct Version;
+
  public:
   struct Stats {
     uint64_t live_events = 0;        // vertices currently in the graph
@@ -71,24 +87,6 @@ class EventGraph {
     uint64_t ts_pruned = 0;
   };
 
-  EventGraph() = default;
-
-  EventGraph(const EventGraph&) = delete;
-  EventGraph& operator=(const EventGraph&) = delete;
-
-  // --- Table 1 API ---------------------------------------------------------------------------
-
-  // Creates a new event with reference count 1 (the creator's handle) and returns its id.
-  EventId CreateEvent();
-
-  // Increments the reference count on e.
-  Status AcquireRef(EventId e);
-
-  // Decrements the reference count on e. If the count reaches zero this triggers strict
-  // garbage collection (§2.3); the returned value is the number of events collected by this
-  // call (possibly zero if e is pinned by a live predecessor).
-  Result<uint64_t> ReleaseRef(EventId e);
-
   // Per-batch work accounting for one QueryOrder call, filled when the caller passes a tally.
   // This is the request-scoped mirror of the global ts_*/vertices_visited counters: the
   // tracing layer attaches it to the request's query spans (DESIGN.md §5.10) so a slow query
@@ -99,71 +97,6 @@ class EventGraph {
     uint64_t visited = 0;   // BFS vertices expanded across the batch
     uint64_t pruned = 0;    // expansions skipped by the stamp bound inside surviving BFS runs
   };
-
-  // For each pair (e1, e2) reports kBefore, kAfter or kConcurrent. Fails with kNotFound if any
-  // named event is absent; no partial results are returned. Const and re-entrant: any number
-  // of threads may query concurrently as long as no writer runs (shared mode). A non-null
-  // tally receives this batch's work accounting (overwritten, not accumulated).
-  Result<std::vector<Order>> QueryOrder(std::span<const EventPair> pairs,
-                                        QueryTally* tally = nullptr) const;
-
-  // Atomically applies a batch of ordering requests. All kMust pairs are validated and applied
-  // before any kPrefer pair (§2.2). If a kMust pair contradicts the existing graph the whole
-  // batch aborts with kOrderViolation and no side effects. kPrefer pairs never abort: a
-  // contradicted prefer is reported as kReversed.
-  Result<std::vector<AssignOutcome>> AssignOrder(std::span<const AssignSpec> specs);
-
-  // --- Introspection (const + re-entrant, shared mode) ---------------------------------------
-
-  bool Contains(EventId e) const { return FindSlot(e) != kNoSlot; }
-
-  // Reference count of e, or kNotFound.
-  Result<uint32_t> RefCount(EventId e) const;
-
-  // Number of happens-before edges leaving e (direct successors), or kNotFound.
-  Result<uint32_t> OutDegree(EventId e) const;
-
-  // The event's height stamp ts(e) = 1 + max(ts(parents)) (src/clocks/height_stamp.h), or
-  // kNotFound. Part of the replicated state: deterministic across replicas and snapshots.
-  Result<HeightStamp> Stamp(EventId e) const;
-
-  uint64_t live_events() const { return stats_.live_events; }
-  uint64_t live_edges() const { return stats_.live_edges; }
-
-  // The internal query cache, or null if EnableQueryCache was never called. Exposed so servers
-  // can export hit/miss/eviction counts; the cache's own accounting is internally locked and
-  // safe to poll from shared mode.
-  const OrderCache* query_cache() const { return query_cache_.get(); }
-
-  // A coherent snapshot of the counters. The read-side counters (traversals, vertices_visited,
-  // cache_hits) are maintained as relaxed atomics so concurrent queries can bump them without
-  // tearing; this accessor merges them into the plain struct.
-  Stats stats() const;
-
-  // §2.5: "Kronos can maintain an internal cache of traversal results ... to improve traversal
-  // efficiency." Enables an LRU cache of ordered query answers (monotonicity makes them final;
-  // kConcurrent is never cached). Purely an accelerator: results are identical with or without
-  // it, so replicas may enable it independently without breaking determinism of outputs.
-  // Configuration-time only: requires exclusive access, like all mutators.
-  void EnableQueryCache(size_t capacity);
-
-  // A/B switch for the height-stamp fast path (DESIGN.md §5.9). On (the default), query_order
-  // refutes impossible directions from the stamps alone — a pair refuted both ways returns
-  // kConcurrent with zero traversal — and the surviving BFS prunes every expansion whose
-  // stamp already meets the target's. Off reproduces the pure-BFS baseline
-  // (bench/micro_query_fastpath measures the difference). Purely an accelerator: answers are
-  // bit-identical either way, so replicas may disagree on this setting without diverging.
-  // Stamps are maintained regardless, so the switch may be flipped at any point where the
-  // caller holds exclusive access.
-  void EnableTimestampFilter(bool enabled) { ts_filter_enabled_ = enabled; }
-  bool timestamp_filter_enabled() const { return ts_filter_enabled_; }
-
-  // Approximate heap bytes retained by the graph, computed from container capacities. Includes
-  // vertex storage, adjacency lists, the pooled traversal scratch, and the id map. Drives the
-  // Fig. 10 memory experiment; array-doubling steps are visible in this value.
-  uint64_t ApproxMemoryBytes() const;
-
-  // --- Snapshots (state transfer & persistence) ------------------------------------------------
 
   struct SnapshotVertex {
     EventId id = kInvalidEvent;
@@ -176,52 +109,219 @@ class EventGraph {
     std::vector<EventId> successors;
   };
 
+  // An immutable, lock-free view of the graph at one published version. Holds an epoch pin
+  // for its whole lifetime: the version (and everything it references) cannot be reclaimed
+  // until this handle is destroyed, no matter how many writes land meanwhile. Cheap to take
+  // (one epoch pin + one atomic load), movable, and must be released on the thread that took
+  // it. The graph must outlive every snapshot taken from it.
+  //
+  // All answers are computed against the pinned version: a snapshot taken before a write does
+  // not see it (and a checkpoint serialized from one is a true point-in-time cut), which is
+  // what makes long-running analytics reads consistent. Read counters (traversals, cache
+  // hits, ts_*) still land on the owning graph's relaxed atomics.
+  class ReadSnapshot {
+   public:
+    ReadSnapshot() = default;
+    ReadSnapshot(ReadSnapshot&&) noexcept = default;
+    ReadSnapshot& operator=(ReadSnapshot&&) noexcept = default;
+    ReadSnapshot(const ReadSnapshot&) = delete;
+    ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+    bool valid() const { return version_ != nullptr; }
+
+    // For each pair (e1, e2) reports kBefore, kAfter or kConcurrent as of this version.
+    // Fails with kNotFound if any named event is absent; no partial results are returned.
+    Result<std::vector<Order>> QueryOrder(std::span<const EventPair> pairs,
+                                          QueryTally* tally = nullptr) const;
+
+    bool Contains(EventId e) const;
+    Result<uint32_t> RefCount(EventId e) const;
+    Result<uint32_t> OutDegree(EventId e) const;
+    Result<HeightStamp> Stamp(EventId e) const;
+
+    // Monotonic publish sequence number of the pinned version (gen-tags order-cache entries).
+    uint64_t generation() const;
+    EventId next_id() const;
+    uint64_t live_events() const;
+    uint64_t live_edges() const;
+
+    // Write-side counters as of this version, merged with the graph's live read-side atomics.
+    Stats stats() const;
+
+    // Dumps every live vertex in ascending-id order (deterministic across replicas). Because
+    // the version is immutable, the dump is a true point-in-time cut even while writes race —
+    // this is what CheckpointNow() serializes from.
+    std::vector<SnapshotVertex> ExportSnapshot() const;
+
+    // A deterministic topological order over all live events (ids ascending among ready
+    // vertices). §3.3's observation made executable.
+    std::vector<EventId> TopologicalOrder() const;
+
+   private:
+    friend class EventGraph;
+    ReadSnapshot(const EventGraph* graph, EpochDomain::Pin pin, const Version* version)
+        : graph_(graph), pin_(std::move(pin)), version_(version) {}
+
+    const EventGraph* graph_ = nullptr;
+    EpochDomain::Pin pin_;
+    const Version* version_ = nullptr;
+  };
+
+  EventGraph();
+  ~EventGraph();
+
+  EventGraph(const EventGraph&) = delete;
+  EventGraph& operator=(const EventGraph&) = delete;
+
+  // Pins the current published version for lock-free reading. See ReadSnapshot.
+  ReadSnapshot GetSnapshot() const;
+
+  // --- Table 1 API (mutators require external serialization) ---------------------------------
+
+  // Creates a new event with reference count 1 (the creator's handle) and returns its id.
+  EventId CreateEvent();
+
+  // Increments the reference count on e.
+  Status AcquireRef(EventId e);
+
+  // Decrements the reference count on e. If the count reaches zero this triggers strict
+  // garbage collection (§2.3); the returned value is the number of events collected by this
+  // call (possibly zero if e is pinned by a live predecessor).
+  Result<uint64_t> ReleaseRef(EventId e);
+
+  // Atomically applies a batch of ordering requests. All kMust pairs are validated and applied
+  // before any kPrefer pair (§2.2). If a kMust pair contradicts the existing graph the whole
+  // batch aborts with kOrderViolation and no side effects. kPrefer pairs never abort: a
+  // contradicted prefer is reported as kReversed.
+  Result<std::vector<AssignOutcome>> AssignOrder(std::span<const AssignSpec> specs);
+
+  // --- Publish batching (writer-side, optional) ----------------------------------------------
+  //
+  // By default every mutator publishes a fresh version on return, so readers see each command
+  // as soon as it completes. A writer applying a whole replicated run can bracket it with
+  // Begin/EndWriteBatch to publish once per run instead — chunk copy-on-write then amortizes
+  // over the run, and readers keep serving the pre-run version meanwhile (replies for the run
+  // are only sent after EndWriteBatch, so no client can read-miss its own acknowledged write).
+  // FlushWriteBatch publishes mid-batch; the state machine calls it before an in-log query so
+  // a pipelined assign-then-query observes its own writes (read-your-writes within the log).
+  void BeginWriteBatch();
+  void EndWriteBatch();
+  void FlushWriteBatch();
+
+  // --- Introspection (lock-free snapshot wrappers, safe from any thread) ---------------------
+
+  bool Contains(EventId e) const;
+  Result<uint32_t> RefCount(EventId e) const;
+  Result<uint32_t> OutDegree(EventId e) const;
+  Result<HeightStamp> Stamp(EventId e) const;
+  Result<std::vector<Order>> QueryOrder(std::span<const EventPair> pairs,
+                                        QueryTally* tally = nullptr) const;
+  uint64_t live_events() const;
+  uint64_t live_edges() const;
+
+  // A coherent snapshot of the counters: write-side fields from the published version,
+  // read-side fields (traversals, vertices_visited, cache_hits, ts_*) from relaxed atomics.
+  Stats stats() const;
+
+  // The internal query cache, or null if EnableQueryCache was never called. Exposed so servers
+  // can export hit/miss/eviction counts; the cache's own accounting is internally locked and
+  // safe to poll concurrently.
+  const OrderCache* query_cache() const {
+    return query_cache_.load(std::memory_order_acquire);
+  }
+
+  // §2.5: "Kronos can maintain an internal cache of traversal results ... to improve traversal
+  // efficiency." Enables an LRU cache of ordered query answers (monotonicity makes them final;
+  // kConcurrent is never cached), sharded `shards` ways so concurrent lock-free readers do not
+  // serialize on one cache mutex. Entries are tagged with the publishing generation, and a
+  // snapshot only consumes entries no newer than its own version — snapshot answers stay
+  // bit-identical to a quiesced BFS. Purely an accelerator: results are identical with or
+  // without it, so replicas may enable it independently without breaking determinism of
+  // outputs. Requires external serialization against other mutators; a previous cache is
+  // retired through the epoch domain, so in-flight readers finish against it safely.
+  void EnableQueryCache(size_t capacity, uint32_t shards = 1);
+
+  // A/B switch for the height-stamp fast path (DESIGN.md §5.9). On (the default), query_order
+  // refutes impossible directions from the stamps alone — a pair refuted both ways returns
+  // kConcurrent with zero traversal — and the surviving BFS prunes every expansion whose
+  // stamp already meets the target's. Off reproduces the pure-BFS baseline
+  // (bench/micro_query_fastpath measures the difference). Purely an accelerator: answers are
+  // bit-identical either way, so replicas may disagree on this setting without diverging.
+  // Stamps are maintained regardless, so the switch may be flipped at any time (atomic).
+  void EnableTimestampFilter(bool enabled) {
+    ts_filter_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool timestamp_filter_enabled() const {
+    return ts_filter_enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Approximate heap bytes retained by the graph: chunk storage, adjacency lists, the id map,
+  // and versions awaiting epoch reclamation. Writer-side accounting — call it from the thread
+  // that owns writes (or with writes quiesced), like the mutators. Drives the Fig. 10 memory
+  // experiment.
+  uint64_t ApproxMemoryBytes() const;
+
+  // Epoch-reclamation telemetry for this graph's domain (kronos_epoch_* gauges) and a manual
+  // collection hook: reclamation normally rides each publish, so a telemetry poll calling
+  // CollectEpochGarbage() lets an idle graph drain its limbo without waiting for a write.
+  EpochDomain::Stats epoch_stats() const { return epoch_.stats(); }
+  size_t CollectEpochGarbage() const { return epoch_.Collect(); }
+
+  // --- Snapshots (state transfer & persistence) ----------------------------------------------
+
   // The next id CreateEvent would hand out (monotonic; part of the replicated state).
+  // Writer-side: serialize against mutators (prefer ReadSnapshot::next_id() on read paths).
   EventId next_id() const { return next_id_; }
 
-  // Dumps every live vertex in ascending-id order (deterministic across replicas).
+  // Snapshot wrappers (see ReadSnapshot for the point-in-time guarantees).
   std::vector<SnapshotVertex> ExportSnapshot() const;
+  std::vector<EventId> TopologicalOrder() const;
 
   // Rebuilds the graph from a snapshot. Only valid on an empty graph; validates referential
   // integrity (successors must exist, ids below next_id) but trusts acyclicity — snapshots
   // come from a replica that maintained the coherency invariant.
   Status ImportSnapshot(EventId next_id, const std::vector<SnapshotVertex>& vertices);
 
-  // A deterministic topological order over all live events (ids ascending among ready
-  // vertices). This is the §3.3 observation made executable: "any topological sort of the
-  // event dependency graph will yield a schedule ... equivalent to the actual execution".
-  std::vector<EventId> TopologicalOrder() const;
-
  private:
   using Slot = uint32_t;
   static constexpr Slot kNoSlot = UINT32_MAX;
+  static constexpr uint32_t kChunkBits = 7;  // 128 vertex records per chunk
+  static constexpr uint32_t kChunkSlots = 1u << kChunkBits;
+  static constexpr uint32_t kIdChunkBits = 10;  // 1024 id cells per chunk
+  static constexpr uint32_t kIdChunkSlots = 1u << kIdChunkBits;
 
-  struct Vertex {
-    EventId id = kInvalidEvent;  // kInvalidEvent marks a free slot
-    uint32_t refcount = 0;
-    uint32_t indegree = 0;
-    // Height stamp (src/clocks/height_stamp.h): every edge u -> v maintains
-    // stamp(u) < stamp(v), so stamps refute impossible orders without traversal. Reset to
-    // the origin on slot (re)allocation; only ever raised while the vertex lives.
-    HeightStamp stamp = kHeightStampOrigin;
-    std::vector<Slot> out;  // direct successors (happens-after this event)
-  };
+  using ChunkDir = std::vector<std::shared_ptr<Chunk>>;
+  using IdDir = std::vector<std::shared_ptr<IdChunk>>;
 
   // One saved (slot, previous stamp) pair, journaled by RaiseStamps so an aborted
   // assign_order batch can restore every stamp it raised (stamps are replicated state — an
   // aborted batch must leave no trace).
   using StampJournal = std::vector<std::pair<Slot, HeightStamp>>;
 
-  Slot FindSlot(EventId e) const;
-  Slot AllocateSlot(EventId id);
+  static const VertexRec& RecAt(const ChunkDir& chunks, Slot slot);
+  static Slot LookupId(const IdDir& ids, EventId next_id, EventId e);
 
-  // True iff a directed path from -> to exists. Runs BFS over out-edges using the supplied
-  // scratch lease; counts into the relaxed read-side counters. Const so the query path can
-  // share the graph across threads. When the timestamp filter is enabled, expansions whose
-  // stamp already meets or exceeds stamp(to) are skipped — sound because a path w -> to
-  // would force stamp(w) < stamp(to) — and charged to the scratch's pruned tally (the
-  // monotone frontier bound of DESIGN.md §5.9).
-  bool Reachable(Slot from, Slot to, TraversalScratch& scratch) const;
+  // Writer-side id lookup over the working directories.
+  Slot FindSlot(EventId e) const;
+  const VertexRec& WriterRec(Slot slot) const;
+
+  // Returns a mutable record for `slot`, cloning its chunk copy-on-write unless the slot is
+  // tail-fresh (not covered by any published version) or the chunk was already cloned this
+  // publish interval. References stay valid across further WritableRec calls within the same
+  // interval (a chunk is cloned at most once per interval).
+  VertexRec& WritableRec(Slot slot);
+  void EnsureChunk(size_t chunk);
+  void SetIdCell(EventId id, uint32_t slot_plus1);
+
+  Slot AllocateSlot(EventId id);
+  void AppendOut(VertexRec& rec, Slot succ);
+
+  // True iff a directed path from -> to exists in `chunks` (BFS over out-edges). When the
+  // timestamp filter is enabled, expansions whose stamp already meets or exceeds stamp(to)
+  // are skipped — sound because a path w -> to would force stamp(w) < stamp(to) — and charged
+  // to the scratch's pruned tally (the monotone frontier bound of DESIGN.md §5.9).
+  bool Reachable(const ChunkDir& chunks, uint32_t num_slots, Slot from, Slot to,
+                 TraversalScratch& scratch) const;
 
   // Relaxes stamps after edge u -> v is added: stamp(v) = max(stamp(v), stamp(u) + 1),
   // cascading along out-edges until the clock condition holds everywhere. Deterministic (the
@@ -239,25 +339,40 @@ class EventGraph {
   // Collects `start` if eligible and cascades topologically; returns events collected.
   uint64_t CollectFrom(Slot start);
 
-  std::vector<Vertex> vertices_;
-  std::vector<Slot> free_slots_;
-  std::unordered_map<EventId, Slot> id_to_slot_;
+  // Publishes the working state as a new version (retiring the old one into the epoch
+  // domain), or marks the open write batch dirty.
+  void MaybePublish();
+  void PublishNow();
+
+  // Epoch domain guarding this graph's published versions. Mutable: pinning is logically
+  // const (readers), and the domain is internally synchronized.
+  mutable EpochDomain epoch_;
+  std::atomic<const Version*> published_{nullptr};
+
+  // --- Writer-only working state (requires external serialization) --------------------------
+  std::shared_ptr<ChunkDir> chunks_;
+  std::shared_ptr<IdDir> ids_;
+  bool chunks_owned_ = false;  // directory cloned this publish interval (private until publish)
+  bool ids_owned_ = false;
+  std::vector<uint64_t> chunk_batch_;     // chunk_batch_[c] == publish_count_ => privately owned
+  std::vector<uint64_t> id_chunk_batch_;  // same, for the id directory
+  uint64_t publish_count_ = 1;            // current publish interval (tags COW ownership)
+  uint32_t num_slots_ = 0;
+  uint32_t published_num_slots_ = 0;  // frozen at last publish; slots past it are tail-fresh
   EventId next_id_ = 1;
+  EventId published_next_id_ = 1;  // frozen at last publish; ids past it are tail-fresh
+  std::vector<Slot> free_slots_;
+  int batch_depth_ = 0;
+  bool batch_dirty_ = false;
+  Stats stats_;  // write-side counters; copied into every published version
 
-  // Traversal state (§2.2): epoch-versioned visited sets + BFS frontiers, leased per
-  // traversal batch so concurrent readers never share scratch memory.
-  mutable TraversalScratchPool scratch_pool_;
+  // Read-path configuration. Atomic so lock-free readers may load them while a (serialized)
+  // configuration call swaps them; a replaced cache is retired through the epoch domain.
+  std::atomic<bool> ts_filter_enabled_{true};
+  std::atomic<OrderCache*> query_cache_{nullptr};
 
-  std::unique_ptr<OrderCache> query_cache_;  // null unless EnableQueryCache was called
-
-  // Height-stamp fast path switch (EnableTimestampFilter). Read on the shared query path,
-  // written only at configuration time under exclusive access — same discipline as
-  // query_cache_.
-  bool ts_filter_enabled_ = true;
-
-  // Write-side counters: mutated only under exclusive access. The read-side counters in
-  // Stats are carried by the atomics below instead and merged in stats().
-  Stats stats_;
+  // Read-side counters: bumped with relaxed atomics by concurrent snapshot reads, merged into
+  // Stats by stats().
   mutable std::atomic<uint64_t> traversals_{0};
   mutable std::atomic<uint64_t> vertices_visited_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};

@@ -6,45 +6,62 @@
 
 namespace kronos {
 
-OrderCache::OrderCache(Options options)
-    : options_(options), cache_(options.capacity == 0 ? 1 : options.capacity) {}
+OrderCache::OrderCache(Options options) : options_(options) {
+  const uint32_t shards = options.shards == 0 ? 1 : options.shards;
+  const size_t total = options.capacity == 0 ? 1 : options.capacity;
+  const size_t per_shard = std::max<size_t>(1, total / shards);
+  shards_.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
 
-std::optional<Order> OrderCache::Lookup(EventId e1, EventId e2) {
-  std::lock_guard<std::mutex> lock(mu_);
+std::optional<Order> OrderCache::Lookup(EventId e1, EventId e2, uint64_t gen) {
   const PairKey key = MakeKey(e1, e2);
-  std::optional<Order> cached = cache_.Get(key);
-  if (!cached.has_value()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::optional<Entry> cached = shard.cache.Get(key);
+  if (!cached.has_value() || cached->gen > gen) {
+    // Absent, or learned after the caller's snapshot was pinned. A too-new entry stays
+    // resident (it serves every newer reader); this reader just cannot use it yet.
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
   // Stored order is relative to the normalized (a, b); flip if the caller asked (b, a).
   if (e1 == key.a) {
-    return cached;
+    return cached->order;
   }
-  return *cached == Order::kBefore ? Order::kAfter : Order::kBefore;
+  return cached->order == Order::kBefore ? Order::kAfter : Order::kBefore;
 }
 
-std::optional<bool> OrderCache::CachedBefore(EventId x, EventId y) {
+std::optional<std::pair<bool, uint64_t>> OrderCache::CachedBefore(Shard& shard, EventId x,
+                                                                  EventId y) {
   const PairKey key = MakeKey(x, y);
-  std::optional<Order> cached = cache_.Peek(key);
+  if (&ShardFor(key) != &shard) {
+    return std::nullopt;  // cross-shard fact: invisible to this shard's prefill
+  }
+  std::optional<Entry> cached = shard.cache.Peek(key);
   if (!cached.has_value()) {
     return std::nullopt;
   }
-  const bool a_before_b = (*cached == Order::kBefore);
-  return (x == key.a) ? a_before_b : !a_before_b;
+  const bool a_before_b = (cached->order == Order::kBefore);
+  return std::make_pair((x == key.a) ? a_before_b : !a_before_b, cached->gen);
 }
 
-void OrderCache::InsertRaw(EventId before, EventId after) {
+void OrderCache::InsertRaw(Shard& shard, EventId before, EventId after, uint64_t gen) {
   const PairKey key = MakeKey(before, after);
   const Order stored = (before == key.a) ? Order::kBefore : Order::kAfter;
-  if (!cache_.Contains(key)) {
+  std::optional<Entry> existing = shard.cache.Peek(key);
+  if (!existing.has_value()) {
     auto bound_push = [&](EventId from, EventId to) {
-      std::vector<EventId>& vec = index_[from];
+      std::vector<EventId>& vec = shard.index[from];
       if (std::find(vec.begin(), vec.end(), to) == vec.end()) {
         if (vec.size() >= options_.prefill_fanout) {
           // Lazily drop entries whose pair has been evicted from the LRU.
-          std::erase_if(vec, [&](EventId other) { return !cache_.Contains(MakeKey(from, other)); });
+          std::erase_if(vec, [&](EventId other) {
+            return !shard.cache.Contains(MakeKey(from, other));
+          });
         }
         if (vec.size() < options_.prefill_fanout) {
           vec.push_back(to);
@@ -53,78 +70,116 @@ void OrderCache::InsertRaw(EventId before, EventId after) {
     };
     bound_push(before, after);
     bound_push(after, before);
+  } else {
+    // Re-learning a final fact: keep the earliest generation so the entry stays visible to
+    // the widest range of snapshots (monotonicity guarantees the order itself agrees).
+    gen = std::min(gen, existing->gen);
   }
-  cache_.Put(key, stored);
+  shard.cache.Put(key, Entry{stored, gen});
 }
 
-void OrderCache::Insert(EventId e1, EventId e2, Order order) {
+void OrderCache::Insert(EventId e1, EventId e2, Order order, uint64_t gen) {
   if (order == Order::kConcurrent) {
     return;  // Concurrency is not stable under monotonic refinement; never cache it.
   }
-  std::lock_guard<std::mutex> lock(mu_);
   const EventId before = (order == Order::kBefore) ? e1 : e2;
   const EventId after = (order == Order::kBefore) ? e2 : e1;
-  InsertRaw(before, after);
+  const PairKey key = MakeKey(before, after);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertRaw(shard, before, after, gen);
   if (options_.transitive_prefill) {
-    Prefill(before, after);
+    Prefill(shard, before, after, gen);
   }
 }
 
-void OrderCache::Prefill(EventId before, EventId after) {
-  // u -> v learned. For cached v -> w infer u -> w; for cached w -> u infer w -> v.
-  auto it = index_.find(after);
-  if (it != index_.end()) {
+void OrderCache::Prefill(Shard& shard, EventId before, EventId after, uint64_t gen) {
+  // u -> v learned. For cached v -> w infer u -> w; for cached w -> u infer w -> v. The
+  // inferred fact is tagged max(gen of both sources): it only holds once both do.
+  auto it = shard.index.find(after);
+  if (it != shard.index.end()) {
     // Copy: InsertRaw mutates the index.
     const std::vector<EventId> neighbours = it->second;
     for (const EventId w : neighbours) {
       if (w == before) {
         continue;
       }
-      std::optional<bool> v_before_w = CachedBefore(after, w);
-      if (v_before_w.has_value() && *v_before_w) {
+      auto v_before_w = CachedBefore(shard, after, w);
+      if (v_before_w.has_value() && v_before_w->first) {
         const PairKey key = MakeKey(before, w);
-        if (!cache_.Contains(key)) {
-          InsertRaw(before, w);
-          ++prefills_;
+        if (&ShardFor(key) == &shard && !shard.cache.Contains(key)) {
+          InsertRaw(shard, before, w, std::max(gen, v_before_w->second));
+          ++shard.prefills;
         }
       }
     }
   }
-  it = index_.find(before);
-  if (it != index_.end()) {
+  it = shard.index.find(before);
+  if (it != shard.index.end()) {
     const std::vector<EventId> neighbours = it->second;
     for (const EventId w : neighbours) {
       if (w == after) {
         continue;
       }
-      std::optional<bool> w_before_u = CachedBefore(w, before);
-      if (w_before_u.has_value() && *w_before_u) {
+      auto w_before_u = CachedBefore(shard, w, before);
+      if (w_before_u.has_value() && w_before_u->first) {
         const PairKey key = MakeKey(w, after);
-        if (!cache_.Contains(key)) {
-          InsertRaw(w, after);
-          ++prefills_;
+        if (&ShardFor(key) == &shard && !shard.cache.Contains(key)) {
+          InsertRaw(shard, w, after, std::max(gen, w_before_u->second));
+          ++shard.prefills;
         }
       }
     }
   }
+}
+
+size_t OrderCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->cache.size();
+  }
+  return total;
+}
+
+uint64_t OrderCache::evictions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->cache.evictions();
+  }
+  return total;
+}
+
+uint64_t OrderCache::prefills() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->prefills;
+  }
+  return total;
 }
 
 OrderCache::Stats OrderCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  s.evictions = cache_.evictions();
-  s.prefills = prefills_;
-  s.size = cache_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.evictions += shard->cache.evictions();
+    s.prefills += shard->prefills;
+    s.size += shard->cache.size();
+  }
   return s;
 }
 
 void OrderCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_.Clear();
-  index_.clear();
-  prefills_ = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cache.Clear();
+    shard->index.clear();
+    shard->prefills = 0;
+  }
   // hits_/misses_/evictions are lifetime counters and survive Clear(), matching LruCache.
 }
 

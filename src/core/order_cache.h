@@ -4,25 +4,38 @@
 // may be cached indefinitely and shared freely. kConcurrent answers can be invalidated by any
 // later assign_order and are therefore never cached.
 //
+// Generations: every entry carries the publish generation it was learned at. A snapshot reader
+// passes its own generation to Lookup and only consumes entries no newer than its version — an
+// order established AFTER the snapshot was pinned must not leak backwards in time, or snapshot
+// answers would stop being bit-identical to a quiesced traversal of the pinned version. A
+// too-new entry counts as a miss but is not evicted (newer readers still want it). Duplicate
+// inserts keep the MINIMUM generation: orders are final, so the earliest sighting serves the
+// widest range of snapshots. Transitively inferred entries get the max of their sources' tags
+// (the inference is only valid once both facts exist).
+//
 // Transitive prefill: when the cache learns u -> v and already knows v -> w, it infers and
 // stores u -> w without a service call. Prefill work is bounded by capping the per-event index
 // fan-out.
 //
-// Thread safety: all operations take an internal mutex, so the cache is usable from the
-// engine's concurrent (shared-mode) query path. The lock covers only cache bookkeeping —
-// Lookup mutates LRU recency even on the read path — never a graph traversal, so contention is
-// a few pointer splices per query. Because only true, final facts are ever stored, readers can
-// never observe a stale or contradictory entry regardless of interleaving.
+// Thread safety & sharding: state is split into `shards` independently locked shards (pairs
+// are assigned by hash), so concurrent lock-free graph readers do not serialize on one cache
+// mutex — with enough shards, a lock hand-off is almost always uncontended. Each lock covers
+// only cache bookkeeping (Lookup mutates LRU recency even on the read path), never a graph
+// traversal. Because only true, final facts are ever stored, readers can never observe a stale
+// or contradictory entry regardless of interleaving. Prefill inference runs within a single
+// shard: an inferred pair that hashes elsewhere is skipped (a bounded loss of optional work,
+// never of correctness). shards == 1 reproduces the original single-mutex behaviour exactly.
 //
-// Accounting: hit/miss counters are relaxed atomics (the PR-1 read-stats convention — monotone
-// counters with no ordering obligations), so stats() can be polled by a telemetry snapshot
-// while queries run. Evictions and prefills are write-path counters maintained under the
-// mutex.
+// Accounting: hit/miss counters are global relaxed atomics (the PR-1 read-stats convention —
+// monotone counters with no ordering obligations) and stay EXACT under sharding: every Lookup
+// bumps exactly one of them, so hits + misses == lookups always holds. Evictions and prefills
+// are per-shard write-path counters, summed on read.
 #ifndef KRONOS_CORE_ORDER_CACHE_H_
 #define KRONOS_CORE_ORDER_CACHE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -40,12 +53,15 @@ class OrderCache {
     bool transitive_prefill = true;
     // Maximum number of cached neighbours examined per endpoint during prefill.
     size_t prefill_fanout = 16;
+    // Independently locked shards; capacity is split evenly across them. 1 = the original
+    // single-mutex cache. Servers with concurrent readers want a small power of two (e.g. 8).
+    uint32_t shards = 1;
   };
 
   // Point-in-time counter snapshot, pollable while queries run.
   struct Stats {
     uint64_t hits = 0;       // Lookup answered from the cache
-    uint64_t misses = 0;     // Lookup found nothing
+    uint64_t misses = 0;     // Lookup found nothing usable (absent or newer than the reader)
     uint64_t evictions = 0;  // entries displaced by capacity pressure
     uint64_t prefills = 0;   // entries inferred transitively, no service call
     uint64_t size = 0;       // entries currently resident
@@ -54,26 +70,20 @@ class OrderCache {
   explicit OrderCache(Options options);
   explicit OrderCache(size_t capacity) : OrderCache(Options{.capacity = capacity}) {}
 
-  // Returns the cached order of (e1, e2) if known. Never returns kConcurrent.
-  std::optional<Order> Lookup(EventId e1, EventId e2);
+  // Returns the cached order of (e1, e2) if known AND learned at a generation <= gen. The
+  // default bound accepts everything (callers outside the snapshot machinery — client-side
+  // caches — have no generations).
+  std::optional<Order> Lookup(EventId e1, EventId e2, uint64_t gen = UINT64_MAX);
 
-  // Records an order learned from the service. kConcurrent is ignored (not cacheable).
-  void Insert(EventId e1, EventId e2, Order order);
+  // Records an order learned from the service at publish generation `gen` (0 = "always
+  // visible"). kConcurrent is ignored (not cacheable).
+  void Insert(EventId e1, EventId e2, Order order, uint64_t gen = 0);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return cache_.size();
-  }
+  size_t size() const;
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return cache_.evictions();
-  }
-  uint64_t prefills() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return prefills_;
-  }
+  uint64_t evictions() const;
+  uint64_t prefills() const;
 
   Stats stats() const;
 
@@ -101,30 +111,49 @@ class OrderCache {
     }
   };
 
+  // Cached fact: the order of the normalized pair plus the generation it was learned at.
+  struct Entry {
+    Order order;
+    uint64_t gen;
+  };
+
+  struct Shard {
+    explicit Shard(size_t capacity) : cache(capacity) {}
+
+    mutable std::mutex mu;  // guards cache, index, prefills
+    // Value is the order of (key.a, key.b) in normalized form; only kBefore/kAfter stored.
+    LruCache<PairKey, Entry, PairKeyHash> cache;
+    // For each event, a bounded list of events it has cached pairs with (lazily cleaned).
+    std::unordered_map<EventId, std::vector<EventId>> index;
+    uint64_t prefills = 0;
+  };
+
   static PairKey MakeKey(EventId e1, EventId e2) {
     return e1 < e2 ? PairKey{e1, e2} : PairKey{e2, e1};
   }
 
-  // Inserts without prefill (used by prefill itself to avoid recursion).
-  void InsertRaw(EventId before, EventId after);
+  Shard& ShardFor(const PairKey& key) const {
+    return *shards_[PairKeyHash{}(key) % shards_.size()];
+  }
 
-  // Looks up the directed relation between x and y: true if x -> y cached, false if y -> x
-  // cached, nullopt otherwise.
-  std::optional<bool> CachedBefore(EventId x, EventId y);
+  // Inserts without prefill (used by prefill itself to avoid recursion). Duplicate inserts
+  // keep the minimum generation. Caller holds shard.mu.
+  void InsertRaw(Shard& shard, EventId before, EventId after, uint64_t gen);
 
-  void Prefill(EventId before, EventId after);
+  // Looks up the directed relation between x and y within `shard`: the bool is true if x -> y
+  // is cached, false if y -> x is; the uint64_t is the entry's generation. Returns nullopt if
+  // the pair is absent OR hashes to a different shard. Caller holds shard.mu.
+  std::optional<std::pair<bool, uint64_t>> CachedBefore(Shard& shard, EventId x, EventId y);
+
+  void Prefill(Shard& shard, EventId before, EventId after, uint64_t gen);
 
   Options options_;
   // Hit/miss counters: relaxed atomics bumped on the Lookup path so they can be read without
-  // the mutex (telemetry polls them while shared-mode queries run).
+  // any shard mutex (telemetry polls them while lock-free queries run). Global, hence exact
+  // regardless of shard count.
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
-  mutable std::mutex mu_;  // guards cache_, index_, prefills_
-  // Value is the order of (key.a, key.b) in normalized form; only kBefore/kAfter stored.
-  LruCache<PairKey, Order, PairKeyHash> cache_;
-  // For each event, a bounded list of events it has cached pairs with (lazily cleaned).
-  std::unordered_map<EventId, std::vector<EventId>> index_;
-  uint64_t prefills_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace kronos

@@ -23,6 +23,9 @@ CommandResult KronosStateMachine::Apply(const Command& command) {
       break;
     }
     case CommandType::kQueryOrder: {
+      // Log-order determinism: a query replayed from the log must observe every write that
+      // precedes it in the log, even when the caller batches publishes around a run.
+      graph_.FlushWriteBatch();
       result = ApplyReadOnly(command);
       break;
     }
@@ -50,20 +53,26 @@ void KronosStateMachine::ApplyBatch(std::span<const Command> commands,
   }
 }
 
-CommandResult KronosStateMachine::ApplyReadOnly(const Command& command,
-                                                EventGraph::QueryTally* tally) const {
+CommandResult KronosStateMachine::ExecuteReadOnly(const EventGraph::ReadSnapshot& snapshot,
+                                                  const Command& command,
+                                                  EventGraph::QueryTally* tally) {
   CommandResult result;
   if (!command.IsReadOnly()) {
     result.status = InvalidArgument("ApplyReadOnly: command mutates state");
     return result;
   }
-  Result<std::vector<Order>> orders = graph_.QueryOrder(command.pairs, tally);
+  Result<std::vector<Order>> orders = snapshot.QueryOrder(command.pairs, tally);
   if (orders.ok()) {
     result.orders = *std::move(orders);
   } else {
     result.status = orders.status();
   }
   return result;
+}
+
+CommandResult KronosStateMachine::ApplyReadOnly(const Command& command,
+                                                EventGraph::QueryTally* tally) const {
+  return ExecuteReadOnly(graph_.GetSnapshot(), command, tally);
 }
 
 }  // namespace kronos

@@ -28,10 +28,17 @@ class KronosStateMachine {
   // mutating commands (this is what keeps replicas byte-identical).
   CommandResult Apply(const Command& command);
 
-  // Executes a read-only command (IsReadOnly() must hold). Const and re-entrant: any number
-  // of threads may call this concurrently under a shared lock that excludes Apply(). Produces
-  // bit-identical results to routing the same command through Apply(). A non-null tally
-  // receives the query batch's work accounting (EventGraph::QueryTally) for request tracing.
+  // Executes a read-only command (IsReadOnly() must hold) against a pinned graph snapshot —
+  // the lock-free read path (DESIGN.md §5.12). Any number of threads may call this fully
+  // concurrently with Apply(); each sees exactly the snapshot's version. Produces
+  // bit-identical results to routing the same command through Apply() at the point the
+  // snapshot was taken. A non-null tally receives the query batch's work accounting
+  // (EventGraph::QueryTally) for request tracing.
+  static CommandResult ExecuteReadOnly(const EventGraph::ReadSnapshot& snapshot,
+                                       const Command& command,
+                                       EventGraph::QueryTally* tally = nullptr);
+
+  // One-shot convenience: pins the current version and executes there.
   CommandResult ApplyReadOnly(const Command& command,
                               EventGraph::QueryTally* tally = nullptr) const;
 

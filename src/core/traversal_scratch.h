@@ -1,26 +1,20 @@
-// TraversalScratch: per-traversal BFS state (visited set + frontier), checked out of a
-// TraversalScratchPool so any number of concurrent read-path traversals can run over one
-// EventGraph without sharing mutable memory.
+// TraversalScratch: per-thread BFS state (visited set + frontier), so any number of
+// concurrent lock-free read-path traversals can run over one EventGraph without sharing
+// mutable memory. The engine keeps one instance per reader thread (a function-local
+// thread_local), so the read path touches no pool mutex and no allocator once warmed up.
 //
 // The visited set is an epoch-versioned variant of the §2.2 Briggs–Torczon structure: each
 // slot carries the epoch of the last traversal that visited it, so "clear" is a single epoch
 // increment and membership is mark_[slot] == epoch_. This keeps the properties the paper cares
 // about — O(1) clear, O(vertices actually visited) traversal cost, no allocation on the hot
-// path once warmed up — while making the memory private to the borrowing thread instead of a
+// path once warmed up — while making the memory private to the reading thread instead of a
 // member of the (shared) graph. The frontier doubles as the record of every vertex visited
-// this epoch, which is what the engine charges to its vertices_visited counter.
-//
-// Pool discipline: Acquire() hands out an RAII lease; the scratch returns to the free list
-// when the lease dies. The pool grows on demand (one scratch per concurrently running
-// traversal batch, so it is bounded by reader-thread count) and only touches its mutex at
-// checkout/checkin — never during a traversal.
+// this epoch, which is what the engine charges to its vertices_visited counter. Begin() bumps
+// the epoch, so one instance can serve traversals over any number of graphs in any order.
 #ifndef KRONOS_CORE_TRAVERSAL_SCRATCH_H_
 #define KRONOS_CORE_TRAVERSAL_SCRATCH_H_
 
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -67,8 +61,8 @@ class TraversalScratch {
 
   // Stamp-pruning tally (DESIGN.md §5.9): expansions the engine skipped because the
   // neighbour's height stamp already met the target's bound. Accumulated across every walk
-  // of the lease-holder's batch so the engine charges its relaxed ts_pruned counter ONCE per
-  // query batch instead of once per BFS; the engine resets it when it takes the total.
+  // of the thread's current batch so the engine charges its relaxed ts_pruned counter ONCE
+  // per query batch instead of once per BFS; the engine resets it when it takes the total.
   void AddPruned(uint64_t n) { pruned_ += n; }
   uint64_t TakePruned() {
     const uint64_t n = pruned_;
@@ -97,79 +91,6 @@ class TraversalScratch {
   std::vector<uint32_t> frontier_;
   uint64_t pruned_ = 0;   // see AddPruned/TakePruned
   uint64_t visited_ = 0;  // see AddVisited/TakeVisited
-};
-
-class TraversalScratchPool {
- public:
-  class Lease {
-   public:
-    Lease(TraversalScratchPool* pool, std::unique_ptr<TraversalScratch> scratch)
-        : pool_(pool), scratch_(std::move(scratch)) {}
-    ~Lease() {
-      if (scratch_ != nullptr) {
-        pool_->Return(std::move(scratch_));
-      }
-    }
-
-    Lease(Lease&& other) noexcept
-        : pool_(other.pool_), scratch_(std::move(other.scratch_)) {}
-    Lease& operator=(Lease&&) = delete;
-    Lease(const Lease&) = delete;
-    Lease& operator=(const Lease&) = delete;
-
-    TraversalScratch& operator*() { return *scratch_; }
-    TraversalScratch* operator->() { return scratch_.get(); }
-
-   private:
-    TraversalScratchPool* pool_;
-    std::unique_ptr<TraversalScratch> scratch_;
-  };
-
-  TraversalScratchPool() = default;
-
-  TraversalScratchPool(const TraversalScratchPool&) = delete;
-  TraversalScratchPool& operator=(const TraversalScratchPool&) = delete;
-
-  Lease Acquire() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!free_.empty()) {
-        std::unique_ptr<TraversalScratch> scratch = std::move(free_.back());
-        free_.pop_back();
-        return Lease(this, std::move(scratch));
-      }
-    }
-    return Lease(this, std::make_unique<TraversalScratch>());
-  }
-
-  // Bytes retained by scratches currently checked in. Leased-out scratches are not counted;
-  // in the single-threaded deployments that read this (Fig. 10) nothing is ever checked out
-  // between queries, so the value is exact there.
-  uint64_t ApproxMemoryBytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    uint64_t bytes = 0;
-    for (const auto& scratch : free_) {
-      bytes += scratch->ApproxMemoryBytes();
-    }
-    bytes += free_.capacity() * sizeof(void*);
-    return bytes;
-  }
-
-  size_t idle() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return free_.size();
-  }
-
- private:
-  friend class Lease;
-
-  void Return(std::unique_ptr<TraversalScratch> scratch) {
-    std::lock_guard<std::mutex> lock(mu_);
-    free_.push_back(std::move(scratch));
-  }
-
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<TraversalScratch>> free_;
 };
 
 }  // namespace kronos

@@ -43,7 +43,8 @@ KronosDaemon::KronosDaemon(Options options)
     cmd_us_[t] = &metrics_.GetHistogram("kronos_cmd_" + name + "_us");
   }
   if (options_.query_cache_capacity > 0) {
-    sm_.graph().EnableQueryCache(options_.query_cache_capacity);
+    sm_.graph().EnableQueryCache(options_.query_cache_capacity,
+                                 std::max<uint32_t>(1, options_.query_cache_shards));
   }
   sm_.graph().EnableTimestampFilter(options_.timestamp_filter);
   trace::Recorder::Global().SetEnabled(options_.tracing);
@@ -156,22 +157,36 @@ Result<KronosDaemon::CheckpointOutcome> KronosDaemon::CheckpointNow() {
   }
   // One checkpoint at a time: the background thread and a kCheckpoint trigger may race.
   std::lock_guard<std::mutex> serial(ckpt_serial_mutex_);
+  // Brief capture cut (DESIGN.md §5.12): under the writer mutex, pin the graph version and
+  // copy the session table + frontiers — a few loads and one table copy, no serialization.
+  // The epoch pin keeps the version (and everything it references) alive while the big
+  // serialize below runs with NO engine lock held, so a checkpoint of a large graph stalls
+  // writers for microseconds instead of the whole encode. The three captured pieces are
+  // mutually consistent because every mutator holds the same mutex.
   std::vector<uint8_t> snapshot;
   uint64_t local_frontier = 0;
   uint64_t global_frontier = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(sm_mutex_);
-    if (!wal_failed_.ok()) {
-      // A fail-stopped run may have retracted session entries (Forget) for applies still in
-      // memory; a checkpoint of that state could hand a post-restart retry a double apply.
-      // Recovery from the (intact) log is the only safe exit, so refuse.
-      checkpoint_failures_.Increment();
-      return Status(Unavailable("checkpoint refused: WAL is fail-stopped (" +
-                                wal_failed_.ToString() + ")"));
+    EventGraph::ReadSnapshot graph_snapshot;
+    uint64_t applied = 0;
+    std::vector<SessionTable::Entry> sessions;
+    {
+      std::lock_guard<std::mutex> lock(sm_mutex_);
+      if (!wal_failed_.ok()) {
+        // A fail-stopped run may have retracted session entries (Forget) for applies still in
+        // memory; a checkpoint of that state could hand a post-restart retry a double apply.
+        // Recovery from the (intact) log is the only safe exit, so refuse.
+        checkpoint_failures_.Increment();
+        return Status(Unavailable("checkpoint refused: WAL is fail-stopped (" +
+                                  wal_failed_.ToString() + ")"));
+      }
+      graph_snapshot = sm_.graph().GetSnapshot();
+      applied = sm_.applied_updates();
+      sessions = sm_.sessions().Export();
+      local_frontier = wal_frontier_;
+      global_frontier = wal_base_ordinal_ + wal_frontier_;
     }
-    snapshot = SerializeSnapshot(sm_);
-    local_frontier = wal_frontier_;
-    global_frontier = wal_base_ordinal_ + wal_frontier_;
+    snapshot = SerializeSnapshot(graph_snapshot, applied, sessions);
   }
   // The captured state can include applies whose records are still riding an in-flight group
   // commit. They must be durable BEFORE install: a checkpoint claiming to cover a record that
@@ -247,8 +262,18 @@ void KronosDaemon::CheckpointLoop() {
 }
 
 std::vector<uint8_t> KronosDaemon::ExportSnapshotBytes() const {
-  std::shared_lock<std::shared_mutex> lock(sm_mutex_);
-  return SerializeSnapshot(sm_);
+  // Same brief-cut discipline as CheckpointNow: capture under the writer mutex, serialize
+  // against the pinned version outside it.
+  EventGraph::ReadSnapshot graph_snapshot;
+  uint64_t applied = 0;
+  std::vector<SessionTable::Entry> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sm_mutex_);
+    graph_snapshot = sm_.graph().GetSnapshot();
+    applied = sm_.applied_updates();
+    sessions = sm_.sessions().Export();
+  }
+  return SerializeSnapshot(graph_snapshot, applied, sessions);
 }
 
 void KronosDaemon::AcceptLoop() {
@@ -350,8 +375,8 @@ bool KronosDaemon::ProcessFrames(TcpConnection& conn,
   };
   for (PendingRequest& req : reqs) {
     if (req.env.kind == MessageKind::kIntrospect) {
-      // Live stats: read-only, so it rides the shared lock like any query and never blocks
-      // the read path behind it.
+      // Live stats: read-only and (bar the session gauges' brief writer-mutex hold)
+      // lock-free, so it never blocks the read path behind it.
       flush();
       introspects_served_.Increment();
       req.reply = SerializeMetricsSnapshot(TelemetrySnapshot());
@@ -364,8 +389,9 @@ bool KronosDaemon::ProcessFrames(TcpConnection& conn,
       req.reply = SerializeTraceSpans(trace::Recorder::Global().Drain());
     } else if (req.env.kind == MessageKind::kCheckpoint) {
       // On-demand durable checkpoint (`kronos_cli checkpoint`). Runs on this serving thread:
-      // capture rides the shared lock, so concurrent reads keep flowing; the durability wait
-      // and file IO happen with no engine lock held at all.
+      // capture is a brief writer-mutex cut (snapshot pin + session copy), so concurrent
+      // reads keep flowing; serialization, the durability wait, and file IO happen with no
+      // engine lock held at all.
       flush();
       CheckpointReply cr;
       Result<CheckpointOutcome> outcome = CheckpointNow();
@@ -440,17 +466,20 @@ void KronosDaemon::ExecuteRead(PendingRequest& req) {
     trace::Record(trace::Stage::kQueueWait, req.rid, req.parsed_ns, begin_ns);
     req.stages.Add(trace::Stage::kQueueWait, req.parsed_ns, begin_ns);
   }
-  // Shared mode: query batches from any number of connections run concurrently; they only
-  // wait for in-flight updates, never for each other. Queries are idempotent, so session
-  // stamps (if any) are ignored — the dedup table guards mutations only.
+  // Lock-free read (DESIGN.md §5.12): pin the current graph version and query it. No lock,
+  // no waiting on in-flight updates, no waiting on other readers — the snapshot is immutable
+  // for as long as the pin lives. The simulated service time runs inside the snapshot scope:
+  // the pin is what a real engine would hold across its compute, so the benchmark's readers
+  // exercise exactly the retirement-while-pinned machinery. Queries are idempotent, so
+  // session stamps (if any) are ignored — the dedup table guards mutations only.
   CommandResult result;
   EventGraph::QueryTally tally;
   {
-    std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+    const EventGraph::ReadSnapshot snapshot = sm_.graph().GetSnapshot();
     if (options_.simulated_query_service_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_query_service_us));
     }
-    result = sm_.ApplyReadOnly(cmd, timed ? &tally : nullptr);
+    result = KronosStateMachine::ExecuteReadOnly(snapshot, cmd, timed ? &tally : nullptr);
   }
   const uint64_t end_ns = MonotonicNanos();
   if (timed) {
@@ -491,13 +520,21 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
   std::vector<bool> durability_gated(run.size(), false);
   std::vector<bool> committed_session(run.size(), false);  // Commit()ed in this run
   {
-    std::unique_lock<std::shared_mutex> lock(sm_mutex_);
+    std::lock_guard<std::mutex> lock(sm_mutex_);
     exclusive_run_cmds_.Record(run.size());
+    // One publish per run: the engine defers version publication until EndWriteBatch, so
+    // chunk copy-on-write amortizes across the whole coalesced batch. Readers keep serving
+    // the pre-run version meanwhile; replies leave only after the publish below, so no
+    // client can read-miss its own acknowledged write.
+    sm_.graph().BeginWriteBatch();
     for (size_t i = 0; i < run.size(); ++i) {
       PendingRequest& req = *run[i];
       const Command& cmd = req.cmd;
       if (cmd.IsReadOnly()) {
-        // serialize_reads ablation: the seed's single-mutex schedule.
+        // serialize_reads ablation: the seed's single-mutex schedule. Publish the run's
+        // writes so far first — the in-run read must observe them (read-your-writes in
+        // program order on this connection).
+        sm_.graph().FlushWriteBatch();
         if (options_.simulated_query_service_us > 0) {
           std::this_thread::sleep_for(
               std::chrono::microseconds(options_.simulated_query_service_us));
@@ -571,6 +608,7 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
         committed_session[i] = true;
       }
     }
+    sm_.graph().EndWriteBatch();
   }
   const uint64_t lock_end_ns = MonotonicNanos();
   if (timed) {
@@ -608,7 +646,7 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
       CommandResult failed;
       failed.status = durable;
       const std::vector<uint8_t> failed_bytes = SerializeCommandResult(failed);
-      std::unique_lock<std::shared_mutex> lock(sm_mutex_);
+      std::lock_guard<std::mutex> lock(sm_mutex_);
       if (wal_failed_.ok()) {
         wal_failed_ = durable;
         KLOG(Error) << "kronosd: WAL group commit failed (" << durable.ToString()
@@ -637,19 +675,13 @@ void KronosDaemon::ExecuteExclusiveRun(std::vector<PendingRequest*>& run) {
 }
 
 uint64_t KronosDaemon::live_events() const {
-  std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+  // Lock-free: EventGraph's const accessors pin a snapshot internally.
   return sm_.graph().live_events();
 }
 
-uint64_t KronosDaemon::live_edges() const {
-  std::shared_lock<std::shared_mutex> lock(sm_mutex_);
-  return sm_.graph().live_edges();
-}
+uint64_t KronosDaemon::live_edges() const { return sm_.graph().live_edges(); }
 
-EventGraph::Stats KronosDaemon::graph_stats() const {
-  std::shared_lock<std::shared_mutex> lock(sm_mutex_);
-  return sm_.graph().stats();
-}
+EventGraph::Stats KronosDaemon::graph_stats() const { return sm_.graph().stats(); }
 
 void KronosDaemon::ExportEngineGaugesLocked() const {
   const EventGraph::Stats gs = sm_.graph().stats();
@@ -678,6 +710,17 @@ void KronosDaemon::ExportEngineGaugesLocked() const {
   const trace::Recorder::Stats ts = trace::Recorder::Global().stats();
   metrics_.GetGauge("kronos_trace_spans_recorded").Set(static_cast<int64_t>(ts.recorded));
   metrics_.GetGauge("kronos_trace_spans_dropped").Set(static_cast<int64_t>(ts.dropped));
+  // Epoch-reclamation health (DESIGN.md §5.12, docs/OPERATIONS.md): versions awaiting
+  // reclamation, lifetime reclaim count, readers currently pinned, and how many epochs the
+  // oldest limbo entry lags the current one. A persistently high lag with pinned readers
+  // means some reader is holding a snapshot across a long pause (retired memory accrues
+  // until it unpins).
+  const EpochDomain::Stats es = sm_.graph().epoch_stats();
+  metrics_.GetGauge("kronos_epoch_retired_versions").Set(static_cast<int64_t>(es.retired));
+  metrics_.GetGauge("kronos_epoch_reclaimed_total")
+      .Set(static_cast<int64_t>(es.reclaimed_total));
+  metrics_.GetGauge("kronos_epoch_pinned_readers").Set(static_cast<int64_t>(es.pinned_readers));
+  metrics_.GetGauge("kronos_epoch_reclaim_lag").Set(static_cast<int64_t>(es.reclaim_lag));
   if (const OrderCache* cache = sm_.graph().query_cache()) {
     const OrderCache::Stats cs = cache->stats();
     metrics_.GetGauge("kronos_cache_hits").Set(static_cast<int64_t>(cs.hits));
@@ -690,7 +733,9 @@ void KronosDaemon::ExportEngineGaugesLocked() const {
 
 MetricsSnapshot KronosDaemon::TelemetrySnapshot() const {
   {
-    std::shared_lock<std::shared_mutex> lock(sm_mutex_);
+    // The writer mutex covers only the session-table gauges; graph stats come off a pinned
+    // snapshot and the epoch/cache/trace counters are internally synchronized.
+    std::lock_guard<std::mutex> lock(sm_mutex_);
     ExportEngineGaugesLocked();
   }
   // Registry snapshot outside the engine lock: merging histogram shards has nothing to do

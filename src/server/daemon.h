@@ -4,12 +4,13 @@
 // send framed Command envelopes, and receive framed CommandResults. One thread per connection;
 // the framing protocol is shared with everything else via src/wire.
 //
-// Command scheduling is shared/exclusive, keyed off Command::IsReadOnly(): query batches
-// execute concurrently under a reader lock (the engine's read path is const + re-entrant,
-// safe because monotonicity means established orders are never retracted), while
-// create/acquire/release/assign serialize under the writer lock. This is what lets a
+// Command scheduling is keyed off Command::IsReadOnly(): query batches execute with NO lock
+// at all — each pins an epoch-protected graph snapshot (DESIGN.md §5.12) and runs against
+// that immutable version, fully concurrent with each other AND with the writer — while
+// create/acquire/release/assign serialize under a plain mutex. This is what lets a
 // read-dominated workload — the common case in the paper's Figs. 6–9 — scale with cores
-// instead of queueing behind one mutex.
+// instead of queueing behind one mutex (or behind a reader-writer lock's contended cache
+// line, which is what capped the previous shared_mutex design).
 //
 // Batched write path (DESIGN.md §5.8): each connection thread drains every envelope its
 // client has pipelined (up to max_pipeline_batch) in one wakeup, then executes the run of
@@ -33,10 +34,10 @@
 // Telemetry (DESIGN.md §5.6): every command is counted and timed into a MetricsRegistry —
 // per-command-type counters and latency histograms, shared vs exclusive scheduling counts,
 // pipeline/batch-size distributions, and WAL enqueue/commit-wait/commit-window timings.
-// Engine state (live events/edges/refs, GC reclaims, traversal work) and order-cache hit
-// rates are exported as gauges at snapshot time. The snapshot is served live over the wire
-// protocol via the kIntrospect message (read-only, graph reads under the shared lock, so
-// introspection never stalls the query path behind it).
+// Engine state (live events/edges/refs, GC reclaims, traversal work), order-cache hit rates,
+// and epoch-reclamation health (kronos_epoch_*) are exported as gauges at snapshot time. The
+// snapshot is served live over the wire protocol via the kIntrospect message (read-only,
+// graph reads off a pinned snapshot, so introspection never stalls the query path behind it).
 //
 // Request tracing (DESIGN.md §5.10): when `tracing` is on, every decoded frame mints a
 // request id and each stage of its life records a span into the per-thread ring recorder
@@ -55,7 +56,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -80,12 +80,16 @@ struct KronosDaemonOptions {
   // serialized baseline cannot — modelling a multi-core engine on a one-core host.
   uint64_t simulated_query_service_us = 0;
   // Capacity of the engine's internal order cache (§2.5; 0 disables). Results are
-  // bit-identical with or without it, but Lookup serializes on the cache's internal mutex, so
-  // the cache is opt-in: under uniform-random read load (bench/micro_concurrent_query) it is
-  // pure contention on the otherwise lock-free shared read path (~15% at 8 threads), while
-  // skewed real workloads win back repeated traversals. The standalone kronosd binary enables
-  // it; when enabled, hit/miss rates feed the kronos_cache_* gauges.
+  // bit-identical with or without it, but Lookup takes a shard mutex, so the cache is opt-in:
+  // under uniform-random read load (bench/micro_concurrent_query) it is pure overhead on the
+  // otherwise lock-free read path, while skewed real workloads win back repeated traversals.
+  // The standalone kronosd binary enables it; when enabled, hit/miss rates feed the
+  // kronos_cache_* gauges.
   size_t query_cache_capacity = 0;
+  // Lock shards for the order cache (meaningful only with query_cache_capacity > 0). The
+  // lock-free read path otherwise serializes on one cache mutex; 8 shards make a hand-off
+  // collision unlikely at the thread counts the daemon sees.
+  uint32_t query_cache_shards = 8;
   // Ablation knob for the height-stamp query fast path (DESIGN.md §5.9). On (default), the
   // engine refutes orders whose Lamport height stamps contradict them without traversing and
   // bounds surviving BFS expansions by the target's stamp; off restores the pure two-BFS
@@ -164,13 +168,17 @@ class KronosDaemon {
   // Captures a consistent engine+session+stamp snapshot, waits until every WAL record it
   // reflects is durable, atomically installs it as the newest checkpoint, prunes to the
   // retention limit, and truncates WAL segments every retained checkpoint covers. Safe to
-  // call while serving (capture rides the shared lock); concurrent calls serialize. Fails
+  // call while serving: capture pins an epoch-protected graph snapshot under the writer
+  // mutex (a few loads, not a serialize), then all serialization and IO runs with no engine
+  // lock held — queries never notice, writers lose only the capture instant. Concurrent
+  // calls serialize. Fails
   // without side effects on a non-persistent daemon, a fail-stopped WAL, or any filesystem
   // error — a failed checkpoint never truncates and never poisons the write path.
   Result<CheckpointOutcome> CheckpointNow();
 
-  // The serialized v3 snapshot of current engine state (shared lock). Test oracles compare
-  // this byte-for-byte between a recovered daemon and a full-log replay.
+  // The serialized v3 snapshot of current engine state (captured like CheckpointNow: pinned
+  // graph snapshot, serialization outside the engine lock). Test oracles compare this
+  // byte-for-byte between a recovered daemon and a full-log replay.
   std::vector<uint8_t> ExportSnapshotBytes() const;
 
   // Checkpoint/WAL disk state, for tests and tools (zeros/empty when not persistent).
@@ -181,15 +189,16 @@ class KronosDaemon {
   // Sequence of the checkpoint recovery restored from (0 = recovered from log alone).
   uint64_t recovered_checkpoint_seq() const { return recovered_checkpoint_seq_; }
 
-  // Engine introspection (safe to call while serving). Reads take the lock in shared mode:
-  // they contend only with updates, never with the query path.
+  // Engine introspection (safe to call while serving). Lock-free: each call reads one pinned
+  // graph snapshot, contending with nothing.
   uint64_t live_events() const;
   uint64_t live_edges() const;
   EventGraph::Stats graph_stats() const;
 
-  // A coherent reading of every instrument: command counters/latency as recorded, engine and
-  // cache state copied into gauges under the shared lock. This is what kIntrospect serves and
-  // what kronosd's periodic digest logs.
+  // A coherent reading of every instrument: command counters/latency as recorded, engine,
+  // cache, and epoch-reclamation state copied into gauges (session gauges under the writer
+  // mutex, the rest lock-free). This is what kIntrospect serves and what kronosd's periodic
+  // digest logs.
   MetricsSnapshot TelemetrySnapshot() const;
 
   void Stop();
@@ -216,9 +225,12 @@ class KronosDaemon {
   // request. Returns false when the connection should be dropped (protocol error/send fail).
   bool ProcessFrames(TcpConnection& conn, std::vector<std::vector<uint8_t>>& frames);
   // Executes a run of consecutive exclusive-mode requests (mutations, plus reads under the
-  // serialize_reads ablation) under one exclusive-lock acquisition and one group-commit wait.
+  // serialize_reads ablation) under one writer-mutex acquisition and one group-commit wait.
+  // The engine publishes once per run (Begin/EndWriteBatch), so chunk copy-on-write
+  // amortizes across the run; replies are sent only after the publish.
   void ExecuteExclusiveRun(std::vector<PendingRequest*>& run);
-  // Shared-mode read execution (concurrent with other reads). Fills req.reply.
+  // Lock-free read execution (concurrent with other reads AND with writers): pins an
+  // epoch-protected graph snapshot and queries it. Fills req.reply.
   void ExecuteRead(PendingRequest& req);
   // Background checkpoint cadence (runs CheckpointNow every checkpoint_every_s; failures are
   // logged and retried next period — a sick disk degrades recovery bound, not service).
@@ -227,17 +239,18 @@ class KronosDaemon {
   bool TimingEnabled() const { return trace::Enabled() || options_.slow_op_us > 0; }
   // Emits the slow-op KLOG(Warning) if the request's decode→reply time crossed the bar.
   void MaybeLogSlowOp(const PendingRequest& req, uint64_t done_ns);
-  void ExportEngineGaugesLocked() const;  // requires sm_mutex_ (shared suffices)
+  void ExportEngineGaugesLocked() const;  // requires sm_mutex_ (for the session gauges)
 
   Options options_;
   TcpListener listener_;
   std::thread accept_thread_;
   std::atomic<bool> stopped_{false};
 
-  // Shared mode: read-only commands + introspection. Exclusive mode: updates (incl. WAL
-  // enqueue, preserving write-ahead order: records enter the group-commit queue in apply
-  // order, inside the exclusive section).
-  mutable std::shared_mutex sm_mutex_;
+  // Writer mutex: serializes updates (incl. WAL enqueue, preserving write-ahead order:
+  // records enter the group-commit queue in apply order, inside the exclusive section) and
+  // the session table. Read-only commands never touch it — they pin graph snapshots
+  // (DESIGN.md §5.12).
+  mutable std::mutex sm_mutex_;
   KronosStateMachine sm_;
   GroupCommitWal wal_;
   bool persistent_ = false;

@@ -18,13 +18,18 @@ constexpr uint8_t kSnapshotVersionStamps = 3;
 }  // namespace
 
 std::vector<uint8_t> SerializeSnapshot(const KronosStateMachine& sm) {
+  return SerializeSnapshot(sm.graph().GetSnapshot(), sm.applied_updates(),
+                           sm.sessions().Export());
+}
+
+std::vector<uint8_t> SerializeSnapshot(const EventGraph::ReadSnapshot& graph_snapshot,
+                                       uint64_t applied_updates,
+                                       const std::vector<SessionTable::Entry>& sessions) {
   BufferWriter w;
-  const std::vector<SessionTable::Entry> sessions = sm.sessions().Export();
   w.WriteU8(kSnapshotVersionStamps);
-  w.WriteVarint(sm.applied_updates());
-  const EventGraph& g = sm.graph();
-  w.WriteVarint(g.next_id());
-  const std::vector<EventGraph::SnapshotVertex> vertices = g.ExportSnapshot();
+  w.WriteVarint(applied_updates);
+  w.WriteVarint(graph_snapshot.next_id());
+  const std::vector<EventGraph::SnapshotVertex> vertices = graph_snapshot.ExportSnapshot();
   w.WriteVarint(vertices.size());
   for (const auto& v : vertices) {
     w.WriteVarint(v.id);

@@ -20,6 +20,15 @@ namespace kronos {
 // bytes (vertices and successor lists are emitted in ascending id order).
 std::vector<uint8_t> SerializeSnapshot(const KronosStateMachine& sm);
 
+// Serializes from a pinned graph snapshot plus independently captured session/replication
+// state. This is the checkpoint capture path (DESIGN.md §5.11 + §5.12): the caller captures
+// all three under its writer mutex — cheap, the graph part is one epoch pin — then calls this
+// with NO engine lock held, so a large serialize never stalls writers or readers. The bytes
+// are identical to SerializeSnapshot(sm) at the moment of capture.
+std::vector<uint8_t> SerializeSnapshot(const EventGraph::ReadSnapshot& graph_snapshot,
+                                       uint64_t applied_updates,
+                                       const std::vector<SessionTable::Entry>& sessions);
+
 // Restores into a fresh state machine. Fails without side effects on malformed input... the
 // target must be empty (never applied a command).
 Status RestoreSnapshot(std::span<const uint8_t> bytes, KronosStateMachine& sm);

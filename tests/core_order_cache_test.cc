@@ -138,6 +138,72 @@ TEST(OrderCacheTest, ClearEmpties) {
   EXPECT_EQ(c.size(), 0u);
 }
 
+TEST(OrderCacheTest, GenerationBoundRejectsNewerEntries) {
+  // Snapshot discipline (DESIGN.md §5.12): a reader pinned at generation g must never consume
+  // an entry learned at a newer generation — the order might not exist in its version yet.
+  OrderCache c(16);
+  c.Insert(1, 2, Order::kBefore, /*gen=*/7);
+  EXPECT_FALSE(c.Lookup(1, 2, /*gen=*/6).has_value());     // older snapshot: too new for it
+  EXPECT_EQ(c.Lookup(1, 2, /*gen=*/7), Order::kBefore);    // same generation: visible
+  EXPECT_EQ(c.Lookup(1, 2, /*gen=*/100), Order::kBefore);  // newer snapshot: monotonic, fine
+  // The too-new rejection counts as a miss but must NOT evict: the entry stays for readers of
+  // newer versions.
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.Lookup(2, 1, /*gen=*/7), Order::kAfter);
+}
+
+TEST(OrderCacheTest, DuplicateInsertKeepsOldestGeneration) {
+  // If generation 9 re-learns a fact generation 3 already cached, the entry must stay visible
+  // to snapshots in [3, 9) — keeping the minimum tag loses nothing (orders are monotonic).
+  OrderCache c(16);
+  c.Insert(1, 2, Order::kBefore, /*gen=*/9);
+  c.Insert(1, 2, Order::kBefore, /*gen=*/3);
+  EXPECT_EQ(c.Lookup(1, 2, /*gen=*/4), Order::kBefore);
+  c.Insert(1, 2, Order::kBefore, /*gen=*/8);  // later re-insert must not raise the tag back
+  EXPECT_EQ(c.Lookup(1, 2, /*gen=*/4), Order::kBefore);
+}
+
+TEST(OrderCacheTest, PrefilledEntriesInheritNewestSourceGeneration) {
+  // An inferred u -> w is only as old as the NEWER of its two sources: a snapshot that
+  // predates either source may not see the inference.
+  OrderCache c(64);
+  c.Insert(2, 3, Order::kBefore, /*gen=*/5);  // v -> w learned at gen 5
+  c.Insert(1, 2, Order::kBefore, /*gen=*/2);  // u -> v learned at gen 2
+  EXPECT_EQ(c.Lookup(1, 3, /*gen=*/5), Order::kBefore);
+  EXPECT_FALSE(c.Lookup(1, 3, /*gen=*/4).has_value());  // gen-4 snapshot: inference too new
+}
+
+TEST(OrderCacheTest, ShardedCacheBehavesLikeUnsharded) {
+  // Same inserts, same verdicts, exact hit/miss counters — sharding only splits the mutex.
+  OrderCache sharded(OrderCache::Options{.capacity = 64, .shards = 8});
+  OrderCache flat(OrderCache::Options{.capacity = 64, .shards = 1});
+  for (EventId e = 1; e <= 20; ++e) {
+    sharded.Insert(e, e + 100, Order::kBefore);
+    flat.Insert(e, e + 100, Order::kBefore);
+  }
+  for (EventId e = 1; e <= 20; ++e) {
+    EXPECT_EQ(sharded.Lookup(e, e + 100), Order::kBefore);
+    EXPECT_EQ(sharded.Lookup(e + 100, e), Order::kAfter);
+  }
+  EXPECT_FALSE(sharded.Lookup(500, 501).has_value());
+  EXPECT_EQ(sharded.size(), 20u);
+  // Counters are global and exact: 40 hits + 1 miss regardless of shard layout.
+  OrderCache::Stats s = sharded.stats();
+  EXPECT_EQ(s.hits, 40u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(OrderCacheTest, ShardedClearAndEvictionBounds) {
+  OrderCache c(OrderCache::Options{.capacity = 16, .transitive_prefill = false, .shards = 4});
+  for (EventId e = 1; e <= 200; ++e) {
+    c.Insert(e, e + 1000, Order::kBefore);
+  }
+  EXPECT_LE(c.size(), 16u);  // per-shard LRU keeps the global bound
+  EXPECT_GT(c.evictions(), 0u);
+  c.Clear();
+  EXPECT_EQ(c.size(), 0u);
+}
+
 TEST(OrderCacheTest, ChainPrefillBuildsClosureIncrementally) {
   // Inserting a chain head-to-tail lets prefill derive many transitive facts without service
   // calls.

@@ -15,13 +15,19 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/client/tcp_client.h"
 #include "src/common/env.h"
+#include "src/core/state_machine.h"
 #include "src/server/daemon.h"
 #include "src/server/nemesis.h"
+#include "src/wire/snapshot.h"
 
 namespace kronos {
 namespace {
@@ -372,6 +378,117 @@ TEST(DaemonCheckpointTest, CheckpointOverTheWire) {
   EXPECT_FALSE(refused->ok);
   EXPECT_FALSE(refused->error.empty());
   ephemeral.Stop();
+}
+
+// Capture-path proof for the epoch-pinned checkpoint cut (DESIGN.md §5.11 + §5.12): a
+// snapshot serialized from a pinned ReadSnapshot in the MIDDLE of a write burst must be
+// byte-identical to quiescing and replaying exactly the same command prefix into a fresh
+// machine. The capture copies (graph pin, applied count, sessions, command prefix) under the
+// writer mutex — the daemon's brief cut — and serializes with the lock dropped while the
+// burst continues. Any capture that read a half-published version, a torn session table, or a
+// frontier out of step with the graph would diverge from the replayed oracle.
+TEST(DaemonCheckpointTest, MidBurstCaptureIsByteIdenticalToQuiescedReplay) {
+  KronosStateMachine live;
+  std::mutex writer_mu;       // stands in for the daemon's writer mutex
+  std::vector<Command> log;   // guarded by writer_mu; the oracle's replay script
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t x = 0x2545F4914F6CDD1Dull;
+    uint64_t created = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      std::lock_guard<std::mutex> lock(writer_mu);
+      Command cmd;
+      if (created < 2 || x % 3 != 0) {
+        cmd = Command::MakeCreateEvent();
+        ++created;
+      } else {
+        // Forward edge between existing ids (no GC in this test, so 1..created are live).
+        const EventId a = 1 + x % created;
+        const EventId b = 1 + (x >> 17) % created;
+        if (a == b) {
+          continue;
+        }
+        cmd = Command::MakeAssignOrder(
+            {{std::min(a, b), std::max(a, b), Constraint::kMust}});
+      }
+      live.Apply(cmd);  // aborts are deterministic too; the oracle replays them identically
+      log.push_back(std::move(cmd));
+    }
+  });
+
+  for (int i = 0; i < 12; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // let the burst advance
+    std::unique_lock<std::mutex> lock(writer_mu);
+    const EventGraph::ReadSnapshot snap = live.graph().GetSnapshot();
+    const uint64_t applied = live.applied_updates();
+    const std::vector<SessionTable::Entry> sessions = live.sessions().Export();
+    const std::vector<Command> prefix = log;
+    lock.unlock();
+    ASSERT_EQ(applied, prefix.size());
+    // Serialize with the writer running; the pinned version cannot change under us.
+    const std::vector<uint8_t> mid = SerializeSnapshot(snap, applied, sessions);
+
+    KronosStateMachine oracle;
+    for (const Command& c : prefix) {
+      oracle.Apply(c);
+    }
+    const std::vector<uint8_t> quiesced = SerializeSnapshot(oracle);
+    ASSERT_EQ(mid, quiesced) << "mid-burst capture diverged from quiesced replay at applied="
+                             << applied;
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
+// Daemon end to end: CheckpointNow() fired repeatedly while writer clients hammer the WAL.
+// The (frontier, graph, sessions) cut must stay consistent — recovery replays exactly the
+// records past the last frontier, landing on exactly the acked event count. A capture whose
+// graph ran ahead of (or behind) its recorded frontier would double-apply or drop creates.
+TEST(DaemonCheckpointTest, CheckpointDuringWriteBurstRecoversExactly) {
+  const std::string wal = TempWal("midburst");
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 40;
+  constexpr uint64_t kTotal = kWriters * kPerWriter;
+  uint64_t ckpt_seq = 0;
+  uint64_t ckpt_frontier = 0;
+  {
+    KronosDaemon daemon(SegmentedOptions());
+    ASSERT_TRUE(daemon.Start(0, wal).ok());
+    std::atomic<int> done{0};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        auto client = TcpKronos::Connect(daemon.port());
+        ASSERT_TRUE(client.ok());
+        for (int i = 0; i < kPerWriter; ++i) {
+          ASSERT_TRUE((*client)->CreateEvent().ok());
+        }
+        done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    do {
+      Result<KronosDaemon::CheckpointOutcome> ckpt = daemon.CheckpointNow();
+      ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+      ckpt_seq = ckpt->seq;
+      ckpt_frontier = ckpt->wal_frontier;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    } while (done.load(std::memory_order_acquire) < kWriters);
+    for (auto& w : writers) {
+      w.join();
+    }
+    EXPECT_EQ(daemon.live_events(), kTotal);
+    daemon.Stop();
+  }
+  KronosDaemon recovered(SegmentedOptions());
+  ASSERT_TRUE(recovered.Start(0, wal).ok());
+  EXPECT_EQ(recovered.recovered_checkpoint_seq(), ckpt_seq);
+  EXPECT_EQ(recovered.live_events(), kTotal) << "mid-burst checkpoint lost or duplicated writes";
+  EXPECT_EQ(recovered.commands_recovered(), kTotal - ckpt_frontier);
+  recovered.Stop();
+  CleanupWalFamily(wal);
 }
 
 // The fork+SIGKILL crash matrix: seeded kill points land mid-write, mid-checkpoint-install,

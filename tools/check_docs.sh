@@ -60,6 +60,10 @@ REQUIRED_METRICS=(
   kronos_wal_segments
   kronos_wal_segments_dropped_total
   kronos_wal_torn_tails_total
+  kronos_epoch_retired_versions
+  kronos_epoch_reclaimed_total
+  kronos_epoch_pinned_readers
+  kronos_epoch_reclaim_lag
 )
 for name in "${REQUIRED_METRICS[@]}"; do
   if ! grep -hqF -- "$name" "${DOCS[@]}"; then

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + ctest, then the concurrency stress tests under
-# ThreadSanitizer (shared-mode read path race-checked on every PR) and the durability
-# tests under AddressSanitizer (WAL/snapshot/checkpoint recovery paths shuffle raw byte
-# buffers and fds — exactly where lifetime bugs hide).
+# ThreadSanitizer (the lock-free epoch/snapshot read path race-checked on every PR) and the
+# durability + epoch-reclamation tests under AddressSanitizer (recovery paths shuffle raw
+# byte buffers and fds; EBR defers frees — exactly where lifetime bugs hide).
 #
 # Usage: tools/run_tier1.sh [--skip-tsan]   (skips both sanitizer legs)
 set -euo pipefail
@@ -58,8 +58,13 @@ echo "=== tier-1: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DKRONOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target core_concurrent_query_test telemetry_test \
   chain_nemesis_test core_fastpath_property_test trace_test common_logging_test \
-  daemon_checkpoint_test
+  daemon_checkpoint_test common_epoch_test
 # TSan aborts the process on the first race (halt_on_error) so CI cannot miss one.
+# The EBR primitive first: the pin/advance handshake and retire/collect churn under racing
+# readers (DESIGN.md §5.12) — the foundation every lock-free read below stands on.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_epoch_test
+# Lock-free read path: snapshot queries racing writers and snapshot installs, including the
+# BFS-oracle property test and the long-pinned-straggler case.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/core_concurrent_query_test
 # Fast-path filter under TSan: concurrent stamp-filtered queries (relaxed ts_* counters,
 # scratch-pool pruning tally) plus one oracle-equivalence seed; full sweep ran in ctest.
@@ -90,9 +95,14 @@ echo "=== tier-1: durability tests under AddressSanitizer ==="
 # build since PR 1 — this leg finally runs it.
 cmake -B build-asan -S . -DKRONOS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j"$(nproc)" --target common_wal_test core_snapshot_test \
-  daemon_restart_test daemon_checkpoint_test
+  daemon_restart_test daemon_checkpoint_test common_epoch_test core_concurrent_query_test
 ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/common_wal_test
 ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/core_snapshot_test
 ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/daemon_restart_test
 ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/daemon_checkpoint_test
+# Epoch reclamation under ASan: use-after-retire on any epoch-protected object (graph
+# versions, swapped state machines, retired caches) is a guaranteed heap-use-after-free
+# here, and ASan's leak check proves retired objects all drain — "zero leaks" end to end.
+ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/common_epoch_test
+ASAN_OPTIONS="abort_on_error=1" ./build-asan/tests/core_concurrent_query_test
 echo "=== tier-1: OK ==="
