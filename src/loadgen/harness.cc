@@ -1,0 +1,248 @@
+#include "src/loadgen/harness.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/client/tcp_client.h"
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/loadgen/runner.h"
+#include "src/server/daemon.h"
+
+namespace kronos {
+namespace loadgen {
+
+namespace {
+
+KronosDaemon::Options SpawnedDaemonOptions() {
+  // Mirror the standalone kronosd defaults: order cache on (skewed macro workloads are what
+  // it exists for), tracing left alone (the global recorder belongs to the host process).
+  KronosDaemon::Options options;
+  options.query_cache_capacity = 1 << 16;
+  return options;
+}
+
+// The spawned daemon plus its crash/restart nemesis. Owns the port for the whole run: every
+// restart rebinds the SAME port so clients' endpoint lists stay valid.
+class SpawnedDaemon {
+ public:
+  Status Start(const std::string& wal_path) {
+    wal_path_ = wal_path;
+    daemon_ = std::make_unique<KronosDaemon>(SpawnedDaemonOptions());
+    Status s = daemon_->Start(0, wal_path_);
+    if (!s.ok()) {
+      return s;
+    }
+    port_ = daemon_->port();
+    return OkStatus();
+  }
+
+  uint16_t port() const { return port_; }
+
+  // Runs the seeded crash/restart schedule until StopNemesis. Call at most once.
+  void StartNemesis(uint64_t every_us, uint64_t seed) {
+    nemesis_thread_ = std::thread([this, every_us, seed] {
+      Rng rng(seed ^ 0x6e656d65736973ull);  // "nemesis"
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_) {
+        // Jittered interval in [every/2, every*3/2] — decorrelates restarts from any
+        // periodic client behavior (same convention as src/server/nemesis).
+        const uint64_t wait = every_us / 2 + rng.Uniform(every_us + 1);
+        cv_.wait_for(lock, std::chrono::microseconds(wait), [this] { return stop_; });
+        if (stop_) {
+          break;
+        }
+        CrashRestartLocked(rng);
+        ++restarts_;
+      }
+    });
+  }
+
+  void StopNemesis() {
+    if (!nemesis_thread_.joinable()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    nemesis_thread_.join();
+  }
+
+  uint64_t restarts() const { return restarts_; }
+
+  uint64_t total_created() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return daemon_->graph_stats().total_created;
+  }
+
+  void Shutdown() {
+    StopNemesis();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (daemon_ != nullptr) {
+      daemon_->Stop();
+      daemon_.reset();
+    }
+  }
+
+ private:
+  // Stop the daemon (every connection dies mid-whatever), throw the process state away, and
+  // recover a fresh daemon from the WAL on the same port. Bind can race the dying listener's
+  // close, so retry briefly — the port was ours and stays ours.
+  void CrashRestartLocked(Rng& rng) {
+    daemon_->Stop();
+    daemon_.reset();
+    std::this_thread::sleep_for(std::chrono::microseconds(5'000 + rng.Uniform(20'000)));
+    for (int attempt = 0;; ++attempt) {
+      daemon_ = std::make_unique<KronosDaemon>(SpawnedDaemonOptions());
+      Status s = daemon_->Start(port_, wal_path_);
+      if (s.ok()) {
+        return;
+      }
+      daemon_.reset();
+      KRONOS_CHECK(attempt < 200);  // the port cannot be stolen — 127.0.0.1 + SO_REUSEADDR
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  std::string wal_path_;
+  uint16_t port_ = 0;
+  std::mutex mutex_;  // guards daemon_ against nemesis/final-check races
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::unique_ptr<KronosDaemon> daemon_;
+  std::thread nemesis_thread_;
+  std::atomic<uint64_t> restarts_{0};
+};
+
+std::unique_ptr<TcpKronos> MakeClient(const std::vector<uint16_t>& ports, uint64_t seed,
+                                      const MacroRunOptions& options, Status& status) {
+  TcpKronosOptions copts;
+  copts.endpoints = ports;
+  copts.seed = seed;
+  copts.client_id = seed;  // nonzero and unique per client: stable session identity
+  copts.call_timeout_us = options.call_timeout_us;
+  copts.max_attempts = options.client_max_attempts;
+  Result<std::unique_ptr<TcpKronos>> client = TcpKronos::Connect(std::move(copts));
+  if (!client.ok()) {
+    status = client.status();
+    return nullptr;
+  }
+  return std::move(*client);
+}
+
+}  // namespace
+
+Result<MacroRunResult> RunMacroScenario(const MacroRunOptions& options) {
+  if (options.connections < 1 || options.connections > 256) {
+    return InvalidArgument("connections must be in [1, 256]");
+  }
+  if (options.nemesis_every_us > 0 && (!options.ports.empty() || options.wal_path.empty())) {
+    return InvalidArgument("nemesis requires spawn mode (no ports) with a WAL path");
+  }
+
+  // Target: spawn or connect.
+  const bool spawn = options.ports.empty();
+  SpawnedDaemon daemon;
+  std::vector<uint16_t> ports = options.ports;
+  if (spawn) {
+    Status s = daemon.Start(options.wal_path);
+    if (!s.ok()) {
+      return Status(s.code(), "spawn daemon: " + s.ToString());
+    }
+    ports = {daemon.port()};
+  }
+
+  // One resilient TCP client per worker, plus one for setup/final checks. Under nemesis the
+  // per-call budget must span a whole restart, so raise the retry ceiling.
+  MacroRunOptions effective = options;
+  if (options.nemesis_every_us > 0 && options.client_max_attempts <= 5) {
+    effective.client_max_attempts = 12;
+  }
+  std::vector<std::unique_ptr<TcpKronos>> clients;
+  Status connect_status = OkStatus();
+  for (int i = 0; i <= options.connections; ++i) {
+    auto client = MakeClient(ports, options.seed * 1000 + static_cast<uint64_t>(i) + 1,
+                             effective, connect_status);
+    if (client == nullptr) {
+      daemon.Shutdown();
+      return Status(connect_status.code(), "connect: " + connect_status.ToString());
+    }
+    clients.push_back(std::move(client));
+  }
+
+  // Scenario over invariant tracking over per-thread routing.
+  ThreadBoundApi routed;
+  InvariantTracker tracked(routed);
+  std::unique_ptr<Scenario> scenario =
+      MakeScenario(options.scenario, tracked, options.scenario_options);
+  if (scenario == nullptr) {
+    daemon.Shutdown();
+    return InvalidArgument("unknown scenario: " + options.scenario);
+  }
+
+  // Preload on this thread through the spare client (index connections).
+  {
+    ThreadBoundApi::BindThreadApi(clients.back().get());
+    Rng setup_rng(options.seed ^ 0x7365747570ull);  // "setup"
+    Status s = scenario->Setup(setup_rng);
+    ThreadBoundApi::BindThreadApi(nullptr);
+    if (!s.ok()) {
+      daemon.Shutdown();
+      return Status(s.code(), "scenario setup: " + s.ToString());
+    }
+  }
+
+  if (options.nemesis_every_us > 0) {
+    daemon.StartNemesis(options.nemesis_every_us, options.seed);
+  }
+
+  // The open-loop run.
+  OpenLoopScheduleOptions sched_opts;
+  sched_opts.rate_per_s = options.rate_per_s;
+  sched_opts.duration_us = options.duration_us;
+  sched_opts.arrival = options.arrival;
+  sched_opts.seed = options.seed;
+  const OpenLoopSchedule schedule = OpenLoopSchedule::Build(sched_opts);
+
+  RunnerOptions runner_opts;
+  runner_opts.workers = options.connections;
+  runner_opts.seed = options.seed;
+  LoadReport report =
+      RunOpenLoop(schedule, runner_opts, [&](int worker, size_t, Rng& rng) -> OpOutcome {
+        // Idempotent re-bind: cheaper than tracking "first op on this thread".
+        ThreadBoundApi::BindThreadApi(clients[static_cast<size_t>(worker)].get());
+        return scenario->Run(worker, rng);
+      });
+
+  MacroRunResult result;
+  daemon.StopNemesis();  // final checks run against a stable, healed daemon
+  result.nemesis_restarts = daemon.restarts();
+
+  // Final invariant pass through a fresh binding of the spare client.
+  ThreadBoundApi::BindThreadApi(clients.back().get());
+  if (spawn) {
+    result.engine_total_created = daemon.total_created();
+  }
+  result.invariants = tracked.Finish(routed, result.engine_total_created, spawn);
+  ThreadBoundApi::BindThreadApi(nullptr);
+
+  report.Finalize(options.scenario, schedule.offered_rate(), report.seconds(),
+                  report.max_backlog_us());
+  result.slo_violations = report.CheckSlo(options.slo);
+  result.report = std::move(report);
+
+  for (auto& client : clients) {
+    client->Close();
+  }
+  daemon.Shutdown();
+  return result;
+}
+
+}  // namespace loadgen
+}  // namespace kronos

@@ -1,0 +1,82 @@
+// MacroHarness: one call that runs a loadgen scenario against a live kronosd over real TCP —
+// spawned in-process or reached at configured ports — with optional crash/restart nemesis
+// (DESIGN.md §5.13). tools/kronos_loadgen and tests/loadgen_test.cc both drive this.
+//
+// Target modes:
+//   * spawn (ports empty) — the harness starts a KronosDaemon on an ephemeral 127.0.0.1 port
+//     (optionally WAL-backed) inside this process; clients still speak real TCP through the
+//     full wire stack, so the daemon's accept loop, pipelining, group commit, and session
+//     gate all carry the load. Spawn mode is what enables the nemesis schedule and the
+//     engine-side exactly-once check (the cumulative create count is observable).
+//   * connect (ports set) — clients dial an externally managed daemon; ports act as the
+//     resilient client's failover list. Nemesis and the exactly-once band are unavailable
+//     (the harness can't kill what it didn't start, or read a remote engine's counters), but
+//     monotonicity rechecks still run.
+//
+// The nemesis schedule stops the daemon (dropping every connection mid-flight), discards the
+// process state, and restarts a fresh daemon on the SAME port from the WAL — while the
+// open-loop schedule keeps offering load. Clients ride the resilient TcpKronos path
+// (reconnect + backoff + session retry); the invariant tracker then proves the acked writes
+// survived and no promised order reversed. A crash here is a stop-and-recover, not a SIGKILL
+// (in-process daemons share our address space) — but because group commit makes every
+// acknowledged write durable before the reply, stop-and-recover and kill-at-fsync agree on
+// exactly the invariants checked; the SIGKILL matrix lives in tests/daemon_checkpoint_test.
+#ifndef KRONOS_LOADGEN_HARNESS_H_
+#define KRONOS_LOADGEN_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/loadgen/invariants.h"
+#include "src/loadgen/report.h"
+#include "src/loadgen/scenario.h"
+#include "src/loadgen/schedule.h"
+
+namespace kronos {
+namespace loadgen {
+
+struct MacroRunOptions {
+  std::string scenario = "chain";
+  double rate_per_s = 2000.0;
+  uint64_t duration_us = 5'000'000;
+  int connections = 8;  // worker threads, one TCP connection each
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  uint64_t seed = 1;
+
+  // Connect mode: daemon ports (failover list per client). Empty = spawn mode.
+  std::vector<uint16_t> ports;
+  // Spawn mode: WAL path for the in-process daemon ("" = ephemeral, no nemesis possible).
+  std::string wal_path;
+  // Crash/restart the spawned daemon roughly every this many µs (jittered ±50%, seeded).
+  // 0 = no nemesis. Requires spawn mode + wal_path (restarting without a log would wipe
+  // acknowledged state and every invariant with it).
+  uint64_t nemesis_every_us = 0;
+
+  ScenarioOptions scenario_options;
+  SloSpec slo;
+  // Per-call client budget; under nemesis a call must be able to outlive one restart.
+  uint64_t call_timeout_us = 2'000'000;
+  int client_max_attempts = 5;
+};
+
+struct MacroRunResult {
+  LoadReport report;
+  InvariantSummary invariants;
+  std::vector<std::string> slo_violations;
+  uint64_t nemesis_restarts = 0;
+  uint64_t engine_total_created = 0;  // spawn mode only (0 in connect mode)
+
+  bool ok() const { return invariants.ok() && slo_violations.empty(); }
+};
+
+// Runs setup + the open-loop schedule + the final invariant recheck. Errors (can't start the
+// daemon, can't connect, setup failed) come back as a failed Status; SLO and invariant
+// verdicts come back inside the result.
+Result<MacroRunResult> RunMacroScenario(const MacroRunOptions& options);
+
+}  // namespace loadgen
+}  // namespace kronos
+
+#endif  // KRONOS_LOADGEN_HARNESS_H_

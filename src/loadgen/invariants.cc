@@ -1,0 +1,241 @@
+#include "src/loadgen/invariants.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace kronos {
+namespace loadgen {
+
+namespace {
+
+// splitmix64 finalizer — shard selection must not correlate with sequential event ids.
+inline uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string InvariantSummary::Summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "invariants: %s (creates %" PRIu64 " acked / %" PRIu64 " unknown, assigns %" PRIu64
+                " acked / %" PRIu64 " unknown, queries %" PRIu64 ", promises %" PRIu64
+                " recorded / %" PRIu64 " rechecked / %" PRIu64 " gc-skipped / %" PRIu64
+                " sampled-out, violations %zu)",
+                ok() ? "OK" : "VIOLATED", creates_acked, creates_unknown, assigns_acked,
+                assigns_unknown, queries_answered, promises_recorded, promises_rechecked,
+                promises_skipped_collected, promises_sampled_out, violations.size());
+  return buf;
+}
+
+InvariantTracker::InvariantTracker(KronosApi& inner, size_t max_promises)
+    : inner_(inner), max_promises_(max_promises) {}
+
+void InvariantTracker::AddViolation(std::string v) {
+  std::lock_guard<std::mutex> lock(violations_mutex_);
+  if (violations_.size() < 64) {  // first violations are the informative ones
+    violations_.push_back(std::move(v));
+  }
+}
+
+void InvariantTracker::Promise(EventId before, EventId after) {
+  if (promises_recorded_.load(std::memory_order_relaxed) >= max_promises_) {
+    promises_sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const EventId lo = before < after ? before : after;
+  const EventId hi = before < after ? after : before;
+  // Normalized verdict for the key (lo, hi): kBefore = lo happens-before hi.
+  const Order normalized = (lo == before) ? Order::kBefore : Order::kAfter;
+  Shard& shard = shards_[MixId(lo) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.promised[lo].try_emplace(hi, normalized);
+  if (inserted) {
+    promises_recorded_.fetch_add(1, std::memory_order_relaxed);
+  } else if (it->second != normalized) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "monotonicity violation: pair (%" PRIu64 ", %" PRIu64
+                  ") was promised %s, now answered %s",
+                  lo, hi, std::string(OrderName(it->second)).c_str(),
+                  std::string(OrderName(normalized)).c_str());
+    AddViolation(buf);
+  }
+}
+
+Result<EventId> InvariantTracker::CreateEvent() {
+  Result<EventId> r = inner_.CreateEvent();
+  if (!r.ok()) {
+    creates_unknown_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+  creates_acked_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(ids_mutex_);
+    if (!acked_ids_.insert(*r).second) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "exactly-once violation: event id %" PRIu64 " acknowledged twice", *r);
+      AddViolation(buf);
+    }
+  }
+  return r;
+}
+
+Status InvariantTracker::AcquireRef(EventId e) { return inner_.AcquireRef(e); }
+
+Result<uint64_t> InvariantTracker::ReleaseRef(EventId e) { return inner_.ReleaseRef(e); }
+
+Result<std::vector<Order>> InvariantTracker::QueryOrder(std::vector<EventPair> pairs) {
+  Result<std::vector<Order>> r = inner_.QueryOrder(pairs);
+  if (!r.ok()) {
+    return r;
+  }
+  queries_answered_.fetch_add(pairs.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < pairs.size() && i < r->size(); ++i) {
+    switch ((*r)[i]) {
+      case Order::kBefore:
+        Promise(pairs[i].e1, pairs[i].e2);
+        break;
+      case Order::kAfter:
+        Promise(pairs[i].e2, pairs[i].e1);
+        break;
+      case Order::kConcurrent:
+        break;  // not a promise — a later assign may order the pair
+    }
+  }
+  return r;
+}
+
+Result<std::vector<AssignOutcome>> InvariantTracker::AssignOrder(std::vector<AssignSpec> specs) {
+  Result<std::vector<AssignOutcome>> r = inner_.AssignOrder(specs);
+  if (!r.ok()) {
+    // kOrderViolation is a definitive NO (the batch atomically aborted — nothing promised,
+    // nothing unknown); transport-level failures leave the batch's commit state unknown.
+    if (r.status().code() != StatusCode::kOrderViolation) {
+      assigns_unknown_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return r;
+  }
+  assigns_acked_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < specs.size() && i < r->size(); ++i) {
+    switch ((*r)[i]) {
+      case AssignOutcome::kCreated:
+      case AssignOutcome::kPreexisting:
+        Promise(specs[i].e1, specs[i].e2);
+        break;
+      case AssignOutcome::kReversed:
+        Promise(specs[i].e2, specs[i].e1);  // the kept pre-existing order is the promise
+        break;
+    }
+  }
+  return r;
+}
+
+InvariantSummary InvariantTracker::Snapshot() const {
+  InvariantSummary s;
+  s.creates_acked = creates_acked_.load(std::memory_order_relaxed);
+  s.creates_unknown = creates_unknown_.load(std::memory_order_relaxed);
+  s.assigns_acked = assigns_acked_.load(std::memory_order_relaxed);
+  s.assigns_unknown = assigns_unknown_.load(std::memory_order_relaxed);
+  s.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  s.promises_recorded = promises_recorded_.load(std::memory_order_relaxed);
+  s.promises_sampled_out = promises_sampled_out_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(violations_mutex_);
+    s.violations = violations_;
+  }
+  return s;
+}
+
+InvariantSummary InvariantTracker::Finish(KronosApi& api, uint64_t engine_total_created,
+                                          bool check_exactly_once) {
+  InvariantSummary s = Snapshot();
+
+  // Recheck every promise against the healed service, batched; a batch that errors (one pair
+  // may reference a garbage-collected event) degrades to per-pair queries so one dead pair
+  // cannot mask the verdicts of 63 live ones.
+  std::vector<EventPair> batch;
+  std::vector<Order> expected;
+  const auto flush = [&]() {
+    if (batch.empty()) {
+      return;
+    }
+    Result<std::vector<Order>> r = api.QueryOrder(batch);
+    if (r.ok() && r->size() == batch.size()) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ++s.promises_rechecked;
+        if ((*r)[i] != expected[i]) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "monotonicity violation on recheck: pair (%" PRIu64 ", %" PRIu64
+                        ") was promised %s, final answer %s",
+                        batch[i].e1, batch[i].e2,
+                        std::string(OrderName(expected[i])).c_str(),
+                        std::string(OrderName((*r)[i])).c_str());
+          s.violations.emplace_back(buf);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Result<Order> one = api.QueryOrderOne(batch[i].e1, batch[i].e2);
+        if (!one.ok()) {
+          if (one.status().code() == StatusCode::kNotFound) {
+            ++s.promises_skipped_collected;  // GC forgot the pair; it cannot have reversed
+          } else {
+            s.violations.push_back("recheck query failed: " + one.status().ToString());
+          }
+          continue;
+        }
+        ++s.promises_rechecked;
+        if (*one != expected[i]) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "monotonicity violation on recheck: pair (%" PRIu64 ", %" PRIu64
+                        ") was promised %s, final answer %s",
+                        batch[i].e1, batch[i].e2, std::string(OrderName(expected[i])).c_str(),
+                        std::string(OrderName(*one)).c_str());
+          s.violations.emplace_back(buf);
+        }
+      }
+    }
+    batch.clear();
+    expected.clear();
+  };
+
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [lo, peers] : shard.promised) {
+      for (const auto& [hi, order] : peers) {
+        batch.push_back({lo, hi});
+        expected.push_back(order);
+        if (batch.size() >= 64) {
+          flush();
+        }
+      }
+    }
+  }
+  flush();
+
+  if (check_exactly_once) {
+    // Exactly-once band: every acknowledged create applied (lower bound) and no retried
+    // create applied twice (upper bound; unknown-outcome calls may or may not have landed).
+    if (engine_total_created < s.creates_acked ||
+        engine_total_created > s.creates_acked + s.creates_unknown) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "exactly-once violation: engine created %" PRIu64
+                    " events, acknowledged %" PRIu64 " (+%" PRIu64
+                    " unknown-outcome) — outside the [acked, acked+unknown] band",
+                    engine_total_created, s.creates_acked, s.creates_unknown);
+      s.violations.emplace_back(buf);
+    }
+  }
+  return s;
+}
+
+}  // namespace loadgen
+}  // namespace kronos

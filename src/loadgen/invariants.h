@@ -1,0 +1,117 @@
+// InvariantTracker: safety bookkeeping for loadgen runs under faults (DESIGN.md §5.13).
+//
+// A KronosApi decorator records, for every call a scenario makes through it, the promises the
+// service hands back:
+//
+//   * an acknowledged create_event promises a UNIQUE event id that exists exactly once — the
+//     exactly-once check compares the number of acked creates against the engine's cumulative
+//     created-count after the run (a retried create that applied twice shows up as
+//     total_created > acked + unknown-outcome);
+//   * an acknowledged assign_order pair promises "e1 before e2" (or the kept reverse, for a
+//     prefer reversal) — monotonicity (§2.1) says that order is final;
+//   * a query_order answer of kBefore/kAfter is equally a promise (kConcurrent is NOT — a
+//     later assign may legally order the pair).
+//
+// Contradictions are caught twice: immediately, when a recorded promise conflicts with a new
+// answer (two answers for the same pair disagreeing while the run is still going), and at the
+// end, when CheckAgainst re-queries every recorded promise against the (recovered, healed)
+// service — an ordered answer that stopped holding across a crash/reconnect is the exact
+// regression the resilient-session machinery exists to prevent.
+//
+// The tracker is thread-safe (mutex-sharded promise map) and bounded: past `max_promises`
+// new promises are sampled out (recorded_sampled_out counts them) so a long soak cannot grow
+// memory without bound. Events may be garbage-collected between the promise and the final
+// recheck (the txkv/graph scenarios release refs); a recheck pair the engine no longer knows
+// is skipped and counted, never failed — collection forgets an order, it cannot reverse it.
+#ifndef KRONOS_LOADGEN_INVARIANTS_H_
+#define KRONOS_LOADGEN_INVARIANTS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/client/api.h"
+
+namespace kronos {
+namespace loadgen {
+
+struct InvariantSummary {
+  std::vector<std::string> violations;  // empty == every invariant held
+
+  uint64_t creates_acked = 0;
+  uint64_t creates_unknown = 0;  // call failed after retries; commit state unknown
+  uint64_t assigns_acked = 0;
+  uint64_t assigns_unknown = 0;
+  uint64_t queries_answered = 0;
+  uint64_t promises_recorded = 0;
+  uint64_t promises_sampled_out = 0;  // dropped past the memory bound
+  uint64_t promises_rechecked = 0;
+  uint64_t promises_skipped_collected = 0;  // recheck pair no longer in the graph (GC)
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+class InvariantTracker : public KronosApi {
+ public:
+  // Wraps `inner`; the tracker adds bookkeeping and forwards every call. `inner` must
+  // outlive the tracker.
+  explicit InvariantTracker(KronosApi& inner, size_t max_promises = 1 << 20);
+
+  Result<EventId> CreateEvent() override;
+  Status AcquireRef(EventId e) override;
+  Result<uint64_t> ReleaseRef(EventId e) override;
+  Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override;
+  Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override;
+
+  // Re-queries every recorded promise against `api` (normally a fresh client to the healed
+  // service) and folds the verdicts into the summary. If `expected_total_created` is nonzero
+  // (spawn mode, where the engine's cumulative create count is observable), the exactly-once
+  // band acked <= total <= acked + unknown is checked too.
+  InvariantSummary Finish(KronosApi& api, uint64_t engine_total_created,
+                          bool check_exactly_once);
+
+  // Point-in-time summary without the recheck (for progress logging).
+  InvariantSummary Snapshot() const;
+
+ private:
+  static constexpr size_t kShards = 64;
+
+  struct Shard {
+    std::mutex mutex;
+    // key: (min_id << 32) ^ max_id is unsafe past 2^32 events; use the pair directly.
+    std::unordered_map<uint64_t, std::unordered_map<uint64_t, Order>> promised;
+  };
+
+  // Records "e1 before e2" (normalized), returning a violation string on contradiction.
+  void Promise(EventId before, EventId after);
+  void AddViolation(std::string v);
+
+  KronosApi& inner_;
+  const size_t max_promises_;
+
+  std::array<Shard, kShards> shards_;
+  std::mutex ids_mutex_;
+  std::unordered_set<EventId> acked_ids_;  // duplicate-id detection on acked creates
+
+  std::atomic<uint64_t> creates_acked_{0};
+  std::atomic<uint64_t> creates_unknown_{0};
+  std::atomic<uint64_t> assigns_acked_{0};
+  std::atomic<uint64_t> assigns_unknown_{0};
+  std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> promises_recorded_{0};
+  std::atomic<uint64_t> promises_sampled_out_{0};
+
+  mutable std::mutex violations_mutex_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace loadgen
+}  // namespace kronos
+
+#endif  // KRONOS_LOADGEN_INVARIANTS_H_

@@ -1,0 +1,139 @@
+#include "src/loadgen/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace kronos {
+namespace loadgen {
+
+void LoadReport::AddSample(const std::string& op, uint64_t latency_us, bool ok) {
+  if (ok) {
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  latency_us_.Record(latency_us);
+  per_op_us_[op].Record(latency_us);
+}
+
+void LoadReport::Merge(const LoadReport& other) {
+  completed_ += other.completed_;
+  failed_ += other.failed_;
+  if (other.max_backlog_us_ > max_backlog_us_) {
+    max_backlog_us_ = other.max_backlog_us_;
+  }
+  latency_us_.Merge(other.latency_us_);
+  for (const auto& [op, hist] : other.per_op_us_) {
+    per_op_us_[op].Merge(hist);
+  }
+}
+
+void LoadReport::Finalize(std::string scenario, double offered_rate_per_s, double seconds,
+                          uint64_t max_backlog_us) {
+  scenario_ = std::move(scenario);
+  offered_rate_ = offered_rate_per_s;
+  seconds_ = seconds;
+  if (max_backlog_us > max_backlog_us_) {
+    max_backlog_us_ = max_backlog_us;
+  }
+}
+
+std::vector<std::string> LoadReport::CheckSlo(const SloSpec& slo) const {
+  std::vector<std::string> violations;
+  char buf[160];
+  const auto check_pct = [&](const char* name, double q, uint64_t bound) {
+    if (bound == 0) {
+      return;
+    }
+    const uint64_t got = latency_us_.Percentile(q);
+    if (got > bound) {
+      std::snprintf(buf, sizeof(buf), "SLO violation: %s %" PRIu64 "us > declared %" PRIu64 "us",
+                    name, got, bound);
+      violations.emplace_back(buf);
+    }
+  };
+  check_pct("p50", 0.50, slo.p50_us);
+  check_pct("p99", 0.99, slo.p99_us);
+  check_pct("p99.9", 0.999, slo.p999_us);
+  if (slo.min_achieved_fraction > 0 && offered_rate_ > 0) {
+    const double frac = achieved_rate() / offered_rate_;
+    if (frac < slo.min_achieved_fraction) {
+      std::snprintf(buf, sizeof(buf),
+                    "SLO violation: achieved %.1f op/s is %.1f%% of offered %.1f op/s "
+                    "(floor %.1f%%)",
+                    achieved_rate(), frac * 100.0, offered_rate_,
+                    slo.min_achieved_fraction * 100.0);
+      violations.emplace_back(buf);
+    }
+  }
+  return violations;
+}
+
+namespace {
+
+void AppendRow(std::string& out, const std::string& name, const Histogram& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  %-14s %9" PRIu64 "  p50 %7" PRIu64 "  p90 %7" PRIu64 "  p99 %7" PRIu64
+                "  p99.9 %7" PRIu64 "  max %8" PRIu64 "\n",
+                name.c_str(), h.count(), h.Percentile(0.50), h.Percentile(0.90),
+                h.Percentile(0.99), h.Percentile(0.999), h.max());
+  out += buf;
+}
+
+void AppendLatencyJson(std::string& out, const Histogram& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%" PRIu64 ",\"p50\":%" PRIu64 ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64
+                ",\"p999\":%" PRIu64 ",\"max\":%" PRIu64 "}",
+                h.count(), h.Percentile(0.50), h.Percentile(0.90), h.Percentile(0.99),
+                h.Percentile(0.999), h.max());
+  out += buf;
+}
+
+}  // namespace
+
+std::string LoadReport::Table() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scenario %-10s offered %9.1f op/s  achieved %9.1f op/s  (%.2fs, "
+                "%" PRIu64 " ok / %" PRIu64 " failed, max backlog %" PRIu64 "us)\n",
+                scenario_.c_str(), offered_rate_, achieved_rate(), seconds_, completed_, failed_,
+                max_backlog_us_);
+  out += buf;
+  out += "  op              samples  latency-from-intended-start (us)\n";
+  AppendRow(out, "ALL", latency_us_);
+  for (const auto& [op, hist] : per_op_us_) {
+    AppendRow(out, op, hist);
+  }
+  return out;
+}
+
+std::string LoadReport::Json() const {
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"scenario\":\"%s\",\"offered_rate\":%.1f,\"achieved_rate\":%.1f,"
+                "\"duration_s\":%.3f,\"completed\":%" PRIu64 ",\"failed\":%" PRIu64
+                ",\"max_backlog_us\":%" PRIu64 ",\"latency_us\":",
+                scenario_.c_str(), offered_rate_, achieved_rate(), seconds_, completed_, failed_,
+                max_backlog_us_);
+  out += buf;
+  AppendLatencyJson(out, latency_us_);
+  out += ",\"per_op\":{";
+  bool first = true;
+  for (const auto& [op, hist] : per_op_us_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + op + "\":";
+    AppendLatencyJson(out, hist);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace loadgen
+}  // namespace kronos

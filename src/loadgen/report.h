@@ -1,0 +1,90 @@
+// LoadReport: coordinated-omission-safe latency/throughput accounting for a load run, with
+// declared-SLO checking and machine-readable JSON output.
+//
+// Every sample is the distance from an operation's INTENDED start (its schedule tick) to its
+// reply — not from when a worker got around to sending it — so server stalls surface as tail
+// latency instead of silently shrinking the offered load (see schedule.h). Percentiles come
+// from the HdrHistogram-style src/common/histogram (~1% relative error), reported at
+// p50/p90/p99/p99.9 because the tail is the entire point of a macro benchmark.
+//
+// SLOs are declared, not inferred: a run is handed an SloSpec up front and CheckSlo returns
+// the human-readable violations (empty = pass). tools/kronos_loadgen exits nonzero on any
+// violation, which is what lets a capacity-planning sweep or a CI smoke gate on "p99 under X
+// at offered rate Y" (docs/OPERATIONS.md "SLOs and capacity planning").
+#ifndef KRONOS_LOADGEN_REPORT_H_
+#define KRONOS_LOADGEN_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace kronos {
+namespace loadgen {
+
+// Declared service-level objectives; 0 / 0.0 = unchecked.
+struct SloSpec {
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  // Floor on achieved/offered throughput, in [0, 1]. An open-loop run that completes far
+  // fewer ops than it offered is saturated — its latency numbers describe a collapsing
+  // system, and capacity planning wants to know that before the percentiles do.
+  double min_achieved_fraction = 0.0;
+};
+
+class LoadReport {
+ public:
+  // One completed (or failed) operation. `op` labels the per-op-type breakdown (stable
+  // strings, e.g. "create_event"); `latency_us` is intended-start to reply.
+  void AddSample(const std::string& op, uint64_t latency_us, bool ok);
+
+  // Folds another report's samples in (per-worker recording, then one merge — no hot-path
+  // locking).
+  void Merge(const LoadReport& other);
+
+  // Seals the run-wide facts the samples can't carry themselves.
+  void Finalize(std::string scenario, double offered_rate_per_s, double seconds,
+                uint64_t max_backlog_us);
+
+  uint64_t completed() const { return completed_; }
+  uint64_t failed() const { return failed_; }
+  double seconds() const { return seconds_; }
+  double offered_rate() const { return offered_rate_; }
+  double achieved_rate() const {
+    return seconds_ > 0 ? static_cast<double>(completed_) / seconds_ : 0.0;
+  }
+  uint64_t max_backlog_us() const { return max_backlog_us_; }
+  const Histogram& latency() const { return latency_us_; }
+  const std::map<std::string, Histogram>& per_op() const { return per_op_us_; }
+
+  // Human-readable violations of the declared SLOs; empty = pass.
+  std::vector<std::string> CheckSlo(const SloSpec& slo) const;
+
+  // Fixed-width table for terminals (one overall row plus one per op type).
+  std::string Table() const;
+
+  // One JSON object (RFC 8259, no trailing commas) — the element committed into
+  // BENCH_macro_latency.json rate sweeps.
+  std::string Json() const;
+
+ private:
+  std::string scenario_;
+  double offered_rate_ = 0;
+  double seconds_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  // Worst dispatch lateness observed (now - intended at send time): how far behind the
+  // schedule the workers ever fell. A large value with healthy percentiles means the run was
+  // underprovisioned on workers, not that the server was slow.
+  uint64_t max_backlog_us_ = 0;
+  Histogram latency_us_;
+  std::map<std::string, Histogram> per_op_us_;
+};
+
+}  // namespace loadgen
+}  // namespace kronos
+
+#endif  // KRONOS_LOADGEN_REPORT_H_

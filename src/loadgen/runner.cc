@@ -1,0 +1,104 @@
+#include "src/loadgen/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace kronos {
+namespace loadgen {
+
+namespace {
+
+void DefaultSleepUntil(uint64_t target_us) {
+  const uint64_t now = MonotonicMicros();
+  if (target_us > now) {
+    std::this_thread::sleep_for(std::chrono::microseconds(target_us - now));
+  }
+}
+
+}  // namespace
+
+LoadReport RunOpenLoop(const OpenLoopSchedule& schedule, const RunnerOptions& options,
+                       const OpFn& op) {
+  KRONOS_CHECK(options.workers >= 1);
+  const std::function<uint64_t()> now_us =
+      options.now_us ? options.now_us : [] { return MonotonicMicros(); };
+  const std::function<void(uint64_t)> sleep_until_us =
+      options.sleep_until_us ? options.sleep_until_us : DefaultSleepUntil;
+
+  std::atomic<size_t> next_tick{0};
+  std::atomic<uint64_t> last_done_us{0};
+  LoadReport merged;
+  std::mutex merge_mutex;
+
+  const uint64_t t0 = now_us();
+  auto worker_body = [&](int w) {
+    Rng rng(options.seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(w) + 1);
+    LoadReport local;
+    uint64_t local_backlog = 0;
+    while (true) {
+      const size_t i = next_tick.fetch_add(1, std::memory_order_relaxed);
+      if (i >= schedule.size()) {
+        break;
+      }
+      const uint64_t intended = t0 + schedule.offset_us(i);
+      uint64_t now = now_us();
+      if (now < intended) {
+        sleep_until_us(intended);
+        now = now_us();
+      }
+      // How late this dispatch is against the schedule — backlog the workers (not the
+      // server) accumulated. The op's latency below still counts it: open-loop accounting.
+      const uint64_t late = now > intended ? now - intended : 0;
+      if (late > local_backlog) {
+        local_backlog = late;
+      }
+      const OpOutcome outcome = op(w, i, rng);
+      const uint64_t done = now_us();
+      local.AddSample(outcome.op, done > intended ? done - intended : 0, outcome.ok);
+      // Track run end as the max completion time (racy max via CAS).
+      uint64_t prev = last_done_us.load(std::memory_order_relaxed);
+      while (done > prev &&
+             !last_done_us.compare_exchange_weak(prev, done, std::memory_order_relaxed)) {
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    merged.Merge(local);
+    if (local_backlog > merged.max_backlog_us()) {
+      // Merge folds per-report backlog; feed the raw worker value through Finalize below by
+      // keeping the max in `merged` now.
+      LoadReport backlog_only;
+      backlog_only.Finalize("", 0, 0, local_backlog);
+      merged.Merge(backlog_only);
+    }
+  };
+
+  if (options.workers == 1) {
+    // Single-worker runs execute inline: with a virtual clock this makes the whole run
+    // deterministic (no thread interleaving at all), which the scheduler tests rely on.
+    worker_body(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(options.workers));
+    for (int w = 0; w < options.workers; ++w) {
+      workers.emplace_back(worker_body, w);
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+
+  const uint64_t end = last_done_us.load(std::memory_order_relaxed);
+  const double seconds = end > t0 ? static_cast<double>(end - t0) * 1e-6 : 0.0;
+  merged.Finalize("", schedule.offered_rate(), seconds, 0);
+  return merged;
+}
+
+}  // namespace loadgen
+}  // namespace kronos

@@ -1,0 +1,58 @@
+// Open-loop runner: N workers draining a shared OpenLoopSchedule against an operation
+// callback, with coordinated-omission-safe latency capture.
+//
+// The schedule is the source of truth for WHEN work is offered; workers are just the muscle
+// that executes it. Each worker atomically claims the next tick, sleeps until the tick's
+// intended time, runs the op, and records (reply_time - intended_time). Because tick claiming
+// is independent of op completion, one stalled worker or one slow server response does not
+// stop the offered load: the other workers keep claiming and dispatching subsequent ticks,
+// and an op that starts late (all workers busy = backlog) is charged its full queueing delay.
+// tests/loadgen_test.cc proves both properties against a virtual clock.
+//
+// The clock and the sleep primitive are injectable so the scheduler's behavior is testable
+// deterministically (a virtual clock that jumps on sleep), and so a simulation harness could
+// compress time. Defaults are the monotonic wall clock.
+#ifndef KRONOS_LOADGEN_RUNNER_H_
+#define KRONOS_LOADGEN_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/random.h"
+#include "src/loadgen/report.h"
+#include "src/loadgen/schedule.h"
+
+namespace kronos {
+namespace loadgen {
+
+// Outcome of one operation: a stable label for the per-op-type latency breakdown, and
+// whether it completed (failed ops still record latency — a timed-out request occupied the
+// schedule slot and the tail should show it).
+struct OpOutcome {
+  const char* op = "op";
+  bool ok = true;
+};
+
+// op(worker_index, tick_index, rng) — called once per schedule tick, possibly concurrently
+// from different workers. The Rng is per-worker and seeded deterministically.
+using OpFn = std::function<OpOutcome(int, size_t, Rng&)>;
+
+struct RunnerOptions {
+  int workers = 4;
+  uint64_t seed = 1;
+  // Virtual-clock seams (µs, absolute). sleep_until_us must not return before now_us()
+  // reaches the target; the default spins-on-sleep against the monotonic clock.
+  std::function<uint64_t()> now_us;
+  std::function<void(uint64_t)> sleep_until_us;
+};
+
+// Runs the whole schedule and returns the merged, un-finalized report plus timing facts.
+// The caller finalizes with its scenario name/offered rate (LoadReport::Finalize) — the
+// runner fills seconds and max_backlog itself.
+LoadReport RunOpenLoop(const OpenLoopSchedule& schedule, const RunnerOptions& options,
+                       const OpFn& op);
+
+}  // namespace loadgen
+}  // namespace kronos
+
+#endif  // KRONOS_LOADGEN_RUNNER_H_

@@ -1,0 +1,336 @@
+#include "src/loadgen/scenario.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <mutex>
+
+#include "src/common/logging.h"
+#include "src/graphstore/kronograph.h"
+#include "src/txkv/kronos_bank.h"
+#include "src/workload/graph_gen.h"
+#include "src/workload/workloads.h"
+
+namespace kronos {
+namespace loadgen {
+
+namespace {
+
+thread_local KronosApi* t_bound_api = nullptr;
+
+KronosApi& BoundApi() {
+  KRONOS_CHECK(t_bound_api != nullptr);  // worker forgot ThreadBoundApi::BindThreadApi
+  return *t_bound_api;
+}
+
+uint64_t ScaledCount(double scale, uint64_t base, uint64_t floor) {
+  const double v = static_cast<double>(base) * (scale > 0 ? scale : 1.0);
+  return std::max(floor, static_cast<uint64_t>(v));
+}
+
+// --- chain: create/assign dependency chains (Fig. 9 shape; ex-kronos_bench_tcp) ------------
+
+class ChainScenario : public Scenario {
+ public:
+  ChainScenario(KronosApi& api, const ScenarioOptions&) : api_(api) {}
+
+  const char* name() const override { return "chain"; }
+
+  Status Setup(Rng&) override { return OkStatus(); }
+
+  OpOutcome Run(int worker, Rng&) override {
+    KRONOS_CHECK(worker >= 0 && worker < static_cast<int>(kMaxWorkers));
+    EventId& prev = prev_[static_cast<size_t>(worker)].id;
+    if (prev == kInvalidEvent) {
+      Result<EventId> e = api_.CreateEvent();
+      if (!e.ok()) {
+        return {"create_event", false};
+      }
+      prev = *e;
+      return {"create_event", true};
+    }
+    Result<EventId> e = api_.CreateEvent();
+    if (!e.ok()) {
+      return {"create_event", false};
+    }
+    const auto r = api_.AssignOrderOne(prev, *e, Constraint::kMust);
+    prev = *e;  // keep chaining even past a lost assign — the next link starts fresh
+    return {"assign_order", r.ok()};
+  }
+
+ private:
+  static constexpr size_t kMaxWorkers = 256;
+  struct alignas(64) PerWorker {
+    EventId id = kInvalidEvent;
+  };
+
+  KronosApi& api_;
+  std::array<PerWorker, kMaxWorkers> prev_{};
+};
+
+// --- social: §3.1 timeline traffic (posts / reply fan-out / renders) -----------------------
+
+class SocialScenario : public Scenario {
+ public:
+  SocialScenario(KronosApi& api, const ScenarioOptions& options)
+      : api_(api),
+        users_(ScaledCount(options.scale, 200, 16)),
+        friends_per_user_(8),
+        rings_(users_) {}
+
+  const char* name() const override { return "social"; }
+
+  Status Setup(Rng& rng) override {
+    // Random friend lists (directed sample of a symmetric graph — enough for traffic shape)
+    // and one seed post per user so renders have something to query from tick zero.
+    friends_.resize(users_);
+    for (uint64_t u = 0; u < users_; ++u) {
+      for (uint64_t k = 0; k < friends_per_user_; ++k) {
+        uint64_t f = rng.Uniform(users_);
+        if (f == u) {
+          f = (f + 1) % users_;
+        }
+        friends_[u].push_back(f);
+      }
+      Result<EventId> e = api_.CreateEvent();
+      if (!e.ok()) {
+        return e.status();
+      }
+      PushRecent(u, *e);
+    }
+    return OkStatus();
+  }
+
+  OpOutcome Run(int, Rng& rng) override {
+    const uint64_t u = rng.Uniform(users_);
+    const double r = rng.NextDouble();
+    if (r < 0.20) {  // post: create + enqueue (timeline order is arrival order, §3.1)
+      Result<EventId> e = api_.CreateEvent();
+      if (!e.ok()) {
+        return {"post", false};
+      }
+      PushRecent(u, *e);
+      return {"post", true};
+    }
+    if (r < 0.40) {  // reply: create + assign fan-out after recent messages
+      const uint64_t f = Friend(u, rng);
+      const EventId parent = SampleRecent(f, rng);
+      Result<EventId> e = api_.CreateEvent();
+      if (!e.ok()) {
+        return {"reply", false};
+      }
+      if (parent == kInvalidEvent) {
+        PushRecent(u, *e);
+        return {"reply", true};  // nothing to answer yet — degenerates to a post
+      }
+      // The reply is ordered after the message it answers (must — Fig. 5's
+      // reply_to_message), and preferentially after a couple more recent messages the
+      // author had seen (prefer — fan-out that densifies the timeline order without ever
+      // aborting: every pair targets the fresh event, so no cycle is possible).
+      std::vector<AssignSpec> specs{{parent, *e, Constraint::kMust}};
+      for (int extra = 0; extra < 2; ++extra) {
+        const EventId seen = SampleRecent(Friend(u, rng), rng);
+        if (seen != kInvalidEvent && seen != parent) {
+          specs.push_back({seen, *e, Constraint::kPrefer});
+        }
+      }
+      const auto outcome = api_.AssignOrder(std::move(specs));
+      PushRecent(u, *e);
+      return {"reply", outcome.ok()};
+    }
+    // render: batched query_order over the recent messages a timeline would show (§3.1's
+    // all-pairs over the visible window; the window is bounded, as any real renderer's is).
+    std::vector<EventId> visible;
+    CollectRecent(u, visible);
+    for (uint64_t k = 0; k < 3 && visible.size() < 6; ++k) {
+      CollectRecent(Friend(u, rng), visible);
+    }
+    std::vector<EventPair> pairs;
+    for (size_t i = 0; i < visible.size(); ++i) {
+      for (size_t j = i + 1; j < visible.size() && pairs.size() < 12; ++j) {
+        pairs.push_back({visible[i], visible[j]});
+      }
+    }
+    if (pairs.empty()) {
+      return {"render", true};
+    }
+    const auto orders = api_.QueryOrder(std::move(pairs));
+    return {"render", orders.ok()};
+  }
+
+ private:
+  static constexpr size_t kRing = 4;     // recent messages kept per user
+  static constexpr size_t kShards = 64;  // ring lock sharding
+
+  struct Ring {
+    std::array<EventId, kRing> recent{};
+    size_t next = 0;
+    size_t filled = 0;
+  };
+
+  uint64_t Friend(uint64_t u, Rng& rng) const {
+    const auto& fs = friends_[u];
+    return fs[rng.Uniform(fs.size())];
+  }
+
+  void PushRecent(uint64_t u, EventId e) {
+    std::lock_guard<std::mutex> lock(shard_mutex_[u % kShards]);
+    Ring& ring = rings_[u];
+    ring.recent[ring.next] = e;
+    ring.next = (ring.next + 1) % kRing;
+    ring.filled = std::min(ring.filled + 1, kRing);
+  }
+
+  EventId SampleRecent(uint64_t u, Rng& rng) {
+    std::lock_guard<std::mutex> lock(shard_mutex_[u % kShards]);
+    const Ring& ring = rings_[u];
+    if (ring.filled == 0) {
+      return kInvalidEvent;
+    }
+    return ring.recent[rng.Uniform(ring.filled)];
+  }
+
+  void CollectRecent(uint64_t u, std::vector<EventId>& out) {
+    std::lock_guard<std::mutex> lock(shard_mutex_[u % kShards]);
+    const Ring& ring = rings_[u];
+    for (size_t i = 0; i < ring.filled && out.size() < 8; ++i) {
+      const EventId e = ring.recent[i];
+      if (std::find(out.begin(), out.end(), e) == out.end()) {
+        out.push_back(e);
+      }
+    }
+  }
+
+  KronosApi& api_;
+  const uint64_t users_;
+  const uint64_t friends_per_user_;
+  std::vector<std::vector<uint64_t>> friends_;
+  std::vector<Ring> rings_;
+  std::array<std::mutex, kShards> shard_mutex_;
+};
+
+// --- graphmix: KronoGraph under the Fig. 6 95/5 mix ----------------------------------------
+
+class GraphMixScenario : public Scenario {
+ public:
+  GraphMixScenario(KronosApi& api, const ScenarioOptions& options)
+      : vertices_(ScaledCount(options.scale, 1000, 64)),
+        seed_(options.seed),
+        store_(api),
+        mix_(vertices_, 0.95, options.seed) {}
+
+  const char* name() const override { return "graphmix"; }
+
+  Status Setup(Rng&) override {
+    const GeneratedGraph g = FixedAverageDegree(vertices_, 10.0, seed_);
+    for (uint64_t v = 0; v < g.num_vertices; ++v) {
+      Status s = store_.AddVertex(v);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    for (const auto& [u, v] : g.edges) {
+      Status s = store_.AddEdge(u, v);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return OkStatus();
+  }
+
+  OpOutcome Run(int, Rng& rng) override {
+    const GraphOp op = mix_.Next(rng);
+    switch (op.kind) {
+      case GraphOp::Kind::kRecommend: {
+        const auto r = store_.RecommendFriend(op.a);
+        return {"recommend", r.ok()};
+      }
+      case GraphOp::Kind::kAddEdge: {
+        const Status s = store_.AddEdge(op.a, op.b);
+        return {"add_edge", s.ok()};
+      }
+      case GraphOp::Kind::kAddVertexEdge: {
+        const Status s = store_.AddEdge(op.a, op.b);  // vertices are created implicitly
+        return {"add_vertex", s.ok()};
+      }
+    }
+    return {"recommend", false};
+  }
+
+ private:
+  const uint64_t vertices_;
+  const uint64_t seed_;
+  KronoGraph store_;
+  GraphMixWorkload mix_;
+};
+
+// --- txkv: KronosBank transfers (Fig. 7 shape) ---------------------------------------------
+
+class TxKvScenario : public Scenario {
+ public:
+  TxKvScenario(KronosApi& api, const ScenarioOptions& options)
+      : accounts_(ScaledCount(options.scale, 1000, 64)),
+        bank_(api),
+        workload_(accounts_, options.zipf_theta, options.seed) {}
+
+  const char* name() const override { return "txkv"; }
+
+  Status Setup(Rng&) override {
+    for (uint64_t a = 0; a < accounts_; ++a) {
+      bank_.CreateAccount(a, 1000);
+    }
+    return OkStatus();
+  }
+
+  OpOutcome Run(int, Rng& rng) override {
+    if (rng.NextDouble() < 0.10) {
+      const uint64_t a = rng.Uniform(accounts_);
+      const auto r = bank_.GetBalance(a);
+      return {"get_balance", r.ok()};
+    }
+    const TransferOp t = workload_.Next(rng);
+    const Status s = bank_.Transfer(t.from, t.to, t.amount);
+    return {"transfer", s.ok()};
+  }
+
+ private:
+  const uint64_t accounts_;
+  KronosBank bank_;
+  BankWorkload workload_;
+};
+
+}  // namespace
+
+void ThreadBoundApi::BindThreadApi(KronosApi* api) { t_bound_api = api; }
+
+Result<EventId> ThreadBoundApi::CreateEvent() { return BoundApi().CreateEvent(); }
+Status ThreadBoundApi::AcquireRef(EventId e) { return BoundApi().AcquireRef(e); }
+Result<uint64_t> ThreadBoundApi::ReleaseRef(EventId e) { return BoundApi().ReleaseRef(e); }
+Result<std::vector<Order>> ThreadBoundApi::QueryOrder(std::vector<EventPair> pairs) {
+  return BoundApi().QueryOrder(std::move(pairs));
+}
+Result<std::vector<AssignOutcome>> ThreadBoundApi::AssignOrder(std::vector<AssignSpec> specs) {
+  return BoundApi().AssignOrder(std::move(specs));
+}
+
+std::unique_ptr<Scenario> MakeScenario(const std::string& name, KronosApi& api,
+                                       const ScenarioOptions& options) {
+  if (name == "chain") {
+    return std::make_unique<ChainScenario>(api, options);
+  }
+  if (name == "social") {
+    return std::make_unique<SocialScenario>(api, options);
+  }
+  if (name == "graphmix") {
+    return std::make_unique<GraphMixScenario>(api, options);
+  }
+  if (name == "txkv") {
+    return std::make_unique<TxKvScenario>(api, options);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioNames() { return {"chain", "social", "graphmix", "txkv"}; }
+
+}  // namespace loadgen
+}  // namespace kronos

@@ -1,0 +1,90 @@
+// Loadgen scenarios: the paper's application workloads packaged as open-loop operations
+// against any KronosApi (DESIGN.md §5.13).
+//
+// Four scenarios ship:
+//   * chain     — create_event + assign_order(prev -> new) dependency chains, the Fig. 9
+//                 measurement shape and the successor of the old kronos_bench_tcp binary;
+//   * social    — the §3.1 timeline app's Kronos traffic: posts (create), replies (create +
+//                 must/prefer assign fan-out after recent messages), timeline renders
+//                 (batched query_order over recent-message pairs);
+//   * graphmix  — KronoGraph (src/graphstore) driven by the Fig. 6 mix: 95% friend
+//                 recommendations / 5% graph mutations over a preloaded friendship graph;
+//   * txkv      — KronosBank (src/txkv) bank transfers, the Fig. 7 shape, with a
+//                 Zipf-contention knob.
+//
+// graphmix and txkv reuse the real application classes unchanged — the point of the macro
+// benchmark is that the full app logic (optimistic claim loops, order caches, retries) rides
+// on the service over real TCP. Because those classes capture ONE KronosApi& at construction
+// while the load runner wants one TCP connection per worker, scenarios are built over a
+// ThreadBoundApi: a forwarding api whose target is a thread-local pointer each worker binds
+// to its own client before running ops. Invariant tracking (invariants.h) slots between the
+// scenario and the routing layer, so every scenario runs under the nemesis schedule without
+// scenario-specific bookkeeping.
+#ifndef KRONOS_LOADGEN_SCENARIO_H_
+#define KRONOS_LOADGEN_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/api.h"
+#include "src/common/random.h"
+#include "src/loadgen/runner.h"
+
+namespace kronos {
+namespace loadgen {
+
+// Forwards every call to the api bound to the CURRENT thread (BindThreadApi). A worker binds
+// its own TcpKronos once; app classes holding a ThreadBoundApi& then fan out across
+// connections for free. Calls on a thread with no binding are a programming error.
+class ThreadBoundApi : public KronosApi {
+ public:
+  // Binds `api` as this thread's target (nullptr to clear). The binding is per OS thread and
+  // per ThreadBoundApi instance is NOT tracked — one global slot per thread keeps the hot
+  // path a single TLS load, and loadgen only ever runs one harness per process.
+  static void BindThreadApi(KronosApi* api);
+
+  Result<EventId> CreateEvent() override;
+  Status AcquireRef(EventId e) override;
+  Result<uint64_t> ReleaseRef(EventId e) override;
+  Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override;
+  Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override;
+};
+
+struct ScenarioOptions {
+  uint64_t seed = 1;
+  // Preload sizing multiplier (users/vertices/accounts); tools/kronos_loadgen feeds
+  // KRONOS_BENCH_SCALE through here so tier-1 smokes stay cheap.
+  double scale = 1.0;
+  // txkv account-selection skew (0 = uniform, the Fig. 7 reproduction).
+  double zipf_theta = 0.0;
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual const char* name() const = 0;
+
+  // Preloads the scenario's dataset (called once, before the run, on the caller's thread —
+  // bind a client first when the captured api is a ThreadBoundApi).
+  virtual Status Setup(Rng& rng) = 0;
+
+  // One operation. Called concurrently from workers, each with its own deterministic Rng.
+  // Returns the op label + success.
+  virtual OpOutcome Run(int worker, Rng& rng) = 0;
+};
+
+// Builds a scenario over `api` (which must outlive it — normally an InvariantTracker over a
+// ThreadBoundApi). Returns nullptr for an unknown name. Valid: chain, social, graphmix, txkv.
+std::unique_ptr<Scenario> MakeScenario(const std::string& name, KronosApi& api,
+                                       const ScenarioOptions& options);
+
+// The names MakeScenario accepts, for usage strings and the --smoke sweep.
+std::vector<std::string> ScenarioNames();
+
+}  // namespace loadgen
+}  // namespace kronos
+
+#endif  // KRONOS_LOADGEN_SCENARIO_H_

@@ -1,0 +1,43 @@
+#include "src/loadgen/schedule.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace kronos {
+namespace loadgen {
+
+OpenLoopSchedule OpenLoopSchedule::Build(const OpenLoopScheduleOptions& options) {
+  KRONOS_CHECK(options.rate_per_s > 0);
+  OpenLoopSchedule schedule;
+  schedule.offered_rate_ = options.rate_per_s;
+  schedule.duration_us_ = options.duration_us;
+
+  const double mean_gap_us = 1e6 / options.rate_per_s;
+  Rng rng(options.seed ^ 0x6f70656e6c6f6f70ull);  // "openloop"
+  double t = 0;
+  while (true) {
+    const uint64_t tick = static_cast<uint64_t>(t);
+    if (tick > options.duration_us && !schedule.offsets_us_.empty()) {
+      break;
+    }
+    schedule.offsets_us_.push_back(tick);
+    switch (options.arrival) {
+      case ArrivalProcess::kUniform:
+        t += mean_gap_us;
+        break;
+      case ArrivalProcess::kPoisson: {
+        // Inverse-CDF exponential draw. NextDouble() is in [0, 1), so 1-u is in (0, 1] and
+        // the log argument never hits zero.
+        const double u = rng.NextDouble();
+        t += -std::log(1.0 - u) * mean_gap_us;
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace loadgen
+}  // namespace kronos

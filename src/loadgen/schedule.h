@@ -1,0 +1,64 @@
+// OpenLoopSchedule: precomputed arrival times for a fixed-offered-rate (open-loop) load run.
+//
+// The defining property of an open-loop generator is that arrivals are decided BEFORE the
+// system under test gets a vote: the i-th operation is *supposed* to start at offset(i)
+// whether or not operation i-1 has finished. A closed-loop client (like RunClosedLoop in
+// src/workload) only issues the next op after the previous reply, so a slow server quietly
+// lowers the offered load and the latency numbers stop meaning anything — the classic
+// coordinated-omission trap. Here the schedule is materialized up front from (rate, duration,
+// arrival process, seed), workers claim ticks from it, and latency is measured from the
+// INTENDED start, so queueing delay behind a stall is charged to the operations that suffered
+// it (DESIGN.md §5.13).
+//
+// Two arrival processes:
+//   * kUniform — deterministic 1/rate gaps; the smoothest possible offered load, useful for
+//     A/B runs where arrival jitter would add noise;
+//   * kPoisson — i.i.d. exponential gaps with mean 1/rate; memoryless arrivals, the standard
+//     model for independent clients and the one that actually exercises burst absorption
+//     (group-commit windows, pipelining) the way production traffic does.
+//
+// The whole schedule derives from the seed, so a run is replayable tick for tick.
+#ifndef KRONOS_LOADGEN_SCHEDULE_H_
+#define KRONOS_LOADGEN_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kronos {
+namespace loadgen {
+
+enum class ArrivalProcess : uint8_t {
+  kUniform = 0,
+  kPoisson = 1,
+};
+
+struct OpenLoopScheduleOptions {
+  double rate_per_s = 1000.0;      // offered rate; must be > 0
+  uint64_t duration_us = 1'000'000;  // schedule horizon; at least one tick is always emitted
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  uint64_t seed = 1;               // drives the Poisson gap draws (ignored for kUniform)
+};
+
+class OpenLoopSchedule {
+ public:
+  // Builds the full tick list: monotone non-decreasing offsets (µs from run start), one per
+  // operation the run will offer. Ticks stop at the first offset past duration_us.
+  static OpenLoopSchedule Build(const OpenLoopScheduleOptions& options);
+
+  size_t size() const { return offsets_us_.size(); }
+  uint64_t offset_us(size_t i) const { return offsets_us_[i]; }
+
+  double offered_rate() const { return offered_rate_; }
+  uint64_t duration_us() const { return duration_us_; }
+
+ private:
+  std::vector<uint64_t> offsets_us_;
+  double offered_rate_ = 0;
+  uint64_t duration_us_ = 0;
+};
+
+}  // namespace loadgen
+}  // namespace kronos
+
+#endif  // KRONOS_LOADGEN_SCHEDULE_H_

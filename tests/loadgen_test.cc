@@ -1,0 +1,425 @@
+// Tests for the open-loop load generator (src/loadgen): schedule determinism, the
+// coordinated-omission guarantees of the runner (proved against a virtual clock), the
+// percentile reporter and SLO checker, the invariant tracker's contradiction detection, and
+// one seeded end-to-end nemesis run through the macro harness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/loadgen/harness.h"
+#include "src/loadgen/invariants.h"
+#include "src/loadgen/report.h"
+#include "src/loadgen/runner.h"
+#include "src/loadgen/schedule.h"
+
+namespace kronos {
+namespace loadgen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schedule
+
+TEST(OpenLoopScheduleTest, UniformGapsAreExact) {
+  OpenLoopScheduleOptions options;
+  options.rate_per_s = 1000.0;
+  options.duration_us = 9'000;
+  options.arrival = ArrivalProcess::kUniform;
+  const OpenLoopSchedule s = OpenLoopSchedule::Build(options);
+  ASSERT_EQ(s.size(), 10u);  // offsets 0, 1000, ..., 9000
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.offset_us(i), i * 1000);
+  }
+}
+
+TEST(OpenLoopScheduleTest, DeterministicPerSeedAndMonotone) {
+  OpenLoopScheduleOptions options;
+  options.rate_per_s = 5000.0;
+  options.duration_us = 200'000;
+  options.arrival = ArrivalProcess::kPoisson;
+  options.seed = 42;
+  const OpenLoopSchedule a = OpenLoopSchedule::Build(options);
+  const OpenLoopSchedule b = OpenLoopSchedule::Build(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.offset_us(i), b.offset_us(i));
+    if (i > 0) {
+      EXPECT_GE(a.offset_us(i), a.offset_us(i - 1));
+    }
+  }
+  options.seed = 43;
+  const OpenLoopSchedule c = OpenLoopSchedule::Build(options);
+  bool differs = c.size() != a.size();
+  for (size_t i = 0; !differs && i < a.size() && i < c.size(); ++i) {
+    differs = a.offset_us(i) != c.offset_us(i);
+  }
+  EXPECT_TRUE(differs) << "different seeds must produce different Poisson schedules";
+}
+
+TEST(OpenLoopScheduleTest, PoissonMeanGapMatchesRate) {
+  OpenLoopScheduleOptions options;
+  options.rate_per_s = 1000.0;  // mean gap 1000us
+  options.duration_us = 10'000'000;
+  options.arrival = ArrivalProcess::kPoisson;
+  options.seed = 7;
+  const OpenLoopSchedule s = OpenLoopSchedule::Build(options);
+  ASSERT_GT(s.size(), 1000u);
+  const double mean_gap =
+      static_cast<double>(s.offset_us(s.size() - 1)) / static_cast<double>(s.size() - 1);
+  EXPECT_NEAR(mean_gap, 1000.0, 50.0);  // ~10k draws: well within 5%
+}
+
+TEST(OpenLoopScheduleTest, AlwaysEmitsAtLeastOneTick) {
+  OpenLoopScheduleOptions options;
+  options.rate_per_s = 0.5;  // mean gap 2s, far past the horizon
+  options.duration_us = 1'000;
+  options.arrival = ArrivalProcess::kUniform;
+  const OpenLoopSchedule s = OpenLoopSchedule::Build(options);
+  ASSERT_GE(s.size(), 1u);
+  EXPECT_EQ(s.offset_us(0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Runner: coordinated-omission safety, proved deterministically
+
+// A virtual clock the runner's seams plug into: sleep jumps time forward, ops advance it by
+// their pretended service time. Single-worker runs execute inline, so there is no real
+// concurrency and the whole run is exactly reproducible.
+struct VirtualClock {
+  uint64_t now = 0;
+  uint64_t NowUs() { return now; }
+  void SleepUntil(uint64_t target) {
+    if (target > now) {
+      now = target;
+    }
+  }
+};
+
+TEST(OpenLoopRunnerTest, StalledOpChargesQueueingDelayToLaterTicks) {
+  // 10 uniform ticks at 1000/s. The tick-0 op stalls for 50ms; every later tick is
+  // dispatched late and must be charged its full queueing delay from its INTENDED start —
+  // the defining difference from a closed-loop generator, which would have recorded ~0 for
+  // ticks 1..9 (and issued them 50ms late without noticing).
+  OpenLoopScheduleOptions sched_opts;
+  sched_opts.rate_per_s = 1000.0;
+  sched_opts.duration_us = 9'000;
+  sched_opts.arrival = ArrivalProcess::kUniform;
+  const OpenLoopSchedule schedule = OpenLoopSchedule::Build(sched_opts);
+  ASSERT_EQ(schedule.size(), 10u);
+
+  VirtualClock clock;
+  RunnerOptions options;
+  options.workers = 1;
+  options.now_us = [&clock] { return clock.NowUs(); };
+  options.sleep_until_us = [&clock](uint64_t t) { clock.SleepUntil(t); };
+
+  std::vector<uint64_t> latencies;
+  LoadReport report =
+      RunOpenLoop(schedule, options, [&](int, size_t i, Rng&) -> OpOutcome {
+        const uint64_t intended = schedule.offset_us(i);
+        if (i == 0) {
+          clock.now += 50'000;  // the stall
+        }
+        latencies.push_back(clock.now - intended);
+        return {"op", true};
+      });
+
+  // Exact expected latencies: tick 0 took 50ms; tick i (intended at i*1000us) started at
+  // t=50000 and completed instantly, so its CO-safe latency is 50000 - 1000*i.
+  ASSERT_EQ(latencies.size(), 10u);
+  EXPECT_EQ(latencies[0], 50'000u);
+  for (size_t i = 1; i < 10; ++i) {
+    EXPECT_EQ(latencies[i], 50'000 - 1'000 * i) << "tick " << i;
+  }
+  EXPECT_EQ(report.completed(), 10u);
+  EXPECT_EQ(report.latency().max(), 50'000u);
+  // Worst dispatch lateness: tick 1 (intended t=1000) dispatched at t=50000.
+  EXPECT_EQ(report.max_backlog_us(), 49'000u);
+  // A closed-loop measurement would put p50 near 0; the open-loop truth is ~45ms.
+  EXPECT_GT(report.latency().Percentile(0.50), 40'000u);
+}
+
+TEST(OpenLoopRunnerTest, TickEmissionDoesNotGateOnStalledWorker) {
+  // Real clock, two workers. The op claiming tick 0 blocks until tick 19 has completed: if
+  // tick emission were gated on op completion (closed loop), tick 19 could never run and
+  // this would deadlock. The second worker draining ticks 1..19 while the first is stuck is
+  // exactly the "stalled worker does not stop the offered load" property.
+  OpenLoopScheduleOptions sched_opts;
+  sched_opts.rate_per_s = 2000.0;
+  sched_opts.duration_us = 9'500;
+  sched_opts.arrival = ArrivalProcess::kUniform;
+  const OpenLoopSchedule schedule = OpenLoopSchedule::Build(sched_opts);
+  ASSERT_EQ(schedule.size(), 20u);
+
+  RunnerOptions options;
+  options.workers = 2;
+
+  std::promise<void> last_tick_done;
+  std::shared_future<void> unblock(last_tick_done.get_future());
+  std::atomic<bool> timed_out{false};
+  LoadReport report =
+      RunOpenLoop(schedule, options, [&](int, size_t i, Rng&) -> OpOutcome {
+        if (i == 0) {
+          if (unblock.wait_for(std::chrono::seconds(30)) != std::future_status::ready) {
+            timed_out = true;  // closed-loop behavior would hit this, not hang the suite
+          }
+        } else if (i == 19) {
+          last_tick_done.set_value();
+        }
+        return {"op", true};
+      });
+
+  EXPECT_FALSE(timed_out.load());
+  EXPECT_EQ(report.completed(), 20u);
+  // The blocked tick-0 op waited for the whole schedule (>= 9.5ms of offered load).
+  EXPECT_GE(report.latency().max(), 9'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Report
+
+TEST(LoadReportTest, JsonGolden) {
+  LoadReport report;
+  report.AddSample("alpha", 100, true);
+  report.AddSample("alpha", 100, true);
+  report.AddSample("alpha", 100, true);
+  report.AddSample("beta", 250, false);
+  report.Finalize("golden", 100.0, 0.04, 7);
+
+  EXPECT_EQ(report.completed(), 3u);
+  EXPECT_EQ(report.failed(), 1u);
+  EXPECT_DOUBLE_EQ(report.achieved_rate(), 75.0);
+
+  const std::string json = report.Json();
+  // Single RFC 8259 object with deterministic content (map-ordered per_op keys).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"scenario\":\"golden\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"offered_rate\":100.0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"achieved_rate\":75.0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"duration_s\":0.040"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"completed\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"failed\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_backlog_us\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"per_op\":{\"alpha\":"), std::string::npos) << json;
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"beta\"")) << json;
+  // Identical input must produce the identical report (merge + format are deterministic).
+  LoadReport again;
+  again.AddSample("alpha", 100, true);
+  again.AddSample("alpha", 100, true);
+  again.AddSample("alpha", 100, true);
+  again.AddSample("beta", 250, false);
+  again.Finalize("golden", 100.0, 0.04, 7);
+  EXPECT_EQ(json, again.Json());
+}
+
+TEST(LoadReportTest, MergeFoldsSamplesAndBacklog) {
+  LoadReport a;
+  a.AddSample("x", 100, true);
+  LoadReport b;
+  b.AddSample("x", 900, true);
+  b.AddSample("y", 500, false);
+  b.Finalize("", 0, 0, 1234);
+  a.Merge(b);
+  a.Finalize("merged", 10.0, 1.0, 99);  // smaller backlog must not shrink the max
+  EXPECT_EQ(a.completed(), 2u);
+  EXPECT_EQ(a.failed(), 1u);
+  EXPECT_EQ(a.max_backlog_us(), 1234u);
+  EXPECT_EQ(a.latency().count(), 3u);
+  EXPECT_EQ(a.per_op().at("x").count(), 2u);
+  EXPECT_EQ(a.per_op().at("y").count(), 1u);
+}
+
+TEST(LoadReportTest, CheckSloFlagsPercentileAndThroughputViolations) {
+  LoadReport report;
+  for (int i = 0; i < 90; ++i) {
+    report.AddSample("op", 100, true);
+  }
+  for (int i = 0; i < 10; ++i) {
+    report.AddSample("op", 10'000, true);
+  }
+  report.Finalize("slo", 1000.0, 1.0, 0);  // achieved 100/s vs offered 1000/s
+
+  SloSpec pass;
+  pass.p50_us = 500;
+  pass.p99_us = 20'000;
+  EXPECT_TRUE(report.CheckSlo(pass).empty());
+
+  SloSpec tight;
+  tight.p99_us = 5'000;  // actual p99 is ~10ms
+  std::vector<std::string> violations = report.CheckSlo(tight);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("p99"), std::string::npos) << violations[0];
+
+  SloSpec floor;
+  floor.min_achieved_fraction = 0.5;  // achieved fraction is 0.1
+  violations = report.CheckSlo(floor);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("achieved"), std::string::npos) << violations[0];
+}
+
+// ---------------------------------------------------------------------------
+// Invariant tracker
+
+// In-memory KronosApi whose query answers the test scripts — the tracker must catch the
+// "service" changing its mind about an ordered pair.
+class ScriptedApi : public KronosApi {
+ public:
+  Result<EventId> CreateEvent() override {
+    if (duplicate_ids_) {
+      return EventId{1};
+    }
+    return EventId{next_id_++};
+  }
+  Status AcquireRef(EventId) override { return OkStatus(); }
+  Result<uint64_t> ReleaseRef(EventId) override { return uint64_t{0}; }
+  Result<std::vector<Order>> QueryOrder(std::vector<EventPair> pairs) override {
+    return std::vector<Order>(pairs.size(), answer_);
+  }
+  Result<std::vector<AssignOutcome>> AssignOrder(std::vector<AssignSpec> specs) override {
+    return std::vector<AssignOutcome>(specs.size(), AssignOutcome::kCreated);
+  }
+
+  void set_answer(Order o) { answer_ = o; }
+  void set_duplicate_ids(bool v) { duplicate_ids_ = v; }
+
+ private:
+  EventId next_id_ = 1;
+  Order answer_ = Order::kBefore;
+  bool duplicate_ids_ = false;
+};
+
+TEST(InvariantTrackerTest, CleanRunHasNoViolations) {
+  ScriptedApi api;
+  InvariantTracker tracker(api);
+  EXPECT_TRUE(tracker.CreateEvent().ok());
+  EXPECT_TRUE(tracker.CreateEvent().ok());
+  EXPECT_TRUE(tracker.AssignOrderOne(1, 2, Constraint::kMust).ok());
+  EXPECT_TRUE(tracker.QueryOrder({{1, 2}}).ok());
+  InvariantSummary s = tracker.Finish(api, 2, /*check_exactly_once=*/true);
+  EXPECT_TRUE(s.ok()) << s.Summary();
+  EXPECT_EQ(s.creates_acked, 2u);
+  EXPECT_EQ(s.assigns_acked, 1u);
+  EXPECT_EQ(s.promises_recorded, 1u);
+  EXPECT_EQ(s.promises_rechecked, 1u);
+}
+
+TEST(InvariantTrackerTest, DetectsFlippedQueryAnswerImmediately) {
+  ScriptedApi api;
+  InvariantTracker tracker(api);
+  api.set_answer(Order::kBefore);
+  EXPECT_TRUE(tracker.QueryOrder({{10, 20}}).ok());  // promise: 10 before 20
+  api.set_answer(Order::kAfter);
+  EXPECT_TRUE(tracker.QueryOrder({{10, 20}}).ok());  // contradiction
+  InvariantSummary s = tracker.Snapshot();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.violations[0].find("monotonicity violation"), std::string::npos)
+      << s.violations[0];
+}
+
+TEST(InvariantTrackerTest, DetectsAssignPromiseRevokedOnRecheck) {
+  ScriptedApi api;
+  InvariantTracker tracker(api);
+  EXPECT_TRUE(tracker.AssignOrderOne(5, 6, Constraint::kMust).ok());  // promise: 5 before 6
+  EXPECT_TRUE(tracker.Snapshot().ok());
+  api.set_answer(Order::kAfter);  // the healed service now answers 6 before 5
+  InvariantSummary s = tracker.Finish(api, 0, /*check_exactly_once=*/false);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.violations[0].find("recheck"), std::string::npos) << s.violations[0];
+}
+
+TEST(InvariantTrackerTest, ConcurrentAnswerIsNotAPromise) {
+  ScriptedApi api;
+  InvariantTracker tracker(api);
+  api.set_answer(Order::kConcurrent);
+  EXPECT_TRUE(tracker.QueryOrder({{10, 20}}).ok());
+  api.set_answer(Order::kBefore);  // a later assign may legally order the pair
+  EXPECT_TRUE(tracker.QueryOrder({{10, 20}}).ok());
+  InvariantSummary s = tracker.Snapshot();
+  EXPECT_TRUE(s.ok()) << s.Summary();
+  EXPECT_EQ(s.promises_recorded, 1u);  // only the kBefore answer was binding
+}
+
+TEST(InvariantTrackerTest, DetectsDuplicateAckedEventId) {
+  ScriptedApi api;
+  api.set_duplicate_ids(true);
+  InvariantTracker tracker(api);
+  EXPECT_TRUE(tracker.CreateEvent().ok());
+  EXPECT_TRUE(tracker.CreateEvent().ok());
+  InvariantSummary s = tracker.Snapshot();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.violations[0].find("exactly-once"), std::string::npos) << s.violations[0];
+}
+
+TEST(InvariantTrackerTest, ExactlyOnceBandCatchesDoubleApply) {
+  ScriptedApi api;
+  InvariantTracker tracker(api);
+  EXPECT_TRUE(tracker.CreateEvent().ok());
+  EXPECT_TRUE(tracker.CreateEvent().ok());
+  // Engine says 3 creates applied but only 2 were acked and none are unknown-outcome: a
+  // retried create landed twice.
+  InvariantSummary s = tracker.Finish(api, 3, /*check_exactly_once=*/true);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.violations[0].find("exactly-once"), std::string::npos) << s.violations[0];
+  // The band is inclusive: exactly the acked count passes.
+  InvariantTracker ok_tracker(api);
+  EXPECT_TRUE(ok_tracker.CreateEvent().ok());
+  EXPECT_TRUE(ok_tracker.Finish(api, 1, /*check_exactly_once=*/true).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End to end: macro harness under the crash/restart nemesis
+
+TEST(MacroHarnessTest, ChainSurvivesNemesisWithInvariantsIntact) {
+  const std::string dir =
+      ::testing::TempDir() + "/loadgen_nemesis_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  MacroRunOptions options;
+  options.scenario = "chain";
+  options.rate_per_s = 300.0;
+  options.duration_us = 1'500'000;
+  options.connections = 3;
+  options.seed = 11;
+  options.scenario_options.seed = 11;
+  options.wal_path = dir + "/wal";
+  options.nemesis_every_us = 400'000;
+
+  Result<MacroRunResult> run = RunMacroScenario(options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GE(run->nemesis_restarts, 1u);
+  EXPECT_TRUE(run->invariants.ok()) << run->invariants.Summary();
+  EXPECT_GT(run->report.completed(), 0u);
+  EXPECT_GT(run->invariants.promises_rechecked, 0u);
+  // Spawn mode: the engine-side exactly-once band was checked against real counters.
+  EXPECT_GE(run->engine_total_created, run->invariants.creates_acked);
+}
+
+TEST(MacroHarnessTest, RejectsNemesisWithoutWal) {
+  MacroRunOptions options;
+  options.scenario = "chain";
+  options.nemesis_every_us = 100'000;
+  Result<MacroRunResult> run = RunMacroScenario(options);
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(MacroHarnessTest, RejectsUnknownScenario) {
+  MacroRunOptions options;
+  options.scenario = "definitely-not-a-scenario";
+  options.duration_us = 100'000;
+  options.rate_per_s = 100.0;
+  options.connections = 1;
+  Result<MacroRunResult> run = RunMacroScenario(options);
+  EXPECT_FALSE(run.ok());
+}
+
+}  // namespace
+}  // namespace loadgen
+}  // namespace kronos

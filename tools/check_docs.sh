@@ -7,6 +7,10 @@
 #   3. The observability metrics PR 7 introduced (kronos_trace_*, kronos_slow_ops_total)
 #      are present in BOTH the docs and the source — the reverse direction of check 2, so
 #      removing an instrument or its catalog row fails tier-1.
+#   4. Command-line flags, both directions: every --flag literal in tools/kronosd.cc and
+#      tools/kronos_loadgen.cc appears in docs/OPERATIONS.md (adding a flag without
+#      documenting it fails), and every --flag token OPERATIONS.md mentions exists somewhere
+#      under tools/ or bench/ (documenting a removed flag fails).
 #
 # The metric check is substring-based on purpose: dynamic families are documented as
 # kronos_cmd_<type>_total, which extracts as the prefix "kronos_cmd_" and matches the
@@ -75,6 +79,28 @@ for name in "${REQUIRED_METRICS[@]}"; do
     fail=1
   fi
 done
+
+echo "--- check_docs: command-line flags ---"
+# Forward: the operator-facing binaries' flags must all be documented in OPERATIONS.md.
+# Tokens are extracted syntactically (--[a-z][a-z0-9-]*), which also picks flags up from
+# usage strings and comments — those are still names an operator will see, so they belong in
+# the doc too.
+for src in tools/kronosd.cc tools/kronos_loadgen.cc; do
+  while IFS= read -r flag; do
+    if ! grep -qF -- "$flag" docs/OPERATIONS.md; then
+      echo "UNDOCUMENTED FLAG: $src has $flag but docs/OPERATIONS.md does not mention it"
+      fail=1
+    fi
+  done < <(grep -oE -- '--[a-z][a-z0-9-]*' "$src" | sort -u)
+done
+# Reverse: every flag OPERATIONS.md mentions must still exist in a tool or bench binary (or
+# a tier-1 script) — stale flag documentation fails.
+while IFS= read -r flag; do
+  if ! grep -rqE -- "(^|[^a-z0-9-])${flag}([^a-z0-9-]|$)" tools bench; then
+    echo "STALE FLAG in docs/OPERATIONS.md: $flag not found under tools/ or bench/"
+    fail=1
+  fi
+done < <(grep -oE -- '--[a-z][a-z0-9-]*' docs/OPERATIONS.md | sort -u)
 
 if [[ "$fail" != 0 ]]; then
   echo "check_docs: FAIL" >&2

@@ -1,0 +1,349 @@
+// kronos_loadgen: open-loop TCP load generator for kronosd (DESIGN.md §5.13).
+//
+// Usage: kronos_loadgen [flags]
+//
+//   --scenario <name>        chain | social | graphmix | txkv (default chain); see
+//                            docs/BENCHMARKING.md for what each drives
+//   --port <p[,p,...]>       drive an externally running kronosd (comma list = the resilient
+//                            client's failover endpoints); omitted = spawn an in-process
+//                            daemon on an ephemeral port (still real TCP)
+//   --wal <path>             WAL for the spawned daemon; required for --nemesis-every-ms
+//   --rate <ops_per_s>       offered arrival rate (default 2000)
+//   --sweep <r1,r2,...>      run each offered rate in turn (overrides --rate)
+//   --duration-s <n>         seconds of offered load per run (default 5)
+//   --connections <n>        worker threads, one TCP connection each (default 8, max 256)
+//   --arrival <kind>         poisson (default) | uniform
+//   --seed <n>               replays the exact schedule/workload/nemesis draws (default 1)
+//   --zipf <theta>           txkv account-selection skew (default 0 = uniform, Fig. 7)
+//   --nemesis-every-ms <n>   crash/restart the spawned daemon every ~n ms (jittered ±50%);
+//                            invariants (exactly-once acks, monotonic promised orders) are
+//                            checked after the run and any violation fails the exit code
+//   --slo-p50-us <n>         declared SLOs checked against the coordinated-omission-safe
+//   --slo-p99-us <n>         latency distribution (intended-start to reply); 0 = unchecked.
+//   --slo-p999-us <n>        Violations print and exit nonzero
+//   --slo-achieved <frac>    floor on achieved/offered throughput in (0, 1]
+//   --json-out <path>        append every run as JSON (the BENCH_macro_latency.json format)
+//   --smoke                  scaled-down pass: social/graphmix/txkv + one chain nemesis run,
+//                            with conservative SLOs; tier-1 runs this (KRONOS_BENCH_SCALE
+//                            shrinks rates and preloads)
+//
+// Exit codes: 0 = all runs met their SLOs and invariants; 1 = violation or run error;
+// 64 = usage. This binary replaces the old closed-loop kronos_bench_tcp: `--scenario chain`
+// with an SLO declared is the equivalent measurement, minus the coordinated omission.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/common/logging.h"
+#include "src/loadgen/harness.h"
+
+using namespace kronos;
+using namespace kronos::loadgen;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario <chain|social|graphmix|txkv>] [--port <p[,p,...]>]\n"
+               "       [--wal <path>] [--rate <ops_per_s>] [--sweep <r1,r2,...>]\n"
+               "       [--duration-s <n>] [--connections <n>] [--arrival <poisson|uniform>]\n"
+               "       [--seed <n>] [--zipf <theta>] [--nemesis-every-ms <n>]\n"
+               "       [--slo-p50-us <n>] [--slo-p99-us <n>] [--slo-p999-us <n>]\n"
+               "       [--slo-achieved <frac>] [--json-out <path>] [--smoke]\n",
+               argv0);
+  return 64;
+}
+
+// Strict numeric parsing: the whole token must be a number in [min, max]. (The old
+// kronos_bench_tcp took whatever std::atoi made of its argv — port 0 and negative op counts
+// were silently accepted; every flag here rejects malformed input at startup instead.)
+bool ParseU64(const char* s, uint64_t min, uint64_t max, uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || v < min || v > max) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const char* s, double min, double max, double* out) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v >= min) || !(v <= max)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseList(const char* s, uint64_t min, uint64_t max, std::vector<uint64_t>* out) {
+  std::string token;
+  for (const char* p = s;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      uint64_t v = 0;
+      if (!ParseU64(token.c_str(), min, max, &v)) {
+        return false;
+      }
+      out->push_back(v);
+      token.clear();
+      if (*p == '\0') {
+        return !out->empty();
+      }
+    } else {
+      token.push_back(*p);
+    }
+  }
+}
+
+double BenchScale() {
+  const char* env = std::getenv("KRONOS_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double s = std::atof(env);
+  return s > 0 ? s : 1.0;
+}
+
+// Executes one configured run, prints the verdict, optionally accumulates JSON. Returns
+// false on any SLO/invariant violation or run error.
+bool ExecuteRun(const MacroRunOptions& options, std::string* json_runs) {
+  std::printf("--- %s @ %.0f op/s (%s arrivals, %d connections%s) ---\n",
+              options.scenario.c_str(), options.rate_per_s,
+              options.arrival == ArrivalProcess::kPoisson ? "poisson" : "uniform",
+              options.connections,
+              options.nemesis_every_us > 0 ? ", nemesis on" : "");
+  std::fflush(stdout);
+  Result<MacroRunResult> run = RunMacroScenario(options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "kronos_loadgen: run failed: %s\n", run.status().ToString().c_str());
+    return false;
+  }
+  std::printf("%s", run->report.Table().c_str());
+  if (options.nemesis_every_us > 0) {
+    std::printf("  nemesis: %llu crash/restart cycles\n",
+                (unsigned long long)run->nemesis_restarts);
+  }
+  std::printf("  %s\n", run->invariants.Summary().c_str());
+  for (const std::string& v : run->invariants.violations) {
+    std::printf("  INVARIANT: %s\n", v.c_str());
+  }
+  for (const std::string& v : run->slo_violations) {
+    std::printf("  %s\n", v.c_str());
+  }
+  if (run->ok()) {
+    std::printf("  SLO: PASS\n");
+  }
+  std::fflush(stdout);
+
+  if (json_runs != nullptr) {
+    std::string entry = run->report.Json();
+    entry.pop_back();  // reopen the object to append run-level facts
+    char extra[160];
+    std::snprintf(extra, sizeof(extra),
+                  ",\"invariants_ok\":%s,\"slo_ok\":%s,\"nemesis_restarts\":%llu}",
+                  run->invariants.ok() ? "true" : "false",
+                  run->slo_violations.empty() ? "true" : "false",
+                  (unsigned long long)run->nemesis_restarts);
+    entry += extra;
+    if (!json_runs->empty()) {
+      *json_runs += ",\n  ";
+    }
+    *json_runs += entry;
+  }
+  return run->ok();
+}
+
+// The tier-1 smoke: every application scenario briefly at a modest offered rate, then one
+// seeded chain run under the crash/restart nemesis. Conservative SLOs — this gate exists to
+// catch "the daemon can no longer sustain load at all" and invariant regressions, not to
+// benchmark a shared CI host.
+bool RunSmoke(uint64_t seed) {
+  const double scale = BenchScale();
+  bool ok = true;
+  for (const std::string& name : {std::string("social"), std::string("graphmix"),
+                                  std::string("txkv")}) {
+    MacroRunOptions options;
+    options.scenario = name;
+    options.rate_per_s = std::max(50.0, 600.0 * scale);
+    options.duration_us = 1'500'000;
+    options.connections = 4;
+    options.seed = seed;
+    options.scenario_options.seed = seed;
+    options.scenario_options.scale = scale * 0.25;
+    options.slo.min_achieved_fraction = 0.5;
+    ok = ExecuteRun(options, nullptr) && ok;
+  }
+  // Nemesis leg: a WAL-backed spawned daemon crash/restarted ~3 times under load.
+  char wal_dir[] = "/tmp/kronos_loadgen_smoke.XXXXXX";
+  if (mkdtemp(wal_dir) == nullptr) {
+    std::fprintf(stderr, "kronos_loadgen: mkdtemp failed\n");
+    return false;
+  }
+  {
+    MacroRunOptions options;
+    options.scenario = "chain";
+    options.rate_per_s = std::max(50.0, 400.0 * scale);
+    options.duration_us = 2'000'000;
+    options.connections = 4;
+    options.seed = seed;
+    options.scenario_options.seed = seed;
+    options.wal_path = std::string(wal_dir) + "/wal";
+    options.nemesis_every_us = 500'000;
+    // No throughput SLO: while the daemon is down, offered ticks stack up by design. The
+    // verdict here is the invariants — exactly-once acks and monotonic orders across
+    // restarts.
+    ok = ExecuteRun(options, nullptr) && ok;
+  }
+  std::string cleanup = std::string("rm -rf ") + wal_dir;
+  (void)std::system(cleanup.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MacroRunOptions options;
+  std::vector<uint64_t> sweep;
+  std::string json_out;
+  bool smoke = false;
+  uint64_t duration_s = 5;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    uint64_t u = 0;
+    double d = 0;
+    if (std::strcmp(arg, "--scenario") == 0 && has_value) {
+      options.scenario = argv[++i];
+    } else if (std::strcmp(arg, "--port") == 0 && has_value) {
+      std::vector<uint64_t> ports;
+      if (!ParseList(argv[++i], 1, 65535, &ports)) {
+        return Usage(argv[0]);
+      }
+      options.ports.clear();
+      for (uint64_t p : ports) {
+        options.ports.push_back(static_cast<uint16_t>(p));
+      }
+    } else if (std::strcmp(arg, "--wal") == 0 && has_value) {
+      options.wal_path = argv[++i];
+    } else if (std::strcmp(arg, "--rate") == 0 && has_value) {
+      if (!ParseU64(argv[++i], 1, 10'000'000, &u)) {
+        return Usage(argv[0]);
+      }
+      options.rate_per_s = static_cast<double>(u);
+    } else if (std::strcmp(arg, "--sweep") == 0 && has_value) {
+      if (!ParseList(argv[++i], 1, 10'000'000, &sweep)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--duration-s") == 0 && has_value) {
+      if (!ParseU64(argv[++i], 1, 3'600, &duration_s)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--connections") == 0 && has_value) {
+      if (!ParseU64(argv[++i], 1, 256, &u)) {
+        return Usage(argv[0]);
+      }
+      options.connections = static_cast<int>(u);
+    } else if (std::strcmp(arg, "--arrival") == 0 && has_value) {
+      const char* kind = argv[++i];
+      if (std::strcmp(kind, "poisson") == 0) {
+        options.arrival = ArrivalProcess::kPoisson;
+      } else if (std::strcmp(kind, "uniform") == 0) {
+        options.arrival = ArrivalProcess::kUniform;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--seed") == 0 && has_value) {
+      if (!ParseU64(argv[++i], 1, UINT64_MAX, &u)) {
+        return Usage(argv[0]);
+      }
+      options.seed = u;
+      options.scenario_options.seed = u;
+    } else if (std::strcmp(arg, "--zipf") == 0 && has_value) {
+      if (!ParseDouble(argv[++i], 0.0, 0.999, &d)) {
+        return Usage(argv[0]);
+      }
+      options.scenario_options.zipf_theta = d;
+    } else if (std::strcmp(arg, "--nemesis-every-ms") == 0 && has_value) {
+      if (!ParseU64(argv[++i], 50, 60'000, &u)) {
+        return Usage(argv[0]);
+      }
+      options.nemesis_every_us = u * 1000;
+    } else if (std::strcmp(arg, "--slo-p50-us") == 0 && has_value) {
+      if (!ParseU64(argv[++i], 1, 60'000'000, &options.slo.p50_us)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--slo-p99-us") == 0 && has_value) {
+      if (!ParseU64(argv[++i], 1, 60'000'000, &options.slo.p99_us)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--slo-p999-us") == 0 && has_value) {
+      if (!ParseU64(argv[++i], 1, 60'000'000, &options.slo.p999_us)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--slo-achieved") == 0 && has_value) {
+      if (!ParseDouble(argv[++i], 0.0, 1.0, &options.slo.min_achieved_fraction)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--json-out") == 0 && has_value) {
+      json_out = argv[++i];
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  SetLogLevel(LogLevel::kWarning);  // keep replay/recovery chatter out of the tables
+
+  if (smoke) {
+    return RunSmoke(options.seed) ? 0 : 1;
+  }
+
+  options.duration_us = duration_s * 1'000'000;
+  options.scenario_options.scale = BenchScale();
+  if (options.nemesis_every_us > 0 && options.wal_path.empty() && options.ports.empty()) {
+    std::fprintf(stderr, "kronos_loadgen: --nemesis-every-ms requires --wal\n");
+    return Usage(argv[0]);
+  }
+
+  std::string json_runs;
+  std::string* json_sink = json_out.empty() ? nullptr : &json_runs;
+  bool ok = true;
+  if (sweep.empty()) {
+    ok = ExecuteRun(options, json_sink);
+  } else {
+    for (uint64_t rate : sweep) {
+      MacroRunOptions point = options;
+      point.rate_per_s = static_cast<double>(rate);
+      ok = ExecuteRun(point, json_sink) && ok;
+    }
+  }
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "kronos_loadgen: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n\"bench\": \"macro_latency\",\n\"generated_by\": \"tools/kronos_loadgen\","
+                 "\n\"runs\": [\n  %s\n]\n}\n",
+                 json_runs.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return ok ? 0 : 1;
+}

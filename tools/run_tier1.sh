@@ -43,6 +43,14 @@ echo "=== tier-1: nemesis seed sweep ==="
 NEMESIS_SEEDS="1,2,3,4,5,6,7,8"
 ./build/tools/kronos_nemesis --seeds "$NEMESIS_SEEDS" --ops 40
 
+echo "=== tier-1: open-loop macro smoke ==="
+# Scaled-down kronos_loadgen pass over every application scenario plus one WAL-backed
+# crash/restart nemesis run: the daemon must sustain a modest offered rate over real TCP and
+# keep its exactly-once / monotonic-order promises across restarts. Rates and preloads are
+# deliberately conservative (this is a gate, not a benchmark); the real sweeps live in
+# docs/BENCHMARKING.md.
+KRONOS_BENCH_SCALE="${KRONOS_BENCH_SCALE:-0.25}" ./build/tools/kronos_loadgen --smoke
+
 echo "=== tier-1: nemesis seed with tracing enabled ==="
 # One seed re-runs with the span recorder live (--trace): the chain-path instrumentation
 # (chain_apply/chain_propagate/chain_ack/chain_reconfig) must not perturb the invariants,
